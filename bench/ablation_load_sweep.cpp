@@ -1,0 +1,51 @@
+// Ablation A3 -- load sensitivity. The paper ran under "normal" and
+// "high" load (inter-arrival shrinking) and reports that the trends are
+// the same but pronounced under high load. Sweeps the offered load and
+// tracks the conservative-vs-EASY-SJF gap.
+#include "common.hpp"
+
+using namespace bfsim;
+using core::PriorityPolicy;
+using core::SchedulerKind;
+
+int main(int argc, char** argv) {
+  bench::BenchOptions options;
+  if (!bench::parse_bench_options(
+          argc, argv, "ablation_load_sweep",
+          "A3: offered-load sweep (normal -> high load)", options))
+    return 0;
+
+  util::Table t{"A3 -- CTC, exact estimates: slowdown vs offered load"};
+  t.set_header({"offered load", "conservative-fcfs", "easy-sjf",
+                "EASY advantage"});
+
+  double first_gap = 0.0, last_gap = 0.0;
+  bool easy_always_ahead = true;
+  for (const double load : {0.70, 0.78, 0.84, 0.88, 0.92, 0.96}) {
+    bench::BenchOptions cell = options;
+    cell.load = load;
+    const double cons = exp::mean_of(
+        bench::run_cell(cell, exp::TraceKind::Ctc,
+                        SchedulerKind::Conservative, PriorityPolicy::Fcfs),
+        exp::overall_slowdown);
+    const double easy = exp::mean_of(
+        bench::run_cell(cell, exp::TraceKind::Ctc, SchedulerKind::Easy,
+                        PriorityPolicy::Sjf),
+        exp::overall_slowdown);
+    const double gap = cons - easy;
+    t.add_row({util::format_fixed(load), util::format_fixed(cons),
+               util::format_fixed(easy), util::format_fixed(gap)});
+    if (first_gap == 0.0) first_gap = gap;
+    last_gap = gap;
+    easy_always_ahead = easy_always_ahead && easy < cons;
+  }
+  std::fputs(t.str().c_str(), stdout);
+
+  bench::report_expectation(
+      "EASY-SJF beats conservative at every load level",
+      easy_always_ahead);
+  bench::report_expectation(
+      "the gap is pronounced under high load (grows with load)",
+      last_gap > first_gap);
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Ablation A1 -- selective backfilling (the paper's Section 6 future
+// work): jobs receive a reservation only once their expected slowdown
+// (expansion factor) crosses a threshold. Sweeps the threshold and
+// compares against conservative (every job reserved) and EASY (head
+// only) under actual user estimates.
+//
+// Expected shape: with a judicious threshold, selective backfilling
+// approaches EASY's mean slowdown while pulling the worst-case
+// turnaround down toward conservative -- the best of both worlds the
+// paper anticipates.
+#include "common.hpp"
+
+using namespace bfsim;
+using core::PriorityPolicy;
+using core::SchedulerKind;
+
+int main(int argc, char** argv) {
+  bench::BenchOptions options;
+  if (!bench::parse_bench_options(
+          argc, argv, "ablation_selective",
+          "A1: selective backfilling threshold sweep (Section 6)",
+          options))
+    return 0;
+
+  const exp::EstimateSpec actual{exp::EstimateRegime::Actual, 1.0};
+  util::Table t{
+      "A1 -- selective backfilling, CTC, FCFS priority, actual estimates"};
+  t.set_header({"scheduler", "avg slowdown", "worst turnaround (s)",
+                "avg turnaround"});
+
+  const auto add = [&](const std::string& label, SchedulerKind kind,
+                       core::SchedulerExtras extras) {
+    const auto reps =
+        bench::run_cell(options, exp::TraceKind::Ctc, kind,
+                        PriorityPolicy::Fcfs, actual, extras);
+    t.add_row({label,
+               util::format_fixed(exp::mean_of(reps, exp::overall_slowdown)),
+               util::format_count(static_cast<std::int64_t>(
+                   exp::max_of(reps, exp::worst_turnaround))),
+               util::format_duration(static_cast<sim::Time>(
+                   exp::mean_of(reps, exp::overall_turnaround)))});
+    return reps;
+  };
+
+  const auto cons =
+      add("conservative", SchedulerKind::Conservative, {});
+  const auto easy = add("easy", SchedulerKind::Easy, {});
+  t.add_rule();
+
+  double best_selective_slowdown = 0.0;
+  double best_selective_worst = 0.0;
+  const auto track = [&](const std::vector<metrics::Metrics>& reps) {
+    const double slowdown = exp::mean_of(reps, exp::overall_slowdown);
+    const double worst = exp::max_of(reps, exp::worst_turnaround);
+    if (best_selective_slowdown == 0.0 ||
+        slowdown < best_selective_slowdown)
+      best_selective_slowdown = slowdown;
+    if (best_selective_worst == 0.0 || worst < best_selective_worst)
+      best_selective_worst = worst;
+  };
+  for (const double threshold : {1.5, 2.0, 3.0, 5.0, 10.0}) {
+    core::SchedulerExtras extras;
+    extras.xfactor_threshold = threshold;
+    track(add("selective xf>=" + util::format_fixed(threshold, 1),
+              SchedulerKind::Selective, extras));
+  }
+  // Adaptive variant (Srinivasan et al., JSSPP 2002): the promotion bar
+  // tracks the mean bounded slowdown of completed jobs.
+  {
+    core::SchedulerExtras extras;
+    extras.xfactor_threshold = 1.5;  // floor
+    extras.selective_adaptive = true;
+    track(add("selective adaptive", SchedulerKind::Selective, extras));
+  }
+  std::fputs(t.str().c_str(), stdout);
+
+  const double cons_slowdown = exp::mean_of(cons, exp::overall_slowdown);
+  const double easy_worst = exp::max_of(easy, exp::worst_turnaround);
+  bench::report_expectation(
+      "some selective threshold beats conservative's mean slowdown",
+      best_selective_slowdown < cons_slowdown);
+  bench::report_expectation(
+      "some selective threshold beats EASY's worst-case turnaround",
+      best_selective_worst < easy_worst);
+  return 0;
+}

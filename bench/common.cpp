@@ -1,0 +1,50 @@
+#include "common.hpp"
+
+namespace bfsim::bench {
+
+bool parse_bench_options(int argc, const char* const* argv,
+                         const std::string& name,
+                         const std::string& description,
+                         BenchOptions& options) {
+  util::CliParser cli{name, description};
+  cli.add_option("jobs", "jobs per simulated trace",
+                 std::to_string(options.jobs));
+  cli.add_option("seeds", "replications (consecutive seeds)",
+                 std::to_string(options.seeds));
+  cli.add_option("load", "offered load (paper high load = 0.88)",
+                 util::format_fixed(options.load, 2));
+  if (!cli.parse(argc, argv)) return false;
+  options.jobs = static_cast<std::size_t>(cli.get_int64("jobs"));
+  options.seeds = static_cast<std::size_t>(cli.get_int64("seeds"));
+  options.load = cli.get_double("load");
+  return true;
+}
+
+std::string scheme_label(core::SchedulerKind kind,
+                         core::PriorityPolicy priority) {
+  return to_string(kind) + "-" + to_string(priority);
+}
+
+void report_expectation(const std::string& claim, bool holds) {
+  std::printf("  [%s] %s\n", holds ? "PASS" : "FAIL", claim.c_str());
+}
+
+std::vector<metrics::Metrics> run_cell(const BenchOptions& options,
+                                       exp::TraceKind trace,
+                                       core::SchedulerKind kind,
+                                       core::PriorityPolicy priority,
+                                       exp::EstimateSpec estimates,
+                                       core::SchedulerExtras extras) {
+  exp::Scenario scenario;
+  scenario.trace = trace;
+  scenario.jobs = options.jobs;
+  scenario.load = options.load;
+  scenario.scheduler = kind;
+  scenario.priority = priority;
+  scenario.estimates = estimates;
+  scenario.extras = extras;
+  scenario.seed = 1;
+  return exp::run_replications(scenario, options.seeds);
+}
+
+}  // namespace bfsim::bench

@@ -1,0 +1,46 @@
+// bfsim bench -- shared plumbing for the table/figure regeneration
+// binaries. Every binary accepts --jobs/--seeds/--load so the full-size
+// runs recorded in EXPERIMENTS.md can be reproduced or scaled down.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "exp/runner.hpp"
+#include "exp/scenario.hpp"
+#include "metrics/report.hpp"
+#include "util/cli.hpp"
+#include "util/format.hpp"
+#include "util/table.hpp"
+
+namespace bfsim::bench {
+
+struct BenchOptions {
+  std::size_t jobs = 10000;
+  std::size_t seeds = 5;
+  double load = exp::kHighLoad;
+};
+
+/// Parse the standard bench options; on --help or parse error returns
+/// false and the binary should exit 0/1 respectively.
+[[nodiscard]] bool parse_bench_options(int argc, const char* const* argv,
+                                       const std::string& name,
+                                       const std::string& description,
+                                       BenchOptions& options);
+
+/// "conservative-fcfs" / "easy-sjf" style label.
+[[nodiscard]] std::string scheme_label(core::SchedulerKind kind,
+                                       core::PriorityPolicy priority);
+
+/// Print a PASS/FAIL line for a shape expectation from the paper.
+void report_expectation(const std::string& claim, bool holds);
+
+/// Mean-of-replications for one scenario cell.
+[[nodiscard]] std::vector<metrics::Metrics> run_cell(
+    const BenchOptions& options, exp::TraceKind trace,
+    core::SchedulerKind kind, core::PriorityPolicy priority,
+    exp::EstimateSpec estimates = {},
+    core::SchedulerExtras extras = {});
+
+}  // namespace bfsim::bench

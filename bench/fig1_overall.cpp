@@ -1,0 +1,71 @@
+// Regenerates Figure 1: overall average bounded slowdown and average
+// turnaround time for conservative vs. EASY backfilling under the FCFS,
+// SJF and XFactor priority policies, on both traces, with exact user
+// estimates. The non-backfilling FCFS baseline is included for context.
+//
+// Paper shape: (a) under conservative backfilling all priority policies
+// produce the identical schedule (Section 4.1); (b) EASY with SJF or
+// XFactor clearly outperforms every conservative variant on both
+// metrics.
+#include "common.hpp"
+
+using namespace bfsim;
+using core::PriorityPolicy;
+using core::SchedulerKind;
+
+int main(int argc, char** argv) {
+  bench::BenchOptions options;
+  if (!bench::parse_bench_options(
+          argc, argv, "fig1_overall",
+          "Fig. 1: overall slowdown and turnaround, conservative vs EASY",
+          options))
+    return 0;
+
+  for (const auto trace : {exp::TraceKind::Ctc, exp::TraceKind::Sdsc}) {
+    util::Table t{"Fig. 1 -- " + to_string(trace) +
+                  " trace, exact estimates, high load"};
+    t.set_header({"scheme", "avg slowdown", "avg turnaround"});
+
+    double cons_slowdown[3] = {};
+    double best_cons = 0.0, easy_sjf = 0.0, easy_xf = 0.0;
+    int pi = 0;
+    for (const auto kind :
+         {SchedulerKind::Fcfs, SchedulerKind::Conservative,
+          SchedulerKind::Easy}) {
+      for (const auto priority : core::kPaperPolicies) {
+        const auto reps =
+            bench::run_cell(options, trace, kind, priority);
+        const double slowdown = exp::mean_of(reps, exp::overall_slowdown);
+        const double turnaround =
+            exp::mean_of(reps, exp::overall_turnaround);
+        t.add_row({bench::scheme_label(kind, priority),
+                   util::format_fixed(slowdown),
+                   util::format_duration(static_cast<sim::Time>(turnaround))});
+        if (kind == SchedulerKind::Conservative) {
+          cons_slowdown[pi++] = slowdown;
+          best_cons = best_cons == 0.0 ? slowdown
+                                       : std::min(best_cons, slowdown);
+        }
+        if (kind == SchedulerKind::Easy) {
+          if (priority == PriorityPolicy::Sjf) easy_sjf = slowdown;
+          if (priority == PriorityPolicy::XFactor) easy_xf = slowdown;
+        }
+      }
+      t.add_rule();
+    }
+    std::fputs(t.str().c_str(), stdout);
+
+    bench::report_expectation(
+        "Section 4.1: conservative slowdown identical for all priorities",
+        cons_slowdown[0] == cons_slowdown[1] &&
+            cons_slowdown[1] == cons_slowdown[2]);
+    bench::report_expectation(
+        "EASY-SJF beats every conservative variant on slowdown",
+        easy_sjf < best_cons);
+    bench::report_expectation(
+        "EASY-XFactor beats every conservative variant on slowdown",
+        easy_xf < best_cons);
+    std::fputs("\n", stdout);
+  }
+  return 0;
+}

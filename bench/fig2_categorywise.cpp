@@ -1,0 +1,78 @@
+// Regenerates Figure 2: category-wise relative change in average
+// slowdown of EASY backfilling vs. conservative backfilling (negative =
+// EASY better), under FCFS, SJF and XFactor, with exact estimates.
+//
+// Paper shape (CTC): LN benefits from EASY under all priorities; SW
+// benefits from conservative under FCFS; under SJF and XFactor the short
+// categories (SN, SW) also swing to EASY. SN and LW show no strong,
+// consistent trend under FCFS.
+#include "common.hpp"
+
+using namespace bfsim;
+using core::PriorityPolicy;
+using core::SchedulerKind;
+using workload::Category;
+
+int main(int argc, char** argv) {
+  bench::BenchOptions options;
+  if (!bench::parse_bench_options(
+          argc, argv, "fig2_categorywise",
+          "Fig. 2: per-category slowdown change, EASY vs conservative",
+          options))
+    return 0;
+
+  for (const auto trace : {exp::TraceKind::Ctc, exp::TraceKind::Sdsc}) {
+    util::Table t{"Fig. 2 -- " + to_string(trace) +
+                  ": % change in slowdown, EASY vs conservative "
+                  "(negative = EASY better)"};
+    t.set_header({"priority", "SN", "SW", "LN", "LW", "overall"});
+
+    double ln_change[3] = {};
+    double sw_fcfs = 0.0, sn_sjf = 0.0, sw_sjf = 0.0;
+    int pi = 0;
+    for (const auto priority : core::kPaperPolicies) {
+      const auto cons = bench::run_cell(options, trace,
+                                        SchedulerKind::Conservative,
+                                        priority);
+      const auto easy =
+          bench::run_cell(options, trace, SchedulerKind::Easy, priority);
+      std::vector<std::string> row{to_string(priority)};
+      for (const auto cat : workload::kAllCategories) {
+        const double c = exp::mean_of(cons, [cat](const metrics::Metrics& m) {
+          return exp::category_slowdown(m, cat);
+        });
+        const double e = exp::mean_of(easy, [cat](const metrics::Metrics& m) {
+          return exp::category_slowdown(m, cat);
+        });
+        const double change = metrics::relative_change(c, e);
+        row.push_back(util::format_signed_percent(change));
+        if (cat == Category::LongNarrow) ln_change[pi] = change;
+        if (cat == Category::ShortWide &&
+            priority == PriorityPolicy::Fcfs)
+          sw_fcfs = change;
+        if (priority == PriorityPolicy::Sjf) {
+          if (cat == Category::ShortNarrow) sn_sjf = change;
+          if (cat == Category::ShortWide) sw_sjf = change;
+        }
+      }
+      row.push_back(util::format_signed_percent(metrics::relative_change(
+          exp::mean_of(cons, exp::overall_slowdown),
+          exp::mean_of(easy, exp::overall_slowdown))));
+      t.add_row(row);
+      ++pi;
+    }
+    std::fputs(t.str().c_str(), stdout);
+
+    bench::report_expectation(
+        "LN jobs benefit from EASY under every priority policy",
+        ln_change[0] < 0 && ln_change[1] < 0 && ln_change[2] < 0);
+    if (trace == exp::TraceKind::Ctc)
+      bench::report_expectation(
+          "SW jobs benefit from conservative under FCFS", sw_fcfs > 0);
+    bench::report_expectation(
+        "short jobs (SN, SW) benefit from EASY under SJF",
+        sn_sjf < 0 && sw_sjf < 0);
+    std::fputs("\n", stdout);
+  }
+  return 0;
+}

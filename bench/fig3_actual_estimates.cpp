@@ -1,0 +1,75 @@
+// Regenerates Figure 3: overall average bounded slowdown with *actual*
+// (inaccurate) user estimates, conservative vs. EASY under each priority
+// policy, both traces. The exact-estimate slowdown is printed alongside
+// so the Section 5.2 deterioration is visible.
+//
+// Paper shape: with actual estimates the overall slowdown deteriorates
+// relative to exact estimates (unlike uniform overestimation, which
+// helps), and EASY keeps a lower overall slowdown than conservative.
+// Known deviation: on the synthetic SDSC mix the FCFS-priority pair is
+// within noise of even -- see EXPERIMENTS.md.
+#include "common.hpp"
+
+using namespace bfsim;
+using core::PriorityPolicy;
+using core::SchedulerKind;
+
+int main(int argc, char** argv) {
+  bench::BenchOptions options;
+  if (!bench::parse_bench_options(
+          argc, argv, "fig3_actual_estimates",
+          "Fig. 3: overall slowdown with actual user estimates", options))
+    return 0;
+
+  const exp::EstimateSpec actual{exp::EstimateRegime::Actual, 1.0};
+  for (const auto trace : {exp::TraceKind::Ctc, exp::TraceKind::Sdsc}) {
+    util::Table t{"Fig. 3 -- " + to_string(trace) +
+                  ": avg slowdown, actual vs exact user estimates"};
+    t.set_header({"scheme", "exact", "actual", "change"});
+
+    bool deteriorates = true;
+    bool easy_ahead = true;
+    for (const auto kind :
+         {SchedulerKind::Conservative, SchedulerKind::Easy}) {
+      for (const auto priority : core::kPaperPolicies) {
+        const double exact = exp::mean_of(
+            bench::run_cell(options, trace, kind, priority),
+            exp::overall_slowdown);
+        const double act = exp::mean_of(
+            bench::run_cell(options, trace, kind, priority, actual),
+            exp::overall_slowdown);
+        t.add_row({bench::scheme_label(kind, priority),
+                   util::format_fixed(exact), util::format_fixed(act),
+                   util::format_signed_percent(
+                       metrics::relative_change(exact, act))});
+        if (kind == SchedulerKind::Conservative &&
+            priority == PriorityPolicy::Fcfs)
+          deteriorates = act > exact;
+      }
+      t.add_rule();
+    }
+    // Per-priority EASY vs conservative comparison under actual
+    // estimates (SJF and XFactor carry the paper's headline claim).
+    for (const auto priority :
+         {PriorityPolicy::Sjf, PriorityPolicy::XFactor}) {
+      const double cons = exp::mean_of(
+          bench::run_cell(options, trace, SchedulerKind::Conservative,
+                          priority, actual),
+          exp::overall_slowdown);
+      const double easy = exp::mean_of(
+          bench::run_cell(options, trace, SchedulerKind::Easy, priority,
+                          actual),
+          exp::overall_slowdown);
+      easy_ahead = easy_ahead && easy < cons;
+    }
+    std::fputs(t.str().c_str(), stdout);
+    bench::report_expectation(
+        "actual estimates deteriorate conservative-FCFS slowdown vs exact",
+        deteriorates);
+    bench::report_expectation(
+        "EASY stays below conservative under actual estimates (SJF/XF)",
+        easy_ahead);
+    std::fputs("\n", stdout);
+  }
+  return 0;
+}

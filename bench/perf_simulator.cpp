@@ -1,0 +1,109 @@
+// P1 -- google-benchmark microbenchmarks of the simulator substrate:
+// profile operations, full scheduler runs (events/second), workload
+// generation and the RNG. These guard against performance regressions
+// in the data structures the experiment harness hammers.
+#include <benchmark/benchmark.h>
+
+#include "core/profile.hpp"
+#include "core/simulation.hpp"
+#include "exp/scenario.hpp"
+#include "sim/rng.hpp"
+#include "workload/synthetic.hpp"
+#include "workload/transforms.hpp"
+
+namespace {
+
+using namespace bfsim;
+
+void BM_ProfileReserveRelease(benchmark::State& state) {
+  core::Profile profile{128};
+  sim::Rng rng{1};
+  std::int64_t t = 0;
+  for (auto _ : state) {
+    const sim::Time begin = t % 100000;
+    const sim::Time end = begin + 1 + t % 500;
+    profile.reserve(begin, end, 16);
+    profile.release(begin, end, 16);
+    ++t;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ProfileReserveRelease);
+
+void BM_ProfileEarliestAnchor(benchmark::State& state) {
+  // A realistically fragmented profile with ~64 live reservations.
+  core::Profile profile{128};
+  sim::Rng rng{2};
+  for (int i = 0; i < 64; ++i) {
+    const sim::Time begin = rng.uniform_int(0, 50000);
+    profile.reserve(begin, begin + rng.uniform_int(100, 5000),
+                    static_cast<int>(rng.uniform_int(1, 32)));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(profile.earliest_anchor(
+        static_cast<int>(rng.uniform_int(1, 64)), rng.uniform_int(10, 2000),
+        rng.uniform_int(0, 40000)));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ProfileEarliestAnchor);
+
+workload::Trace bench_trace(std::size_t jobs) {
+  exp::Scenario scenario;
+  scenario.trace = exp::TraceKind::Sdsc;
+  scenario.jobs = jobs;
+  scenario.load = 0.88;
+  scenario.seed = 7;
+  return exp::build_workload(scenario);
+}
+
+void BM_SimulateEasy(benchmark::State& state) {
+  const auto trace = bench_trace(static_cast<std::size_t>(state.range(0)));
+  const core::SchedulerConfig config{128, core::PriorityPolicy::Sjf};
+  for (auto _ : state) {
+    auto result =
+        core::run_simulation(trace, core::SchedulerKind::Easy, config);
+    benchmark::DoNotOptimize(result.makespan);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(trace.size()) * 2);
+  state.SetLabel("events");
+}
+BENCHMARK(BM_SimulateEasy)->Arg(1000)->Arg(4000);
+
+void BM_SimulateConservative(benchmark::State& state) {
+  const auto trace = bench_trace(static_cast<std::size_t>(state.range(0)));
+  const core::SchedulerConfig config{128, core::PriorityPolicy::Fcfs};
+  for (auto _ : state) {
+    auto result = core::run_simulation(
+        trace, core::SchedulerKind::Conservative, config);
+    benchmark::DoNotOptimize(result.makespan);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(trace.size()) * 2);
+  state.SetLabel("events");
+}
+BENCHMARK(BM_SimulateConservative)->Arg(1000)->Arg(4000);
+
+void BM_GenerateWorkload(benchmark::State& state) {
+  const workload::CategoryMixModel model{workload::CategoryMixModel::ctc()};
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    sim::Rng rng{seed++};
+    auto trace = model.generate(static_cast<std::size_t>(state.range(0)), rng);
+    benchmark::DoNotOptimize(trace.size());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_GenerateWorkload)->Arg(10000);
+
+void BM_RngGamma(benchmark::State& state) {
+  sim::Rng rng{3};
+  for (auto _ : state) benchmark::DoNotOptimize(rng.gamma(2.5, 100.0));
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RngGamma);
+
+}  // namespace
+
+BENCHMARK_MAIN();

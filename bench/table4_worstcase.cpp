@@ -1,0 +1,47 @@
+// Regenerates Table 4: worst-case turnaround time (seconds) under
+// conservative vs. EASY backfilling for each priority policy, CTC trace,
+// exact user estimates.
+//
+// Paper shape: the worst-case turnaround under EASY is worse than under
+// conservative -- EASY's lack of a guarantee for non-head jobs lets
+// individual (typically wide) jobs be delayed without bound.
+#include "common.hpp"
+
+using namespace bfsim;
+using core::PriorityPolicy;
+using core::SchedulerKind;
+
+int main(int argc, char** argv) {
+  bench::BenchOptions options;
+  if (!bench::parse_bench_options(
+          argc, argv, "table4_worstcase",
+          "Table 4: worst-case turnaround time, CTC, exact estimates",
+          options))
+    return 0;
+
+  util::Table t{
+      "Table 4 -- worst-case turnaround time (s), CTC, exact estimates"};
+  t.set_header({"priority", "conservative", "EASY"});
+
+  bool easy_worse_somewhere = false;
+  for (const auto priority : core::kPaperPolicies) {
+    const double cons = exp::max_of(
+        bench::run_cell(options, exp::TraceKind::Ctc,
+                        SchedulerKind::Conservative, priority),
+        exp::worst_turnaround);
+    const double easy = exp::max_of(
+        bench::run_cell(options, exp::TraceKind::Ctc, SchedulerKind::Easy,
+                        priority),
+        exp::worst_turnaround);
+    t.add_row({to_string(priority),
+               util::format_count(static_cast<std::int64_t>(cons)),
+               util::format_count(static_cast<std::int64_t>(easy))});
+    if (priority != PriorityPolicy::Fcfs) easy_worse_somewhere |= easy > cons;
+  }
+  std::fputs(t.str().c_str(), stdout);
+  bench::report_expectation(
+      "worst-case turnaround under EASY exceeds conservative "
+      "(SJF/XFactor)",
+      easy_worse_somewhere);
+  return 0;
+}

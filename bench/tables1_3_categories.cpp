@@ -1,0 +1,70 @@
+// Regenerates Tables 1-3: the job categorization criteria and the
+// category distribution of the CTC-like and SDSC-like workloads.
+//
+// Paper reference values (reconstructed from the OCR text, see
+// DESIGN.md): CTC  SN 45.06  SW 11.84  LN 30.26  LW 12.84 (%)
+//             SDSC SN 47.24  SW 21.44  LN 20.94  LW 10.38 (%)
+#include "common.hpp"
+
+#include "workload/synthetic.hpp"
+#include "workload/transforms.hpp"
+
+using namespace bfsim;
+
+namespace {
+
+void print_table1() {
+  util::Table t{"Table 1 -- categorization of jobs by runtime and width"};
+  t.set_header({"", "<= 8 processors", "> 8 processors"});
+  t.add_row({"<= 1 hr", "SN (Short Narrow)", "SW (Short Wide)"});
+  t.add_row({"> 1 hr", "LN (Long Narrow)", "LW (Long Wide)"});
+  std::fputs(t.str().c_str(), stdout);
+  std::fputs("\n", stdout);
+}
+
+void print_distribution(const char* title,
+                        const workload::CategoryMixParams& params,
+                        const bench::BenchOptions& options) {
+  const workload::CategoryMixModel model{params};
+  // Aggregate the mix over all replication seeds.
+  std::array<double, 4> mix{};
+  for (std::size_t rep = 0; rep < options.seeds; ++rep) {
+    sim::Rng rng{(rep + 1) * 0x9e3779b97f4a7c15ULL + 1};
+    const workload::Trace trace = model.generate(options.jobs, rng);
+    const auto one = workload::category_mix(trace, params.thresholds);
+    for (std::size_t c = 0; c < 4; ++c) mix[c] += one[c];
+  }
+  for (double& m : mix) m /= static_cast<double>(options.seeds);
+
+  util::Table t{title};
+  t.set_header({"category", "generated", "paper target"});
+  bool all_close = true;
+  for (const auto cat : workload::kAllCategories) {
+    const auto i = static_cast<std::size_t>(cat);
+    t.add_row({workload::code(cat), util::format_percent(mix[i]),
+               util::format_percent(params.mix[i])});
+    all_close = all_close && std::abs(mix[i] - params.mix[i]) < 0.02;
+  }
+  std::fputs(t.str().c_str(), stdout);
+  bench::report_expectation(
+      std::string(params.name) + " mix within 2% of the paper's table",
+      all_close);
+  std::fputs("\n", stdout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::BenchOptions options;
+  if (!bench::parse_bench_options(argc, argv, "tables1_3_categories",
+                                  "Tables 1-3: job categorization and mix",
+                                  options))
+    return 0;
+
+  print_table1();
+  print_distribution("Table 2 -- CTC trace job distribution (430 procs)",
+                     workload::CategoryMixModel::ctc(), options);
+  print_distribution("Table 3 -- SDSC trace job distribution (128 procs)",
+                     workload::CategoryMixModel::sdsc(), options);
+  return 0;
+}

@@ -1,0 +1,84 @@
+// backfill_gantt -- visualize how the three scheduling strategies pack
+// the same jobs onto a small machine. The 2D charts make the paper's
+// mechanisms visible at a glance: FCFS leaves a hole behind the blocked
+// wide job, conservative fills it only with jobs that clear every
+// reservation, and EASY fills it with anything that spares the head.
+//
+//   $ backfill_gantt
+//   $ backfill_gantt --procs 8 --jobs 12 --seed 3
+#include <cstdio>
+
+#include "core/gantt.hpp"
+#include "core/simulation.hpp"
+#include "sim/rng.hpp"
+#include "util/cli.hpp"
+#include "util/format.hpp"
+#include "workload/transforms.hpp"
+
+using namespace bfsim;
+
+namespace {
+
+/// A small random workload that reliably exhibits backfilling: a mix of
+/// wide blockers and narrow fillers arriving in a burst.
+workload::Trace demo_trace(int procs, std::size_t jobs, std::uint64_t seed) {
+  sim::Rng rng{seed};
+  workload::Trace trace;
+  sim::Time t = 0;
+  for (std::size_t i = 0; i < jobs; ++i) {
+    workload::Job job;
+    t += rng.uniform_int(0, 40);
+    job.submit = t;
+    const bool wide = rng.bernoulli(0.3);
+    job.procs = static_cast<int>(
+        wide ? rng.uniform_int(procs / 2 + 1, procs)
+             : rng.uniform_int(1, procs / 3 + 1));
+    job.runtime = rng.uniform_int(50, 400);
+    job.estimate = job.runtime;
+    trace.push_back(job);
+  }
+  workload::finalize(trace);
+  return trace;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::CliParser cli{"backfill_gantt",
+                      "draw the schedules three strategies build"};
+  cli.add_option("procs", "machine size (small numbers draw best)", "6");
+  cli.add_option("jobs", "number of jobs", "10");
+  cli.add_option("seed", "workload seed", "1");
+  cli.add_option("width", "chart width in columns", "70");
+  if (!cli.parse(argc, argv)) return cli.error().empty() ? 0 : 1;
+
+  const int procs = cli.get_int("procs");
+  const auto width = static_cast<std::size_t>(cli.get_int64("width"));
+  const workload::Trace trace = demo_trace(
+      procs, static_cast<std::size_t>(cli.get_int64("jobs")),
+      static_cast<std::uint64_t>(cli.get_int64("seed")));
+
+  std::printf("%zu jobs on %d processors; letters are job ids (A = job 0)\n",
+              trace.size(), procs);
+  for (const workload::Job& job : trace)
+    std::printf("  %c: submit %5lld  procs %d  runtime %lld s\n",
+                static_cast<char>('A' + job.id % 26),
+                static_cast<long long>(job.submit), job.procs,
+                static_cast<long long>(job.runtime));
+
+  const core::SchedulerConfig config{procs, core::PriorityPolicy::Fcfs};
+  for (const auto kind :
+       {core::SchedulerKind::Fcfs, core::SchedulerKind::Conservative,
+        core::SchedulerKind::Easy}) {
+    const auto result = core::run_simulation(trace, kind, config);
+    std::printf("\n--- %s (makespan %s) ---\n",
+                result.scheduler_name.c_str(),
+                util::format_duration(result.makespan).c_str());
+    std::fputs(core::ascii_gantt(result.outcomes, procs, width).c_str(),
+               stdout);
+  }
+  std::printf(
+      "\nnote: compare where the narrow jobs land relative to the first\n"
+      "blocked wide job -- that hole-filling is backfilling.\n");
+  return 0;
+}

@@ -1,0 +1,105 @@
+// trace_explorer -- inspect a workload: read a Standard Workload Format
+// file from the Parallel Workloads Archive (the traces the paper used)
+// or generate a synthetic one, then print the paper's Table-2/3 style
+// characterization. Can also export a generated workload as SWF so it
+// can be fed to other simulators (batsim, Alea, pyss...).
+//
+//   $ trace_explorer CTC-SP2.swf
+//   $ trace_explorer --generate SDSC --jobs 10000 --export sdsc_like.swf
+#include <cstdio>
+#include <fstream>
+
+#include "util/cli.hpp"
+#include "util/format.hpp"
+#include "util/table.hpp"
+#include "workload/swf.hpp"
+#include "workload/synthetic.hpp"
+#include "workload/transforms.hpp"
+
+using namespace bfsim;
+
+int main(int argc, char** argv) {
+  util::CliParser cli{"trace_explorer",
+                      "characterize an SWF file or a synthetic workload"};
+  cli.add_option("generate", "generate instead of reading: CTC, SDSC, lublin",
+                 "");
+  cli.add_option("jobs", "jobs to generate", "10000");
+  cli.add_option("seed", "generator seed", "1");
+  cli.add_option("export", "write the workload to this SWF file", "");
+  cli.add_option("procs", "machine size for load statistics (0 = auto)", "0");
+  if (!cli.parse(argc, argv)) return cli.error().empty() ? 0 : 1;
+
+  workload::Trace trace;
+  int procs = cli.get_int("procs");
+  std::string source;
+
+  if (!cli.get("generate").empty()) {
+    const std::string kind = cli.get("generate");
+    sim::Rng rng{static_cast<std::uint64_t>(cli.get_int64("seed"))};
+    const auto jobs = static_cast<std::size_t>(cli.get_int64("jobs"));
+    if (kind == "lublin") {
+      const workload::LublinStyleModel model{workload::LublinStyleParams{}};
+      trace = model.generate(jobs, rng);
+      if (procs == 0) procs = model.params().machine_procs;
+    } else {
+      const auto params = kind == "SDSC" || kind == "sdsc"
+                              ? workload::CategoryMixModel::sdsc()
+                              : workload::CategoryMixModel::ctc();
+      const workload::CategoryMixModel model{params};
+      trace = model.generate(jobs, rng);
+      if (procs == 0) procs = params.machine_procs;
+    }
+    source = kind + " (synthetic)";
+  } else if (!cli.positional().empty()) {
+    const std::string path = cli.positional().front();
+    try {
+      const workload::SwfFile file = workload::read_swf_file(path);
+      trace = workload::swf_to_jobs(file);
+      if (procs == 0 && file.header.max_procs > 0)
+        procs = static_cast<int>(file.header.max_procs);
+      source = path;
+      if (!file.header.computer.empty())
+        std::printf("computer: %s\n", file.header.computer.c_str());
+    } catch (const std::exception& error) {
+      std::fprintf(stderr, "error: %s\n", error.what());
+      return 1;
+    }
+  } else {
+    std::fprintf(stderr,
+                 "trace_explorer: give an SWF path or --generate "
+                 "CTC|SDSC|lublin (see --help)\n");
+    return 1;
+  }
+  if (procs == 0) procs = 128;
+
+  const workload::TraceStats stats = workload::compute_stats(trace, procs);
+  std::printf("source: %s\n", source.c_str());
+  std::printf("jobs: %zu  span: %s  offered load (vs %d procs): %.2f\n",
+              stats.jobs,
+              util::format_duration(stats.span).c_str(), procs,
+              stats.offered_load);
+  std::printf(
+      "mean runtime: %s  mean width: %.1f  mean estimate/runtime: %.2fx\n\n",
+      util::format_duration(static_cast<sim::Time>(stats.mean_runtime))
+          .c_str(),
+      stats.mean_procs, stats.mean_overestimate);
+
+  util::Table t{"job mix (paper Tables 2-3 view)"};
+  t.set_header({"category", "fraction"});
+  for (const auto cat : workload::kAllCategories)
+    t.add_row({workload::code(cat),
+               util::format_percent(
+                   stats.mix[static_cast<std::size_t>(cat)])});
+  std::fputs(t.str().c_str(), stdout);
+
+  if (const std::string out = cli.get("export"); !out.empty()) {
+    std::ofstream file{out};
+    if (!file) {
+      std::fprintf(stderr, "error: cannot write '%s'\n", out.c_str());
+      return 1;
+    }
+    workload::write_swf(file, workload::jobs_to_swf(trace, procs, source));
+    std::printf("\nwrote %zu jobs to %s\n", trace.size(), out.c_str());
+  }
+  return 0;
+}

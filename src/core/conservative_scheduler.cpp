@@ -1,0 +1,94 @@
+#include "core/conservative_scheduler.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace bfsim::core {
+
+ConservativeScheduler::ConservativeScheduler(SchedulerConfig config)
+    : SchedulerBase(config), profile_(config.procs) {}
+
+void ConservativeScheduler::job_submitted(const Job& job, Time now) {
+  if (job.procs > config_.procs)
+    throw std::invalid_argument("job " + std::to_string(job.id) +
+                                " wider than the machine");
+  const Time anchor = profile_.earliest_anchor(job.procs, job.estimate, now);
+  profile_.reserve(anchor, anchor + job.estimate, job.procs);
+  reservations_.emplace(job.id, anchor);
+  queue_.push_back(job);
+}
+
+void ConservativeScheduler::job_finished(JobId id, Time now) {
+  const RunningJob rj = commit_finish(id);
+  // Return the unused tail of the job's estimated rectangle. On-time
+  // completions (now == est_end) free nothing and compression below is
+  // then provably a no-op -- see the header comment.
+  if (now < rj.est_end)
+    profile_.release(now, rj.est_end, rj.job.procs);
+  compress(now);
+}
+
+void ConservativeScheduler::job_cancelled(JobId id, Time now) {
+  // Find the job's shape before removing it from the queue.
+  Job job;
+  bool found = false;
+  for (const Job& queued : queue_)
+    if (queued.id == id) {
+      job = queued;
+      found = true;
+      break;
+    }
+  if (!found)
+    throw std::logic_error(
+        "ConservativeScheduler: cancelling a job that is not queued");
+  SchedulerBase::job_cancelled(id, now);
+  const Time start = reservations_.at(id);
+  profile_.release(start, start + job.estimate, job.procs);
+  reservations_.erase(id);
+  // The vacated rectangle is a fresh hole: compress around it.
+  compress(now);
+}
+
+void ConservativeScheduler::compress(Time now) {
+  sort_queue(now);
+  for (const Job& job : queue_) {
+    const Time old_start = reservations_.at(job.id);
+    profile_.release(old_start, old_start + job.estimate, job.procs);
+    const Time anchor =
+        profile_.earliest_anchor(job.procs, job.estimate, now);
+    if (anchor > old_start)
+      throw std::logic_error(
+          "ConservativeScheduler: compression delayed a guarantee (job " +
+          std::to_string(job.id) + ")");
+    profile_.reserve(anchor, anchor + job.estimate, job.procs);
+    reservations_.at(job.id) = anchor;
+  }
+}
+
+std::vector<Job> ConservativeScheduler::select_starts(Time now) {
+  std::vector<Job> started;
+  sort_queue(now);
+  // Collect due reservations first: commit_start mutates queue_.
+  std::vector<JobId> due;
+  for (const Job& job : queue_) {
+    const Time start = reservations_.at(job.id);
+    if (start < now)
+      throw std::logic_error(
+          "ConservativeScheduler: reservation in the past for job " +
+          std::to_string(job.id));
+    if (start == now) due.push_back(job.id);
+  }
+  for (JobId id : due) {
+    reservations_.erase(id);
+    // The job's rectangle stays reserved in the profile; it is now backed
+    // by the running job until job_finished releases the unused tail.
+    started.push_back(commit_start(id, now));
+  }
+  return started;
+}
+
+std::string ConservativeScheduler::name() const {
+  return "conservative-" + to_string(config_.priority);
+}
+
+}  // namespace bfsim::core

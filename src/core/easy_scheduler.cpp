@@ -1,0 +1,87 @@
+#include "core/easy_scheduler.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+namespace bfsim::core {
+
+EasyScheduler::EasyScheduler(SchedulerConfig config) : SchedulerBase(config) {}
+
+void EasyScheduler::job_submitted(const Job& job, Time) {
+  if (job.procs > config_.procs)
+    throw std::invalid_argument("job " + std::to_string(job.id) +
+                                " wider than the machine");
+  queue_.push_back(job);
+}
+
+void EasyScheduler::job_finished(JobId id, Time) { commit_finish(id); }
+
+EasyScheduler::Shadow EasyScheduler::compute_shadow(const Job& head,
+                                                    Time now) const {
+  // Walk running jobs by estimated completion, accumulating processors
+  // until the head fits. free_ + sum(running procs) == machine size >=
+  // head.procs, so the walk always succeeds.
+  std::vector<const RunningJob*> by_end;
+  by_end.reserve(running_.size());
+  for (const auto& [id, rj] : running_) by_end.push_back(&rj);
+  std::sort(by_end.begin(), by_end.end(),
+            [](const RunningJob* a, const RunningJob* b) {
+              if (a->est_end != b->est_end) return a->est_end < b->est_end;
+              return a->job.id < b->job.id;
+            });
+  int available = free_;
+  for (std::size_t i = 0; i < by_end.size(); ++i) {
+    available += by_end[i]->job.procs;
+    if (available < head.procs) continue;
+    const Time shadow = by_end[i]->est_end;
+    // Include every other job ending at the same instant: they all free
+    // their processors at the shadow time, so they all count toward the
+    // extra processors available to backfilled jobs.
+    for (std::size_t j = i + 1;
+         j < by_end.size() && by_end[j]->est_end == shadow; ++j)
+      available += by_end[j]->job.procs;
+    return Shadow{std::max(shadow, now), available - head.procs};
+  }
+  throw std::logic_error("EasyScheduler: shadow walk failed (accounting bug)");
+}
+
+std::vector<Job> EasyScheduler::select_starts(Time now) {
+  std::vector<Job> started;
+  last_shadow_ = sim::kNoTime;
+  for (;;) {
+    sort_queue(now);
+    if (queue_.empty()) return started;
+    // Start the head (and re-enter: the next head may now fit too).
+    if (queue_.front().procs <= free_) {
+      started.push_back(commit_start(queue_.front().id, now));
+      continue;
+    }
+    // Head blocked: pin its reservation, then run one backfill pass.
+    const Job head = queue_.front();
+    const Shadow shadow = compute_shadow(head, now);
+    last_shadow_ = shadow.time;
+    int extra = shadow.extra;
+    std::size_t i = 1;
+    while (i < queue_.size()) {
+      const Job& job = queue_[i];
+      if (job.procs <= free_) {
+        const bool ends_by_shadow = now + job.estimate <= shadow.time;
+        const bool within_extra = job.procs <= extra;
+        if (ends_by_shadow || within_extra) {
+          if (!ends_by_shadow) extra -= job.procs;
+          started.push_back(commit_start(job.id, now));
+          continue;  // queue_[i] now refers to the next job
+        }
+      }
+      ++i;
+    }
+    return started;
+  }
+}
+
+std::string EasyScheduler::name() const {
+  return "easy-" + to_string(config_.priority);
+}
+
+}  // namespace bfsim::core

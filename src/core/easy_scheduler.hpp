@@ -1,0 +1,44 @@
+// bfsim -- aggressive (EASY) backfilling.
+//
+// Only the job at the head of the priority queue holds a reservation
+// (Lifka 1995; Skovira et al. 1996). When the head does not fit, its
+// start is pinned at the *shadow time* -- the earliest moment enough
+// running jobs will have reached their estimated completions -- and any
+// later queued job may leap forward provided it does not delay that one
+// reservation: it either finishes by the shadow time or fits into the
+// processors left over once the head starts.
+//
+// The single blocking reservation is what lets Long-Narrow jobs backfill
+// easily (the paper's Fig. 2) and what lets non-head wide jobs be delayed
+// arbitrarily (the paper's worst-case turnaround Tables 4/7).
+#pragma once
+
+#include "core/scheduler.hpp"
+
+namespace bfsim::core {
+
+class EasyScheduler final : public SchedulerBase {
+ public:
+  explicit EasyScheduler(SchedulerConfig config);
+
+  void job_submitted(const Job& job, Time now) override;
+  void job_finished(JobId id, Time now) override;
+  [[nodiscard]] std::vector<Job> select_starts(Time now) override;
+  [[nodiscard]] std::string name() const override;
+
+  /// The head job's computed reservation during the last pass (for tests;
+  /// kNoTime when the head started or the queue was empty).
+  [[nodiscard]] Time last_shadow_time() const { return last_shadow_; }
+
+ private:
+  Time last_shadow_ = sim::kNoTime;
+
+  /// Shadow time + extra processors for the current head job.
+  struct Shadow {
+    Time time;
+    int extra;
+  };
+  [[nodiscard]] Shadow compute_shadow(const Job& head, Time now) const;
+};
+
+}  // namespace bfsim::core

@@ -1,0 +1,32 @@
+#include "core/fcfs_scheduler.hpp"
+
+#include <stdexcept>
+
+namespace bfsim::core {
+
+FcfsScheduler::FcfsScheduler(SchedulerConfig config)
+    : SchedulerBase(config) {}
+
+void FcfsScheduler::job_submitted(const Job& job, Time) {
+  if (job.procs > config_.procs)
+    throw std::invalid_argument("job " + std::to_string(job.id) +
+                                " wider than the machine");
+  queue_.push_back(job);
+}
+
+void FcfsScheduler::job_finished(JobId id, Time) { commit_finish(id); }
+
+std::vector<Job> FcfsScheduler::select_starts(Time now) {
+  sort_queue(now);
+  std::vector<Job> started;
+  // Strict queue order: stop at the first job that does not fit.
+  while (!queue_.empty() && queue_.front().procs <= free_)
+    started.push_back(commit_start(queue_.front().id, now));
+  return started;
+}
+
+std::string FcfsScheduler::name() const {
+  return "nobackfill-" + to_string(config_.priority);
+}
+
+}  // namespace bfsim::core

@@ -1,0 +1,24 @@
+// bfsim -- priority-order scheduling without backfilling.
+//
+// The paper's baseline: jobs start strictly in queue (priority) order;
+// the head of the queue blocks everything behind it until enough
+// processors free up. With the FCFS priority policy this is the classic
+// First-Come First-Served scheduler whose poor utilization motivated
+// backfilling in the first place.
+#pragma once
+
+#include "core/scheduler.hpp"
+
+namespace bfsim::core {
+
+class FcfsScheduler final : public SchedulerBase {
+ public:
+  explicit FcfsScheduler(SchedulerConfig config);
+
+  void job_submitted(const Job& job, Time now) override;
+  void job_finished(JobId id, Time now) override;
+  [[nodiscard]] std::vector<Job> select_starts(Time now) override;
+  [[nodiscard]] std::string name() const override;
+};
+
+}  // namespace bfsim::core

@@ -1,0 +1,104 @@
+#include "core/gantt.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "core/validator.hpp"
+#include "util/format.hpp"
+
+namespace bfsim::core {
+
+std::string ascii_gantt(const std::vector<JobOutcome>& outcomes, int procs,
+                        std::size_t width) {
+  Time makespan = 0;
+  for (const JobOutcome& o : outcomes)
+    if (o.start != sim::kNoTime) makespan = std::max(makespan, o.end);
+  if (makespan == 0 || procs <= 0) return "(empty schedule)\n";
+
+  const auto rows = static_cast<std::size_t>(procs);
+  std::vector<std::string> grid(rows, std::string(width, '.'));
+  std::vector<Time> row_free(rows, 0);  // time each display row frees up
+
+  std::vector<const JobOutcome*> by_start;
+  by_start.reserve(outcomes.size());
+  for (const JobOutcome& o : outcomes)
+    if (o.start != sim::kNoTime) by_start.push_back(&o);
+  std::sort(by_start.begin(), by_start.end(),
+            [](const JobOutcome* a, const JobOutcome* b) {
+              if (a->start != b->start) return a->start < b->start;
+              return a->job.id < b->job.id;
+            });
+
+  const auto col_of = [&](Time t) {
+    return std::min(width - 1,
+                    static_cast<std::size_t>(
+                        static_cast<double>(t) / static_cast<double>(makespan) *
+                        static_cast<double>(width)));
+  };
+
+  for (const JobOutcome* o : by_start) {
+    const char letter = static_cast<char>('A' + o->job.id % 26);
+    const std::size_t c0 = col_of(o->start);
+    const std::size_t c1 = std::max(c0 + 1, col_of(o->end));
+    int needed = o->job.procs;
+    for (std::size_t r = 0; r < rows && needed > 0; ++r) {
+      if (row_free[r] > o->start) continue;
+      row_free[r] = o->end;
+      for (std::size_t c = c0; c < c1 && c < width; ++c) grid[r][c] = letter;
+      --needed;
+    }
+    // needed > 0 means the schedule was invalid; the validator reports
+    // that separately -- the drawing stays best-effort.
+  }
+
+  std::ostringstream out;
+  out << "time 0 .. " << util::format_duration(makespan) << " ("
+      << width << " cols)\n";
+  for (std::size_t r = 0; r < rows; ++r)
+    out << util::pad_left(std::to_string(r), 4) << " |" << grid[r] << "|\n";
+  return out.str();
+}
+
+std::string ascii_utilization(const std::vector<JobOutcome>& outcomes,
+                              int procs, std::size_t buckets,
+                              std::size_t width) {
+  Time makespan = 0;
+  for (const JobOutcome& o : outcomes)
+    if (o.start != sim::kNoTime) makespan = std::max(makespan, o.end);
+  if (makespan == 0 || procs <= 0 || buckets == 0)
+    return "(empty schedule)\n";
+
+  // Busy processor-seconds per bucket.
+  std::vector<double> busy(buckets, 0.0);
+  const double bucket_len =
+      static_cast<double>(makespan) / static_cast<double>(buckets);
+  for (const JobOutcome& o : outcomes) {
+    if (o.start == sim::kNoTime) continue;
+    for (std::size_t b = 0; b < buckets; ++b) {
+      const double b0 = bucket_len * static_cast<double>(b);
+      const double b1 = b0 + bucket_len;
+      const double overlap = std::min<double>(static_cast<double>(o.end), b1) -
+                             std::max<double>(static_cast<double>(o.start), b0);
+      if (overlap > 0) busy[b] += overlap * o.job.procs;
+    }
+  }
+
+  std::ostringstream out;
+  for (std::size_t b = 0; b < buckets; ++b) {
+    const double frac =
+        busy[b] / (bucket_len * static_cast<double>(procs));
+    const auto bar = static_cast<std::size_t>(
+        std::clamp(frac, 0.0, 1.0) * static_cast<double>(width));
+    out << util::pad_left(
+               util::format_duration(static_cast<Time>(bucket_len *
+                                                       static_cast<double>(b))),
+               12)
+        << " |" << std::string(bar, '#') << std::string(width - bar, ' ')
+        << "| " << util::format_percent(frac, 1) << '\n';
+  }
+  out << "mean utilization: "
+      << util::format_percent(utilization(outcomes, procs), 2) << '\n';
+  return out.str();
+}
+
+}  // namespace bfsim::core

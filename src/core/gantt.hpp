@@ -1,0 +1,30 @@
+// bfsim -- ASCII visualization of schedules.
+//
+// The paper reasons about scheduling as rectangles in a processors x time
+// chart; these renderers draw that chart for small examples and print
+// utilization timelines for large runs, which makes backfilling behaviour
+// directly visible in the example programs.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace bfsim::core {
+
+/// Render the 2D chart: one row per processor, one column per time
+/// bucket, each job drawn as a block of its id-letter ('A' + id % 26).
+/// Intended for machines with <= ~64 processors and short horizons; rows
+/// are assigned greedily (the simulator allocates counts, not nodes).
+[[nodiscard]] std::string ascii_gantt(const std::vector<JobOutcome>& outcomes,
+                                      int procs, std::size_t width = 72);
+
+/// Render machine utilization over time as a bar per bucket
+/// ("|#####     | 52%"-style), plus a mean-utilization footer.
+[[nodiscard]] std::string ascii_utilization(
+    const std::vector<JobOutcome>& outcomes, int procs,
+    std::size_t buckets = 24, std::size_t width = 50);
+
+}  // namespace bfsim::core

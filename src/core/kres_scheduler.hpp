@@ -1,0 +1,35 @@
+// bfsim -- reservation-depth backfilling (extension).
+//
+// A Maui-style generalization that spans the paper's two schemes: the top
+// K jobs of the priority queue hold reservations; everything behind them
+// may backfill as long as it does not disturb those K guarantees.
+//   K = 0  -> pure no-guarantee backfilling (greedy first-fit by priority)
+//   K = 1  -> EASY / aggressive backfilling
+//   K large-> conservative-like (every queued job protected)
+// Unlike true conservative backfilling the reservation set is recomputed
+// from the current priority order at every scheduling event, so under
+// time-varying priorities (XFactor) a guarantee holder can change; the
+// ablation bench uses this to show how worst-case turnaround shrinks and
+// mean slowdown grows as K increases (the paper's Section 6 discussion).
+#pragma once
+
+#include "core/scheduler.hpp"
+
+namespace bfsim::core {
+
+class KReservationScheduler final : public SchedulerBase {
+ public:
+  KReservationScheduler(SchedulerConfig config, int depth);
+
+  void job_submitted(const Job& job, Time now) override;
+  void job_finished(JobId id, Time now) override;
+  [[nodiscard]] std::vector<Job> select_starts(Time now) override;
+  [[nodiscard]] std::string name() const override;
+
+  [[nodiscard]] int depth() const { return depth_; }
+
+ private:
+  int depth_;
+};
+
+}  // namespace bfsim::core

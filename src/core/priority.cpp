@@ -1,0 +1,71 @@
+#include "core/priority.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace bfsim::core {
+
+std::string to_string(PriorityPolicy policy) {
+  switch (policy) {
+    case PriorityPolicy::Fcfs: return "fcfs";
+    case PriorityPolicy::Sjf: return "sjf";
+    case PriorityPolicy::XFactor: return "xfactor";
+    case PriorityPolicy::Ljf: return "ljf";
+    case PriorityPolicy::Narrowest: return "narrowest";
+    case PriorityPolicy::Widest: return "widest";
+  }
+  return "?";
+}
+
+PriorityPolicy priority_from_string(const std::string& name) {
+  if (name == "fcfs") return PriorityPolicy::Fcfs;
+  if (name == "sjf") return PriorityPolicy::Sjf;
+  if (name == "xfactor" || name == "xf") return PriorityPolicy::XFactor;
+  if (name == "ljf") return PriorityPolicy::Ljf;
+  if (name == "narrowest") return PriorityPolicy::Narrowest;
+  if (name == "widest") return PriorityPolicy::Widest;
+  throw std::invalid_argument("unknown priority policy '" + name + "'");
+}
+
+double xfactor(const Job& job, Time now) {
+  const auto est = static_cast<double>(std::max<Time>(job.estimate, 1));
+  const auto wait = static_cast<double>(now - job.submit);
+  return (wait + est) / est;
+}
+
+bool PriorityOrder::operator()(const Job& a, const Job& b) const {
+  const auto arrival_order = [](const Job& x, const Job& y) {
+    if (x.submit != y.submit) return x.submit < y.submit;
+    return x.id < y.id;
+  };
+  switch (policy_) {
+    case PriorityPolicy::Fcfs:
+      break;  // pure arrival order
+    case PriorityPolicy::Sjf:
+      if (a.estimate != b.estimate) return a.estimate < b.estimate;
+      break;
+    case PriorityPolicy::Ljf:
+      if (a.estimate != b.estimate) return a.estimate > b.estimate;
+      break;
+    case PriorityPolicy::XFactor: {
+      const double xa = xfactor(a, now_);
+      const double xb = xfactor(b, now_);
+      if (xa != xb) return xa > xb;
+      break;
+    }
+    case PriorityPolicy::Narrowest:
+      if (a.procs != b.procs) return a.procs < b.procs;
+      break;
+    case PriorityPolicy::Widest:
+      if (a.procs != b.procs) return a.procs > b.procs;
+      break;
+  }
+  return arrival_order(a, b);
+}
+
+void sort_by_priority(std::vector<Job>& queue, PriorityPolicy policy,
+                      Time now) {
+  std::stable_sort(queue.begin(), queue.end(), PriorityOrder{policy, now});
+}
+
+}  // namespace bfsim::core

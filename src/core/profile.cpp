@@ -1,0 +1,150 @@
+#include "core/profile.hpp"
+
+#include <limits>
+#include <stdexcept>
+#include <string>
+
+namespace bfsim::core {
+
+namespace {
+constexpr sim::Time kFar = std::numeric_limits<sim::Time>::max();
+}
+
+Profile::Profile(int total_procs) : total_(total_procs) {
+  if (total_procs < 1)
+    throw std::invalid_argument("Profile: total_procs must be >= 1");
+  points_[0] = total_;
+}
+
+int Profile::free_at(sim::Time t) const {
+  if (t < 0) throw std::invalid_argument("Profile::free_at: negative time");
+  auto it = points_.upper_bound(t);
+  --it;  // key 0 always exists, so it is valid
+  return it->second;
+}
+
+bool Profile::fits(int procs, sim::Time begin, sim::Time end) const {
+  if (begin >= end) return true;
+  auto it = points_.upper_bound(begin);
+  --it;
+  for (; it != points_.end() && it->first < end; ++it)
+    if (it->second < procs) return false;
+  return true;
+}
+
+sim::Time Profile::earliest_anchor(int procs, sim::Time duration,
+                                   sim::Time not_before) const {
+  if (procs < 1 || procs > total_)
+    throw std::invalid_argument("Profile::earliest_anchor: bad procs " +
+                                std::to_string(procs) + " of " +
+                                std::to_string(total_));
+  if (duration < 1)
+    throw std::invalid_argument("Profile::earliest_anchor: bad duration");
+  if (not_before < 0) not_before = 0;
+
+  auto it = points_.upper_bound(not_before);
+  --it;
+  sim::Time candidate = not_before;
+  for (;;) {
+    // `it` is the segment containing `candidate`. Scan forward checking
+    // that every segment overlapping [candidate, candidate + duration)
+    // has enough free processors.
+    auto scan = it;
+    bool ok = true;
+    while (true) {
+      if (scan->second < procs) {
+        ok = false;
+        break;
+      }
+      auto next = std::next(scan);
+      const sim::Time seg_end = next == points_.end() ? kFar : next->first;
+      if (seg_end >= candidate + duration) break;  // window fully covered
+      scan = next;
+    }
+    if (ok) return candidate;
+    // Blocked inside segment `scan`; resume at the next segment with
+    // enough capacity. The last segment always has free == total_ >=
+    // procs, so this terminates.
+    do {
+      ++scan;
+    } while (scan->second < procs);
+    candidate = scan->first;
+    it = scan;
+  }
+}
+
+std::map<sim::Time, int>::iterator Profile::ensure_point(sim::Time t) {
+  auto it = points_.lower_bound(t);
+  if (it != points_.end() && it->first == t) return it;
+  // Value of the containing segment (the predecessor's value).
+  const int value = std::prev(it)->second;
+  return points_.emplace_hint(it, t, value);
+}
+
+void Profile::apply(sim::Time begin, sim::Time end, int delta) {
+  if (begin < 0)
+    throw std::invalid_argument("Profile: negative interval start");
+  if (begin >= end) return;
+  const auto first = ensure_point(begin);
+  ensure_point(end);
+  for (auto it = first; it->first < end; ++it) {
+    const int updated = it->second + delta;
+    if (updated < 0)
+      throw std::logic_error("Profile: over-reservation at t=" +
+                             std::to_string(it->first));
+    if (updated > total_)
+      throw std::logic_error("Profile: double release at t=" +
+                             std::to_string(it->first));
+    it->second = updated;
+  }
+  coalesce_around(begin, end);
+}
+
+void Profile::reserve(sim::Time begin, sim::Time end, int procs) {
+  if (procs < 0) throw std::invalid_argument("Profile::reserve: procs < 0");
+  apply(begin, end, -procs);
+}
+
+void Profile::release(sim::Time begin, sim::Time end, int procs) {
+  if (procs < 0) throw std::invalid_argument("Profile::release: procs < 0");
+  apply(begin, end, procs);
+}
+
+void Profile::coalesce_around(sim::Time begin, sim::Time end) {
+  auto it = points_.upper_bound(begin);
+  if (it != points_.begin()) --it;
+  if (it != points_.begin()) --it;  // include the segment before `begin`
+  while (it != points_.end() && it->first <= end) {
+    auto next = std::next(it);
+    if (next == points_.end()) break;
+    if (next->second == it->second) {
+      points_.erase(next);
+    } else {
+      ++it;
+    }
+  }
+}
+
+std::vector<Profile::Segment> Profile::segments() const {
+  std::vector<Segment> out;
+  out.reserve(points_.size());
+  for (const auto& [time, free] : points_) {
+    if (!out.empty() && out.back().free == free) continue;
+    out.push_back(Segment{time, free});
+  }
+  return out;
+}
+
+void Profile::check_invariants() const {
+  if (points_.empty() || points_.begin()->first != 0)
+    throw std::logic_error("Profile: missing origin breakpoint");
+  for (const auto& [time, free] : points_) {
+    if (free < 0 || free > total_)
+      throw std::logic_error("Profile: free out of range at t=" +
+                             std::to_string(time));
+  }
+  if (points_.rbegin()->second != total_)
+    throw std::logic_error("Profile: tail segment is not fully free");
+}
+
+}  // namespace bfsim::core

@@ -1,0 +1,83 @@
+// bfsim -- the availability profile: free processors as a function of
+// future time.
+//
+// Backfilling views the schedule as a 2D chart (processors x time). The
+// profile is the chart's skyline: a piecewise-constant map from time to
+// the number of free processors, accounting for running jobs (until their
+// *estimated* completion) and for queued-job reservations. Every
+// scheduler in core/ is built on three operations:
+//
+//   earliest_anchor  -- first time a (procs x duration) rectangle fits
+//   reserve          -- subtract a rectangle
+//   release          -- add a rectangle back (early completion, re-anchor)
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace bfsim::core {
+
+/// Piecewise-constant free-processor timeline over [0, +inf).
+///
+/// Invariants (checked in debug builds, enforced by exceptions on
+/// reserve/release): 0 <= free(t) <= total() for all t, and free(t) ==
+/// total() beyond the last reservation end.
+class Profile {
+ public:
+  /// A maximal constant piece of the timeline: `free` processors from
+  /// `begin` until the next segment (the last segment extends forever).
+  struct Segment {
+    sim::Time begin;
+    int free;
+    friend bool operator==(const Segment&, const Segment&) = default;
+  };
+
+  explicit Profile(int total_procs);
+
+  [[nodiscard]] int total() const { return total_; }
+
+  /// Free processors at time t (t >= 0).
+  [[nodiscard]] int free_at(sim::Time t) const;
+
+  /// Earliest time s >= not_before such that free(u) >= procs for all
+  /// u in [s, s + duration). Requires 1 <= procs <= total() and
+  /// duration >= 1. Always exists (the far future is fully free).
+  [[nodiscard]] sim::Time earliest_anchor(int procs, sim::Time duration,
+                                          sim::Time not_before) const;
+
+  /// True when `procs` processors are free throughout [begin, end).
+  [[nodiscard]] bool fits(int procs, sim::Time begin, sim::Time end) const;
+
+  /// Subtract `procs` over [begin, end). Throws std::logic_error if this
+  /// would drive any segment negative (an over-reservation bug).
+  void reserve(sim::Time begin, sim::Time end, int procs);
+
+  /// Add `procs` back over [begin, end). Throws std::logic_error if this
+  /// would exceed total() anywhere (a double-release bug).
+  void release(sim::Time begin, sim::Time end, int procs);
+
+  /// The full piecewise timeline, coalesced, for inspection and tests.
+  [[nodiscard]] std::vector<Segment> segments() const;
+
+  /// Number of internal breakpoints (a size/performance proxy for tests).
+  [[nodiscard]] std::size_t breakpoints() const { return points_.size(); }
+
+  /// Throws std::logic_error if any internal invariant is broken.
+  void check_invariants() const;
+
+ private:
+  int total_;
+  /// time -> free processors on [time, next key). Always contains key 0;
+  /// the last segment's value is total_ by construction.
+  std::map<sim::Time, int> points_;
+
+  /// Ensure a breakpoint exists exactly at t; returns its iterator.
+  std::map<sim::Time, int>::iterator ensure_point(sim::Time t);
+  /// Merge equal-valued neighbors around [begin, end] to bound map growth.
+  void coalesce_around(sim::Time begin, sim::Time end);
+  void apply(sim::Time begin, sim::Time end, int delta);
+};
+
+}  // namespace bfsim::core

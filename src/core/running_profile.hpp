@@ -1,0 +1,22 @@
+// bfsim -- helper shared by the rebuild-style schedulers.
+#pragma once
+
+#include <unordered_map>
+
+#include "core/profile.hpp"
+#include "core/types.hpp"
+
+namespace bfsim::core {
+
+/// Build an availability profile at time `now` containing only the
+/// currently running jobs, each occupying [now, est_end).
+[[nodiscard]] inline Profile profile_from_running(
+    int total_procs, Time now,
+    const std::unordered_map<JobId, RunningJob>& running) {
+  Profile profile{total_procs};
+  for (const auto& [id, rj] : running)
+    if (rj.est_end > now) profile.reserve(now, rj.est_end, rj.job.procs);
+  return profile;
+}
+
+}  // namespace bfsim::core

@@ -1,0 +1,116 @@
+#include "core/scheduler.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "core/conservative_scheduler.hpp"
+#include "core/easy_scheduler.hpp"
+#include "core/fcfs_scheduler.hpp"
+#include "core/kres_scheduler.hpp"
+#include "core/selective_scheduler.hpp"
+#include "core/slack_scheduler.hpp"
+
+namespace bfsim::core {
+
+SchedulerBase::SchedulerBase(SchedulerConfig config)
+    : config_(config), free_(config.procs) {
+  if (config_.procs < 1)
+    throw std::invalid_argument("Scheduler: machine must have >= 1 proc");
+}
+
+void Scheduler::job_cancelled(JobId, Time) {
+  throw std::logic_error(
+      "Scheduler: cancellation not supported by this implementation");
+}
+
+void SchedulerBase::job_cancelled(JobId id, Time) {
+  const std::size_t idx = queue_index(id);
+  if (idx == queue_.size())
+    throw std::logic_error(
+        "Scheduler: cancelling a job that is not queued");
+  queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(idx));
+}
+
+Job SchedulerBase::commit_start(JobId id, Time now) {
+  const std::size_t idx = queue_index(id);
+  if (idx == queue_.size())
+    throw std::logic_error("Scheduler: starting a job that is not queued");
+  const Job job = queue_[idx];
+  if (job.procs > free_)
+    throw std::logic_error("Scheduler: start exceeds free processors");
+  queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(idx));
+  free_ -= job.procs;
+  running_.emplace(id, RunningJob{job, now, now + job.estimate});
+  return job;
+}
+
+RunningJob SchedulerBase::commit_finish(JobId id) {
+  const auto it = running_.find(id);
+  if (it == running_.end())
+    throw std::logic_error("Scheduler: finish for a job that is not running");
+  RunningJob rj = it->second;
+  running_.erase(it);
+  free_ += rj.job.procs;
+  return rj;
+}
+
+void SchedulerBase::sort_queue(Time now) {
+  sort_by_priority(queue_, config_.priority, now);
+}
+
+std::size_t SchedulerBase::queue_index(JobId id) const {
+  for (std::size_t i = 0; i < queue_.size(); ++i)
+    if (queue_[i].id == id) return i;
+  return queue_.size();
+}
+
+std::string to_string(SchedulerKind kind) {
+  switch (kind) {
+    case SchedulerKind::Fcfs: return "nobackfill";
+    case SchedulerKind::Easy: return "easy";
+    case SchedulerKind::Conservative: return "conservative";
+    case SchedulerKind::KReservation: return "kreservation";
+    case SchedulerKind::Selective: return "selective";
+    case SchedulerKind::Slack: return "slack";
+  }
+  return "?";
+}
+
+SchedulerKind scheduler_kind_from_string(const std::string& name) {
+  if (name == "nobackfill" || name == "fcfs") return SchedulerKind::Fcfs;
+  if (name == "easy" || name == "aggressive") return SchedulerKind::Easy;
+  if (name == "conservative" || name == "cons")
+    return SchedulerKind::Conservative;
+  if (name == "kreservation" || name == "kres")
+    return SchedulerKind::KReservation;
+  if (name == "selective") return SchedulerKind::Selective;
+  if (name == "slack") return SchedulerKind::Slack;
+  throw std::invalid_argument("unknown scheduler kind '" + name + "'");
+}
+
+std::unique_ptr<Scheduler> make_scheduler(SchedulerKind kind,
+                                          const SchedulerConfig& config,
+                                          const SchedulerExtras& extras) {
+  switch (kind) {
+    case SchedulerKind::Fcfs:
+      return std::make_unique<FcfsScheduler>(config);
+    case SchedulerKind::Easy:
+      return std::make_unique<EasyScheduler>(config);
+    case SchedulerKind::Conservative:
+      return std::make_unique<ConservativeScheduler>(config);
+    case SchedulerKind::KReservation:
+      return std::make_unique<KReservationScheduler>(config,
+                                                     extras.reservation_depth);
+    case SchedulerKind::Selective:
+      return std::make_unique<SelectiveScheduler>(
+          config, extras.xfactor_threshold,
+          extras.selective_adaptive
+              ? SelectiveScheduler::Mode::AdaptiveMeanSlowdown
+              : SelectiveScheduler::Mode::FixedThreshold);
+    case SchedulerKind::Slack:
+      return std::make_unique<SlackScheduler>(config, extras.slack_factor);
+  }
+  throw std::invalid_argument("make_scheduler: bad kind");
+}
+
+}  // namespace bfsim::core

@@ -1,0 +1,130 @@
+// bfsim -- the online scheduler interface and common base.
+//
+// A Scheduler is an online algorithm: it sees job arrivals and
+// completions as they happen and decides which queued jobs start *now*.
+// It only ever sees user estimates -- the simulation driver owns the true
+// runtimes and generates the completion events.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/priority.hpp"
+#include "core/types.hpp"
+
+namespace bfsim::core {
+
+/// Configuration shared by all schedulers.
+struct SchedulerConfig {
+  int procs = 128;                                ///< machine size
+  PriorityPolicy priority = PriorityPolicy::Fcfs; ///< queue order
+};
+
+/// Online scheduling algorithm interface.
+///
+/// Contract (enforced by the simulation driver and the validator):
+///  * job_submitted / job_finished are called in event-time order;
+///    completions at a given instant are delivered before arrivals.
+///  * select_starts(now) is called after each batch of same-time events;
+///    the scheduler commits the returned jobs internally (queue ->
+///    running) and must never start more processors than are free.
+///  * job_finished(id) is called exactly once per started job, at its
+///    true end time (<= start + estimate; jobs die at their limit).
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  virtual void job_submitted(const Job& job, Time now) = 0;
+  virtual void job_finished(JobId id, Time now) = 0;
+
+  /// The user withdraws a *queued* job (never called once it started).
+  /// The base implementation removes it from the wait queue; schedulers
+  /// holding reservations release them (freed future capacity may let
+  /// other jobs move up).
+  virtual void job_cancelled(JobId id, Time now);
+
+  /// Decide and commit the set of jobs that begin execution at `now`.
+  [[nodiscard]] virtual std::vector<Job> select_starts(Time now) = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  [[nodiscard]] virtual const SchedulerConfig& config() const = 0;
+
+  /// Jobs currently waiting (diagnostics; order unspecified).
+  [[nodiscard]] virtual std::size_t queued_count() const = 0;
+  [[nodiscard]] virtual std::size_t running_count() const = 0;
+};
+
+/// Shared bookkeeping: the waiting queue, the running set, and the free
+/// processor count. Subclasses implement the policy in select_starts and
+/// the reservation maintenance in the event hooks.
+class SchedulerBase : public Scheduler {
+ public:
+  explicit SchedulerBase(SchedulerConfig config);
+
+  void job_cancelled(JobId id, Time now) override;
+
+  [[nodiscard]] const SchedulerConfig& config() const override {
+    return config_;
+  }
+  [[nodiscard]] std::size_t queued_count() const override {
+    return queue_.size();
+  }
+  [[nodiscard]] std::size_t running_count() const override {
+    return running_.size();
+  }
+
+ protected:
+  SchedulerConfig config_;
+  std::vector<Job> queue_;                        ///< waiting jobs
+  std::unordered_map<JobId, RunningJob> running_; ///< started jobs
+  int free_ = 0;                                  ///< processors free now
+
+  /// Move `job` (which must be in queue_) to running_ at `now`; updates
+  /// free_ and returns the job. Throws std::logic_error on under-capacity.
+  Job commit_start(JobId id, Time now);
+
+  /// Remove a finished job from running_ and return processors. Throws
+  /// std::logic_error if the id is not running.
+  RunningJob commit_finish(JobId id);
+
+  /// Sort queue_ by the configured policy at time `now`.
+  void sort_queue(Time now);
+
+  /// Index of `id` within queue_, or queue_.size() if absent.
+  [[nodiscard]] std::size_t queue_index(JobId id) const;
+};
+
+/// The scheduling strategies available from the factory.
+enum class SchedulerKind : int {
+  Fcfs = 0,          ///< priority order, no backfilling (baseline)
+  Easy = 1,          ///< aggressive backfilling: one reservation (EASY)
+  Conservative = 2,  ///< reservation for every queued job
+  KReservation = 3,  ///< Maui-style reservation depth K     [extension]
+  Selective = 4,     ///< reservation once slowdown > threshold (paper §6)
+  Slack = 5,         ///< slack-bounded displacement (Talby-Feitelson) [ext]
+};
+
+[[nodiscard]] std::string to_string(SchedulerKind kind);
+[[nodiscard]] SchedulerKind scheduler_kind_from_string(const std::string&);
+
+/// Extra knobs for the extension schedulers.
+struct SchedulerExtras {
+  int reservation_depth = 4;        ///< KReservation: number of guarantees
+  double xfactor_threshold = 2.0;   ///< Selective: promote when exceeded
+  /// Selective: adapt the promotion bar to the running mean slowdown of
+  /// completed jobs (xfactor_threshold then acts as a floor).
+  bool selective_adaptive = false;
+  /// Slack: tolerated displacement per job, as a multiple of its own
+  /// estimate (0 = conservative-strength guarantees).
+  double slack_factor = 2.0;
+};
+
+/// Construct a scheduler by kind.
+[[nodiscard]] std::unique_ptr<Scheduler> make_scheduler(
+    SchedulerKind kind, const SchedulerConfig& config,
+    const SchedulerExtras& extras = {});
+
+}  // namespace bfsim::core

@@ -1,0 +1,98 @@
+#include "core/selective_scheduler.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+#include "core/running_profile.hpp"
+#include "util/format.hpp"
+
+namespace bfsim::core {
+
+namespace {
+/// Bounded-slowdown threshold (the paper's tau = 10 s).
+constexpr Time kSlowdownBound = 10;
+}  // namespace
+
+SelectiveScheduler::SelectiveScheduler(SchedulerConfig config,
+                                       double xfactor_threshold, Mode mode)
+    : SchedulerBase(config), threshold_(xfactor_threshold), mode_(mode) {
+  if (!(xfactor_threshold >= 1.0))
+    throw std::invalid_argument(
+        "SelectiveScheduler: threshold must be >= 1.0");
+}
+
+void SelectiveScheduler::job_submitted(const Job& job, Time) {
+  if (job.procs > config_.procs)
+    throw std::invalid_argument("job " + std::to_string(job.id) +
+                                " wider than the machine");
+  queue_.push_back(job);
+}
+
+void SelectiveScheduler::job_finished(JobId id, Time now) {
+  const RunningJob rj = commit_finish(id);
+  // Track the realized bounded slowdown of completed jobs: the adaptive
+  // promotion bar follows the service level actually delivered.
+  const auto bound =
+      static_cast<double>(std::max<Time>(now - rj.start, kSlowdownBound));
+  const auto wait = static_cast<double>(rj.start - rj.job.submit);
+  completed_slowdown_sum_ += (wait + bound) / bound;
+  ++completed_jobs_;
+}
+
+void SelectiveScheduler::job_cancelled(JobId id, Time now) {
+  SchedulerBase::job_cancelled(id, now);
+  promoted_.erase(id);  // rebuild-style: no persistent profile to patch
+}
+
+double SelectiveScheduler::effective_threshold() const {
+  if (mode_ == Mode::FixedThreshold || completed_jobs_ == 0)
+    return threshold_;
+  return std::max(threshold_, completed_slowdown_sum_ /
+                                  static_cast<double>(completed_jobs_));
+}
+
+std::vector<Job> SelectiveScheduler::select_starts(Time now) {
+  // Promotion is sticky: once a job's expected slowdown crosses the
+  // threshold it keeps its guarantee until it starts.
+  const double bar = effective_threshold();
+  for (const Job& job : queue_)
+    if (xfactor(job, now) >= bar) promoted_.insert(job.id);
+
+  sort_queue(now);
+  Profile profile = profile_from_running(config_.procs, now, running_);
+  std::vector<JobId> to_start;
+  // Pass 1 -- reserved jobs, in priority order: they either start now or
+  // anchor their guarantee ahead of everybody else.
+  for (const Job& job : queue_) {
+    if (!promoted_.contains(job.id)) continue;
+    const Time anchor = profile.earliest_anchor(job.procs, job.estimate, now);
+    profile.reserve(anchor, anchor + job.estimate, job.procs);
+    if (anchor == now) to_start.push_back(job.id);
+  }
+  // Pass 2 -- unprotected jobs backfill greedily around the guarantees.
+  for (const Job& job : queue_) {
+    if (promoted_.contains(job.id)) continue;
+    const Time anchor = profile.earliest_anchor(job.procs, job.estimate, now);
+    if (anchor == now) {
+      profile.reserve(now, now + job.estimate, job.procs);
+      to_start.push_back(job.id);
+    }
+  }
+  std::vector<Job> started;
+  started.reserve(to_start.size());
+  for (JobId id : to_start) {
+    promoted_.erase(id);
+    started.push_back(commit_start(id, now));
+  }
+  return started;
+}
+
+std::string SelectiveScheduler::name() const {
+  const std::string base =
+      mode_ == Mode::AdaptiveMeanSlowdown ? "selective-adaptive" : "selective";
+  return base + util::format_fixed(threshold_, 1) + "-" +
+         to_string(config_.priority);
+}
+
+}  // namespace bfsim::core

@@ -1,0 +1,70 @@
+// bfsim -- selective backfilling (the paper's Section 6 future work).
+//
+// "Instead of the non-selective nature of reservations with both
+// conservative and aggressive backfilling ... jobs do not get a
+// reservation until their expected slowdown exceeds some threshold,
+// whereupon they get a reservation."
+//
+// Jobs enter the system unprotected and may backfill greedily; once a
+// job's expansion factor (wait + estimate) / estimate crosses the
+// configured threshold it is promoted -- permanently -- into the reserved
+// set, and subsequent backfilling must respect its guarantee. With a
+// judicious threshold few jobs hold reservations at any moment, yet the
+// starving ones (typically wide jobs under EASY) get protected, curing
+// the worst-case turnaround blow-up without conservative's backfill
+// lockout. (Developed fully in Srinivasan et al., "Selective Reservation
+// Strategies for Backfill Job Scheduling", JSSPP 2002.)
+#pragma once
+
+#include <unordered_set>
+
+#include "core/scheduler.hpp"
+
+namespace bfsim::core {
+
+class SelectiveScheduler final : public SchedulerBase {
+ public:
+  /// How the promotion threshold is chosen.
+  enum class Mode {
+    /// Fixed expansion-factor threshold, given at construction.
+    FixedThreshold,
+    /// Adaptive (Srinivasan et al., JSSPP 2002): promote a job once its
+    /// expansion factor exceeds the running *average bounded slowdown*
+    /// of the jobs completed so far (never below the fixed threshold,
+    /// which acts as a floor). As service degrades the bar rises with
+    /// it, keeping the reserved set small under benign load and
+    /// protective under stress.
+    AdaptiveMeanSlowdown,
+  };
+
+  /// `xfactor_threshold` >= 1; lower values promote sooner (1.0 would
+  /// promote every job on arrival, approximating conservative).
+  SelectiveScheduler(SchedulerConfig config, double xfactor_threshold,
+                     Mode mode = Mode::FixedThreshold);
+
+  void job_submitted(const Job& job, Time now) override;
+  void job_finished(JobId id, Time now) override;
+  void job_cancelled(JobId id, Time now) override;
+  [[nodiscard]] std::vector<Job> select_starts(Time now) override;
+  [[nodiscard]] std::string name() const override;
+
+  [[nodiscard]] double threshold() const { return threshold_; }
+  [[nodiscard]] Mode mode() const { return mode_; }
+  [[nodiscard]] std::size_t promoted_count() const {
+    return promoted_.size();
+  }
+
+  /// The threshold in force right now (equals threshold() in fixed mode;
+  /// max(threshold, mean completed slowdown) in adaptive mode).
+  [[nodiscard]] double effective_threshold() const;
+
+ private:
+  double threshold_;
+  Mode mode_;
+  std::unordered_set<JobId> promoted_;  ///< queued jobs holding guarantees
+  // Adaptive mode: running mean of completed jobs' bounded slowdown.
+  double completed_slowdown_sum_ = 0.0;
+  std::size_t completed_jobs_ = 0;
+};
+
+}  // namespace bfsim::core

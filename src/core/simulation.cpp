@@ -1,0 +1,111 @@
+#include "core/simulation.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+#include "core/validator.hpp"
+#include "sim/event_queue.hpp"
+
+namespace bfsim::core {
+
+namespace {
+
+/// Completions sort before arrivals at the same instant, so a job
+/// arriving exactly when processors free up sees them available;
+/// cancellations apply last (a job submitted and withdrawn at the same
+/// instant is seen, then removed).
+enum EventClass : int { kFinish = 0, kSubmit = 1, kCancel = 2 };
+
+}  // namespace
+
+SimulationResult run_simulation(const Trace& trace, Scheduler& scheduler,
+                                const SimulationOptions& options) {
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    if (trace[i].id != i)
+      throw std::invalid_argument(
+          "run_simulation: trace ids must equal indices (call "
+          "workload::finalize)");
+    if (trace[i].runtime < 1 || trace[i].estimate < 1 || trace[i].procs < 1)
+      throw std::invalid_argument("run_simulation: malformed job " +
+                                  std::to_string(i));
+    if (trace[i].cancel_at != sim::kNoTime &&
+        trace[i].cancel_at < trace[i].submit)
+      throw std::invalid_argument(
+          "run_simulation: job cancelled before submission: " +
+          std::to_string(i));
+    if (i > 0 && trace[i].submit < trace[i - 1].submit)
+      throw std::invalid_argument(
+          "run_simulation: trace not sorted by submit time");
+  }
+
+  SimulationResult result;
+  result.scheduler_name = scheduler.name();
+  result.outcomes.resize(trace.size());
+  for (std::size_t i = 0; i < trace.size(); ++i)
+    result.outcomes[i].job = trace[i];
+
+  sim::EventQueue<JobId> events;
+  for (const Job& job : trace) {
+    events.push(job.submit, kSubmit, job.id);
+    if (job.cancel_at != sim::kNoTime)
+      events.push(job.cancel_at, kCancel, job.id);
+  }
+
+  while (!events.empty()) {
+    const Time now = events.top().time;
+    // Deliver the full batch of same-time events before scheduling.
+    while (!events.empty() && events.top().time == now) {
+      const auto event = events.pop();
+      ++result.events;
+      if (event.priority_class == kFinish) {
+        scheduler.job_finished(event.payload, now);
+      } else if (event.priority_class == kSubmit) {
+        scheduler.job_submitted(trace[event.payload], now);
+      } else {
+        JobOutcome& outcome = result.outcomes[event.payload];
+        if (outcome.start == sim::kNoTime) {  // still queued: withdraw
+          scheduler.job_cancelled(event.payload, now);
+          outcome.cancelled = true;
+        }
+      }
+    }
+    for (const Job& started : scheduler.select_starts(now)) {
+      JobOutcome& outcome = result.outcomes[started.id];
+      if (outcome.start != sim::kNoTime)
+        throw std::logic_error("run_simulation: job " +
+                               std::to_string(started.id) + " started twice");
+      const Time effective = std::min(started.runtime, started.estimate);
+      outcome.start = now;
+      outcome.end = now + effective;
+      outcome.killed = started.runtime > started.estimate;
+      result.makespan = std::max(result.makespan, outcome.end);
+      events.push(outcome.end, kFinish, started.id);
+    }
+    result.max_queue = std::max(result.max_queue, scheduler.queued_count());
+  }
+
+  for (const JobOutcome& outcome : result.outcomes)
+    if (outcome.start == sim::kNoTime && !outcome.cancelled)
+      throw std::logic_error("run_simulation: job " +
+                             std::to_string(outcome.job.id) + " never ran");
+
+  if (options.validate) {
+    const ValidationReport report =
+        validate_schedule(trace, result.outcomes, scheduler.config().procs);
+    if (!report.ok())
+      throw std::logic_error("run_simulation: invalid schedule: " +
+                             report.violations.front());
+  }
+  return result;
+}
+
+SimulationResult run_simulation(const Trace& trace, SchedulerKind kind,
+                                const SchedulerConfig& config,
+                                const SchedulerExtras& extras,
+                                const SimulationOptions& options) {
+  const auto scheduler = make_scheduler(kind, config, extras);
+  return run_simulation(trace, *scheduler, options);
+}
+
+}  // namespace bfsim::core

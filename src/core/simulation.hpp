@@ -1,0 +1,47 @@
+// bfsim -- the trace-driven simulation loop.
+//
+// Replays a job trace through an online Scheduler: arrivals come from
+// the trace, completions from the jobs' *actual* runtimes (which the
+// scheduler never sees), and after every batch of same-time events the
+// scheduler picks the jobs that start. Jobs whose true runtime exceeds
+// the user estimate are killed at the estimate, as production schedulers
+// enforce wall-clock limits.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/scheduler.hpp"
+#include "core/types.hpp"
+
+namespace bfsim::core {
+
+struct SimulationOptions {
+  /// Run the schedule validator afterwards and throw std::logic_error on
+  /// any violation (used by tests; off in benches for speed).
+  bool validate = false;
+};
+
+struct SimulationResult {
+  /// Outcome per job, indexed by JobId (== trace index).
+  std::vector<JobOutcome> outcomes;
+  Time makespan = 0;             ///< time the last job completed
+  std::uint64_t events = 0;      ///< submit + finish events processed
+  std::size_t max_queue = 0;     ///< peak queue depth observed
+  std::string scheduler_name;
+};
+
+/// Replay `trace` (ids must equal indices; workload::finalize ensures
+/// this) through `scheduler`. Deterministic: the result is a pure
+/// function of the trace and the scheduler's policy.
+[[nodiscard]] SimulationResult run_simulation(
+    const Trace& trace, Scheduler& scheduler,
+    const SimulationOptions& options = {});
+
+/// Convenience overload: build the scheduler by kind, run, and return.
+[[nodiscard]] SimulationResult run_simulation(
+    const Trace& trace, SchedulerKind kind, const SchedulerConfig& config,
+    const SchedulerExtras& extras = {}, const SimulationOptions& options = {});
+
+}  // namespace bfsim::core

@@ -1,0 +1,146 @@
+#include "core/slack_scheduler.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+#include "core/running_profile.hpp"
+#include "util/format.hpp"
+
+namespace bfsim::core {
+
+SlackScheduler::SlackScheduler(SchedulerConfig config, double slack_factor)
+    : SchedulerBase(config),
+      slack_factor_(slack_factor),
+      profile_(config.procs) {
+  if (!(slack_factor >= 0.0))
+    throw std::invalid_argument("SlackScheduler: slack_factor must be >= 0");
+}
+
+void SlackScheduler::job_submitted(const Job& job, Time now) {
+  if (job.procs > config_.procs)
+    throw std::invalid_argument("job " + std::to_string(job.id) +
+                                " wider than the machine");
+  // The conservative guarantee anchors the deadline; the slack budget is
+  // proportional to the job's own estimated length.
+  const Time anchor = profile_.earliest_anchor(job.procs, job.estimate, now);
+  const auto slack = static_cast<Time>(
+      std::llround(slack_factor_ * static_cast<double>(job.estimate)));
+  deadlines_.emplace(job.id, anchor + slack);
+
+  if (anchor > now && try_displace(job, now)) return;
+
+  profile_.reserve(anchor, anchor + job.estimate, job.procs);
+  reservations_.emplace(job.id, anchor);
+  queue_.push_back(job);
+}
+
+bool SlackScheduler::try_displace(const Job& job, Time now) {
+  // Trial plan: the newcomer takes [now, now + estimate); everyone else
+  // re-anchors around it in earliest-deadline-first order. EDF places
+  // the tightest guarantees first, which maximizes the chance that all
+  // of them survive.
+  Profile trial = profile_from_running(config_.procs, now, running_);
+  if (!trial.fits(job.procs, now, now + job.estimate)) return false;
+  trial.reserve(now, now + job.estimate, job.procs);
+
+  std::vector<const Job*> order;
+  order.reserve(queue_.size());
+  for (const Job& queued : queue_) order.push_back(&queued);
+  std::sort(order.begin(), order.end(), [this](const Job* a, const Job* b) {
+    const Time da = deadlines_.at(a->id);
+    const Time db = deadlines_.at(b->id);
+    if (da != db) return da < db;
+    return a->id < b->id;
+  });
+
+  std::unordered_map<JobId, Time> new_starts;
+  new_starts.reserve(order.size());
+  for (const Job* queued : order) {
+    const Time anchor =
+        trial.earliest_anchor(queued->procs, queued->estimate, now);
+    if (anchor > deadlines_.at(queued->id)) return false;  // slack exhausted
+    trial.reserve(anchor, anchor + queued->estimate, queued->procs);
+    new_starts[queued->id] = anchor;
+  }
+
+  // Feasible: commit the trial plan.
+  profile_ = std::move(trial);
+  reservations_ = std::move(new_starts);
+  reservations_.emplace(job.id, now);
+  queue_.push_back(job);
+  ++displacements_;
+  return true;
+}
+
+void SlackScheduler::job_finished(JobId id, Time now) {
+  const RunningJob rj = commit_finish(id);
+  if (now < rj.est_end)
+    profile_.release(now, rj.est_end, rj.job.procs);
+  compress(now);
+}
+
+void SlackScheduler::job_cancelled(JobId id, Time now) {
+  Job job;
+  bool found = false;
+  for (const Job& queued : queue_)
+    if (queued.id == id) {
+      job = queued;
+      found = true;
+      break;
+    }
+  if (!found)
+    throw std::logic_error(
+        "SlackScheduler: cancelling a job that is not queued");
+  SchedulerBase::job_cancelled(id, now);
+  const Time start = reservations_.at(id);
+  profile_.release(start, start + job.estimate, job.procs);
+  reservations_.erase(id);
+  deadlines_.erase(id);
+  compress(now);
+}
+
+void SlackScheduler::compress(Time now) {
+  // Identical to conservative compression: each re-anchor can only move
+  // a reservation earlier, so deadlines trivially keep holding.
+  sort_queue(now);
+  for (const Job& job : queue_) {
+    const Time old_start = reservations_.at(job.id);
+    profile_.release(old_start, old_start + job.estimate, job.procs);
+    const Time anchor =
+        profile_.earliest_anchor(job.procs, job.estimate, now);
+    if (anchor > old_start)
+      throw std::logic_error(
+          "SlackScheduler: compression delayed a reservation (job " +
+          std::to_string(job.id) + ")");
+    profile_.reserve(anchor, anchor + job.estimate, job.procs);
+    reservations_.at(job.id) = anchor;
+  }
+}
+
+std::vector<Job> SlackScheduler::select_starts(Time now) {
+  sort_queue(now);
+  std::vector<JobId> due;
+  for (const Job& job : queue_) {
+    const Time start = reservations_.at(job.id);
+    if (start < now)
+      throw std::logic_error("SlackScheduler: reservation in the past");
+    if (start == now) due.push_back(job.id);
+  }
+  std::vector<Job> started;
+  started.reserve(due.size());
+  for (JobId id : due) {
+    reservations_.erase(id);
+    deadlines_.erase(id);
+    started.push_back(commit_start(id, now));
+  }
+  return started;
+}
+
+std::string SlackScheduler::name() const {
+  return "slack" + util::format_fixed(slack_factor_, 1) + "-" +
+         to_string(config_.priority);
+}
+
+}  // namespace bfsim::core

@@ -1,0 +1,75 @@
+// bfsim -- slack-based backfilling (extension).
+//
+// A tractable variant of Talby & Feitelson's slack-based backfilling
+// (IPPS 1999, the paper's citation [13]), which generalizes both of the
+// paper's schemes: every queued job holds a reservation *and* a slack
+// budget. A new arrival may start immediately even when that displaces
+// existing reservations, provided every displaced job still starts by
+//
+//     deadline = conservative guarantee at arrival + slack_factor x estimate.
+//
+// slack_factor = 0 collapses to conservative backfilling (no displacement
+// tolerated); a large slack_factor approaches aggressive backfilling
+// (anybody may be pushed) while still bounding starvation -- the knob
+// trades the paper's mean-slowdown / worst-case-turnaround axes.
+//
+// Guarantee discipline (provable, asserted in tests):
+//  * on arrival, a job's deadline is fixed from its conservative anchor;
+//  * displacement trials re-anchor the queue in earliest-deadline-first
+//    order and commit only if every job keeps start <= deadline;
+//  * completions trigger conservative compression, which only moves
+//    reservations earlier. Hence no job ever starts after its deadline.
+#pragma once
+
+#include <unordered_map>
+
+#include "core/profile.hpp"
+#include "core/scheduler.hpp"
+
+namespace bfsim::core {
+
+class SlackScheduler final : public SchedulerBase {
+ public:
+  /// `slack_factor` >= 0: each job tolerates being pushed back by at
+  /// most slack_factor x its own estimate past its arrival guarantee.
+  SlackScheduler(SchedulerConfig config, double slack_factor);
+
+  void job_submitted(const Job& job, Time now) override;
+  void job_finished(JobId id, Time now) override;
+  void job_cancelled(JobId id, Time now) override;
+  [[nodiscard]] std::vector<Job> select_starts(Time now) override;
+  [[nodiscard]] std::string name() const override;
+
+  [[nodiscard]] double slack_factor() const { return slack_factor_; }
+
+  /// Current guaranteed start of a queued job (<= its deadline).
+  [[nodiscard]] Time reservation_of(JobId id) const {
+    return reservations_.at(id);
+  }
+  /// Latest start this job can ever be pushed to.
+  [[nodiscard]] Time deadline_of(JobId id) const {
+    return deadlines_.at(id);
+  }
+  /// Number of arrivals that displaced existing reservations.
+  [[nodiscard]] std::uint64_t displacements() const {
+    return displacements_;
+  }
+
+ private:
+  double slack_factor_;
+  Profile profile_;
+  std::unordered_map<JobId, Time> reservations_;
+  std::unordered_map<JobId, Time> deadlines_;
+  std::uint64_t displacements_ = 0;
+
+  /// Conservative compression after a completion (priority order; starts
+  /// only move earlier).
+  void compress(Time now);
+
+  /// Try to start `job` at `now` by re-anchoring every queued job in
+  /// EDF order behind it. Commits and returns true when every deadline
+  /// survives; leaves state untouched otherwise.
+  bool try_displace(const Job& job, Time now);
+};
+
+}  // namespace bfsim::core

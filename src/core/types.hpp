@@ -1,0 +1,42 @@
+// bfsim -- shared types for the scheduling core.
+#pragma once
+
+#include <string>
+
+#include "sim/time.hpp"
+#include "workload/job.hpp"
+
+namespace bfsim::core {
+
+using sim::Time;
+using workload::Job;
+using workload::JobId;
+using workload::Trace;
+
+/// A job the simulator has started: when it began and when the scheduler
+/// must assume it ends (start + estimate -- the wall-clock kill limit).
+struct RunningJob {
+  Job job;
+  Time start = 0;
+  Time est_end = 0;
+};
+
+/// Final outcome of one job, produced by the simulation driver.
+struct JobOutcome {
+  Job job;
+  Time start = sim::kNoTime;
+  Time end = sim::kNoTime;
+  /// True when the actual runtime exceeded the estimate and the job was
+  /// killed at its wall-clock limit.
+  bool killed = false;
+  /// True when the job was withdrawn from the queue before it started
+  /// (start/end stay kNoTime).
+  bool cancelled = false;
+
+  [[nodiscard]] Time wait() const { return start - job.submit; }
+  [[nodiscard]] Time turnaround() const { return end - job.submit; }
+  /// Runtime the job actually got (= min(runtime, estimate)).
+  [[nodiscard]] Time effective_runtime() const { return end - start; }
+};
+
+}  // namespace bfsim::core

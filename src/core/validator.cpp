@@ -1,0 +1,105 @@
+#include "core/validator.hpp"
+
+#include <algorithm>
+#include <map>
+#include <string>
+
+namespace bfsim::core {
+
+namespace {
+
+std::string job_tag(JobId id) { return "job " + std::to_string(id); }
+
+/// Net processor change at each instant (+procs at start, -procs at end).
+std::map<Time, int> usage_deltas(const std::vector<JobOutcome>& outcomes) {
+  std::map<Time, int> deltas;
+  for (const JobOutcome& o : outcomes) {
+    if (o.start == sim::kNoTime || o.end <= o.start) continue;
+    deltas[o.start] += o.job.procs;
+    deltas[o.end] -= o.job.procs;
+  }
+  return deltas;
+}
+
+}  // namespace
+
+ValidationReport validate_schedule(const Trace& trace,
+                                   const std::vector<JobOutcome>& outcomes,
+                                   int procs) {
+  ValidationReport report;
+  auto fail = [&report](const std::string& message) {
+    report.violations.push_back(message);
+  };
+
+  if (trace.size() != outcomes.size()) {
+    fail("outcome count " + std::to_string(outcomes.size()) +
+         " != trace size " + std::to_string(trace.size()));
+    return report;
+  }
+
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    const Job& job = trace[i];
+    const JobOutcome& o = outcomes[i];
+    if (o.job.id != job.id) {
+      fail(job_tag(job.id) + ": outcome order mismatch");
+      continue;
+    }
+    if (o.cancelled) {
+      if (job.cancel_at == sim::kNoTime)
+        fail(job_tag(job.id) + ": cancelled without a cancellation time");
+      if (o.start != sim::kNoTime)
+        fail(job_tag(job.id) + ": cancelled yet started");
+      continue;
+    }
+    if (o.start == sim::kNoTime) {
+      fail(job_tag(job.id) + ": never started");
+      continue;
+    }
+    if (o.start < job.submit)
+      fail(job_tag(job.id) + ": started before submission");
+    if (job.procs > procs)
+      fail(job_tag(job.id) + ": wider than the machine");
+    const Time expected = std::min(job.runtime, job.estimate);
+    if (o.end - o.start != expected)
+      fail(job_tag(job.id) + ": ran " + std::to_string(o.end - o.start) +
+           "s, expected " + std::to_string(expected) + "s");
+    if (o.killed != (job.runtime > job.estimate))
+      fail(job_tag(job.id) + ": kill flag inconsistent with estimate");
+  }
+
+  int usage = 0;
+  for (const auto& [time, delta] : usage_deltas(outcomes)) {
+    usage += delta;
+    if (usage > procs) {
+      fail("machine oversubscribed at t=" + std::to_string(time) + " (" +
+           std::to_string(usage) + " > " + std::to_string(procs) + ")");
+      break;  // one capacity report is enough
+    }
+  }
+  return report;
+}
+
+int peak_usage(const std::vector<JobOutcome>& outcomes) {
+  int usage = 0;
+  int peak = 0;
+  for (const auto& [time, delta] : usage_deltas(outcomes)) {
+    usage += delta;
+    peak = std::max(peak, usage);
+  }
+  return peak;
+}
+
+double utilization(const std::vector<JobOutcome>& outcomes, int procs) {
+  if (outcomes.empty() || procs <= 0) return 0.0;
+  double busy = 0.0;
+  Time makespan = 0;
+  for (const JobOutcome& o : outcomes) {
+    if (o.start == sim::kNoTime) continue;
+    busy += static_cast<double>(o.end - o.start) * o.job.procs;
+    makespan = std::max(makespan, o.end);
+  }
+  if (makespan <= 0) return 0.0;
+  return busy / (static_cast<double>(procs) * static_cast<double>(makespan));
+}
+
+}  // namespace bfsim::core

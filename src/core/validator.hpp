@@ -1,0 +1,37 @@
+// bfsim -- schedule validity checking.
+//
+// Every simulated schedule can be checked against the physical rules of
+// space sharing, independent of the scheduling policy that produced it:
+// no job starts before it arrives, each runs for exactly
+// min(runtime, estimate), and the machine is never oversubscribed.
+// Policy-specific guarantees (e.g. conservative never delaying a
+// reservation) are asserted inside the schedulers and in the test suite.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace bfsim::core {
+
+struct ValidationReport {
+  std::vector<std::string> violations;
+
+  [[nodiscard]] bool ok() const { return violations.empty(); }
+};
+
+/// Check `outcomes` (one per trace job, same order) against `trace` on a
+/// `procs`-processor machine. Collects every violation found.
+[[nodiscard]] ValidationReport validate_schedule(
+    const Trace& trace, const std::vector<JobOutcome>& outcomes, int procs);
+
+/// Peak number of processors simultaneously busy in the schedule.
+[[nodiscard]] int peak_usage(const std::vector<JobOutcome>& outcomes);
+
+/// Machine utilization over [0, makespan]: busy processor-seconds divided
+/// by procs x makespan. Returns 0 for empty schedules.
+[[nodiscard]] double utilization(const std::vector<JobOutcome>& outcomes,
+                                 int procs);
+
+}  // namespace bfsim::core

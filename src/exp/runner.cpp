@@ -1,0 +1,77 @@
+#include "exp/runner.hpp"
+
+#include <algorithm>
+
+#include "core/simulation.hpp"
+
+namespace bfsim::exp {
+
+metrics::MetricsOptions experiment_metrics_options(std::size_t jobs) {
+  metrics::MetricsOptions options;
+  options.skip_head = jobs / 20;
+  options.skip_tail = jobs / 20;
+  return options;
+}
+
+metrics::Metrics run_scenario(const Scenario& scenario) {
+  const workload::Trace trace = build_workload(scenario);
+  core::SchedulerConfig config;
+  config.procs = scenario.procs();
+  config.priority = scenario.priority;
+  const core::SimulationResult result = core::run_simulation(
+      trace, scenario.scheduler, config, scenario.extras);
+  return metrics::compute_metrics(result, config.procs,
+                                  experiment_metrics_options(trace.size()));
+}
+
+std::vector<metrics::Metrics> run_replications(Scenario base,
+                                               std::size_t replications,
+                                               ThreadPool* pool) {
+  std::vector<metrics::Metrics> results(replications);
+  const auto run_one = [&results, base](std::size_t i) {
+    Scenario scenario = base;
+    scenario.seed = base.seed + i;
+    results[i] = run_scenario(scenario);
+  };
+  if (pool) {
+    pool->parallel_for(replications, run_one);
+  } else {
+    for (std::size_t i = 0; i < replications; ++i) run_one(i);
+  }
+  return results;
+}
+
+double mean_of(const std::vector<metrics::Metrics>& replications,
+               const std::function<double(const metrics::Metrics&)>& extract) {
+  if (replications.empty()) return 0.0;
+  double sum = 0.0;
+  for (const metrics::Metrics& m : replications) sum += extract(m);
+  return sum / static_cast<double>(replications.size());
+}
+
+double max_of(const std::vector<metrics::Metrics>& replications,
+              const std::function<double(const metrics::Metrics&)>& extract) {
+  double best = 0.0;
+  for (const metrics::Metrics& m : replications)
+    best = std::max(best, extract(m));
+  return best;
+}
+
+double overall_slowdown(const metrics::Metrics& m) {
+  return m.overall.slowdown.mean();
+}
+
+double overall_turnaround(const metrics::Metrics& m) {
+  return m.overall.turnaround.mean();
+}
+
+double worst_turnaround(const metrics::Metrics& m) {
+  return m.overall.turnaround.max();
+}
+
+double category_slowdown(const metrics::Metrics& m,
+                         workload::Category category) {
+  return m.category(category).slowdown.mean();
+}
+
+}  // namespace bfsim::exp

@@ -1,0 +1,46 @@
+// bfsim -- the experiment runner: scenario -> metrics, with seeded
+// replications fanned out over a thread pool.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "exp/scenario.hpp"
+#include "exp/thread_pool.hpp"
+#include "metrics/aggregate.hpp"
+
+namespace bfsim::exp {
+
+/// Metric aggregation defaults for experiments: trim 5% of jobs at each
+/// end so statistics reflect the steady-state system rather than the
+/// empty-machine warm-up and the final drain-out.
+[[nodiscard]] metrics::MetricsOptions experiment_metrics_options(
+    std::size_t jobs);
+
+/// Build the scenario's workload, run it, aggregate. Deterministic.
+[[nodiscard]] metrics::Metrics run_scenario(const Scenario& scenario);
+
+/// Run `replications` copies of `base` with seeds base.seed, base.seed+1,
+/// ... and return the per-replication metrics (in seed order). When
+/// `pool` is non-null the replications run in parallel.
+[[nodiscard]] std::vector<metrics::Metrics> run_replications(
+    Scenario base, std::size_t replications, ThreadPool* pool = nullptr);
+
+/// Mean over replications of a scalar extracted from each run.
+[[nodiscard]] double mean_of(
+    const std::vector<metrics::Metrics>& replications,
+    const std::function<double(const metrics::Metrics&)>& extract);
+
+/// Max over replications (for worst-case metrics).
+[[nodiscard]] double max_of(
+    const std::vector<metrics::Metrics>& replications,
+    const std::function<double(const metrics::Metrics&)>& extract);
+
+// Common extractors for the paper's tables.
+[[nodiscard]] double overall_slowdown(const metrics::Metrics& m);
+[[nodiscard]] double overall_turnaround(const metrics::Metrics& m);
+[[nodiscard]] double worst_turnaround(const metrics::Metrics& m);
+[[nodiscard]] double category_slowdown(const metrics::Metrics& m,
+                                       workload::Category category);
+
+}  // namespace bfsim::exp

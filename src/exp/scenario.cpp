@@ -1,0 +1,110 @@
+#include "exp/scenario.hpp"
+
+#include <stdexcept>
+
+#include "util/format.hpp"
+#include "workload/transforms.hpp"
+
+namespace bfsim::exp {
+
+std::string to_string(TraceKind kind) {
+  switch (kind) {
+    case TraceKind::Ctc: return "CTC";
+    case TraceKind::Sdsc: return "SDSC";
+    case TraceKind::Lublin: return "lublin";
+  }
+  return "?";
+}
+
+TraceKind trace_kind_from_string(const std::string& name) {
+  if (name == "CTC" || name == "ctc") return TraceKind::Ctc;
+  if (name == "SDSC" || name == "sdsc") return TraceKind::Sdsc;
+  if (name == "lublin") return TraceKind::Lublin;
+  throw std::invalid_argument("unknown trace kind '" + name + "'");
+}
+
+int machine_procs(TraceKind kind) {
+  switch (kind) {
+    case TraceKind::Ctc:
+      return workload::CategoryMixModel::ctc().machine_procs;
+    case TraceKind::Sdsc:
+      return workload::CategoryMixModel::sdsc().machine_procs;
+    case TraceKind::Lublin:
+      return workload::LublinStyleParams{}.machine_procs;
+  }
+  throw std::invalid_argument("machine_procs: bad trace kind");
+}
+
+std::string to_string(EstimateRegime regime) {
+  switch (regime) {
+    case EstimateRegime::Exact: return "exact";
+    case EstimateRegime::Systematic: return "systematic";
+    case EstimateRegime::Actual: return "actual";
+  }
+  return "?";
+}
+
+std::string EstimateSpec::label() const {
+  if (regime == EstimateRegime::Systematic)
+    return "R=" + util::format_fixed(factor, 0);
+  return to_string(regime);
+}
+
+std::string Scenario::label() const {
+  std::string name = to_string(trace) + "/" + to_string(scheduler) + "-" +
+                     to_string(priority) + "/" + estimates.label();
+  if (load > 0) name += "/rho=" + util::format_fixed(load, 2);
+  return name + "/seed=" + std::to_string(seed);
+}
+
+workload::Trace build_workload(const Scenario& scenario) {
+  // Independent streams: the shape/arrival stream must not change when
+  // the estimate regime does, so the same jobs appear in every regime.
+  sim::Rng trace_rng{scenario.seed * 0x9e3779b97f4a7c15ULL + 1};
+  sim::Rng estimate_rng{scenario.seed * 0xd1342543de82ef95ULL + 2};
+
+  workload::Trace trace;
+  switch (scenario.trace) {
+    case TraceKind::Ctc: {
+      const workload::CategoryMixModel model{
+          workload::CategoryMixModel::ctc()};
+      trace = model.generate(scenario.jobs, trace_rng);
+      break;
+    }
+    case TraceKind::Sdsc: {
+      const workload::CategoryMixModel model{
+          workload::CategoryMixModel::sdsc()};
+      trace = model.generate(scenario.jobs, trace_rng);
+      break;
+    }
+    case TraceKind::Lublin: {
+      const workload::LublinStyleModel model{workload::LublinStyleParams{}};
+      trace = model.generate(scenario.jobs, trace_rng);
+      break;
+    }
+  }
+
+  if (scenario.load > 0)
+    workload::set_offered_load(trace, scenario.procs(), scenario.load);
+
+  switch (scenario.estimates.regime) {
+    case EstimateRegime::Exact:
+      workload::apply_estimates(trace, workload::ExactEstimate{},
+                                estimate_rng);
+      break;
+    case EstimateRegime::Systematic:
+      workload::apply_estimates(
+          trace, workload::SystematicOverestimate{scenario.estimates.factor},
+          estimate_rng);
+      break;
+    case EstimateRegime::Actual:
+      workload::apply_estimates(trace, workload::ActualEstimateModel{},
+                                estimate_rng);
+      break;
+  }
+
+  workload::finalize(trace);
+  return trace;
+}
+
+}  // namespace bfsim::exp

@@ -1,0 +1,77 @@
+// bfsim -- experiment scenarios: the cell of every paper table/figure.
+//
+// A Scenario pins down one simulation cell -- workload model, load level,
+// estimate regime, scheduler, priority policy, seed -- so that every
+// bench binary regenerating a paper artifact is a declarative sweep over
+// Scenario values.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/scheduler.hpp"
+#include "workload/estimates.hpp"
+#include "workload/job.hpp"
+#include "workload/synthetic.hpp"
+
+namespace bfsim::exp {
+
+/// Which workload generator feeds the run.
+enum class TraceKind : int {
+  Ctc = 0,     ///< CTC SP2-like (430 procs, Table-2 mix)
+  Sdsc = 1,    ///< SDSC SP2-like (128 procs, Table-3 mix)
+  Lublin = 2,  ///< Lublin-style (robustness ablation)
+};
+
+[[nodiscard]] std::string to_string(TraceKind kind);
+[[nodiscard]] TraceKind trace_kind_from_string(const std::string& name);
+
+/// Machine size implied by a trace kind.
+[[nodiscard]] int machine_procs(TraceKind kind);
+
+/// How user estimates are produced for the run.
+enum class EstimateRegime : int {
+  Exact = 0,       ///< estimate == runtime                    (Section 4)
+  Systematic = 1,  ///< estimate == R x runtime                (Section 5.1)
+  Actual = 2,      ///< calibrated inaccurate-estimate mixture (Section 5.2)
+};
+
+[[nodiscard]] std::string to_string(EstimateRegime regime);
+
+struct EstimateSpec {
+  EstimateRegime regime = EstimateRegime::Exact;
+  double factor = 1.0;  ///< R for Systematic; ignored otherwise
+
+  [[nodiscard]] std::string label() const;
+};
+
+/// Offered-load levels of the paper: "simulation studies were performed
+/// under both normal and high loads ... trends are pronounced under high
+/// load". Calibrated via workload::set_offered_load.
+inline constexpr double kNormalLoad = 0.70;
+inline constexpr double kHighLoad = 0.88;
+
+struct Scenario {
+  TraceKind trace = TraceKind::Ctc;
+  std::size_t jobs = 10000;
+  double load = kHighLoad;  ///< offered load; <= 0 keeps generator arrivals
+  EstimateSpec estimates{};
+  core::SchedulerKind scheduler = core::SchedulerKind::Easy;
+  core::PriorityPolicy priority = core::PriorityPolicy::Fcfs;
+  core::SchedulerExtras extras{};
+  std::uint64_t seed = 1;
+
+  [[nodiscard]] std::string label() const;
+  [[nodiscard]] int procs() const { return machine_procs(trace); }
+};
+
+/// Generate the workload of a scenario: trace built by the scenario's
+/// generator + seed, arrivals rescaled to the target offered load, and
+/// estimates applied per the regime. Ids equal indices on return.
+///
+/// The trace depends only on (trace, jobs, load, estimates, seed) -- two
+/// scenarios differing only in scheduler/priority receive byte-identical
+/// workloads, which is what makes scheme comparisons paired.
+[[nodiscard]] workload::Trace build_workload(const Scenario& scenario);
+
+}  // namespace bfsim::exp

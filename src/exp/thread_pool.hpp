@@ -1,0 +1,66 @@
+// bfsim -- a fixed-size thread pool for parallel experiment sweeps.
+//
+// Replications and parameter-sweep cells are embarrassingly parallel;
+// the experiment runner fans them out across hardware threads. The pool
+// is deliberately minimal: submit() returning std::future, plus a
+// parallel index loop. Tasks must not submit to the pool they run on
+// and then block on the result (classic self-deadlock).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace bfsim::exp {
+
+class ThreadPool {
+ public:
+  /// `threads` == 0 picks std::thread::hardware_concurrency() (min 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t size() const { return workers_.size(); }
+
+  /// Enqueue a callable; returns a future for its result. Exceptions
+  /// thrown by the task propagate through the future.
+  template <typename F>
+  [[nodiscard]] auto submit(F&& task) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto packaged =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(task));
+    std::future<R> future = packaged->get_future();
+    {
+      const std::scoped_lock lock(mutex_);
+      if (stopping_)
+        throw std::runtime_error("ThreadPool: submit after shutdown");
+      tasks_.emplace([packaged] { (*packaged)(); });
+    }
+    cv_.notify_one();
+    return future;
+  }
+
+  /// Run body(i) for i in [0, count), blocking until all complete.
+  /// The first exception (if any) is rethrown in the caller.
+  void parallel_for(std::size_t count,
+                    const std::function<void(std::size_t)>& body);
+
+ private:
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+
+  void worker_loop();
+};
+
+}  // namespace bfsim::exp

@@ -1,0 +1,78 @@
+#include "metrics/aggregate.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+#include "core/validator.hpp"
+
+namespace bfsim::metrics {
+
+double bounded_slowdown(const core::JobOutcome& outcome, sim::Time threshold) {
+  const auto bound = static_cast<double>(
+      std::max(outcome.effective_runtime(), threshold));
+  const auto wait = static_cast<double>(outcome.wait());
+  return (wait + bound) / bound;
+}
+
+void MetricSet::add(const core::JobOutcome& outcome, sim::Time threshold) {
+  slowdown.add(bounded_slowdown(outcome, threshold));
+  turnaround.add(static_cast<double>(outcome.turnaround()));
+  wait.add(static_cast<double>(outcome.wait()));
+}
+
+Metrics compute_metrics(
+    const core::SimulationResult& result, int procs,
+    const MetricsOptions& options,
+    const std::vector<workload::EstimateQuality>* estimate_labels) {
+  if (estimate_labels && estimate_labels->size() != result.outcomes.size())
+    throw std::invalid_argument(
+        "compute_metrics: label count does not match outcome count");
+
+  Metrics m;
+  m.utilization = core::utilization(result.outcomes, procs);
+  m.makespan = result.makespan;
+
+  const std::size_t n = result.outcomes.size();
+  const std::size_t first = std::min(options.skip_head, n);
+  const std::size_t last = n - std::min(options.skip_tail, n - first);
+  m.slowdowns.reserve(last - first);
+  // Outcomes are in submit order (ids == indices); a job was backfilled
+  // iff some earlier arrival starts after it.
+  sim::Time latest_earlier_start = std::numeric_limits<sim::Time>::min();
+  for (std::size_t i = 0; i < last; ++i) {
+    const core::JobOutcome& o = result.outcomes[i];
+    if (o.cancelled) {
+      if (i >= first) ++m.cancelled_jobs;
+      continue;
+    }
+    if (o.start == sim::kNoTime) continue;  // defensive; driver forbids it
+    const bool leapfrogged = o.start < latest_earlier_start;
+    latest_earlier_start = std::max(latest_earlier_start, o.start);
+    if (i < first) continue;  // warm-up window: context only
+    if (leapfrogged) ++m.backfilled_jobs;
+    if (o.killed) ++m.killed_jobs;
+    m.overall.add(o, options.slowdown_threshold);
+    m.slowdowns.add(bounded_slowdown(o, options.slowdown_threshold));
+    const auto cat = workload::classify(o.job, options.categories);
+    m.by_category[static_cast<std::size_t>(cat)].add(
+        o, options.slowdown_threshold);
+    const auto quality = estimate_labels
+                             ? (*estimate_labels)[i]
+                             : workload::classify_estimate(o.job);
+    m.by_estimate[static_cast<std::size_t>(quality)].add(
+        o, options.slowdown_threshold);
+  }
+  return m;
+}
+
+std::vector<workload::EstimateQuality> estimate_labels(
+    const core::Trace& trace) {
+  std::vector<workload::EstimateQuality> labels;
+  labels.reserve(trace.size());
+  for (const core::Job& job : trace)
+    labels.push_back(workload::classify_estimate(job));
+  return labels;
+}
+
+}  // namespace bfsim::metrics

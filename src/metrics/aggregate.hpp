@@ -1,0 +1,96 @@
+// bfsim -- performance metrics over simulated schedules.
+//
+// The paper's metrics: average turnaround time and average *bounded
+// slowdown*,
+//     (wait + max(runtime, tau)) / max(runtime, tau),  tau = 10 s,
+// the threshold limiting the influence of very short jobs. Both are
+// reported overall and per job category (SN/SW/LN/LW), plus worst-case
+// turnaround (Tables 4 and 7) and the well/poorly-estimated split of
+// Section 5.2.
+#pragma once
+
+#include <array>
+#include <optional>
+#include <vector>
+
+#include "core/simulation.hpp"
+#include "core/types.hpp"
+#include "sim/stats.hpp"
+#include "workload/categories.hpp"
+
+namespace bfsim::metrics {
+
+/// Bounded slowdown of one finished job.
+[[nodiscard]] double bounded_slowdown(const core::JobOutcome& outcome,
+                                      sim::Time threshold = 10);
+
+/// One population's worth of accumulated metrics.
+struct MetricSet {
+  sim::RunningStats slowdown;    ///< bounded slowdown
+  sim::RunningStats turnaround;  ///< end - submit (s)
+  sim::RunningStats wait;        ///< start - submit (s)
+
+  [[nodiscard]] std::size_t count() const { return slowdown.count(); }
+  void add(const core::JobOutcome& outcome, sim::Time threshold);
+};
+
+struct MetricsOptions {
+  sim::Time slowdown_threshold = 10;
+  workload::CategoryThresholds categories{};
+  /// Exclude the first/last jobs (by id order) from all statistics to
+  /// avoid empty-machine warm-up and drain-out cool-down artifacts.
+  std::size_t skip_head = 0;
+  std::size_t skip_tail = 0;
+};
+
+/// All aggregates for one simulation run.
+struct Metrics {
+  MetricSet overall;
+  std::array<MetricSet, 4> by_category;        ///< indexed by Category
+  std::array<MetricSet, 2> by_estimate;        ///< indexed by EstimateQuality
+  /// Full slowdown distribution (for tail percentiles; overall only).
+  sim::Sample slowdowns;
+  double utilization = 0.0;
+  sim::Time makespan = 0;
+  std::size_t killed_jobs = 0;
+  /// Jobs withdrawn from the queue before starting (excluded from every
+  /// other statistic; cancelled jobs have no wait or slowdown).
+  std::size_t cancelled_jobs = 0;
+  /// Jobs that started ahead of an earlier-arrived, still-waiting job --
+  /// i.e. jobs that were backfilled past someone.
+  std::size_t backfilled_jobs = 0;
+
+  /// Fraction of (counted) jobs that leapfrogged an earlier arrival.
+  [[nodiscard]] double backfill_rate() const {
+    return overall.count() == 0
+               ? 0.0
+               : static_cast<double>(backfilled_jobs) /
+                     static_cast<double>(overall.count());
+  }
+
+  [[nodiscard]] const MetricSet& category(workload::Category c) const {
+    return by_category[static_cast<std::size_t>(c)];
+  }
+  [[nodiscard]] const MetricSet& estimate_class(
+      workload::EstimateQuality q) const {
+    return by_estimate[static_cast<std::size_t>(q)];
+  }
+};
+
+/// Aggregate a simulation result.
+///
+/// `estimate_labels`, when given, overrides the per-job estimate-quality
+/// classification (one label per job, same order). The paper's Fig. 4
+/// needs this: it compares the *same* well/poor populations between an
+/// accurate-estimate run (where every job trivially classifies as well
+/// estimated) and an actual-estimate run of the identical jobs.
+[[nodiscard]] Metrics compute_metrics(
+    const core::SimulationResult& result, int procs,
+    const MetricsOptions& options = {},
+    const std::vector<workload::EstimateQuality>* estimate_labels = nullptr);
+
+/// Estimate-quality labels of a trace (input to compute_metrics above).
+[[nodiscard]] std::vector<workload::EstimateQuality> estimate_labels(
+    const core::Trace& trace);
+
+}  // namespace bfsim::metrics

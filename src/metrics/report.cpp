@@ -1,0 +1,53 @@
+#include "metrics/report.hpp"
+
+#include "util/format.hpp"
+
+namespace bfsim::metrics {
+
+std::string summary_line(const Metrics& metrics) {
+  return "n=" + std::to_string(metrics.overall.count()) +
+         " slowdown=" + util::format_fixed(metrics.overall.slowdown.mean()) +
+         " turnaround=" +
+         util::format_duration(
+             static_cast<sim::Time>(metrics.overall.turnaround.mean())) +
+         " util=" + util::format_percent(metrics.utilization, 1);
+}
+
+util::Table breakdown_table(const Metrics& metrics, const std::string& title) {
+  util::Table table{title};
+  table.set_header({"category", "jobs", "avg slowdown", "avg turnaround",
+                    "avg wait", "max turnaround"});
+  const auto row = [&](const std::string& label, const MetricSet& set) {
+    if (set.count() == 0) {
+      table.add_row({label, "0", "-", "-", "-", "-"});
+      return;
+    }
+    table.add_row(
+        {label, util::format_count(static_cast<std::int64_t>(set.count())),
+         util::format_fixed(set.slowdown.mean()),
+         util::format_duration(static_cast<sim::Time>(set.turnaround.mean())),
+         util::format_duration(static_cast<sim::Time>(set.wait.mean())),
+         util::format_duration(static_cast<sim::Time>(set.turnaround.max()))});
+  };
+  for (const auto cat : workload::kAllCategories)
+    row(workload::code(cat), metrics.category(cat));
+  table.add_rule();
+  row("all", metrics.overall);
+  return table;
+}
+
+std::string tail_summary(const Metrics& metrics) {
+  if (metrics.slowdowns.count() == 0) return "no jobs";
+  return "p50=" + util::format_fixed(metrics.slowdowns.quantile(0.50)) +
+         " p95=" + util::format_fixed(metrics.slowdowns.quantile(0.95)) +
+         " p99=" + util::format_fixed(metrics.slowdowns.quantile(0.99)) +
+         " max=" + util::format_fixed(metrics.slowdowns.max()) +
+         " backfilled=" + util::format_percent(metrics.backfill_rate(), 1);
+}
+
+double relative_change(double a, double b) {
+  if (a == 0.0) return 0.0;
+  return (b - a) / a;
+}
+
+}  // namespace bfsim::metrics

@@ -1,0 +1,26 @@
+// bfsim -- rendering Metrics into report tables.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "metrics/aggregate.hpp"
+#include "util/table.hpp"
+
+namespace bfsim::metrics {
+
+/// One-line summary: "n=9800 slowdown=3.42 turnaround=04:11:02 util=81.3%".
+[[nodiscard]] std::string summary_line(const Metrics& metrics);
+
+/// Full per-category breakdown table for one run.
+[[nodiscard]] util::Table breakdown_table(const Metrics& metrics,
+                                          const std::string& title);
+
+/// Tail view of one run: median / p95 / p99 / max slowdown plus the
+/// backfill rate ("p50=1.2 p95=14.0 p99=88.3 max=412.0 backfilled=31%").
+[[nodiscard]] std::string tail_summary(const Metrics& metrics);
+
+/// Relative change of `b` vs. baseline `a` ((b-a)/a); 0 when a == 0.
+[[nodiscard]] double relative_change(double a, double b);
+
+}  // namespace bfsim::metrics

@@ -1,0 +1,35 @@
+#include "sim/engine.hpp"
+
+#include <limits>
+#include <stdexcept>
+#include <utility>
+
+namespace bfsim::sim {
+
+void Engine::schedule_at(Time when, Action action, int priority_class) {
+  if (when < now_)
+    throw std::invalid_argument("Engine::schedule_at: time is in the past");
+  queue_.push(when, priority_class, std::move(action));
+}
+
+void Engine::schedule_in(Time delay, Action action, int priority_class) {
+  if (delay < 0)
+    throw std::invalid_argument("Engine::schedule_in: negative delay");
+  queue_.push(now_ + delay, priority_class, std::move(action));
+}
+
+Time Engine::run() { return run_until(std::numeric_limits<Time>::max()); }
+
+Time Engine::run_until(Time horizon) {
+  stop_requested_ = false;
+  while (!queue_.empty() && !stop_requested_) {
+    if (queue_.top().time > horizon) break;
+    auto event = queue_.pop();
+    now_ = event.time;
+    ++processed_;
+    event.payload();
+  }
+  return now_;
+}
+
+}  // namespace bfsim::sim

@@ -1,0 +1,51 @@
+// bfsim -- a small callback-driven discrete-event simulation engine.
+//
+// The scheduler simulation in core/ drives its own typed event loop for
+// speed; this generic engine backs auxiliary models (arrival processes,
+// failure injection in tests, example programs) and is exercised by the
+// DES unit tests as the reference semantics for event ordering.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "sim/event_queue.hpp"
+#include "sim/time.hpp"
+
+namespace bfsim::sim {
+
+/// Discrete-event engine: schedule callbacks at absolute or relative
+/// times, then run until the event queue drains (or a horizon is hit).
+class Engine {
+ public:
+  using Action = std::function<void()>;
+
+  /// Schedule `action` at absolute time `when` (>= now). Events scheduled
+  /// for the same time fire in (priority_class, insertion) order.
+  void schedule_at(Time when, Action action, int priority_class = 0);
+
+  /// Schedule `action` `delay` seconds from now (delay >= 0).
+  void schedule_in(Time delay, Action action, int priority_class = 0);
+
+  [[nodiscard]] Time now() const { return now_; }
+  [[nodiscard]] std::uint64_t events_processed() const { return processed_; }
+  [[nodiscard]] bool pending() const { return !queue_.empty(); }
+
+  /// Run until the queue is empty. Returns the final clock value.
+  Time run();
+
+  /// Run until the queue is empty or the next event is strictly after
+  /// `horizon`; later events stay queued. Returns the clock.
+  Time run_until(Time horizon);
+
+  /// Stop after the currently executing event (callable from actions).
+  void stop() { stop_requested_ = true; }
+
+ private:
+  EventQueue<Action> queue_;
+  Time now_ = 0;
+  std::uint64_t processed_ = 0;
+  bool stop_requested_ = false;
+};
+
+}  // namespace bfsim::sim

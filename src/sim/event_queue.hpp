@@ -1,0 +1,69 @@
+// bfsim -- a deterministic discrete-event queue.
+//
+// Events are ordered by (time, priority class, insertion sequence); the
+// sequence number makes simultaneous events pop in insertion order, so a
+// simulation run is a pure function of its inputs.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace bfsim::sim {
+
+/// Min-heap event queue with stable FIFO ordering among equal keys.
+///
+/// `Payload` is the event body; `priority_class` orders simultaneous
+/// events of different kinds (lower pops first) -- e.g. job completions
+/// before job arrivals at the same timestamp.
+template <typename Payload>
+class EventQueue {
+ public:
+  struct Event {
+    Time time;
+    int priority_class;
+    std::uint64_t seq;
+    Payload payload;
+  };
+
+  void push(Time time, int priority_class, Payload payload) {
+    heap_.push(Event{time, priority_class, seq_++, std::move(payload)});
+  }
+
+  [[nodiscard]] bool empty() const { return heap_.empty(); }
+  [[nodiscard]] std::size_t size() const { return heap_.size(); }
+
+  [[nodiscard]] const Event& top() const {
+    assert(!heap_.empty());
+    return heap_.top();
+  }
+
+  Event pop() {
+    assert(!heap_.empty());
+    // priority_queue::top() is const; moving out right before pop() is
+    // safe (the moved-from element is removed immediately) and lets the
+    // queue carry move-only payloads.
+    Event e = std::move(const_cast<Event&>(heap_.top()));
+    heap_.pop();
+    return e;
+  }
+
+ private:
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      if (a.priority_class != b.priority_class)
+        return a.priority_class > b.priority_class;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  std::uint64_t seq_ = 0;
+};
+
+}  // namespace bfsim::sim

@@ -1,0 +1,177 @@
+#include "sim/rng.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace bfsim::sim {
+
+namespace {
+constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  SplitMix64 sm{seed};
+  for (auto& s : state_) s = sm.next();
+  // All-zero state would be degenerate; SplitMix64 cannot produce four
+  // consecutive zeros for any seed, but keep the guard for clarity.
+  if ((state_[0] | state_[1] | state_[2] | state_[3]) == 0) state_[0] = 1;
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+double Rng::next_double() {
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::next_open_double() { return 1.0 - next_double(); }
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  assert(lo <= hi);
+  const std::uint64_t range = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (range == 0) return static_cast<std::int64_t>(next_u64());  // full range
+  // Lemire-style rejection to avoid modulo bias.
+  std::uint64_t x = next_u64();
+  __uint128_t m = static_cast<__uint128_t>(x) * range;
+  auto low = static_cast<std::uint64_t>(m);
+  if (low < range) {
+    const std::uint64_t threshold = (0 - range) % range;
+    while (low < threshold) {
+      x = next_u64();
+      m = static_cast<__uint128_t>(x) * range;
+      low = static_cast<std::uint64_t>(m);
+    }
+  }
+  return lo + static_cast<std::int64_t>(m >> 64);
+}
+
+double Rng::uniform(double lo, double hi) {
+  assert(lo <= hi);
+  return lo + (hi - lo) * next_double();
+}
+
+double Rng::log_uniform(double lo, double hi) {
+  assert(lo > 0.0 && lo <= hi);
+  return lo * std::exp(next_double() * std::log(hi / lo));
+}
+
+bool Rng::bernoulli(double p) { return next_double() < p; }
+
+double Rng::exponential(double mean) {
+  assert(mean > 0.0);
+  return -mean * std::log(next_open_double());
+}
+
+double Rng::normal(double mean, double stddev) {
+  if (has_spare_normal_) {
+    has_spare_normal_ = false;
+    return mean + stddev * spare_normal_;
+  }
+  double u, v, s;
+  do {
+    u = uniform(-1.0, 1.0);
+    v = uniform(-1.0, 1.0);
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double factor = std::sqrt(-2.0 * std::log(s) / s);
+  spare_normal_ = v * factor;
+  has_spare_normal_ = true;
+  return mean + stddev * u * factor;
+}
+
+double Rng::lognormal(double mu, double sigma) {
+  return std::exp(normal(mu, sigma));
+}
+
+double Rng::gamma(double shape, double scale) {
+  if (!(shape > 0.0) || !(scale > 0.0))
+    throw std::invalid_argument("Rng::gamma: shape and scale must be > 0");
+  if (shape < 1.0) {
+    // Boost: X ~ Gamma(k+1) * U^(1/k) is Gamma(k).
+    const double u = next_open_double();
+    return gamma(shape + 1.0, scale) * std::pow(u, 1.0 / shape);
+  }
+  // Marsaglia & Tsang (2000).
+  const double d = shape - 1.0 / 3.0;
+  const double c = 1.0 / std::sqrt(9.0 * d);
+  for (;;) {
+    double x, v;
+    do {
+      x = normal();
+      v = 1.0 + c * x;
+    } while (v <= 0.0);
+    v = v * v * v;
+    const double u = next_open_double();
+    if (u < 1.0 - 0.0331 * x * x * x * x) return scale * d * v;
+    if (std::log(u) < 0.5 * x * x + d * (1.0 - v + std::log(v)))
+      return scale * d * v;
+  }
+}
+
+double Rng::hyper_gamma(double p, double k1, double t1, double k2, double t2) {
+  return bernoulli(p) ? gamma(k1, t1) : gamma(k2, t2);
+}
+
+std::size_t Rng::discrete(std::span<const double> weights) {
+  double total = 0.0;
+  for (double w : weights) {
+    assert(w >= 0.0);
+    total += w;
+  }
+  if (!(total > 0.0))
+    throw std::invalid_argument("Rng::discrete: weights sum to zero");
+  double target = next_double() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    target -= weights[i];
+    if (target < 0.0) return i;
+  }
+  return weights.size() - 1;  // numeric edge case
+}
+
+Rng Rng::split() {
+  Rng child = *this;
+  child.jump();
+  // Keep the spare-normal cache out of the child to make split()
+  // independent of prior normal() parity.
+  child.has_spare_normal_ = false;
+  // Perturb so parent and child diverge even after parent jumps too.
+  child.state_[0] ^= next_u64();
+  child.state_[1] ^= next_u64();
+  if ((child.state_[0] | child.state_[1] | child.state_[2] |
+       child.state_[3]) == 0)
+    child.state_[0] = 1;
+  return child;
+}
+
+void Rng::jump() {
+  static constexpr std::uint64_t kLongJump[] = {
+      0x76e15d3efefdcbbfULL, 0xc5004e441c522fb3ULL, 0x77710069854ee241ULL,
+      0x39109bb02acbe635ULL};
+  std::uint64_t s0 = 0, s1 = 0, s2 = 0, s3 = 0;
+  for (std::uint64_t jump : kLongJump) {
+    for (int b = 0; b < 64; ++b) {
+      if (jump & (1ULL << b)) {
+        s0 ^= state_[0];
+        s1 ^= state_[1];
+        s2 ^= state_[2];
+        s3 ^= state_[3];
+      }
+      next_u64();
+    }
+  }
+  state_ = {s0, s1, s2, s3};
+}
+
+}  // namespace bfsim::sim

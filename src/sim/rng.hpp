@@ -1,0 +1,102 @@
+// bfsim -- deterministic random number generation for reproducible
+// simulation studies.
+//
+// We implement our own generator (xoshiro256**, seeded via SplitMix64)
+// rather than relying on std::mt19937 + std::*_distribution, because the
+// standard distributions are not specified bit-exactly across library
+// implementations; every result in EXPERIMENTS.md must be reproducible
+// from a seed alone on any platform.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+namespace bfsim::sim {
+
+/// SplitMix64 -- used to expand a single 64-bit seed into generator state.
+/// Reference: Steele, Lea & Flood, "Fast splittable pseudorandom number
+/// generators" (OOPSLA 2014).
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  constexpr std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** 1.0 (Blackman & Vigna) -- fast, high-quality, 256-bit state.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the 256-bit state from a 64-bit seed via SplitMix64.
+  explicit Rng(std::uint64_t seed = 0x853c49e6748fea9bULL);
+
+  /// UniformRandomBitGenerator interface.
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~result_type{0}; }
+  result_type operator()() { return next_u64(); }
+
+  std::uint64_t next_u64();
+
+  /// Uniform double in [0, 1) with 53 random bits.
+  double next_double();
+
+  /// Uniform double in (0, 1] -- safe as an argument to log().
+  double next_open_double();
+
+  /// Uniform integer in [lo, hi] (inclusive); requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Log-uniform double in [lo, hi); requires 0 < lo <= hi.
+  double log_uniform(double lo, double hi);
+
+  /// Bernoulli trial with success probability p.
+  bool bernoulli(double p);
+
+  /// Exponential with the given mean (= 1/rate); mean > 0.
+  double exponential(double mean);
+
+  /// Standard normal via Marsaglia polar method.
+  double normal(double mean = 0.0, double stddev = 1.0);
+
+  /// Log-normal: exp(N(mu, sigma)).
+  double lognormal(double mu, double sigma);
+
+  /// Gamma(shape k > 0, scale theta > 0) via Marsaglia-Tsang, with the
+  /// standard boost for k < 1.
+  double gamma(double shape, double scale);
+
+  /// Two-component hyper-gamma: Gamma(k1,t1) w.p. p, else Gamma(k2,t2).
+  /// Used by the Lublin-style runtime model.
+  double hyper_gamma(double p, double k1, double t1, double k2, double t2);
+
+  /// Sample an index from a discrete distribution given by non-negative
+  /// weights (need not be normalized; at least one must be positive).
+  std::size_t discrete(std::span<const double> weights);
+
+  /// Derive an independent child generator (for parallel replications).
+  [[nodiscard]] Rng split();
+
+  /// Long-jump equivalent: advance by 2^128 next_u64() calls.
+  void jump();
+
+ private:
+  std::array<std::uint64_t, 4> state_{};
+  // Cached second value from the polar method.
+  double spare_normal_ = 0.0;
+  bool has_spare_normal_ = false;
+};
+
+}  // namespace bfsim::sim

@@ -1,0 +1,20 @@
+// bfsim -- simulation time base.
+#pragma once
+
+#include <cstdint>
+
+namespace bfsim::sim {
+
+/// Simulation time in whole seconds since trace start. Signed so that
+/// differences and "not yet" sentinels are representable.
+using Time = std::int64_t;
+
+inline constexpr Time kNoTime = -1;
+
+inline constexpr Time kSecond = 1;
+inline constexpr Time kMinute = 60;
+inline constexpr Time kHour = 3600;
+inline constexpr Time kDay = 86400;
+inline constexpr Time kWeek = 7 * kDay;
+
+}  // namespace bfsim::sim

@@ -1,0 +1,120 @@
+#include "util/cli.hpp"
+
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+namespace bfsim::util {
+
+CliParser::CliParser(std::string program, std::string description)
+    : program_(std::move(program)), description_(std::move(description)) {}
+
+void CliParser::add_option(const std::string& name, const std::string& help,
+                           const std::string& default_value) {
+  if (options_.emplace(name, Option{help, default_value, false}).second)
+    order_.push_back(name);
+}
+
+void CliParser::add_flag(const std::string& name, const std::string& help) {
+  if (options_.emplace(name, Option{help, "false", true}).second)
+    order_.push_back(name);
+}
+
+bool CliParser::parse(int argc, const char* const* argv) {
+  std::vector<std::string> args;
+  args.reserve(static_cast<std::size_t>(argc > 0 ? argc - 1 : 0));
+  for (int i = 1; i < argc; ++i) args.emplace_back(argv[i]);
+  return parse(args);
+}
+
+bool CliParser::parse(const std::vector<std::string>& args) {
+  error_.clear();
+  values_.clear();
+  positional_.clear();
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    if (arg == "--help" || arg == "-h") {
+      std::fputs(help().c_str(), stdout);
+      return false;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(arg);
+      continue;
+    }
+    std::string name = arg.substr(2);
+    std::string value;
+    bool has_value = false;
+    if (const auto eq = name.find('='); eq != std::string::npos) {
+      value = name.substr(eq + 1);
+      name = name.substr(0, eq);
+      has_value = true;
+    }
+    const auto it = options_.find(name);
+    if (it == options_.end()) {
+      error_ = "unknown option --" + name;
+      std::fprintf(stderr, "%s: %s (see --help)\n", program_.c_str(),
+                   error_.c_str());
+      return false;
+    }
+    if (it->second.is_flag) {
+      if (has_value) {
+        error_ = "flag --" + name + " does not take a value";
+        std::fprintf(stderr, "%s: %s\n", program_.c_str(), error_.c_str());
+        return false;
+      }
+      values_[name] = "true";
+      continue;
+    }
+    if (!has_value) {
+      if (i + 1 >= args.size()) {
+        error_ = "option --" + name + " requires a value";
+        std::fprintf(stderr, "%s: %s\n", program_.c_str(), error_.c_str());
+        return false;
+      }
+      value = args[++i];
+    }
+    values_[name] = value;
+  }
+  return true;
+}
+
+std::string CliParser::get(const std::string& name) const {
+  if (const auto it = values_.find(name); it != values_.end())
+    return it->second;
+  if (const auto it = options_.find(name); it != options_.end())
+    return it->second.default_value;
+  throw std::invalid_argument("CliParser: undeclared option --" + name);
+}
+
+int CliParser::get_int(const std::string& name) const {
+  return static_cast<int>(get_int64(name));
+}
+
+std::int64_t CliParser::get_int64(const std::string& name) const {
+  return std::stoll(get(name));
+}
+
+double CliParser::get_double(const std::string& name) const {
+  return std::stod(get(name));
+}
+
+bool CliParser::get_flag(const std::string& name) const {
+  return get(name) == "true";
+}
+
+std::string CliParser::help() const {
+  std::ostringstream out;
+  out << program_ << " -- " << description_ << "\n\noptions:\n";
+  for (const std::string& name : order_) {
+    const Option& opt = options_.at(name);
+    out << "  --" << name;
+    if (!opt.is_flag) out << " <value>";
+    out << "\n      " << opt.help;
+    if (!opt.is_flag) out << " (default: " << opt.default_value << ")";
+    out << "\n";
+  }
+  out << "  --help\n      show this message\n";
+  return out.str();
+}
+
+}  // namespace bfsim::util

@@ -1,0 +1,73 @@
+// bfsim -- a tiny GNU-style command line parser for examples and benches.
+//
+// Supports `--name value`, `--name=value`, boolean flags (`--verbose`),
+// typed accessors with defaults, and an auto-generated --help text.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace bfsim::util {
+
+/// Declarative command-line parser.
+///
+///   CliParser cli{"quickstart", "Run a small scheduling simulation"};
+///   cli.add_option("jobs", "number of jobs to generate", "1000");
+///   cli.add_flag("verbose", "print every job record");
+///   if (!cli.parse(argc, argv)) return 1;           // prints error/help
+///   const int jobs = cli.get_int("jobs");
+class CliParser {
+ public:
+  CliParser(std::string program, std::string description);
+
+  /// Register a valued option with a default. The default also documents
+  /// the expected form in --help.
+  void add_option(const std::string& name, const std::string& help,
+                  const std::string& default_value);
+
+  /// Register a boolean flag (default false).
+  void add_flag(const std::string& name, const std::string& help);
+
+  /// Parse argv. Returns false (after printing a message) on error or when
+  /// --help was requested; callers should then exit.
+  [[nodiscard]] bool parse(int argc, const char* const* argv);
+
+  /// Parse from a pre-split vector (used by tests).
+  [[nodiscard]] bool parse(const std::vector<std::string>& args);
+
+  [[nodiscard]] std::string get(const std::string& name) const;
+  [[nodiscard]] int get_int(const std::string& name) const;
+  [[nodiscard]] std::int64_t get_int64(const std::string& name) const;
+  [[nodiscard]] double get_double(const std::string& name) const;
+  [[nodiscard]] bool get_flag(const std::string& name) const;
+
+  /// Positional arguments left over after option parsing.
+  [[nodiscard]] const std::vector<std::string>& positional() const {
+    return positional_;
+  }
+
+  [[nodiscard]] std::string help() const;
+
+  /// The most recent parse error ("" when parse succeeded or help asked).
+  [[nodiscard]] const std::string& error() const { return error_; }
+
+ private:
+  struct Option {
+    std::string help;
+    std::string default_value;
+    bool is_flag = false;
+  };
+
+  std::string program_;
+  std::string description_;
+  std::vector<std::string> order_;  // declaration order for --help
+  std::map<std::string, Option> options_;
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+  std::string error_;
+};
+
+}  // namespace bfsim::util

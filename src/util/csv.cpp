@@ -1,0 +1,34 @@
+#include "util/csv.hpp"
+
+namespace bfsim::util {
+
+std::string csv_escape(const std::string& field) {
+  const bool needs_quotes =
+      field.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quotes) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += "\"\"";
+    else out.push_back(c);
+  }
+  out += "\"";
+  return out;
+}
+
+void CsvWriter::row(const std::vector<std::string>& fields) {
+  if (!header_written_ && !header_.empty()) {
+    header_written_ = true;
+    const std::vector<std::string> header = header_;
+    row(header);
+  }
+  bool first = true;
+  for (const std::string& f : fields) {
+    if (!first) out_ << ',';
+    first = false;
+    out_ << csv_escape(f);
+  }
+  out_ << '\n';
+  ++rows_;
+}
+
+}  // namespace bfsim::util

@@ -1,0 +1,37 @@
+// bfsim -- CSV emission for machine-readable experiment output.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace bfsim::util {
+
+/// Escape a single CSV field per RFC 4180 (quote when the field contains
+/// a comma, quote, or newline; double embedded quotes).
+[[nodiscard]] std::string csv_escape(const std::string& field);
+
+/// Streams rows of fields as RFC-4180 CSV. The header, if set, is written
+/// on the first row() call.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& out) : out_(out) {}
+
+  CsvWriter(const CsvWriter&) = delete;
+  CsvWriter& operator=(const CsvWriter&) = delete;
+
+  void set_header(std::vector<std::string> header) { header_ = std::move(header); }
+
+  /// Write one row. Writes the header first if present and not yet written.
+  void row(const std::vector<std::string>& fields);
+
+  [[nodiscard]] std::size_t rows_written() const { return rows_; }
+
+ private:
+  std::ostream& out_;
+  std::vector<std::string> header_;
+  bool header_written_ = false;
+  std::size_t rows_ = 0;
+};
+
+}  // namespace bfsim::util

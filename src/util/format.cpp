@@ -1,0 +1,71 @@
+#include "util/format.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace bfsim::util {
+
+std::string format_duration(std::int64_t seconds) {
+  std::string sign;
+  if (seconds < 0) {
+    sign = "-";
+    seconds = -seconds;
+  }
+  const std::int64_t days = seconds / 86400;
+  const std::int64_t hours = (seconds % 86400) / 3600;
+  const std::int64_t minutes = (seconds % 3600) / 60;
+  const std::int64_t secs = seconds % 60;
+  char buf[64];
+  if (days > 0) {
+    std::snprintf(buf, sizeof buf, "%lldd %02lld:%02lld:%02lld",
+                  static_cast<long long>(days), static_cast<long long>(hours),
+                  static_cast<long long>(minutes), static_cast<long long>(secs));
+  } else {
+    std::snprintf(buf, sizeof buf, "%02lld:%02lld:%02lld",
+                  static_cast<long long>(hours),
+                  static_cast<long long>(minutes), static_cast<long long>(secs));
+  }
+  return sign + buf;
+}
+
+std::string format_fixed(double value, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", decimals, value);
+  return buf;
+}
+
+std::string format_percent(double ratio, int decimals) {
+  return format_fixed(ratio * 100.0, decimals) + "%";
+}
+
+std::string format_signed_percent(double ratio, int decimals) {
+  const double pct = ratio * 100.0;
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%+.*f%%", decimals, pct);
+  return buf;
+}
+
+std::string format_count(std::int64_t value) {
+  std::string digits = std::to_string(std::llabs(value));
+  std::string out;
+  out.reserve(digits.size() + digits.size() / 3 + 1);
+  const std::size_t first = digits.size() % 3 == 0 ? 3 : digits.size() % 3;
+  for (std::size_t i = 0; i < digits.size(); ++i) {
+    if (i != 0 && (i - first) % 3 == 0 && i >= first) out.push_back(',');
+    out.push_back(digits[i]);
+  }
+  return value < 0 ? "-" + out : out;
+}
+
+std::string pad_left(const std::string& s, std::size_t width) {
+  if (s.size() >= width) return s;
+  return std::string(width - s.size(), ' ') + s;
+}
+
+std::string pad_right(const std::string& s, std::size_t width) {
+  if (s.size() >= width) return s;
+  return s + std::string(width - s.size(), ' ');
+}
+
+}  // namespace bfsim::util

@@ -1,0 +1,31 @@
+// bfsim -- formatting helpers for human-readable reports.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace bfsim::util {
+
+/// Format a duration given in seconds as a compact "1d 02:03:04" /
+/// "02:03:04" string. Negative durations are prefixed with '-'.
+[[nodiscard]] std::string format_duration(std::int64_t seconds);
+
+/// Format a double with `decimals` digits after the point ("12.35").
+[[nodiscard]] std::string format_fixed(double value, int decimals = 2);
+
+/// Format a double as a percentage with `decimals` digits ("12.35%").
+/// The input is a ratio: 0.1235 -> "12.35%".
+[[nodiscard]] std::string format_percent(double ratio, int decimals = 2);
+
+/// Format an integer with thousands separators ("1,234,567").
+[[nodiscard]] std::string format_count(std::int64_t value);
+
+/// Format a signed relative change as e.g. "+12.3%" / "-4.5%".
+/// The input is a ratio: 0.123 -> "+12.3%".
+[[nodiscard]] std::string format_signed_percent(double ratio, int decimals = 1);
+
+/// Left/right-pad `s` with spaces to at least `width` characters.
+[[nodiscard]] std::string pad_left(const std::string& s, std::size_t width);
+[[nodiscard]] std::string pad_right(const std::string& s, std::size_t width);
+
+}  // namespace bfsim::util

@@ -1,0 +1,55 @@
+// bfsim -- leveled logging to stderr with a global threshold.
+//
+// The simulator itself never logs on hot paths; logging exists for the
+// experiment harness and examples (progress, warnings about workloads).
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace bfsim::util {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+/// Process-wide log threshold; messages below it are dropped.
+void set_log_level(LogLevel level);
+[[nodiscard]] LogLevel log_level();
+
+/// Emit one line to stderr as "[level] message" when enabled.
+void log_message(LogLevel level, const std::string& message);
+
+namespace detail {
+/// Stream-style one-shot logger: builds the message, emits on destruction.
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+  ~LogLine() { log_message(level_, stream_.str()); }
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+[[nodiscard]] inline detail::LogLine log_debug() {
+  return detail::LogLine{LogLevel::Debug};
+}
+[[nodiscard]] inline detail::LogLine log_info() {
+  return detail::LogLine{LogLevel::Info};
+}
+[[nodiscard]] inline detail::LogLine log_warn() {
+  return detail::LogLine{LogLevel::Warn};
+}
+[[nodiscard]] inline detail::LogLine log_error() {
+  return detail::LogLine{LogLevel::Error};
+}
+
+}  // namespace bfsim::util

@@ -1,0 +1,66 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/format.hpp"
+
+namespace bfsim::util {
+
+void Table::set_header(std::vector<std::string> header) {
+  header_ = std::move(header);
+}
+
+void Table::add_row(std::vector<std::string> row) {
+  Row r;
+  r.cells = std::move(row);
+  r.rule_before = pending_rule_;
+  pending_rule_ = false;
+  rows_.push_back(std::move(r));
+}
+
+void Table::add_rule() { pending_rule_ = true; }
+
+std::string Table::str() const {
+  // Column widths from header + all rows.
+  std::size_t ncols = header_.size();
+  for (const Row& r : rows_) ncols = std::max(ncols, r.cells.size());
+  std::vector<std::size_t> width(ncols, 0);
+  for (std::size_t c = 0; c < header_.size(); ++c)
+    width[c] = std::max(width[c], header_[c].size());
+  for (const Row& r : rows_)
+    for (std::size_t c = 0; c < r.cells.size(); ++c)
+      width[c] = std::max(width[c], r.cells[c].size());
+
+  const auto align_of = [&](std::size_t c) {
+    if (c < align_.size()) return align_[c];
+    return c == 0 ? Align::Left : Align::Right;
+  };
+  const auto render_cells = [&](const std::vector<std::string>& cells) {
+    std::string line;
+    for (std::size_t c = 0; c < ncols; ++c) {
+      const std::string cell = c < cells.size() ? cells[c] : "";
+      if (c != 0) line += "  ";
+      line += align_of(c) == Align::Left ? pad_right(cell, width[c])
+                                         : pad_left(cell, width[c]);
+    }
+    // Trim trailing spaces so output diffs cleanly.
+    while (!line.empty() && line.back() == ' ') line.pop_back();
+    return line;
+  };
+
+  std::size_t total = ncols >= 1 ? 2 * (ncols - 1) : 0;
+  for (std::size_t c = 0; c < ncols; ++c) total += width[c];
+  const std::string rule(total, '-');
+
+  std::ostringstream out;
+  if (!title_.empty()) out << title_ << '\n' << std::string(title_.size(), '=') << '\n';
+  if (!header_.empty()) out << render_cells(header_) << '\n' << rule << '\n';
+  for (const Row& r : rows_) {
+    if (r.rule_before) out << rule << '\n';
+    out << render_cells(r.cells) << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace bfsim::util

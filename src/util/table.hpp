@@ -1,0 +1,57 @@
+// bfsim -- minimal ASCII table builder used by the report / bench layer.
+//
+// The benchmark binaries print the paper's tables and figure series as
+// aligned ASCII tables so results can be compared by eye and diffed in CI.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace bfsim::util {
+
+/// Column alignment inside a Table.
+enum class Align { Left, Right };
+
+/// A simple row/column ASCII table with a title, a header row, optional
+/// horizontal rules, and per-column alignment.
+///
+/// Usage:
+///   Table t{"Fig. 1 -- overall slowdown"};
+///   t.set_header({"policy", "slowdown", "turnaround"});
+///   t.add_row({"EASY-SJF", "3.41", "8:12:00"});
+///   std::cout << t.str();
+class Table {
+ public:
+  Table() = default;
+  explicit Table(std::string title) : title_(std::move(title)) {}
+
+  void set_title(std::string title) { title_ = std::move(title); }
+  void set_header(std::vector<std::string> header);
+
+  /// Default alignment is Right for every column except the first.
+  void set_align(std::vector<Align> align) { align_ = std::move(align); }
+
+  void add_row(std::vector<std::string> row);
+  /// Insert a horizontal rule before the next added row.
+  void add_rule();
+
+  [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+
+  /// Render the table to a string (trailing newline included).
+  [[nodiscard]] std::string str() const;
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool rule_before = false;
+  };
+
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<Align> align_;
+  std::vector<Row> rows_;
+  bool pending_rule_ = false;
+};
+
+}  // namespace bfsim::util

@@ -1,0 +1,60 @@
+#include "workload/categories.hpp"
+
+namespace bfsim::workload {
+
+Category classify(const Job& job, const CategoryThresholds& t) {
+  const bool is_long = job.runtime > t.long_runtime;
+  const bool is_wide = job.procs > t.wide_procs;
+  if (is_long) return is_wide ? Category::LongWide : Category::LongNarrow;
+  return is_wide ? Category::ShortWide : Category::ShortNarrow;
+}
+
+EstimateQuality classify_estimate(const Job& job) {
+  return job.estimate <= 2 * job.runtime ? EstimateQuality::Well
+                                         : EstimateQuality::Poor;
+}
+
+std::string to_string(Category c) {
+  switch (c) {
+    case Category::ShortNarrow: return "Short Narrow";
+    case Category::ShortWide: return "Short Wide";
+    case Category::LongNarrow: return "Long Narrow";
+    case Category::LongWide: return "Long Wide";
+  }
+  return "?";
+}
+
+std::string to_string(EstimateQuality q) {
+  return q == EstimateQuality::Well ? "well estimated" : "poorly estimated";
+}
+
+std::string code(Category c) {
+  switch (c) {
+    case Category::ShortNarrow: return "SN";
+    case Category::ShortWide: return "SW";
+    case Category::LongNarrow: return "LN";
+    case Category::LongWide: return "LW";
+  }
+  return "?";
+}
+
+std::array<std::size_t, 4> category_counts(const Trace& trace,
+                                           const CategoryThresholds& t) {
+  std::array<std::size_t, 4> counts{};
+  for (const Job& job : trace)
+    ++counts[static_cast<std::size_t>(classify(job, t))];
+  return counts;
+}
+
+std::array<double, 4> category_mix(const Trace& trace,
+                                   const CategoryThresholds& t) {
+  std::array<double, 4> mix{};
+  if (trace.empty()) return mix;
+  const auto counts = category_counts(trace, t);
+  for (std::size_t i = 0; i < 4; ++i)
+    mix[i] = static_cast<double>(counts[i]) /
+             static_cast<double>(trace.size());
+  return mix;
+}
+
+}  // namespace bfsim::workload

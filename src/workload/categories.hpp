@@ -1,0 +1,64 @@
+// bfsim -- job categorization along the paper's two axes (Table 1).
+//
+// The paper's central methodological point: overall averages hide
+// consistent trends that appear once jobs are grouped by length
+// (Short <= 1 h < Long) and width (Narrow <= 8 procs < Wide), and by the
+// accuracy of the user's runtime estimate (well: est <= 2x runtime).
+#pragma once
+
+#include <array>
+#include <string>
+
+#include "workload/job.hpp"
+
+namespace bfsim::workload {
+
+/// The four length x width categories of Table 1.
+enum class Category : int {
+  ShortNarrow = 0,
+  ShortWide = 1,
+  LongNarrow = 2,
+  LongWide = 3,
+};
+
+inline constexpr std::array<Category, 4> kAllCategories{
+    Category::ShortNarrow, Category::ShortWide, Category::LongNarrow,
+    Category::LongWide};
+
+/// Estimate-accuracy classes of Section 5.2.
+enum class EstimateQuality : int {
+  Well = 0,  ///< estimate <= 2 x runtime
+  Poor = 1,  ///< estimate  > 2 x runtime
+};
+
+/// Classification thresholds (Table 1 defaults).
+struct CategoryThresholds {
+  sim::Time long_runtime = 3600;  ///< runtime >  this => Long
+  int wide_procs = 8;             ///< procs   >  this => Wide
+
+  friend bool operator==(const CategoryThresholds&,
+                         const CategoryThresholds&) = default;
+};
+
+[[nodiscard]] Category classify(const Job& job,
+                                const CategoryThresholds& t = {});
+
+/// Classification by the *actual* runtime vs. the user estimate.
+[[nodiscard]] EstimateQuality classify_estimate(const Job& job);
+
+[[nodiscard]] std::string to_string(Category c);
+[[nodiscard]] std::string to_string(EstimateQuality q);
+
+/// Short two-letter code used in tables ("SN", "SW", "LN", "LW").
+[[nodiscard]] std::string code(Category c);
+
+/// Fraction of trace jobs in each category, indexed by Category
+/// (Tables 2 and 3). Returns all-zero for an empty trace.
+[[nodiscard]] std::array<double, 4> category_mix(
+    const Trace& trace, const CategoryThresholds& t = {});
+
+/// Job counts per category, indexed by Category.
+[[nodiscard]] std::array<std::size_t, 4> category_counts(
+    const Trace& trace, const CategoryThresholds& t = {});
+
+}  // namespace bfsim::workload

@@ -1,0 +1,81 @@
+#include "workload/estimates.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/format.hpp"
+
+namespace bfsim::workload {
+
+sim::Time ExactEstimate::estimate_for(const Job& job, sim::Rng&) const {
+  return job.runtime;
+}
+
+SystematicOverestimate::SystematicOverestimate(double factor)
+    : factor_(factor) {
+  if (!(factor >= 1.0))
+    throw std::invalid_argument(
+        "SystematicOverestimate: factor must be >= 1");
+}
+
+sim::Time SystematicOverestimate::estimate_for(const Job& job,
+                                               sim::Rng&) const {
+  const double est = static_cast<double>(job.runtime) * factor_;
+  return static_cast<sim::Time>(std::llround(est));
+}
+
+std::string SystematicOverestimate::name() const {
+  return "overestimate-R" +
+         util::format_fixed(factor_, factor_ == std::floor(factor_) ? 0 : 1);
+}
+
+ActualEstimateModel::ActualEstimateModel(ActualEstimateParams params)
+    : params_(std::move(params)) {
+  if (params_.exact_fraction < 0 || params_.mild_fraction < 0 ||
+      params_.exact_fraction + params_.mild_fraction > 1.0)
+    throw std::invalid_argument(
+        "ActualEstimateModel: fractions must be >= 0 and sum to <= 1");
+  if (params_.limits.empty())
+    throw std::invalid_argument("ActualEstimateModel: limits must be given");
+  for (std::size_t i = 0; i < params_.limits.size(); ++i) {
+    if (params_.limits[i] < 1 ||
+        (i > 0 && params_.limits[i] <= params_.limits[i - 1]))
+      throw std::invalid_argument(
+          "ActualEstimateModel: limits must be positive and ascending");
+  }
+  if (params_.round_to < 1)
+    throw std::invalid_argument("ActualEstimateModel: round_to must be >= 1");
+}
+
+sim::Time ActualEstimateModel::estimate_for(const Job& job,
+                                            sim::Rng& rng) const {
+  const double u = rng.next_double();
+  if (u < params_.exact_fraction) return job.runtime;
+  if (u < params_.exact_fraction + params_.mild_fraction) {
+    // Mild overestimate, rounded *up* to the user's granularity --
+    // rounding down could turn it into an underestimate.
+    const double est = static_cast<double>(job.runtime) * rng.uniform(1.0, 2.0);
+    const double granularity = static_cast<double>(params_.round_to);
+    return static_cast<sim::Time>(std::ceil(est / granularity) * granularity);
+  }
+  // Gross tail: the user requests a round queue limit that covers the
+  // runtime, picked uniformly among the qualifying limits. A 2-minute
+  // job may well request 18 hours -- exactly the estimate structure of
+  // the archive traces.
+  const auto first_ok = std::lower_bound(params_.limits.begin(),
+                                         params_.limits.end(), job.runtime);
+  if (first_ok == params_.limits.end()) return job.runtime;  // beyond limits
+  const auto count =
+      static_cast<std::int64_t>(params_.limits.end() - first_ok);
+  return *(first_ok + rng.uniform_int(0, count - 1));
+}
+
+void apply_estimates(Trace& trace, const EstimateModel& model, sim::Rng& rng) {
+  for (Job& job : trace) {
+    const sim::Time est = model.estimate_for(job, rng);
+    job.estimate = std::max<sim::Time>({est, job.runtime, 1});
+  }
+}
+
+}  // namespace bfsim::workload

@@ -1,0 +1,100 @@
+// bfsim -- user runtime-estimate models (Section 5 of the paper).
+//
+// Schedulers only see the user's wall-clock request, never the true
+// runtime. The paper studies three regimes:
+//   * exact estimates               (Section 4)
+//   * systematic overestimation     (estimate = R x runtime, Section 5.1)
+//   * actual, inaccurate estimates  (Section 5.2)
+// The real traces record actual estimates; offline we substitute a
+// calibrated mixture (ActualEstimateModel) reproducing the archive's
+// estimate structure: a mass of exact requests, a body of mild
+// overestimates, and -- crucially -- a tail of jobs whose request is a
+// round absolute queue limit ("18 hours") unrelated to the runtime. The
+// limit-shaped tail is what makes short poorly-estimated jobs look like
+// day-long monsters to the scheduler; it drives the paper's Section 5.2
+// result that actual estimates *deteriorate* overall slowdown even
+// though uniform overestimation (Section 5.1) improves it.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/rng.hpp"
+#include "sim/time.hpp"
+#include "workload/job.hpp"
+
+namespace bfsim::workload {
+
+/// Strategy interface: produce the user's estimate for one job.
+class EstimateModel {
+ public:
+  virtual ~EstimateModel() = default;
+
+  /// The estimate the user submits for `job`. Must be >= 1; the caller
+  /// raises it to at least the runtime (jobs are killed at the limit, so
+  /// an underestimate would silently truncate the job).
+  [[nodiscard]] virtual sim::Time estimate_for(const Job& job,
+                                               sim::Rng& rng) const = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// Exact user estimates: estimate == runtime.
+class ExactEstimate final : public EstimateModel {
+ public:
+  [[nodiscard]] sim::Time estimate_for(const Job& job,
+                                       sim::Rng& rng) const override;
+  [[nodiscard]] std::string name() const override { return "exact"; }
+};
+
+/// Systematic overestimation: estimate = R x runtime (R >= 1).
+/// R = 1 reduces to ExactEstimate; the paper evaluates R in {1, 2, 4}.
+class SystematicOverestimate final : public EstimateModel {
+ public:
+  explicit SystematicOverestimate(double factor);
+
+  [[nodiscard]] sim::Time estimate_for(const Job& job,
+                                       sim::Rng& rng) const override;
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] double factor() const { return factor_; }
+
+ private:
+  double factor_;
+};
+
+/// Parameters of the actual-estimate mixture. With the defaults roughly
+/// 60% of jobs end up "well estimated" (estimate <= 2 x runtime, the
+/// paper's split) and the rest carry limit-shaped gross overestimates.
+struct ActualEstimateParams {
+  double exact_fraction = 0.20;  ///< estimate == runtime
+  double mild_fraction = 0.35;   ///< estimate = runtime x U(1, 2)
+  /// The queue/wall-clock limits users pick from for the gross tail:
+  /// 15 m, 30 m, 1 h, 2 h, 4 h, 6 h, 12 h and 18 h (the CTC maximum).
+  /// Must be positive and strictly ascending. A tail job requests a
+  /// uniformly chosen limit that covers its runtime; when even the
+  /// largest limit is too small the estimate falls back to the runtime.
+  std::vector<sim::Time> limits{900,   1800,  3600,  7200,
+                                14400, 21600, 43200, 64800};
+  sim::Time round_to = 60;  ///< users request whole minutes (mild branch)
+};
+
+/// Inaccurate "actual" user estimates, modelled as a three-way mixture.
+class ActualEstimateModel final : public EstimateModel {
+ public:
+  explicit ActualEstimateModel(ActualEstimateParams params = {});
+
+  [[nodiscard]] sim::Time estimate_for(const Job& job,
+                                       sim::Rng& rng) const override;
+  [[nodiscard]] std::string name() const override { return "actual"; }
+  [[nodiscard]] const ActualEstimateParams& params() const { return params_; }
+
+ private:
+  ActualEstimateParams params_;
+};
+
+/// Overwrite `estimate` on every job in the trace by sampling `model`.
+/// Estimates are clamped to >= runtime (>= 1). Deterministic given `rng`.
+void apply_estimates(Trace& trace, const EstimateModel& model, sim::Rng& rng);
+
+}  // namespace bfsim::workload

@@ -1,0 +1,93 @@
+#include "workload/filters.hpp"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+#include "workload/transforms.hpp"
+
+namespace bfsim::workload {
+
+std::size_t drop_failed_records(SwfFile& file) {
+  const std::size_t before = file.records.size();
+  std::erase_if(file.records, [](const SwfRecord& r) {
+    return r.status == 0 || r.status == 5;
+  });
+  return before - file.records.size();
+}
+
+std::size_t remove_flurries(SwfFile& file, sim::Time window,
+                            std::size_t max_burst) {
+  if (window < 1 || max_burst < 1)
+    throw std::invalid_argument(
+        "remove_flurries: window and max_burst must be >= 1");
+  // Per-user burst state: last submit time and jobs in the current burst.
+  struct Burst {
+    std::int64_t last_submit = 0;
+    std::size_t size = 0;
+  };
+  std::map<std::int64_t, Burst> bursts;
+  const std::size_t before = file.records.size();
+  // Records are processed in submit order; the archive files are sorted,
+  // but sort defensively (stable to keep equal-time records in place).
+  std::stable_sort(file.records.begin(), file.records.end(),
+                   [](const SwfRecord& a, const SwfRecord& b) {
+                     return a.submit_time < b.submit_time;
+                   });
+  std::erase_if(file.records, [&](const SwfRecord& r) {
+    if (r.user_id < 0) return false;
+    Burst& burst = bursts[r.user_id];
+    if (burst.size == 0 || r.submit_time - burst.last_submit >= window) {
+      burst.size = 1;  // a new burst begins
+      burst.last_submit = r.submit_time;
+      return false;
+    }
+    burst.last_submit = r.submit_time;
+    if (burst.size < max_burst) {
+      ++burst.size;
+      return false;
+    }
+    return true;  // flurry overflow: drop
+  });
+  return before - file.records.size();
+}
+
+std::size_t clamp_widths(Trace& trace, int max_procs) {
+  if (max_procs < 1)
+    throw std::invalid_argument("clamp_widths: max_procs must be >= 1");
+  std::size_t changed = 0;
+  for (Job& job : trace) {
+    const int clamped = std::clamp(job.procs, 1, max_procs);
+    if (clamped != job.procs) {
+      job.procs = clamped;
+      ++changed;
+    }
+  }
+  return changed;
+}
+
+std::size_t cap_estimates(Trace& trace, sim::Time max_estimate) {
+  if (max_estimate < 1)
+    throw std::invalid_argument("cap_estimates: max_estimate must be >= 1");
+  std::size_t changed = 0;
+  for (Job& job : trace) {
+    const sim::Time capped =
+        std::max(std::min(job.estimate, max_estimate), job.runtime);
+    if (capped != job.estimate) {
+      job.estimate = capped;
+      ++changed;
+    }
+  }
+  return changed;
+}
+
+std::size_t drop_malformed(Trace& trace) {
+  const std::size_t before = trace.size();
+  std::erase_if(trace, [](const Job& job) {
+    return job.runtime < 1 || job.estimate < 1 || job.procs < 1;
+  });
+  finalize(trace);
+  return before - trace.size();
+}
+
+}  // namespace bfsim::workload

@@ -1,0 +1,41 @@
+// bfsim -- workload cleaning filters.
+//
+// Archive traces need scrubbing before simulation: failed/cancelled
+// records, users flooding the queue with thousands of identical jobs
+// ("workload flurries", Tsafrir & Feitelson), impossible widths, and
+// runaway estimates all skew the averages the paper studies ("aborted
+// jobs and the poorly estimated jobs can skew the average slowdown",
+// Section 4). Each filter returns how many records it touched so
+// cleaning runs are auditable.
+#pragma once
+
+#include <cstddef>
+
+#include "workload/job.hpp"
+#include "workload/swf.hpp"
+
+namespace bfsim::workload {
+
+/// Remove SWF records that never ran usefully: failed (status 0) and
+/// cancelled (status 5) records. Returns the number removed.
+std::size_t drop_failed_records(SwfFile& file);
+
+/// Tame workload flurries: for each user, within any burst of
+/// submissions spaced < `window` seconds apart, keep at most
+/// `max_burst` records and drop the rest. Records with unknown user
+/// (-1) are left alone. Returns the number removed.
+std::size_t remove_flurries(SwfFile& file, sim::Time window,
+                            std::size_t max_burst);
+
+/// Clamp widths into [1, max_procs]; returns how many jobs changed.
+std::size_t clamp_widths(Trace& trace, int max_procs);
+
+/// Cap estimates at `max_estimate` (never below the runtime -- jobs are
+/// killed at the estimate); returns how many jobs changed.
+std::size_t cap_estimates(Trace& trace, sim::Time max_estimate);
+
+/// Drop jobs a simulator cannot run (runtime, estimate or width < 1).
+/// Re-sorts and renumbers the survivors. Returns the number removed.
+std::size_t drop_malformed(Trace& trace);
+
+}  // namespace bfsim::workload

@@ -1,0 +1,48 @@
+// bfsim -- the rigid-job model.
+//
+// Parallel job scheduling is viewed as packing rectangles into a 2D chart
+// (processors x time). A Job is one rectangle: `procs` wide, `runtime`
+// tall, arriving at `submit`; schedulers only ever see `estimate`, the
+// user-supplied wall-clock limit.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace bfsim::workload {
+
+/// Dense job identifier; equals the job's index in its trace.
+using JobId = std::uint32_t;
+
+inline constexpr JobId kInvalidJob = static_cast<JobId>(-1);
+
+/// One rigid parallel job.
+struct Job {
+  JobId id = kInvalidJob;
+  sim::Time submit = 0;    ///< arrival time (seconds from trace start)
+  sim::Time runtime = 1;   ///< actual runtime; the scheduler never sees this
+  sim::Time estimate = 1;  ///< user-estimated runtime (wall-clock limit)
+  int procs = 1;           ///< processors requested (held exclusively)
+  /// If set (>= 0), the user withdraws the job at this time unless it
+  /// has already started -- queued-job cancellation, a routine event in
+  /// the archive traces. kNoTime = never cancelled.
+  sim::Time cancel_at = sim::kNoTime;
+
+  /// Work area of the rectangle, in processor-seconds of real usage.
+  [[nodiscard]] std::int64_t work() const {
+    return static_cast<std::int64_t>(runtime) * procs;
+  }
+
+  /// Area the scheduler must budget for (estimate-based).
+  [[nodiscard]] std::int64_t estimated_work() const {
+    return static_cast<std::int64_t>(estimate) * procs;
+  }
+
+  friend bool operator==(const Job&, const Job&) = default;
+};
+
+using Trace = std::vector<Job>;
+
+}  // namespace bfsim::workload

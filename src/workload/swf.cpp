@@ -1,0 +1,206 @@
+#include "workload/swf.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+namespace bfsim::workload {
+
+namespace {
+
+/// Split a line into whitespace-separated tokens.
+std::vector<std::string_view> tokenize(std::string_view line) {
+  std::vector<std::string_view> tokens;
+  std::size_t i = 0;
+  while (i < line.size()) {
+    while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) ++i;
+    std::size_t start = i;
+    while (i < line.size() && line[i] != ' ' && line[i] != '\t') ++i;
+    if (i > start) tokens.push_back(line.substr(start, i - start));
+  }
+  return tokens;
+}
+
+std::int64_t parse_int(std::string_view token, std::size_t line_no) {
+  std::int64_t value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(token.data(), token.data() + token.size(), value);
+  if (ec == std::errc{} && ptr == token.data() + token.size()) return value;
+  // SWF files in the wild sometimes carry "-1.0" or scientific notation in
+  // integer columns; accept anything that parses as a double.
+  try {
+    return static_cast<std::int64_t>(std::stod(std::string(token)));
+  } catch (const std::exception&) {
+    throw std::runtime_error("swf: line " + std::to_string(line_no) +
+                             ": bad integer field '" + std::string(token) +
+                             "'");
+  }
+}
+
+double parse_double(std::string_view token, std::size_t line_no) {
+  try {
+    return std::stod(std::string(token));
+  } catch (const std::exception&) {
+    throw std::runtime_error("swf: line " + std::to_string(line_no) +
+                             ": bad numeric field '" + std::string(token) +
+                             "'");
+  }
+}
+
+/// Parse "; Key: value" header lines into the typed header fields.
+void absorb_header_line(SwfHeader& header, const std::string& line) {
+  header.raw_lines.push_back(line);
+  std::string body = line.substr(1);  // strip ';'
+  const auto colon = body.find(':');
+  if (colon == std::string::npos) return;
+  std::string key = body.substr(0, colon);
+  std::string value = body.substr(colon + 1);
+  const auto trim = [](std::string& s) {
+    const auto b = s.find_first_not_of(" \t\r");
+    const auto e = s.find_last_not_of(" \t\r");
+    s = b == std::string::npos ? "" : s.substr(b, e - b + 1);
+  };
+  trim(key);
+  trim(value);
+  const auto to_int = [&]() -> std::int64_t {
+    try {
+      return std::stoll(value);
+    } catch (const std::exception&) {
+      return -1;
+    }
+  };
+  if (key == "Computer") header.computer = value;
+  else if (key == "Installation") header.installation = value;
+  else if (key == "MaxProcs") header.max_procs = to_int();
+  else if (key == "MaxJobs") header.max_jobs = to_int();
+  else if (key == "MaxRuntime") header.max_runtime = to_int();
+}
+
+}  // namespace
+
+SwfFile read_swf(std::istream& in) {
+  SwfFile file;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    if (line[0] == ';') {
+      absorb_header_line(file.header, line);
+      continue;
+    }
+    const auto tokens = tokenize(line);
+    if (tokens.size() != 18)
+      throw std::runtime_error("swf: line " + std::to_string(line_no) +
+                               ": expected 18 fields, got " +
+                               std::to_string(tokens.size()));
+    SwfRecord r;
+    r.job_number = parse_int(tokens[0], line_no);
+    r.submit_time = parse_int(tokens[1], line_no);
+    r.wait_time = parse_int(tokens[2], line_no);
+    r.run_time = parse_int(tokens[3], line_no);
+    r.used_procs = parse_int(tokens[4], line_no);
+    r.avg_cpu_time = parse_double(tokens[5], line_no);
+    r.used_memory = parse_double(tokens[6], line_no);
+    r.requested_procs = parse_int(tokens[7], line_no);
+    r.requested_time = parse_int(tokens[8], line_no);
+    r.requested_memory = parse_double(tokens[9], line_no);
+    r.status = parse_int(tokens[10], line_no);
+    r.user_id = parse_int(tokens[11], line_no);
+    r.group_id = parse_int(tokens[12], line_no);
+    r.app_id = parse_int(tokens[13], line_no);
+    r.queue_id = parse_int(tokens[14], line_no);
+    r.partition_id = parse_int(tokens[15], line_no);
+    r.preceding_job = parse_int(tokens[16], line_no);
+    r.think_time = parse_int(tokens[17], line_no);
+    file.records.push_back(r);
+  }
+  return file;
+}
+
+SwfFile read_swf_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("swf: cannot open '" + path + "'");
+  return read_swf(in);
+}
+
+void write_swf(std::ostream& out, const SwfFile& file) {
+  if (file.header.raw_lines.empty()) {
+    if (!file.header.computer.empty())
+      out << "; Computer: " << file.header.computer << '\n';
+    if (file.header.max_procs > 0)
+      out << "; MaxProcs: " << file.header.max_procs << '\n';
+    if (file.header.max_jobs > 0)
+      out << "; MaxJobs: " << file.header.max_jobs << '\n';
+  } else {
+    for (const std::string& raw : file.header.raw_lines) out << raw << '\n';
+  }
+  for (const SwfRecord& r : file.records) {
+    out << r.job_number << ' ' << r.submit_time << ' ' << r.wait_time << ' '
+        << r.run_time << ' ' << r.used_procs << ' ' << r.avg_cpu_time << ' '
+        << r.used_memory << ' ' << r.requested_procs << ' '
+        << r.requested_time << ' ' << r.requested_memory << ' ' << r.status
+        << ' ' << r.user_id << ' ' << r.group_id << ' ' << r.app_id << ' '
+        << r.queue_id << ' ' << r.partition_id << ' ' << r.preceding_job
+        << ' ' << r.think_time << '\n';
+  }
+}
+
+Trace swf_to_jobs(const SwfFile& file, const SwfToJobsOptions& options) {
+  Trace jobs;
+  jobs.reserve(file.records.size());
+  sim::Time first_submit = std::numeric_limits<sim::Time>::max();
+  for (const SwfRecord& r : file.records) {
+    const std::int64_t procs =
+        r.requested_procs > 0 ? r.requested_procs : r.used_procs;
+    if (procs <= 0) continue;
+    if (options.drop_unstarted && r.run_time <= 0) continue;
+    Job job;
+    job.id = static_cast<JobId>(jobs.size());
+    job.submit = std::max<std::int64_t>(r.submit_time, 0);
+    job.runtime = std::max<std::int64_t>(r.run_time, 1);
+    job.procs = static_cast<int>(procs);
+    if (r.requested_time > 0) job.estimate = r.requested_time;
+    else if (options.estimate_fallback_to_runtime) job.estimate = job.runtime;
+    else continue;
+    // Schedulers kill jobs at their wall-clock limit; an archive runtime
+    // above the request reflects logging slop, so align the two.
+    job.estimate = std::max(job.estimate, job.runtime);
+    first_submit = std::min(first_submit, job.submit);
+    jobs.push_back(job);
+  }
+  std::stable_sort(jobs.begin(), jobs.end(),
+                   [](const Job& a, const Job& b) { return a.submit < b.submit; });
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    if (options.rebase_time && !jobs.empty()) jobs[i].submit -= first_submit;
+    jobs[i].id = static_cast<JobId>(i);
+  }
+  return jobs;
+}
+
+SwfFile jobs_to_swf(const Trace& jobs, int machine_procs,
+                    const std::string& computer) {
+  SwfFile file;
+  file.header.computer = computer;
+  file.header.max_procs = machine_procs;
+  file.header.max_jobs = static_cast<std::int64_t>(jobs.size());
+  file.records.reserve(jobs.size());
+  for (const Job& job : jobs) {
+    SwfRecord r;
+    r.job_number = static_cast<std::int64_t>(job.id) + 1;
+    r.submit_time = job.submit;
+    r.run_time = job.runtime;
+    r.used_procs = job.procs;
+    r.requested_procs = job.procs;
+    r.requested_time = job.estimate;
+    r.status = 1;
+    file.records.push_back(r);
+  }
+  return file;
+}
+
+}  // namespace bfsim::workload

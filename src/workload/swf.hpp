@@ -1,0 +1,101 @@
+// bfsim -- Standard Workload Format (SWF) v2 reader / writer.
+//
+// The paper drives its simulations from the CTC and SDSC SP2 logs of the
+// Parallel Workloads Archive, which are distributed in SWF: one job per
+// line, 18 whitespace-separated fields, ';' comment/header lines. This
+// module parses the full record so that a user with the real archive
+// traces can reproduce the paper's original pipeline verbatim; the
+// simulator consumes the reduced `Job` view.
+//
+// Field reference: Chapin et al., "Benchmarks and standards for the
+// evaluation of parallel job schedulers" (JSSPP 1999);
+// https://www.cs.huji.ac.il/labs/parallel/workload/swf.html
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+#include "workload/job.hpp"
+
+namespace bfsim::workload {
+
+/// One full 18-field SWF record. Missing/unknown values are -1 per spec.
+struct SwfRecord {
+  std::int64_t job_number = -1;        // 1
+  std::int64_t submit_time = -1;       // 2  (s since log start)
+  std::int64_t wait_time = -1;         // 3  (s)
+  std::int64_t run_time = -1;          // 4  (s)
+  std::int64_t used_procs = -1;        // 5
+  double avg_cpu_time = -1.0;          // 6  (s)
+  double used_memory = -1.0;           // 7  (KB/proc)
+  std::int64_t requested_procs = -1;   // 8
+  std::int64_t requested_time = -1;    // 9  (user estimate, s)
+  double requested_memory = -1.0;      // 10 (KB/proc)
+  std::int64_t status = -1;            // 11 (1 completed, 0 failed, 5 cancelled)
+  std::int64_t user_id = -1;           // 12
+  std::int64_t group_id = -1;          // 13
+  std::int64_t app_id = -1;            // 14
+  std::int64_t queue_id = -1;          // 15
+  std::int64_t partition_id = -1;      // 16
+  std::int64_t preceding_job = -1;     // 17
+  std::int64_t think_time = -1;        // 18 (s)
+
+  friend bool operator==(const SwfRecord&, const SwfRecord&) = default;
+};
+
+/// Header metadata from ';' comment lines ("; MaxProcs: 430" etc.).
+struct SwfHeader {
+  std::string computer;
+  std::string installation;
+  std::int64_t max_procs = -1;
+  std::int64_t max_jobs = -1;
+  std::int64_t max_runtime = -1;
+  std::vector<std::string> raw_lines;  ///< every header line, verbatim
+};
+
+/// A parsed SWF file.
+struct SwfFile {
+  SwfHeader header;
+  std::vector<SwfRecord> records;
+};
+
+/// Parse SWF from a stream. Throws std::runtime_error on malformed data
+/// lines (wrong field count, non-numeric fields).
+[[nodiscard]] SwfFile read_swf(std::istream& in);
+
+/// Parse SWF from a file path. Throws std::runtime_error when the file
+/// cannot be opened or parsed.
+[[nodiscard]] SwfFile read_swf_file(const std::string& path);
+
+/// Serialize records (with minimal header) back to SWF.
+void write_swf(std::ostream& out, const SwfFile& file);
+
+/// Options controlling SwfRecord -> Job conversion.
+struct SwfToJobsOptions {
+  /// Drop cancelled jobs that never ran (runtime <= 0).
+  bool drop_unstarted = true;
+  /// When the requested (estimated) time is missing, fall back to the
+  /// actual runtime (i.e. treat the estimate as exact).
+  bool estimate_fallback_to_runtime = true;
+  /// Shift submit times so the first job arrives at t = 0.
+  bool rebase_time = true;
+};
+
+/// Reduce SWF records to simulator jobs: submit, runtime, estimate and
+/// width (requested processors; falls back to used processors). Records
+/// without a positive width are dropped. Estimates are raised to at least
+/// the runtime: the archive logs the *actual* runtime even when it
+/// exceeded the request, while our simulator models the scheduler-enforced
+/// kill at the estimate.
+[[nodiscard]] Trace swf_to_jobs(const SwfFile& file,
+                                const SwfToJobsOptions& options = {});
+
+/// Build an SWF file (records + header) from simulator jobs; inverse of
+/// swf_to_jobs for the fields the simulator knows about.
+[[nodiscard]] SwfFile jobs_to_swf(const Trace& jobs, int machine_procs,
+                                  const std::string& computer = "bfsim");
+
+}  // namespace bfsim::workload

@@ -1,0 +1,193 @@
+#include "workload/synthetic.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+#include <vector>
+
+namespace bfsim::workload {
+
+namespace {
+
+/// Powers of two in (lo, hi], ascending.
+std::vector<int> powers_of_two_in(int lo, int hi) {
+  std::vector<int> out;
+  for (int p = 1; p <= hi; p *= 2)
+    if (p > lo) out.push_back(p);
+  return out;
+}
+
+/// Exponential arrival process with an optional sinusoidal daily cycle
+/// (rate modulation via thinning), shared by both generators.
+Trace attach_arrivals(std::vector<Job> shapes, double mean_gap,
+                      double daily_amplitude, sim::Rng& rng) {
+  if (!(mean_gap > 0.0))
+    throw std::invalid_argument("workload: mean_interarrival must be > 0");
+  if (daily_amplitude < 0.0 || daily_amplitude > 0.95)
+    throw std::invalid_argument(
+        "workload: daily_cycle_amplitude must be in [0, 0.95]");
+  double t = 0.0;
+  const double peak_rate = (1.0 + daily_amplitude) / mean_gap;
+  for (Job& job : shapes) {
+    if (daily_amplitude == 0.0) {
+      t += rng.exponential(mean_gap);
+    } else {
+      // Thinning (Lewis & Shedler): propose at the peak rate, accept with
+      // probability rate(t)/peak_rate.
+      for (;;) {
+        t += rng.exponential(1.0 / peak_rate);
+        const double phase =
+            2.0 * std::numbers::pi * t / static_cast<double>(sim::kDay);
+        const double rate =
+            (1.0 + daily_amplitude * std::sin(phase)) / mean_gap;
+        if (rng.next_double() < rate / peak_rate) break;
+      }
+    }
+    job.submit = static_cast<sim::Time>(std::llround(t));
+  }
+  for (std::size_t i = 0; i < shapes.size(); ++i)
+    shapes[i].id = static_cast<JobId>(i);
+  return shapes;
+}
+
+}  // namespace
+
+CategoryMixModel::CategoryMixModel(CategoryMixParams params)
+    : params_(std::move(params)) {
+  double total = 0.0;
+  for (double p : params_.mix) {
+    if (p < 0.0)
+      throw std::invalid_argument("CategoryMixModel: negative mix entry");
+    total += p;
+  }
+  if (std::abs(total - 1.0) > 1e-6)
+    throw std::invalid_argument("CategoryMixModel: mix must sum to 1");
+  if (params_.machine_procs <= params_.thresholds.wide_procs)
+    throw std::invalid_argument(
+        "CategoryMixModel: machine must be wider than the narrow/wide split");
+  if (params_.min_runtime < 1 ||
+      params_.min_runtime > params_.thresholds.long_runtime ||
+      params_.thresholds.long_runtime >= params_.max_runtime)
+    throw std::invalid_argument(
+        "CategoryMixModel: need 1 <= min_runtime <= long split < max_runtime");
+  if (params_.max_width == 0) params_.max_width = params_.machine_procs;
+  if (params_.max_width <= params_.thresholds.wide_procs ||
+      params_.max_width > params_.machine_procs)
+    throw std::invalid_argument("CategoryMixModel: bad max_width");
+}
+
+int CategoryMixModel::sample_width(Category cat, sim::Rng& rng) const {
+  const bool wide = cat == Category::ShortWide || cat == Category::LongWide;
+  const int lo = wide ? params_.thresholds.wide_procs : 0;
+  const int hi = wide ? params_.max_width : params_.thresholds.wide_procs;
+  if (rng.bernoulli(params_.pow2_fraction)) {
+    const auto powers = powers_of_two_in(lo, hi);
+    if (!powers.empty()) {
+      // Wider jobs are rarer: geometric decay across the available powers.
+      std::vector<double> weights(powers.size());
+      double w = 1.0;
+      for (std::size_t i = 0; i < powers.size(); ++i, w *= 0.55)
+        weights[i] = w;
+      return powers[rng.discrete(weights)];
+    }
+  }
+  return static_cast<int>(rng.uniform_int(lo + 1, hi));
+}
+
+sim::Time CategoryMixModel::sample_runtime(Category cat,
+                                           sim::Rng& rng) const {
+  const bool is_long =
+      cat == Category::LongNarrow || cat == Category::LongWide;
+  const auto lo = static_cast<double>(
+      is_long ? params_.thresholds.long_runtime + 1 : params_.min_runtime);
+  const auto hi = static_cast<double>(
+      is_long ? params_.max_runtime : params_.thresholds.long_runtime);
+  const double r = rng.log_uniform(lo, hi);
+  return std::clamp<sim::Time>(static_cast<sim::Time>(std::llround(r)),
+                               static_cast<sim::Time>(lo),
+                               static_cast<sim::Time>(hi));
+}
+
+Job CategoryMixModel::sample_shape(sim::Rng& rng) const {
+  const auto cat =
+      static_cast<Category>(rng.discrete(std::span<const double>(
+          params_.mix.data(), params_.mix.size())));
+  Job job;
+  job.procs = sample_width(cat, rng);
+  job.runtime = sample_runtime(cat, rng);
+  job.estimate = job.runtime;
+  return job;
+}
+
+Trace CategoryMixModel::generate(std::size_t count, sim::Rng& rng) const {
+  std::vector<Job> shapes;
+  shapes.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) shapes.push_back(sample_shape(rng));
+  return attach_arrivals(std::move(shapes), params_.mean_interarrival,
+                         params_.daily_cycle_amplitude, rng);
+}
+
+CategoryMixParams CategoryMixModel::ctc() {
+  CategoryMixParams p;
+  p.name = "CTC";
+  p.machine_procs = 430;
+  p.mix = {0.4506, 0.1184, 0.3026, 0.1284};  // Table 2
+  p.max_runtime = 18 * 3600;                 // CTC queue limit
+  p.max_width = 336;                         // largest CTC batch request
+  return p;
+}
+
+CategoryMixParams CategoryMixModel::sdsc() {
+  CategoryMixParams p;
+  p.name = "SDSC";
+  p.machine_procs = 128;
+  p.mix = {0.4724, 0.2144, 0.2094, 0.1038};  // Table 3
+  p.max_runtime = 36 * 3600;
+  p.max_width = 128;
+  return p;
+}
+
+LublinStyleModel::LublinStyleModel(LublinStyleParams params)
+    : params_(std::move(params)) {
+  if (params_.machine_procs < 2)
+    throw std::invalid_argument("LublinStyleModel: machine too small");
+  if (params_.serial_fraction < 0.0 || params_.serial_fraction > 1.0 ||
+      params_.hg_p < 0.0 || params_.hg_p > 1.0)
+    throw std::invalid_argument("LublinStyleModel: probabilities in [0,1]");
+}
+
+Job LublinStyleModel::sample_shape(sim::Rng& rng) const {
+  Job job;
+  if (rng.bernoulli(params_.serial_fraction)) {
+    job.procs = 1;
+  } else {
+    // Log-uniform parallelism over [2, P], optionally snapped to the
+    // nearest power of two (users overwhelmingly request powers of two).
+    const double w =
+        rng.log_uniform(2.0, static_cast<double>(params_.machine_procs));
+    int width = static_cast<int>(std::llround(w));
+    if (rng.bernoulli(params_.pow2_fraction)) {
+      const double l2 = std::log2(static_cast<double>(width));
+      width = 1 << static_cast<int>(std::llround(l2));
+    }
+    job.procs = std::clamp(width, 2, params_.machine_procs);
+  }
+  const double r =
+      rng.hyper_gamma(params_.hg_p, params_.hg_shape1, params_.hg_scale1,
+                      params_.hg_shape2, params_.hg_scale2);
+  job.runtime = std::clamp<sim::Time>(static_cast<sim::Time>(std::llround(r)),
+                                      1, params_.max_runtime);
+  job.estimate = job.runtime;
+  return job;
+}
+
+Trace LublinStyleModel::generate(std::size_t count, sim::Rng& rng) const {
+  std::vector<Job> shapes;
+  shapes.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) shapes.push_back(sample_shape(rng));
+  return attach_arrivals(std::move(shapes), params_.mean_interarrival, 0.0,
+                         rng);
+}
+
+}  // namespace bfsim::workload

@@ -1,0 +1,109 @@
+// bfsim -- synthetic workload models.
+//
+// The paper's experiments run on the CTC SP2 (430 batch nodes) and SDSC
+// SP2 (128 nodes) archive traces. Those logs cannot ship with this repo,
+// so we substitute generators calibrated to the published machine sizes
+// and to the category mixes of Tables 2-3; DESIGN.md section 2 documents
+// why this preserves the paper's conclusions. A Lublin-style model is
+// also provided for workload-robustness ablations.
+#pragma once
+
+#include <array>
+#include <string>
+
+#include "sim/rng.hpp"
+#include "sim/time.hpp"
+#include "workload/categories.hpp"
+#include "workload/job.hpp"
+
+namespace bfsim::workload {
+
+/// Parameters of the category-mix generator: jobs are drawn from the four
+/// Table-1 categories with fixed probabilities; within a category the
+/// runtime is log-uniform and the width is power-of-two biased, matching
+/// the coarse shape of the SP2 logs.
+struct CategoryMixParams {
+  std::string name = "synthetic";
+  int machine_procs = 128;
+
+  /// P(SN), P(SW), P(LN), P(LW) -- indexed by Category; must sum to ~1.
+  std::array<double, 4> mix{0.40, 0.15, 0.30, 0.15};
+
+  CategoryThresholds thresholds{};     ///< short/long + narrow/wide splits
+  sim::Time min_runtime = 30;          ///< shortest short job
+  sim::Time max_runtime = 18 * 3600;   ///< queue limit (18 h on the CTC SP2)
+  double pow2_fraction = 0.75;         ///< widths snapped to powers of two
+  int max_width = 0;                   ///< 0 => machine_procs
+
+  /// Mean inter-arrival gap in seconds. Experiments normally override the
+  /// resulting load with transforms::set_offered_load.
+  double mean_interarrival = 600.0;
+
+  /// Sinusoidal daily arrival cycle: rate(t) = base*(1 + a*sin(2*pi*t/day)).
+  double daily_cycle_amplitude = 0.0;
+};
+
+/// Draws jobs per CategoryMixParams. Widths within Narrow are 1..8 and
+/// within Wide are (8, max_width], both biased toward powers of two;
+/// runtimes are log-uniform within the category's band.
+class CategoryMixModel {
+ public:
+  explicit CategoryMixModel(CategoryMixParams params);
+
+  /// Sample runtime and width for one job (submit left at 0).
+  [[nodiscard]] Job sample_shape(sim::Rng& rng) const;
+
+  /// Generate `count` jobs with exponential (optionally daily-modulated)
+  /// arrivals, sorted by submit time, ids = index, estimate == runtime.
+  [[nodiscard]] Trace generate(std::size_t count, sim::Rng& rng) const;
+
+  [[nodiscard]] const CategoryMixParams& params() const { return params_; }
+
+  /// Preset calibrated to the CTC trace: 430 processors, Table-2 mix
+  /// {SN 45.06%, SW 11.84%, LN 30.26%, LW 12.84%}.
+  [[nodiscard]] static CategoryMixParams ctc();
+
+  /// Preset calibrated to the SDSC SP2 trace: 128 processors, Table-3 mix
+  /// {SN 47.24%, SW 21.44%, LN 20.94%, LW 10.38%}.
+  [[nodiscard]] static CategoryMixParams sdsc();
+
+ private:
+  CategoryMixParams params_;
+
+  [[nodiscard]] int sample_width(Category cat, sim::Rng& rng) const;
+  [[nodiscard]] sim::Time sample_runtime(Category cat, sim::Rng& rng) const;
+};
+
+/// Parameters of the Lublin-style model (Lublin & Feitelson, JPDC 2003,
+/// simplified): a serial-job mass, log-uniform power-of-two-biased
+/// parallelism, and hyper-gamma runtimes. Not calibrated to a specific
+/// machine; used for robustness ablations.
+struct LublinStyleParams {
+  std::string name = "lublin-style";
+  int machine_procs = 128;
+  double serial_fraction = 0.24;
+  double pow2_fraction = 0.75;
+  /// Hyper-gamma runtime: Gamma(k1,t1) w.p. p, else Gamma(k2,t2), clamped
+  /// to [1, max_runtime]. Defaults give a short-body/long-tail mixture.
+  double hg_p = 0.65;
+  double hg_shape1 = 2.0, hg_scale1 = 500.0;    ///< short component
+  double hg_shape2 = 8.0, hg_scale2 = 4000.0;   ///< long component
+  sim::Time max_runtime = 36 * 3600;
+  double mean_interarrival = 600.0;
+};
+
+/// Lublin-style generator; same Trace contract as CategoryMixModel.
+class LublinStyleModel {
+ public:
+  explicit LublinStyleModel(LublinStyleParams params);
+
+  [[nodiscard]] Job sample_shape(sim::Rng& rng) const;
+  [[nodiscard]] Trace generate(std::size_t count, sim::Rng& rng) const;
+
+  [[nodiscard]] const LublinStyleParams& params() const { return params_; }
+
+ private:
+  LublinStyleParams params_;
+};
+
+}  // namespace bfsim::workload

@@ -1,0 +1,66 @@
+// bfsim -- trace transforms: load scaling, normalization, statistics.
+//
+// "A high load condition was simulated by shrinking the inter-arrival
+// times of jobs" (Section 3) -- scale_interarrival / set_offered_load
+// implement exactly that knob.
+#pragma once
+
+#include <array>
+#include <cstddef>
+
+#include "workload/categories.hpp"
+#include "sim/rng.hpp"
+#include "workload/job.hpp"
+
+namespace bfsim::workload {
+
+/// Re-sort by submit time (stable) and renumber ids to match indices.
+/// Every transform below preserves this invariant; call it after any
+/// manual edit to a trace.
+void finalize(Trace& trace);
+
+/// Shift submit times so the first job arrives at t = 0.
+void rebase(Trace& trace);
+
+/// Multiply every inter-arrival gap by `factor` (> 0). factor < 1 raises
+/// the load (the paper's "high load"), factor > 1 lowers it.
+void scale_interarrival(Trace& trace, double factor);
+
+/// Offered load rho = total work / (procs x arrival span): the mean
+/// fraction of the machine the workload demands. Returns 0 for traces
+/// with fewer than two jobs or a zero arrival span.
+[[nodiscard]] double offered_load(const Trace& trace, int procs);
+
+/// Rescale inter-arrival gaps uniformly so that offered_load() == rho.
+/// This is the calibrated version of the paper's load knob: it makes
+/// "high load" mean the same pressure on the 430-node CTC and the
+/// 128-node SDSC configurations. No-op on traces where offered_load()
+/// is 0. Requires 0 < rho.
+void set_offered_load(Trace& trace, int procs, double rho);
+
+/// Keep only the first `count` jobs (by submit order).
+void truncate(Trace& trace, std::size_t count);
+
+/// Mark a random `fraction` of jobs as cancelled-while-queued: each
+/// chosen job is withdrawn `patience x estimate` seconds after
+/// submission unless it has started by then (impatient users giving up,
+/// a routine event in the archive traces). Deterministic given `rng`.
+void apply_cancellations(Trace& trace, double fraction, double patience,
+                         sim::Rng& rng);
+
+/// Summary statistics used by reports and generator-calibration tests.
+struct TraceStats {
+  std::size_t jobs = 0;
+  sim::Time span = 0;              ///< last submit - first submit
+  double mean_runtime = 0.0;
+  double mean_procs = 0.0;
+  double mean_interarrival = 0.0;
+  double offered_load = 0.0;       ///< vs. the given machine size
+  double mean_overestimate = 0.0;  ///< mean(estimate / runtime)
+  std::array<double, 4> mix{};     ///< category fractions (Table 2/3 view)
+};
+
+[[nodiscard]] TraceStats compute_stats(const Trace& trace, int procs,
+                                       const CategoryThresholds& t = {});
+
+}  // namespace bfsim::workload

@@ -1,0 +1,171 @@
+#include "core/conservative_scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/simulation.hpp"
+#include "sim/event_queue.hpp"
+#include "test_support.hpp"
+
+namespace bfsim::core {
+namespace {
+
+using test::JobSpec;
+using test::make_trace;
+using test::start_times;
+
+SimulationResult run(const Trace& trace, int procs,
+                     PriorityPolicy priority = PriorityPolicy::Fcfs) {
+  ConservativeScheduler scheduler{SchedulerConfig{procs, priority}};
+  return run_simulation(trace, scheduler, {.validate = true});
+}
+
+Job make_job(JobId id, sim::Time submit, sim::Time estimate, int procs) {
+  Job j;
+  j.id = id;
+  j.submit = submit;
+  j.runtime = estimate;
+  j.estimate = estimate;
+  j.procs = procs;
+  return j;
+}
+
+TEST(ConservativeScheduler, EveryJobGetsAReservationOnArrival) {
+  ConservativeScheduler scheduler{SchedulerConfig{4, PriorityPolicy::Fcfs}};
+  scheduler.job_submitted(make_job(0, 0, 100, 4), 0);
+  EXPECT_EQ(scheduler.reservation_of(0), 0);
+  (void)scheduler.select_starts(0);
+  scheduler.job_submitted(make_job(1, 1, 50, 4), 1);
+  EXPECT_EQ(scheduler.reservation_of(1), 100);
+  scheduler.job_submitted(make_job(2, 2, 50, 4), 2);
+  EXPECT_EQ(scheduler.reservation_of(2), 150);  // behind job 1's guarantee
+  scheduler.job_submitted(make_job(3, 3, 99999, 2), 3);
+  // A narrow job backfills into the hole beside the running job only if
+  // it also clears both reservations; this one cannot, so it anchors
+  // after everything.
+  EXPECT_EQ(scheduler.reservation_of(3), 200);
+}
+
+TEST(ConservativeScheduler, BackfillsIntoHolesWithoutDelayingAnyone) {
+  const Trace trace = make_trace({
+      {.submit = 0, .runtime = 100, .procs = 2},  // [0,100) on 2 procs
+      {.submit = 1, .runtime = 100, .procs = 4},  // reserved [100,200)
+      {.submit = 2, .runtime = 90, .procs = 2},   // fits [2,92): backfills
+      {.submit = 3, .runtime = 150, .procs = 2},  // would hit the roof: 200
+  });
+  const auto result = run(trace, 4);
+  EXPECT_EQ(start_times(result), (std::vector<sim::Time>{0, 100, 2, 200}));
+}
+
+TEST(ConservativeScheduler, ReservationsActAsRoofs) {
+  // The reservation of a *queued* job (not just the head) blocks a later
+  // long job -- the "roof" effect that hurts Long-Narrow jobs under
+  // conservative backfilling (paper Section 4.2).
+  ConservativeScheduler scheduler{SchedulerConfig{4, PriorityPolicy::Fcfs}};
+  scheduler.job_submitted(make_job(0, 0, 1000, 2), 0);
+  (void)scheduler.select_starts(0);
+  scheduler.job_submitted(make_job(1, 1, 10, 4), 1);   // roof [1000,1010)
+  scheduler.job_submitted(make_job(2, 2, 2000, 2), 2); // long narrow
+  // Without job 1's roof, job 2 would start at t=2 beside job 0.
+  EXPECT_EQ(scheduler.reservation_of(2), 1010);
+}
+
+TEST(ConservativeScheduler, EarlyCompletionCompressesReservations) {
+  const Trace trace = make_trace({
+      {.submit = 0, .runtime = 50, .procs = 4, .estimate = 100},  // ends early
+      {.submit = 1, .runtime = 100, .procs = 4, .estimate = 100},
+  });
+  const auto result = run(trace, 4);
+  // Job 1 was guaranteed t=100 but compression pulls it to t=50.
+  EXPECT_EQ(start_times(result), (std::vector<sim::Time>{0, 50}));
+}
+
+TEST(ConservativeScheduler, CompressionFollowsPriorityOrder) {
+  // After an early completion, queued jobs are re-anchored in priority
+  // order -- the only place the priority policy matters (Section 4.1).
+  const std::vector<JobSpec> specs{
+      {.submit = 0, .runtime = 30, .procs = 4, .estimate = 100},
+      {.submit = 1, .runtime = 100, .procs = 4, .estimate = 100},  // long
+      {.submit = 2, .runtime = 10, .procs = 4, .estimate = 10},    // short
+      {.submit = 3, .runtime = 10, .procs = 4, .estimate = 10},    // short
+  };
+  const Trace trace = make_trace(specs);
+  const auto fcfs = run(trace, 4, PriorityPolicy::Fcfs);
+  EXPECT_EQ(start_times(fcfs), (std::vector<sim::Time>{0, 30, 130, 140}));
+  const auto sjf = run(trace, 4, PriorityPolicy::Sjf);
+  // The short jobs grab the freed hole first under SJF.
+  EXPECT_EQ(start_times(sjf), (std::vector<sim::Time>{0, 50, 30, 40}));
+}
+
+TEST(ConservativeScheduler, OnTimeCompletionChangesNothing) {
+  // With exact estimates no new holes appear: reservations assigned at
+  // arrival are final (the priority-equivalence mechanism).
+  ConservativeScheduler scheduler{SchedulerConfig{4, PriorityPolicy::Sjf}};
+  scheduler.job_submitted(make_job(0, 0, 100, 4), 0);
+  (void)scheduler.select_starts(0);
+  scheduler.job_submitted(make_job(1, 1, 200, 4), 1);
+  scheduler.job_submitted(make_job(2, 2, 10, 4), 2);
+  const sim::Time res1 = scheduler.reservation_of(1);
+  const sim::Time res2 = scheduler.reservation_of(2);
+  EXPECT_EQ(res1, 100);
+  EXPECT_EQ(res2, 300);  // SJF cannot jump an existing guarantee
+  scheduler.job_finished(0, 100);  // exactly on estimate
+  EXPECT_EQ(scheduler.reservation_of(1), res1);
+  EXPECT_EQ(scheduler.reservation_of(2), res2);
+}
+
+TEST(ConservativeScheduler, GuaranteeNeverWorsensAcrossEvents) {
+  // Random trace with overestimates: track every job's reservation at
+  // arrival and assert its actual start is never later.
+  const Trace trace = test::random_trace(300, 16, 99, /*overestimate=*/true);
+  ConservativeScheduler scheduler{SchedulerConfig{16, PriorityPolicy::Fcfs}};
+  std::vector<sim::Time> guaranteed(trace.size(), sim::kNoTime);
+
+  sim::EventQueue<JobId> events;
+  for (const Job& job : trace) events.push(job.submit, 1, job.id);
+  std::vector<sim::Time> started(trace.size(), sim::kNoTime);
+  while (!events.empty()) {
+    const sim::Time now = events.top().time;
+    while (!events.empty() && events.top().time == now) {
+      const auto event = events.pop();
+      if (event.priority_class == 0) {
+        scheduler.job_finished(event.payload, now);
+      } else {
+        scheduler.job_submitted(trace[event.payload], now);
+        guaranteed[event.payload] = scheduler.reservation_of(event.payload);
+      }
+    }
+    for (const Job& job : scheduler.select_starts(now)) {
+      started[job.id] = now;
+      events.push(now + std::min(job.runtime, job.estimate), 0, job.id);
+    }
+  }
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    ASSERT_NE(started[i], sim::kNoTime) << "job " << i;
+    EXPECT_LE(started[i], guaranteed[i]) << "job " << i;
+  }
+}
+
+TEST(ConservativeScheduler, ProfileTailReturnsToFullyFree) {
+  ConservativeScheduler scheduler{SchedulerConfig{8, PriorityPolicy::Fcfs}};
+  scheduler.job_submitted(make_job(0, 0, 100, 8), 0);
+  (void)scheduler.select_starts(0);
+  scheduler.job_submitted(make_job(1, 1, 100, 4), 1);
+  EXPECT_NO_THROW(scheduler.profile().check_invariants());
+  EXPECT_EQ(scheduler.profile().free_at(100), 4);
+  EXPECT_EQ(scheduler.profile().free_at(200), 8);
+}
+
+TEST(ConservativeScheduler, RejectsJobWiderThanMachine) {
+  ConservativeScheduler scheduler{SchedulerConfig{8, PriorityPolicy::Fcfs}};
+  EXPECT_THROW(scheduler.job_submitted(make_job(0, 0, 10, 9), 0),
+               std::invalid_argument);
+}
+
+TEST(ConservativeScheduler, NameIncludesPriority) {
+  const ConservativeScheduler scheduler{
+      SchedulerConfig{8, PriorityPolicy::Sjf}};
+  EXPECT_EQ(scheduler.name(), "conservative-sjf");
+}
+
+}  // namespace
+}  // namespace bfsim::core

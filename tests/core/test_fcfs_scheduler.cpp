@@ -1,0 +1,108 @@
+#include "core/fcfs_scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/simulation.hpp"
+#include "test_support.hpp"
+
+namespace bfsim::core {
+namespace {
+
+using test::JobSpec;
+using test::make_trace;
+using test::start_times;
+
+SimulationResult run(const Trace& trace, int procs,
+                     PriorityPolicy priority = PriorityPolicy::Fcfs) {
+  FcfsScheduler scheduler{SchedulerConfig{procs, priority}};
+  return run_simulation(trace, scheduler, {.validate = true});
+}
+
+TEST(FcfsScheduler, RunsJobsImmediatelyWhenMachineFree) {
+  const Trace trace = make_trace({{.submit = 0, .runtime = 10, .procs = 2},
+                                  {.submit = 0, .runtime = 10, .procs = 2}});
+  const auto result = run(trace, 4);
+  EXPECT_EQ(start_times(result), (std::vector<sim::Time>{0, 0}));
+}
+
+TEST(FcfsScheduler, HeadOfQueueBlocksEverything) {
+  // J1 (whole machine) blocks J2 even though J2 would fit right now --
+  // the utilization loss that motivated backfilling.
+  const Trace trace = make_trace({
+      {.submit = 0, .runtime = 100, .procs = 2},  // J0 runs [0, 100)
+      {.submit = 1, .runtime = 10, .procs = 4},   // J1 blocked until 100
+      {.submit = 2, .runtime = 10, .procs = 1},   // J2 stuck behind J1
+  });
+  const auto result = run(trace, 4);
+  EXPECT_EQ(start_times(result), (std::vector<sim::Time>{0, 100, 110}));
+}
+
+TEST(FcfsScheduler, StartsInArrivalOrder) {
+  const Trace trace = make_trace({
+      {.submit = 0, .runtime = 50, .procs = 4},
+      {.submit = 1, .runtime = 10, .procs = 4},
+      {.submit = 2, .runtime = 10, .procs = 4},
+      {.submit = 3, .runtime = 10, .procs = 4},
+  });
+  const auto result = run(trace, 4);
+  EXPECT_EQ(start_times(result), (std::vector<sim::Time>{0, 50, 60, 70}));
+}
+
+TEST(FcfsScheduler, SjfPriorityReordersQueue) {
+  const Trace trace = make_trace({
+      {.submit = 0, .runtime = 100, .procs = 4},  // machine busy
+      {.submit = 1, .runtime = 500, .procs = 4},  // long
+      {.submit = 2, .runtime = 10, .procs = 4},   // short -> first under SJF
+  });
+  const auto result = run(trace, 4, PriorityPolicy::Sjf);
+  EXPECT_EQ(start_times(result), (std::vector<sim::Time>{0, 110, 100}));
+}
+
+TEST(FcfsScheduler, MultipleStartsWhenCapacityFreesUp) {
+  const Trace trace = make_trace({
+      {.submit = 0, .runtime = 100, .procs = 4},
+      {.submit = 1, .runtime = 10, .procs = 2},
+      {.submit = 2, .runtime = 10, .procs = 2},
+  });
+  const auto result = run(trace, 4);
+  // Both small jobs start together once the big one ends.
+  EXPECT_EQ(start_times(result), (std::vector<sim::Time>{0, 100, 100}));
+}
+
+TEST(FcfsScheduler, RejectsJobWiderThanMachine) {
+  const Trace trace = make_trace({{.submit = 0, .runtime = 10, .procs = 9}});
+  FcfsScheduler scheduler{SchedulerConfig{8, PriorityPolicy::Fcfs}};
+  EXPECT_THROW((void)run_simulation(trace, scheduler), std::invalid_argument);
+}
+
+TEST(FcfsScheduler, NamesIncludePriority) {
+  const FcfsScheduler scheduler{SchedulerConfig{8, PriorityPolicy::Sjf}};
+  EXPECT_EQ(scheduler.name(), "nobackfill-sjf");
+}
+
+TEST(FcfsScheduler, CountsQueuedAndRunning) {
+  FcfsScheduler scheduler{SchedulerConfig{4, PriorityPolicy::Fcfs}};
+  Job a;
+  a.id = 0;
+  a.submit = 0;
+  a.runtime = a.estimate = 100;
+  a.procs = 4;
+  Job b = a;
+  b.id = 1;
+  b.submit = 1;
+  scheduler.job_submitted(a, 0);
+  EXPECT_EQ(scheduler.queued_count(), 1u);
+  (void)scheduler.select_starts(0);
+  EXPECT_EQ(scheduler.queued_count(), 0u);
+  EXPECT_EQ(scheduler.running_count(), 1u);
+  scheduler.job_submitted(b, 1);
+  EXPECT_TRUE(scheduler.select_starts(1).empty());
+  scheduler.job_finished(0, 100);
+  EXPECT_EQ(scheduler.running_count(), 0u);
+  const auto started = scheduler.select_starts(100);
+  ASSERT_EQ(started.size(), 1u);
+  EXPECT_EQ(started[0].id, 1u);
+}
+
+}  // namespace
+}  // namespace bfsim::core

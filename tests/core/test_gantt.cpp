@@ -1,0 +1,66 @@
+#include "core/gantt.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/simulation.hpp"
+#include "test_support.hpp"
+
+namespace bfsim::core {
+namespace {
+
+using test::make_trace;
+
+std::vector<JobOutcome> small_schedule() {
+  const Trace trace = make_trace({{.submit = 0, .runtime = 100, .procs = 2},
+                                  {.submit = 0, .runtime = 50, .procs = 2},
+                                  {.submit = 100, .runtime = 50, .procs = 4}});
+  return run_simulation(trace, SchedulerKind::Easy,
+                        SchedulerConfig{4, PriorityPolicy::Fcfs})
+      .outcomes;
+}
+
+TEST(Gantt, EmptyScheduleHandled) {
+  EXPECT_EQ(ascii_gantt({}, 4), "(empty schedule)\n");
+  EXPECT_EQ(ascii_utilization({}, 4), "(empty schedule)\n");
+}
+
+TEST(Gantt, OneRowPerProcessor) {
+  const std::string out = ascii_gantt(small_schedule(), 4, 40);
+  int rows = 0;
+  for (std::size_t pos = out.find('|'); pos != std::string::npos;
+       pos = out.find('|', pos + 1))
+    ++rows;
+  EXPECT_EQ(rows, 8);  // 4 rows x 2 bars each
+}
+
+TEST(Gantt, JobsAppearAsLetters) {
+  const std::string out = ascii_gantt(small_schedule(), 4, 40);
+  EXPECT_NE(out.find('A'), std::string::npos);
+  EXPECT_NE(out.find('B'), std::string::npos);
+  EXPECT_NE(out.find('C'), std::string::npos);
+}
+
+TEST(Gantt, HeaderShowsMakespan) {
+  const std::string out = ascii_gantt(small_schedule(), 4, 40);
+  EXPECT_NE(out.find("00:02:30"), std::string::npos);  // 150 s
+}
+
+TEST(Gantt, UtilizationBucketsRendered) {
+  const std::string out = ascii_utilization(small_schedule(), 4, 10, 20);
+  int lines = 0;
+  for (char c : out)
+    if (c == '\n') ++lines;
+  EXPECT_EQ(lines, 11);  // 10 buckets + mean footer
+  EXPECT_NE(out.find("mean utilization"), std::string::npos);
+  EXPECT_NE(out.find('#'), std::string::npos);
+}
+
+TEST(Gantt, UtilizationMeanMatchesValidator) {
+  const auto outcomes = small_schedule();
+  const std::string out = ascii_utilization(outcomes, 4, 6, 20);
+  // 2*100 + 2*50 + 4*50 = 500 proc-s over 4*150 = 600 -> 83.33%
+  EXPECT_NE(out.find("83.33%"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace bfsim::core

@@ -1,0 +1,177 @@
+#include "core/selective_scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/simulation.hpp"
+#include "test_support.hpp"
+
+namespace bfsim::core {
+namespace {
+
+using test::JobSpec;
+using test::make_trace;
+
+SimulationResult run(const Trace& trace, int procs, double threshold,
+                     PriorityPolicy priority = PriorityPolicy::Fcfs) {
+  SelectiveScheduler scheduler{SchedulerConfig{procs, priority}, threshold};
+  return run_simulation(trace, scheduler, {.validate = true});
+}
+
+TEST(SelectiveScheduler, RejectsThresholdBelowOne) {
+  EXPECT_THROW(
+      (SelectiveScheduler{SchedulerConfig{4, PriorityPolicy::Fcfs}, 0.5}),
+      std::invalid_argument);
+}
+
+TEST(SelectiveScheduler, BackfillsGreedilyBeforePromotion) {
+  // With a high threshold nothing is promoted early: behaves like pure
+  // no-guarantee backfilling at first.
+  const Trace trace = make_trace({
+      {.submit = 0, .runtime = 100, .procs = 3},
+      {.submit = 1, .runtime = 10, .procs = 4},   // wide, unprotected
+      {.submit = 2, .runtime = 90, .procs = 1},   // leapfrogs
+  });
+  const auto result = run(trace, 4, 1000.0);
+  EXPECT_EQ(result.outcomes[2].start, 2);
+}
+
+TEST(SelectiveScheduler, PromotionProtectsStarvingJob) {
+  // A full-width job facing a steady stream of narrow work starves
+  // without a reservation (the stream keeps two 1-proc jobs running, so
+  // four processors are never simultaneously free); once its expansion
+  // factor crosses the threshold it gets a guarantee and the stream must
+  // flow around it (the paper's Section 6 cure).
+  std::vector<JobSpec> specs;
+  specs.push_back({.submit = 0, .runtime = 100, .procs = 3});
+  specs.push_back({.submit = 1, .runtime = 50, .procs = 4});  // the victim
+  for (int i = 0; i < 40; ++i)  // 1-proc stream, 100 s each, every 50 s
+    specs.push_back({.submit = 2 + i * 50, .runtime = 100, .procs = 1});
+  const Trace trace = make_trace(specs);
+
+  const auto greedy = run(trace, 4, 1e9);     // never promote
+  const auto selective = run(trace, 4, 3.0);  // promote at xfactor 3
+  // Greedy: the victim waits for the entire stream to drain.
+  EXPECT_GE(greedy.outcomes[1].wait(), 1500);
+  // Selective: promotion fires once the wait reaches ~2 estimates
+  // (xfactor 3 at estimate 50), and the reservation lands soon after.
+  EXPECT_LT(selective.outcomes[1].wait(), greedy.outcomes[1].wait());
+  EXPECT_LE(selective.outcomes[1].wait(), 400);
+}
+
+TEST(SelectiveScheduler, ThresholdOnePromotesOnFirstSchedulingPass) {
+  SelectiveScheduler scheduler{SchedulerConfig{4, PriorityPolicy::Fcfs},
+                               1.0};
+  Job a;
+  a.id = 0;
+  a.submit = 0;
+  a.runtime = a.estimate = 100;
+  a.procs = 4;
+  Job b = a;
+  b.id = 1;
+  b.submit = 0;
+  scheduler.job_submitted(a, 0);
+  scheduler.job_submitted(b, 0);
+  (void)scheduler.select_starts(0);
+  // Job 0 started; job 1 queued and, at threshold 1.0, already promoted.
+  EXPECT_EQ(scheduler.promoted_count(), 1u);
+}
+
+TEST(SelectiveScheduler, PromotedJobStartsAtItsAnchor) {
+  const Trace trace = make_trace({
+      {.submit = 0, .runtime = 100, .procs = 4},
+      {.submit = 1, .runtime = 100, .procs = 4},
+  });
+  const auto result = run(trace, 4, 1.0);
+  EXPECT_EQ(result.outcomes[1].start, 100);
+}
+
+TEST(SelectiveScheduler, AdaptiveThresholdStartsAtFloor) {
+  const SelectiveScheduler scheduler{
+      SchedulerConfig{4, PriorityPolicy::Fcfs}, 2.0,
+      SelectiveScheduler::Mode::AdaptiveMeanSlowdown};
+  // No completions yet: the floor applies.
+  EXPECT_DOUBLE_EQ(scheduler.effective_threshold(), 2.0);
+  EXPECT_EQ(scheduler.mode(),
+            SelectiveScheduler::Mode::AdaptiveMeanSlowdown);
+}
+
+TEST(SelectiveScheduler, AdaptiveThresholdTracksCompletedSlowdown) {
+  SelectiveScheduler scheduler{
+      SchedulerConfig{4, PriorityPolicy::Fcfs}, 1.0,
+      SelectiveScheduler::Mode::AdaptiveMeanSlowdown};
+  // Two jobs, the second waits 100 s for a 100 s run: slowdowns 1 and 2.
+  Job a;
+  a.id = 0;
+  a.submit = 0;
+  a.runtime = a.estimate = 100;
+  a.procs = 4;
+  Job b = a;
+  b.id = 1;
+  b.submit = 0;
+  scheduler.job_submitted(a, 0);
+  scheduler.job_submitted(b, 0);
+  (void)scheduler.select_starts(0);
+  scheduler.job_finished(0, 100);
+  (void)scheduler.select_starts(100);
+  scheduler.job_finished(1, 200);
+  // mean bounded slowdown = (1 + 2) / 2.
+  EXPECT_DOUBLE_EQ(scheduler.effective_threshold(), 1.5);
+}
+
+TEST(SelectiveScheduler, FixedModeIgnoresCompletions) {
+  SelectiveScheduler scheduler{SchedulerConfig{4, PriorityPolicy::Fcfs},
+                               3.0};
+  Job a;
+  a.id = 0;
+  a.submit = 0;
+  a.runtime = a.estimate = 100;
+  a.procs = 4;
+  scheduler.job_submitted(a, 0);
+  (void)scheduler.select_starts(0);
+  scheduler.job_finished(0, 100);
+  EXPECT_DOUBLE_EQ(scheduler.effective_threshold(), 3.0);
+}
+
+TEST(SelectiveScheduler, AdaptiveModeProducesValidSchedules) {
+  const Trace trace = test::random_trace(300, 8, 21, true);
+  SelectiveScheduler scheduler{
+      SchedulerConfig{8, PriorityPolicy::Fcfs}, 1.5,
+      SelectiveScheduler::Mode::AdaptiveMeanSlowdown};
+  EXPECT_NO_THROW(
+      (void)run_simulation(trace, scheduler, {.validate = true}));
+}
+
+TEST(SelectiveScheduler, AdaptiveNameDiffers) {
+  const SelectiveScheduler scheduler{
+      SchedulerConfig{8, PriorityPolicy::Sjf}, 2.0,
+      SelectiveScheduler::Mode::AdaptiveMeanSlowdown};
+  EXPECT_EQ(scheduler.name(), "selective-adaptive2.0-sjf");
+}
+
+TEST(SelectiveScheduler, FactoryBuildsAdaptive) {
+  SchedulerExtras extras;
+  extras.xfactor_threshold = 2.0;
+  extras.selective_adaptive = true;
+  const auto scheduler =
+      make_scheduler(SchedulerKind::Selective,
+                     SchedulerConfig{8, PriorityPolicy::Fcfs}, extras);
+  EXPECT_EQ(scheduler->name(), "selective-adaptive2.0-fcfs");
+}
+
+TEST(SelectiveScheduler, NameEncodesThreshold) {
+  const SelectiveScheduler scheduler{SchedulerConfig{8, PriorityPolicy::Sjf},
+                                     2.5};
+  EXPECT_EQ(scheduler.name(), "selective2.5-sjf");
+}
+
+TEST(SelectiveScheduler, FactoryBuildsWithExtras) {
+  SchedulerExtras extras;
+  extras.xfactor_threshold = 4.0;
+  const auto scheduler =
+      make_scheduler(SchedulerKind::Selective,
+                     SchedulerConfig{8, PriorityPolicy::Fcfs}, extras);
+  EXPECT_EQ(scheduler->name(), "selective4.0-fcfs");
+}
+
+}  // namespace
+}  // namespace bfsim::core

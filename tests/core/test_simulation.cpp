@@ -1,0 +1,148 @@
+#include "core/simulation.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_support.hpp"
+
+namespace bfsim::core {
+namespace {
+
+using test::JobSpec;
+using test::make_trace;
+
+TEST(Simulation, EmptyTraceProducesEmptyResult) {
+  const Trace empty;
+  const auto result = run_simulation(
+      empty, SchedulerKind::Easy, SchedulerConfig{4, PriorityPolicy::Fcfs});
+  EXPECT_TRUE(result.outcomes.empty());
+  EXPECT_EQ(result.makespan, 0);
+  EXPECT_EQ(result.events, 0u);
+}
+
+TEST(Simulation, SingleJobRunsImmediately) {
+  const Trace trace = make_trace({{.submit = 5, .runtime = 10, .procs = 2}});
+  const auto result = run_simulation(
+      trace, SchedulerKind::Conservative,
+      SchedulerConfig{4, PriorityPolicy::Fcfs}, {}, {.validate = true});
+  ASSERT_EQ(result.outcomes.size(), 1u);
+  EXPECT_EQ(result.outcomes[0].start, 5);
+  EXPECT_EQ(result.outcomes[0].end, 15);
+  EXPECT_FALSE(result.outcomes[0].killed);
+  EXPECT_EQ(result.makespan, 15);
+  EXPECT_EQ(result.events, 2u);  // one submit + one finish
+}
+
+TEST(Simulation, JobExceedingEstimateIsKilled) {
+  const Trace trace = make_trace(
+      {{.submit = 0, .runtime = 500, .procs = 1, .estimate = 100}});
+  const auto result = run_simulation(
+      trace, SchedulerKind::Easy, SchedulerConfig{4, PriorityPolicy::Fcfs},
+      {}, {.validate = true});
+  EXPECT_TRUE(result.outcomes[0].killed);
+  EXPECT_EQ(result.outcomes[0].end, 100);  // killed at the wall-clock limit
+  EXPECT_EQ(result.outcomes[0].effective_runtime(), 100);
+}
+
+TEST(Simulation, OutcomeAccessors) {
+  const Trace trace = make_trace(
+      {{.submit = 10, .runtime = 50, .procs = 2, .estimate = 80}});
+  const auto result = run_simulation(
+      trace, SchedulerKind::Fcfs, SchedulerConfig{4, PriorityPolicy::Fcfs});
+  const JobOutcome& o = result.outcomes[0];
+  EXPECT_EQ(o.wait(), 0);
+  EXPECT_EQ(o.turnaround(), 50);
+  EXPECT_EQ(o.effective_runtime(), 50);
+}
+
+TEST(Simulation, RejectsUnsortedTrace) {
+  Trace trace = make_trace({{.submit = 100, .runtime = 1, .procs = 1},
+                            {.submit = 0, .runtime = 1, .procs = 1}});
+  std::swap(trace[0], trace[1]);  // break ordering but keep ids
+  std::swap(trace[0].id, trace[1].id);
+  EXPECT_THROW(
+      (void)run_simulation(trace, SchedulerKind::Easy,
+                           SchedulerConfig{4, PriorityPolicy::Fcfs}),
+      std::invalid_argument);
+}
+
+TEST(Simulation, RejectsBadIds) {
+  Trace trace = make_trace({{.submit = 0, .runtime = 1, .procs = 1}});
+  trace[0].id = 5;
+  EXPECT_THROW(
+      (void)run_simulation(trace, SchedulerKind::Easy,
+                           SchedulerConfig{4, PriorityPolicy::Fcfs}),
+      std::invalid_argument);
+}
+
+TEST(Simulation, RejectsMalformedJobs) {
+  for (const JobSpec bad : {JobSpec{.submit = 0, .runtime = 0, .procs = 1},
+                            JobSpec{.submit = 0, .runtime = 1, .procs = 0}}) {
+    Trace trace = make_trace({bad});
+    trace[0].runtime = bad.runtime;  // make_trace clamps nothing; keep as is
+    trace[0].procs = bad.procs;
+    EXPECT_THROW(
+        (void)run_simulation(trace, SchedulerKind::Easy,
+                             SchedulerConfig{4, PriorityPolicy::Fcfs}),
+        std::invalid_argument);
+  }
+}
+
+TEST(Simulation, SimultaneousFinishAndSubmitOrdering) {
+  // J1 arrives exactly when J0 finishes: it must see the free machine.
+  const Trace trace = make_trace({{.submit = 0, .runtime = 100, .procs = 4},
+                                  {.submit = 100, .runtime = 10, .procs = 4}});
+  const auto result = run_simulation(
+      trace, SchedulerKind::Fcfs, SchedulerConfig{4, PriorityPolicy::Fcfs},
+      {}, {.validate = true});
+  EXPECT_EQ(result.outcomes[1].start, 100);
+}
+
+TEST(Simulation, TracksPeakQueueDepth) {
+  std::vector<JobSpec> specs;
+  specs.push_back({.submit = 0, .runtime = 1000, .procs = 4});
+  for (int i = 0; i < 7; ++i)
+    specs.push_back({.submit = 1 + i, .runtime = 10, .procs = 4});
+  const auto result = run_simulation(
+      make_trace(specs), SchedulerKind::Fcfs,
+      SchedulerConfig{4, PriorityPolicy::Fcfs});
+  EXPECT_EQ(result.max_queue, 7u);
+}
+
+TEST(Simulation, EventCountIsTwoPerJob) {
+  const Trace trace = test::random_trace(100, 8, 3, false);
+  const auto result = run_simulation(
+      trace, SchedulerKind::Easy, SchedulerConfig{8, PriorityPolicy::Fcfs});
+  EXPECT_EQ(result.events, 200u);
+}
+
+TEST(Simulation, SchedulerNameIsRecorded) {
+  const Trace trace = make_trace({{.submit = 0, .runtime = 1, .procs = 1}});
+  const auto result = run_simulation(
+      trace, SchedulerKind::Conservative,
+      SchedulerConfig{4, PriorityPolicy::XFactor});
+  EXPECT_EQ(result.scheduler_name, "conservative-xfactor");
+}
+
+TEST(Simulation, DeterministicAcrossRuns) {
+  const Trace trace = test::random_trace(400, 16, 11, true);
+  const auto a = run_simulation(trace, SchedulerKind::Easy,
+                                SchedulerConfig{16, PriorityPolicy::Sjf});
+  const auto b = run_simulation(trace, SchedulerKind::Easy,
+                                SchedulerConfig{16, PriorityPolicy::Sjf});
+  for (std::size_t i = 0; i < trace.size(); ++i)
+    EXPECT_EQ(a.outcomes[i].start, b.outcomes[i].start);
+}
+
+TEST(Simulation, SchedulerKindNamesRoundTrip) {
+  for (const auto kind :
+       {SchedulerKind::Fcfs, SchedulerKind::Easy, SchedulerKind::Conservative,
+        SchedulerKind::KReservation, SchedulerKind::Selective,
+        SchedulerKind::Slack})
+    EXPECT_EQ(scheduler_kind_from_string(to_string(kind)), kind);
+  EXPECT_EQ(scheduler_kind_from_string("aggressive"), SchedulerKind::Easy);
+  EXPECT_THROW((void)scheduler_kind_from_string("nope"),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace bfsim::core

@@ -1,0 +1,131 @@
+#include "core/validator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/simulation.hpp"
+#include "test_support.hpp"
+
+namespace bfsim::core {
+namespace {
+
+using test::JobSpec;
+using test::make_trace;
+
+std::vector<JobOutcome> outcomes_for(const Trace& trace) {
+  std::vector<JobOutcome> outcomes;
+  for (const Job& job : trace) {
+    JobOutcome o;
+    o.job = job;
+    o.start = job.submit;
+    o.end = job.submit + std::min(job.runtime, job.estimate);
+    o.killed = job.runtime > job.estimate;
+    outcomes.push_back(o);
+  }
+  return outcomes;
+}
+
+TEST(Validator, AcceptsCorrectSchedule) {
+  const Trace trace = make_trace({{.submit = 0, .runtime = 10, .procs = 2},
+                                  {.submit = 5, .runtime = 10, .procs = 2}});
+  const auto report = validate_schedule(trace, outcomes_for(trace), 4);
+  EXPECT_TRUE(report.ok()) << report.violations.front();
+}
+
+TEST(Validator, DetectsStartBeforeSubmit) {
+  const Trace trace = make_trace({{.submit = 10, .runtime = 5, .procs = 1}});
+  auto outcomes = outcomes_for(trace);
+  outcomes[0].start = 5;
+  outcomes[0].end = 10;
+  const auto report = validate_schedule(trace, outcomes, 4);
+  ASSERT_FALSE(report.ok());
+  EXPECT_NE(report.violations[0].find("before submission"),
+            std::string::npos);
+}
+
+TEST(Validator, DetectsWrongDuration) {
+  const Trace trace = make_trace({{.submit = 0, .runtime = 5, .procs = 1}});
+  auto outcomes = outcomes_for(trace);
+  outcomes[0].end = outcomes[0].start + 99;
+  const auto report = validate_schedule(trace, outcomes, 4);
+  ASSERT_FALSE(report.ok());
+  EXPECT_NE(report.violations[0].find("ran"), std::string::npos);
+}
+
+TEST(Validator, DetectsOversubscription) {
+  const Trace trace = make_trace({{.submit = 0, .runtime = 10, .procs = 3},
+                                  {.submit = 0, .runtime = 10, .procs = 3}});
+  const auto report = validate_schedule(trace, outcomes_for(trace), 4);
+  ASSERT_FALSE(report.ok());
+  bool found = false;
+  for (const std::string& v : report.violations)
+    if (v.find("oversubscribed") != std::string::npos) found = true;
+  EXPECT_TRUE(found);
+}
+
+TEST(Validator, DetectsUnstartedJob) {
+  const Trace trace = make_trace({{.submit = 0, .runtime = 5, .procs = 1}});
+  std::vector<JobOutcome> outcomes(1);
+  outcomes[0].job = trace[0];
+  const auto report = validate_schedule(trace, outcomes, 4);
+  ASSERT_FALSE(report.ok());
+  EXPECT_NE(report.violations[0].find("never started"), std::string::npos);
+}
+
+TEST(Validator, DetectsCountMismatch) {
+  const Trace trace = make_trace({{.submit = 0, .runtime = 5, .procs = 1}});
+  const std::vector<JobOutcome> outcomes;
+  const auto report = validate_schedule(trace, outcomes, 4);
+  EXPECT_FALSE(report.ok());
+}
+
+TEST(Validator, DetectsInconsistentKillFlag) {
+  const Trace trace = make_trace(
+      {{.submit = 0, .runtime = 100, .procs = 1, .estimate = 50}});
+  auto outcomes = outcomes_for(trace);
+  outcomes[0].killed = false;  // should be true
+  const auto report = validate_schedule(trace, outcomes, 4);
+  ASSERT_FALSE(report.ok());
+  EXPECT_NE(report.violations[0].find("kill flag"), std::string::npos);
+}
+
+TEST(Validator, BackToBackJobsAreNotOverlap) {
+  // One job ends exactly when the next starts; [start, end) semantics.
+  const Trace trace = make_trace({{.submit = 0, .runtime = 10, .procs = 4},
+                                  {.submit = 0, .runtime = 10, .procs = 4}});
+  auto outcomes = outcomes_for(trace);
+  outcomes[1].start = 10;
+  outcomes[1].end = 20;
+  const auto report = validate_schedule(trace, outcomes, 4);
+  EXPECT_TRUE(report.ok());
+}
+
+TEST(Validator, PeakUsage) {
+  const Trace trace = make_trace({{.submit = 0, .runtime = 10, .procs = 3},
+                                  {.submit = 5, .runtime = 10, .procs = 2},
+                                  {.submit = 20, .runtime = 10, .procs = 4}});
+  EXPECT_EQ(peak_usage(outcomes_for(trace)), 5);
+}
+
+TEST(Validator, UtilizationComputation) {
+  // 10 s x 4 procs on an 8-proc machine over makespan 10 -> 0.5.
+  const Trace trace = make_trace({{.submit = 0, .runtime = 10, .procs = 4}});
+  EXPECT_DOUBLE_EQ(utilization(outcomes_for(trace), 8), 0.5);
+  EXPECT_DOUBLE_EQ(utilization({}, 8), 0.0);
+}
+
+TEST(Validator, SimulatedSchedulesValidateForAllSchedulers) {
+  const Trace trace = test::random_trace(200, 8, 5, true);
+  for (const auto kind :
+       {SchedulerKind::Fcfs, SchedulerKind::Easy, SchedulerKind::Conservative,
+        SchedulerKind::KReservation, SchedulerKind::Selective,
+        SchedulerKind::Slack}) {
+    const auto result = run_simulation(
+        trace, kind, SchedulerConfig{8, PriorityPolicy::Fcfs});
+    const auto report = validate_schedule(trace, result.outcomes, 8);
+    EXPECT_TRUE(report.ok())
+        << to_string(kind) << ": " << report.violations.front();
+  }
+}
+
+}  // namespace
+}  // namespace bfsim::core

@@ -1,0 +1,84 @@
+#include "exp/runner.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bfsim::exp {
+namespace {
+
+Scenario small_scenario() {
+  Scenario s;
+  s.trace = TraceKind::Sdsc;
+  s.jobs = 600;
+  s.load = 0.85;
+  s.scheduler = core::SchedulerKind::Easy;
+  s.priority = core::PriorityPolicy::Fcfs;
+  s.seed = 5;
+  return s;
+}
+
+TEST(Runner, ExperimentOptionsTrimFivePercent) {
+  const auto options = experiment_metrics_options(1000);
+  EXPECT_EQ(options.skip_head, 50u);
+  EXPECT_EQ(options.skip_tail, 50u);
+  EXPECT_EQ(options.slowdown_threshold, 10);
+}
+
+TEST(Runner, RunScenarioProducesTrimmedMetrics) {
+  const auto metrics = run_scenario(small_scenario());
+  EXPECT_EQ(metrics.overall.count(), 600u - 2 * 30u);
+  EXPECT_GT(metrics.overall.slowdown.mean(), 0.99);
+  EXPECT_GT(metrics.utilization, 0.1);
+}
+
+TEST(Runner, RunScenarioIsDeterministic) {
+  const auto a = run_scenario(small_scenario());
+  const auto b = run_scenario(small_scenario());
+  EXPECT_DOUBLE_EQ(a.overall.slowdown.mean(), b.overall.slowdown.mean());
+  EXPECT_DOUBLE_EQ(a.overall.turnaround.max(), b.overall.turnaround.max());
+}
+
+TEST(Runner, ReplicationsUseConsecutiveSeeds) {
+  const auto reps = run_replications(small_scenario(), 3);
+  ASSERT_EQ(reps.size(), 3u);
+  // Different seeds -> different workloads -> (almost surely) different
+  // means; and replication 0 must equal the single-run result.
+  const auto single = run_scenario(small_scenario());
+  EXPECT_DOUBLE_EQ(reps[0].overall.slowdown.mean(),
+                   single.overall.slowdown.mean());
+  EXPECT_NE(reps[0].overall.slowdown.mean(),
+            reps[1].overall.slowdown.mean());
+}
+
+TEST(Runner, ParallelReplicationsMatchSerial) {
+  ThreadPool pool{2};
+  const auto serial = run_replications(small_scenario(), 3);
+  const auto parallel = run_replications(small_scenario(), 3, &pool);
+  ASSERT_EQ(parallel.size(), serial.size());
+  for (std::size_t i = 0; i < serial.size(); ++i)
+    EXPECT_DOUBLE_EQ(parallel[i].overall.slowdown.mean(),
+                     serial[i].overall.slowdown.mean());
+}
+
+TEST(Runner, MeanAndMaxExtractors) {
+  const auto reps = run_replications(small_scenario(), 3);
+  const double mean_slow = mean_of(reps, overall_slowdown);
+  double expect = 0.0;
+  for (const auto& m : reps) expect += m.overall.slowdown.mean();
+  expect /= 3.0;
+  EXPECT_DOUBLE_EQ(mean_slow, expect);
+
+  const double worst = max_of(reps, worst_turnaround);
+  for (const auto& m : reps)
+    EXPECT_GE(worst, m.overall.turnaround.max());
+  EXPECT_DOUBLE_EQ(mean_of({}, overall_slowdown), 0.0);
+}
+
+TEST(Runner, CategoryExtractor) {
+  const auto m = run_scenario(small_scenario());
+  EXPECT_DOUBLE_EQ(
+      category_slowdown(m, workload::Category::ShortNarrow),
+      m.category(workload::Category::ShortNarrow).slowdown.mean());
+}
+
+}  // namespace
+}  // namespace bfsim::exp

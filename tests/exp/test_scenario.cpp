@@ -1,0 +1,124 @@
+#include "exp/scenario.hpp"
+
+#include <gtest/gtest.h>
+
+#include "workload/transforms.hpp"
+
+namespace bfsim::exp {
+namespace {
+
+TEST(Scenario, TraceKindNamesRoundTrip) {
+  for (const auto kind :
+       {TraceKind::Ctc, TraceKind::Sdsc, TraceKind::Lublin})
+    EXPECT_EQ(trace_kind_from_string(to_string(kind)), kind);
+  EXPECT_EQ(trace_kind_from_string("ctc"), TraceKind::Ctc);
+  EXPECT_THROW((void)trace_kind_from_string("xyz"), std::invalid_argument);
+}
+
+TEST(Scenario, MachineSizesMatchPaper) {
+  EXPECT_EQ(machine_procs(TraceKind::Ctc), 430);
+  EXPECT_EQ(machine_procs(TraceKind::Sdsc), 128);
+}
+
+TEST(Scenario, EstimateSpecLabels) {
+  EXPECT_EQ(EstimateSpec{}.label(), "exact");
+  EXPECT_EQ((EstimateSpec{EstimateRegime::Systematic, 4.0}).label(), "R=4");
+  EXPECT_EQ((EstimateSpec{EstimateRegime::Actual, 1.0}).label(), "actual");
+}
+
+TEST(Scenario, LabelMentionsEveryAxis) {
+  Scenario s;
+  s.trace = TraceKind::Sdsc;
+  s.scheduler = core::SchedulerKind::Conservative;
+  s.priority = core::PriorityPolicy::Sjf;
+  s.seed = 9;
+  const std::string label = s.label();
+  for (const char* part : {"SDSC", "conservative", "sjf", "exact", "seed=9"})
+    EXPECT_NE(label.find(part), std::string::npos) << part;
+}
+
+TEST(Scenario, BuildWorkloadIsSimulatorReady) {
+  Scenario s;
+  s.jobs = 500;
+  s.seed = 3;
+  const workload::Trace trace = build_workload(s);
+  ASSERT_EQ(trace.size(), 500u);
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    EXPECT_EQ(trace[i].id, i);
+    if (i > 0) {
+      EXPECT_LE(trace[i - 1].submit, trace[i].submit);
+    }
+    EXPECT_GE(trace[i].runtime, 1);
+    EXPECT_GE(trace[i].estimate, trace[i].runtime);
+    EXPECT_LE(trace[i].procs, s.procs());
+  }
+}
+
+TEST(Scenario, BuildWorkloadHitsTargetLoad) {
+  Scenario s;
+  s.jobs = 4000;
+  s.load = kHighLoad;
+  const workload::Trace trace = build_workload(s);
+  EXPECT_NEAR(workload::offered_load(trace, s.procs()), kHighLoad, 0.03);
+}
+
+TEST(Scenario, SchedulerAxisDoesNotChangeWorkload) {
+  Scenario a;
+  a.jobs = 300;
+  a.scheduler = core::SchedulerKind::Easy;
+  a.priority = core::PriorityPolicy::Sjf;
+  Scenario b = a;
+  b.scheduler = core::SchedulerKind::Conservative;
+  b.priority = core::PriorityPolicy::Fcfs;
+  EXPECT_EQ(build_workload(a), build_workload(b));
+}
+
+TEST(Scenario, EstimateRegimePreservesJobShapes) {
+  Scenario exact;
+  exact.jobs = 300;
+  Scenario actual = exact;
+  actual.estimates.regime = EstimateRegime::Actual;
+  const auto t1 = build_workload(exact);
+  const auto t2 = build_workload(actual);
+  ASSERT_EQ(t1.size(), t2.size());
+  for (std::size_t i = 0; i < t1.size(); ++i) {
+    EXPECT_EQ(t1[i].submit, t2[i].submit);
+    EXPECT_EQ(t1[i].runtime, t2[i].runtime);
+    EXPECT_EQ(t1[i].procs, t2[i].procs);
+    EXPECT_GE(t2[i].estimate, t2[i].runtime);
+  }
+}
+
+TEST(Scenario, SystematicRegimeMultipliesEstimates) {
+  Scenario s;
+  s.jobs = 200;
+  s.estimates = {EstimateRegime::Systematic, 4.0};
+  const auto trace = build_workload(s);
+  for (const auto& job : trace) EXPECT_EQ(job.estimate, 4 * job.runtime);
+}
+
+TEST(Scenario, SeedsProduceDifferentWorkloads) {
+  Scenario a;
+  a.jobs = 200;
+  a.seed = 1;
+  Scenario b = a;
+  b.seed = 2;
+  EXPECT_NE(build_workload(a), build_workload(b));
+}
+
+TEST(Scenario, BuildIsDeterministic) {
+  Scenario s;
+  s.jobs = 200;
+  s.trace = TraceKind::Lublin;
+  EXPECT_EQ(build_workload(s), build_workload(s));
+}
+
+TEST(Scenario, ZeroLoadSkipsNormalization) {
+  Scenario s;
+  s.jobs = 500;
+  s.load = 0.0;
+  EXPECT_NO_THROW((void)build_workload(s));
+}
+
+}  // namespace
+}  // namespace bfsim::exp

@@ -1,0 +1,89 @@
+#include "exp/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace bfsim::exp {
+namespace {
+
+TEST(ThreadPool, DefaultsToAtLeastOneThread) {
+  ThreadPool pool;
+  EXPECT_GE(pool.size(), 1u);
+}
+
+TEST(ThreadPool, SubmitReturnsResult) {
+  ThreadPool pool{2};
+  auto future = pool.submit([] { return 6 * 7; });
+  EXPECT_EQ(future.get(), 42);
+}
+
+TEST(ThreadPool, ManyTasksAllComplete) {
+  ThreadPool pool{4};
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 500; ++i)
+    futures.push_back(pool.submit([&counter] { ++counter; }));
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(counter.load(), 500);
+}
+
+TEST(ThreadPool, ExceptionsPropagateThroughFuture) {
+  ThreadPool pool{2};
+  auto future =
+      pool.submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW((void)future.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndex) {
+  ThreadPool pool{3};
+  std::vector<std::atomic<int>> hits(100);
+  pool.parallel_for(100, [&hits](std::size_t i) { ++hits[i]; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForPropagatesFirstException) {
+  ThreadPool pool{2};
+  EXPECT_THROW(pool.parallel_for(10,
+                                 [](std::size_t i) {
+                                   if (i == 3)
+                                     throw std::runtime_error("bad cell");
+                                 }),
+               std::runtime_error);
+}
+
+TEST(ThreadPool, ParallelForZeroCountIsNoop) {
+  ThreadPool pool{2};
+  EXPECT_NO_THROW(pool.parallel_for(0, [](std::size_t) { FAIL(); }));
+}
+
+TEST(ThreadPool, DestructorDrainsQueuedWork) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool{1};
+    std::vector<std::future<void>> futures;
+    for (int i = 0; i < 50; ++i)
+      futures.push_back(pool.submit([&counter] { ++counter; }));
+    for (auto& f : futures) f.get();
+  }  // destructor joins
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPool, ResultsComputedConcurrentlyAreCorrect) {
+  ThreadPool pool{4};
+  std::vector<std::future<long>> futures;
+  for (long i = 0; i < 64; ++i)
+    futures.push_back(pool.submit([i] {
+      long sum = 0;
+      for (long k = 0; k <= i; ++k) sum += k;
+      return sum;
+    }));
+  for (long i = 0; i < 64; ++i)
+    EXPECT_EQ(futures[static_cast<std::size_t>(i)].get(), i * (i + 1) / 2);
+}
+
+}  // namespace
+}  // namespace bfsim::exp

@@ -1,0 +1,187 @@
+// Queued-job cancellation: semantics of the driver, the hole it punches
+// into reservation-based schedulers, and validity across every policy.
+#include <gtest/gtest.h>
+
+#include "core/conservative_scheduler.hpp"
+#include "core/simulation.hpp"
+#include "core/validator.hpp"
+#include "metrics/aggregate.hpp"
+#include "test_support.hpp"
+#include "workload/transforms.hpp"
+
+namespace bfsim::core {
+namespace {
+
+using test::JobSpec;
+using test::make_trace;
+
+Trace with_cancel(Trace trace, JobId id, sim::Time when) {
+  trace[id].cancel_at = when;
+  return trace;
+}
+
+TEST(Cancellation, QueuedJobIsWithdrawn) {
+  Trace trace = make_trace({
+      {.submit = 0, .runtime = 100, .procs = 4},
+      {.submit = 1, .runtime = 100, .procs = 4},  // queued, cancelled at 50
+      {.submit = 2, .runtime = 100, .procs = 4},
+  });
+  trace = with_cancel(trace, 1, 50);
+  const auto result = run_simulation(trace, SchedulerKind::Easy,
+                                     SchedulerConfig{4, PriorityPolicy::Fcfs},
+                                     {}, {.validate = true});
+  EXPECT_TRUE(result.outcomes[1].cancelled);
+  EXPECT_EQ(result.outcomes[1].start, sim::kNoTime);
+  // Job 2 inherits the freed queue position.
+  EXPECT_EQ(result.outcomes[2].start, 100);
+}
+
+TEST(Cancellation, StartedJobIgnoresCancellation) {
+  Trace trace = make_trace({{.submit = 0, .runtime = 100, .procs = 2}});
+  trace = with_cancel(trace, 0, 50);  // already running at t=50
+  const auto result = run_simulation(trace, SchedulerKind::Conservative,
+                                     SchedulerConfig{4, PriorityPolicy::Fcfs},
+                                     {}, {.validate = true});
+  EXPECT_FALSE(result.outcomes[0].cancelled);
+  EXPECT_EQ(result.outcomes[0].end, 100);
+}
+
+TEST(Cancellation, CancellationBeforeSubmitRejected) {
+  Trace trace = make_trace({{.submit = 100, .runtime = 10, .procs = 1}});
+  trace = with_cancel(trace, 0, 50);
+  EXPECT_THROW(
+      (void)run_simulation(trace, SchedulerKind::Easy,
+                           SchedulerConfig{4, PriorityPolicy::Fcfs}),
+      std::invalid_argument);
+}
+
+TEST(Cancellation, SubmitAndCancelAtSameInstant) {
+  Trace trace = make_trace({{.submit = 0, .runtime = 100, .procs = 4},
+                            {.submit = 5, .runtime = 100, .procs = 4}});
+  trace = with_cancel(trace, 1, 5);  // withdrawn the moment it arrives
+  const auto result = run_simulation(trace, SchedulerKind::Conservative,
+                                     SchedulerConfig{4, PriorityPolicy::Fcfs},
+                                     {}, {.validate = true});
+  EXPECT_TRUE(result.outcomes[1].cancelled);
+}
+
+TEST(Cancellation, ConservativeReleasesTheReservationHole) {
+  // Job 1 (whole machine) is reserved [100, 200) and blocks job 2 until
+  // 200. Cancelling job 1 at t=50 must pull job 2 up to t=100.
+  Trace trace = make_trace({
+      {.submit = 0, .runtime = 100, .procs = 4},
+      {.submit = 1, .runtime = 100, .procs = 4},
+      {.submit = 2, .runtime = 100, .procs = 4},
+  });
+  const auto blocked = run_simulation(
+      trace, SchedulerKind::Conservative,
+      SchedulerConfig{4, PriorityPolicy::Fcfs}, {}, {.validate = true});
+  EXPECT_EQ(blocked.outcomes[2].start, 200);
+  const auto freed = run_simulation(
+      with_cancel(trace, 1, 50), SchedulerKind::Conservative,
+      SchedulerConfig{4, PriorityPolicy::Fcfs}, {}, {.validate = true});
+  EXPECT_TRUE(freed.outcomes[1].cancelled);
+  EXPECT_EQ(freed.outcomes[2].start, 100);
+}
+
+TEST(Cancellation, ConservativeProfileStaysConsistent) {
+  ConservativeScheduler scheduler{SchedulerConfig{4, PriorityPolicy::Fcfs}};
+  Job a;
+  a.id = 0;
+  a.submit = 0;
+  a.runtime = a.estimate = 100;
+  a.procs = 4;
+  Job b = a;
+  b.id = 1;
+  b.submit = 1;
+  scheduler.job_submitted(a, 0);
+  (void)scheduler.select_starts(0);
+  scheduler.job_submitted(b, 1);
+  scheduler.job_cancelled(1, 10);
+  EXPECT_NO_THROW(scheduler.profile().check_invariants());
+  EXPECT_EQ(scheduler.profile().free_at(150), 4);  // reservation gone
+  EXPECT_EQ(scheduler.queued_count(), 0u);
+  // Cancelling twice (or a never-queued id) is a caller bug.
+  EXPECT_THROW(scheduler.job_cancelled(1, 11), std::logic_error);
+}
+
+TEST(Cancellation, AllSchedulersStayValidUnderCancellations) {
+  for (const auto kind :
+       {SchedulerKind::Fcfs, SchedulerKind::Easy, SchedulerKind::Conservative,
+        SchedulerKind::KReservation, SchedulerKind::Selective,
+        SchedulerKind::Slack}) {
+    for (const auto priority : {PriorityPolicy::Fcfs, PriorityPolicy::Sjf}) {
+      Trace trace = test::random_trace(400, 8, 55, true);
+      sim::Rng rng{99};
+      workload::apply_cancellations(trace, 0.25, 1.0, rng);
+      const auto result =
+          run_simulation(trace, kind, SchedulerConfig{8, priority});
+      const auto report = validate_schedule(trace, result.outcomes, 8);
+      EXPECT_TRUE(report.ok()) << to_string(kind) << ": "
+                               << report.violations.front();
+      // Work conservation over the jobs that actually ran.
+      std::int64_t work = 0, expected = 0;
+      std::size_t cancelled = 0;
+      for (const JobOutcome& o : result.outcomes) {
+        if (o.cancelled) {
+          ++cancelled;
+          continue;
+        }
+        work += static_cast<std::int64_t>(o.end - o.start) * o.job.procs;
+        expected += static_cast<std::int64_t>(
+                        std::min(o.job.runtime, o.job.estimate)) *
+                    o.job.procs;
+      }
+      EXPECT_EQ(work, expected);
+      EXPECT_GT(cancelled, 0u) << "cancellation never triggered";
+    }
+  }
+}
+
+TEST(Cancellation, MetricsExcludeCancelledJobs) {
+  Trace trace = make_trace({
+      {.submit = 0, .runtime = 100, .procs = 4},
+      {.submit = 1, .runtime = 100, .procs = 4},
+  });
+  trace = with_cancel(trace, 1, 20);
+  const auto result = run_simulation(trace, SchedulerKind::Easy,
+                                     SchedulerConfig{4, PriorityPolicy::Fcfs});
+  const auto m = metrics::compute_metrics(result, 4);
+  EXPECT_EQ(m.overall.count(), 1u);
+  EXPECT_EQ(m.cancelled_jobs, 1u);
+  EXPECT_EQ(m.slowdowns.count(), 1u);
+}
+
+TEST(Cancellation, ValidatorFlagsInconsistentCancelledOutcome) {
+  const Trace trace = make_trace({{.submit = 0, .runtime = 10, .procs = 1}});
+  std::vector<JobOutcome> outcomes(1);
+  outcomes[0].job = trace[0];
+  outcomes[0].cancelled = true;  // but the job has no cancel_at
+  const auto report = validate_schedule(trace, outcomes, 4);
+  ASSERT_FALSE(report.ok());
+  EXPECT_NE(report.violations[0].find("cancelled"), std::string::npos);
+}
+
+TEST(Cancellation, ApplyCancellationsValidatesAndIsDeterministic) {
+  Trace trace = test::random_trace(200, 8, 5, false);
+  sim::Rng a{1}, b{1};
+  Trace t1 = trace, t2 = trace;
+  workload::apply_cancellations(t1, 0.3, 2.0, a);
+  workload::apply_cancellations(t2, 0.3, 2.0, b);
+  EXPECT_EQ(t1, t2);
+  std::size_t marked = 0;
+  for (std::size_t i = 0; i < t1.size(); ++i) {
+    if (t1[i].cancel_at == sim::kNoTime) continue;
+    ++marked;
+    EXPECT_GT(t1[i].cancel_at, t1[i].submit);
+  }
+  EXPECT_NEAR(static_cast<double>(marked) / t1.size(), 0.3, 0.1);
+  sim::Rng rng{2};
+  EXPECT_THROW(workload::apply_cancellations(trace, 1.5, 1.0, rng),
+               std::invalid_argument);
+  EXPECT_THROW(workload::apply_cancellations(trace, 0.5, 0.0, rng),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace bfsim::core

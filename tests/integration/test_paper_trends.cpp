@@ -1,0 +1,215 @@
+// Scaled-down versions of the paper's headline results (the full-size
+// regenerations live in bench/). These pin the *relationships* the paper
+// reports; absolute values are workload-dependent and not asserted.
+#include <gtest/gtest.h>
+
+#include "core/simulation.hpp"
+#include "exp/runner.hpp"
+#include "metrics/aggregate.hpp"
+
+namespace bfsim::exp {
+namespace {
+
+using core::PriorityPolicy;
+using core::SchedulerKind;
+using workload::Category;
+using workload::EstimateQuality;
+
+constexpr std::size_t kJobs = 3000;
+constexpr std::size_t kSeeds = 3;
+
+double mean_slowdown(TraceKind trace, SchedulerKind kind,
+                     PriorityPolicy priority,
+                     EstimateSpec estimates = {}) {
+  Scenario s;
+  s.trace = trace;
+  s.jobs = kJobs;
+  s.load = kHighLoad;
+  s.scheduler = kind;
+  s.priority = priority;
+  s.estimates = estimates;
+  s.seed = 1;
+  return mean_of(run_replications(s, kSeeds), overall_slowdown);
+}
+
+TEST(PaperTrends, Fig1EasySjfAndXfBeatConservative) {
+  for (const auto trace : {TraceKind::Ctc, TraceKind::Sdsc}) {
+    const double cons =
+        mean_slowdown(trace, SchedulerKind::Conservative, PriorityPolicy::Fcfs);
+    const double easy_sjf =
+        mean_slowdown(trace, SchedulerKind::Easy, PriorityPolicy::Sjf);
+    const double easy_xf =
+        mean_slowdown(trace, SchedulerKind::Easy, PriorityPolicy::XFactor);
+    EXPECT_LT(easy_sjf, cons) << to_string(trace);
+    EXPECT_LT(easy_xf, cons) << to_string(trace);
+  }
+}
+
+TEST(PaperTrends, Section41ConservativeIsPriorityInvariant) {
+  const double fcfs = mean_slowdown(TraceKind::Ctc,
+                                    SchedulerKind::Conservative,
+                                    PriorityPolicy::Fcfs);
+  const double sjf = mean_slowdown(TraceKind::Ctc,
+                                   SchedulerKind::Conservative,
+                                   PriorityPolicy::Sjf);
+  const double xf = mean_slowdown(TraceKind::Ctc,
+                                  SchedulerKind::Conservative,
+                                  PriorityPolicy::XFactor);
+  EXPECT_DOUBLE_EQ(fcfs, sjf);
+  EXPECT_DOUBLE_EQ(fcfs, xf);
+}
+
+TEST(PaperTrends, Fig2LongNarrowBenefitsFromEasy) {
+  // LN jobs backfill more easily with a single blocking reservation.
+  Scenario s;
+  s.trace = TraceKind::Ctc;
+  s.jobs = kJobs;
+  s.seed = 1;
+  s.scheduler = SchedulerKind::Conservative;
+  const auto cons = run_replications(s, kSeeds);
+  s.scheduler = SchedulerKind::Easy;
+  const auto easy = run_replications(s, kSeeds);
+  const auto ln = [](const metrics::Metrics& m) {
+    return m.category(Category::LongNarrow).slowdown.mean();
+  };
+  EXPECT_LT(mean_of(easy, ln), mean_of(cons, ln));
+}
+
+TEST(PaperTrends, Fig2ShortWideBenefitsFromConservative) {
+  // SW jobs rely on the arrival-time guarantee conservative gives them.
+  // The effect is a few percent under FCFS, so this comparison needs a
+  // larger sample than the other trend tests.
+  Scenario s;
+  s.trace = TraceKind::Ctc;
+  s.jobs = 8000;
+  s.seed = 1;
+  s.scheduler = SchedulerKind::Conservative;
+  const auto cons = run_replications(s, 4);
+  s.scheduler = SchedulerKind::Easy;
+  const auto easy = run_replications(s, 4);
+  const auto sw = [](const metrics::Metrics& m) {
+    return m.category(Category::ShortWide).slowdown.mean();
+  };
+  EXPECT_GT(mean_of(easy, sw), mean_of(cons, sw));
+}
+
+TEST(PaperTrends, Table4EasyHasWorseWorstCaseTurnaround) {
+  Scenario s;
+  s.trace = TraceKind::Ctc;
+  s.jobs = kJobs;
+  s.seed = 1;
+  s.priority = PriorityPolicy::Sjf;
+  s.scheduler = SchedulerKind::Conservative;
+  const double cons = max_of(run_replications(s, kSeeds), worst_turnaround);
+  s.scheduler = SchedulerKind::Easy;
+  const double easy = max_of(run_replications(s, kSeeds), worst_turnaround);
+  EXPECT_GT(easy, cons);
+}
+
+TEST(PaperTrends, Tables56OverestimationImprovesSlowdown) {
+  for (const auto kind :
+       {SchedulerKind::Conservative, SchedulerKind::Easy}) {
+    const double r1 = mean_slowdown(TraceKind::Ctc, kind,
+                                    PriorityPolicy::Fcfs,
+                                    {EstimateRegime::Systematic, 1.0});
+    const double r2 = mean_slowdown(TraceKind::Ctc, kind,
+                                    PriorityPolicy::Fcfs,
+                                    {EstimateRegime::Systematic, 2.0});
+    EXPECT_LT(r2, r1) << to_string(kind);
+  }
+}
+
+TEST(PaperTrends, Tables56EffectStrongerUnderConservative) {
+  const auto improvement = [](SchedulerKind kind) {
+    const double r1 = mean_slowdown(TraceKind::Ctc, kind,
+                                    PriorityPolicy::Fcfs,
+                                    {EstimateRegime::Systematic, 1.0});
+    const double r4 = mean_slowdown(TraceKind::Ctc, kind,
+                                    PriorityPolicy::Fcfs,
+                                    {EstimateRegime::Systematic, 4.0});
+    return (r1 - r4) / r1;
+  };
+  EXPECT_GT(improvement(SchedulerKind::Conservative),
+            improvement(SchedulerKind::Easy));
+}
+
+TEST(PaperTrends, Fig3ActualEstimatesKeepEasyAhead) {
+  // CTC reproduces the paper's Fig. 3 for every priority policy. On the
+  // synthetic SDSC mix (21% SW vs. 21% LN per Table 3) EASY-FCFS loses
+  // its edge -- the paper itself notes the overall ranking depends on
+  // the category mix -- so SDSC is asserted for SJF and XFactor, where
+  // the effect is unambiguous. See EXPERIMENTS.md for the discussion.
+  const EstimateSpec actual{EstimateRegime::Actual, 1.0};
+  for (const auto priority :
+       {PriorityPolicy::Fcfs, PriorityPolicy::Sjf, PriorityPolicy::XFactor}) {
+    const double cons = mean_slowdown(TraceKind::Ctc,
+                                      SchedulerKind::Conservative, priority,
+                                      actual);
+    const double easy = mean_slowdown(TraceKind::Ctc, SchedulerKind::Easy,
+                                      priority, actual);
+    EXPECT_LT(easy, cons) << "CTC " << core::to_string(priority);
+  }
+  for (const auto priority :
+       {PriorityPolicy::Sjf, PriorityPolicy::XFactor}) {
+    const double cons = mean_slowdown(TraceKind::Sdsc,
+                                      SchedulerKind::Conservative, priority,
+                                      actual);
+    const double easy = mean_slowdown(TraceKind::Sdsc, SchedulerKind::Easy,
+                                      priority, actual);
+    EXPECT_LT(easy, cons) << "SDSC " << core::to_string(priority);
+  }
+}
+
+// Fig. 4's paired comparison: the same jobs under exact vs. actual
+// estimates, grouped by their actual-estimate quality.
+struct PairedGroupMeans {
+  double well_exact, well_actual, poor_exact, poor_actual;
+};
+
+PairedGroupMeans paired_means(SchedulerKind kind) {
+  PairedGroupMeans sums{};
+  for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
+    Scenario actual;
+    actual.trace = TraceKind::Ctc;
+    actual.jobs = kJobs;
+    actual.seed = seed;
+    actual.estimates.regime = EstimateRegime::Actual;
+    Scenario exact = actual;
+    exact.estimates.regime = EstimateRegime::Exact;
+
+    const auto actual_trace = build_workload(actual);
+    const auto exact_trace = build_workload(exact);
+    const auto labels = metrics::estimate_labels(actual_trace);
+
+    const core::SchedulerConfig config{actual.procs(),
+                                       PriorityPolicy::Fcfs};
+    const auto options = experiment_metrics_options(kJobs);
+    const auto m_actual = metrics::compute_metrics(
+        core::run_simulation(actual_trace, kind, config), config.procs,
+        options, &labels);
+    const auto m_exact = metrics::compute_metrics(
+        core::run_simulation(exact_trace, kind, config), config.procs,
+        options, &labels);
+    sums.well_actual +=
+        m_actual.estimate_class(EstimateQuality::Well).slowdown.mean();
+    sums.well_exact +=
+        m_exact.estimate_class(EstimateQuality::Well).slowdown.mean();
+    sums.poor_actual +=
+        m_actual.estimate_class(EstimateQuality::Poor).slowdown.mean();
+    sums.poor_exact +=
+        m_exact.estimate_class(EstimateQuality::Poor).slowdown.mean();
+  }
+  return sums;
+}
+
+TEST(PaperTrends, Fig4WellEstimatedGainPoorlyEstimatedLose) {
+  for (const auto kind :
+       {SchedulerKind::Conservative, SchedulerKind::Easy}) {
+    const PairedGroupMeans g = paired_means(kind);
+    EXPECT_LT(g.well_actual, g.well_exact) << to_string(kind);
+    EXPECT_GT(g.poor_actual, g.poor_exact) << to_string(kind);
+  }
+}
+
+}  // namespace
+}  // namespace bfsim::exp

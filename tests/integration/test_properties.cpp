@@ -1,0 +1,154 @@
+// Cross-cutting property tests: every scheduler x priority x workload
+// combination must produce a physically valid, deterministic schedule,
+// and algebraic relationships between the schedulers must hold.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/simulation.hpp"
+#include "core/validator.hpp"
+#include "test_support.hpp"
+
+namespace bfsim::core {
+namespace {
+
+using Combo = std::tuple<SchedulerKind, PriorityPolicy, std::uint64_t, bool>;
+
+class SchedulerPropertyTest : public testing::TestWithParam<Combo> {};
+
+TEST_P(SchedulerPropertyTest, ScheduleIsValidAndWorkConserving) {
+  const auto [kind, priority, seed, overestimate] = GetParam();
+  const Trace trace = test::random_trace(400, 16, seed, overestimate);
+  const auto result = run_simulation(trace, kind,
+                                     SchedulerConfig{16, priority});
+
+  const auto report = validate_schedule(trace, result.outcomes, 16);
+  ASSERT_TRUE(report.ok()) << report.violations.front();
+
+  // Work conservation: every job ran once for its effective runtime.
+  std::int64_t work = 0;
+  for (const JobOutcome& o : result.outcomes) {
+    EXPECT_GE(o.start, o.job.submit);
+    work += static_cast<std::int64_t>(o.end - o.start) * o.job.procs;
+  }
+  std::int64_t expected = 0;
+  for (const Job& j : trace)
+    expected += static_cast<std::int64_t>(std::min(j.runtime, j.estimate)) *
+                j.procs;
+  EXPECT_EQ(work, expected);
+
+  // Peak usage never exceeds the machine.
+  EXPECT_LE(peak_usage(result.outcomes), 16);
+}
+
+TEST_P(SchedulerPropertyTest, NoIdleStartDelay) {
+  // When the machine is totally idle and the queue is empty, an arriving
+  // job must start instantly, whatever the policy.
+  const auto [kind, priority, seed, overestimate] = GetParam();
+  const Trace trace = test::make_trace(
+      {{.submit = 1000, .runtime = 50, .procs = 16,
+        .estimate = overestimate ? sim::Time{500} : sim::Time{0}}});
+  const auto result =
+      run_simulation(trace, kind, SchedulerConfig{16, priority});
+  EXPECT_EQ(result.outcomes[0].start, 1000);
+}
+
+std::string combo_name(const testing::TestParamInfo<Combo>& info) {
+  const SchedulerKind kind = std::get<0>(info.param);
+  const PriorityPolicy priority = std::get<1>(info.param);
+  const std::uint64_t seed = std::get<2>(info.param);
+  const bool over = std::get<3>(info.param);
+  std::string name = to_string(kind) + "_" + to_string(priority) + "_s" +
+                     std::to_string(seed) + (over ? "_over" : "_exact");
+  for (char& c : name)
+    if (c == '-') c = '_';
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCombos, SchedulerPropertyTest,
+    testing::Combine(
+        testing::Values(SchedulerKind::Fcfs, SchedulerKind::Easy,
+                        SchedulerKind::Conservative,
+                        SchedulerKind::KReservation,
+                        SchedulerKind::Selective, SchedulerKind::Slack),
+        testing::Values(PriorityPolicy::Fcfs, PriorityPolicy::Sjf,
+                        PriorityPolicy::XFactor),
+        testing::Values(std::uint64_t{1}, std::uint64_t{2}),
+        testing::Bool()),
+    combo_name);
+
+// --- Algebraic relationships -----------------------------------------
+
+class CrossSchedulerTest : public testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CrossSchedulerTest, EasyEqualsReservationDepthOne) {
+  // The shadow/extra formulation of EASY and the profile-based
+  // K-reservation scheduler with depth 1 are two independent
+  // implementations of the same policy: schedules must coincide exactly.
+  for (const bool overestimate : {false, true}) {
+    const Trace trace = test::random_trace(500, 12, GetParam(), overestimate);
+    for (const auto priority :
+         {PriorityPolicy::Fcfs, PriorityPolicy::Sjf,
+          PriorityPolicy::XFactor}) {
+      const SchedulerConfig config{12, priority};
+      const auto easy = run_simulation(trace, SchedulerKind::Easy, config);
+      SchedulerExtras extras;
+      extras.reservation_depth = 1;
+      const auto kres =
+          run_simulation(trace, SchedulerKind::KReservation, config, extras);
+      EXPECT_EQ(test::start_times(easy), test::start_times(kres))
+          << to_string(priority) << (overestimate ? " over" : " exact");
+    }
+  }
+}
+
+TEST_P(CrossSchedulerTest, ConservativePriorityEquivalenceWithExactEstimates) {
+  // Paper Section 4.1: with exact estimates, conservative backfilling
+  // produces the identical schedule for every priority policy.
+  const Trace trace = test::random_trace(500, 12, GetParam(),
+                                         /*overestimate=*/false);
+  const auto baseline = run_simulation(
+      trace, SchedulerKind::Conservative,
+      SchedulerConfig{12, PriorityPolicy::Fcfs});
+  for (const auto priority :
+       {PriorityPolicy::Sjf, PriorityPolicy::XFactor, PriorityPolicy::Ljf,
+        PriorityPolicy::Narrowest, PriorityPolicy::Widest}) {
+    const auto other = run_simulation(trace, SchedulerKind::Conservative,
+                                      SchedulerConfig{12, priority});
+    EXPECT_EQ(test::start_times(baseline), test::start_times(other))
+        << to_string(priority);
+  }
+}
+
+TEST_P(CrossSchedulerTest, ConservativeDivergesAcrossPrioritiesWithHoles) {
+  // The converse: with heavy overestimation, early completions create
+  // holes and the compression order (= priority policy) matters. We only
+  // require *some* divergence between FCFS and SJF on a busy trace.
+  const Trace trace = test::random_trace(500, 12, GetParam(),
+                                         /*overestimate=*/true);
+  const auto fcfs = run_simulation(trace, SchedulerKind::Conservative,
+                                   SchedulerConfig{12, PriorityPolicy::Fcfs});
+  const auto sjf = run_simulation(trace, SchedulerKind::Conservative,
+                                  SchedulerConfig{12, PriorityPolicy::Sjf});
+  EXPECT_NE(test::start_times(fcfs), test::start_times(sjf));
+}
+
+TEST_P(CrossSchedulerTest, BackfillingNeverHurtsTotalThroughput) {
+  // Makespan with backfilling is never worse than plain FCFS on the same
+  // trace -- backfilling only moves work earlier into holes.
+  const Trace trace = test::random_trace(400, 12, GetParam(), false);
+  const SchedulerConfig config{12, PriorityPolicy::Fcfs};
+  const auto plain = run_simulation(trace, SchedulerKind::Fcfs, config);
+  const auto easy = run_simulation(trace, SchedulerKind::Easy, config);
+  const auto cons =
+      run_simulation(trace, SchedulerKind::Conservative, config);
+  EXPECT_LE(easy.makespan, plain.makespan);
+  EXPECT_LE(cons.makespan, plain.makespan);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CrossSchedulerTest,
+                         testing::Values(11, 12, 13, 14));
+
+}  // namespace
+}  // namespace bfsim::core

@@ -1,0 +1,232 @@
+#include "metrics/aggregate.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/simulation.hpp"
+#include "test_support.hpp"
+
+namespace bfsim::metrics {
+namespace {
+
+using core::JobOutcome;
+using core::Trace;
+using test::JobSpec;
+using test::make_trace;
+
+JobOutcome outcome(sim::Time submit, sim::Time start, sim::Time runtime,
+                   int procs, sim::Time estimate = 0) {
+  JobOutcome o;
+  o.job.submit = submit;
+  o.job.runtime = runtime;
+  o.job.estimate = estimate == 0 ? runtime : estimate;
+  o.job.procs = procs;
+  o.start = start;
+  o.end = start + std::min(o.job.runtime, o.job.estimate);
+  o.killed = o.job.runtime > o.job.estimate;
+  return o;
+}
+
+TEST(BoundedSlowdown, NoWaitIsOne) {
+  EXPECT_DOUBLE_EQ(bounded_slowdown(outcome(0, 0, 100, 1)), 1.0);
+}
+
+TEST(BoundedSlowdown, Formula) {
+  // wait 100, runtime 100 -> (100 + 100) / 100 = 2.
+  EXPECT_DOUBLE_EQ(bounded_slowdown(outcome(0, 100, 100, 1)), 2.0);
+}
+
+TEST(BoundedSlowdown, ThresholdBoundsShortJobs) {
+  // runtime 1 s, wait 9 s: unbounded slowdown would be 10;
+  // bounded with tau=10: (9 + 10) / 10 = 1.9.
+  EXPECT_DOUBLE_EQ(bounded_slowdown(outcome(0, 9, 1, 1)), 1.9);
+  // Custom threshold.
+  EXPECT_DOUBLE_EQ(bounded_slowdown(outcome(0, 9, 1, 1), 1), 10.0);
+}
+
+TEST(BoundedSlowdown, UsesEffectiveRuntimeForKilledJobs) {
+  // runtime 500, estimate 100 -> killed at 100; wait 50.
+  const JobOutcome o = outcome(0, 50, 500, 1, 100);
+  EXPECT_TRUE(o.killed);
+  EXPECT_DOUBLE_EQ(bounded_slowdown(o), (50.0 + 100.0) / 100.0);
+}
+
+core::SimulationResult as_result(std::vector<JobOutcome> outcomes) {
+  core::SimulationResult result;
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    outcomes[i].job.id = static_cast<core::JobId>(i);
+    result.makespan = std::max(result.makespan, outcomes[i].end);
+  }
+  result.outcomes = std::move(outcomes);
+  return result;
+}
+
+TEST(Metrics, OverallAggregation) {
+  const auto result = as_result({
+      outcome(0, 0, 100, 2),    // slowdown 1, turnaround 100
+      outcome(0, 100, 100, 2),  // slowdown 2, turnaround 200
+  });
+  const Metrics m = compute_metrics(result, 4);
+  EXPECT_EQ(m.overall.count(), 2u);
+  EXPECT_DOUBLE_EQ(m.overall.slowdown.mean(), 1.5);
+  EXPECT_DOUBLE_EQ(m.overall.turnaround.mean(), 150.0);
+  EXPECT_DOUBLE_EQ(m.overall.turnaround.max(), 200.0);
+  EXPECT_DOUBLE_EQ(m.overall.wait.mean(), 50.0);
+  EXPECT_EQ(m.killed_jobs, 0u);
+}
+
+TEST(Metrics, CategoryBreakdown) {
+  const auto result = as_result({
+      outcome(0, 0, 100, 1),     // SN
+      outcome(0, 0, 100, 64),    // SW
+      outcome(0, 0, 7200, 2),    // LN
+      outcome(0, 0, 7200, 64),   // LW
+      outcome(0, 0, 7200, 64),   // LW
+  });
+  const Metrics m = compute_metrics(result, 128);
+  EXPECT_EQ(m.category(workload::Category::ShortNarrow).count(), 1u);
+  EXPECT_EQ(m.category(workload::Category::ShortWide).count(), 1u);
+  EXPECT_EQ(m.category(workload::Category::LongNarrow).count(), 1u);
+  EXPECT_EQ(m.category(workload::Category::LongWide).count(), 2u);
+}
+
+TEST(Metrics, EstimateQualityFromJobsByDefault) {
+  const auto result = as_result({
+      outcome(0, 0, 100, 1, 150),   // well (<= 2x)
+      outcome(0, 0, 100, 1, 300),   // poor
+  });
+  const Metrics m = compute_metrics(result, 4);
+  EXPECT_EQ(m.estimate_class(workload::EstimateQuality::Well).count(), 1u);
+  EXPECT_EQ(m.estimate_class(workload::EstimateQuality::Poor).count(), 1u);
+}
+
+TEST(Metrics, ExternalLabelsOverrideClassification) {
+  const auto result = as_result({
+      outcome(0, 0, 100, 1),  // exact estimate: would classify Well
+      outcome(0, 0, 100, 1),
+  });
+  const std::vector<workload::EstimateQuality> labels{
+      workload::EstimateQuality::Poor, workload::EstimateQuality::Poor};
+  const Metrics m = compute_metrics(result, 4, {}, &labels);
+  EXPECT_EQ(m.estimate_class(workload::EstimateQuality::Well).count(), 0u);
+  EXPECT_EQ(m.estimate_class(workload::EstimateQuality::Poor).count(), 2u);
+}
+
+TEST(Metrics, LabelCountMismatchThrows) {
+  const auto result = as_result({outcome(0, 0, 100, 1)});
+  const std::vector<workload::EstimateQuality> labels;
+  EXPECT_THROW((void)compute_metrics(result, 4, {}, &labels),
+               std::invalid_argument);
+}
+
+TEST(Metrics, SkipHeadAndTailTrimsPopulation) {
+  std::vector<JobOutcome> outcomes;
+  for (int i = 0; i < 10; ++i) outcomes.push_back(outcome(i, i, 100, 1));
+  const auto result = as_result(std::move(outcomes));
+  MetricsOptions options;
+  options.skip_head = 3;
+  options.skip_tail = 2;
+  const Metrics m = compute_metrics(result, 4, options);
+  EXPECT_EQ(m.overall.count(), 5u);
+}
+
+TEST(Metrics, SkipMoreThanPopulationYieldsEmpty) {
+  const auto result = as_result({outcome(0, 0, 100, 1)});
+  MetricsOptions options;
+  options.skip_head = 5;
+  const Metrics m = compute_metrics(result, 4, options);
+  EXPECT_EQ(m.overall.count(), 0u);
+}
+
+TEST(Metrics, KilledJobsCounted) {
+  const auto result = as_result({
+      outcome(0, 0, 500, 1, 100),  // killed
+      outcome(0, 0, 100, 1),
+  });
+  const Metrics m = compute_metrics(result, 4);
+  EXPECT_EQ(m.killed_jobs, 1u);
+}
+
+TEST(Metrics, UtilizationAndMakespanForwarded) {
+  const auto result = as_result({outcome(0, 0, 100, 2)});
+  const Metrics m = compute_metrics(result, 4);
+  EXPECT_DOUBLE_EQ(m.utilization, 0.5);
+  EXPECT_EQ(m.makespan, 100);
+}
+
+TEST(Metrics, EstimateLabelsHelper) {
+  const Trace trace = make_trace({
+      {.submit = 0, .runtime = 100, .procs = 1, .estimate = 100},
+      {.submit = 1, .runtime = 100, .procs = 1, .estimate = 900},
+  });
+  const auto labels = estimate_labels(trace);
+  ASSERT_EQ(labels.size(), 2u);
+  EXPECT_EQ(labels[0], workload::EstimateQuality::Well);
+  EXPECT_EQ(labels[1], workload::EstimateQuality::Poor);
+}
+
+TEST(Metrics, BackfillRateCountsLeapfrogs) {
+  // Submit order 0,1,2,3; job 2 starts before job 1 -> one leapfrog.
+  const auto result = as_result({
+      outcome(0, 0, 100, 1),     // starts 0
+      outcome(10, 500, 100, 1),  // starts 500 (blocked)
+      outcome(20, 30, 100, 1),   // starts 30 -> leapfrogs job 1
+      outcome(30, 600, 100, 1),  // starts 600 -> in order
+  });
+  const Metrics m = compute_metrics(result, 4);
+  EXPECT_EQ(m.backfilled_jobs, 1u);
+  EXPECT_DOUBLE_EQ(m.backfill_rate(), 0.25);
+}
+
+TEST(Metrics, BackfillRateZeroForInOrderStarts) {
+  const auto result = as_result({
+      outcome(0, 0, 100, 1),
+      outcome(10, 100, 100, 1),
+      outcome(20, 200, 100, 1),
+  });
+  const Metrics m = compute_metrics(result, 4);
+  EXPECT_EQ(m.backfilled_jobs, 0u);
+  EXPECT_DOUBLE_EQ(m.backfill_rate(), 0.0);
+}
+
+TEST(Metrics, BackfillRateSeesLeapfrogsOverTrimmedHead) {
+  // Job 0 is trimmed out of the statistics but still counts as the
+  // earlier arrival that job 1 leapfrogs.
+  const auto result = as_result({
+      outcome(0, 900, 100, 1),  // trimmed, starts late
+      outcome(10, 20, 100, 1),  // leapfrogs job 0
+  });
+  MetricsOptions options;
+  options.skip_head = 1;
+  const Metrics m = compute_metrics(result, 4, options);
+  EXPECT_EQ(m.overall.count(), 1u);
+  EXPECT_EQ(m.backfilled_jobs, 1u);
+}
+
+TEST(Metrics, SlowdownSampleMatchesRunningStats) {
+  const auto result = as_result({
+      outcome(0, 0, 100, 1),
+      outcome(0, 100, 100, 1),
+      outcome(0, 300, 100, 1),
+  });
+  const Metrics m = compute_metrics(result, 4);
+  ASSERT_EQ(m.slowdowns.count(), 3u);
+  EXPECT_NEAR(m.slowdowns.mean(), m.overall.slowdown.mean(), 1e-12);
+  EXPECT_DOUBLE_EQ(m.slowdowns.max(), 4.0);  // (300+100)/100
+  EXPECT_DOUBLE_EQ(m.slowdowns.median(), 2.0);
+}
+
+TEST(Metrics, EmptyBackfillRateIsZero) {
+  const Metrics m;
+  EXPECT_DOUBLE_EQ(m.backfill_rate(), 0.0);
+}
+
+TEST(Metrics, CustomSlowdownThreshold) {
+  const auto result = as_result({outcome(0, 9, 1, 1)});
+  MetricsOptions options;
+  options.slowdown_threshold = 1;
+  const Metrics m = compute_metrics(result, 4, options);
+  EXPECT_DOUBLE_EQ(m.overall.slowdown.mean(), 10.0);
+}
+
+}  // namespace
+}  // namespace bfsim::metrics

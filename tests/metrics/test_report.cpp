@@ -1,0 +1,65 @@
+#include "metrics/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/simulation.hpp"
+#include "exp/runner.hpp"
+#include "test_support.hpp"
+
+namespace bfsim::metrics {
+namespace {
+
+Metrics sample_metrics() {
+  const core::Trace trace = test::random_trace(300, 16, 42, true);
+  const auto result = core::run_simulation(
+      trace, core::SchedulerKind::Easy,
+      core::SchedulerConfig{16, core::PriorityPolicy::Fcfs});
+  return compute_metrics(result, 16);
+}
+
+TEST(Report, SummaryLineContainsKeyNumbers) {
+  const Metrics m = sample_metrics();
+  const std::string line = summary_line(m);
+  EXPECT_NE(line.find("n=300"), std::string::npos);
+  EXPECT_NE(line.find("slowdown="), std::string::npos);
+  EXPECT_NE(line.find("turnaround="), std::string::npos);
+  EXPECT_NE(line.find("util="), std::string::npos);
+}
+
+TEST(Report, BreakdownTableHasAllCategoriesAndTotal) {
+  const Metrics m = sample_metrics();
+  const util::Table table = breakdown_table(m, "test breakdown");
+  const std::string out = table.str();
+  for (const char* label : {"SN", "SW", "LN", "LW", "all"})
+    EXPECT_NE(out.find(label), std::string::npos) << label;
+  EXPECT_NE(out.find("test breakdown"), std::string::npos);
+  EXPECT_EQ(table.row_count(), 5u);
+}
+
+TEST(Report, BreakdownHandlesEmptyCategories) {
+  Metrics empty;
+  const util::Table table = breakdown_table(empty, "empty");
+  const std::string out = table.str();
+  EXPECT_NE(out.find("-"), std::string::npos);  // placeholder cells
+}
+
+TEST(Report, TailSummaryContainsPercentiles) {
+  const Metrics m = sample_metrics();
+  const std::string line = tail_summary(m);
+  for (const char* token : {"p50=", "p95=", "p99=", "max=", "backfilled="})
+    EXPECT_NE(line.find(token), std::string::npos) << token;
+}
+
+TEST(Report, TailSummaryHandlesEmpty) {
+  const Metrics empty;
+  EXPECT_EQ(tail_summary(empty), "no jobs");
+}
+
+TEST(Report, RelativeChange) {
+  EXPECT_DOUBLE_EQ(relative_change(10.0, 15.0), 0.5);
+  EXPECT_DOUBLE_EQ(relative_change(10.0, 5.0), -0.5);
+  EXPECT_DOUBLE_EQ(relative_change(0.0, 5.0), 0.0);  // guarded
+}
+
+}  // namespace
+}  // namespace bfsim::metrics

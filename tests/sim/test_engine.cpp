@@ -1,0 +1,118 @@
+#include "sim/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace bfsim::sim {
+namespace {
+
+TEST(Engine, RunsEventsInOrder) {
+  Engine engine;
+  std::vector<int> order;
+  engine.schedule_at(30, [&] { order.push_back(3); });
+  engine.schedule_at(10, [&] { order.push_back(1); });
+  engine.schedule_at(20, [&] { order.push_back(2); });
+  const Time end = engine.run();
+  EXPECT_EQ(end, 30);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(engine.events_processed(), 3u);
+}
+
+TEST(Engine, ClockAdvancesDuringRun) {
+  Engine engine;
+  Time seen = -1;
+  engine.schedule_at(42, [&] { seen = engine.now(); });
+  engine.run();
+  EXPECT_EQ(seen, 42);
+}
+
+TEST(Engine, ScheduleInIsRelative) {
+  Engine engine;
+  std::vector<Time> times;
+  engine.schedule_at(10, [&] {
+    times.push_back(engine.now());
+    engine.schedule_in(5, [&] { times.push_back(engine.now()); });
+  });
+  engine.run();
+  EXPECT_EQ(times, (std::vector<Time>{10, 15}));
+}
+
+TEST(Engine, RejectsPastEvents) {
+  Engine engine;
+  engine.schedule_at(10, [&] {
+    EXPECT_THROW(engine.schedule_at(5, [] {}), std::invalid_argument);
+  });
+  engine.run();
+  EXPECT_THROW(engine.schedule_in(-1, [] {}), std::invalid_argument);
+}
+
+TEST(Engine, RunUntilLeavesLaterEventsQueued) {
+  Engine engine;
+  int fired = 0;
+  engine.schedule_at(10, [&] { ++fired; });
+  engine.schedule_at(20, [&] { ++fired; });
+  engine.run_until(15);
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(engine.pending());
+  engine.run();
+  EXPECT_EQ(fired, 2);
+  EXPECT_FALSE(engine.pending());
+}
+
+TEST(Engine, RunUntilInclusiveOfHorizon) {
+  Engine engine;
+  int fired = 0;
+  engine.schedule_at(15, [&] { ++fired; });
+  engine.run_until(15);
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(Engine, StopHaltsAfterCurrentEvent) {
+  Engine engine;
+  std::vector<int> order;
+  engine.schedule_at(1, [&] {
+    order.push_back(1);
+    engine.stop();
+  });
+  engine.schedule_at(2, [&] { order.push_back(2); });
+  engine.run();
+  EXPECT_EQ(order, (std::vector<int>{1}));
+  EXPECT_TRUE(engine.pending());
+  engine.run();  // resumes after a stop
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(Engine, SameTimePriorityClasses) {
+  Engine engine;
+  std::vector<int> order;
+  engine.schedule_at(5, [&] { order.push_back(2); }, /*priority_class=*/1);
+  engine.schedule_at(5, [&] { order.push_back(1); }, /*priority_class=*/0);
+  engine.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(Engine, CascadedEventsAtSameTime) {
+  Engine engine;
+  int count = 0;
+  engine.schedule_at(10, [&] {
+    ++count;
+    engine.schedule_in(0, [&] { ++count; });
+  });
+  engine.run();
+  EXPECT_EQ(count, 2);
+  EXPECT_EQ(engine.now(), 10);
+}
+
+TEST(Engine, ManyEventsProcessAll) {
+  Engine engine;
+  int count = 0;
+  for (int i = 0; i < 10000; ++i)
+    engine.schedule_at(i % 100, [&] { ++count; });
+  engine.run();
+  EXPECT_EQ(count, 10000);
+  EXPECT_EQ(engine.events_processed(), 10000u);
+}
+
+}  // namespace
+}  // namespace bfsim::sim

@@ -1,0 +1,81 @@
+#include "sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace bfsim::sim {
+namespace {
+
+TEST(EventQueue, PopsInTimeOrder) {
+  EventQueue<int> q;
+  q.push(30, 0, 3);
+  q.push(10, 0, 1);
+  q.push(20, 0, 2);
+  EXPECT_EQ(q.pop().payload, 1);
+  EXPECT_EQ(q.pop().payload, 2);
+  EXPECT_EQ(q.pop().payload, 3);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, PriorityClassBreaksTimeTies) {
+  EventQueue<std::string> q;
+  q.push(5, 1, "submit");
+  q.push(5, 0, "finish");
+  EXPECT_EQ(q.pop().payload, "finish");
+  EXPECT_EQ(q.pop().payload, "submit");
+}
+
+TEST(EventQueue, InsertionOrderBreaksFullTies) {
+  EventQueue<int> q;
+  for (int i = 0; i < 100; ++i) q.push(7, 0, i);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(q.pop().payload, i);
+}
+
+TEST(EventQueue, SizeTracksContents) {
+  EventQueue<int> q;
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+  q.push(1, 0, 1);
+  q.push(2, 0, 2);
+  EXPECT_EQ(q.size(), 2u);
+  (void)q.pop();
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(EventQueue, TopDoesNotRemove) {
+  EventQueue<int> q;
+  q.push(1, 0, 42);
+  EXPECT_EQ(q.top().payload, 42);
+  EXPECT_EQ(q.size(), 1u);
+  EXPECT_EQ(q.pop().payload, 42);
+}
+
+TEST(EventQueue, MixedOrderingMatchesSpecification) {
+  EventQueue<int> q;
+  q.push(10, 1, 0);  // time 10, class 1, seq 0
+  q.push(10, 0, 1);  // earlier class wins at same time
+  q.push(9, 2, 2);   // earlier time wins regardless of class
+  q.push(10, 0, 3);  // same (time, class) as #1 -> after it
+  const std::vector<int> expected{2, 1, 3, 0};
+  for (int want : expected) EXPECT_EQ(q.pop().payload, want);
+}
+
+TEST(EventQueue, NegativeTimesSupported) {
+  EventQueue<int> q;
+  q.push(-5, 0, 1);
+  q.push(0, 0, 2);
+  EXPECT_EQ(q.pop().payload, 1);
+}
+
+TEST(EventQueue, MovesPayloads) {
+  EventQueue<std::unique_ptr<int>> q;
+  q.push(1, 0, std::make_unique<int>(9));
+  auto event = q.pop();
+  ASSERT_TRUE(event.payload);
+  EXPECT_EQ(*event.payload, 9);
+}
+
+}  // namespace
+}  // namespace bfsim::sim

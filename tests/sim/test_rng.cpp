@@ -1,0 +1,211 @@
+#include "sim/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace bfsim::sim {
+namespace {
+
+TEST(Rng, DeterministicForFixedSeed) {
+  Rng a{42};
+  Rng b{42};
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a{1};
+  Rng b{2};
+  int equal = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a.next_u64() == b.next_u64()) ++equal;
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, DoubleInHalfOpenUnitInterval) {
+  Rng rng{7};
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.next_double();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, OpenDoubleNeverZero) {
+  Rng rng{7};
+  for (int i = 0; i < 10000; ++i) EXPECT_GT(rng.next_open_double(), 0.0);
+}
+
+TEST(Rng, UniformIntCoversRangeInclusively) {
+  Rng rng{3};
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const std::int64_t x = rng.uniform_int(-2, 3);
+    EXPECT_GE(x, -2);
+    EXPECT_LE(x, 3);
+    seen.insert(x);
+  }
+  EXPECT_EQ(seen.size(), 6u);  // all values hit
+}
+
+TEST(Rng, UniformIntDegenerateRange) {
+  Rng rng{3};
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.uniform_int(5, 5), 5);
+}
+
+TEST(Rng, UniformIntApproximatelyUnbiased) {
+  Rng rng{11};
+  std::array<int, 5> counts{};
+  const int n = 50000;
+  for (int i = 0; i < n; ++i)
+    ++counts[static_cast<std::size_t>(rng.uniform_int(0, 4))];
+  for (int c : counts)
+    EXPECT_NEAR(static_cast<double>(c) / n, 0.2, 0.01);
+}
+
+TEST(Rng, ExponentialMeanMatches) {
+  Rng rng{5};
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(42.0);
+  EXPECT_NEAR(sum / n, 42.0, 0.5);
+}
+
+TEST(Rng, LogUniformStaysInRange) {
+  Rng rng{5};
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.log_uniform(10.0, 10000.0);
+    EXPECT_GE(x, 10.0);
+    EXPECT_LT(x, 10000.0);
+  }
+}
+
+TEST(Rng, LogUniformMedianIsGeometricMean) {
+  Rng rng{6};
+  int below = 0;
+  const int n = 100000;
+  const double geo = std::sqrt(10.0 * 10000.0);  // 316.2
+  for (int i = 0; i < n; ++i)
+    if (rng.log_uniform(10.0, 10000.0) < geo) ++below;
+  EXPECT_NEAR(static_cast<double>(below) / n, 0.5, 0.01);
+}
+
+TEST(Rng, NormalMomentsMatch) {
+  Rng rng{8};
+  double sum = 0.0, sq = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal(3.0, 2.0);
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 3.0, 0.05);
+  EXPECT_NEAR(var, 4.0, 0.1);
+}
+
+TEST(Rng, GammaMomentsMatch) {
+  Rng rng{9};
+  const double shape = 3.0, scale = 2.0;
+  double sum = 0.0, sq = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.gamma(shape, scale);
+    EXPECT_GT(x, 0.0);
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, shape * scale, 0.1);         // 6
+  EXPECT_NEAR(var, shape * scale * scale, 0.5);  // 12
+}
+
+TEST(Rng, GammaShapeBelowOne) {
+  Rng rng{10};
+  const double shape = 0.5, scale = 1.0;
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.gamma(shape, scale);
+    EXPECT_GT(x, 0.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(Rng, GammaRejectsBadParameters) {
+  Rng rng{1};
+  EXPECT_THROW((void)rng.gamma(0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW((void)rng.gamma(1.0, -1.0), std::invalid_argument);
+}
+
+TEST(Rng, HyperGammaMixesComponents) {
+  Rng rng{12};
+  // p=0: always the second component.
+  double sum = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) sum += rng.hyper_gamma(0.0, 1.0, 1.0, 4.0, 5.0);
+  EXPECT_NEAR(sum / n, 20.0, 0.5);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng{13};
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i)
+    if (rng.bernoulli(0.3)) ++hits;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, DiscreteFollowsWeights) {
+  Rng rng{14};
+  const std::array<double, 3> weights{1.0, 2.0, 1.0};
+  std::array<int, 3> counts{};
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[rng.discrete(weights)];
+  EXPECT_NEAR(counts[0] / static_cast<double>(n), 0.25, 0.01);
+  EXPECT_NEAR(counts[1] / static_cast<double>(n), 0.50, 0.01);
+  EXPECT_NEAR(counts[2] / static_cast<double>(n), 0.25, 0.01);
+}
+
+TEST(Rng, DiscreteSkipsZeroWeights) {
+  Rng rng{15};
+  const std::array<double, 3> weights{0.0, 1.0, 0.0};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.discrete(weights), 1u);
+}
+
+TEST(Rng, DiscreteRejectsAllZero) {
+  Rng rng{15};
+  const std::array<double, 2> weights{0.0, 0.0};
+  EXPECT_THROW((void)rng.discrete(weights), std::invalid_argument);
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng parent{77};
+  Rng child = parent.split();
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i)
+    if (parent.next_u64() == child.next_u64()) ++equal;
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, SplitIsDeterministic) {
+  Rng a{77};
+  Rng b{77};
+  Rng ca = a.split();
+  Rng cb = b.split();
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(ca.next_u64(), cb.next_u64());
+}
+
+TEST(Rng, SatisfiesUniformRandomBitGenerator) {
+  static_assert(std::uniform_random_bit_generator<Rng>);
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace bfsim::sim

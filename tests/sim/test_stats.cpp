@@ -1,0 +1,168 @@
+#include "sim/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "sim/rng.hpp"
+
+namespace bfsim::sim {
+namespace {
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stderr_mean(), 0.0);
+}
+
+TEST(RunningStats, SingleValue) {
+  RunningStats s;
+  s.add(5.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 5.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 5.0);
+}
+
+TEST(RunningStats, MatchesNaiveComputation) {
+  const std::vector<double> values{1.0, 2.5, -3.0, 7.25, 0.0, 12.5};
+  RunningStats s;
+  double sum = 0.0;
+  for (double v : values) {
+    s.add(v);
+    sum += v;
+  }
+  const double mean = sum / static_cast<double>(values.size());
+  double m2 = 0.0;
+  for (double v : values) m2 += (v - mean) * (v - mean);
+  const double var = m2 / static_cast<double>(values.size() - 1);
+  EXPECT_NEAR(s.mean(), mean, 1e-12);
+  EXPECT_NEAR(s.variance(), var, 1e-12);
+  EXPECT_NEAR(s.stddev(), std::sqrt(var), 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), -3.0);
+  EXPECT_DOUBLE_EQ(s.max(), 12.5);
+}
+
+TEST(RunningStats, NumericallyStableWithLargeOffset) {
+  RunningStats s;
+  const double offset = 1e9;
+  for (int i = 0; i < 1000; ++i) s.add(offset + (i % 2 == 0 ? 1.0 : -1.0));
+  EXPECT_NEAR(s.mean(), offset, 1e-3);
+  EXPECT_NEAR(s.variance(), 1.001, 0.01);  // ~1
+}
+
+TEST(RunningStats, MergeEqualsSequential) {
+  Rng rng{1};
+  RunningStats whole, left, right;
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.normal(2.0, 3.0);
+    whole.add(x);
+    (i < 250 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), whole.count());
+  EXPECT_NEAR(left.mean(), whole.mean(), 1e-9);
+  EXPECT_NEAR(left.variance(), whole.variance(), 1e-6);
+  EXPECT_DOUBLE_EQ(left.min(), whole.min());
+  EXPECT_DOUBLE_EQ(left.max(), whole.max());
+}
+
+TEST(RunningStats, MergeWithEmptyIsIdentity) {
+  RunningStats a;
+  a.add(1.0);
+  a.add(3.0);
+  RunningStats empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+  RunningStats b;
+  b.merge(a);
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+}
+
+TEST(RunningStats, StderrShrinksWithSamples) {
+  RunningStats small, large;
+  Rng rng{2};
+  for (int i = 0; i < 10; ++i) small.add(rng.normal());
+  for (int i = 0; i < 1000; ++i) large.add(rng.normal());
+  EXPECT_GT(small.stderr_mean(), large.stderr_mean());
+}
+
+TEST(Sample, QuantilesInterpolate) {
+  Sample s;
+  for (double v : {10.0, 20.0, 30.0, 40.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.min(), 10.0);
+  EXPECT_DOUBLE_EQ(s.max(), 40.0);
+  EXPECT_DOUBLE_EQ(s.median(), 25.0);
+  EXPECT_DOUBLE_EQ(s.quantile(1.0 / 3.0), 20.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 25.0);
+}
+
+TEST(Sample, SingleElement) {
+  Sample s;
+  s.add(7.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.0), 7.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.5), 7.0);
+  EXPECT_DOUBLE_EQ(s.quantile(1.0), 7.0);
+}
+
+TEST(Sample, EmptyQuantileThrows) {
+  Sample s;
+  EXPECT_THROW((void)s.median(), std::logic_error);
+}
+
+TEST(Sample, AddAfterQuantileStillWorks) {
+  Sample s;
+  s.add(1.0);
+  s.add(3.0);
+  EXPECT_DOUBLE_EQ(s.median(), 2.0);
+  s.add(100.0);
+  EXPECT_DOUBLE_EQ(s.max(), 100.0);
+  EXPECT_DOUBLE_EQ(s.median(), 3.0);
+}
+
+TEST(Histogram, BinsAndClamping) {
+  Histogram h{0.0, 10.0, 5};
+  h.add(0.5);    // bin 0
+  h.add(9.99);   // bin 4
+  h.add(-100.0); // clamps to bin 0
+  h.add(100.0);  // clamps to bin 4
+  h.add(5.0);    // bin 2
+  EXPECT_EQ(h.total(), 5u);
+  EXPECT_EQ(h.bin_count(0), 2u);
+  EXPECT_EQ(h.bin_count(2), 1u);
+  EXPECT_EQ(h.bin_count(4), 2u);
+  EXPECT_DOUBLE_EQ(h.bin_lo(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(0), 2.0);
+  EXPECT_DOUBLE_EQ(h.bin_lo(4), 8.0);
+}
+
+TEST(Histogram, RejectsBadConstruction) {
+  EXPECT_THROW((Histogram{1.0, 1.0, 5}), std::invalid_argument);
+  EXPECT_THROW((Histogram{0.0, 1.0, 0}), std::invalid_argument);
+}
+
+TEST(Histogram, AsciiContainsEveryBin) {
+  Histogram h{0.0, 4.0, 4};
+  for (int i = 0; i < 8; ++i) h.add(i % 4 + 0.5);
+  const std::string out = h.ascii(10);
+  int lines = 0;
+  for (char c : out)
+    if (c == '\n') ++lines;
+  EXPECT_EQ(lines, 4);
+  EXPECT_NE(out.find('#'), std::string::npos);
+}
+
+TEST(Histogram, AsciiHandlesEmpty) {
+  Histogram h{0.0, 1.0, 3};
+  EXPECT_NO_THROW((void)h.ascii());
+}
+
+}  // namespace
+}  // namespace bfsim::sim

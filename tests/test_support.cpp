@@ -1,0 +1,56 @@
+#include "test_support.hpp"
+
+#include <algorithm>
+
+#include "workload/transforms.hpp"
+
+namespace bfsim::test {
+
+workload::Trace make_trace(const std::vector<JobSpec>& specs) {
+  workload::Trace trace;
+  trace.reserve(specs.size());
+  for (const JobSpec& spec : specs) {
+    workload::Job job;
+    job.submit = spec.submit;
+    job.runtime = spec.runtime;
+    job.procs = spec.procs;
+    job.estimate = spec.estimate == 0 ? spec.runtime : spec.estimate;
+    trace.push_back(job);
+  }
+  workload::finalize(trace);
+  return trace;
+}
+
+workload::Trace random_trace(std::size_t count, int procs,
+                             std::uint64_t seed, bool overestimate) {
+  sim::Rng rng{seed};
+  workload::Trace trace;
+  trace.reserve(count);
+  sim::Time t = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    workload::Job job;
+    t += static_cast<sim::Time>(rng.exponential(40.0));
+    job.submit = t;
+    job.runtime = rng.uniform_int(1, 2000);
+    job.procs = static_cast<int>(rng.uniform_int(1, procs));
+    job.estimate = overestimate
+                       ? static_cast<sim::Time>(
+                             static_cast<double>(job.runtime) *
+                             rng.uniform(1.0, 10.0))
+                       : job.runtime;
+    job.estimate = std::max(job.estimate, job.runtime);
+    trace.push_back(job);
+  }
+  workload::finalize(trace);
+  return trace;
+}
+
+std::vector<sim::Time> start_times(const core::SimulationResult& result) {
+  std::vector<sim::Time> starts;
+  starts.reserve(result.outcomes.size());
+  for (const core::JobOutcome& outcome : result.outcomes)
+    starts.push_back(outcome.start);
+  return starts;
+}
+
+}  // namespace bfsim::test

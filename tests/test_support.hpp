@@ -1,0 +1,36 @@
+// bfsim tests -- shared fixtures and builders.
+#pragma once
+
+#include <vector>
+
+#include "core/simulation.hpp"
+#include "core/types.hpp"
+#include "sim/rng.hpp"
+#include "workload/job.hpp"
+
+namespace bfsim::test {
+
+/// Build one job; ids are assigned by make_trace.
+struct JobSpec {
+  sim::Time submit = 0;
+  sim::Time runtime = 1;
+  int procs = 1;
+  sim::Time estimate = 0;  ///< 0 => equals runtime
+};
+
+/// Assemble a simulator-ready trace (sorted, ids = indices).
+[[nodiscard]] workload::Trace make_trace(const std::vector<JobSpec>& specs);
+
+/// A small random trace for property tests: `count` jobs on a
+/// `procs`-processor machine; runtimes in [1, 2000], widths in
+/// [1, procs], bursty Poisson arrivals. When `overestimate` is true,
+/// estimates are inflated by a random factor in [1, 10].
+[[nodiscard]] workload::Trace random_trace(std::size_t count, int procs,
+                                           std::uint64_t seed,
+                                           bool overestimate);
+
+/// Start times of every job, indexed by id.
+[[nodiscard]] std::vector<sim::Time> start_times(
+    const core::SimulationResult& result);
+
+}  // namespace bfsim::test

@@ -1,0 +1,101 @@
+#include "util/cli.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bfsim::util {
+namespace {
+
+CliParser make_parser() {
+  CliParser cli{"prog", "test program"};
+  cli.add_option("jobs", "number of jobs", "100");
+  cli.add_option("load", "offered load", "0.85");
+  cli.add_option("name", "label", "default");
+  cli.add_flag("verbose", "chatty output");
+  return cli;
+}
+
+TEST(Cli, DefaultsApplyWhenUnset) {
+  CliParser cli = make_parser();
+  ASSERT_TRUE(cli.parse({}));
+  EXPECT_EQ(cli.get_int("jobs"), 100);
+  EXPECT_DOUBLE_EQ(cli.get_double("load"), 0.85);
+  EXPECT_EQ(cli.get("name"), "default");
+  EXPECT_FALSE(cli.get_flag("verbose"));
+}
+
+TEST(Cli, SpaceSeparatedValues) {
+  CliParser cli = make_parser();
+  ASSERT_TRUE(cli.parse({"--jobs", "500", "--name", "ctc"}));
+  EXPECT_EQ(cli.get_int("jobs"), 500);
+  EXPECT_EQ(cli.get("name"), "ctc");
+}
+
+TEST(Cli, EqualsSyntax) {
+  CliParser cli = make_parser();
+  ASSERT_TRUE(cli.parse({"--jobs=250", "--load=0.5"}));
+  EXPECT_EQ(cli.get_int("jobs"), 250);
+  EXPECT_DOUBLE_EQ(cli.get_double("load"), 0.5);
+}
+
+TEST(Cli, FlagsToggleOn) {
+  CliParser cli = make_parser();
+  ASSERT_TRUE(cli.parse({"--verbose"}));
+  EXPECT_TRUE(cli.get_flag("verbose"));
+}
+
+TEST(Cli, FlagRejectsValue) {
+  CliParser cli = make_parser();
+  EXPECT_FALSE(cli.parse({"--verbose=yes"}));
+  EXPECT_FALSE(cli.error().empty());
+}
+
+TEST(Cli, UnknownOptionFails) {
+  CliParser cli = make_parser();
+  EXPECT_FALSE(cli.parse({"--bogus", "1"}));
+  EXPECT_NE(cli.error().find("bogus"), std::string::npos);
+}
+
+TEST(Cli, MissingValueFails) {
+  CliParser cli = make_parser();
+  EXPECT_FALSE(cli.parse({"--jobs"}));
+  EXPECT_NE(cli.error().find("jobs"), std::string::npos);
+}
+
+TEST(Cli, PositionalArgumentsCollected) {
+  CliParser cli = make_parser();
+  ASSERT_TRUE(cli.parse({"trace.swf", "--jobs", "5", "other.swf"}));
+  ASSERT_EQ(cli.positional().size(), 2u);
+  EXPECT_EQ(cli.positional()[0], "trace.swf");
+  EXPECT_EQ(cli.positional()[1], "other.swf");
+}
+
+TEST(Cli, HelpMentionsEveryOption) {
+  CliParser cli = make_parser();
+  const std::string help = cli.help();
+  for (const char* name : {"jobs", "load", "name", "verbose", "help"})
+    EXPECT_NE(help.find(name), std::string::npos) << name;
+}
+
+TEST(Cli, UndeclaredAccessThrows) {
+  CliParser cli = make_parser();
+  ASSERT_TRUE(cli.parse({}));
+  EXPECT_THROW((void)cli.get("nope"), std::invalid_argument);
+}
+
+TEST(Cli, Int64RoundTrip) {
+  CliParser cli{"p", "d"};
+  cli.add_option("big", "large value", "0");
+  ASSERT_TRUE(cli.parse({"--big", "123456789012"}));
+  EXPECT_EQ(cli.get_int64("big"), 123456789012LL);
+}
+
+TEST(Cli, ReparseResetsState) {
+  CliParser cli = make_parser();
+  ASSERT_TRUE(cli.parse({"--jobs", "7", "pos"}));
+  ASSERT_TRUE(cli.parse({}));
+  EXPECT_EQ(cli.get_int("jobs"), 100);
+  EXPECT_TRUE(cli.positional().empty());
+}
+
+}  // namespace
+}  // namespace bfsim::util

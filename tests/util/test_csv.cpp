@@ -1,0 +1,63 @@
+#include "util/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace bfsim::util {
+namespace {
+
+TEST(CsvEscape, PlainFieldsPassThrough) {
+  EXPECT_EQ(csv_escape("hello"), "hello");
+  EXPECT_EQ(csv_escape(""), "");
+  EXPECT_EQ(csv_escape("1.5"), "1.5");
+}
+
+TEST(CsvEscape, CommaTriggersQuoting) {
+  EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");
+}
+
+TEST(CsvEscape, QuotesAreDoubled) {
+  EXPECT_EQ(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+}
+
+TEST(CsvEscape, NewlinesTriggerQuoting) {
+  EXPECT_EQ(csv_escape("a\nb"), "\"a\nb\"");
+  EXPECT_EQ(csv_escape("a\rb"), "\"a\rb\"");
+}
+
+TEST(CsvWriter, WritesHeaderOnce) {
+  std::ostringstream out;
+  CsvWriter writer{out};
+  writer.set_header({"x", "y"});
+  writer.row({"1", "2"});
+  writer.row({"3", "4"});
+  EXPECT_EQ(out.str(), "x,y\n1,2\n3,4\n");
+}
+
+TEST(CsvWriter, NoHeaderWhenUnset) {
+  std::ostringstream out;
+  CsvWriter writer{out};
+  writer.row({"1", "2"});
+  EXPECT_EQ(out.str(), "1,2\n");
+}
+
+TEST(CsvWriter, CountsRows) {
+  std::ostringstream out;
+  CsvWriter writer{out};
+  writer.set_header({"a"});
+  writer.row({"1"});
+  writer.row({"2"});
+  // Header also counts as a written row internally; data rows are 2.
+  EXPECT_EQ(writer.rows_written(), 3u);
+}
+
+TEST(CsvWriter, EscapesFieldsInRows) {
+  std::ostringstream out;
+  CsvWriter writer{out};
+  writer.row({"a,b", "c"});
+  EXPECT_EQ(out.str(), "\"a,b\",c\n");
+}
+
+}  // namespace
+}  // namespace bfsim::util

@@ -1,0 +1,67 @@
+#include "util/format.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bfsim::util {
+namespace {
+
+TEST(Format, DurationSecondsOnly) {
+  EXPECT_EQ(format_duration(0), "00:00:00");
+  EXPECT_EQ(format_duration(59), "00:00:59");
+}
+
+TEST(Format, DurationMinutesHours) {
+  EXPECT_EQ(format_duration(61), "00:01:01");
+  EXPECT_EQ(format_duration(3600), "01:00:00");
+  EXPECT_EQ(format_duration(3661), "01:01:01");
+}
+
+TEST(Format, DurationDays) {
+  EXPECT_EQ(format_duration(86400), "1d 00:00:00");
+  EXPECT_EQ(format_duration(90061), "1d 01:01:01");
+  EXPECT_EQ(format_duration(86400 * 12 + 3600 * 5), "12d 05:00:00");
+}
+
+TEST(Format, DurationNegative) {
+  EXPECT_EQ(format_duration(-61), "-00:01:01");
+}
+
+TEST(Format, Fixed) {
+  EXPECT_EQ(format_fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(format_fixed(3.14159, 0), "3");
+  EXPECT_EQ(format_fixed(-1.005, 1), "-1.0");
+  EXPECT_EQ(format_fixed(2.5, 3), "2.500");
+}
+
+TEST(Format, Percent) {
+  EXPECT_EQ(format_percent(0.1234, 2), "12.34%");
+  EXPECT_EQ(format_percent(1.0, 0), "100%");
+  EXPECT_EQ(format_percent(0.0, 1), "0.0%");
+}
+
+TEST(Format, SignedPercent) {
+  EXPECT_EQ(format_signed_percent(0.123, 1), "+12.3%");
+  EXPECT_EQ(format_signed_percent(-0.045, 1), "-4.5%");
+  EXPECT_EQ(format_signed_percent(0.0, 1), "+0.0%");
+}
+
+TEST(Format, CountSeparators) {
+  EXPECT_EQ(format_count(0), "0");
+  EXPECT_EQ(format_count(999), "999");
+  EXPECT_EQ(format_count(1000), "1,000");
+  EXPECT_EQ(format_count(1234567), "1,234,567");
+  EXPECT_EQ(format_count(-1234567), "-1,234,567");
+  EXPECT_EQ(format_count(12), "12");
+  EXPECT_EQ(format_count(123456), "123,456");
+}
+
+TEST(Format, Padding) {
+  EXPECT_EQ(pad_left("ab", 4), "  ab");
+  EXPECT_EQ(pad_right("ab", 4), "ab  ");
+  EXPECT_EQ(pad_left("abcd", 2), "abcd");
+  EXPECT_EQ(pad_right("abcd", 2), "abcd");
+  EXPECT_EQ(pad_left("", 3), "   ");
+}
+
+}  // namespace
+}  // namespace bfsim::util

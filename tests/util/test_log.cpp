@@ -1,0 +1,61 @@
+#include "util/log.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bfsim::util {
+namespace {
+
+class LogLevelGuard {
+ public:
+  LogLevelGuard() : saved_(log_level()) {}
+  ~LogLevelGuard() { set_log_level(saved_); }
+
+ private:
+  LogLevel saved_;
+};
+
+TEST(Log, LevelRoundTrip) {
+  const LogLevelGuard guard;
+  set_log_level(LogLevel::Debug);
+  EXPECT_EQ(log_level(), LogLevel::Debug);
+  set_log_level(LogLevel::Error);
+  EXPECT_EQ(log_level(), LogLevel::Error);
+}
+
+TEST(Log, SuppressedMessagesDoNotCrash) {
+  const LogLevelGuard guard;
+  set_log_level(LogLevel::Off);
+  EXPECT_NO_THROW(log_message(LogLevel::Error, "dropped"));
+  EXPECT_NO_THROW(log_error() << "also dropped " << 42);
+}
+
+TEST(Log, StreamStyleComposesMessage) {
+  const LogLevelGuard guard;
+  set_log_level(LogLevel::Off);  // keep test output clean
+  // The statement must compile and accept mixed types.
+  log_info() << "jobs=" << 100 << " load=" << 0.85;
+}
+
+TEST(Log, EmittedMessagesGoToStderr) {
+  const LogLevelGuard guard;
+  set_log_level(LogLevel::Debug);
+  testing::internal::CaptureStderr();
+  log_warn() << "watch out";
+  const std::string err = testing::internal::GetCapturedStderr();
+  EXPECT_NE(err.find("[warn] watch out"), std::string::npos);
+}
+
+TEST(Log, ThresholdFiltersLowerLevels) {
+  const LogLevelGuard guard;
+  set_log_level(LogLevel::Warn);
+  testing::internal::CaptureStderr();
+  log_debug() << "quiet";
+  log_info() << "quiet too";
+  log_error() << "loud";
+  const std::string err = testing::internal::GetCapturedStderr();
+  EXPECT_EQ(err.find("quiet"), std::string::npos);
+  EXPECT_NE(err.find("loud"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace bfsim::util

@@ -1,0 +1,92 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bfsim::util {
+namespace {
+
+TEST(Table, RendersHeaderAndRows) {
+  Table t{"demo"};
+  t.set_header({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22"});
+  const std::string out = t.str();
+  EXPECT_NE(out.find("demo"), std::string::npos);
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("22"), std::string::npos);
+}
+
+TEST(Table, AlignsColumns) {
+  Table t;
+  t.set_header({"k", "v"});
+  t.add_row({"a", "1"});
+  t.add_row({"bb", "22"});
+  const std::string out = t.str();
+  // First column left-aligned, second right-aligned by default.
+  EXPECT_NE(out.find("a    1"), std::string::npos);
+  EXPECT_NE(out.find("bb  22"), std::string::npos);
+}
+
+TEST(Table, ExplicitAlignment) {
+  Table t;
+  t.set_header({"k", "v"});
+  t.set_align({Align::Right, Align::Left});
+  t.add_row({"a", "1"});
+  t.add_row({"bb", "22"});
+  const std::string out = t.str();
+  EXPECT_NE(out.find(" a  1"), std::string::npos);
+}
+
+TEST(Table, RuleSeparatesSections) {
+  Table t;
+  t.set_header({"k", "v"});
+  t.add_row({"a", "1"});
+  t.add_rule();
+  t.add_row({"total", "1"});
+  const std::string out = t.str();
+  // Two rules: one under the header, one before the total row.
+  std::size_t rules = 0;
+  for (std::size_t pos = out.find("--"); pos != std::string::npos;
+       pos = out.find("--", pos + 1))
+    ++rules;
+  EXPECT_GE(rules, 2u);
+  EXPECT_LT(out.find("a"), out.find("total"));
+}
+
+TEST(Table, HandlesRaggedRows) {
+  Table t;
+  t.set_header({"a", "b", "c"});
+  t.add_row({"x"});
+  t.add_row({"1", "2", "3", "4"});
+  EXPECT_NO_THROW((void)t.str());
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(Table, EmptyTableRendersTitleOnly) {
+  Table t{"nothing"};
+  const std::string out = t.str();
+  EXPECT_NE(out.find("nothing"), std::string::npos);
+}
+
+TEST(Table, NoTrailingWhitespace) {
+  Table t;
+  t.set_header({"col", "x"});
+  t.add_row({"longer-cell", "1"});
+  t.add_row({"s", "2"});
+  const std::string out = t.str();
+  std::size_t start = 0;
+  while (start < out.size()) {
+    const std::size_t end = out.find('\n', start);
+    const std::string line =
+        out.substr(start, end == std::string::npos ? end : end - start);
+    if (!line.empty()) {
+      EXPECT_NE(line.back(), ' ') << "line: '" << line << "'";
+    }
+    if (end == std::string::npos) break;
+    start = end + 1;
+  }
+}
+
+}  // namespace
+}  // namespace bfsim::util

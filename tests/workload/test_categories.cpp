@@ -1,0 +1,92 @@
+#include "workload/categories.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_support.hpp"
+
+namespace bfsim::workload {
+namespace {
+
+Job job_with(sim::Time runtime, int procs, sim::Time estimate = 0) {
+  Job j;
+  j.runtime = runtime;
+  j.procs = procs;
+  j.estimate = estimate == 0 ? runtime : estimate;
+  return j;
+}
+
+TEST(Categories, Table1Boundaries) {
+  // Table 1: Short <= 1 h, Narrow <= 8 processors; boundaries inclusive.
+  EXPECT_EQ(classify(job_with(3600, 8)), Category::ShortNarrow);
+  EXPECT_EQ(classify(job_with(3600, 9)), Category::ShortWide);
+  EXPECT_EQ(classify(job_with(3601, 8)), Category::LongNarrow);
+  EXPECT_EQ(classify(job_with(3601, 9)), Category::LongWide);
+}
+
+TEST(Categories, ExtremeValues) {
+  EXPECT_EQ(classify(job_with(1, 1)), Category::ShortNarrow);
+  EXPECT_EQ(classify(job_with(7 * 86400, 512)), Category::LongWide);
+}
+
+TEST(Categories, CustomThresholds) {
+  const CategoryThresholds t{.long_runtime = 600, .wide_procs = 16};
+  EXPECT_EQ(classify(job_with(601, 16), t), Category::LongNarrow);
+  EXPECT_EQ(classify(job_with(600, 17), t), Category::ShortWide);
+}
+
+TEST(Categories, ClassificationUsesRuntimeNotEstimate) {
+  // A short job with a huge estimate is still Short: the categorization
+  // axes of Table 1 are actual runtime and width.
+  EXPECT_EQ(classify(job_with(100, 1, 100000)), Category::ShortNarrow);
+}
+
+TEST(Categories, EstimateQualitySplitAtFactorTwo) {
+  EXPECT_EQ(classify_estimate(job_with(100, 1, 100)), EstimateQuality::Well);
+  EXPECT_EQ(classify_estimate(job_with(100, 1, 200)), EstimateQuality::Well);
+  EXPECT_EQ(classify_estimate(job_with(100, 1, 201)), EstimateQuality::Poor);
+}
+
+TEST(Categories, Names) {
+  EXPECT_EQ(code(Category::ShortNarrow), "SN");
+  EXPECT_EQ(code(Category::ShortWide), "SW");
+  EXPECT_EQ(code(Category::LongNarrow), "LN");
+  EXPECT_EQ(code(Category::LongWide), "LW");
+  EXPECT_EQ(to_string(Category::LongNarrow), "Long Narrow");
+  EXPECT_EQ(to_string(EstimateQuality::Well), "well estimated");
+  EXPECT_EQ(to_string(EstimateQuality::Poor), "poorly estimated");
+}
+
+TEST(Categories, CountsAndMixSum) {
+  const Trace trace = test::make_trace({
+      {.submit = 0, .runtime = 100, .procs = 1},    // SN
+      {.submit = 1, .runtime = 100, .procs = 64},   // SW
+      {.submit = 2, .runtime = 7200, .procs = 2},   // LN
+      {.submit = 3, .runtime = 7200, .procs = 2},   // LN
+      {.submit = 4, .runtime = 7200, .procs = 100}, // LW
+  });
+  const auto counts = category_counts(trace);
+  EXPECT_EQ(counts[static_cast<std::size_t>(Category::ShortNarrow)], 1u);
+  EXPECT_EQ(counts[static_cast<std::size_t>(Category::ShortWide)], 1u);
+  EXPECT_EQ(counts[static_cast<std::size_t>(Category::LongNarrow)], 2u);
+  EXPECT_EQ(counts[static_cast<std::size_t>(Category::LongWide)], 1u);
+  const auto mix = category_mix(trace);
+  double total = 0.0;
+  for (double m : mix) total += m;
+  EXPECT_NEAR(total, 1.0, 1e-12);
+  EXPECT_NEAR(mix[2], 0.4, 1e-12);
+}
+
+TEST(Categories, EmptyTraceMixIsZero) {
+  const Trace empty;
+  const auto mix = category_mix(empty);
+  for (double m : mix) EXPECT_DOUBLE_EQ(m, 0.0);
+}
+
+TEST(Categories, AllCategoriesConstantCoversEnum) {
+  EXPECT_EQ(kAllCategories.size(), 4u);
+  EXPECT_EQ(kAllCategories[0], Category::ShortNarrow);
+  EXPECT_EQ(kAllCategories[3], Category::LongWide);
+}
+
+}  // namespace
+}  // namespace bfsim::workload

@@ -1,0 +1,159 @@
+#include "workload/estimates.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "test_support.hpp"
+#include "workload/categories.hpp"
+
+namespace bfsim::workload {
+namespace {
+
+Trace sample_trace(std::size_t n) {
+  std::vector<test::JobSpec> specs;
+  specs.reserve(n);
+  sim::Rng rng{99};
+  for (std::size_t i = 0; i < n; ++i)
+    specs.push_back({.submit = static_cast<sim::Time>(i),
+                     .runtime = rng.uniform_int(1, 20000),
+                     .procs = 1});
+  return test::make_trace(specs);
+}
+
+TEST(Estimates, ExactModelEqualsRuntime) {
+  Trace trace = sample_trace(200);
+  sim::Rng rng{1};
+  apply_estimates(trace, ExactEstimate{}, rng);
+  for (const Job& job : trace) EXPECT_EQ(job.estimate, job.runtime);
+}
+
+TEST(Estimates, SystematicDoublesRuntime) {
+  Trace trace = sample_trace(200);
+  sim::Rng rng{1};
+  apply_estimates(trace, SystematicOverestimate{2.0}, rng);
+  for (const Job& job : trace) EXPECT_EQ(job.estimate, 2 * job.runtime);
+}
+
+TEST(Estimates, SystematicFactorOneIsExact) {
+  Trace trace = sample_trace(50);
+  sim::Rng rng{1};
+  apply_estimates(trace, SystematicOverestimate{1.0}, rng);
+  for (const Job& job : trace) EXPECT_EQ(job.estimate, job.runtime);
+}
+
+TEST(Estimates, SystematicRejectsFactorBelowOne) {
+  EXPECT_THROW(SystematicOverestimate{0.5}, std::invalid_argument);
+}
+
+TEST(Estimates, SystematicName) {
+  EXPECT_EQ(SystematicOverestimate{4.0}.name(), "overestimate-R4");
+  EXPECT_EQ(ExactEstimate{}.name(), "exact");
+  EXPECT_EQ(ActualEstimateModel{}.name(), "actual");
+}
+
+TEST(Estimates, ActualNeverBelowRuntime) {
+  Trace trace = sample_trace(2000);
+  sim::Rng rng{5};
+  apply_estimates(trace, ActualEstimateModel{}, rng);
+  for (const Job& job : trace) {
+    EXPECT_GE(job.estimate, job.runtime);
+    EXPECT_GE(job.estimate, 1);
+  }
+}
+
+TEST(Estimates, ActualWellEstimatedFractionCalibrated) {
+  // Default parameters yield a healthy mix of well (estimate <= 2 x
+  // runtime) and poorly estimated jobs -- the paper's Section 5.2 split.
+  Trace trace = sample_trace(20000);
+  sim::Rng rng{6};
+  apply_estimates(trace, ActualEstimateModel{}, rng);
+  std::size_t well = 0;
+  for (const Job& job : trace)
+    if (classify_estimate(job) == EstimateQuality::Well) ++well;
+  const double fraction = static_cast<double>(well) / trace.size();
+  EXPECT_GT(fraction, 0.45);
+  EXPECT_LT(fraction, 0.75);
+}
+
+TEST(Estimates, ActualTailRequestsAreRoundLimits) {
+  ActualEstimateParams params;
+  params.exact_fraction = 0.0;
+  params.mild_fraction = 0.0;  // tail only
+  Trace trace = sample_trace(5000);
+  sim::Rng rng{16};
+  apply_estimates(trace, ActualEstimateModel{params}, rng);
+  for (const Job& job : trace) {
+    const bool is_limit =
+        std::find(params.limits.begin(), params.limits.end(),
+                  job.estimate) != params.limits.end();
+    EXPECT_TRUE(is_limit || job.estimate == job.runtime)
+        << "estimate " << job.estimate;
+    EXPECT_GE(job.estimate, job.runtime);
+  }
+}
+
+TEST(Estimates, ActualTailFallsBackWhenRuntimeExceedsLimits) {
+  ActualEstimateParams params;
+  params.exact_fraction = 0.0;
+  params.mild_fraction = 0.0;
+  params.limits = {100, 200};
+  const ActualEstimateModel model{params};
+  Job job;
+  job.runtime = 5000;  // beyond every limit
+  sim::Rng rng{17};
+  EXPECT_EQ(model.estimate_for(job, rng), 5000);
+}
+
+TEST(Estimates, ActualProducesHeavyTail) {
+  Trace trace = sample_trace(20000);
+  sim::Rng rng{7};
+  apply_estimates(trace, ActualEstimateModel{}, rng);
+  std::size_t gross = 0;  // estimate > 10 x runtime
+  for (const Job& job : trace)
+    if (job.estimate > 10 * job.runtime) ++gross;
+  EXPECT_GT(gross, trace.size() / 20);  // > 5% grossly overestimated
+}
+
+TEST(Estimates, ActualRoundsToMinutesExceptExact) {
+  ActualEstimateParams params;
+  params.exact_fraction = 0.0;  // force the rounded branches
+  Trace trace = sample_trace(500);
+  sim::Rng rng{8};
+  apply_estimates(trace, ActualEstimateModel{params}, rng);
+  for (const Job& job : trace) {
+    // Mild estimates round up to whole minutes and tail estimates are
+    // round limits; only the beyond-limits fallback equals the runtime.
+    EXPECT_TRUE(job.estimate % 60 == 0 || job.estimate == job.runtime)
+        << "estimate " << job.estimate << " runtime " << job.runtime;
+  }
+}
+
+TEST(Estimates, ActualValidatesParameters) {
+  ActualEstimateParams bad;
+  bad.exact_fraction = 0.8;
+  bad.mild_fraction = 0.5;  // sums above 1
+  EXPECT_THROW(ActualEstimateModel{bad}, std::invalid_argument);
+  ActualEstimateParams bad2;
+  bad2.limits = {100, 100};  // not strictly ascending
+  EXPECT_THROW(ActualEstimateModel{bad2}, std::invalid_argument);
+  ActualEstimateParams bad3;
+  bad3.round_to = 0;
+  EXPECT_THROW(ActualEstimateModel{bad3}, std::invalid_argument);
+  ActualEstimateParams bad4;
+  bad4.limits.clear();
+  EXPECT_THROW(ActualEstimateModel{bad4}, std::invalid_argument);
+}
+
+TEST(Estimates, ApplyIsDeterministicGivenRngState) {
+  Trace a = sample_trace(500);
+  Trace b = a;
+  sim::Rng rng1{123};
+  sim::Rng rng2{123};
+  apply_estimates(a, ActualEstimateModel{}, rng1);
+  apply_estimates(b, ActualEstimateModel{}, rng2);
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace bfsim::workload

@@ -1,0 +1,110 @@
+#include "workload/filters.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_support.hpp"
+
+namespace bfsim::workload {
+namespace {
+
+SwfRecord record(std::int64_t number, std::int64_t submit,
+                 std::int64_t user = 1, std::int64_t status = 1) {
+  SwfRecord r;
+  r.job_number = number;
+  r.submit_time = submit;
+  r.run_time = 100;
+  r.requested_procs = 1;
+  r.requested_time = 100;
+  r.user_id = user;
+  r.status = status;
+  return r;
+}
+
+TEST(Filters, DropFailedRecordsRemovesFailedAndCancelled) {
+  SwfFile file;
+  file.records.push_back(record(1, 0, 1, 1));   // completed
+  file.records.push_back(record(2, 1, 1, 0));   // failed
+  file.records.push_back(record(3, 2, 1, 5));   // cancelled
+  file.records.push_back(record(4, 3, 1, -1));  // unknown: keep
+  EXPECT_EQ(drop_failed_records(file), 2u);
+  ASSERT_EQ(file.records.size(), 2u);
+  EXPECT_EQ(file.records[0].job_number, 1);
+  EXPECT_EQ(file.records[1].job_number, 4);
+}
+
+TEST(Filters, RemoveFlurriesKeepsBurstPrefix) {
+  SwfFile file;
+  // User 1 submits 6 jobs one second apart: a flurry. Keep the first 3.
+  for (int i = 0; i < 6; ++i) file.records.push_back(record(i + 1, i, 1));
+  EXPECT_EQ(remove_flurries(file, /*window=*/10, /*max_burst=*/3), 3u);
+  ASSERT_EQ(file.records.size(), 3u);
+  for (int i = 0; i < 3; ++i) EXPECT_EQ(file.records[i].job_number, i + 1);
+}
+
+TEST(Filters, RemoveFlurriesResetsAfterQuietGap) {
+  SwfFile file;
+  // Two bursts of 3 separated by a long gap: both survive a limit of 3.
+  for (int i = 0; i < 3; ++i) file.records.push_back(record(i + 1, i, 1));
+  for (int i = 0; i < 3; ++i)
+    file.records.push_back(record(i + 10, 1000 + i, 1));
+  EXPECT_EQ(remove_flurries(file, 10, 3), 0u);
+  EXPECT_EQ(file.records.size(), 6u);
+}
+
+TEST(Filters, RemoveFlurriesIsPerUser) {
+  SwfFile file;
+  // Two users interleaved; each stays within its own burst budget.
+  for (int i = 0; i < 4; ++i) {
+    file.records.push_back(record(2 * i + 1, i, /*user=*/1));
+    file.records.push_back(record(2 * i + 2, i, /*user=*/2));
+  }
+  EXPECT_EQ(remove_flurries(file, 10, 4), 0u);
+  EXPECT_EQ(remove_flurries(file, 10, 2), 4u);  // 2 dropped per user
+}
+
+TEST(Filters, RemoveFlurriesIgnoresUnknownUsers) {
+  SwfFile file;
+  for (int i = 0; i < 6; ++i) file.records.push_back(record(i + 1, i, -1));
+  EXPECT_EQ(remove_flurries(file, 10, 2), 0u);
+}
+
+TEST(Filters, RemoveFlurriesValidatesArguments) {
+  SwfFile file;
+  EXPECT_THROW((void)remove_flurries(file, 0, 3), std::invalid_argument);
+  EXPECT_THROW((void)remove_flurries(file, 10, 0), std::invalid_argument);
+}
+
+TEST(Filters, ClampWidths) {
+  Trace trace = test::make_trace({{.submit = 0, .runtime = 10, .procs = 5},
+                                  {.submit = 1, .runtime = 10, .procs = 64}});
+  EXPECT_EQ(clamp_widths(trace, 16), 1u);
+  EXPECT_EQ(trace[0].procs, 5);
+  EXPECT_EQ(trace[1].procs, 16);
+  EXPECT_THROW((void)clamp_widths(trace, 0), std::invalid_argument);
+}
+
+TEST(Filters, CapEstimatesRespectsRuntime) {
+  Trace trace = test::make_trace(
+      {{.submit = 0, .runtime = 10, .procs = 1, .estimate = 99999},
+       {.submit = 1, .runtime = 5000, .procs = 1, .estimate = 6000},
+       {.submit = 2, .runtime = 10, .procs = 1, .estimate = 20}});
+  EXPECT_EQ(cap_estimates(trace, 1000), 2u);
+  EXPECT_EQ(trace[0].estimate, 1000);
+  EXPECT_EQ(trace[1].estimate, 5000);  // never below the runtime
+  EXPECT_EQ(trace[2].estimate, 20);    // already under the cap
+}
+
+TEST(Filters, DropMalformedRenumbers) {
+  Trace trace = test::make_trace({{.submit = 0, .runtime = 10, .procs = 1},
+                                  {.submit = 1, .runtime = 10, .procs = 1},
+                                  {.submit = 2, .runtime = 10, .procs = 1}});
+  trace[1].procs = 0;  // corrupt
+  EXPECT_EQ(drop_malformed(trace), 1u);
+  ASSERT_EQ(trace.size(), 2u);
+  EXPECT_EQ(trace[0].id, 0u);
+  EXPECT_EQ(trace[1].id, 1u);
+  EXPECT_EQ(trace[1].submit, 2);
+}
+
+}  // namespace
+}  // namespace bfsim::workload

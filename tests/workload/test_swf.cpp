@@ -1,0 +1,217 @@
+#include "workload/swf.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace bfsim::workload {
+namespace {
+
+constexpr const char* kSample =
+    "; Computer: IBM SP2\n"
+    "; Installation: Cornell Theory Center\n"
+    "; MaxProcs: 430\n"
+    "; MaxJobs: 3\n"
+    "1 0 10 100 4 -1 -1 4 200 -1 1 12 3 -1 1 -1 -1 -1\n"
+    "2 50 0 3600 16 -1 -1 16 7200 -1 1 13 3 -1 1 -1 -1 -1\n"
+    "3 60 5 -1 -1 -1 -1 8 600 -1 5 14 3 -1 1 -1 -1 -1\n";
+
+TEST(Swf, ParsesHeaderFields) {
+  std::istringstream in{kSample};
+  const SwfFile file = read_swf(in);
+  EXPECT_EQ(file.header.computer, "IBM SP2");
+  EXPECT_EQ(file.header.installation, "Cornell Theory Center");
+  EXPECT_EQ(file.header.max_procs, 430);
+  EXPECT_EQ(file.header.max_jobs, 3);
+  EXPECT_EQ(file.header.raw_lines.size(), 4u);
+}
+
+TEST(Swf, ParsesAllRecordFields) {
+  std::istringstream in{kSample};
+  const SwfFile file = read_swf(in);
+  ASSERT_EQ(file.records.size(), 3u);
+  const SwfRecord& r = file.records[0];
+  EXPECT_EQ(r.job_number, 1);
+  EXPECT_EQ(r.submit_time, 0);
+  EXPECT_EQ(r.wait_time, 10);
+  EXPECT_EQ(r.run_time, 100);
+  EXPECT_EQ(r.used_procs, 4);
+  EXPECT_EQ(r.requested_procs, 4);
+  EXPECT_EQ(r.requested_time, 200);
+  EXPECT_EQ(r.status, 1);
+  EXPECT_EQ(r.user_id, 12);
+  EXPECT_EQ(r.group_id, 3);
+  EXPECT_EQ(r.queue_id, 1);
+  EXPECT_EQ(r.think_time, -1);
+}
+
+TEST(Swf, RejectsWrongFieldCount) {
+  std::istringstream in{"1 2 3\n"};
+  EXPECT_THROW((void)read_swf(in), std::runtime_error);
+}
+
+TEST(Swf, RejectsNonNumericField) {
+  std::istringstream in{
+      "1 0 10 abc 4 -1 -1 4 200 -1 1 12 3 -1 1 -1 -1 -1\n"};
+  EXPECT_THROW((void)read_swf(in), std::runtime_error);
+}
+
+TEST(Swf, AcceptsFloatInIntegerColumn) {
+  // Archive files occasionally carry "123.0" in integer columns.
+  std::istringstream in{
+      "1 0 10 100.0 4 -1 -1 4 200 -1 1 12 3 -1 1 -1 -1 -1\n"};
+  const SwfFile file = read_swf(in);
+  ASSERT_EQ(file.records.size(), 1u);
+  EXPECT_EQ(file.records[0].run_time, 100);
+}
+
+TEST(Swf, SkipsBlankAndCrLfLines) {
+  std::istringstream in{
+      "\n; comment\r\n"
+      "1 0 10 100 4 -1 -1 4 200 -1 1 12 3 -1 1 -1 -1 -1\r\n\n"};
+  const SwfFile file = read_swf(in);
+  EXPECT_EQ(file.records.size(), 1u);
+}
+
+TEST(Swf, RoundTripPreservesRecords) {
+  std::istringstream in{kSample};
+  const SwfFile original = read_swf(in);
+  std::ostringstream out;
+  write_swf(out, original);
+  std::istringstream in2{out.str()};
+  const SwfFile reparsed = read_swf(in2);
+  ASSERT_EQ(reparsed.records.size(), original.records.size());
+  for (std::size_t i = 0; i < original.records.size(); ++i)
+    EXPECT_EQ(reparsed.records[i], original.records[i]) << "record " << i;
+  EXPECT_EQ(reparsed.header.max_procs, original.header.max_procs);
+}
+
+TEST(Swf, ToJobsDropsUnstartedByDefault) {
+  std::istringstream in{kSample};
+  const SwfFile file = read_swf(in);
+  const Trace jobs = swf_to_jobs(file);
+  // Record 3 has run_time == -1 (cancelled before start): dropped.
+  EXPECT_EQ(jobs.size(), 2u);
+}
+
+TEST(Swf, ToJobsMapsFields) {
+  std::istringstream in{kSample};
+  const Trace jobs = swf_to_jobs(read_swf(in));
+  ASSERT_GE(jobs.size(), 2u);
+  EXPECT_EQ(jobs[0].id, 0u);
+  EXPECT_EQ(jobs[0].submit, 0);
+  EXPECT_EQ(jobs[0].runtime, 100);
+  EXPECT_EQ(jobs[0].estimate, 200);
+  EXPECT_EQ(jobs[0].procs, 4);
+  EXPECT_EQ(jobs[1].submit, 50);
+  EXPECT_EQ(jobs[1].procs, 16);
+}
+
+TEST(Swf, ToJobsRaisesEstimateToRuntime) {
+  SwfFile file;
+  SwfRecord r;
+  r.job_number = 1;
+  r.submit_time = 0;
+  r.run_time = 500;
+  r.requested_procs = 2;
+  r.requested_time = 100;  // archive logged runtime over the request
+  file.records.push_back(r);
+  const Trace jobs = swf_to_jobs(file);
+  ASSERT_EQ(jobs.size(), 1u);
+  EXPECT_EQ(jobs[0].estimate, 500);
+}
+
+TEST(Swf, ToJobsEstimateFallsBackToRuntime) {
+  SwfFile file;
+  SwfRecord r;
+  r.job_number = 1;
+  r.submit_time = 0;
+  r.run_time = 123;
+  r.requested_procs = 2;
+  r.requested_time = -1;
+  file.records.push_back(r);
+  const Trace jobs = swf_to_jobs(file);
+  ASSERT_EQ(jobs.size(), 1u);
+  EXPECT_EQ(jobs[0].estimate, 123);
+}
+
+TEST(Swf, ToJobsRebasesSubmitTimes) {
+  SwfFile file;
+  for (int i = 0; i < 3; ++i) {
+    SwfRecord r;
+    r.job_number = i + 1;
+    r.submit_time = 1000 + i * 10;
+    r.run_time = 5;
+    r.requested_procs = 1;
+    r.requested_time = 5;
+    file.records.push_back(r);
+  }
+  const Trace jobs = swf_to_jobs(file);
+  ASSERT_EQ(jobs.size(), 3u);
+  EXPECT_EQ(jobs[0].submit, 0);
+  EXPECT_EQ(jobs[2].submit, 20);
+}
+
+TEST(Swf, ToJobsSortsBySubmit) {
+  SwfFile file;
+  for (int i = 0; i < 3; ++i) {
+    SwfRecord r;
+    r.job_number = i + 1;
+    r.submit_time = 100 - i * 10;  // descending
+    r.run_time = 5;
+    r.requested_procs = 1;
+    r.requested_time = 5;
+    file.records.push_back(r);
+  }
+  const Trace jobs = swf_to_jobs(file);
+  ASSERT_EQ(jobs.size(), 3u);
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    EXPECT_EQ(jobs[i].id, i);
+    if (i > 0) {
+      EXPECT_LE(jobs[i - 1].submit, jobs[i].submit);
+    }
+  }
+}
+
+TEST(Swf, ToJobsUsedProcsFallback) {
+  SwfFile file;
+  SwfRecord r;
+  r.job_number = 1;
+  r.submit_time = 0;
+  r.run_time = 10;
+  r.requested_procs = -1;
+  r.used_procs = 7;
+  r.requested_time = 10;
+  file.records.push_back(r);
+  const Trace jobs = swf_to_jobs(file);
+  ASSERT_EQ(jobs.size(), 1u);
+  EXPECT_EQ(jobs[0].procs, 7);
+}
+
+TEST(Swf, JobsToSwfInverse) {
+  Trace jobs;
+  Job j;
+  j.id = 0;
+  j.submit = 10;
+  j.runtime = 100;
+  j.estimate = 300;
+  j.procs = 8;
+  jobs.push_back(j);
+  const SwfFile file = jobs_to_swf(jobs, 128, "test-machine");
+  EXPECT_EQ(file.header.max_procs, 128);
+  ASSERT_EQ(file.records.size(), 1u);
+  const Trace back = swf_to_jobs(file, {.rebase_time = false});
+  ASSERT_EQ(back.size(), 1u);
+  EXPECT_EQ(back[0].submit, 10);
+  EXPECT_EQ(back[0].runtime, 100);
+  EXPECT_EQ(back[0].estimate, 300);
+  EXPECT_EQ(back[0].procs, 8);
+}
+
+TEST(Swf, ReadMissingFileThrows) {
+  EXPECT_THROW((void)read_swf_file("/nonexistent/path.swf"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace bfsim::workload

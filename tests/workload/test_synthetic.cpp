@@ -1,0 +1,198 @@
+#include "workload/synthetic.hpp"
+
+#include <gtest/gtest.h>
+
+#include "workload/transforms.hpp"
+
+namespace bfsim::workload {
+namespace {
+
+TEST(CategoryMix, CtcPresetMatchesTable2) {
+  const CategoryMixParams p = CategoryMixModel::ctc();
+  EXPECT_EQ(p.machine_procs, 430);
+  EXPECT_NEAR(p.mix[0], 0.4506, 1e-9);
+  EXPECT_NEAR(p.mix[1], 0.1184, 1e-9);
+  EXPECT_NEAR(p.mix[2], 0.3026, 1e-9);
+  EXPECT_NEAR(p.mix[3], 0.1284, 1e-9);
+  EXPECT_NEAR(p.mix[0] + p.mix[1] + p.mix[2] + p.mix[3], 1.0, 1e-9);
+}
+
+TEST(CategoryMix, SdscPresetMatchesTable3) {
+  const CategoryMixParams p = CategoryMixModel::sdsc();
+  EXPECT_EQ(p.machine_procs, 128);
+  EXPECT_NEAR(p.mix[0] + p.mix[1] + p.mix[2] + p.mix[3], 1.0, 1e-9);
+  EXPECT_NEAR(p.mix[0], 0.4724, 1e-9);
+  EXPECT_NEAR(p.mix[3], 0.1038, 1e-9);
+}
+
+TEST(CategoryMix, GeneratedMixMatchesTargets) {
+  for (const auto& params :
+       {CategoryMixModel::ctc(), CategoryMixModel::sdsc()}) {
+    const CategoryMixModel model{params};
+    sim::Rng rng{17};
+    const Trace trace = model.generate(20000, rng);
+    const auto mix = category_mix(trace, params.thresholds);
+    for (std::size_t c = 0; c < 4; ++c)
+      EXPECT_NEAR(mix[c], params.mix[c], 0.015)
+          << params.name << " category " << c;
+  }
+}
+
+TEST(CategoryMix, ShapesRespectCategoryBounds) {
+  const CategoryMixParams params = CategoryMixModel::ctc();
+  const CategoryMixModel model{params};
+  sim::Rng rng{18};
+  for (int i = 0; i < 5000; ++i) {
+    const Job job = model.sample_shape(rng);
+    EXPECT_GE(job.runtime, params.min_runtime);
+    EXPECT_LE(job.runtime, params.max_runtime);
+    EXPECT_GE(job.procs, 1);
+    EXPECT_LE(job.procs, params.max_width);
+    const auto cat = classify(job, params.thresholds);
+    if (cat == Category::ShortNarrow || cat == Category::ShortWide) {
+      EXPECT_LE(job.runtime, params.thresholds.long_runtime);
+    }
+    if (cat == Category::ShortNarrow || cat == Category::LongNarrow) {
+      EXPECT_LE(job.procs, params.thresholds.wide_procs);
+    }
+    EXPECT_EQ(job.estimate, job.runtime);  // estimates applied separately
+  }
+}
+
+TEST(CategoryMix, WidthsFavorPowersOfTwo) {
+  const CategoryMixModel model{CategoryMixModel::sdsc()};
+  sim::Rng rng{19};
+  int pow2 = 0;
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) {
+    const Job job = model.sample_shape(rng);
+    if ((job.procs & (job.procs - 1)) == 0) ++pow2;
+  }
+  EXPECT_GT(static_cast<double>(pow2) / n, 0.6);
+}
+
+TEST(CategoryMix, GenerateSortedWithDenseIds) {
+  const CategoryMixModel model{CategoryMixModel::sdsc()};
+  sim::Rng rng{20};
+  const Trace trace = model.generate(500, rng);
+  ASSERT_EQ(trace.size(), 500u);
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    EXPECT_EQ(trace[i].id, i);
+    if (i > 0) {
+      EXPECT_LE(trace[i - 1].submit, trace[i].submit);
+    }
+  }
+}
+
+TEST(CategoryMix, GenerateIsDeterministic) {
+  const CategoryMixModel model{CategoryMixModel::ctc()};
+  sim::Rng rng1{21};
+  sim::Rng rng2{21};
+  EXPECT_EQ(model.generate(300, rng1), model.generate(300, rng2));
+}
+
+TEST(CategoryMix, MeanInterarrivalRoughlyHonored) {
+  CategoryMixParams params = CategoryMixModel::sdsc();
+  params.mean_interarrival = 120.0;
+  const CategoryMixModel model{params};
+  sim::Rng rng{22};
+  const Trace trace = model.generate(5000, rng);
+  const TraceStats stats = compute_stats(trace, params.machine_procs);
+  EXPECT_NEAR(stats.mean_interarrival, 120.0, 10.0);
+}
+
+TEST(CategoryMix, DailyCycleProducesNonUniformArrivals) {
+  CategoryMixParams params = CategoryMixModel::sdsc();
+  params.mean_interarrival = 60.0;
+  params.daily_cycle_amplitude = 0.9;
+  const CategoryMixModel model{params};
+  sim::Rng rng{23};
+  const Trace trace = model.generate(20000, rng);
+  // Bucket arrivals by hour-of-day; peak and trough should differ by a
+  // factor reflecting the amplitude.
+  std::array<int, 24> per_hour{};
+  for (const Job& job : trace)
+    ++per_hour[static_cast<std::size_t>((job.submit % sim::kDay) / 3600)];
+  const auto [lo, hi] = std::minmax_element(per_hour.begin(), per_hour.end());
+  EXPECT_GT(static_cast<double>(*hi), 1.5 * static_cast<double>(*lo));
+}
+
+TEST(CategoryMix, ValidatesParameters) {
+  CategoryMixParams bad = CategoryMixModel::ctc();
+  bad.mix = {0.5, 0.5, 0.5, 0.5};
+  EXPECT_THROW(CategoryMixModel{bad}, std::invalid_argument);
+  CategoryMixParams bad2 = CategoryMixModel::ctc();
+  bad2.machine_procs = 4;  // narrower than the narrow/wide split
+  EXPECT_THROW(CategoryMixModel{bad2}, std::invalid_argument);
+  CategoryMixParams bad3 = CategoryMixModel::ctc();
+  bad3.min_runtime = 0;
+  EXPECT_THROW(CategoryMixModel{bad3}, std::invalid_argument);
+  CategoryMixParams bad4 = CategoryMixModel::ctc();
+  bad4.max_width = 5000;
+  EXPECT_THROW(CategoryMixModel{bad4}, std::invalid_argument);
+}
+
+TEST(LublinStyle, ShapesWithinBounds) {
+  const LublinStyleParams params{};
+  const LublinStyleModel model{params};
+  sim::Rng rng{24};
+  for (int i = 0; i < 5000; ++i) {
+    const Job job = model.sample_shape(rng);
+    EXPECT_GE(job.procs, 1);
+    EXPECT_LE(job.procs, params.machine_procs);
+    EXPECT_GE(job.runtime, 1);
+    EXPECT_LE(job.runtime, params.max_runtime);
+  }
+}
+
+TEST(LublinStyle, SerialFractionRespected) {
+  LublinStyleParams params{};
+  params.serial_fraction = 0.4;
+  const LublinStyleModel model{params};
+  sim::Rng rng{25};
+  int serial = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i)
+    if (model.sample_shape(rng).procs == 1) ++serial;
+  // Serial jobs come from the explicit mass plus pow2-rounding down to 1.
+  EXPECT_NEAR(static_cast<double>(serial) / n, 0.4, 0.05);
+}
+
+TEST(LublinStyle, RuntimeIsBimodal) {
+  const LublinStyleModel model{LublinStyleParams{}};
+  sim::Rng rng{26};
+  int short_jobs = 0, long_jobs = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const Job job = model.sample_shape(rng);
+    if (job.runtime <= 3600) ++short_jobs;
+    if (job.runtime > 6 * 3600) ++long_jobs;
+  }
+  EXPECT_GT(short_jobs, n / 4);  // a real short-job body
+  EXPECT_GT(long_jobs, n / 20);  // and a real long tail
+}
+
+TEST(LublinStyle, GenerateContract) {
+  const LublinStyleModel model{LublinStyleParams{}};
+  sim::Rng rng{27};
+  const Trace trace = model.generate(300, rng);
+  ASSERT_EQ(trace.size(), 300u);
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    EXPECT_EQ(trace[i].id, i);
+    if (i > 0) {
+      EXPECT_LE(trace[i - 1].submit, trace[i].submit);
+    }
+  }
+}
+
+TEST(LublinStyle, ValidatesParameters) {
+  LublinStyleParams bad{};
+  bad.serial_fraction = 1.5;
+  EXPECT_THROW(LublinStyleModel{bad}, std::invalid_argument);
+  LublinStyleParams bad2{};
+  bad2.machine_procs = 1;
+  EXPECT_THROW(LublinStyleModel{bad2}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace bfsim::workload

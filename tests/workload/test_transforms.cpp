@@ -1,0 +1,156 @@
+#include "workload/transforms.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_support.hpp"
+#include "workload/synthetic.hpp"
+
+namespace bfsim::workload {
+namespace {
+
+TEST(Transforms, FinalizeSortsAndRenumbers) {
+  Trace trace;
+  for (int i = 0; i < 3; ++i) {
+    Job j;
+    j.id = 99;
+    j.submit = 100 - i * 10;
+    j.runtime = 1;
+    j.estimate = 1;
+    trace.push_back(j);
+  }
+  finalize(trace);
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    EXPECT_EQ(trace[i].id, i);
+    if (i > 0) {
+      EXPECT_LE(trace[i - 1].submit, trace[i].submit);
+    }
+  }
+}
+
+TEST(Transforms, FinalizeIsStableForTies) {
+  Trace trace;
+  for (int i = 0; i < 4; ++i) {
+    Job j;
+    j.submit = 50;
+    j.runtime = i + 1;  // distinguishes original order
+    j.estimate = j.runtime;
+    trace.push_back(j);
+  }
+  finalize(trace);
+  for (std::size_t i = 0; i < trace.size(); ++i)
+    EXPECT_EQ(trace[i].runtime, static_cast<sim::Time>(i + 1));
+}
+
+TEST(Transforms, RebaseShiftsToZero) {
+  Trace trace = test::make_trace({{.submit = 500, .runtime = 10, .procs = 1},
+                                  {.submit = 700, .runtime = 10, .procs = 1}});
+  rebase(trace);
+  EXPECT_EQ(trace[0].submit, 0);
+  EXPECT_EQ(trace[1].submit, 200);
+}
+
+TEST(Transforms, ScaleInterarrivalHalvesGaps) {
+  Trace trace = test::make_trace({{.submit = 0, .runtime = 10, .procs = 1},
+                                  {.submit = 100, .runtime = 10, .procs = 1},
+                                  {.submit = 300, .runtime = 10, .procs = 1}});
+  scale_interarrival(trace, 0.5);
+  EXPECT_EQ(trace[0].submit, 0);
+  EXPECT_EQ(trace[1].submit, 50);
+  EXPECT_EQ(trace[2].submit, 150);
+}
+
+TEST(Transforms, ScaleInterarrivalPreservesFirstSubmit) {
+  Trace trace = test::make_trace({{.submit = 40, .runtime = 10, .procs = 1},
+                                  {.submit = 140, .runtime = 10, .procs = 1}});
+  scale_interarrival(trace, 2.0);
+  EXPECT_EQ(trace[0].submit, 40);
+  EXPECT_EQ(trace[1].submit, 240);
+}
+
+TEST(Transforms, ScaleInterarrivalRejectsNonPositive) {
+  Trace trace = test::make_trace({{.submit = 0, .runtime = 1, .procs = 1},
+                                  {.submit = 1, .runtime = 1, .procs = 1}});
+  EXPECT_THROW(scale_interarrival(trace, 0.0), std::invalid_argument);
+  EXPECT_THROW(scale_interarrival(trace, -1.0), std::invalid_argument);
+}
+
+TEST(Transforms, OfferedLoadComputation) {
+  // 2 jobs x (100 s x 4 procs) work over a 100 s arrival span on 8 procs:
+  // rho = 800 / (8 * 100) = 1.0
+  Trace trace =
+      test::make_trace({{.submit = 0, .runtime = 100, .procs = 4},
+                        {.submit = 100, .runtime = 100, .procs = 4}});
+  EXPECT_DOUBLE_EQ(offered_load(trace, 8), 1.0);
+  EXPECT_DOUBLE_EQ(offered_load(trace, 16), 0.5);
+}
+
+TEST(Transforms, OfferedLoadEdgeCases) {
+  Trace empty;
+  EXPECT_DOUBLE_EQ(offered_load(empty, 8), 0.0);
+  Trace one = test::make_trace({{.submit = 0, .runtime = 10, .procs = 1}});
+  EXPECT_DOUBLE_EQ(offered_load(one, 8), 0.0);
+  Trace same_time =
+      test::make_trace({{.submit = 5, .runtime = 10, .procs = 1},
+                        {.submit = 5, .runtime = 10, .procs = 1}});
+  EXPECT_DOUBLE_EQ(offered_load(same_time, 8), 0.0);  // zero span
+}
+
+TEST(Transforms, SetOfferedLoadHitsTarget) {
+  const CategoryMixModel model{CategoryMixModel::sdsc()};
+  sim::Rng rng{31};
+  Trace trace = model.generate(5000, rng);
+  for (double rho : {0.5, 0.85, 1.1}) {
+    Trace copy = trace;
+    set_offered_load(copy, 128, rho);
+    EXPECT_NEAR(offered_load(copy, 128), rho, 0.03) << "target " << rho;
+  }
+}
+
+TEST(Transforms, SetOfferedLoadPreservesShapes) {
+  const CategoryMixModel model{CategoryMixModel::sdsc()};
+  sim::Rng rng{32};
+  Trace trace = model.generate(200, rng);
+  Trace scaled = trace;
+  set_offered_load(scaled, 128, 0.9);
+  ASSERT_EQ(scaled.size(), trace.size());
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    EXPECT_EQ(scaled[i].runtime, trace[i].runtime);
+    EXPECT_EQ(scaled[i].procs, trace[i].procs);
+  }
+}
+
+TEST(Transforms, TruncateKeepsPrefix) {
+  Trace trace = test::make_trace({{.submit = 0, .runtime = 1, .procs = 1},
+                                  {.submit = 10, .runtime = 1, .procs = 1},
+                                  {.submit = 20, .runtime = 1, .procs = 1}});
+  truncate(trace, 2);
+  ASSERT_EQ(trace.size(), 2u);
+  EXPECT_EQ(trace[1].submit, 10);
+  truncate(trace, 10);  // larger than size: no-op
+  EXPECT_EQ(trace.size(), 2u);
+}
+
+TEST(Transforms, ComputeStatsBasics) {
+  Trace trace =
+      test::make_trace({{.submit = 0, .runtime = 100, .procs = 2},
+                        {.submit = 100, .runtime = 300, .procs = 4,
+                         .estimate = 600}});
+  const TraceStats stats = compute_stats(trace, 8);
+  EXPECT_EQ(stats.jobs, 2u);
+  EXPECT_EQ(stats.span, 100);
+  EXPECT_DOUBLE_EQ(stats.mean_runtime, 200.0);
+  EXPECT_DOUBLE_EQ(stats.mean_procs, 3.0);
+  EXPECT_DOUBLE_EQ(stats.mean_interarrival, 100.0);
+  EXPECT_DOUBLE_EQ(stats.mean_overestimate, (1.0 + 2.0) / 2.0);
+  EXPECT_DOUBLE_EQ(stats.offered_load, (200.0 + 1200.0) / (8.0 * 100.0));
+}
+
+TEST(Transforms, ComputeStatsEmptyTrace) {
+  const Trace empty;
+  const TraceStats stats = compute_stats(empty, 8);
+  EXPECT_EQ(stats.jobs, 0u);
+  EXPECT_DOUBLE_EQ(stats.mean_runtime, 0.0);
+}
+
+}  // namespace
+}  // namespace bfsim::workload
