@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_cancellations"
+  "../bench/ablation_cancellations.pdb"
+  "CMakeFiles/ablation_cancellations.dir/ablation_cancellations.cpp.o"
+  "CMakeFiles/ablation_cancellations.dir/ablation_cancellations.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_cancellations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

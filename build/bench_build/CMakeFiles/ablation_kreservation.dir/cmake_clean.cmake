@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_kreservation"
+  "../bench/ablation_kreservation.pdb"
+  "CMakeFiles/ablation_kreservation.dir/ablation_kreservation.cpp.o"
+  "CMakeFiles/ablation_kreservation.dir/ablation_kreservation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_kreservation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_load_sweep.cpp" "bench_build/CMakeFiles/ablation_load_sweep.dir/ablation_load_sweep.cpp.o" "gcc" "bench_build/CMakeFiles/ablation_load_sweep.dir/ablation_load_sweep.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench_build/CMakeFiles/bfsim_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/exp/CMakeFiles/bfsim_exp.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/bfsim_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/bfsim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/bfsim_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/bfsim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/bfsim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_slack"
+  "../bench/ablation_slack.pdb"
+  "CMakeFiles/ablation_slack.dir/ablation_slack.cpp.o"
+  "CMakeFiles/ablation_slack.dir/ablation_slack.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_slack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

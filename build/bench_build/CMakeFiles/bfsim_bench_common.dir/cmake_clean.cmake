@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bfsim_bench_common.dir/common.cpp.o"
+  "CMakeFiles/bfsim_bench_common.dir/common.cpp.o.d"
+  "libbfsim_bench_common.a"
+  "libbfsim_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bfsim_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

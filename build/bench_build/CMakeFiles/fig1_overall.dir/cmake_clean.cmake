@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig1_overall"
+  "../bench/fig1_overall.pdb"
+  "CMakeFiles/fig1_overall.dir/fig1_overall.cpp.o"
+  "CMakeFiles/fig1_overall.dir/fig1_overall.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_overall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig2_categorywise"
+  "../bench/fig2_categorywise.pdb"
+  "CMakeFiles/fig2_categorywise.dir/fig2_categorywise.cpp.o"
+  "CMakeFiles/fig2_categorywise.dir/fig2_categorywise.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_categorywise.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig3_actual_estimates"
+  "../bench/fig3_actual_estimates.pdb"
+  "CMakeFiles/fig3_actual_estimates.dir/fig3_actual_estimates.cpp.o"
+  "CMakeFiles/fig3_actual_estimates.dir/fig3_actual_estimates.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_actual_estimates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig4_well_poor"
+  "../bench/fig4_well_poor.pdb"
+  "CMakeFiles/fig4_well_poor.dir/fig4_well_poor.cpp.o"
+  "CMakeFiles/fig4_well_poor.dir/fig4_well_poor.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_well_poor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table4_worstcase"
+  "../bench/table4_worstcase.pdb"
+  "CMakeFiles/table4_worstcase.dir/table4_worstcase.cpp.o"
+  "CMakeFiles/table4_worstcase.dir/table4_worstcase.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_worstcase.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table7_worstcase_actual"
+  "../bench/table7_worstcase_actual.pdb"
+  "CMakeFiles/table7_worstcase_actual.dir/table7_worstcase_actual.cpp.o"
+  "CMakeFiles/table7_worstcase_actual.dir/table7_worstcase_actual.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table7_worstcase_actual.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

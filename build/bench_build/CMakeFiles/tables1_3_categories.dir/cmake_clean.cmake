@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/tables1_3_categories"
+  "../bench/tables1_3_categories.pdb"
+  "CMakeFiles/tables1_3_categories.dir/tables1_3_categories.cpp.o"
+  "CMakeFiles/tables1_3_categories.dir/tables1_3_categories.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tables1_3_categories.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

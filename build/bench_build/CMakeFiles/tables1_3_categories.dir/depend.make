@@ -1,0 +1,2 @@
+# Empty dependencies file for tables1_3_categories.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/tables5_6_overestimation"
+  "../bench/tables5_6_overestimation.pdb"
+  "CMakeFiles/tables5_6_overestimation.dir/tables5_6_overestimation.cpp.o"
+  "CMakeFiles/tables5_6_overestimation.dir/tables5_6_overestimation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tables5_6_overestimation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

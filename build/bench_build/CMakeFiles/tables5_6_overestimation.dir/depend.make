@@ -1,0 +1,2 @@
+# Empty dependencies file for tables5_6_overestimation.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/backfill_gantt.dir/backfill_gantt.cpp.o"
+  "CMakeFiles/backfill_gantt.dir/backfill_gantt.cpp.o.d"
+  "backfill_gantt"
+  "backfill_gantt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/backfill_gantt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/estimate_advisor.dir/estimate_advisor.cpp.o"
+  "CMakeFiles/estimate_advisor.dir/estimate_advisor.cpp.o.d"
+  "estimate_advisor"
+  "estimate_advisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/estimate_advisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

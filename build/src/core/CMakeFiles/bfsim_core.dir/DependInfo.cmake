@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/conservative_scheduler.cpp" "src/core/CMakeFiles/bfsim_core.dir/conservative_scheduler.cpp.o" "gcc" "src/core/CMakeFiles/bfsim_core.dir/conservative_scheduler.cpp.o.d"
+  "/root/repo/src/core/easy_scheduler.cpp" "src/core/CMakeFiles/bfsim_core.dir/easy_scheduler.cpp.o" "gcc" "src/core/CMakeFiles/bfsim_core.dir/easy_scheduler.cpp.o.d"
+  "/root/repo/src/core/fcfs_scheduler.cpp" "src/core/CMakeFiles/bfsim_core.dir/fcfs_scheduler.cpp.o" "gcc" "src/core/CMakeFiles/bfsim_core.dir/fcfs_scheduler.cpp.o.d"
+  "/root/repo/src/core/gantt.cpp" "src/core/CMakeFiles/bfsim_core.dir/gantt.cpp.o" "gcc" "src/core/CMakeFiles/bfsim_core.dir/gantt.cpp.o.d"
+  "/root/repo/src/core/kres_scheduler.cpp" "src/core/CMakeFiles/bfsim_core.dir/kres_scheduler.cpp.o" "gcc" "src/core/CMakeFiles/bfsim_core.dir/kres_scheduler.cpp.o.d"
+  "/root/repo/src/core/priority.cpp" "src/core/CMakeFiles/bfsim_core.dir/priority.cpp.o" "gcc" "src/core/CMakeFiles/bfsim_core.dir/priority.cpp.o.d"
+  "/root/repo/src/core/profile.cpp" "src/core/CMakeFiles/bfsim_core.dir/profile.cpp.o" "gcc" "src/core/CMakeFiles/bfsim_core.dir/profile.cpp.o.d"
+  "/root/repo/src/core/scheduler.cpp" "src/core/CMakeFiles/bfsim_core.dir/scheduler.cpp.o" "gcc" "src/core/CMakeFiles/bfsim_core.dir/scheduler.cpp.o.d"
+  "/root/repo/src/core/selective_scheduler.cpp" "src/core/CMakeFiles/bfsim_core.dir/selective_scheduler.cpp.o" "gcc" "src/core/CMakeFiles/bfsim_core.dir/selective_scheduler.cpp.o.d"
+  "/root/repo/src/core/simulation.cpp" "src/core/CMakeFiles/bfsim_core.dir/simulation.cpp.o" "gcc" "src/core/CMakeFiles/bfsim_core.dir/simulation.cpp.o.d"
+  "/root/repo/src/core/slack_scheduler.cpp" "src/core/CMakeFiles/bfsim_core.dir/slack_scheduler.cpp.o" "gcc" "src/core/CMakeFiles/bfsim_core.dir/slack_scheduler.cpp.o.d"
+  "/root/repo/src/core/validator.cpp" "src/core/CMakeFiles/bfsim_core.dir/validator.cpp.o" "gcc" "src/core/CMakeFiles/bfsim_core.dir/validator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/bfsim_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/bfsim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/bfsim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

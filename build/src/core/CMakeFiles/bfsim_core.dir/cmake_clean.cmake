@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bfsim_core.dir/conservative_scheduler.cpp.o"
+  "CMakeFiles/bfsim_core.dir/conservative_scheduler.cpp.o.d"
+  "CMakeFiles/bfsim_core.dir/easy_scheduler.cpp.o"
+  "CMakeFiles/bfsim_core.dir/easy_scheduler.cpp.o.d"
+  "CMakeFiles/bfsim_core.dir/fcfs_scheduler.cpp.o"
+  "CMakeFiles/bfsim_core.dir/fcfs_scheduler.cpp.o.d"
+  "CMakeFiles/bfsim_core.dir/gantt.cpp.o"
+  "CMakeFiles/bfsim_core.dir/gantt.cpp.o.d"
+  "CMakeFiles/bfsim_core.dir/kres_scheduler.cpp.o"
+  "CMakeFiles/bfsim_core.dir/kres_scheduler.cpp.o.d"
+  "CMakeFiles/bfsim_core.dir/priority.cpp.o"
+  "CMakeFiles/bfsim_core.dir/priority.cpp.o.d"
+  "CMakeFiles/bfsim_core.dir/profile.cpp.o"
+  "CMakeFiles/bfsim_core.dir/profile.cpp.o.d"
+  "CMakeFiles/bfsim_core.dir/scheduler.cpp.o"
+  "CMakeFiles/bfsim_core.dir/scheduler.cpp.o.d"
+  "CMakeFiles/bfsim_core.dir/selective_scheduler.cpp.o"
+  "CMakeFiles/bfsim_core.dir/selective_scheduler.cpp.o.d"
+  "CMakeFiles/bfsim_core.dir/simulation.cpp.o"
+  "CMakeFiles/bfsim_core.dir/simulation.cpp.o.d"
+  "CMakeFiles/bfsim_core.dir/slack_scheduler.cpp.o"
+  "CMakeFiles/bfsim_core.dir/slack_scheduler.cpp.o.d"
+  "CMakeFiles/bfsim_core.dir/validator.cpp.o"
+  "CMakeFiles/bfsim_core.dir/validator.cpp.o.d"
+  "libbfsim_core.a"
+  "libbfsim_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bfsim_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bfsim_exp.dir/runner.cpp.o"
+  "CMakeFiles/bfsim_exp.dir/runner.cpp.o.d"
+  "CMakeFiles/bfsim_exp.dir/scenario.cpp.o"
+  "CMakeFiles/bfsim_exp.dir/scenario.cpp.o.d"
+  "CMakeFiles/bfsim_exp.dir/thread_pool.cpp.o"
+  "CMakeFiles/bfsim_exp.dir/thread_pool.cpp.o.d"
+  "libbfsim_exp.a"
+  "libbfsim_exp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bfsim_exp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

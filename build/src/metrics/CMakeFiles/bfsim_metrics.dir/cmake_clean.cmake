@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bfsim_metrics.dir/aggregate.cpp.o"
+  "CMakeFiles/bfsim_metrics.dir/aggregate.cpp.o.d"
+  "CMakeFiles/bfsim_metrics.dir/report.cpp.o"
+  "CMakeFiles/bfsim_metrics.dir/report.cpp.o.d"
+  "libbfsim_metrics.a"
+  "libbfsim_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bfsim_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

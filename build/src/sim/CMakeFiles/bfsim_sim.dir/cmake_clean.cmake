@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bfsim_sim.dir/engine.cpp.o"
+  "CMakeFiles/bfsim_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/bfsim_sim.dir/rng.cpp.o"
+  "CMakeFiles/bfsim_sim.dir/rng.cpp.o.d"
+  "CMakeFiles/bfsim_sim.dir/stats.cpp.o"
+  "CMakeFiles/bfsim_sim.dir/stats.cpp.o.d"
+  "libbfsim_sim.a"
+  "libbfsim_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bfsim_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bfsim_util.dir/cli.cpp.o"
+  "CMakeFiles/bfsim_util.dir/cli.cpp.o.d"
+  "CMakeFiles/bfsim_util.dir/csv.cpp.o"
+  "CMakeFiles/bfsim_util.dir/csv.cpp.o.d"
+  "CMakeFiles/bfsim_util.dir/format.cpp.o"
+  "CMakeFiles/bfsim_util.dir/format.cpp.o.d"
+  "CMakeFiles/bfsim_util.dir/log.cpp.o"
+  "CMakeFiles/bfsim_util.dir/log.cpp.o.d"
+  "CMakeFiles/bfsim_util.dir/table.cpp.o"
+  "CMakeFiles/bfsim_util.dir/table.cpp.o.d"
+  "libbfsim_util.a"
+  "libbfsim_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bfsim_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

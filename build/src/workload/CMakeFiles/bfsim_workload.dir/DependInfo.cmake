@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/categories.cpp" "src/workload/CMakeFiles/bfsim_workload.dir/categories.cpp.o" "gcc" "src/workload/CMakeFiles/bfsim_workload.dir/categories.cpp.o.d"
+  "/root/repo/src/workload/estimates.cpp" "src/workload/CMakeFiles/bfsim_workload.dir/estimates.cpp.o" "gcc" "src/workload/CMakeFiles/bfsim_workload.dir/estimates.cpp.o.d"
+  "/root/repo/src/workload/filters.cpp" "src/workload/CMakeFiles/bfsim_workload.dir/filters.cpp.o" "gcc" "src/workload/CMakeFiles/bfsim_workload.dir/filters.cpp.o.d"
+  "/root/repo/src/workload/swf.cpp" "src/workload/CMakeFiles/bfsim_workload.dir/swf.cpp.o" "gcc" "src/workload/CMakeFiles/bfsim_workload.dir/swf.cpp.o.d"
+  "/root/repo/src/workload/synthetic.cpp" "src/workload/CMakeFiles/bfsim_workload.dir/synthetic.cpp.o" "gcc" "src/workload/CMakeFiles/bfsim_workload.dir/synthetic.cpp.o.d"
+  "/root/repo/src/workload/transforms.cpp" "src/workload/CMakeFiles/bfsim_workload.dir/transforms.cpp.o" "gcc" "src/workload/CMakeFiles/bfsim_workload.dir/transforms.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/bfsim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/bfsim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bfsim_workload.dir/categories.cpp.o"
+  "CMakeFiles/bfsim_workload.dir/categories.cpp.o.d"
+  "CMakeFiles/bfsim_workload.dir/estimates.cpp.o"
+  "CMakeFiles/bfsim_workload.dir/estimates.cpp.o.d"
+  "CMakeFiles/bfsim_workload.dir/filters.cpp.o"
+  "CMakeFiles/bfsim_workload.dir/filters.cpp.o.d"
+  "CMakeFiles/bfsim_workload.dir/swf.cpp.o"
+  "CMakeFiles/bfsim_workload.dir/swf.cpp.o.d"
+  "CMakeFiles/bfsim_workload.dir/synthetic.cpp.o"
+  "CMakeFiles/bfsim_workload.dir/synthetic.cpp.o.d"
+  "CMakeFiles/bfsim_workload.dir/transforms.cpp.o"
+  "CMakeFiles/bfsim_workload.dir/transforms.cpp.o.d"
+  "libbfsim_workload.a"
+  "libbfsim_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bfsim_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,59 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/test_conservative_scheduler.cpp" "tests/CMakeFiles/bfsim_tests.dir/core/test_conservative_scheduler.cpp.o" "gcc" "tests/CMakeFiles/bfsim_tests.dir/core/test_conservative_scheduler.cpp.o.d"
+  "/root/repo/tests/core/test_easy_scheduler.cpp" "tests/CMakeFiles/bfsim_tests.dir/core/test_easy_scheduler.cpp.o" "gcc" "tests/CMakeFiles/bfsim_tests.dir/core/test_easy_scheduler.cpp.o.d"
+  "/root/repo/tests/core/test_fcfs_scheduler.cpp" "tests/CMakeFiles/bfsim_tests.dir/core/test_fcfs_scheduler.cpp.o" "gcc" "tests/CMakeFiles/bfsim_tests.dir/core/test_fcfs_scheduler.cpp.o.d"
+  "/root/repo/tests/core/test_gantt.cpp" "tests/CMakeFiles/bfsim_tests.dir/core/test_gantt.cpp.o" "gcc" "tests/CMakeFiles/bfsim_tests.dir/core/test_gantt.cpp.o.d"
+  "/root/repo/tests/core/test_kres_scheduler.cpp" "tests/CMakeFiles/bfsim_tests.dir/core/test_kres_scheduler.cpp.o" "gcc" "tests/CMakeFiles/bfsim_tests.dir/core/test_kres_scheduler.cpp.o.d"
+  "/root/repo/tests/core/test_priority.cpp" "tests/CMakeFiles/bfsim_tests.dir/core/test_priority.cpp.o" "gcc" "tests/CMakeFiles/bfsim_tests.dir/core/test_priority.cpp.o.d"
+  "/root/repo/tests/core/test_profile.cpp" "tests/CMakeFiles/bfsim_tests.dir/core/test_profile.cpp.o" "gcc" "tests/CMakeFiles/bfsim_tests.dir/core/test_profile.cpp.o.d"
+  "/root/repo/tests/core/test_selective_scheduler.cpp" "tests/CMakeFiles/bfsim_tests.dir/core/test_selective_scheduler.cpp.o" "gcc" "tests/CMakeFiles/bfsim_tests.dir/core/test_selective_scheduler.cpp.o.d"
+  "/root/repo/tests/core/test_simulation.cpp" "tests/CMakeFiles/bfsim_tests.dir/core/test_simulation.cpp.o" "gcc" "tests/CMakeFiles/bfsim_tests.dir/core/test_simulation.cpp.o.d"
+  "/root/repo/tests/core/test_slack_scheduler.cpp" "tests/CMakeFiles/bfsim_tests.dir/core/test_slack_scheduler.cpp.o" "gcc" "tests/CMakeFiles/bfsim_tests.dir/core/test_slack_scheduler.cpp.o.d"
+  "/root/repo/tests/core/test_validator.cpp" "tests/CMakeFiles/bfsim_tests.dir/core/test_validator.cpp.o" "gcc" "tests/CMakeFiles/bfsim_tests.dir/core/test_validator.cpp.o.d"
+  "/root/repo/tests/exp/test_runner.cpp" "tests/CMakeFiles/bfsim_tests.dir/exp/test_runner.cpp.o" "gcc" "tests/CMakeFiles/bfsim_tests.dir/exp/test_runner.cpp.o.d"
+  "/root/repo/tests/exp/test_scenario.cpp" "tests/CMakeFiles/bfsim_tests.dir/exp/test_scenario.cpp.o" "gcc" "tests/CMakeFiles/bfsim_tests.dir/exp/test_scenario.cpp.o.d"
+  "/root/repo/tests/exp/test_thread_pool.cpp" "tests/CMakeFiles/bfsim_tests.dir/exp/test_thread_pool.cpp.o" "gcc" "tests/CMakeFiles/bfsim_tests.dir/exp/test_thread_pool.cpp.o.d"
+  "/root/repo/tests/integration/test_cancellation.cpp" "tests/CMakeFiles/bfsim_tests.dir/integration/test_cancellation.cpp.o" "gcc" "tests/CMakeFiles/bfsim_tests.dir/integration/test_cancellation.cpp.o.d"
+  "/root/repo/tests/integration/test_paper_trends.cpp" "tests/CMakeFiles/bfsim_tests.dir/integration/test_paper_trends.cpp.o" "gcc" "tests/CMakeFiles/bfsim_tests.dir/integration/test_paper_trends.cpp.o.d"
+  "/root/repo/tests/integration/test_properties.cpp" "tests/CMakeFiles/bfsim_tests.dir/integration/test_properties.cpp.o" "gcc" "tests/CMakeFiles/bfsim_tests.dir/integration/test_properties.cpp.o.d"
+  "/root/repo/tests/metrics/test_aggregate.cpp" "tests/CMakeFiles/bfsim_tests.dir/metrics/test_aggregate.cpp.o" "gcc" "tests/CMakeFiles/bfsim_tests.dir/metrics/test_aggregate.cpp.o.d"
+  "/root/repo/tests/metrics/test_report.cpp" "tests/CMakeFiles/bfsim_tests.dir/metrics/test_report.cpp.o" "gcc" "tests/CMakeFiles/bfsim_tests.dir/metrics/test_report.cpp.o.d"
+  "/root/repo/tests/sim/test_engine.cpp" "tests/CMakeFiles/bfsim_tests.dir/sim/test_engine.cpp.o" "gcc" "tests/CMakeFiles/bfsim_tests.dir/sim/test_engine.cpp.o.d"
+  "/root/repo/tests/sim/test_event_queue.cpp" "tests/CMakeFiles/bfsim_tests.dir/sim/test_event_queue.cpp.o" "gcc" "tests/CMakeFiles/bfsim_tests.dir/sim/test_event_queue.cpp.o.d"
+  "/root/repo/tests/sim/test_rng.cpp" "tests/CMakeFiles/bfsim_tests.dir/sim/test_rng.cpp.o" "gcc" "tests/CMakeFiles/bfsim_tests.dir/sim/test_rng.cpp.o.d"
+  "/root/repo/tests/sim/test_stats.cpp" "tests/CMakeFiles/bfsim_tests.dir/sim/test_stats.cpp.o" "gcc" "tests/CMakeFiles/bfsim_tests.dir/sim/test_stats.cpp.o.d"
+  "/root/repo/tests/test_support.cpp" "tests/CMakeFiles/bfsim_tests.dir/test_support.cpp.o" "gcc" "tests/CMakeFiles/bfsim_tests.dir/test_support.cpp.o.d"
+  "/root/repo/tests/util/test_cli.cpp" "tests/CMakeFiles/bfsim_tests.dir/util/test_cli.cpp.o" "gcc" "tests/CMakeFiles/bfsim_tests.dir/util/test_cli.cpp.o.d"
+  "/root/repo/tests/util/test_csv.cpp" "tests/CMakeFiles/bfsim_tests.dir/util/test_csv.cpp.o" "gcc" "tests/CMakeFiles/bfsim_tests.dir/util/test_csv.cpp.o.d"
+  "/root/repo/tests/util/test_format.cpp" "tests/CMakeFiles/bfsim_tests.dir/util/test_format.cpp.o" "gcc" "tests/CMakeFiles/bfsim_tests.dir/util/test_format.cpp.o.d"
+  "/root/repo/tests/util/test_log.cpp" "tests/CMakeFiles/bfsim_tests.dir/util/test_log.cpp.o" "gcc" "tests/CMakeFiles/bfsim_tests.dir/util/test_log.cpp.o.d"
+  "/root/repo/tests/util/test_table.cpp" "tests/CMakeFiles/bfsim_tests.dir/util/test_table.cpp.o" "gcc" "tests/CMakeFiles/bfsim_tests.dir/util/test_table.cpp.o.d"
+  "/root/repo/tests/workload/test_categories.cpp" "tests/CMakeFiles/bfsim_tests.dir/workload/test_categories.cpp.o" "gcc" "tests/CMakeFiles/bfsim_tests.dir/workload/test_categories.cpp.o.d"
+  "/root/repo/tests/workload/test_estimates.cpp" "tests/CMakeFiles/bfsim_tests.dir/workload/test_estimates.cpp.o" "gcc" "tests/CMakeFiles/bfsim_tests.dir/workload/test_estimates.cpp.o.d"
+  "/root/repo/tests/workload/test_filters.cpp" "tests/CMakeFiles/bfsim_tests.dir/workload/test_filters.cpp.o" "gcc" "tests/CMakeFiles/bfsim_tests.dir/workload/test_filters.cpp.o.d"
+  "/root/repo/tests/workload/test_swf.cpp" "tests/CMakeFiles/bfsim_tests.dir/workload/test_swf.cpp.o" "gcc" "tests/CMakeFiles/bfsim_tests.dir/workload/test_swf.cpp.o.d"
+  "/root/repo/tests/workload/test_synthetic.cpp" "tests/CMakeFiles/bfsim_tests.dir/workload/test_synthetic.cpp.o" "gcc" "tests/CMakeFiles/bfsim_tests.dir/workload/test_synthetic.cpp.o.d"
+  "/root/repo/tests/workload/test_transforms.cpp" "tests/CMakeFiles/bfsim_tests.dir/workload/test_transforms.cpp.o" "gcc" "tests/CMakeFiles/bfsim_tests.dir/workload/test_transforms.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/exp/CMakeFiles/bfsim_exp.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/bfsim_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/bfsim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/bfsim_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/bfsim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/bfsim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
