@@ -1,12 +1,37 @@
-// P1 -- google-benchmark microbenchmarks of the simulator substrate:
-// profile operations, full scheduler runs (events/second), workload
-// generation and the RNG. These guard against performance regressions
-// in the data structures the experiment harness hammers.
+// P1 -- performance measurement of the simulator substrate.
+//
+// Two personalities in one binary:
+//
+//   * default: google-benchmark microbenchmarks of profile operations,
+//     full scheduler runs (events/second), workload generation and the
+//     RNG -- interactive regression hunting;
+//   * --profile-report [--jobs N] [--out FILE]: machine-readable numbers
+//     for the profile hot path on CTC-shaped synthetic high-load traces
+//     (events/sec per scheduler, ns per anchor on a fragmented profile,
+//     breakpoint counts during a conservative run), written as JSON to
+//     BENCH_profile.json;
+//   * --smoke [--baseline FILE]: CI guard. Re-measures the conservative
+//     *cost factor* (EASY events/sec divided by conservative events/sec
+//     -- a same-machine ratio, so it normalizes out hardware speed) and
+//     exits 1 if it regressed more than 2x against the checked-in
+//     bench/perf_baseline.json.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/conservative_scheduler.hpp"
 #include "core/profile.hpp"
 #include "core/simulation.hpp"
 #include "exp/scenario.hpp"
+#include "sim/event_queue.hpp"
 #include "sim/rng.hpp"
 #include "workload/synthetic.hpp"
 #include "workload/transforms.hpp"
@@ -14,6 +39,10 @@
 namespace {
 
 using namespace bfsim;
+
+// ---------------------------------------------------------------------------
+// Microbenchmarks (google-benchmark).
+// ---------------------------------------------------------------------------
 
 void BM_ProfileReserveRelease(benchmark::State& state) {
   core::Profile profile{128};
@@ -48,17 +77,40 @@ void BM_ProfileEarliestAnchor(benchmark::State& state) {
 }
 BENCHMARK(BM_ProfileEarliestAnchor);
 
-workload::Trace bench_trace(std::size_t jobs) {
+void BM_ProfileFindAndReserve(benchmark::State& state) {
+  // The fused hot-path call the schedulers actually make: search and
+  // reserve in one traversal, then undo so the profile shape is stable.
+  core::Profile profile{128};
+  sim::Rng rng{2};
+  for (int i = 0; i < 64; ++i) {
+    const sim::Time begin = rng.uniform_int(0, 50000);
+    profile.reserve(begin, begin + rng.uniform_int(100, 5000),
+                    static_cast<int>(rng.uniform_int(1, 32)));
+  }
+  for (auto _ : state) {
+    const int procs = static_cast<int>(rng.uniform_int(1, 64));
+    const sim::Time dur = rng.uniform_int(10, 2000);
+    const sim::Time anchor =
+        profile.find_and_reserve(procs, dur, rng.uniform_int(0, 40000));
+    benchmark::DoNotOptimize(anchor);
+    profile.release(anchor, anchor + dur, procs);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ProfileFindAndReserve);
+
+workload::Trace bench_trace(exp::TraceKind kind, std::size_t jobs) {
   exp::Scenario scenario;
-  scenario.trace = exp::TraceKind::Sdsc;
+  scenario.trace = kind;
   scenario.jobs = jobs;
-  scenario.load = 0.88;
+  scenario.load = exp::kHighLoad;
   scenario.seed = 7;
   return exp::build_workload(scenario);
 }
 
 void BM_SimulateEasy(benchmark::State& state) {
-  const auto trace = bench_trace(static_cast<std::size_t>(state.range(0)));
+  const auto trace =
+      bench_trace(exp::TraceKind::Sdsc, static_cast<std::size_t>(state.range(0)));
   const core::SchedulerConfig config{128, core::PriorityPolicy::Sjf};
   for (auto _ : state) {
     auto result =
@@ -72,7 +124,8 @@ void BM_SimulateEasy(benchmark::State& state) {
 BENCHMARK(BM_SimulateEasy)->Arg(1000)->Arg(4000);
 
 void BM_SimulateConservative(benchmark::State& state) {
-  const auto trace = bench_trace(static_cast<std::size_t>(state.range(0)));
+  const auto trace =
+      bench_trace(exp::TraceKind::Sdsc, static_cast<std::size_t>(state.range(0)));
   const core::SchedulerConfig config{128, core::PriorityPolicy::Fcfs};
   for (auto _ : state) {
     auto result = core::run_simulation(
@@ -104,6 +157,296 @@ void BM_RngGamma(benchmark::State& state) {
 }
 BENCHMARK(BM_RngGamma);
 
+// ---------------------------------------------------------------------------
+// --profile-report / --smoke: machine-readable numbers for the hot path.
+// ---------------------------------------------------------------------------
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+struct SimPoint {
+  std::string scheme;
+  std::uint64_t events = 0;
+  double seconds = 0.0;
+  double events_per_sec = 0.0;
+};
+
+/// Best-of-three timed simulation runs (first run doubles as warm-up).
+SimPoint measure_sim(const workload::Trace& trace, core::SchedulerKind kind,
+                     core::PriorityPolicy priority, int procs) {
+  const core::SchedulerConfig config{procs, priority};
+  SimPoint point;
+  point.scheme =
+      core::to_string(kind) + "-" + core::to_string(priority);
+  point.seconds = std::numeric_limits<double>::infinity();
+  for (int rep = 0; rep < 3; ++rep) {
+    const auto start = Clock::now();
+    auto result = core::run_simulation(trace, kind, config);
+    const double elapsed = seconds_since(start);
+    benchmark::DoNotOptimize(result.makespan);
+    point.events = result.events;
+    point.seconds = std::min(point.seconds, elapsed);
+  }
+  point.events_per_sec =
+      static_cast<double>(point.events) / point.seconds;
+  return point;
+}
+
+struct AnchorStats {
+  std::size_t breakpoints = 0;  ///< segments in the fragmented profile
+  double ns_per_anchor = 0.0;
+  double ns_per_find_and_reserve = 0.0;
+};
+
+/// Time anchor searches against a CTC-shaped fragmented profile: one
+/// rectangle per job from the head of the trace, staggered in time.
+AnchorStats measure_anchors(const workload::Trace& trace, int procs) {
+  core::Profile profile{procs};
+  sim::Rng rng{11};
+  sim::Time clock = 0;
+  for (std::size_t i = 0; i < trace.size() && i < 400; ++i) {
+    const workload::Job& job = trace[i];
+    clock += rng.uniform_int(0, 2000);
+    const sim::Time begin =
+        profile.earliest_anchor(job.procs, job.estimate, clock);
+    profile.reserve(begin, begin + job.estimate, job.procs);
+  }
+  AnchorStats stats;
+  stats.breakpoints = profile.segments().size();
+
+  constexpr int kQueries = 200000;
+  struct Query {
+    int procs;
+    sim::Time dur, from;
+  };
+  std::vector<Query> queries(kQueries);
+  for (Query& q : queries) {
+    q.procs = static_cast<int>(rng.uniform_int(1, procs));
+    q.dur = rng.uniform_int(10, 20000);
+    q.from = rng.uniform_int(0, clock);
+  }
+
+  auto start = Clock::now();
+  for (const Query& q : queries)
+    benchmark::DoNotOptimize(profile.earliest_anchor(q.procs, q.dur, q.from));
+  stats.ns_per_anchor = seconds_since(start) * 1e9 / kQueries;
+
+  start = Clock::now();
+  for (const Query& q : queries) {
+    const sim::Time anchor = profile.find_and_reserve(q.procs, q.dur, q.from);
+    benchmark::DoNotOptimize(anchor);
+    profile.release(anchor, anchor + q.dur, q.procs);
+  }
+  stats.ns_per_find_and_reserve = seconds_since(start) * 1e9 / kQueries;
+  return stats;
+}
+
+struct BreakpointStats {
+  std::size_t peak = 0;
+  double mean = 0.0;
+};
+
+/// Replay the trace through a conservative scheduler by hand (the same
+/// event discipline as core::run_simulation) and sample the profile's
+/// breakpoint count after every event batch.
+BreakpointStats measure_breakpoints(const workload::Trace& trace, int procs) {
+  core::ConservativeScheduler scheduler{
+      core::SchedulerConfig{procs, core::PriorityPolicy::Fcfs}};
+  // priority_class 0 = finish, 1 = submit (completions first, as in the
+  // production event loop); payload = job id.
+  sim::EventQueue<std::size_t> events;
+  for (std::size_t i = 0; i < trace.size(); ++i)
+    events.push(trace[i].submit, 1, i);
+
+  BreakpointStats stats;
+  double sum = 0.0;
+  std::size_t samples = 0;
+  while (!events.empty()) {
+    const sim::Time now = events.top().time;
+    while (!events.empty() && events.top().time == now) {
+      const auto event = events.pop();
+      if (event.priority_class == 0) {
+        scheduler.job_finished(event.payload, now);
+      } else {
+        scheduler.job_submitted(trace[event.payload], now);
+      }
+    }
+    for (const core::Job& job : scheduler.select_starts(now))
+      events.push(now + std::min(job.runtime, job.estimate), 0, job.id);
+    const std::size_t size = scheduler.profile().segments().size();
+    stats.peak = std::max(stats.peak, size);
+    sum += static_cast<double>(size);
+    ++samples;
+  }
+  stats.mean = samples == 0 ? 0.0 : sum / static_cast<double>(samples);
+  return stats;
+}
+
+struct ReportOptions {
+  bool report = false;
+  bool smoke = false;
+  std::size_t jobs = 4000;
+  std::string out = "BENCH_profile.json";
+  std::string baseline = "bench/perf_baseline.json";
+};
+
+struct Report {
+  std::size_t jobs = 0;
+  std::vector<SimPoint> sims;
+  double conservative_cost_factor = 0.0;
+  AnchorStats anchors;
+  BreakpointStats breakpoints;
+};
+
+Report build_report(std::size_t jobs) {
+  const int procs = exp::machine_procs(exp::TraceKind::Ctc);
+  const auto trace = bench_trace(exp::TraceKind::Ctc, jobs);
+  Report report;
+  report.jobs = jobs;
+  report.sims.push_back(measure_sim(trace, core::SchedulerKind::Conservative,
+                                    core::PriorityPolicy::Fcfs, procs));
+  report.sims.push_back(measure_sim(trace, core::SchedulerKind::Easy,
+                                    core::PriorityPolicy::Fcfs, procs));
+  report.sims.push_back(measure_sim(trace, core::SchedulerKind::Fcfs,
+                                    core::PriorityPolicy::Fcfs, procs));
+  // EASY holds at most one reservation, so its throughput is almost
+  // independent of the profile hot path that conservative hammers; the
+  // ratio isolates the reservation/compression cost while normalizing
+  // out absolute machine speed. (Plain FCFS is no use as the reference:
+  // with no backfilling it saturates at this load and its giant backlog
+  // dominates its own runtime.)
+  report.conservative_cost_factor =
+      report.sims[1].events_per_sec / report.sims[0].events_per_sec;
+  report.anchors = measure_anchors(trace, procs);
+  report.breakpoints = measure_breakpoints(trace, procs);
+  return report;
+}
+
+void write_json(const Report& report, const std::string& path) {
+  std::ofstream out{path};
+  out.precision(6);
+  out << "{\n"
+      << "  \"bench\": \"profile\",\n"
+      << "  \"trace\": \"ctc\",\n"
+      << "  \"load\": " << exp::kHighLoad << ",\n"
+      << "  \"jobs\": " << report.jobs << ",\n"
+      << "  \"schedulers\": [\n";
+  for (std::size_t i = 0; i < report.sims.size(); ++i) {
+    const SimPoint& p = report.sims[i];
+    out << "    {\"scheme\": \"" << p.scheme << "\", \"events\": " << p.events
+        << ", \"seconds\": " << p.seconds
+        << ", \"events_per_sec\": " << p.events_per_sec << "}"
+        << (i + 1 < report.sims.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n"
+      << "  \"conservative_cost_factor\": " << report.conservative_cost_factor
+      << ",\n"
+      << "  \"anchor\": {\"breakpoints\": " << report.anchors.breakpoints
+      << ", \"ns_per_anchor\": " << report.anchors.ns_per_anchor
+      << ", \"ns_per_find_and_reserve\": "
+      << report.anchors.ns_per_find_and_reserve << "},\n"
+      << "  \"profile_breakpoints\": {\"peak\": " << report.breakpoints.peak
+      << ", \"mean\": " << report.breakpoints.mean << "}\n"
+      << "}\n";
+}
+
+void print_report(const Report& report) {
+  for (const SimPoint& p : report.sims)
+    std::printf("%-22s %9.0f events/sec  (%llu events, %.3fs)\n",
+                p.scheme.c_str(), p.events_per_sec,
+                static_cast<unsigned long long>(p.events), p.seconds);
+  std::printf("conservative cost factor: %.2fx EASY\n",
+              report.conservative_cost_factor);
+  std::printf("anchor search: %.1f ns (find+reserve %.1f ns) over %zu "
+              "breakpoints\n",
+              report.anchors.ns_per_anchor,
+              report.anchors.ns_per_find_and_reserve,
+              report.anchors.breakpoints);
+  std::printf("conservative run breakpoints: peak %zu, mean %.1f\n",
+              report.breakpoints.peak, report.breakpoints.mean);
+}
+
+/// Minimal extraction of a numeric field from a flat JSON file; good
+/// enough for the baseline file this binary writes itself.
+bool read_json_number(const std::string& path, const std::string& key,
+                      double& value) {
+  std::ifstream in{path};
+  if (!in) return false;
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+  const std::string needle = "\"" + key + "\":";
+  const auto pos = text.find(needle);
+  if (pos == std::string::npos) return false;
+  value = std::strtod(text.c_str() + pos + needle.size(), nullptr);
+  return true;
+}
+
+int run_smoke(const ReportOptions& options) {
+  double baseline = 0.0;
+  if (!read_json_number(options.baseline, "conservative_cost_factor",
+                        baseline) ||
+      baseline <= 0.0) {
+    std::fprintf(stderr, "perf smoke: cannot read baseline %s\n",
+                 options.baseline.c_str());
+    return 1;
+  }
+  const Report report = build_report(options.jobs);
+  print_report(report);
+  const double limit = 2.0 * baseline;
+  std::printf("perf smoke: cost factor %.2f, baseline %.2f, limit %.2f -- ",
+              report.conservative_cost_factor, baseline, limit);
+  if (report.conservative_cost_factor > limit) {
+    std::printf("FAIL\n");
+    return 1;
+  }
+  std::printf("OK\n");
+  return 0;
+}
+
+int run_report_mode(const ReportOptions& options) {
+  const Report report = build_report(options.jobs);
+  print_report(report);
+  write_json(report, options.out);
+  std::printf("wrote %s\n", options.out.c_str());
+  return 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  ReportOptions options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--profile-report") {
+      options.report = true;
+    } else if (arg == "--smoke") {
+      options.smoke = true;
+    } else if (arg == "--jobs" && i + 1 < argc) {
+      options.jobs = static_cast<std::size_t>(std::strtoull(argv[++i],
+                                                            nullptr, 10));
+    } else if (arg == "--out" && i + 1 < argc) {
+      options.out = argv[++i];
+    } else if (arg == "--baseline" && i + 1 < argc) {
+      options.baseline = argv[++i];
+    } else if (options.report || options.smoke) {
+      std::fprintf(stderr, "unknown report option: %s\n", arg.c_str());
+      return 1;
+    }
+  }
+  if (options.smoke || options.report) {
+    if (options.jobs == 0) {
+      std::fprintf(stderr, "--jobs must be a positive integer\n");
+      return 1;
+    }
+    return options.smoke ? run_smoke(options) : run_report_mode(options);
+  }
+
+  ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

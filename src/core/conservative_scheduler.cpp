@@ -1,5 +1,6 @@
 #include "core/conservative_scheduler.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 #include <string>
 
@@ -12,8 +13,7 @@ void ConservativeScheduler::job_submitted(const Job& job, Time now) {
   if (job.procs > config_.procs)
     throw std::invalid_argument("job " + std::to_string(job.id) +
                                 " wider than the machine");
-  const Time anchor = profile_.earliest_anchor(job.procs, job.estimate, now);
-  profile_.reserve(anchor, anchor + job.estimate, job.procs);
+  const Time anchor = profile_.find_and_reserve(job.procs, job.estimate, now);
   reservations_.emplace(job.id, anchor);
   queue_.push_back(job);
 }
@@ -21,11 +21,13 @@ void ConservativeScheduler::job_submitted(const Job& job, Time now) {
 void ConservativeScheduler::job_finished(JobId id, Time now) {
   const RunningJob rj = commit_finish(id);
   // Return the unused tail of the job's estimated rectangle. On-time
-  // completions (now == est_end) free nothing and compression below is
-  // then provably a no-op -- see the header comment.
-  if (now < rj.est_end)
-    profile_.release(now, rj.est_end, rj.job.procs);
-  compress(now);
+  // completions (now == est_end) free nothing; compression keeps every
+  // reservation at its earliest anchor (a fixpoint, see compress), so
+  // with no new capacity it is provably a no-op and is skipped outright
+  // instead of re-anchoring the whole queue for nothing.
+  if (now >= rj.est_end) return;
+  profile_.release(now, rj.est_end, rj.job.procs);
+  compress(now, now);
 }
 
 void ConservativeScheduler::job_cancelled(JobId id, Time now) {
@@ -45,23 +47,55 @@ void ConservativeScheduler::job_cancelled(JobId id, Time now) {
   const Time start = reservations_.at(id);
   profile_.release(start, start + job.estimate, job.procs);
   reservations_.erase(id);
-  // The vacated rectangle is a fresh hole: compress around it.
-  compress(now);
+  // The vacated rectangle is a fresh hole: compress around it. Capacity
+  // only appeared from `start` onwards, so reservations before it are
+  // immovable.
+  compress(now, start);
 }
 
-void ConservativeScheduler::compress(Time now) {
+void ConservativeScheduler::compress(Time now, Time hole_begin) {
+  if (queue_.empty()) return;
   sort_queue(now);
-  for (const Job& job : queue_) {
-    const Time old_start = reservations_.at(job.id);
-    profile_.release(old_start, old_start + job.estimate, job.procs);
-    const Time anchor =
-        profile_.earliest_anchor(job.procs, job.estimate, now);
-    if (anchor > old_start)
-      throw std::logic_error(
-          "ConservativeScheduler: compression delayed a guarantee (job " +
-          std::to_string(job.id) + ")");
-    profile_.reserve(anchor, anchor + job.estimate, job.procs);
-    reservations_.at(job.id) = anchor;
+  // Iterate to a fixpoint. A single priority-order pass is not one: a
+  // late-priority job that re-anchors earlier vacates its old slot,
+  // which can unblock an earlier-priority job that was already visited.
+  // The historic single-pass version left such jobs stale and silently
+  // relied on the compression run at the *next* completion -- even an
+  // on-time one -- to repair them; a stale reservation whose time
+  // arrives before any other event is a missed start (latent bug).
+  //
+  // Each pass only revisits jobs that could have been unblocked: all
+  // capacity freed since a job was last anchored lies at-or-after
+  // `hole_begin` (the triggering release, then the slots vacated by
+  // jobs moved in earlier passes), and a reservation at start s can
+  // only move earlier if some time strictly before s gains capacity --
+  // any candidate window blocked at a time >= s would overlap the
+  // job's own feasible window, a contradiction. So jobs with
+  // reservation <= hole_begin are skipped, and a pass that moves
+  // nobody certifies the fixpoint.
+  for (;;) {
+    Time next_hole = sim::kNoTime;
+    for (const Job& job : queue_) {
+      const Time old_start = reservations_.at(job.id);
+      if (old_start <= hole_begin) continue;  // cannot move earlier
+      profile_.release(old_start, old_start + job.estimate, job.procs);
+      const Time anchor =
+          profile_.find_and_reserve(job.procs, job.estimate, now);
+      if (anchor > old_start)
+        throw std::logic_error(
+            "ConservativeScheduler: compression delayed a guarantee (job " +
+            std::to_string(job.id) + ")");
+      if (anchor < old_start) {
+        reservations_.at(job.id) = anchor;
+        // The vacated slot adds capacity at-or-after old_start: only
+        // jobs reserved beyond it can cascade in the next pass.
+        next_hole = next_hole == sim::kNoTime
+                        ? old_start
+                        : std::min(next_hole, old_start);
+      }
+    }
+    if (next_hole == sim::kNoTime) return;  // nobody moved: fixpoint
+    hole_begin = next_hole;
   }
 }
 

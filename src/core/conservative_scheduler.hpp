@@ -45,10 +45,16 @@ class ConservativeScheduler final : public SchedulerBase {
   Profile profile_;
   std::unordered_map<JobId, Time> reservations_;  ///< queued job -> start
 
-  /// Re-anchor every queued job in priority order after capacity was
-  /// freed at `now`. Each job's reservation is released and re-placed at
-  /// its earliest anchor; the new start is provably <= the old one.
-  void compress(Time now);
+  /// Re-anchor queued jobs in priority order after capacity was freed
+  /// at `hole_begin` (>= now), iterating until no reservation moves.
+  /// Each candidate's reservation is released and re-placed at its
+  /// earliest anchor; the new start is provably <= the old one. Jobs
+  /// whose reservation already starts at-or-before the earliest
+  /// still-unconsidered hole are skipped -- they provably cannot move
+  /// (see the implementation comment). On return every reservation is
+  /// at its true earliest anchor, which is what makes skipping the
+  /// whole pass on on-time completions sound.
+  void compress(Time now, Time hole_begin);
 };
 
 }  // namespace bfsim::core

@@ -36,13 +36,21 @@ std::vector<Job> KReservationScheduler::select_starts(Time now) {
   int reserved = 0;
   std::vector<JobId> to_start;
   for (const Job& job : queue_) {
-    const Time anchor = profile.earliest_anchor(job.procs, job.estimate, now);
-    if (anchor == now) {
+    if (reserved < depth_) {
+      // Starter or guarantee holder either way: fuse the anchor search
+      // with the reservation.
+      const Time anchor =
+          profile.find_and_reserve(job.procs, job.estimate, now);
+      if (anchor == now) {
+        to_start.push_back(job.id);
+      } else {
+        ++reserved;
+      }
+    } else if (profile.fits(job.procs, now, now + job.estimate)) {
+      // Reservation depth exhausted: the job only matters if it can
+      // start immediately (anchor == now <=> the window fits now).
       profile.reserve(now, now + job.estimate, job.procs);
       to_start.push_back(job.id);
-    } else if (reserved < depth_) {
-      profile.reserve(anchor, anchor + job.estimate, job.procs);
-      ++reserved;
     }
   }
   started.reserve(to_start.size());

@@ -1,5 +1,6 @@
 #include "core/profile.hpp"
 
+#include <algorithm>
 #include <limits>
 #include <stdexcept>
 #include <string>
@@ -13,23 +14,63 @@ constexpr sim::Time kFar = std::numeric_limits<sim::Time>::max();
 Profile::Profile(int total_procs) : total_(total_procs) {
   if (total_procs < 1)
     throw std::invalid_argument("Profile: total_procs must be >= 1");
-  points_[0] = total_;
+  points_.push_back(Segment{0, total_});
+}
+
+std::size_t Profile::segment_index(sim::Time t) const {
+  // First breakpoint strictly after t, minus one; points_[0].begin == 0
+  // and t >= 0, so the predecessor always exists.
+  const auto it = std::upper_bound(
+      points_.begin(), points_.end(), t,
+      [](sim::Time time, const Segment& s) { return time < s.begin; });
+  return static_cast<std::size_t>(it - points_.begin()) - 1;
 }
 
 int Profile::free_at(sim::Time t) const {
   if (t < 0) throw std::invalid_argument("Profile::free_at: negative time");
-  auto it = points_.upper_bound(t);
-  --it;  // key 0 always exists, so it is valid
-  return it->second;
+  return points_[segment_index(t)].free;
 }
 
 bool Profile::fits(int procs, sim::Time begin, sim::Time end) const {
   if (begin >= end) return true;
-  auto it = points_.upper_bound(begin);
-  --it;
-  for (; it != points_.end() && it->first < end; ++it)
-    if (it->second < procs) return false;
+  if (begin < 0)
+    throw std::invalid_argument("Profile::fits: negative window start");
+  for (std::size_t i = segment_index(begin);
+       i < points_.size() && points_[i].begin < end; ++i)
+    if (points_[i].free < procs) return false;
   return true;
+}
+
+std::pair<sim::Time, std::size_t> Profile::anchor_from(
+    int procs, sim::Time duration, sim::Time not_before) const {
+  std::size_t i = segment_index(not_before);
+  sim::Time candidate = not_before;
+  for (;;) {
+    // points_[i] is the segment containing `candidate`. Scan forward
+    // checking that every segment overlapping [candidate, candidate +
+    // duration) has enough free processors.
+    std::size_t scan = i;
+    bool ok = true;
+    while (true) {
+      if (points_[scan].free < procs) {
+        ok = false;
+        break;
+      }
+      const sim::Time seg_end =
+          scan + 1 == points_.size() ? kFar : points_[scan + 1].begin;
+      if (seg_end >= candidate + duration) break;  // window fully covered
+      ++scan;
+    }
+    if (ok) return {candidate, i};
+    // Blocked inside segment `scan`; resume at the next segment with
+    // enough capacity. The last segment always has free == total_ >=
+    // procs, so this terminates.
+    do {
+      ++scan;
+    } while (points_[scan].free < procs);
+    candidate = points_[scan].begin;
+    i = scan;
+  }
 }
 
 sim::Time Profile::earliest_anchor(int procs, sim::Time duration,
@@ -41,63 +82,72 @@ sim::Time Profile::earliest_anchor(int procs, sim::Time duration,
   if (duration < 1)
     throw std::invalid_argument("Profile::earliest_anchor: bad duration");
   if (not_before < 0) not_before = 0;
-
-  auto it = points_.upper_bound(not_before);
-  --it;
-  sim::Time candidate = not_before;
-  for (;;) {
-    // `it` is the segment containing `candidate`. Scan forward checking
-    // that every segment overlapping [candidate, candidate + duration)
-    // has enough free processors.
-    auto scan = it;
-    bool ok = true;
-    while (true) {
-      if (scan->second < procs) {
-        ok = false;
-        break;
-      }
-      auto next = std::next(scan);
-      const sim::Time seg_end = next == points_.end() ? kFar : next->first;
-      if (seg_end >= candidate + duration) break;  // window fully covered
-      scan = next;
-    }
-    if (ok) return candidate;
-    // Blocked inside segment `scan`; resume at the next segment with
-    // enough capacity. The last segment always has free == total_ >=
-    // procs, so this terminates.
-    do {
-      ++scan;
-    } while (scan->second < procs);
-    candidate = scan->first;
-    it = scan;
-  }
+  return anchor_from(procs, duration, not_before).first;
 }
 
-std::map<sim::Time, int>::iterator Profile::ensure_point(sim::Time t) {
-  auto it = points_.lower_bound(t);
-  if (it != points_.end() && it->first == t) return it;
-  // Value of the containing segment (the predecessor's value).
-  const int value = std::prev(it)->second;
-  return points_.emplace_hint(it, t, value);
+sim::Time Profile::find_and_reserve(int procs, sim::Time duration,
+                                    sim::Time not_before) {
+  if (procs < 1 || procs > total_)
+    throw std::invalid_argument("Profile::find_and_reserve: bad procs " +
+                                std::to_string(procs) + " of " +
+                                std::to_string(total_));
+  if (duration < 1)
+    throw std::invalid_argument("Profile::find_and_reserve: bad duration");
+  if (not_before < 0) not_before = 0;
+  const auto [anchor, index] = anchor_from(procs, duration, not_before);
+  // The search proved free >= procs throughout the window, so the
+  // reservation needs no capacity re-check and no second search.
+  apply_at(index, anchor, anchor + duration, -procs);
+  return anchor;
+}
+
+void Profile::apply_at(std::size_t first, sim::Time begin, sim::Time end,
+                       int delta) {
+  // Split the segment containing `begin` so a breakpoint sits exactly
+  // at the window start.
+  std::size_t i = first;
+  if (points_[i].begin < begin) {
+    points_.insert(points_.begin() + static_cast<std::ptrdiff_t>(i) + 1,
+                   Segment{begin, points_[i].free});
+    ++i;
+  }
+  // Find the first segment starting at-or-after `end`; split the last
+  // covered segment when it extends past the window.
+  std::size_t j = i;
+  while (j < points_.size() && points_[j].begin < end) ++j;
+  if (j == points_.size() || points_[j].begin > end)
+    points_.insert(points_.begin() + static_cast<std::ptrdiff_t>(j),
+                   Segment{end, points_[j - 1].free});
+  for (std::size_t k = i; k < j; ++k) points_[k].free += delta;
+  // Re-coalesce: interior neighbors shifted by the same delta stay
+  // distinct, so only the two window boundaries can merge. Erase the
+  // later one first so `i` stays valid.
+  if (j < points_.size() && points_[j].free == points_[j - 1].free)
+    points_.erase(points_.begin() + static_cast<std::ptrdiff_t>(j));
+  if (i > 0 && points_[i].free == points_[i - 1].free)
+    points_.erase(points_.begin() + static_cast<std::ptrdiff_t>(i));
 }
 
 void Profile::apply(sim::Time begin, sim::Time end, int delta) {
   if (begin < 0)
     throw std::invalid_argument("Profile: negative interval start");
   if (begin >= end) return;
-  const auto first = ensure_point(begin);
-  ensure_point(end);
-  for (auto it = first; it->first < end; ++it) {
-    const int updated = it->second + delta;
+  const std::size_t first = segment_index(begin);
+  // Validate the whole window before touching anything, so a rejected
+  // operation leaves the profile exactly as it was.
+  for (std::size_t i = first; i < points_.size() && points_[i].begin < end;
+       ++i) {
+    const int updated = points_[i].free + delta;
     if (updated < 0)
-      throw std::logic_error("Profile: over-reservation at t=" +
-                             std::to_string(it->first));
+      throw std::logic_error(
+          "Profile: over-reservation at t=" +
+          std::to_string(std::max(begin, points_[i].begin)));
     if (updated > total_)
-      throw std::logic_error("Profile: double release at t=" +
-                             std::to_string(it->first));
-    it->second = updated;
+      throw std::logic_error(
+          "Profile: double release at t=" +
+          std::to_string(std::max(begin, points_[i].begin)));
   }
-  coalesce_around(begin, end);
+  apply_at(first, begin, end, delta);
 }
 
 void Profile::reserve(sim::Time begin, sim::Time end, int procs) {
@@ -110,40 +160,26 @@ void Profile::release(sim::Time begin, sim::Time end, int procs) {
   apply(begin, end, procs);
 }
 
-void Profile::coalesce_around(sim::Time begin, sim::Time end) {
-  auto it = points_.upper_bound(begin);
-  if (it != points_.begin()) --it;
-  if (it != points_.begin()) --it;  // include the segment before `begin`
-  while (it != points_.end() && it->first <= end) {
-    auto next = std::next(it);
-    if (next == points_.end()) break;
-    if (next->second == it->second) {
-      points_.erase(next);
-    } else {
-      ++it;
-    }
-  }
-}
-
 std::vector<Profile::Segment> Profile::segments() const {
-  std::vector<Segment> out;
-  out.reserve(points_.size());
-  for (const auto& [time, free] : points_) {
-    if (!out.empty() && out.back().free == free) continue;
-    out.push_back(Segment{time, free});
-  }
-  return out;
+  return points_;  // stored coalesced: the representation is the answer
 }
 
 void Profile::check_invariants() const {
-  if (points_.empty() || points_.begin()->first != 0)
+  if (points_.empty() || points_.front().begin != 0)
     throw std::logic_error("Profile: missing origin breakpoint");
-  for (const auto& [time, free] : points_) {
-    if (free < 0 || free > total_)
+  for (std::size_t i = 0; i < points_.size(); ++i) {
+    const Segment& s = points_[i];
+    if (s.free < 0 || s.free > total_)
       throw std::logic_error("Profile: free out of range at t=" +
-                             std::to_string(time));
+                             std::to_string(s.begin));
+    if (i > 0 && points_[i - 1].begin >= s.begin)
+      throw std::logic_error("Profile: breakpoints out of order at t=" +
+                             std::to_string(s.begin));
+    if (i > 0 && points_[i - 1].free == s.free)
+      throw std::logic_error("Profile: uncoalesced breakpoint at t=" +
+                             std::to_string(s.begin));
   }
-  if (points_.rbegin()->second != total_)
+  if (points_.back().free != total_)
     throw std::logic_error("Profile: tail segment is not fully free");
 }
 

@@ -5,14 +5,23 @@
 // profile is the chart's skyline: a piecewise-constant map from time to
 // the number of free processors, accounting for running jobs (until their
 // *estimated* completion) and for queued-job reservations. Every
-// scheduler in core/ is built on three operations:
+// scheduler in core/ is built on four operations:
 //
 //   earliest_anchor  -- first time a (procs x duration) rectangle fits
 //   reserve          -- subtract a rectangle
 //   release          -- add a rectangle back (early completion, re-anchor)
+//   find_and_reserve -- fused anchor search + reserve in one traversal
+//
+// The timeline is stored as a flat sorted vector of breakpoints rather
+// than a std::map: anchor searches and rectangle updates are linear scans
+// over contiguous memory, and the schedulers' compression passes hammer
+// exactly those scans. The vector is kept fully coalesced (adjacent
+// breakpoints always differ in value), so breakpoints() is also the
+// number of maximal constant segments.
 #pragma once
 
-#include <map>
+#include <cstddef>
+#include <utility>
 #include <vector>
 
 #include "sim/time.hpp"
@@ -21,9 +30,9 @@ namespace bfsim::core {
 
 /// Piecewise-constant free-processor timeline over [0, +inf).
 ///
-/// Invariants (checked in debug builds, enforced by exceptions on
+/// Invariants (checked by check_invariants, enforced by exceptions on
 /// reserve/release): 0 <= free(t) <= total() for all t, and free(t) ==
-/// total() beyond the last reservation end.
+/// total() beyond the last breakpoint.
 class Profile {
  public:
   /// A maximal constant piece of the timeline: `free` processors from
@@ -47,21 +56,36 @@ class Profile {
   [[nodiscard]] sim::Time earliest_anchor(int procs, sim::Time duration,
                                           sim::Time not_before) const;
 
+  /// Fused earliest_anchor + reserve: finds the earliest anchor and
+  /// subtracts the (procs x duration) rectangle there in the same
+  /// traversal, returning the anchor. Equivalent to
+  ///   s = earliest_anchor(procs, duration, not_before);
+  ///   reserve(s, s + duration, procs);
+  /// but without re-walking the timeline from the origin for the
+  /// reservation. Same argument requirements as earliest_anchor.
+  sim::Time find_and_reserve(int procs, sim::Time duration,
+                             sim::Time not_before);
+
   /// True when `procs` processors are free throughout [begin, end).
+  /// Requires begin >= 0 for non-empty windows (throws
+  /// std::invalid_argument otherwise, like free_at).
   [[nodiscard]] bool fits(int procs, sim::Time begin, sim::Time end) const;
 
   /// Subtract `procs` over [begin, end). Throws std::logic_error if this
-  /// would drive any segment negative (an over-reservation bug).
+  /// would drive any segment negative (an over-reservation bug); the
+  /// profile is unchanged when it throws.
   void reserve(sim::Time begin, sim::Time end, int procs);
 
   /// Add `procs` back over [begin, end). Throws std::logic_error if this
-  /// would exceed total() anywhere (a double-release bug).
+  /// would exceed total() anywhere (a double-release bug); the profile is
+  /// unchanged when it throws.
   void release(sim::Time begin, sim::Time end, int procs);
 
   /// The full piecewise timeline, coalesced, for inspection and tests.
   [[nodiscard]] std::vector<Segment> segments() const;
 
   /// Number of internal breakpoints (a size/performance proxy for tests).
+  /// The storage is always coalesced, so this equals segments().size().
   [[nodiscard]] std::size_t breakpoints() const { return points_.size(); }
 
   /// Throws std::logic_error if any internal invariant is broken.
@@ -69,14 +93,22 @@ class Profile {
 
  private:
   int total_;
-  /// time -> free processors on [time, next key). Always contains key 0;
-  /// the last segment's value is total_ by construction.
-  std::map<sim::Time, int> points_;
+  /// Sorted by begin; points_[0].begin == 0 always, adjacent values
+  /// differ (coalesced), and the last value is total_ by construction.
+  std::vector<Segment> points_;
 
-  /// Ensure a breakpoint exists exactly at t; returns its iterator.
-  std::map<sim::Time, int>::iterator ensure_point(sim::Time t);
-  /// Merge equal-valued neighbors around [begin, end] to bound map growth.
-  void coalesce_around(sim::Time begin, sim::Time end);
+  /// Index of the segment containing t (t >= 0).
+  [[nodiscard]] std::size_t segment_index(sim::Time t) const;
+  /// Anchor search core: returns the anchor and the index of the segment
+  /// containing it. Arguments already validated.
+  [[nodiscard]] std::pair<sim::Time, std::size_t> anchor_from(
+      int procs, sim::Time duration, sim::Time not_before) const;
+  /// Add `delta` over [begin, end) given the index of the segment
+  /// containing `begin`; splits boundary segments and re-coalesces.
+  /// Capacity must have been validated by the caller.
+  void apply_at(std::size_t first, sim::Time begin, sim::Time end, int delta);
+  /// Validated add: checks 0 <= free + delta <= total_ over the whole
+  /// window before mutating anything (strong exception guarantee).
   void apply(sim::Time begin, sim::Time end, int delta);
 };
 

@@ -66,15 +66,17 @@ std::vector<Job> SelectiveScheduler::select_starts(Time now) {
   // anchor their guarantee ahead of everybody else.
   for (const Job& job : queue_) {
     if (!promoted_.contains(job.id)) continue;
-    const Time anchor = profile.earliest_anchor(job.procs, job.estimate, now);
-    profile.reserve(anchor, anchor + job.estimate, job.procs);
+    const Time anchor =
+        profile.find_and_reserve(job.procs, job.estimate, now);
     if (anchor == now) to_start.push_back(job.id);
   }
   // Pass 2 -- unprotected jobs backfill greedily around the guarantees.
+  // They start only when they fit immediately (anchor == now <=> the
+  // window [now, now + estimate) fits), so a fits() check replaces the
+  // full anchor search.
   for (const Job& job : queue_) {
     if (promoted_.contains(job.id)) continue;
-    const Time anchor = profile.earliest_anchor(job.procs, job.estimate, now);
-    if (anchor == now) {
+    if (profile.fits(job.procs, now, now + job.estimate)) {
       profile.reserve(now, now + job.estimate, job.procs);
       to_start.push_back(job.id);
     }

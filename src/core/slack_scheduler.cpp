@@ -58,10 +58,11 @@ bool SlackScheduler::try_displace(const Job& job, Time now) {
   std::unordered_map<JobId, Time> new_starts;
   new_starts.reserve(order.size());
   for (const Job* queued : order) {
+    // Fused search + reserve; the trial is discarded wholesale on
+    // failure, so reserving before the deadline check is harmless.
     const Time anchor =
-        trial.earliest_anchor(queued->procs, queued->estimate, now);
+        trial.find_and_reserve(queued->procs, queued->estimate, now);
     if (anchor > deadlines_.at(queued->id)) return false;  // slack exhausted
-    trial.reserve(anchor, anchor + queued->estimate, queued->procs);
     new_starts[queued->id] = anchor;
   }
 
@@ -76,9 +77,10 @@ bool SlackScheduler::try_displace(const Job& job, Time now) {
 
 void SlackScheduler::job_finished(JobId id, Time now) {
   const RunningJob rj = commit_finish(id);
-  if (now < rj.est_end)
-    profile_.release(now, rj.est_end, rj.job.procs);
-  compress(now);
+  // On-time completions free nothing; compression would be a no-op.
+  if (now >= rj.est_end) return;
+  profile_.release(now, rj.est_end, rj.job.procs);
+  compress(now, now);
 }
 
 void SlackScheduler::job_cancelled(JobId id, Time now) {
@@ -98,24 +100,39 @@ void SlackScheduler::job_cancelled(JobId id, Time now) {
   profile_.release(start, start + job.estimate, job.procs);
   reservations_.erase(id);
   deadlines_.erase(id);
-  compress(now);
+  compress(now, start);
 }
 
-void SlackScheduler::compress(Time now) {
+void SlackScheduler::compress(Time now, Time hole_begin) {
   // Identical to conservative compression: each re-anchor can only move
-  // a reservation earlier, so deadlines trivially keep holding.
+  // a reservation earlier, so deadlines trivially keep holding. Jobs
+  // already reserved at-or-before the earliest unconsidered hole cannot
+  // move and are skipped; passes repeat until no reservation moves so
+  // cascaded unblocking (a moved job vacating its old slot) is never
+  // left stale. See ConservativeScheduler::compress for the argument.
+  if (queue_.empty()) return;
   sort_queue(now);
-  for (const Job& job : queue_) {
-    const Time old_start = reservations_.at(job.id);
-    profile_.release(old_start, old_start + job.estimate, job.procs);
-    const Time anchor =
-        profile_.earliest_anchor(job.procs, job.estimate, now);
-    if (anchor > old_start)
-      throw std::logic_error(
-          "SlackScheduler: compression delayed a reservation (job " +
-          std::to_string(job.id) + ")");
-    profile_.reserve(anchor, anchor + job.estimate, job.procs);
-    reservations_.at(job.id) = anchor;
+  for (;;) {
+    Time next_hole = sim::kNoTime;
+    for (const Job& job : queue_) {
+      const Time old_start = reservations_.at(job.id);
+      if (old_start <= hole_begin) continue;
+      profile_.release(old_start, old_start + job.estimate, job.procs);
+      const Time anchor =
+          profile_.find_and_reserve(job.procs, job.estimate, now);
+      if (anchor > old_start)
+        throw std::logic_error(
+            "SlackScheduler: compression delayed a reservation (job " +
+            std::to_string(job.id) + ")");
+      if (anchor < old_start) {
+        reservations_.at(job.id) = anchor;
+        next_hole = next_hole == sim::kNoTime
+                        ? old_start
+                        : std::min(next_hole, old_start);
+      }
+    }
+    if (next_hole == sim::kNoTime) return;
+    hole_begin = next_hole;
   }
 }
 

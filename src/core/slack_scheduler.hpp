@@ -62,9 +62,10 @@ class SlackScheduler final : public SchedulerBase {
   std::unordered_map<JobId, Time> deadlines_;
   std::uint64_t displacements_ = 0;
 
-  /// Conservative compression after a completion (priority order; starts
-  /// only move earlier).
-  void compress(Time now);
+  /// Conservative compression after capacity was freed at `hole_begin`
+  /// (priority order; starts only move earlier; jobs reserved at-or-
+  /// before the hole are provably immovable and skipped).
+  void compress(Time now, Time hole_begin);
 
   /// Try to start `job` at `now` by re-anchoring every queued job in
   /// EDF order behind it. Commits and returns true when every deadline

@@ -51,9 +51,13 @@ double mean_of(const std::vector<metrics::Metrics>& replications,
 
 double max_of(const std::vector<metrics::Metrics>& replications,
               const std::function<double(const metrics::Metrics&)>& extract) {
-  double best = 0.0;
-  for (const metrics::Metrics& m : replications)
-    best = std::max(best, extract(m));
+  // Empty replication sets are explicit (mirroring mean_of) rather than
+  // falling out of a fold seeded with 0.0, which would also clamp any
+  // all-negative metric to a fake 0.
+  if (replications.empty()) return 0.0;
+  double best = extract(replications.front());
+  for (std::size_t i = 1; i < replications.size(); ++i)
+    best = std::max(best, extract(replications[i]));
   return best;
 }
 

@@ -31,7 +31,9 @@ namespace bfsim::exp {
     const std::vector<metrics::Metrics>& replications,
     const std::function<double(const metrics::Metrics&)>& extract);
 
-/// Max over replications (for worst-case metrics).
+/// Max over replications (for worst-case metrics). Returns 0.0 for an
+/// empty set, like mean_of; otherwise the true max even when every
+/// extracted value is negative.
 [[nodiscard]] double max_of(
     const std::vector<metrics::Metrics>& replications,
     const std::function<double(const metrics::Metrics&)>& extract);

@@ -161,6 +161,45 @@ TEST(ConservativeScheduler, RejectsJobWiderThanMachine) {
                std::invalid_argument);
 }
 
+TEST(ConservativeScheduler, CompressionCascadesWithinOneEvent) {
+  // Regression: one priority-order pass over the queue is not a fixpoint.
+  // A later-priority job that re-anchors earlier vacates its old slot,
+  // which can unblock an *already visited* earlier-priority job; a
+  // single-pass compress left that job's reservation stale until some
+  // future event happened to re-run compression.
+  //
+  // Machine of 4. Two jobs start at t=0: job 0 (2 procs, est 100, really
+  // finishes at 10) and job 1 (2 procs, est 40). Job 2 (3 procs, est 60)
+  // cannot fit before their estimated ends and anchors at 100. Job 3
+  // (2 procs, est 50) backfill-reserves [40,90) beside job 0 -- a
+  // *later*-priority job holding an *earlier* reservation.
+  ConservativeScheduler scheduler{SchedulerConfig{4, PriorityPolicy::Fcfs}};
+  scheduler.job_submitted(make_job(0, 0, 100, 2), 0);
+  scheduler.job_submitted(make_job(1, 0, 40, 2), 0);
+  (void)scheduler.select_starts(0);
+  scheduler.job_submitted(make_job(2, 1, 60, 3), 1);
+  scheduler.job_submitted(make_job(3, 2, 50, 2), 2);
+  ASSERT_EQ(scheduler.reservation_of(2), 100);
+  ASSERT_EQ(scheduler.reservation_of(3), 40);
+
+  // Job 0 finishes early at t=10, freeing 2 procs over [10,100). Pass 1
+  // visits job 2 first: with job 3 still parked on [40,90) it can only
+  // reach t=90. Job 3 then slides into the fresh hole at t=10, vacating
+  // [40,90) -- job 2's true earliest anchor is now t=60, which only a
+  // second pass can discover.
+  scheduler.job_finished(0, 10);
+  EXPECT_EQ(scheduler.reservation_of(3), 10);
+  EXPECT_EQ(scheduler.reservation_of(2), 60);
+  EXPECT_NO_THROW(scheduler.profile().check_invariants());
+
+  // The repaired reservation is immediately startable: at t=10 job 3
+  // begins next to the still-running job 1, and nothing throws the
+  // "reservation in the past" error the stale state used to cause.
+  const auto started = scheduler.select_starts(10);
+  ASSERT_EQ(started.size(), 1u);
+  EXPECT_EQ(started[0].id, 3);
+}
+
 TEST(ConservativeScheduler, NameIncludesPriority) {
   const ConservativeScheduler scheduler{
       SchedulerConfig{8, PriorityPolicy::Sjf}};

@@ -88,6 +88,62 @@ TEST(Profile, NegativeTimeRejected) {
   EXPECT_THROW((void)p.free_at(-1), std::invalid_argument);
 }
 
+TEST(Profile, FitsRejectsNegativeWindowStart) {
+  // Regression: the map-based implementation decremented
+  // upper_bound(begin) without a begin >= 0 guard, walking past begin()
+  // (undefined behaviour). A negative start now validates like free_at.
+  Profile p{8};
+  p.reserve(0, 10, 4);
+  EXPECT_THROW((void)p.fits(1, -1, 5), std::invalid_argument);
+  EXPECT_THROW((void)p.fits(8, -100, -50), std::invalid_argument);
+  // Empty windows stay trivially true, even degenerate ones.
+  EXPECT_TRUE(p.fits(8, 5, 5));
+  EXPECT_TRUE(p.fits(8, 7, 3));
+}
+
+TEST(Profile, FindAndReserveMatchesSearchThenReserve) {
+  Profile fused{10};
+  Profile stepwise{10};
+  fused.reserve(0, 100, 8);
+  stepwise.reserve(0, 100, 8);
+  fused.reserve(200, 300, 8);
+  stepwise.reserve(200, 300, 8);
+
+  const sim::Time got = fused.find_and_reserve(6, 100, 0);
+  const sim::Time want = stepwise.earliest_anchor(6, 100, 0);
+  stepwise.reserve(want, want + 100, 6);
+  EXPECT_EQ(got, want);
+  EXPECT_EQ(got, 100);  // the hole between the two reservations
+  EXPECT_EQ(fused.segments(), stepwise.segments());
+
+  // A shape that cannot use the hole lands after everything, in both.
+  const sim::Time got2 = fused.find_and_reserve(6, 101, 0);
+  const sim::Time want2 = stepwise.earliest_anchor(6, 101, 0);
+  stepwise.reserve(want2, want2 + 101, 6);
+  EXPECT_EQ(got2, want2);
+  EXPECT_EQ(got2, 300);
+  EXPECT_EQ(fused.segments(), stepwise.segments());
+  EXPECT_NO_THROW(fused.check_invariants());
+}
+
+TEST(Profile, FindAndReserveRespectsNotBefore) {
+  Profile p{4};
+  EXPECT_EQ(p.find_and_reserve(4, 10, 500), 500);
+  EXPECT_EQ(p.free_at(499), 4);
+  EXPECT_EQ(p.free_at(500), 0);
+  EXPECT_EQ(p.free_at(510), 4);
+  // Negative not_before clamps to 0 like earliest_anchor.
+  EXPECT_EQ(p.find_and_reserve(4, 10, -7), 0);
+  EXPECT_EQ(p.free_at(0), 0);
+}
+
+TEST(Profile, FindAndReserveRejectsBadArguments) {
+  Profile p{8};
+  EXPECT_THROW((void)p.find_and_reserve(0, 10, 0), std::invalid_argument);
+  EXPECT_THROW((void)p.find_and_reserve(9, 10, 0), std::invalid_argument);
+  EXPECT_THROW((void)p.find_and_reserve(1, 0, 0), std::invalid_argument);
+}
+
 TEST(Profile, AnchorOnEmptyMachineIsImmediate) {
   const Profile p{16};
   EXPECT_EQ(p.earliest_anchor(16, 1000, 0), 0);

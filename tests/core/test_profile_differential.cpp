@@ -1,0 +1,116 @@
+// Differential test: the flat-vector core::Profile against the original
+// std::map implementation (tests/core/reference_map_profile.hpp) under
+// randomized operation sequences. The flat rewrite must be drop-in
+// behavior-equivalent: identical segments(), anchors, fits() verdicts
+// and free_at() values after every operation, with both sides' internal
+// invariants intact throughout.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/profile.hpp"
+#include "core/reference_map_profile.hpp"
+#include "sim/rng.hpp"
+
+namespace bfsim::core {
+namespace {
+
+using test::MapProfile;
+
+void expect_equivalent(const Profile& flat, const MapProfile& reference,
+                       sim::Time horizon) {
+  ASSERT_NO_THROW(flat.check_invariants());
+  ASSERT_NO_THROW(reference.check_invariants());
+  ASSERT_EQ(flat.segments(), reference.segments());
+  for (sim::Time t = 0; t <= horizon; t += 13)
+    ASSERT_EQ(flat.free_at(t), reference.free_at(t)) << "t=" << t;
+}
+
+class ProfileDifferentialTest : public testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(ProfileDifferentialTest, FlatMatchesMapUnderRandomOps) {
+  constexpr int kProcs = 48;
+  constexpr sim::Time kHorizon = 100000;
+  sim::Rng rng{GetParam()};
+  Profile flat{kProcs};
+  MapProfile reference{kProcs};
+
+  struct Live {
+    sim::Time b, e;
+    int procs;
+  };
+  std::vector<Live> live;
+
+  for (int step = 0; step < 600; ++step) {
+    const double dice = rng.next_double();
+    if (dice < 0.30 && !live.empty()) {
+      // Release a random live rectangle (possibly only its tail, the
+      // early-completion pattern; the head stays live).
+      const auto idx = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(live.size()) - 1));
+      Live& r = live[idx];
+      const bool tail_only = r.e - r.b > 2 && rng.bernoulli(0.4);
+      const sim::Time from =
+          tail_only ? r.b + rng.uniform_int(1, r.e - r.b - 1) : r.b;
+      flat.release(from, r.e, r.procs);
+      reference.release(from, r.e, r.procs);
+      if (tail_only) {
+        r.e = from;
+      } else {
+        live.erase(live.begin() + static_cast<std::ptrdiff_t>(idx));
+      }
+    } else if (dice < 0.65) {
+      // Fused find-and-reserve against reference search + reserve.
+      const int procs = static_cast<int>(rng.uniform_int(1, kProcs));
+      const sim::Time dur = rng.uniform_int(1, 4000);
+      const sim::Time from = rng.uniform_int(0, kHorizon);
+      const sim::Time got = flat.find_and_reserve(procs, dur, from);
+      const sim::Time want = reference.find_and_reserve(procs, dur, from);
+      ASSERT_EQ(got, want) << "procs=" << procs << " dur=" << dur
+                           << " from=" << from;
+      live.push_back({got, got + dur, procs});
+    } else if (dice < 0.85) {
+      // Plain reserve of a window that fits (mirrors scheduler usage).
+      const int procs = static_cast<int>(rng.uniform_int(1, kProcs / 2));
+      const sim::Time b = rng.uniform_int(0, kHorizon);
+      const sim::Time e = b + rng.uniform_int(1, 3000);
+      if (!reference.fits(procs, b, e)) continue;
+      flat.reserve(b, e, procs);
+      reference.reserve(b, e, procs);
+      live.push_back({b, e, procs});
+    } else {
+      // Read-only spot checks with random shapes.
+      const int procs = static_cast<int>(rng.uniform_int(1, kProcs));
+      const sim::Time dur = rng.uniform_int(1, 8000);
+      const sim::Time from = rng.uniform_int(0, kHorizon);
+      ASSERT_EQ(flat.earliest_anchor(procs, dur, from),
+                reference.earliest_anchor(procs, dur, from));
+      ASSERT_EQ(flat.fits(procs, from, from + dur),
+                reference.fits(procs, from, from + dur));
+    }
+    expect_equivalent(flat, reference, kHorizon);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSeeds, ProfileDifferentialTest,
+                         testing::Values(11, 12, 13, 14, 15, 16));
+
+TEST(ProfileDifferential, RejectedOperationsLeaveBothUntouched) {
+  Profile flat{8};
+  MapProfile reference{8};
+  flat.reserve(10, 20, 8);
+  reference.reserve(10, 20, 8);
+  EXPECT_THROW(flat.reserve(15, 25, 1), std::logic_error);
+  EXPECT_THROW(reference.reserve(15, 25, 1), std::logic_error);
+  EXPECT_THROW(flat.release(0, 5, 1), std::logic_error);
+  EXPECT_THROW(reference.release(0, 5, 1), std::logic_error);
+  // The flat profile guarantees full rollback; compare observable state
+  // (values, not breakpoint bookkeeping) against the reference.
+  EXPECT_EQ(flat.segments(), reference.segments());
+  for (sim::Time t = 0; t < 40; ++t)
+    EXPECT_EQ(flat.free_at(t), reference.free_at(t));
+}
+
+}  // namespace
+}  // namespace bfsim::core

@@ -73,6 +73,19 @@ TEST(Runner, MeanAndMaxExtractors) {
   EXPECT_DOUBLE_EQ(mean_of({}, overall_slowdown), 0.0);
 }
 
+TEST(Runner, MaxOfEmptyAndAllNegative) {
+  // Regression: max_of folded std::max from 0.0, so an empty set and a
+  // set whose every value is negative both came back as a fake 0.0.
+  EXPECT_DOUBLE_EQ(max_of({}, overall_slowdown), 0.0);
+
+  const std::vector<metrics::Metrics> three(3);
+  int calls = 0;
+  const double got = max_of(three, [&calls](const metrics::Metrics&) {
+    return static_cast<double>(-5 + calls++);  // -5, -4, -3
+  });
+  EXPECT_DOUBLE_EQ(got, -3.0);
+}
+
 TEST(Runner, CategoryExtractor) {
   const auto m = run_scenario(small_scenario());
   EXPECT_DOUBLE_EQ(
