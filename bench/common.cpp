@@ -13,10 +13,14 @@ bool parse_bench_options(int argc, const char* const* argv,
                  std::to_string(options.seeds));
   cli.add_option("load", "offered load (paper high load = 0.88)",
                  util::format_fixed(options.load, 2));
+  cli.add_flag("audit",
+               "attach the schedule-invariant auditor to every run "
+               "(violations abort with a diagnostic)");
   if (!cli.parse(argc, argv)) return false;
   options.jobs = static_cast<std::size_t>(cli.get_int64("jobs"));
   options.seeds = static_cast<std::size_t>(cli.get_int64("seeds"));
   options.load = cli.get_double("load");
+  options.audit = cli.get_flag("audit");
   return true;
 }
 
@@ -44,7 +48,8 @@ std::vector<metrics::Metrics> run_cell(const BenchOptions& options,
   scenario.estimates = estimates;
   scenario.extras = extras;
   scenario.seed = 1;
-  return exp::run_replications(scenario, options.seeds);
+  return exp::run_replications(scenario, options.seeds, nullptr,
+                               {.audit = options.audit});
 }
 
 }  // namespace bfsim::bench

@@ -20,6 +20,11 @@ struct BenchOptions {
   std::size_t jobs = 10000;
   std::size_t seeds = 5;
   double load = exp::kHighLoad;
+  /// Attach the schedule auditor (core/audit.hpp) to every simulation:
+  /// any invariant violation aborts the run with a diagnostic instead of
+  /// producing a figure from an infeasible schedule. Costs time; run it
+  /// once before trusting any new number.
+  bool audit = false;
 };
 
 /// Parse the standard bench options; on --help or parse error returns

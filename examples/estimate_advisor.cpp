@@ -88,7 +88,12 @@ int main(int argc, char** argv) {
       slowdown /= n;
       p95 /= n;
       rate /= n;
-      t.add_row({"x" + util::format_fixed(factor, 0),
+      // Built with += rather than "x" + <temporary>: the operator+
+      // overload trips GCC 12's -Wrestrict false positive (PR 105651)
+      // under -Werror.
+      std::string label = "x";
+      label += util::format_fixed(factor, 0);
+      t.add_row({label,
                  util::format_fixed(slowdown), util::format_fixed(p95),
                  util::format_duration(static_cast<sim::Time>(worst)),
                  util::format_percent(rate, 1)});

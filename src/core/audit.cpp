@@ -1,0 +1,310 @@
+#include "core/audit.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace bfsim::core {
+
+std::string AuditViolation::to_string() const {
+  std::string out = "[" + invariant + "] t=" + std::to_string(when);
+  if (job != workload::kInvalidJob) out += " job=" + std::to_string(job);
+  out += " expected=" + std::to_string(expected) +
+         " actual=" + std::to_string(actual) + ": " + detail;
+  return out;
+}
+
+ScheduleAuditor::ScheduleAuditor(const Scheduler& scheduler,
+                                 const AuditOptions& options)
+    : scheduler_(&scheduler),
+      options_(options),
+      hooks_(scheduler.audit_hooks()),
+      total_procs_(scheduler.config().procs) {
+  if (options_.profile_check_stride < 1)
+    throw std::invalid_argument(
+        "ScheduleAuditor: profile_check_stride must be >= 1");
+}
+
+void ScheduleAuditor::record(AuditViolation violation) {
+  violations_.push_back(std::move(violation));
+  if (options_.fatal)
+    throw std::logic_error("schedule audit: " +
+                           violations_.back().to_string());
+}
+
+void ScheduleAuditor::on_submitted(const Job& job, Time now) {
+  ++checks_;
+  JobRecord rec;
+  rec.submit = now;
+  rec.estimate = job.estimate;
+  rec.procs = job.procs;
+  jobs_.insert_or_assign(job.id, rec);
+}
+
+void ScheduleAuditor::on_cancelled(JobId id, Time now) {
+  ++checks_;
+  const auto it = jobs_.find(id);
+  if (it == jobs_.end() || it->second.start != sim::kNoTime ||
+      it->second.cancelled) {
+    record({.invariant = "cancel-not-queued",
+            .when = now,
+            .job = id,
+            .detail = "cancellation delivered for a job that is not "
+                      "waiting in the queue"});
+    return;
+  }
+  it->second.cancelled = true;
+  if (id == pinned_head_) {
+    pinned_head_ = workload::kInvalidJob;
+    pinned_start_ = sim::kNoTime;
+  }
+}
+
+void ScheduleAuditor::on_started(const Job& job, Time now) {
+  const auto it = jobs_.find(job.id);
+  if (it == jobs_.end()) {
+    record({.invariant = "start-unknown-job",
+            .when = now,
+            .job = job.id,
+            .detail = "job started without a preceding submission"});
+    return;
+  }
+  JobRecord& rec = it->second;
+  ++checks_;
+  if (rec.start != sim::kNoTime) {
+    record({.invariant = "double-start",
+            .when = now,
+            .job = job.id,
+            .expected = rec.start,
+            .actual = now,
+            .detail = "job started a second time"});
+    return;
+  }
+  ++checks_;
+  if (rec.cancelled)
+    record({.invariant = "start-after-cancel",
+            .when = now,
+            .job = job.id,
+            .detail = "job started after it was withdrawn"});
+  ++checks_;
+  if (now < rec.submit)
+    record({.invariant = "start-before-submit",
+            .when = now,
+            .job = job.id,
+            .expected = rec.submit,
+            .actual = now,
+            .detail = "job started before its submission time"});
+  ++checks_;
+  if (busy_ + rec.procs > total_procs_)
+    record({.invariant = "capacity",
+            .when = now,
+            .job = job.id,
+            .expected = total_procs_,
+            .actual = busy_ + rec.procs,
+            .detail = "machine oversubscribed: " + std::to_string(busy_) +
+                      " busy + " + std::to_string(rec.procs) + " started > " +
+                      std::to_string(total_procs_) + " processors"});
+  if (hooks_.monotone_reservations &&
+      rec.first_reservation != sim::kNoTime) {
+    ++checks_;
+    if (now > rec.first_reservation)
+      record({.invariant = "guarantee-delayed",
+              .when = now,
+              .job = job.id,
+              .expected = rec.first_reservation,
+              .actual = now,
+              .detail = "job started later than its first-assigned "
+                        "reservation (conservative guarantee broken)"});
+  }
+  if (hooks_.head_guarantee && job.id == pinned_head_) {
+    ++checks_;
+    if (now > pinned_start_)
+      record({.invariant = "head-guarantee-delayed",
+              .when = now,
+              .job = job.id,
+              .expected = pinned_start_,
+              .actual = now,
+              .detail = "queue head started later than its pinned "
+                        "reservation (EASY guarantee broken)"});
+    pinned_head_ = workload::kInvalidJob;
+    pinned_start_ = sim::kNoTime;
+  }
+  rec.start = now;
+  rec.running = true;
+  busy_ += rec.procs;
+}
+
+void ScheduleAuditor::on_finished(JobId id, Time now) {
+  const auto it = jobs_.find(id);
+  ++checks_;
+  if (it == jobs_.end() || !it->second.running) {
+    record({.invariant = "finish-not-running",
+            .when = now,
+            .job = id,
+            .detail = "completion delivered for a job that is not running"});
+    return;
+  }
+  JobRecord& rec = it->second;
+  ++checks_;
+  if (now <= rec.start)
+    record({.invariant = "finish-before-start",
+            .when = now,
+            .job = id,
+            .expected = rec.start + 1,
+            .actual = now,
+            .detail = "job finished at-or-before its start"});
+  ++checks_;
+  if (now > rec.start + rec.estimate)
+    record({.invariant = "finish-past-limit",
+            .when = now,
+            .job = id,
+            .expected = rec.start + rec.estimate,
+            .actual = now,
+            .detail = "job ran past its wall-clock limit (estimate not "
+                      "enforced)"});
+  rec.running = false;
+  rec.finished = true;
+  busy_ -= rec.procs;
+}
+
+void ScheduleAuditor::check_reservations(Time now) {
+  const std::vector<AuditReservation> reported =
+      scheduler_->audit_reservations();
+  if (hooks_.reservations) {
+    for (const AuditReservation& res : reported) {
+      const auto it = jobs_.find(res.id);
+      ++checks_;
+      if (it == jobs_.end() || it->second.start != sim::kNoTime ||
+          it->second.cancelled) {
+        record({.invariant = "reservation-unknown-job",
+                .when = now,
+                .job = res.id,
+                .detail = "reservation reported for a job that is not "
+                          "waiting in the queue"});
+        continue;
+      }
+      JobRecord& rec = it->second;
+      ++checks_;
+      if (res.start < now)
+        record({.invariant = "reservation-in-past",
+                .when = now,
+                .job = res.id,
+                .expected = now,
+                .actual = res.start,
+                .detail = "guaranteed start lies in the past (missed "
+                          "start / stale reservation)"});
+      if (hooks_.monotone_reservations &&
+          rec.last_reservation != sim::kNoTime) {
+        ++checks_;
+        if (res.start > rec.last_reservation)
+          record({.invariant = "guarantee-delayed",
+                  .when = now,
+                  .job = res.id,
+                  .expected = rec.last_reservation,
+                  .actual = res.start,
+                  .detail = "guaranteed start moved later (conservative "
+                            "guarantee broken)"});
+      }
+      if (rec.first_reservation == sim::kNoTime)
+        rec.first_reservation = res.start;
+      rec.last_reservation = res.start;
+    }
+  }
+  if (hooks_.head_guarantee) {
+    // At most one pinned reservation: the queue head's. Losing the pin
+    // (head started, was cancelled, or was displaced by a higher
+    // priority arrival) voids the old commitment; keeping it for the
+    // same job must never move it later.
+    if (reported.empty()) {
+      pinned_head_ = workload::kInvalidJob;
+      pinned_start_ = sim::kNoTime;
+    } else {
+      const AuditReservation& head = reported.front();
+      if (head.id == pinned_head_) {
+        ++checks_;
+        if (head.start > pinned_start_)
+          record({.invariant = "head-guarantee-delayed",
+                  .when = now,
+                  .job = head.id,
+                  .expected = pinned_start_,
+                  .actual = head.start,
+                  .detail = "pinned head reservation moved later (a "
+                            "backfill delayed the queue head)"});
+      }
+      pinned_head_ = head.id;
+      pinned_start_ = head.start;
+    }
+  }
+}
+
+void ScheduleAuditor::check_profile(Time now) {
+  const Profile* actual = scheduler_->audit_profile();
+  if (actual == nullptr) return;
+  ++checks_;
+  if (actual->total() != total_procs_) {
+    record({.invariant = "profile-divergence",
+            .when = now,
+            .expected = total_procs_,
+            .actual = actual->total(),
+            .detail = "profile machine size differs from the scheduler "
+                      "configuration"});
+    return;
+  }
+  // Rebuild the expected timeline from first principles: every running
+  // job occupies [now, start + estimate) and every reported reservation
+  // occupies [start, start + estimate). Past times are irrelevant (the
+  // scheduler may keep stale history there); equality is required for
+  // all t >= now.
+  Profile expected{total_procs_};
+  try {
+    for (const auto& [id, rec] : jobs_)
+      if (rec.running && rec.start + rec.estimate > now)
+        expected.reserve(now, rec.start + rec.estimate, rec.procs);
+    for (const AuditReservation& res : scheduler_->audit_reservations()) {
+      const Time begin = std::max(res.start, now);
+      const Time end = res.start + res.estimate;
+      if (end > begin) expected.reserve(begin, end, res.procs);
+    }
+  } catch (const std::logic_error& error) {
+    // The implied occupancy itself overflows the machine: the running +
+    // reserved rectangles cannot coexist, which is its own violation.
+    record({.invariant = "profile-divergence",
+            .when = now,
+            .detail = std::string{"running + reserved jobs overflow the "
+                                  "machine: "} +
+                      error.what()});
+    return;
+  }
+  // Two piecewise-constant timelines are equal on [now, inf) iff they
+  // agree at `now` and at every breakpoint >= now of either.
+  auto diverges_at = [&](Time t) {
+    ++checks_;
+    const int want = expected.free_at(t);
+    const int got = actual->free_at(t);
+    if (want == got) return false;
+    record({.invariant = "profile-divergence",
+            .when = now,
+            .expected = want,
+            .actual = got,
+            .detail = "availability profile free(" + std::to_string(t) +
+                      ") disagrees with occupancy implied by running + "
+                      "reserved jobs (stale breakpoint)"});
+    return true;
+  };
+  if (diverges_at(now)) return;
+  for (const Profile::Segment& seg : expected.segments())
+    if (seg.begin >= now && diverges_at(seg.begin)) return;
+  for (const Profile::Segment& seg : actual->segments())
+    if (seg.begin >= now && diverges_at(seg.begin)) return;
+}
+
+void ScheduleAuditor::on_cycle_end(Time now) {
+  ++cycles_;
+  if (hooks_.reservations || hooks_.head_guarantee) check_reservations(now);
+  if (hooks_.profile &&
+      cycles_ % static_cast<std::uint64_t>(options_.profile_check_stride) ==
+          0)
+    check_profile(now);
+}
+
+}  // namespace bfsim::core

@@ -1,0 +1,124 @@
+// bfsim -- the runtime schedule-invariant auditor.
+//
+// A characterization study is only as good as the feasibility of every
+// simulated schedule: a silent capacity overflow or a stale reservation
+// produces plausible-looking metrics that are simply wrong. The
+// ScheduleAuditor re-derives machine occupancy from the driver's event
+// stream -- independently of the scheduler's own bookkeeping -- and
+// checks, at every event:
+//
+//   * capacity      -- running jobs never exceed the machine;
+//   * causality     -- no job starts before its submission, starts
+//                      twice, finishes while not running, or runs past
+//                      its wall-clock limit;
+//   * conservative  -- a guaranteed start never moves later, and no job
+//                      starts later than its first-assigned reservation;
+//   * EASY          -- the queue head's pinned reservation is never
+//                      delayed by a backfill while it stays at the head;
+//   * profile       -- the scheduler's availability profile exactly
+//                      equals the occupancy implied by running jobs plus
+//                      reported reservations (catching staleness at the
+//                      moment of divergence, not at the final metrics).
+//
+// Which policy-specific checks apply is declared by the scheduler via
+// Scheduler::audit_hooks(). The auditor is opt-in: the simulation driver
+// attaches one when SimulationOptions::audit is set (fatal: the first
+// violation throws), and bench binaries expose it behind --audit.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/profile.hpp"
+#include "core/scheduler.hpp"
+#include "core/types.hpp"
+
+namespace bfsim::core {
+
+/// One detected invariant violation, with enough structure for tests to
+/// assert on the exact failure (not just a message).
+struct AuditViolation {
+  /// Stable machine-readable tag: "capacity", "start-before-submit",
+  /// "start-after-cancel", "double-start", "start-unknown-job",
+  /// "finish-not-running", "finish-before-start", "finish-past-limit",
+  /// "cancel-not-queued", "reservation-unknown-job",
+  /// "reservation-in-past", "guarantee-delayed",
+  /// "head-guarantee-delayed", "profile-divergence".
+  std::string invariant;
+  Time when = 0;                      ///< event time of the violation
+  JobId job = workload::kInvalidJob;  ///< offending job, if any
+  std::int64_t expected = 0;          ///< invariant-specific bound
+  std::int64_t actual = 0;            ///< observed value
+  std::string detail;                 ///< human-readable diagnostic
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+struct AuditOptions {
+  /// Throw std::logic_error at the first violation (how tests run).
+  /// When false, violations accumulate and the run continues -- the mode
+  /// the auditor's own mutation tests use.
+  bool fatal = true;
+  /// Run the (relatively costly) profile-consistency cross-check every
+  /// Nth event cycle; 1 = every cycle. The per-event checks always run.
+  int profile_check_stride = 1;
+};
+
+/// Observes one simulation run of one scheduler. The driver owns the
+/// call discipline: on_submitted/on_cancelled/on_finished per event,
+/// on_started per job the scheduler launched, then on_cycle_end after
+/// each same-time batch has been fully scheduled.
+class ScheduleAuditor {
+ public:
+  explicit ScheduleAuditor(const Scheduler& scheduler,
+                           const AuditOptions& options = {});
+
+  void on_submitted(const Job& job, Time now);
+  void on_cancelled(JobId id, Time now);
+  void on_finished(JobId id, Time now);
+  void on_started(const Job& job, Time now);
+  void on_cycle_end(Time now);
+
+  [[nodiscard]] bool ok() const { return violations_.empty(); }
+  [[nodiscard]] const std::vector<AuditViolation>& violations() const {
+    return violations_;
+  }
+  /// Total number of individual invariant checks performed (diagnostics:
+  /// an auditor that checked nothing proves nothing).
+  [[nodiscard]] std::uint64_t checks() const { return checks_; }
+
+ private:
+  /// Everything the auditor knows about one job, built from events only.
+  struct JobRecord {
+    Time submit = sim::kNoTime;
+    Time estimate = 0;
+    int procs = 0;
+    Time start = sim::kNoTime;       ///< kNoTime while queued
+    Time first_reservation = sim::kNoTime;
+    Time last_reservation = sim::kNoTime;
+    bool running = false;
+    bool finished = false;
+    bool cancelled = false;
+  };
+
+  void record(AuditViolation violation);
+  void check_reservations(Time now);
+  void check_profile(Time now);
+
+  const Scheduler* scheduler_;
+  AuditOptions options_;
+  AuditHooks hooks_;
+  int total_procs_;
+  int busy_ = 0;  ///< processors held by running jobs (auditor's count)
+  std::unordered_map<JobId, JobRecord> jobs_;
+  /// EASY: the head job currently holding the single pinned reservation.
+  JobId pinned_head_ = workload::kInvalidJob;
+  Time pinned_start_ = sim::kNoTime;
+  std::uint64_t cycles_ = 0;
+  std::uint64_t checks_ = 0;
+  std::vector<AuditViolation> violations_;
+};
+
+}  // namespace bfsim::core

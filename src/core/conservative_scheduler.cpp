@@ -101,9 +101,11 @@ void ConservativeScheduler::compress(Time now, Time hole_begin) {
 
 std::vector<Job> ConservativeScheduler::select_starts(Time now) {
   std::vector<Job> started;
+  started.reserve(queue_.size());
   sort_queue(now);
   // Collect due reservations first: commit_start mutates queue_.
   std::vector<JobId> due;
+  due.reserve(queue_.size());
   for (const Job& job : queue_) {
     const Time start = reservations_.at(job.id);
     if (start < now)
@@ -119,6 +121,15 @@ std::vector<Job> ConservativeScheduler::select_starts(Time now) {
     started.push_back(commit_start(id, now));
   }
   return started;
+}
+
+std::vector<AuditReservation> ConservativeScheduler::audit_reservations()
+    const {
+  std::vector<AuditReservation> out;
+  out.reserve(queue_.size());
+  for (const Job& job : queue_)
+    out.push_back({job.id, reservations_.at(job.id), job.estimate, job.procs});
+  return out;
 }
 
 std::string ConservativeScheduler::name() const {

@@ -41,6 +41,19 @@ class ConservativeScheduler final : public SchedulerBase {
   /// The availability profile (running jobs + all reservations).
   [[nodiscard]] const Profile& profile() const { return profile_; }
 
+  // Auditor introspection: conservative holds a guarantee for every
+  // queued job, never delays one, and keeps a persistent profile.
+  [[nodiscard]] AuditHooks audit_hooks() const override {
+    return {.profile = true,
+            .reservations = true,
+            .monotone_reservations = true};
+  }
+  [[nodiscard]] const Profile* audit_profile() const override {
+    return &profile_;
+  }
+  [[nodiscard]] std::vector<AuditReservation> audit_reservations()
+      const override;
+
  private:
   Profile profile_;
   std::unordered_map<JobId, Time> reservations_;  ///< queued job -> start

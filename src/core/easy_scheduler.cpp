@@ -61,6 +61,7 @@ std::vector<Job> EasyScheduler::select_starts(Time now) {
     const Job head = queue_.front();
     const Shadow shadow = compute_shadow(head, now);
     last_shadow_ = shadow.time;
+    last_head_ = head;
     int extra = shadow.extra;
     std::size_t i = 1;
     while (i < queue_.size()) {
@@ -78,6 +79,12 @@ std::vector<Job> EasyScheduler::select_starts(Time now) {
     }
     return started;
   }
+}
+
+std::vector<AuditReservation> EasyScheduler::audit_reservations() const {
+  if (last_shadow_ == sim::kNoTime) return {};
+  return {{last_head_.id, last_shadow_, last_head_.estimate,
+           last_head_.procs}};
 }
 
 std::string EasyScheduler::name() const {

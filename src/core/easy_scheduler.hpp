@@ -30,8 +30,23 @@ class EasyScheduler final : public SchedulerBase {
   /// kNoTime when the head started or the queue was empty).
   [[nodiscard]] Time last_shadow_time() const { return last_shadow_; }
 
+  // Auditor introspection: the only guarantee EASY ever gives is the
+  // blocked queue head's shadow-time reservation, reported here as a
+  // single pinned entry. While the same job stays at the head its pin
+  // must never move later (no backfill may delay it). The check is only
+  // sound under FCFS ordering: with a dynamic priority a newly arrived
+  // job may legitimately overtake the head and start, consuming
+  // processors and pushing the old head's shadow later -- a priority
+  // decision, not a backfill violation.
+  [[nodiscard]] AuditHooks audit_hooks() const override {
+    return {.head_guarantee = config_.priority == PriorityPolicy::Fcfs};
+  }
+  [[nodiscard]] std::vector<AuditReservation> audit_reservations()
+      const override;
+
  private:
   Time last_shadow_ = sim::kNoTime;
+  Job last_head_{};  ///< the job pinned at last_shadow_ (valid iff set)
 
   /// Shadow time + extra processors for the current head job.
   struct Shadow {

@@ -35,6 +35,7 @@ std::vector<Job> KReservationScheduler::select_starts(Time now) {
   // respect, and the rest are skipped.
   int reserved = 0;
   std::vector<JobId> to_start;
+  to_start.reserve(queue_.size());
   for (const Job& job : queue_) {
     if (reserved < depth_) {
       // Starter or guarantee holder either way: fuse the anchor search

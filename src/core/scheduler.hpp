@@ -16,10 +16,42 @@
 
 namespace bfsim::core {
 
+class Profile;
+
 /// Configuration shared by all schedulers.
 struct SchedulerConfig {
   int procs = 128;                                ///< machine size
   PriorityPolicy priority = PriorityPolicy::Fcfs; ///< queue order
+};
+
+/// What a scheduler exposes to the ScheduleAuditor (core/audit.hpp).
+/// Defaults to "nothing": policy-free schedulers (FCFS) and the
+/// rebuild-per-cycle ones (kres, selective) still get the universal
+/// checks (capacity, start-after-submit, ...) from the driver events.
+struct AuditHooks {
+  /// audit_profile() returns the live availability profile; the auditor
+  /// cross-checks it against occupancy implied by running + reserved
+  /// jobs after every event batch.
+  bool profile = false;
+  /// audit_reservations() reports the guaranteed start of every queued
+  /// job that holds one.
+  bool reservations = false;
+  /// Reservations only ever move earlier, and a job never starts later
+  /// than its first-assigned reservation (the conservative guarantee).
+  bool monotone_reservations = false;
+  /// At most one pinned reservation -- the queue head's -- which must
+  /// never be delayed while that job stays at the head (EASY).
+  bool head_guarantee = false;
+};
+
+/// One guaranteed start, as reported to the auditor. `estimate`/`procs`
+/// restate the job's rectangle so the auditor can rebuild the expected
+/// profile without reaching into the trace.
+struct AuditReservation {
+  JobId id = workload::kInvalidJob;
+  Time start = sim::kNoTime;
+  Time estimate = 0;
+  int procs = 0;
 };
 
 /// Online scheduling algorithm interface.
@@ -55,6 +87,18 @@ class Scheduler {
   /// Jobs currently waiting (diagnostics; order unspecified).
   [[nodiscard]] virtual std::size_t queued_count() const = 0;
   [[nodiscard]] virtual std::size_t running_count() const = 0;
+
+  // Auditor introspection (core/audit.hpp). Schedulers that maintain
+  // persistent guarantees override these so the auditor can hold them to
+  // their own invariants; the defaults opt out.
+  [[nodiscard]] virtual AuditHooks audit_hooks() const { return {}; }
+  [[nodiscard]] virtual const Profile* audit_profile() const {
+    return nullptr;
+  }
+  [[nodiscard]] virtual std::vector<AuditReservation> audit_reservations()
+      const {
+    return {};
+  }
 };
 
 /// Shared bookkeeping: the waiting queue, the running set, and the free

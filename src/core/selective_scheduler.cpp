@@ -62,6 +62,7 @@ std::vector<Job> SelectiveScheduler::select_starts(Time now) {
   sort_queue(now);
   Profile profile = profile_from_running(config_.procs, now, running_);
   std::vector<JobId> to_start;
+  to_start.reserve(queue_.size());
   // Pass 1 -- reserved jobs, in priority order: they either start now or
   // anchor their guarantee ahead of everybody else.
   for (const Job& job : queue_) {

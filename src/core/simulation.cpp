@@ -1,9 +1,11 @@
 #include "core/simulation.hpp"
 
 #include <algorithm>
+#include <optional>
 #include <stdexcept>
 #include <string>
 
+#include "core/audit.hpp"
 #include "core/validator.hpp"
 #include "sim/event_queue.hpp"
 
@@ -52,6 +54,15 @@ SimulationResult run_simulation(const Trace& trace, Scheduler& scheduler,
       events.push(job.cancel_at, kCancel, job.id);
   }
 
+  // The auditor sees every event the scheduler sees, before the
+  // scheduler does, so a violation is reported at the exact event that
+  // caused it. The internal auditor is fatal; a caller-supplied one
+  // (options.auditor) may instead collect violations for inspection.
+  std::optional<ScheduleAuditor> owned_auditor;
+  ScheduleAuditor* auditor = options.auditor;
+  if (auditor == nullptr && options.audit)
+    auditor = &owned_auditor.emplace(scheduler);
+
   while (!events.empty()) {
     const Time now = events.top().time;
     // Deliver the full batch of same-time events before scheduling.
@@ -59,18 +70,22 @@ SimulationResult run_simulation(const Trace& trace, Scheduler& scheduler,
       const auto event = events.pop();
       ++result.events;
       if (event.priority_class == kFinish) {
+        if (auditor) auditor->on_finished(event.payload, now);
         scheduler.job_finished(event.payload, now);
       } else if (event.priority_class == kSubmit) {
+        if (auditor) auditor->on_submitted(trace[event.payload], now);
         scheduler.job_submitted(trace[event.payload], now);
       } else {
         JobOutcome& outcome = result.outcomes[event.payload];
         if (outcome.start == sim::kNoTime) {  // still queued: withdraw
+          if (auditor) auditor->on_cancelled(event.payload, now);
           scheduler.job_cancelled(event.payload, now);
           outcome.cancelled = true;
         }
       }
     }
     for (const Job& started : scheduler.select_starts(now)) {
+      if (auditor) auditor->on_started(started, now);
       JobOutcome& outcome = result.outcomes[started.id];
       if (outcome.start != sim::kNoTime)
         throw std::logic_error("run_simulation: job " +
@@ -82,6 +97,7 @@ SimulationResult run_simulation(const Trace& trace, Scheduler& scheduler,
       result.makespan = std::max(result.makespan, outcome.end);
       events.push(outcome.end, kFinish, started.id);
     }
+    if (auditor) auditor->on_cycle_end(now);
     result.max_queue = std::max(result.max_queue, scheduler.queued_count());
   }
 

@@ -17,10 +17,23 @@
 
 namespace bfsim::core {
 
+class ScheduleAuditor;
+
 struct SimulationOptions {
   /// Run the schedule validator afterwards and throw std::logic_error on
   /// any violation (used by tests; off in benches for speed).
   bool validate = false;
+  /// Attach a ScheduleAuditor (core/audit.hpp) for the whole run: every
+  /// event is checked against the scheduler's declared invariants and
+  /// the first violation throws std::logic_error at the moment of
+  /// divergence. Off by default (the auditor costs time in the hot
+  /// loop); benches expose it behind --audit.
+  bool audit = false;
+  /// Use this caller-owned auditor instead of an internal fatal one
+  /// (e.g. a collecting auditor whose violations the caller inspects
+  /// afterwards). Implies `audit`; the auditor must have been built for
+  /// the same scheduler this run drives.
+  ScheduleAuditor* auditor = nullptr;
 };
 
 struct SimulationResult {

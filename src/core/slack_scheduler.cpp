@@ -139,6 +139,7 @@ void SlackScheduler::compress(Time now, Time hole_begin) {
 std::vector<Job> SlackScheduler::select_starts(Time now) {
   sort_queue(now);
   std::vector<JobId> due;
+  due.reserve(queue_.size());
   for (const Job& job : queue_) {
     const Time start = reservations_.at(job.id);
     if (start < now)
@@ -153,6 +154,14 @@ std::vector<Job> SlackScheduler::select_starts(Time now) {
     started.push_back(commit_start(id, now));
   }
   return started;
+}
+
+std::vector<AuditReservation> SlackScheduler::audit_reservations() const {
+  std::vector<AuditReservation> out;
+  out.reserve(queue_.size());
+  for (const Job& job : queue_)
+    out.push_back({job.id, reservations_.at(job.id), job.estimate, job.procs});
+  return out;
 }
 
 std::string SlackScheduler::name() const {

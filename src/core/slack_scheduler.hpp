@@ -55,6 +55,19 @@ class SlackScheduler final : public SchedulerBase {
     return displacements_;
   }
 
+  // Auditor introspection: every queued job holds a reservation and the
+  // profile is persistent, but displacement may legally move a
+  // reservation *later* (bounded by its deadline), so guarantees are
+  // not monotone here.
+  [[nodiscard]] AuditHooks audit_hooks() const override {
+    return {.profile = true, .reservations = true};
+  }
+  [[nodiscard]] const Profile* audit_profile() const override {
+    return &profile_;
+  }
+  [[nodiscard]] std::vector<AuditReservation> audit_reservations()
+      const override;
+
  private:
   double slack_factor_;
   Profile profile_;

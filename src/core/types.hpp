@@ -1,6 +1,7 @@
 // bfsim -- shared types for the scheduling core.
 #pragma once
 
+#include <cassert>
 #include <string>
 
 #include "sim/time.hpp"
@@ -33,10 +34,27 @@ struct JobOutcome {
   /// (start/end stay kNoTime).
   bool cancelled = false;
 
-  [[nodiscard]] Time wait() const { return start - job.submit; }
-  [[nodiscard]] Time turnaround() const { return end - job.submit; }
+  // The accessors below are meaningless for jobs that never ran: with
+  // start/end == kNoTime they would silently return kNoTime - submit
+  // garbage. Callers must check `cancelled` (or start != kNoTime) first;
+  // metrics::compute_metrics skips cancelled outcomes for exactly this
+  // reason. Debug builds make the misuse fatal.
+  [[nodiscard]] Time wait() const {
+    assert(start != sim::kNoTime &&
+           "JobOutcome::wait() on a job that never started");
+    return start - job.submit;
+  }
+  [[nodiscard]] Time turnaround() const {
+    assert(end != sim::kNoTime &&
+           "JobOutcome::turnaround() on a job that never finished");
+    return end - job.submit;
+  }
   /// Runtime the job actually got (= min(runtime, estimate)).
-  [[nodiscard]] Time effective_runtime() const { return end - start; }
+  [[nodiscard]] Time effective_runtime() const {
+    assert(start != sim::kNoTime && end != sim::kNoTime &&
+           "JobOutcome::effective_runtime() on a job that never ran");
+    return end - start;
+  }
 };
 
 }  // namespace bfsim::core

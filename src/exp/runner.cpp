@@ -1,6 +1,7 @@
 #include "exp/runner.hpp"
 
 #include <algorithm>
+#include <stdexcept>
 
 #include "core/simulation.hpp"
 
@@ -13,25 +14,30 @@ metrics::MetricsOptions experiment_metrics_options(std::size_t jobs) {
   return options;
 }
 
-metrics::Metrics run_scenario(const Scenario& scenario) {
+metrics::Metrics run_scenario(const Scenario& scenario,
+                              const core::SimulationOptions& sim_options) {
+  if (sim_options.auditor != nullptr)
+    throw std::invalid_argument(
+        "run_scenario: caller-owned auditors cannot be used here (the "
+        "scheduler is built internally); set sim_options.audit instead");
   const workload::Trace trace = build_workload(scenario);
   core::SchedulerConfig config;
   config.procs = scenario.procs();
   config.priority = scenario.priority;
   const core::SimulationResult result = core::run_simulation(
-      trace, scenario.scheduler, config, scenario.extras);
+      trace, scenario.scheduler, config, scenario.extras, sim_options);
   return metrics::compute_metrics(result, config.procs,
                                   experiment_metrics_options(trace.size()));
 }
 
-std::vector<metrics::Metrics> run_replications(Scenario base,
-                                               std::size_t replications,
-                                               ThreadPool* pool) {
+std::vector<metrics::Metrics> run_replications(
+    Scenario base, std::size_t replications, ThreadPool* pool,
+    const core::SimulationOptions& sim_options) {
   std::vector<metrics::Metrics> results(replications);
-  const auto run_one = [&results, base](std::size_t i) {
+  const auto run_one = [&results, base, sim_options](std::size_t i) {
     Scenario scenario = base;
     scenario.seed = base.seed + i;
-    results[i] = run_scenario(scenario);
+    results[i] = run_scenario(scenario, sim_options);
   };
   if (pool) {
     pool->parallel_for(replications, run_one);

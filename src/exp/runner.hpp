@@ -18,13 +18,18 @@ namespace bfsim::exp {
     std::size_t jobs);
 
 /// Build the scenario's workload, run it, aggregate. Deterministic.
-[[nodiscard]] metrics::Metrics run_scenario(const Scenario& scenario);
+/// `sim_options` passes through to core::run_simulation (validator /
+/// auditor attachment; `auditor` must stay null here -- each run builds
+/// its own scheduler, so a caller-owned auditor cannot be bound to it).
+[[nodiscard]] metrics::Metrics run_scenario(
+    const Scenario& scenario, const core::SimulationOptions& sim_options = {});
 
 /// Run `replications` copies of `base` with seeds base.seed, base.seed+1,
 /// ... and return the per-replication metrics (in seed order). When
 /// `pool` is non-null the replications run in parallel.
 [[nodiscard]] std::vector<metrics::Metrics> run_replications(
-    Scenario base, std::size_t replications, ThreadPool* pool = nullptr);
+    Scenario base, std::size_t replications, ThreadPool* pool = nullptr,
+    const core::SimulationOptions& sim_options = {});
 
 /// Mean over replications of a scalar extracted from each run.
 [[nodiscard]] double mean_of(

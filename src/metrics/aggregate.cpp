@@ -42,6 +42,9 @@ Metrics compute_metrics(
   sim::Time latest_earlier_start = std::numeric_limits<sim::Time>::min();
   for (std::size_t i = 0; i < last; ++i) {
     const core::JobOutcome& o = result.outcomes[i];
+    // Cancelled jobs never ran: start/end are kNoTime and every accessor
+    // (wait/turnaround/slowdown) would assert in debug builds and return
+    // garbage in release ones. They are counted, never aggregated.
     if (o.cancelled) {
       if (i >= first) ++m.cancelled_jobs;
       continue;

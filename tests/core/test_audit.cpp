@@ -1,0 +1,247 @@
+// Mutation tests for the ScheduleAuditor: an auditor that cannot fail
+// is worthless, so each test drives a deliberately broken scheduler
+// shim through the real simulation loop and asserts the auditor reports
+// the seeded violation with the correct structured diagnostic.
+#include "core/audit.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "core/conservative_scheduler.hpp"
+#include "core/profile.hpp"
+#include "core/simulation.hpp"
+#include "test_support.hpp"
+
+namespace bfsim::core {
+namespace {
+
+using test::JobSpec;
+using test::make_trace;
+
+/// Minimal Scheduler with its own (bypassable) bookkeeping, so shims can
+/// break rules SchedulerBase::commit_start would reject outright.
+class ShimScheduler : public Scheduler {
+ public:
+  explicit ShimScheduler(SchedulerConfig config) : config_(config) {}
+
+  void job_submitted(const Job& job, Time) override { queue_.push_back(job); }
+  void job_finished(JobId id, Time) override {
+    const auto it =
+        std::find_if(running_.begin(), running_.end(),
+                     [id](const Job& job) { return job.id == id; });
+    ASSERT_NE(it, running_.end()) << "shim finish without start";
+    running_.erase(it);
+  }
+  [[nodiscard]] std::string name() const override { return "shim"; }
+  [[nodiscard]] const SchedulerConfig& config() const override {
+    return config_;
+  }
+  [[nodiscard]] std::size_t queued_count() const override {
+    return queue_.size();
+  }
+  [[nodiscard]] std::size_t running_count() const override {
+    return running_.size();
+  }
+
+ protected:
+  [[nodiscard]] int used() const {
+    int procs = 0;
+    for (const Job& job : running_) procs += job.procs;
+    return procs;
+  }
+  /// Move queue_[index] to running_ and return it.
+  Job start_at(std::size_t index) {
+    const Job job = queue_[index];
+    queue_.erase(queue_.begin() +
+                 static_cast<std::vector<Job>::difference_type>(index));
+    running_.push_back(job);
+    return job;
+  }
+
+  SchedulerConfig config_;
+  std::vector<Job> queue_;
+  std::vector<Job> running_;
+};
+
+/// Mutation 1 -- capacity overflow: starts every queued job immediately,
+/// no matter how many processors are free.
+class CapacityOverflowScheduler final : public ShimScheduler {
+ public:
+  using ShimScheduler::ShimScheduler;
+  [[nodiscard]] std::vector<Job> select_starts(Time) override {
+    std::vector<Job> started;
+    while (!queue_.empty()) started.push_back(start_at(0));
+    return started;
+  }
+};
+
+/// Mutation 2 -- delayed-reservation start: schedules FCFS (correctly),
+/// but *claims* every queued job is guaranteed to start at its submit
+/// time, under conservative (monotone) audit hooks. Any queueing delay
+/// then breaks the advertised guarantee.
+class DelayedReservationScheduler final : public ShimScheduler {
+ public:
+  using ShimScheduler::ShimScheduler;
+  [[nodiscard]] std::vector<Job> select_starts(Time) override {
+    std::vector<Job> started;
+    while (!queue_.empty() &&
+           queue_.front().procs <= config_.procs - used())
+      started.push_back(start_at(0));
+    return started;
+  }
+  [[nodiscard]] AuditHooks audit_hooks() const override {
+    return {.reservations = true, .monotone_reservations = true};
+  }
+  [[nodiscard]] std::vector<AuditReservation> audit_reservations()
+      const override {
+    std::vector<AuditReservation> out;
+    for (const Job& job : queue_)
+      out.push_back({job.id, job.submit, job.estimate, job.procs});
+    return out;
+  }
+};
+
+/// Mutation 3 -- stale profile breakpoint: maintains a real availability
+/// profile but "forgets" to release the unused tail of an early-finishing
+/// job's rectangle -- exactly the PR-1 class of staleness bug.
+class StaleProfileScheduler final : public ShimScheduler {
+ public:
+  explicit StaleProfileScheduler(SchedulerConfig config)
+      : ShimScheduler(config), profile_(config.procs) {}
+  void job_submitted(const Job& job, Time now) override {
+    const Time anchor =
+        profile_.earliest_anchor(job.procs, job.estimate, now);
+    profile_.reserve(anchor, anchor + job.estimate, job.procs);
+    queue_.push_back(job);
+  }
+  void job_finished(JobId id, Time now) override {
+    // Bug under test: the tail [now, start + estimate) stays reserved.
+    ShimScheduler::job_finished(id, now);
+  }
+  [[nodiscard]] std::vector<Job> select_starts(Time) override {
+    std::vector<Job> started;
+    while (!queue_.empty() &&
+           queue_.front().procs <= config_.procs - used())
+      started.push_back(start_at(0));
+    return started;
+  }
+  [[nodiscard]] AuditHooks audit_hooks() const override {
+    return {.profile = true};
+  }
+  [[nodiscard]] const Profile* audit_profile() const override {
+    return &profile_;
+  }
+
+ private:
+  Profile profile_;
+};
+
+/// Run `scheduler` over `trace` under a collecting (non-fatal) auditor
+/// and return the recorded violations.
+std::vector<AuditViolation> audit_run(const Trace& trace,
+                                      Scheduler& scheduler) {
+  ScheduleAuditor auditor{scheduler, {.fatal = false}};
+  const auto result =
+      run_simulation(trace, scheduler, {.auditor = &auditor});
+  EXPECT_GT(result.events, 0u);
+  EXPECT_GT(auditor.checks(), 0u);
+  return auditor.violations();
+}
+
+TEST(AuditMutation, DetectsCapacityOverflow) {
+  // 4-processor machine, two 3-wide jobs at t=0: the shim starts both.
+  const Trace trace = make_trace({{.submit = 0, .runtime = 10, .procs = 3},
+                                  {.submit = 0, .runtime = 10, .procs = 3}});
+  CapacityOverflowScheduler scheduler{SchedulerConfig{4}};
+  const auto violations = audit_run(trace, scheduler);
+  ASSERT_FALSE(violations.empty());
+  const AuditViolation& v = violations.front();
+  EXPECT_EQ(v.invariant, "capacity");
+  EXPECT_EQ(v.when, 0);
+  EXPECT_EQ(v.job, 1u);  // the second start is the oversubscribing one
+  EXPECT_EQ(v.expected, 4);  // machine size
+  EXPECT_EQ(v.actual, 6);    // 3 busy + 3 started
+}
+
+TEST(AuditMutation, DetectsDelayedReservationStart) {
+  // Job 0 fills the machine for 5 s; job 1 is promised (fraudulently) a
+  // start at its submit time 0, but cannot start before 5.
+  const Trace trace = make_trace({{.submit = 0, .runtime = 5, .procs = 4},
+                                  {.submit = 0, .runtime = 5, .procs = 4}});
+  DelayedReservationScheduler scheduler{SchedulerConfig{4}};
+  const auto violations = audit_run(trace, scheduler);
+  ASSERT_FALSE(violations.empty());
+  const AuditViolation& v = violations.front();
+  EXPECT_EQ(v.invariant, "guarantee-delayed");
+  EXPECT_EQ(v.when, 5);
+  EXPECT_EQ(v.job, 1u);
+  EXPECT_EQ(v.expected, 0);  // the first-assigned (claimed) reservation
+  EXPECT_EQ(v.actual, 5);    // the actual, delayed start
+}
+
+TEST(AuditMutation, DetectsStaleProfileBreakpoint) {
+  // One machine-filling job, estimated 10 s, actually 5 s: the shim
+  // keeps [5, 10) reserved after the early completion. The auditor must
+  // flag the divergence at t=5 -- the moment of staleness -- not later.
+  const Trace trace = make_trace(
+      {{.submit = 0, .runtime = 5, .procs = 4, .estimate = 10}});
+  StaleProfileScheduler scheduler{SchedulerConfig{4}};
+  const auto violations = audit_run(trace, scheduler);
+  ASSERT_FALSE(violations.empty());
+  const AuditViolation& v = violations.front();
+  EXPECT_EQ(v.invariant, "profile-divergence");
+  EXPECT_EQ(v.when, 5);
+  EXPECT_EQ(v.expected, 4);  // all processors should be free...
+  EXPECT_EQ(v.actual, 0);    // ...but the stale rectangle holds them
+  EXPECT_NE(v.detail.find("stale"), std::string::npos);
+}
+
+TEST(AuditMutation, FatalModeThrowsAtTheViolatingEvent) {
+  const Trace trace = make_trace({{.submit = 0, .runtime = 10, .procs = 3},
+                                  {.submit = 0, .runtime = 10, .procs = 3}});
+  CapacityOverflowScheduler scheduler{SchedulerConfig{4}};
+  EXPECT_THROW((void)run_simulation(trace, scheduler, {.audit = true}),
+               std::logic_error);
+}
+
+TEST(Audit, CleanConservativeRunHasNoViolations) {
+  // A workload with early completions (estimate > runtime) exercises
+  // release + compression -- the paths where staleness bugs live. The
+  // auditor must stay silent and must have actually checked things.
+  const Trace trace = test::random_trace(200, 16, 7, /*overestimate=*/true);
+  ConservativeScheduler scheduler{SchedulerConfig{16}};
+  ScheduleAuditor auditor{scheduler, {.fatal = false}};
+  const auto result =
+      run_simulation(trace, scheduler, {.auditor = &auditor});
+  EXPECT_GT(result.events, 0u);
+  EXPECT_TRUE(auditor.ok()) << auditor.violations().front().to_string();
+  EXPECT_GT(auditor.checks(), trace.size());
+}
+
+TEST(Audit, ViolationToStringCarriesStructure) {
+  const AuditViolation v{.invariant = "capacity",
+                         .when = 42,
+                         .job = 7,
+                         .expected = 4,
+                         .actual = 6,
+                         .detail = "oversubscribed"};
+  const std::string text = v.to_string();
+  EXPECT_NE(text.find("[capacity]"), std::string::npos);
+  EXPECT_NE(text.find("t=42"), std::string::npos);
+  EXPECT_NE(text.find("job=7"), std::string::npos);
+  EXPECT_NE(text.find("expected=4"), std::string::npos);
+  EXPECT_NE(text.find("actual=6"), std::string::npos);
+  EXPECT_NE(text.find("oversubscribed"), std::string::npos);
+}
+
+TEST(Audit, RejectsNonPositiveProfileStride) {
+  ConservativeScheduler scheduler{SchedulerConfig{4}};
+  EXPECT_THROW(
+      (ScheduleAuditor{scheduler, {.profile_check_stride = 0}}),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace bfsim::core

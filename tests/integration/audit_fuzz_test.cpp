@@ -1,0 +1,207 @@
+// Fuzz-style differential harness: seeded synthetic workloads -- varied
+// load, estimate accuracy (R in {1, 2, 4}) and cancellation rate --
+// driven through every scheduler with the invariant auditor attached
+// and the physical-schedule validator on. Any capacity overflow, broken
+// guarantee or stale profile aborts the run at the offending event; on
+// top of that, cross-scheduler metric relationships from the paper are
+// asserted per cell (FCFS-baseline dominance, Section 4.1 priority
+// equivalence under conservative backfill with exact estimates).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/audit.hpp"
+#include "core/simulation.hpp"
+#include "exp/scenario.hpp"
+#include "metrics/aggregate.hpp"
+#include "sim/rng.hpp"
+#include "test_support.hpp"
+#include "workload/transforms.hpp"
+
+namespace bfsim::core {
+namespace {
+
+struct FuzzCell {
+  exp::TraceKind trace = exp::TraceKind::Ctc;
+  double load = exp::kHighLoad;
+  double factor = 1.0;           ///< estimate = R x runtime
+  double cancel_fraction = 0.0;  ///< jobs withdrawn while queued
+  std::uint64_t seed = 1;
+
+  [[nodiscard]] std::string label() const {
+    return exp::to_string(trace) + " load=" + std::to_string(load) +
+           " R=" + std::to_string(factor) +
+           " cancel=" + std::to_string(cancel_fraction) +
+           " seed=" + std::to_string(seed);
+  }
+};
+
+constexpr std::size_t kJobs = 200;
+
+workload::Trace build_fuzz_trace(const FuzzCell& cell) {
+  exp::Scenario scenario;
+  scenario.trace = cell.trace;
+  scenario.jobs = kJobs;
+  scenario.load = cell.load;
+  scenario.estimates = {.regime = exp::EstimateRegime::Systematic,
+                        .factor = cell.factor};
+  scenario.seed = cell.seed;
+  workload::Trace trace = exp::build_workload(scenario);
+  if (cell.cancel_fraction > 0.0) {
+    sim::Rng rng{cell.seed * 977 + 13};
+    workload::apply_cancellations(trace, cell.cancel_fraction,
+                                  /*patience=*/2.0, rng);
+  }
+  return trace;
+}
+
+/// One audited, validated simulation; returns its aggregated metrics.
+metrics::Metrics audited_run(const workload::Trace& trace, int procs,
+                             SchedulerKind kind, PriorityPolicy priority) {
+  const SimulationResult result =
+      run_simulation(trace, kind, SchedulerConfig{procs, priority}, {},
+                     {.validate = true, .audit = true});
+  return metrics::compute_metrics(result, procs);
+}
+
+std::vector<FuzzCell> fuzz_grid() {
+  std::vector<FuzzCell> cells;
+  for (const double factor : {1.0, 2.0, 4.0})
+    for (const double cancel : {0.0, 0.15})
+      for (const std::uint64_t seed : {1ULL, 2ULL})
+        cells.push_back({.trace = exp::TraceKind::Sdsc,
+                         .load = exp::kHighLoad,
+                         .factor = factor,
+                         .cancel_fraction = cancel,
+                         .seed = seed});
+  // A normal-load CTC cell and a Lublin robustness cell keep the grid
+  // from overfitting to one generator shape.
+  cells.push_back({.trace = exp::TraceKind::Ctc,
+                   .load = exp::kNormalLoad,
+                   .factor = 2.0,
+                   .cancel_fraction = 0.1,
+                   .seed = 3});
+  cells.push_back({.trace = exp::TraceKind::Lublin,
+                   .load = exp::kHighLoad,
+                   .factor = 1.0,
+                   .cancel_fraction = 0.0,
+                   .seed = 4});
+  return cells;
+}
+
+TEST(AuditFuzz, EverySchedulerSurvivesTheAuditedGrid) {
+  // The real assertion is inside run_simulation: the auditor throws at
+  // the first violated invariant, the validator at the first physically
+  // impossible schedule. The metric checks on top are sanity floors.
+  for (const FuzzCell& cell : fuzz_grid()) {
+    SCOPED_TRACE(cell.label());
+    const workload::Trace trace = build_fuzz_trace(cell);
+    const int procs = exp::machine_procs(cell.trace);
+    const struct {
+      SchedulerKind kind;
+      PriorityPolicy priority;
+    } schemes[] = {
+        {SchedulerKind::Fcfs, PriorityPolicy::Fcfs},
+        {SchedulerKind::Easy, PriorityPolicy::Fcfs},
+        {SchedulerKind::Easy, PriorityPolicy::Sjf},
+        {SchedulerKind::Conservative, PriorityPolicy::Fcfs},
+        {SchedulerKind::Conservative, PriorityPolicy::XFactor},
+        {SchedulerKind::KReservation, PriorityPolicy::Fcfs},
+        {SchedulerKind::Selective, PriorityPolicy::Fcfs},
+        {SchedulerKind::Slack, PriorityPolicy::Fcfs},
+    };
+    for (const auto& scheme : schemes) {
+      SCOPED_TRACE(to_string(scheme.kind) + "-" +
+                   to_string(scheme.priority));
+      metrics::Metrics m;
+      ASSERT_NO_THROW(
+          m = audited_run(trace, procs, scheme.kind, scheme.priority));
+      // Waits are physical times: never negative (a negative mean wait
+      // means an outcome leaked kNoTime into the statistics).
+      EXPECT_GE(m.overall.wait.mean(), 0.0);
+      EXPECT_GE(m.overall.slowdown.mean(), 1.0);
+      EXPECT_LE(m.utilization, 1.0 + 1e-9);
+      EXPECT_EQ(m.overall.count() + m.cancelled_jobs, kJobs);
+    }
+  }
+}
+
+TEST(AuditFuzz, BackfillingDominatesTheFcfsBaseline) {
+  // Paper Fig. 1 / Section 4: at high load, both backfilling schemes
+  // beat the no-backfill baseline on mean slowdown and turnaround.
+  // Checked on cancellation-free cells (the paper's setting).
+  for (const std::uint64_t seed : {1ULL, 2ULL, 3ULL}) {
+    for (const double factor : {1.0, 2.0}) {
+      const FuzzCell cell{.trace = exp::TraceKind::Sdsc,
+                          .load = exp::kHighLoad,
+                          .factor = factor,
+                          .cancel_fraction = 0.0,
+                          .seed = seed};
+      SCOPED_TRACE(cell.label());
+      const workload::Trace trace = build_fuzz_trace(cell);
+      const int procs = exp::machine_procs(cell.trace);
+      const auto fcfs =
+          audited_run(trace, procs, SchedulerKind::Fcfs, PriorityPolicy::Fcfs);
+      const auto easy =
+          audited_run(trace, procs, SchedulerKind::Easy, PriorityPolicy::Fcfs);
+      const auto cons = audited_run(trace, procs, SchedulerKind::Conservative,
+                                    PriorityPolicy::Fcfs);
+      EXPECT_LE(easy.overall.slowdown.mean(), fcfs.overall.slowdown.mean());
+      EXPECT_LE(cons.overall.slowdown.mean(), fcfs.overall.slowdown.mean());
+      EXPECT_LE(easy.overall.turnaround.mean(),
+                fcfs.overall.turnaround.mean());
+      EXPECT_LE(cons.overall.turnaround.mean(),
+                fcfs.overall.turnaround.mean());
+    }
+  }
+}
+
+TEST(AuditFuzz, ConservativePriorityEquivalenceUnderExactEstimates) {
+  // Paper Section 4.1: with exact estimates (no early completions, so
+  // compression never fires) conservative backfilling produces the
+  // *identical* schedule under every priority policy. Cancellations
+  // punch holes and void the theorem, so those cells are excluded.
+  for (const std::uint64_t seed : {1ULL, 2ULL, 3ULL}) {
+    const FuzzCell cell{.trace = exp::TraceKind::Sdsc,
+                        .load = exp::kHighLoad,
+                        .factor = 1.0,
+                        .cancel_fraction = 0.0,
+                        .seed = seed};
+    SCOPED_TRACE(cell.label());
+    const workload::Trace trace = build_fuzz_trace(cell);
+    const int procs = exp::machine_procs(cell.trace);
+    std::vector<std::vector<sim::Time>> starts;
+    for (const PriorityPolicy priority : kPaperPolicies) {
+      const SimulationResult result = run_simulation(
+          trace, SchedulerKind::Conservative, SchedulerConfig{procs, priority},
+          {}, {.validate = true, .audit = true});
+      starts.push_back(test::start_times(result));
+    }
+    EXPECT_EQ(starts[0], starts[1]) << "fcfs vs sjf diverged";
+    EXPECT_EQ(starts[0], starts[2]) << "fcfs vs xfactor diverged";
+  }
+}
+
+TEST(AuditFuzz, CollectingAuditorStaysSilentAndBusy) {
+  // Differential sanity on the auditor itself: a clean run must produce
+  // zero violations while performing a substantial number of checks --
+  // an auditor that never checks anything would trivially "pass".
+  const FuzzCell cell{.trace = exp::TraceKind::Sdsc,
+                      .load = exp::kHighLoad,
+                      .factor = 2.0,
+                      .cancel_fraction = 0.15,
+                      .seed = 5};
+  const workload::Trace trace = build_fuzz_trace(cell);
+  const int procs = exp::machine_procs(cell.trace);
+  const SchedulerConfig config{procs, PriorityPolicy::Fcfs};
+  const auto scheduler = make_scheduler(SchedulerKind::Conservative, config);
+  ScheduleAuditor auditor{*scheduler, {.fatal = false}};
+  const auto result = run_simulation(trace, *scheduler, {.auditor = &auditor});
+  EXPECT_GT(result.events, 0u);
+  EXPECT_TRUE(auditor.ok()) << auditor.violations().front().to_string();
+  EXPECT_GT(auditor.checks(), 10 * trace.size());
+}
+
+}  // namespace
+}  // namespace bfsim::core

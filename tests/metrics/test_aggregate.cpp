@@ -215,6 +215,57 @@ TEST(Metrics, SlowdownSampleMatchesRunningStats) {
   EXPECT_DOUBLE_EQ(m.slowdowns.median(), 2.0);
 }
 
+JobOutcome cancelled_outcome(sim::Time submit) {
+  JobOutcome o;
+  o.job.submit = submit;
+  o.job.runtime = 100;
+  o.job.estimate = 100;
+  o.job.procs = 1;
+  o.cancelled = true;  // start/end stay kNoTime
+  return o;
+}
+
+TEST(Metrics, CancelledJobsCountedButNeverAggregated) {
+  // A cancelled outcome has start == end == kNoTime; folding it into any
+  // statistic would inject kNoTime - submit garbage. It must show up in
+  // cancelled_jobs and nowhere else.
+  const auto result = as_result({
+      outcome(0, 0, 100, 1),
+      cancelled_outcome(10),
+      outcome(20, 120, 100, 1),
+  });
+  const Metrics m = compute_metrics(result, 4);
+  EXPECT_EQ(m.cancelled_jobs, 1u);
+  EXPECT_EQ(m.overall.count(), 2u);
+  EXPECT_EQ(m.slowdowns.count(), 2u);
+  EXPECT_GE(m.overall.wait.mean(), 0.0);
+  EXPECT_GE(m.overall.slowdown.mean(), 1.0);
+}
+
+TEST(Metrics, CancelledJobsRespectTheWarmupWindow) {
+  // Cancelled jobs inside the skipped head are context, not statistics:
+  // neither aggregated nor counted.
+  const auto result = as_result({
+      cancelled_outcome(0),  // trimmed
+      outcome(10, 10, 100, 1),
+      cancelled_outcome(20),  // counted
+  });
+  MetricsOptions options;
+  options.skip_head = 1;
+  const Metrics m = compute_metrics(result, 4, options);
+  EXPECT_EQ(m.cancelled_jobs, 1u);
+  EXPECT_EQ(m.overall.count(), 1u);
+}
+
+TEST(Metrics, OutcomeAccessorsAssertOnJobsThatNeverRan) {
+  // Debug builds make wait()/turnaround()/effective_runtime() on a
+  // never-started outcome fatal instead of returning kNoTime - submit.
+  const JobOutcome o = cancelled_outcome(10);
+  EXPECT_DEBUG_DEATH((void)o.wait(), "never started");
+  EXPECT_DEBUG_DEATH((void)o.turnaround(), "never finished");
+  EXPECT_DEBUG_DEATH((void)o.effective_runtime(), "never ran");
+}
+
 TEST(Metrics, EmptyBackfillRateIsZero) {
   const Metrics m;
   EXPECT_DOUBLE_EQ(m.backfill_rate(), 0.0);
