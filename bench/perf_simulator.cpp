@@ -170,6 +170,9 @@ double seconds_since(Clock::time_point start) {
 struct SimPoint {
   std::string scheme;
   std::uint64_t events = 0;
+  std::uint64_t passes = 0;          ///< select_starts cycles executed
+  std::uint64_t passes_skipped = 0;  ///< batches the driver proved no-op
+  std::uint64_t wakeups = 0;         ///< timer events for reservations
   double seconds = 0.0;
   double events_per_sec = 0.0;
 };
@@ -188,6 +191,9 @@ SimPoint measure_sim(const workload::Trace& trace, core::SchedulerKind kind,
     const double elapsed = seconds_since(start);
     benchmark::DoNotOptimize(result.makespan);
     point.events = result.events;
+    point.passes = result.passes;
+    point.passes_skipped = result.passes_skipped;
+    point.wakeups = result.wakeups;
     point.seconds = std::min(point.seconds, elapsed);
   }
   point.events_per_sec =
@@ -306,23 +312,33 @@ Report build_report(std::size_t jobs) {
   const auto trace = bench_trace(exp::TraceKind::Ctc, jobs);
   Report report;
   report.jobs = jobs;
-  report.sims.push_back(measure_sim(trace, core::SchedulerKind::Conservative,
-                                    core::PriorityPolicy::Fcfs, procs));
-  report.sims.push_back(measure_sim(trace, core::SchedulerKind::Easy,
-                                    core::PriorityPolicy::Fcfs, procs));
-  report.sims.push_back(measure_sim(trace, core::SchedulerKind::Fcfs,
-                                    core::PriorityPolicy::Fcfs, procs));
+  // All six schedulers under FCFS priority; conservative/easy/nobackfill
+  // stay first so older baseline readers keep working.
+  for (const core::SchedulerKind kind :
+       {core::SchedulerKind::Conservative, core::SchedulerKind::Easy,
+        core::SchedulerKind::Fcfs, core::SchedulerKind::KReservation,
+        core::SchedulerKind::Selective, core::SchedulerKind::Slack})
+    report.sims.push_back(
+        measure_sim(trace, kind, core::PriorityPolicy::Fcfs, procs));
   // EASY holds at most one reservation, so its throughput is almost
   // independent of the profile hot path that conservative hammers; the
   // ratio isolates the reservation/compression cost while normalizing
   // out absolute machine speed. (Plain FCFS is no use as the reference:
   // with no backfilling it saturates at this load and its giant backlog
-  // dominates its own runtime.)
+  // dominates its own runtime.) The same normalization yields one cost
+  // factor per scheduler -- EASY events/sec over that scheduler's --
+  // which the smoke guard compares against the checked-in baseline.
   report.conservative_cost_factor =
       report.sims[1].events_per_sec / report.sims[0].events_per_sec;
   report.anchors = measure_anchors(trace, procs);
   report.breakpoints = measure_breakpoints(trace, procs);
   return report;
+}
+
+/// EASY-normalized relative cost of one measured scheduler (1.0 = as
+/// fast as EASY; higher = slower). Hardware speed cancels out.
+double cost_factor(const Report& report, const SimPoint& point) {
+  return report.sims[1].events_per_sec / point.events_per_sec;
 }
 
 void write_json(const Report& report, const std::string& path) {
@@ -337,12 +353,19 @@ void write_json(const Report& report, const std::string& path) {
   for (std::size_t i = 0; i < report.sims.size(); ++i) {
     const SimPoint& p = report.sims[i];
     out << "    {\"scheme\": \"" << p.scheme << "\", \"events\": " << p.events
-        << ", \"seconds\": " << p.seconds
+        << ", \"passes\": " << p.passes
+        << ", \"passes_skipped\": " << p.passes_skipped
+        << ", \"wakeups\": " << p.wakeups << ", \"seconds\": " << p.seconds
         << ", \"events_per_sec\": " << p.events_per_sec << "}"
         << (i + 1 < report.sims.size() ? "," : "") << "\n";
   }
-  out << "  ],\n"
-      << "  \"conservative_cost_factor\": " << report.conservative_cost_factor
+  out << "  ],\n";
+  // Flat per-scheduler cost keys so the smoke guard can read them with
+  // the same single-number extractor as conservative_cost_factor.
+  for (const SimPoint& p : report.sims)
+    out << "  \"cost_" << p.scheme << "\": " << cost_factor(report, p)
+        << ",\n";
+  out << "  \"conservative_cost_factor\": " << report.conservative_cost_factor
       << ",\n"
       << "  \"anchor\": {\"breakpoints\": " << report.anchors.breakpoints
       << ", \"ns_per_anchor\": " << report.anchors.ns_per_anchor
@@ -355,9 +378,13 @@ void write_json(const Report& report, const std::string& path) {
 
 void print_report(const Report& report) {
   for (const SimPoint& p : report.sims)
-    std::printf("%-22s %9.0f events/sec  (%llu events, %.3fs)\n",
+    std::printf("%-22s %9.0f events/sec  (%llu events, %llu passes + %llu "
+                "skipped, %llu wakeups, %.3fs)\n",
                 p.scheme.c_str(), p.events_per_sec,
-                static_cast<unsigned long long>(p.events), p.seconds);
+                static_cast<unsigned long long>(p.events),
+                static_cast<unsigned long long>(p.passes),
+                static_cast<unsigned long long>(p.passes_skipped),
+                static_cast<unsigned long long>(p.wakeups), p.seconds);
   std::printf("conservative cost factor: %.2fx EASY\n",
               report.conservative_cost_factor);
   std::printf("anchor search: %.1f ns (find+reserve %.1f ns) over %zu "
@@ -396,15 +423,45 @@ int run_smoke(const ReportOptions& options) {
   }
   const Report report = build_report(options.jobs);
   print_report(report);
+  bool ok = true;
   const double limit = 2.0 * baseline;
   std::printf("perf smoke: cost factor %.2f, baseline %.2f, limit %.2f -- ",
               report.conservative_cost_factor, baseline, limit);
   if (report.conservative_cost_factor > limit) {
     std::printf("FAIL\n");
-    return 1;
+    ok = false;
+  } else {
+    std::printf("OK\n");
   }
-  std::printf("OK\n");
-  return 0;
+  for (const SimPoint& p : report.sims) {
+    // The event-driven driver's whole point: on a saturated workload
+    // most batches provably start nothing, so strictly fewer passes run
+    // than events are delivered -- for every scheduler.
+    if (p.passes + p.wakeups >= p.events) {
+      std::printf("perf smoke: %s ran %llu passes for %llu events -- "
+                  "pass skipping is broken -- FAIL\n",
+                  p.scheme.c_str(),
+                  static_cast<unsigned long long>(p.passes + p.wakeups),
+                  static_cast<unsigned long long>(p.events));
+      ok = false;
+    }
+    // Per-scheduler EASY-normalized cost against the baseline, when the
+    // baseline records it (older baselines only carried conservative).
+    double base_cost = 0.0;
+    if (!read_json_number(options.baseline, "cost_" + p.scheme, base_cost) ||
+        base_cost <= 0.0)
+      continue;
+    const double cost = cost_factor(report, p);
+    std::printf("perf smoke: cost_%s %.3f, baseline %.3f, limit %.3f -- ",
+                p.scheme.c_str(), cost, base_cost, 2.0 * base_cost);
+    if (cost > 2.0 * base_cost) {
+      std::printf("FAIL\n");
+      ok = false;
+    } else {
+      std::printf("OK\n");
+    }
+  }
+  return ok ? 0 : 1;
 }
 
 int run_report_mode(const ReportOptions& options) {

@@ -9,41 +9,35 @@ namespace bfsim::core {
 ConservativeScheduler::ConservativeScheduler(SchedulerConfig config)
     : SchedulerBase(config), profile_(config.procs) {}
 
-void ConservativeScheduler::job_submitted(const Job& job, Time now) {
-  if (job.procs > config_.procs)
-    throw std::invalid_argument("job " + std::to_string(job.id) +
-                                " wider than the machine");
+// Conservative starts jobs only when their reservation comes due, so
+// "does a pass matter at `now`" is exactly "is the earliest guarantee
+// == now" -- every hook keeps the due-heap current and answers from it.
+
+bool ConservativeScheduler::job_submitted(const Job& job, Time now) {
   const Time anchor = profile_.find_and_reserve(job.procs, job.estimate, now);
   reservations_.emplace(job.id, anchor);
-  queue_.push_back(job);
+  due_.push(anchor, job.id);
+  insert_queued(job, now);
+  return anchor == now;
 }
 
-void ConservativeScheduler::job_finished(JobId id, Time now) {
+bool ConservativeScheduler::job_finished(JobId id, Time now) {
   const RunningJob rj = commit_finish(id);
   // Return the unused tail of the job's estimated rectangle. On-time
   // completions (now == est_end) free nothing; compression keeps every
   // reservation at its earliest anchor (a fixpoint, see compress), so
   // with no new capacity it is provably a no-op and is skipped outright
-  // instead of re-anchoring the whole queue for nothing.
-  if (now >= rj.est_end) return;
-  profile_.release(now, rj.est_end, rj.job.procs);
-  compress(now, now);
+  // instead of re-anchoring the whole queue for nothing. A reservation
+  // anchored exactly at this job's est_end can still be due now.
+  if (now < rj.est_end) {
+    profile_.release(now, rj.est_end, rj.job.procs);
+    compress(now, now);
+  }
+  return due_.earliest(reservations_) == now;
 }
 
-void ConservativeScheduler::job_cancelled(JobId id, Time now) {
-  // Find the job's shape before removing it from the queue.
-  Job job;
-  bool found = false;
-  for (const Job& queued : queue_)
-    if (queued.id == id) {
-      job = queued;
-      found = true;
-      break;
-    }
-  if (!found)
-    throw std::logic_error(
-        "ConservativeScheduler: cancelling a job that is not queued");
-  SchedulerBase::job_cancelled(id, now);
+bool ConservativeScheduler::job_cancelled(JobId id, Time now) {
+  const Job job = take_queued(id);
   const Time start = reservations_.at(id);
   profile_.release(start, start + job.estimate, job.procs);
   reservations_.erase(id);
@@ -51,18 +45,25 @@ void ConservativeScheduler::job_cancelled(JobId id, Time now) {
   // only appeared from `start` onwards, so reservations before it are
   // immovable.
   compress(now, start);
+  return due_.earliest(reservations_) == now;
+}
+
+Time ConservativeScheduler::next_wakeup() {
+  return due_.earliest(reservations_);
 }
 
 void ConservativeScheduler::compress(Time now, Time hole_begin) {
   if (queue_.empty()) return;
-  sort_queue(now);
+  ensure_sorted(now);
   // Iterate to a fixpoint. A single priority-order pass is not one: a
   // late-priority job that re-anchors earlier vacates its old slot,
   // which can unblock an earlier-priority job that was already visited.
   // The historic single-pass version left such jobs stale and silently
   // relied on the compression run at the *next* completion -- even an
   // on-time one -- to repair them; a stale reservation whose time
-  // arrives before any other event is a missed start (latent bug).
+  // arrives before any other event is a missed start. (Today the driver
+  // would still catch such a start via next_wakeup(); the fixpoint keeps
+  // every guarantee honest the moment the hole opens.)
   //
   // Each pass only revisits jobs that could have been unblocked: all
   // capacity freed since a job was last anchored lies at-or-after
@@ -87,6 +88,7 @@ void ConservativeScheduler::compress(Time now, Time hole_begin) {
             std::to_string(job.id) + ")");
       if (anchor < old_start) {
         reservations_.at(job.id) = anchor;
+        due_.push(anchor, job.id);
         // The vacated slot adds capacity at-or-after old_start: only
         // jobs reserved beyond it can cascade in the next pass.
         next_hole = next_hole == sim::kNoTime
@@ -100,20 +102,26 @@ void ConservativeScheduler::compress(Time now, Time hole_begin) {
 }
 
 std::vector<Job> ConservativeScheduler::select_starts(Time now) {
+  const Time earliest = due_.earliest(reservations_);
+  if (earliest != sim::kNoTime && earliest < now)
+    throw std::logic_error(
+        "ConservativeScheduler: reservation in the past at t=" +
+        std::to_string(now));
   std::vector<Job> started;
-  started.reserve(queue_.size());
-  sort_queue(now);
-  // Collect due reservations first: commit_start mutates queue_.
-  std::vector<JobId> due;
-  due.reserve(queue_.size());
-  for (const Job& job : queue_) {
-    const Time start = reservations_.at(job.id);
-    if (start < now)
-      throw std::logic_error(
-          "ConservativeScheduler: reservation in the past for job " +
-          std::to_string(job.id));
-    if (start == now) due.push_back(job.id);
+  if (earliest != now) return started;
+  std::vector<JobId> due = due_.take_due(now, reservations_);
+  if (due.size() > 1) {
+    // Simultaneous starts commit in priority order: their relative
+    // order fixes the order of the finish events they generate.
+    ensure_sorted(now);
+    std::vector<JobId> ordered;
+    ordered.reserve(due.size());
+    for (const Job& job : queue_)
+      if (std::find(due.begin(), due.end(), job.id) != due.end())
+        ordered.push_back(job.id);
+    due = std::move(ordered);
   }
+  started.reserve(due.size());
   for (JobId id : due) {
     reservations_.erase(id);
     // The job's rectangle stays reserved in the profile; it is now backed

@@ -18,6 +18,7 @@
 #include <unordered_map>
 
 #include "core/profile.hpp"
+#include "core/reservation_heap.hpp"
 #include "core/scheduler.hpp"
 
 namespace bfsim::core {
@@ -26,9 +27,10 @@ class ConservativeScheduler final : public SchedulerBase {
  public:
   explicit ConservativeScheduler(SchedulerConfig config);
 
-  void job_submitted(const Job& job, Time now) override;
-  void job_finished(JobId id, Time now) override;
-  void job_cancelled(JobId id, Time now) override;
+  bool job_submitted(const Job& job, Time now) override;
+  bool job_finished(JobId id, Time now) override;
+  bool job_cancelled(JobId id, Time now) override;
+  [[nodiscard]] Time next_wakeup() override;
   [[nodiscard]] std::vector<Job> select_starts(Time now) override;
   [[nodiscard]] std::string name() const override;
 
@@ -57,6 +59,9 @@ class ConservativeScheduler final : public SchedulerBase {
  private:
   Profile profile_;
   std::unordered_map<JobId, Time> reservations_;  ///< queued job -> start
+  /// Earliest guaranteed start, maintained alongside reservations_ so
+  /// neither the due check nor next_wakeup() scans the queue.
+  ReservationHeap due_;
 
   /// Re-anchor queued jobs in priority order after capacity was freed
   /// at `hole_begin` (>= now), iterating until no reservation moves.

@@ -8,39 +8,79 @@ namespace bfsim::core {
 
 EasyScheduler::EasyScheduler(SchedulerConfig config) : SchedulerBase(config) {}
 
-void EasyScheduler::job_submitted(const Job& job, Time) {
-  if (job.procs > config_.procs)
-    throw std::invalid_argument("job " + std::to_string(job.id) +
-                                " wider than the machine");
-  queue_.push_back(job);
+// Pass-needed rules rely on the invariant that after every executed pass
+// no queued job is eligible: the head does not fit, and every backfill
+// candidate fails against the head's shadow/extra budget (recomputing
+// the shadow from the post-pass running set reproduces exactly the
+// budget the pass left off with). With the head, the running set and
+// free_ unchanged, previously failing candidates fail again -- so a
+// non-fitting, non-head arrival provably cannot trigger a start. Under
+// XFactor the head itself can change with the clock, so every event
+// requests a pass while jobs wait.
+
+bool EasyScheduler::job_submitted(const Job& job, Time now) {
+  insert_queued(job, now);
+  if (time_varying_priority()) return true;
+  return job.procs <= free_ || queue_.front().id == job.id;
 }
 
-void EasyScheduler::job_finished(JobId id, Time) { commit_finish(id); }
+bool EasyScheduler::job_finished(JobId id, Time) {
+  const RunningJob rj = commit_finish(id);
+  const auto it = std::lower_bound(
+      running_by_end_.begin(), running_by_end_.end(),
+      RunningByEnd{rj.est_end, id, 0},
+      [](const RunningByEnd& a, const RunningByEnd& b) {
+        if (a.est_end != b.est_end) return a.est_end < b.est_end;
+        return a.id < b.id;
+      });
+  if (it == running_by_end_.end() || it->id != id)
+    throw std::logic_error("EasyScheduler: finished job not in running order");
+  running_by_end_.erase(it);
+  return !queue_.empty();
+}
+
+bool EasyScheduler::job_cancelled(JobId id, Time) {
+  const bool was_front = !queue_.empty() && queue_.front().id == id;
+  (void)take_queued(id);
+  if (queue_.empty()) return false;
+  if (time_varying_priority()) return true;
+  // Withdrawing the head re-pins the reservation on the next job, which
+  // changes every backfill budget; a non-head job was not eligible and
+  // constrained nobody.
+  return was_front;
+}
+
+Job EasyScheduler::start_job(JobId id, Time now) {
+  const Job job = commit_start(id, now);
+  const RunningByEnd entry{now + job.estimate, id, job.procs};
+  running_by_end_.insert(
+      std::upper_bound(running_by_end_.begin(), running_by_end_.end(), entry,
+                       [](const RunningByEnd& a, const RunningByEnd& b) {
+                         if (a.est_end != b.est_end)
+                           return a.est_end < b.est_end;
+                         return a.id < b.id;
+                       }),
+      entry);
+  return job;
+}
 
 EasyScheduler::Shadow EasyScheduler::compute_shadow(const Job& head,
                                                     Time now) const {
   // Walk running jobs by estimated completion, accumulating processors
   // until the head fits. free_ + sum(running procs) == machine size >=
   // head.procs, so the walk always succeeds.
-  std::vector<const RunningJob*> by_end;
-  by_end.reserve(running_.size());
-  for (const auto& [id, rj] : running_) by_end.push_back(&rj);
-  std::sort(by_end.begin(), by_end.end(),
-            [](const RunningJob* a, const RunningJob* b) {
-              if (a->est_end != b->est_end) return a->est_end < b->est_end;
-              return a->job.id < b->job.id;
-            });
   int available = free_;
-  for (std::size_t i = 0; i < by_end.size(); ++i) {
-    available += by_end[i]->job.procs;
+  for (std::size_t i = 0; i < running_by_end_.size(); ++i) {
+    available += running_by_end_[i].procs;
     if (available < head.procs) continue;
-    const Time shadow = by_end[i]->est_end;
+    const Time shadow = running_by_end_[i].est_end;
     // Include every other job ending at the same instant: they all free
     // their processors at the shadow time, so they all count toward the
     // extra processors available to backfilled jobs.
     for (std::size_t j = i + 1;
-         j < by_end.size() && by_end[j]->est_end == shadow; ++j)
-      available += by_end[j]->job.procs;
+         j < running_by_end_.size() && running_by_end_[j].est_end == shadow;
+         ++j)
+      available += running_by_end_[j].procs;
     return Shadow{std::max(shadow, now), available - head.procs};
   }
   throw std::logic_error("EasyScheduler: shadow walk failed (accounting bug)");
@@ -49,12 +89,12 @@ EasyScheduler::Shadow EasyScheduler::compute_shadow(const Job& head,
 std::vector<Job> EasyScheduler::select_starts(Time now) {
   std::vector<Job> started;
   last_shadow_ = sim::kNoTime;
+  ensure_sorted(now);
   for (;;) {
-    sort_queue(now);
     if (queue_.empty()) return started;
     // Start the head (and re-enter: the next head may now fit too).
     if (queue_.front().procs <= free_) {
-      started.push_back(commit_start(queue_.front().id, now));
+      started.push_back(start_job(queue_.front().id, now));
       continue;
     }
     // Head blocked: pin its reservation, then run one backfill pass.
@@ -71,7 +111,7 @@ std::vector<Job> EasyScheduler::select_starts(Time now) {
         const bool within_extra = job.procs <= extra;
         if (ends_by_shadow || within_extra) {
           if (!ends_by_shadow) extra -= job.procs;
-          started.push_back(commit_start(job.id, now));
+          started.push_back(start_job(job.id, now));
           continue;  // queue_[i] now refers to the next job
         }
       }

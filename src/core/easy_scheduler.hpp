@@ -21,8 +21,9 @@ class EasyScheduler final : public SchedulerBase {
  public:
   explicit EasyScheduler(SchedulerConfig config);
 
-  void job_submitted(const Job& job, Time now) override;
-  void job_finished(JobId id, Time now) override;
+  bool job_submitted(const Job& job, Time now) override;
+  bool job_finished(JobId id, Time now) override;
+  bool job_cancelled(JobId id, Time now) override;
   [[nodiscard]] std::vector<Job> select_starts(Time now) override;
   [[nodiscard]] std::string name() const override;
 
@@ -47,6 +48,18 @@ class EasyScheduler final : public SchedulerBase {
  private:
   Time last_shadow_ = sim::kNoTime;
   Job last_head_{};  ///< the job pinned at last_shadow_ (valid iff set)
+
+  /// Running jobs ordered by (est_end, id), maintained incrementally on
+  /// start/finish so the shadow walk never re-sorts the running set.
+  struct RunningByEnd {
+    Time est_end;
+    JobId id;
+    int procs;
+  };
+  std::vector<RunningByEnd> running_by_end_;
+
+  /// commit_start + insertion into running_by_end_.
+  Job start_job(JobId id, Time now);
 
   /// Shadow time + extra processors for the current head job.
   struct Shadow {

@@ -1,23 +1,38 @@
 #include "core/fcfs_scheduler.hpp"
 
-#include <stdexcept>
-
 namespace bfsim::core {
 
 FcfsScheduler::FcfsScheduler(SchedulerConfig config)
     : SchedulerBase(config) {}
 
-void FcfsScheduler::job_submitted(const Job& job, Time) {
-  if (job.procs > config_.procs)
-    throw std::invalid_argument("job " + std::to_string(job.id) +
-                                " wider than the machine");
-  queue_.push_back(job);
+// Pass-needed rules rely on the strict-order invariant: after every
+// executed pass the queue head does not fit (or the queue is empty), and
+// nothing behind it may start. Under a static priority that state only
+// changes when the head changes or processors free up; under XFactor the
+// order itself drifts with the clock, so any event may surface a new
+// head and every hook requests a pass while jobs wait.
+
+bool FcfsScheduler::job_submitted(const Job& job, Time now) {
+  insert_queued(job, now);
+  if (time_varying_priority()) return true;
+  return queue_.front().id == job.id && job.procs <= free_;
 }
 
-void FcfsScheduler::job_finished(JobId id, Time) { commit_finish(id); }
+bool FcfsScheduler::job_finished(JobId id, Time) {
+  commit_finish(id);
+  return !queue_.empty();
+}
+
+bool FcfsScheduler::job_cancelled(JobId id, Time) {
+  const bool was_front = !queue_.empty() && queue_.front().id == id;
+  (void)take_queued(id);
+  if (queue_.empty()) return false;
+  if (time_varying_priority()) return true;
+  return was_front && queue_.front().procs <= free_;
+}
 
 std::vector<Job> FcfsScheduler::select_starts(Time now) {
-  sort_queue(now);
+  ensure_sorted(now);
   std::vector<Job> started;
   // Strict queue order: stop at the first job that does not fit.
   while (!queue_.empty() && queue_.front().procs <= free_)

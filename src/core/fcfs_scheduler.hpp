@@ -15,8 +15,9 @@ class FcfsScheduler final : public SchedulerBase {
  public:
   explicit FcfsScheduler(SchedulerConfig config);
 
-  void job_submitted(const Job& job, Time now) override;
-  void job_finished(JobId id, Time now) override;
+  bool job_submitted(const Job& job, Time now) override;
+  bool job_finished(JobId id, Time now) override;
+  bool job_cancelled(JobId id, Time now) override;
   [[nodiscard]] std::vector<Job> select_starts(Time now) override;
   [[nodiscard]] std::string name() const override;
 };

@@ -14,19 +14,26 @@ KReservationScheduler::KReservationScheduler(SchedulerConfig config,
     throw std::invalid_argument("KReservationScheduler: depth must be >= 0");
 }
 
-void KReservationScheduler::job_submitted(const Job& job, Time) {
-  if (job.procs > config_.procs)
-    throw std::invalid_argument("job " + std::to_string(job.id) +
-                                " wider than the machine");
-  queue_.push_back(job);
+bool KReservationScheduler::job_submitted(const Job& job, Time now) {
+  insert_queued(job, now);
+  // Under pure arrival order the newcomer sorts last: the guarantee
+  // holders ahead of it are unchanged and, since the reservation set is
+  // recomputed statelessly per pass, nobody else became eligible -- the
+  // arrival matters only if it can start right now, for which fitting
+  // into the free processors is necessary. Under any other order the
+  // newcomer can displace a guarantee holder, and the freed constraint
+  // can unblock a backfill further down.
+  if (config_.priority != PriorityPolicy::Fcfs) return true;
+  return job.procs <= free_;
 }
 
-void KReservationScheduler::job_finished(JobId id, Time) {
+bool KReservationScheduler::job_finished(JobId id, Time) {
   commit_finish(id);
+  return !queue_.empty();
 }
 
 std::vector<Job> KReservationScheduler::select_starts(Time now) {
-  sort_queue(now);
+  ensure_sorted(now);
   Profile profile = profile_from_running(config_.procs, now, running_);
   std::vector<Job> started;
   // One pass in priority order. A job starts when it fits *now* without

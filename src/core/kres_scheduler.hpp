@@ -21,8 +21,8 @@ class KReservationScheduler final : public SchedulerBase {
  public:
   KReservationScheduler(SchedulerConfig config, int depth);
 
-  void job_submitted(const Job& job, Time now) override;
-  void job_finished(JobId id, Time now) override;
+  bool job_submitted(const Job& job, Time now) override;
+  bool job_finished(JobId id, Time now) override;
   [[nodiscard]] std::vector<Job> select_starts(Time now) override;
   [[nodiscard]] std::string name() const override;
 

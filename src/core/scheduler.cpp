@@ -18,17 +18,16 @@ SchedulerBase::SchedulerBase(SchedulerConfig config)
     throw std::invalid_argument("Scheduler: machine must have >= 1 proc");
 }
 
-void Scheduler::job_cancelled(JobId, Time) {
+bool Scheduler::job_cancelled(JobId, Time) {
   throw std::logic_error(
       "Scheduler: cancellation not supported by this implementation");
 }
 
-void SchedulerBase::job_cancelled(JobId id, Time) {
-  const std::size_t idx = queue_index(id);
-  if (idx == queue_.size())
-    throw std::logic_error(
-        "Scheduler: cancelling a job that is not queued");
-  queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(idx));
+bool SchedulerBase::job_cancelled(JobId id, Time) {
+  (void)take_queued(id);
+  // Freed nothing *now*, but rebuild-style subclasses recompute their
+  // guarantee set per pass, so a removal can unblock a backfill.
+  return !queue_.empty();
 }
 
 Job SchedulerBase::commit_start(JobId id, Time now) {
@@ -54,8 +53,29 @@ RunningJob SchedulerBase::commit_finish(JobId id) {
   return rj;
 }
 
-void SchedulerBase::sort_queue(Time now) {
-  sort_by_priority(queue_, config_.priority, now);
+Job SchedulerBase::take_queued(JobId id) {
+  const std::size_t idx = queue_index(id);
+  if (idx == queue_.size())
+    throw std::logic_error("Scheduler: cancelling a job that is not queued");
+  const Job job = queue_[idx];
+  queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(idx));
+  return job;
+}
+
+void SchedulerBase::insert_queued(const Job& job, Time now) {
+  if (time_varying_priority()) {
+    queue_.push_back(job);
+    return;
+  }
+  // The priority order is total (ties broken by submit, id), so the
+  // in-place position reproduces exactly what a stable sort would give.
+  const PriorityOrder order{config_.priority, now};
+  queue_.insert(std::upper_bound(queue_.begin(), queue_.end(), job, order),
+                job);
+}
+
+void SchedulerBase::ensure_sorted(Time now) {
+  if (time_varying_priority()) sort_by_priority(queue_, config_.priority, now);
 }
 
 std::size_t SchedulerBase::queue_index(JobId id) const {

@@ -59,23 +59,40 @@ struct AuditReservation {
 /// Contract (enforced by the simulation driver and the validator):
 ///  * job_submitted / job_finished are called in event-time order;
 ///    completions at a given instant are delivered before arrivals.
-///  * select_starts(now) is called after each batch of same-time events;
+///  * select_starts(now) is called after a batch of same-time events
+///    when any hook in the batch returned true or next_wakeup() == now;
 ///    the scheduler commits the returned jobs internally (queue ->
 ///    running) and must never start more processors than are free.
+///  * Each event hook returns whether a scheduling pass at `now` became
+///    necessary. Returning false is a promise that select_starts(now)
+///    would start nothing and is otherwise side-effect free -- the
+///    driver skips (and counts) the no-op cycle. When unsure, return
+///    true: a spurious pass is only a slowdown, a wrongly skipped one is
+///    a missed start.
 ///  * job_finished(id) is called exactly once per started job, at its
 ///    true end time (<= start + estimate; jobs die at their limit).
+///  * Jobs wider than the machine are rejected by the driver's trace
+///    validation; hooks never see them.
 class Scheduler {
  public:
   virtual ~Scheduler() = default;
 
-  virtual void job_submitted(const Job& job, Time now) = 0;
-  virtual void job_finished(JobId id, Time now) = 0;
+  virtual bool job_submitted(const Job& job, Time now) = 0;
+  virtual bool job_finished(JobId id, Time now) = 0;
 
   /// The user withdraws a *queued* job (never called once it started).
   /// The base implementation removes it from the wait queue; schedulers
   /// holding reservations release them (freed future capacity may let
   /// other jobs move up).
-  virtual void job_cancelled(JobId id, Time now);
+  virtual bool job_cancelled(JobId id, Time now);
+
+  /// Earliest future instant at which a pass must run even if no
+  /// submit/finish/cancel event lands there (a reservation coming due at
+  /// an otherwise eventless time), or sim::kNoTime. The driver arms a
+  /// timer event so such starts fire structurally. Non-reserving
+  /// schedulers keep the default: they only ever start jobs in reaction
+  /// to events.
+  [[nodiscard]] virtual Time next_wakeup() { return sim::kNoTime; }
 
   /// Decide and commit the set of jobs that begin execution at `now`.
   [[nodiscard]] virtual std::vector<Job> select_starts(Time now) = 0;
@@ -108,7 +125,9 @@ class SchedulerBase : public Scheduler {
  public:
   explicit SchedulerBase(SchedulerConfig config);
 
-  void job_cancelled(JobId id, Time now) override;
+  /// Removes the job from the wait queue. Returns true whenever jobs
+  /// remain queued -- subclasses override with sharper skip rules.
+  bool job_cancelled(JobId id, Time now) override;
 
   [[nodiscard]] const SchedulerConfig& config() const override {
     return config_;
@@ -122,9 +141,29 @@ class SchedulerBase : public Scheduler {
 
  protected:
   SchedulerConfig config_;
-  std::vector<Job> queue_;                        ///< waiting jobs
+  /// Waiting jobs. Invariant: under every static priority policy the
+  /// vector is permanently in priority order (insert_queued places new
+  /// arrivals in-place); only the time-varying XFactor order appends and
+  /// defers to ensure_sorted at pass time.
+  std::vector<Job> queue_;
   std::unordered_map<JobId, RunningJob> running_; ///< started jobs
   int free_ = 0;                                  ///< processors free now
+
+  /// True when the configured priority order can change with the clock
+  /// (XFactor), so the queue cannot be kept sorted incrementally.
+  [[nodiscard]] bool time_varying_priority() const {
+    return config_.priority == PriorityPolicy::XFactor;
+  }
+
+  /// Add an arrival to queue_: in priority position under static
+  /// policies (the order is total, so the position is unique), appended
+  /// under XFactor.
+  void insert_queued(const Job& job, Time now);
+
+  /// Establish priority order at time `now`: a no-op for static
+  /// policies (insert_queued maintains it), a stable re-sort for
+  /// XFactor. Call before walking queue_ in priority order.
+  void ensure_sorted(Time now);
 
   /// Move `job` (which must be in queue_) to running_ at `now`; updates
   /// free_ and returns the job. Throws std::logic_error on under-capacity.
@@ -134,8 +173,10 @@ class SchedulerBase : public Scheduler {
   /// std::logic_error if the id is not running.
   RunningJob commit_finish(JobId id);
 
-  /// Sort queue_ by the configured policy at time `now`.
-  void sort_queue(Time now);
+  /// Remove a queued job (one scan) and return it, so reservation
+  /// holders can release the job's rectangle without re-searching.
+  /// Throws std::logic_error if the id is not queued.
+  Job take_queued(JobId id);
 
   /// Index of `id` within queue_, or queue_.size() if absent.
   [[nodiscard]] std::size_t queue_index(JobId id) const;

@@ -22,14 +22,35 @@ SelectiveScheduler::SelectiveScheduler(SchedulerConfig config,
         "SelectiveScheduler: threshold must be >= 1.0");
 }
 
-void SelectiveScheduler::job_submitted(const Job& job, Time) {
-  if (job.procs > config_.procs)
-    throw std::invalid_argument("job " + std::to_string(job.id) +
-                                " wider than the machine");
-  queue_.push_back(job);
+bool SelectiveScheduler::promote_due(Time now) {
+  const double bar = effective_threshold();
+  bool start_possible = false;
+  for (const Job& job : queue_) {
+    if (promoted_.contains(job.id) || xfactor(job, now) < bar) continue;
+    promoted_.insert(job.id);
+    // A fresh guarantee only *blocks* others; it matters immediately
+    // only if its holder might start, for which fitting into the free
+    // processors is necessary.
+    start_possible |= job.procs <= free_;
+  }
+  return start_possible;
 }
 
-void SelectiveScheduler::job_finished(JobId id, Time now) {
+bool SelectiveScheduler::job_submitted(const Job& job, Time now) {
+  insert_queued(job, now);
+  // Promotions are clock-driven, so check them at every event. Beyond
+  // that, an arrival that does not fit the free processors cannot start,
+  // and its (possible) own reservation anchors after everyone already
+  // protected -- it delays, never enables. Under XFactor the pass-1
+  // anchoring order among already-promoted jobs drifts with the clock,
+  // which can surface a start with no state change at all, so any event
+  // must trigger a pass while jobs wait.
+  const bool promoted_start = promote_due(now);
+  if (time_varying_priority()) return true;
+  return promoted_start || job.procs <= free_;
+}
+
+bool SelectiveScheduler::job_finished(JobId id, Time now) {
   const RunningJob rj = commit_finish(id);
   // Track the realized bounded slowdown of completed jobs: the adaptive
   // promotion bar follows the service level actually delivered.
@@ -38,11 +59,20 @@ void SelectiveScheduler::job_finished(JobId id, Time now) {
   const auto wait = static_cast<double>(rj.start - rj.job.submit);
   completed_slowdown_sum_ += (wait + bound) / bound;
   ++completed_jobs_;
+  (void)promote_due(now);
+  return !queue_.empty();
 }
 
-void SelectiveScheduler::job_cancelled(JobId id, Time now) {
-  SchedulerBase::job_cancelled(id, now);
-  promoted_.erase(id);  // rebuild-style: no persistent profile to patch
+bool SelectiveScheduler::job_cancelled(JobId id, Time now) {
+  (void)take_queued(id);
+  // Rebuild-style: no persistent profile to patch. Withdrawing a
+  // guarantee holder frees the rectangle its reservation pinned, which
+  // can unblock a backfill; an unprotected job constrained nobody.
+  const bool was_promoted = promoted_.erase(id) > 0;
+  const bool promoted_start = promote_due(now);
+  if (queue_.empty()) return false;
+  if (time_varying_priority()) return true;
+  return was_promoted || promoted_start;
 }
 
 double SelectiveScheduler::effective_threshold() const {
@@ -54,12 +84,12 @@ double SelectiveScheduler::effective_threshold() const {
 
 std::vector<Job> SelectiveScheduler::select_starts(Time now) {
   // Promotion is sticky: once a job's expected slowdown crosses the
-  // threshold it keeps its guarantee until it starts.
-  const double bar = effective_threshold();
-  for (const Job& job : queue_)
-    if (xfactor(job, now) >= bar) promoted_.insert(job.id);
+  // threshold it keeps its guarantee until it starts. The event hooks
+  // already promote at every event time; repeating here keeps direct
+  // callers (tests, the reference driver) on the same semantics.
+  (void)promote_due(now);
 
-  sort_queue(now);
+  ensure_sorted(now);
   Profile profile = profile_from_running(config_.procs, now, running_);
   std::vector<JobId> to_start;
   to_start.reserve(queue_.size());

@@ -42,9 +42,9 @@ class SelectiveScheduler final : public SchedulerBase {
   SelectiveScheduler(SchedulerConfig config, double xfactor_threshold,
                      Mode mode = Mode::FixedThreshold);
 
-  void job_submitted(const Job& job, Time now) override;
-  void job_finished(JobId id, Time now) override;
-  void job_cancelled(JobId id, Time now) override;
+  bool job_submitted(const Job& job, Time now) override;
+  bool job_finished(JobId id, Time now) override;
+  bool job_cancelled(JobId id, Time now) override;
   [[nodiscard]] std::vector<Job> select_starts(Time now) override;
   [[nodiscard]] std::string name() const override;
 
@@ -62,6 +62,12 @@ class SelectiveScheduler final : public SchedulerBase {
   double threshold_;
   Mode mode_;
   std::unordered_set<JobId> promoted_;  ///< queued jobs holding guarantees
+
+  /// Promote every queued job whose expansion factor has crossed the
+  /// bar (sticky). Called from each event hook -- promotion depends on
+  /// the clock, so it must be evaluated at every event time, pass or
+  /// not. Returns true when a newly promoted job could start now.
+  bool promote_due(Time now);
   // Adaptive mode: running mean of completed jobs' bounded slowdown.
   double completed_slowdown_sum_ = 0.0;
   std::size_t completed_jobs_ = 0;

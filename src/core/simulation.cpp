@@ -7,7 +7,7 @@
 
 #include "core/audit.hpp"
 #include "core/validator.hpp"
-#include "sim/event_queue.hpp"
+#include "sim/engine.hpp"
 
 namespace bfsim::core {
 
@@ -16,13 +16,151 @@ namespace {
 /// Completions sort before arrivals at the same instant, so a job
 /// arriving exactly when processors free up sees them available;
 /// cancellations apply last (a job submitted and withdrawn at the same
-/// instant is seen, then removed).
-enum EventClass : int { kFinish = 0, kSubmit = 1, kCancel = 2 };
+/// instant is seen, then removed); wake-up timers close the batch.
+enum EventClass : int { kFinish = 0, kSubmit = 1, kCancel = 2, kWake = 3 };
+
+/// One run_simulation call: the engine, the per-job outcomes, and the
+/// batch bookkeeping (a "batch" is every event at one timestamp; the
+/// scheduler decides starts at most once per batch).
+class Driver {
+ public:
+  Driver(const Trace& trace, Scheduler& scheduler, ScheduleAuditor* auditor)
+      : trace_(trace), scheduler_(scheduler), auditor_(auditor) {
+    result_.scheduler_name = scheduler_.name();
+    result_.outcomes.resize(trace_.size());
+    for (std::size_t i = 0; i < trace_.size(); ++i)
+      result_.outcomes[i].job = trace_[i];
+    // Submits and cancels are scheduled lazily -- see on_submit. Only
+    // the first arrival is seeded here; each arrival then schedules its
+    // own cancellation and its successor. The heap stays small (running
+    // jobs plus one arrival) instead of holding the whole trace.
+    if (!trace_.empty())
+      engine_.schedule_at(trace_[0].submit, [this] { on_submit(0); }, kSubmit);
+  }
+
+  SimulationResult run() {
+    engine_.run();
+    return std::move(result_);
+  }
+
+ private:
+  void on_submit(JobId id) {
+    const Time now = engine_.now();
+    ++result_.events;
+    if (auditor_) auditor_->on_submitted(trace_[id], now);
+    pass_needed_ |= scheduler_.job_submitted(trace_[id], now);
+    // Chain-schedule before the batch-end check so a same-instant
+    // cancel or successor arrival keeps this batch open. Delivery
+    // order is unchanged from scheduling everything up-front: with one
+    // arrival outstanding at a time, submits fire in id order, and
+    // cancels enqueue in submit (= id) order, which is how same-time
+    // cancels tie-break anyway.
+    if (trace_[id].cancel_at != sim::kNoTime)
+      engine_.schedule_at(
+          trace_[id].cancel_at, [this, id] { on_cancel(id); }, kCancel);
+    if (id + 1 < trace_.size())
+      engine_.schedule_at(
+          trace_[id + 1].submit, [this, next = id + 1] { on_submit(next); },
+          kSubmit);
+    maybe_end_batch(now);
+  }
+
+  void on_finish(JobId id) {
+    const Time now = engine_.now();
+    ++result_.events;
+    if (auditor_) auditor_->on_finished(id, now);
+    pass_needed_ |= scheduler_.job_finished(id, now);
+    maybe_end_batch(now);
+  }
+
+  void on_cancel(JobId id) {
+    const Time now = engine_.now();
+    ++result_.events;
+    JobOutcome& outcome = result_.outcomes[id];
+    if (outcome.start == sim::kNoTime) {  // still queued: withdraw
+      if (auditor_) auditor_->on_cancelled(id, now);
+      pass_needed_ |= scheduler_.job_cancelled(id, now);
+      outcome.cancelled = true;
+    } else {
+      // Cancelling a job that already started is a no-op for the
+      // scheduler -- no hook runs. But the batch still advances the
+      // clock, and clock-driven policies (XFactor ordering, selective
+      // promotion) can surface a start from time alone, with no hook to
+      // vouch that a pass is unnecessary. Run one.
+      pass_needed_ = true;
+    }
+    maybe_end_batch(now);
+  }
+
+  void on_wake() {
+    // The timer carries no payload; end_batch asks the scheduler
+    // whether its earliest reservation is in fact due now (it may have
+    // moved since this timer was armed -- a stale wake is a no-op).
+    ++result_.wakeups;
+    maybe_end_batch(engine_.now());
+  }
+
+  void maybe_end_batch(Time now) {
+    if (engine_.pending() && engine_.next_time() == now) return;
+    end_batch(now);
+  }
+
+  void end_batch(Time now) {
+    Time wake = scheduler_.next_wakeup();
+    if (pass_needed_ || wake == now) {
+      run_pass(now);
+      wake = scheduler_.next_wakeup();
+    } else {
+      ++result_.passes_skipped;
+    }
+    pass_needed_ = false;
+    if (auditor_) auditor_->on_cycle_end(now);
+    result_.max_queue = std::max(result_.max_queue, scheduler_.queued_count());
+    if (wake != sim::kNoTime) {
+      if (wake <= now)
+        throw std::logic_error(
+            "run_simulation: scheduler reported an overdue wake-up at t=" +
+            std::to_string(now));
+      // Arm a timer only when no already-scheduled event lands at or
+      // before the wake-up; otherwise that event's batch re-evaluates
+      // (reservations can move until then, so arming now would mostly
+      // produce stale timers).
+      if (!engine_.pending() || engine_.next_time() > wake)
+        engine_.schedule_at(wake, [this] { on_wake(); }, kWake);
+    }
+  }
+
+  void run_pass(Time now) {
+    ++result_.passes;
+    for (const Job& started : scheduler_.select_starts(now)) {
+      if (auditor_) auditor_->on_started(started, now);
+      JobOutcome& outcome = result_.outcomes[started.id];
+      if (outcome.start != sim::kNoTime)
+        throw std::logic_error("run_simulation: job " +
+                               std::to_string(started.id) + " started twice");
+      const Time effective = std::min(started.runtime, started.estimate);
+      outcome.start = now;
+      outcome.end = now + effective;
+      outcome.killed = started.runtime > started.estimate;
+      result_.makespan = std::max(result_.makespan, outcome.end);
+      engine_.schedule_at(
+          outcome.end, [this, id = started.id] { on_finish(id); }, kFinish);
+    }
+  }
+
+  const Trace& trace_;
+  Scheduler& scheduler_;
+  ScheduleAuditor* auditor_;
+  sim::Engine engine_;
+  SimulationResult result_;
+  bool pass_needed_ = false;
+};
 
 }  // namespace
 
 SimulationResult run_simulation(const Trace& trace, Scheduler& scheduler,
                                 const SimulationOptions& options) {
+  const int machine_procs = scheduler.config().procs;
   for (std::size_t i = 0; i < trace.size(); ++i) {
     if (trace[i].id != i)
       throw std::invalid_argument(
@@ -31,6 +169,9 @@ SimulationResult run_simulation(const Trace& trace, Scheduler& scheduler,
     if (trace[i].runtime < 1 || trace[i].estimate < 1 || trace[i].procs < 1)
       throw std::invalid_argument("run_simulation: malformed job " +
                                   std::to_string(i));
+    if (trace[i].procs > machine_procs)
+      throw std::invalid_argument("run_simulation: job " + std::to_string(i) +
+                                  " wider than the machine");
     if (trace[i].cancel_at != sim::kNoTime &&
         trace[i].cancel_at < trace[i].submit)
       throw std::invalid_argument(
@@ -39,19 +180,6 @@ SimulationResult run_simulation(const Trace& trace, Scheduler& scheduler,
     if (i > 0 && trace[i].submit < trace[i - 1].submit)
       throw std::invalid_argument(
           "run_simulation: trace not sorted by submit time");
-  }
-
-  SimulationResult result;
-  result.scheduler_name = scheduler.name();
-  result.outcomes.resize(trace.size());
-  for (std::size_t i = 0; i < trace.size(); ++i)
-    result.outcomes[i].job = trace[i];
-
-  sim::EventQueue<JobId> events;
-  for (const Job& job : trace) {
-    events.push(job.submit, kSubmit, job.id);
-    if (job.cancel_at != sim::kNoTime)
-      events.push(job.cancel_at, kCancel, job.id);
   }
 
   // The auditor sees every event the scheduler sees, before the
@@ -63,43 +191,8 @@ SimulationResult run_simulation(const Trace& trace, Scheduler& scheduler,
   if (auditor == nullptr && options.audit)
     auditor = &owned_auditor.emplace(scheduler);
 
-  while (!events.empty()) {
-    const Time now = events.top().time;
-    // Deliver the full batch of same-time events before scheduling.
-    while (!events.empty() && events.top().time == now) {
-      const auto event = events.pop();
-      ++result.events;
-      if (event.priority_class == kFinish) {
-        if (auditor) auditor->on_finished(event.payload, now);
-        scheduler.job_finished(event.payload, now);
-      } else if (event.priority_class == kSubmit) {
-        if (auditor) auditor->on_submitted(trace[event.payload], now);
-        scheduler.job_submitted(trace[event.payload], now);
-      } else {
-        JobOutcome& outcome = result.outcomes[event.payload];
-        if (outcome.start == sim::kNoTime) {  // still queued: withdraw
-          if (auditor) auditor->on_cancelled(event.payload, now);
-          scheduler.job_cancelled(event.payload, now);
-          outcome.cancelled = true;
-        }
-      }
-    }
-    for (const Job& started : scheduler.select_starts(now)) {
-      if (auditor) auditor->on_started(started, now);
-      JobOutcome& outcome = result.outcomes[started.id];
-      if (outcome.start != sim::kNoTime)
-        throw std::logic_error("run_simulation: job " +
-                               std::to_string(started.id) + " started twice");
-      const Time effective = std::min(started.runtime, started.estimate);
-      outcome.start = now;
-      outcome.end = now + effective;
-      outcome.killed = started.runtime > started.estimate;
-      result.makespan = std::max(result.makespan, outcome.end);
-      events.push(outcome.end, kFinish, started.id);
-    }
-    if (auditor) auditor->on_cycle_end(now);
-    result.max_queue = std::max(result.max_queue, scheduler.queued_count());
-  }
+  Driver driver(trace, scheduler, auditor);
+  SimulationResult result = driver.run();
 
   for (const JobOutcome& outcome : result.outcomes)
     if (outcome.start == sim::kNoTime && !outcome.cancelled)
@@ -108,7 +201,7 @@ SimulationResult run_simulation(const Trace& trace, Scheduler& scheduler,
 
   if (options.validate) {
     const ValidationReport report =
-        validate_schedule(trace, result.outcomes, scheduler.config().procs);
+        validate_schedule(trace, result.outcomes, machine_procs);
     if (!report.ok())
       throw std::logic_error("run_simulation: invalid schedule: " +
                              report.violations.front());

@@ -1,11 +1,15 @@
-// bfsim -- the trace-driven simulation loop.
+// bfsim -- the trace-driven simulation driver.
 //
-// Replays a job trace through an online Scheduler: arrivals come from
-// the trace, completions from the jobs' *actual* runtimes (which the
-// scheduler never sees), and after every batch of same-time events the
-// scheduler picks the jobs that start. Jobs whose true runtime exceeds
-// the user estimate are killed at the estimate, as production schedulers
-// enforce wall-clock limits.
+// Replays a job trace through an online Scheduler on the sim::Engine:
+// arrivals come from the trace, completions from the jobs' *actual*
+// runtimes (which the scheduler never sees), and after every batch of
+// same-time events the scheduler picks the jobs that start -- unless
+// every event hook in the batch reported that a pass cannot start
+// anything, in which case the no-op cycle is skipped and counted. Timer
+// ("wake") events fire passes for reservations coming due at otherwise
+// eventless times. Jobs whose true runtime exceeds the user estimate are
+// killed at the estimate, as production schedulers enforce wall-clock
+// limits.
 #pragma once
 
 #include <cstdint>
@@ -40,7 +44,10 @@ struct SimulationResult {
   /// Outcome per job, indexed by JobId (== trace index).
   std::vector<JobOutcome> outcomes;
   Time makespan = 0;             ///< time the last job completed
-  std::uint64_t events = 0;      ///< submit + finish events processed
+  std::uint64_t events = 0;      ///< submit + finish + cancel events
+  std::uint64_t passes = 0;         ///< select_starts cycles executed
+  std::uint64_t passes_skipped = 0; ///< event batches needing no pass
+  std::uint64_t wakeups = 0;        ///< scheduler timer events fired
   std::size_t max_queue = 0;     ///< peak queue depth observed
   std::string scheduler_name;
 };

@@ -18,10 +18,12 @@ SlackScheduler::SlackScheduler(SchedulerConfig config, double slack_factor)
     throw std::invalid_argument("SlackScheduler: slack_factor must be >= 0");
 }
 
-void SlackScheduler::job_submitted(const Job& job, Time now) {
-  if (job.procs > config_.procs)
-    throw std::invalid_argument("job " + std::to_string(job.id) +
-                                " wider than the machine");
+// Like conservative, slack starts jobs only when a reservation comes
+// due, so every hook answers "is the earliest guarantee == now" from
+// the due-heap (a displacing arrival reserves `now` for itself, which
+// the same check reports).
+
+bool SlackScheduler::job_submitted(const Job& job, Time now) {
   // The conservative guarantee anchors the deadline; the slack budget is
   // proportional to the job's own estimated length.
   const Time anchor = profile_.earliest_anchor(job.procs, job.estimate, now);
@@ -29,11 +31,14 @@ void SlackScheduler::job_submitted(const Job& job, Time now) {
       std::llround(slack_factor_ * static_cast<double>(job.estimate)));
   deadlines_.emplace(job.id, anchor + slack);
 
-  if (anchor > now && try_displace(job, now)) return;
+  if (anchor > now && try_displace(job, now))
+    return due_.earliest(reservations_) == now;
 
   profile_.reserve(anchor, anchor + job.estimate, job.procs);
   reservations_.emplace(job.id, anchor);
-  queue_.push_back(job);
+  due_.push(anchor, job.id);
+  insert_queued(job, now);
+  return anchor == now;
 }
 
 bool SlackScheduler::try_displace(const Job& job, Time now) {
@@ -70,38 +75,34 @@ bool SlackScheduler::try_displace(const Job& job, Time now) {
   profile_ = std::move(trial);
   reservations_ = std::move(new_starts);
   reservations_.emplace(job.id, now);
-  queue_.push_back(job);
+  due_.rebuild(reservations_);
+  insert_queued(job, now);
   ++displacements_;
   return true;
 }
 
-void SlackScheduler::job_finished(JobId id, Time now) {
+bool SlackScheduler::job_finished(JobId id, Time now) {
   const RunningJob rj = commit_finish(id);
-  // On-time completions free nothing; compression would be a no-op.
-  if (now >= rj.est_end) return;
-  profile_.release(now, rj.est_end, rj.job.procs);
-  compress(now, now);
+  // On-time completions free nothing; compression would be a no-op. A
+  // reservation anchored exactly at this job's est_end can still be due.
+  if (now < rj.est_end) {
+    profile_.release(now, rj.est_end, rj.job.procs);
+    compress(now, now);
+  }
+  return due_.earliest(reservations_) == now;
 }
 
-void SlackScheduler::job_cancelled(JobId id, Time now) {
-  Job job;
-  bool found = false;
-  for (const Job& queued : queue_)
-    if (queued.id == id) {
-      job = queued;
-      found = true;
-      break;
-    }
-  if (!found)
-    throw std::logic_error(
-        "SlackScheduler: cancelling a job that is not queued");
-  SchedulerBase::job_cancelled(id, now);
+bool SlackScheduler::job_cancelled(JobId id, Time now) {
+  const Job job = take_queued(id);
   const Time start = reservations_.at(id);
   profile_.release(start, start + job.estimate, job.procs);
   reservations_.erase(id);
   deadlines_.erase(id);
   compress(now, start);
+  return due_.earliest(reservations_) == now;
 }
+
+Time SlackScheduler::next_wakeup() { return due_.earliest(reservations_); }
 
 void SlackScheduler::compress(Time now, Time hole_begin) {
   // Identical to conservative compression: each re-anchor can only move
@@ -111,7 +112,7 @@ void SlackScheduler::compress(Time now, Time hole_begin) {
   // cascaded unblocking (a moved job vacating its old slot) is never
   // left stale. See ConservativeScheduler::compress for the argument.
   if (queue_.empty()) return;
-  sort_queue(now);
+  ensure_sorted(now);
   for (;;) {
     Time next_hole = sim::kNoTime;
     for (const Job& job : queue_) {
@@ -126,6 +127,7 @@ void SlackScheduler::compress(Time now, Time hole_begin) {
             std::to_string(job.id) + ")");
       if (anchor < old_start) {
         reservations_.at(job.id) = anchor;
+        due_.push(anchor, job.id);
         next_hole = next_hole == sim::kNoTime
                         ? old_start
                         : std::min(next_hole, old_start);
@@ -137,16 +139,22 @@ void SlackScheduler::compress(Time now, Time hole_begin) {
 }
 
 std::vector<Job> SlackScheduler::select_starts(Time now) {
-  sort_queue(now);
-  std::vector<JobId> due;
-  due.reserve(queue_.size());
-  for (const Job& job : queue_) {
-    const Time start = reservations_.at(job.id);
-    if (start < now)
-      throw std::logic_error("SlackScheduler: reservation in the past");
-    if (start == now) due.push_back(job.id);
-  }
+  const Time earliest = due_.earliest(reservations_);
+  if (earliest != sim::kNoTime && earliest < now)
+    throw std::logic_error("SlackScheduler: reservation in the past");
   std::vector<Job> started;
+  if (earliest != now) return started;
+  std::vector<JobId> due = due_.take_due(now, reservations_);
+  if (due.size() > 1) {
+    // Simultaneous starts commit in priority order (see conservative).
+    ensure_sorted(now);
+    std::vector<JobId> ordered;
+    ordered.reserve(due.size());
+    for (const Job& job : queue_)
+      if (std::find(due.begin(), due.end(), job.id) != due.end())
+        ordered.push_back(job.id);
+    due = std::move(ordered);
+  }
   started.reserve(due.size());
   for (JobId id : due) {
     reservations_.erase(id);

@@ -24,6 +24,7 @@
 #include <unordered_map>
 
 #include "core/profile.hpp"
+#include "core/reservation_heap.hpp"
 #include "core/scheduler.hpp"
 
 namespace bfsim::core {
@@ -34,9 +35,10 @@ class SlackScheduler final : public SchedulerBase {
   /// most slack_factor x its own estimate past its arrival guarantee.
   SlackScheduler(SchedulerConfig config, double slack_factor);
 
-  void job_submitted(const Job& job, Time now) override;
-  void job_finished(JobId id, Time now) override;
-  void job_cancelled(JobId id, Time now) override;
+  bool job_submitted(const Job& job, Time now) override;
+  bool job_finished(JobId id, Time now) override;
+  bool job_cancelled(JobId id, Time now) override;
+  [[nodiscard]] Time next_wakeup() override;
   [[nodiscard]] std::vector<Job> select_starts(Time now) override;
   [[nodiscard]] std::string name() const override;
 
@@ -73,6 +75,9 @@ class SlackScheduler final : public SchedulerBase {
   Profile profile_;
   std::unordered_map<JobId, Time> reservations_;
   std::unordered_map<JobId, Time> deadlines_;
+  /// Earliest guaranteed start (lazy-deletion; rebuilt wholesale when a
+  /// displacement reassigns every reservation).
+  ReservationHeap due_;
   std::uint64_t displacements_ = 0;
 
   /// Conservative compression after capacity was freed at `hole_begin`

@@ -1,24 +1,28 @@
 // bfsim -- a small callback-driven discrete-event simulation engine.
 //
-// The scheduler simulation in core/ drives its own typed event loop for
-// speed; this generic engine backs auxiliary models (arrival processes,
-// failure injection in tests, example programs) and is exercised by the
-// DES unit tests as the reference semantics for event ordering.
+// This is the single event loop of the system: core::run_simulation
+// schedules its typed finish/submit/cancel/wake events here, and the
+// same engine backs auxiliary models (arrival processes, failure
+// injection in tests, example programs). The DES unit tests exercise it
+// as the reference semantics for event ordering.
 #pragma once
 
 #include <cstdint>
-#include <functional>
 
 #include "sim/event_queue.hpp"
+#include "sim/small_fn.hpp"
 #include "sim/time.hpp"
 
 namespace bfsim::sim {
 
 /// Discrete-event engine: schedule callbacks at absolute or relative
 /// times, then run until the event queue drains (or a horizon is hit).
+/// Callbacks are SmallFn (sim/small_fn.hpp): trivially copyable, at
+/// most 16 bytes of captures -- the heap the engine runs on moves its
+/// elements constantly, and this keeps every move a memcpy.
 class Engine {
  public:
-  using Action = std::function<void()>;
+  using Action = SmallFn;
 
   /// Schedule `action` at absolute time `when` (>= now). Events scheduled
   /// for the same time fire in (priority_class, insertion) order.
@@ -30,6 +34,11 @@ class Engine {
   [[nodiscard]] Time now() const { return now_; }
   [[nodiscard]] std::uint64_t events_processed() const { return processed_; }
   [[nodiscard]] bool pending() const { return !queue_.empty(); }
+
+  /// Time of the next pending event. Callable only while pending():
+  /// drivers use it inside an event callback to detect the end of a
+  /// batch of same-time events.
+  [[nodiscard]] Time next_time() const { return queue_.top().time; }
 
   /// Run until the queue is empty. Returns the final clock value.
   Time run();

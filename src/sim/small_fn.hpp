@@ -1,0 +1,60 @@
+// bfsim -- a trivially copyable small-callable wrapper.
+//
+// The event engine stores one callback per scheduled event inside a
+// binary heap, where every sift moves the element. std::function makes
+// each of those moves an indirect call into its manager function; for
+// the tiny capture lists events actually carry (a driver pointer and a
+// job id) that overhead dominates the heap operation itself. SmallFn
+// trades generality for speed: callables must be trivially copyable and
+// fit 16 bytes, making SmallFn itself trivially copyable -- heap sifts
+// degrade to plain memcpy. Larger or non-trivial callables fail to
+// compile with a static_assert naming the limit; box the state behind a
+// pointer if you hit it.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace bfsim::sim {
+
+class SmallFn {
+ public:
+  SmallFn() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, SmallFn>>>
+  // NOLINTNEXTLINE(google-explicit-constructor): mirrors std::function.
+  SmallFn(F&& f) {
+    using Fn = std::decay_t<F>;
+    static_assert(std::is_trivially_copyable_v<Fn>,
+                  "SmallFn requires a trivially copyable callable; box "
+                  "non-trivial state behind a pointer");
+    static_assert(sizeof(Fn) <= kStorage,
+                  "SmallFn callables are limited to 16 bytes of captures; "
+                  "box larger state behind a pointer");
+    static_assert(alignof(Fn) <= alignof(std::max_align_t));
+    ::new (static_cast<void*>(storage_)) Fn(std::forward<F>(f));
+    invoke_ = [](void* storage) {
+      (*std::launder(reinterpret_cast<Fn*>(storage)))();
+    };
+  }
+
+  void operator()() { invoke_(storage_); }
+
+  [[nodiscard]] explicit operator bool() const { return invoke_ != nullptr; }
+
+ private:
+  static constexpr std::size_t kStorage = 16;
+
+  void (*invoke_)(void*) = nullptr;
+  alignas(std::max_align_t) unsigned char storage_[kStorage];
+};
+
+static_assert(std::is_trivially_copyable_v<SmallFn>,
+              "SmallFn must stay trivially copyable: the event queue "
+              "relies on memcpy-cheap heap sifts");
+
+}  // namespace bfsim::sim

@@ -156,9 +156,11 @@ TEST(ConservativeScheduler, ProfileTailReturnsToFullyFree) {
 }
 
 TEST(ConservativeScheduler, RejectsJobWiderThanMachine) {
+  // Too-wide jobs are rejected by the driver's trace validation before
+  // any event reaches the scheduler.
+  const Trace trace = make_trace({{.submit = 0, .runtime = 10, .procs = 9}});
   ConservativeScheduler scheduler{SchedulerConfig{8, PriorityPolicy::Fcfs}};
-  EXPECT_THROW(scheduler.job_submitted(make_job(0, 0, 10, 9), 0),
-               std::invalid_argument);
+  EXPECT_THROW((void)run_simulation(trace, scheduler), std::invalid_argument);
 }
 
 TEST(ConservativeScheduler, CompressionCascadesWithinOneEvent) {

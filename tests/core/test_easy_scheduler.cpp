@@ -131,12 +131,11 @@ TEST(EasyScheduler, LastShadowExposedForDiagnostics) {
 }
 
 TEST(EasyScheduler, RejectsJobWiderThanMachine) {
+  // Too-wide jobs are rejected by the driver's trace validation before
+  // any event reaches the scheduler.
+  const Trace trace = make_trace({{.submit = 0, .runtime = 1, .procs = 9}});
   EasyScheduler scheduler{SchedulerConfig{8, PriorityPolicy::Fcfs}};
-  Job j;
-  j.id = 0;
-  j.procs = 9;
-  j.runtime = j.estimate = 1;
-  EXPECT_THROW(scheduler.job_submitted(j, 0), std::invalid_argument);
+  EXPECT_THROW((void)run_simulation(trace, scheduler), std::invalid_argument);
 }
 
 TEST(EasyScheduler, DrainsBurstArrivals) {

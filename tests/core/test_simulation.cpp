@@ -115,6 +115,36 @@ TEST(Simulation, EventCountIsTwoPerJob) {
   EXPECT_EQ(result.events, 200u);
 }
 
+TEST(Simulation, SkipsNoOpPassesOnSaturatedWorkload) {
+  // Deep backlogs are where skipping pays: most arrival batches cannot
+  // start anything. Every scheduler must execute strictly fewer passes
+  // than it receives events, and must actually skip some batches.
+  const Trace trace = test::random_trace(400, 8, 21, /*overestimate=*/true);
+  for (const auto kind :
+       {SchedulerKind::Fcfs, SchedulerKind::Easy, SchedulerKind::Conservative,
+        SchedulerKind::KReservation, SchedulerKind::Selective,
+        SchedulerKind::Slack}) {
+    const auto result = run_simulation(
+        trace, kind, SchedulerConfig{8, PriorityPolicy::Fcfs});
+    EXPECT_LT(result.passes, result.events) << to_string(kind);
+    EXPECT_GT(result.passes_skipped, 0u) << to_string(kind);
+  }
+}
+
+TEST(Simulation, PassAndSkipCountsCoverEveryBatch) {
+  // submit@0 (pass: starts), finish@10 + submit@10 (one batch, pass:
+  // starts job 1), finish@20 (no queue: skipped). Three passes never
+  // happen: batches are decided once, not per event.
+  const Trace trace = make_trace({{.submit = 0, .runtime = 10, .procs = 4},
+                                  {.submit = 10, .runtime = 10, .procs = 4}});
+  const auto result = run_simulation(
+      trace, SchedulerKind::Fcfs, SchedulerConfig{4, PriorityPolicy::Fcfs});
+  EXPECT_EQ(result.events, 4u);
+  EXPECT_EQ(result.passes, 2u);
+  EXPECT_EQ(result.passes_skipped, 1u);
+  EXPECT_EQ(result.wakeups, 0u);
+}
+
 TEST(Simulation, SchedulerNameIsRecorded) {
   const Trace trace = make_trace({{.submit = 0, .runtime = 1, .procs = 1}});
   const auto result = run_simulation(

@@ -1,0 +1,173 @@
+// Wake-up timers: a scheduler holding a start for an instant at which
+// no submit/finish/cancel event lands must still fire exactly on time,
+// driven by next_wakeup() through the engine's timer events -- plus the
+// driver's guard rails around that contract (overdue wake-ups throw,
+// timers re-arm after a pass that starts nothing).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "core/conservative_scheduler.hpp"
+#include "core/simulation.hpp"
+#include "core/slack_scheduler.hpp"
+#include "test_support.hpp"
+
+namespace bfsim::core {
+namespace {
+
+using test::JobSpec;
+using test::make_trace;
+
+/// Holds every queued job until a fixed sequence of release instants;
+/// at each release time the next queued job starts. Between releases it
+/// reports the next instant via next_wakeup() and (correctly) promises
+/// that no pass is needed -- so a start can only happen if the driver's
+/// timer path works.
+class TimerScheduler : public Scheduler {
+ public:
+  TimerScheduler(SchedulerConfig config, std::vector<Time> releases)
+      : config_(config), releases_(std::move(releases)) {}
+
+  bool job_submitted(const Job& job, Time) override {
+    queue_.push_back(job);
+    return false;  // never start on arrival: rely on the timer
+  }
+  bool job_finished(JobId, Time) override {
+    running_ -= 1;
+    return false;
+  }
+  [[nodiscard]] Time next_wakeup() override {
+    return next_ < releases_.size() ? releases_[next_] : sim::kNoTime;
+  }
+  [[nodiscard]] std::vector<Job> select_starts(Time now) override {
+    std::vector<Job> started;
+    if (next_ >= releases_.size() || now < releases_[next_]) return started;
+    ++next_;
+    if (!queue_.empty()) {
+      started.push_back(queue_.front());
+      queue_.erase(queue_.begin());
+      running_ += 1;
+    }
+    return started;
+  }
+  [[nodiscard]] std::string name() const override { return "timer"; }
+  [[nodiscard]] const SchedulerConfig& config() const override {
+    return config_;
+  }
+  [[nodiscard]] std::size_t queued_count() const override {
+    return queue_.size();
+  }
+  [[nodiscard]] std::size_t running_count() const override {
+    return static_cast<std::size_t>(running_);
+  }
+
+ private:
+  SchedulerConfig config_;
+  std::vector<Time> releases_;
+  std::size_t next_ = 0;
+  std::vector<Job> queue_;
+  int running_ = 0;
+};
+
+TEST(Wakeup, ReservationAtEventlessTimeStartsExactlyOnTime) {
+  // One job, submitted at t=0, held until t=7. No trace event exists at
+  // 7: only the armed wake-up can start it there.
+  const Trace trace = make_trace({{.submit = 0, .runtime = 10, .procs = 1}});
+  TimerScheduler scheduler{SchedulerConfig{4}, {7}};
+  const auto result = run_simulation(trace, scheduler, {.validate = true});
+  EXPECT_EQ(result.outcomes[0].start, 7);
+  EXPECT_EQ(result.outcomes[0].end, 17);
+  EXPECT_EQ(result.wakeups, 1u);
+  // Submit and finish batches provably start nothing and are skipped;
+  // only the wake-driven batch runs a pass.
+  EXPECT_EQ(result.passes, 1u);
+  EXPECT_EQ(result.passes_skipped, 2u);
+  EXPECT_EQ(result.events, 2u);  // wake-ups are not trace events
+}
+
+TEST(Wakeup, TimerRearmsAfterAWakeDrivenPass) {
+  // Two eventless releases in sequence: after the t=3 wake-driven pass
+  // the scheduler reports the next release, and the driver must re-read
+  // next_wakeup() post-pass and arm the follow-up timer for t=9.
+  const Trace trace = make_trace({{.submit = 0, .runtime = 5, .procs = 1},
+                                  {.submit = 0, .runtime = 5, .procs = 1}});
+  TimerScheduler scheduler{SchedulerConfig{4}, {3, 9}};
+  const auto result = run_simulation(trace, scheduler, {.validate = true});
+  EXPECT_EQ(result.outcomes[0].start, 3);
+  EXPECT_EQ(result.outcomes[1].start, 9);
+  EXPECT_EQ(result.wakeups, 2u);
+}
+
+TEST(Wakeup, WakeCoincidingWithAnEventIsNotArmed) {
+  // The release instant equals job 1's submit time: the submit batch at
+  // t=5 re-evaluates the wake-up anyway, so no timer fires.
+  const Trace trace = make_trace({{.submit = 0, .runtime = 10, .procs = 1},
+                                  {.submit = 5, .runtime = 10, .procs = 1}});
+  TimerScheduler scheduler{SchedulerConfig{4}, {5, 6}};
+  const auto result = run_simulation(trace, scheduler, {.validate = true});
+  EXPECT_EQ(result.outcomes[0].start, 5);   // batch at 5, no timer needed
+  EXPECT_EQ(result.outcomes[1].start, 6);   // eventless: timer
+  EXPECT_EQ(result.wakeups, 1u);
+}
+
+/// Always claims a wake-up in the past -- the driver must refuse.
+class OverdueScheduler final : public TimerScheduler {
+ public:
+  explicit OverdueScheduler(SchedulerConfig config)
+      : TimerScheduler(config, {}) {}
+  [[nodiscard]] Time next_wakeup() override { return 3; }
+};
+
+TEST(Wakeup, OverdueWakeupThrows) {
+  const Trace trace = make_trace({{.submit = 5, .runtime = 10, .procs = 1}});
+  OverdueScheduler scheduler{SchedulerConfig{4}};
+  EXPECT_THROW((void)run_simulation(trace, scheduler), std::logic_error);
+}
+
+Job make_job(JobId id, sim::Time submit, sim::Time estimate, int procs) {
+  Job j;
+  j.id = id;
+  j.submit = submit;
+  j.runtime = estimate;
+  j.estimate = estimate;
+  j.procs = procs;
+  return j;
+}
+
+TEST(Wakeup, ConservativeReportsItsEarliestReservation) {
+  ConservativeScheduler scheduler{SchedulerConfig{4, PriorityPolicy::Fcfs}};
+  EXPECT_EQ(scheduler.next_wakeup(), sim::kNoTime);
+  scheduler.job_submitted(make_job(0, 0, 100, 4), 0);
+  EXPECT_EQ(scheduler.next_wakeup(), 0);  // reserved for right now
+  (void)scheduler.select_starts(0);
+  EXPECT_EQ(scheduler.next_wakeup(), sim::kNoTime);  // started, none queued
+  scheduler.job_submitted(make_job(1, 1, 50, 4), 1);
+  EXPECT_EQ(scheduler.next_wakeup(), 100);  // behind job 0's estimate
+  scheduler.job_submitted(make_job(2, 2, 50, 2), 2);
+  EXPECT_EQ(scheduler.next_wakeup(), 100);  // still the earliest anchor
+  scheduler.job_finished(0, 60);  // early completion compresses to 60
+  EXPECT_EQ(scheduler.next_wakeup(), 60);
+}
+
+TEST(Wakeup, SlackReportsRebuiltReservationsAfterDisplacement) {
+  // Displacement reassigns reservations wholesale; next_wakeup() must
+  // reflect the rebuilt heap, not the pre-displacement anchors.
+  SlackScheduler scheduler{SchedulerConfig{4, PriorityPolicy::Fcfs},
+                           /*slack_factor=*/2.0};
+  scheduler.job_submitted(make_job(0, 0, 100, 4), 0);
+  (void)scheduler.select_starts(0);
+  scheduler.job_submitted(make_job(1, 1, 100, 4), 1);  // anchored at 100
+  EXPECT_EQ(scheduler.next_wakeup(), 100);
+  // A short narrow job may displace job 1 within its slack or slot in
+  // beside it; either way the earliest anchor can only move earlier or
+  // stay -- and must agree with the authoritative reservation table.
+  scheduler.job_submitted(make_job(2, 2, 10, 1), 2);
+  Time earliest = sim::kNoTime;
+  for (const AuditReservation& r : scheduler.audit_reservations())
+    earliest = earliest == sim::kNoTime ? r.start : std::min(earliest, r.start);
+  EXPECT_EQ(scheduler.next_wakeup(), earliest);
+}
+
+}  // namespace
+}  // namespace bfsim::core

@@ -65,6 +65,28 @@ TEST(Cancellation, SubmitAndCancelAtSameInstant) {
   EXPECT_TRUE(result.outcomes[1].cancelled);
 }
 
+TEST(Cancellation, SameInstantSubmitCancelOrderingInOneBatch) {
+  // Driver-level batch ordering at t=5: both submits are delivered
+  // first (job 1, then job 2, each taking a reservation behind job 0),
+  // the cancellation last. Job 2's reservation is therefore computed
+  // while job 1's [100, 200) roof still exists and must be compressed
+  // back to t=100 within the same batch's scheduling pass.
+  Trace trace = make_trace({
+      {.submit = 0, .runtime = 100, .procs = 4},
+      {.submit = 5, .runtime = 100, .procs = 4},  // withdrawn on arrival
+      {.submit = 5, .runtime = 100, .procs = 4},
+  });
+  trace = with_cancel(trace, 1, 5);
+  const auto result = run_simulation(trace, SchedulerKind::Conservative,
+                                     SchedulerConfig{4, PriorityPolicy::Fcfs},
+                                     {}, {.validate = true, .audit = true});
+  EXPECT_TRUE(result.outcomes[1].cancelled);
+  EXPECT_EQ(result.outcomes[1].start, sim::kNoTime);
+  EXPECT_EQ(result.outcomes[2].start, 100);
+  // 3 submits + 1 cancel + 2 finishes; wake-ups are not counted here.
+  EXPECT_EQ(result.events, 6u);
+}
+
 TEST(Cancellation, ConservativeReleasesTheReservationHole) {
   // Job 1 (whole machine) is reserved [100, 200) and blocks job 2 until
   // 200. Cancelling job 1 at t=50 must pull job 2 up to t=100.

@@ -38,6 +38,24 @@ TEST(Engine, ScheduleInIsRelative) {
   EXPECT_EQ(times, (std::vector<Time>{10, 15}));
 }
 
+TEST(Engine, NextTimeExposesThePendingHorizon) {
+  // Batch-end detection in the simulation driver hinges on peeking at
+  // the next pending timestamp from inside a callback.
+  Engine engine;
+  std::vector<Time> horizons;
+  engine.schedule_at(10, [&] {
+    horizons.push_back(engine.next_time());  // the same-time sibling
+  });
+  engine.schedule_at(10, [&] {
+    horizons.push_back(engine.next_time());  // the t=20 event
+  });
+  engine.schedule_at(20, [&] {
+    horizons.push_back(engine.pending() ? engine.next_time() : kNoTime);
+  });
+  engine.run();
+  EXPECT_EQ(horizons, (std::vector<Time>{10, 20, kNoTime}));
+}
+
 TEST(Engine, RejectsPastEvents) {
   Engine engine;
   engine.schedule_at(10, [&] {
