@@ -16,37 +16,46 @@ using core::SchedulerKind;
 
 namespace {
 
-struct Cell {
-  double slowdown = 0.0;
-  double cancelled = 0.0;
-};
+/// Value slot: realized fraction of jobs cancelled (exp::CellResult).
+constexpr std::size_t kRealizedCancellations = 0;
 
-Cell run_cell(const bench::BenchOptions& options, SchedulerKind kind,
-              double fraction) {
-  Cell cell;
-  for (std::uint64_t seed = 1; seed <= options.seeds; ++seed) {
-    exp::Scenario s;
-    s.trace = exp::TraceKind::Ctc;
-    s.jobs = options.jobs;
-    s.load = options.load;
-    s.seed = seed;
-    s.estimates.regime = exp::EstimateRegime::Actual;
-    workload::Trace trace = exp::build_workload(s);
-    sim::Rng rng{seed * 0xa076bc9d85f6e357ULL + 3};
+/// The cancellation transform is seeded from the scenario seed with its
+/// own stream constant, so the set of impatient users is independent of
+/// the workload draw but reproducible per cell.
+exp::CellRunner cancellation_cell(double fraction) {
+  return [fraction](const exp::Scenario& scenario,
+                    const core::SimulationOptions& sim_options,
+                    exp::CellResult& result) {
+    workload::Trace trace = exp::build_workload(scenario);
+    sim::Rng rng{scenario.seed * 0xa076bc9d85f6e357ULL + 3};
     // Impatient users: give up after waiting one estimated runtime.
     workload::apply_cancellations(trace, fraction, 1.0, rng);
-    const core::SchedulerConfig config{s.procs(), PriorityPolicy::Fcfs};
-    const auto result = core::run_simulation(trace, kind, config);
-    const auto m = metrics::compute_metrics(
-        result, config.procs,
+    const core::SchedulerConfig config{scenario.procs(), scenario.priority};
+    const auto sim_result = core::run_simulation(trace, scenario.scheduler,
+                                                 config, {}, sim_options);
+    result.metrics = metrics::compute_metrics(
+        sim_result, config.procs,
         exp::experiment_metrics_options(trace.size()));
-    cell.slowdown += m.overall.slowdown.mean();
-    cell.cancelled += static_cast<double>(m.cancelled_jobs) /
-                      static_cast<double>(m.overall.count() +
-                                          m.cancelled_jobs);
-  }
-  const auto n = static_cast<double>(options.seeds);
-  return {cell.slowdown / n, cell.cancelled / n};
+    result.values.assign(1, 0.0);
+    result.values[kRealizedCancellations] =
+        static_cast<double>(result.metrics.cancelled_jobs) /
+        static_cast<double>(result.metrics.overall.count() +
+                            result.metrics.cancelled_jobs);
+  };
+}
+
+std::size_t declare(bench::Grid& grid, SchedulerKind kind, double fraction) {
+  exp::Scenario base;
+  base.trace = exp::TraceKind::Ctc;
+  base.jobs = grid.options().jobs;
+  base.load = grid.options().load;
+  base.scheduler = kind;
+  base.priority = PriorityPolicy::Fcfs;
+  base.estimates.regime = exp::EstimateRegime::Actual;
+  return grid.add_custom(base,
+                         "a5/" + core::to_string(kind) +
+                             "/cancel=" + util::format_percent(fraction, 0),
+                         cancellation_cell(fraction));
 }
 
 }  // namespace
@@ -59,6 +68,15 @@ int main(int argc, char** argv) {
           options))
     return 0;
 
+  const double fractions[] = {0.0, 0.1, 0.2, 0.4};
+
+  bench::Grid grid{options};
+  for (const double fraction : fractions)
+    for (const auto kind :
+         {SchedulerKind::Conservative, SchedulerKind::Easy})
+      (void)declare(grid, kind, fraction);
+  grid.run();
+
   util::Table t{
       "A5 -- cancellations, CTC, FCFS priority, actual estimates "
       "(impatience: give up after 1 x estimate of waiting)"};
@@ -68,18 +86,20 @@ int main(int argc, char** argv) {
   double cons_first = 0, cons_last = 0;
   bool monotone_context = true;
   double prev_cons = -1.0;
-  for (const double fraction : {0.0, 0.1, 0.2, 0.4}) {
-    const Cell cons = run_cell(options, SchedulerKind::Conservative, fraction);
-    const Cell easy = run_cell(options, SchedulerKind::Easy, fraction);
+  for (const double fraction : fractions) {
+    const auto cons_cell =
+        declare(grid, SchedulerKind::Conservative, fraction);
+    const auto easy_cell = declare(grid, SchedulerKind::Easy, fraction);
+    const double cons = grid.mean(cons_cell, exp::overall_slowdown);
+    const double easy = grid.mean(easy_cell, exp::overall_slowdown);
     t.add_row({util::format_percent(fraction, 0),
-               util::format_percent(cons.cancelled, 1),
-               util::format_fixed(cons.slowdown),
-               util::format_fixed(easy.slowdown)});
-    if (fraction == 0.0) cons_first = cons.slowdown;
-    cons_last = cons.slowdown;
-    if (prev_cons >= 0.0 && cons.slowdown > prev_cons)
-      monotone_context = false;
-    prev_cons = cons.slowdown;
+               util::format_percent(
+                   grid.mean_value(cons_cell, kRealizedCancellations), 1),
+               util::format_fixed(cons), util::format_fixed(easy)});
+    if (fraction == 0.0) cons_first = cons;
+    cons_last = cons;
+    if (prev_cons >= 0.0 && cons > prev_cons) monotone_context = false;
+    prev_cons = cons;
   }
   std::fputs(t.str().c_str(), stdout);
 

@@ -18,29 +18,38 @@ using core::SchedulerKind;
 
 namespace {
 
+constexpr int kDepths[] = {0, 1, 2, 4, 8, 16, 64};
+const exp::EstimateSpec kActual{exp::EstimateRegime::Actual, 1.0};
+
 struct SweepPoint {
   int depth;
   double slowdown;
   double worst;
 };
 
-std::vector<SweepPoint> sweep(const bench::BenchOptions& options,
-                              PriorityPolicy priority) {
-  const exp::EstimateSpec actual{exp::EstimateRegime::Actual, 1.0};
+core::SchedulerExtras depth_extras(int depth) {
+  core::SchedulerExtras extras;
+  extras.reservation_depth = depth;
+  return extras;
+}
+
+void declare(bench::Grid& grid, PriorityPolicy priority) {
+  for (const int depth : kDepths)
+    (void)grid.add(exp::TraceKind::Ctc, SchedulerKind::KReservation,
+                   priority, kActual, depth_extras(depth));
+}
+
+std::vector<SweepPoint> sweep(bench::Grid& grid, PriorityPolicy priority) {
   std::vector<SweepPoint> points;
   util::Table t{"A2 -- reservation depth K, CTC, " + to_string(priority) +
                 " priority, actual estimates"};
   t.set_header({"K", "avg slowdown", "worst turnaround (s)"});
-  for (const int depth : {0, 1, 2, 4, 8, 16, 64}) {
-    core::SchedulerExtras extras;
-    extras.reservation_depth = depth;
-    const auto reps =
-        bench::run_cell(options, exp::TraceKind::Ctc,
-                        SchedulerKind::KReservation, priority, actual,
-                        extras);
-    const SweepPoint point{depth,
-                           exp::mean_of(reps, exp::overall_slowdown),
-                           exp::max_of(reps, exp::worst_turnaround)};
+  for (const int depth : kDepths) {
+    const auto cell =
+        grid.add(exp::TraceKind::Ctc, SchedulerKind::KReservation,
+                 priority, kActual, depth_extras(depth));
+    const SweepPoint point{depth, grid.mean(cell, exp::overall_slowdown),
+                           grid.max(cell, exp::worst_turnaround)};
     t.add_row({std::to_string(depth), util::format_fixed(point.slowdown),
                util::format_count(static_cast<std::int64_t>(point.worst))});
     points.push_back(point);
@@ -59,7 +68,12 @@ int main(int argc, char** argv) {
           options))
     return 0;
 
-  const auto fcfs = sweep(options, PriorityPolicy::Fcfs);
+  bench::Grid grid{options};
+  declare(grid, PriorityPolicy::Fcfs);
+  declare(grid, PriorityPolicy::Sjf);
+  grid.run();
+
+  const auto fcfs = sweep(grid, PriorityPolicy::Fcfs);
   const SweepPoint& k0 = fcfs.front();   // greedy
   const SweepPoint& k1 = fcfs[1];        // EASY
   const SweepPoint& kmax = fcfs.back();  // conservative-like
@@ -74,7 +88,7 @@ int main(int argc, char** argv) {
       kmax.slowdown > k1.slowdown);
   std::fputs("\n", stdout);
 
-  const auto sjf = sweep(options, PriorityPolicy::Sjf);
+  const auto sjf = sweep(grid, PriorityPolicy::Sjf);
   // Under SJF the reservations land on the shortest jobs, which backfill
   // fine anyway: depth should NOT buy a meaningfully better worst case.
   bench::report_expectation(

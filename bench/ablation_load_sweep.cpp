@@ -8,6 +8,26 @@ using namespace bfsim;
 using core::PriorityPolicy;
 using core::SchedulerKind;
 
+namespace {
+
+constexpr double kLoads[] = {0.70, 0.78, 0.84, 0.88, 0.92, 0.96};
+
+/// Load-varying cells bypass the grid-wide --load: each declares a full
+/// scenario with its own offered load, keyed on scheme + load.
+std::size_t declare(bench::Grid& grid, SchedulerKind kind,
+                    PriorityPolicy priority, double load) {
+  exp::Scenario base;
+  base.trace = exp::TraceKind::Ctc;
+  base.jobs = grid.options().jobs;
+  base.load = load;
+  base.scheduler = kind;
+  base.priority = priority;
+  return grid.add_scenario(base, "a3/" + bench::scheme_label(kind, priority) +
+                                     "/load=" + util::format_fixed(load));
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   bench::BenchOptions options;
   if (!bench::parse_bench_options(
@@ -15,22 +35,27 @@ int main(int argc, char** argv) {
           "A3: offered-load sweep (normal -> high load)", options))
     return 0;
 
+  bench::Grid grid{options};
+  for (const double load : kLoads) {
+    (void)declare(grid, SchedulerKind::Conservative, PriorityPolicy::Fcfs,
+                  load);
+    (void)declare(grid, SchedulerKind::Easy, PriorityPolicy::Sjf, load);
+  }
+  grid.run();
+
   util::Table t{"A3 -- CTC, exact estimates: slowdown vs offered load"};
   t.set_header({"offered load", "conservative-fcfs", "easy-sjf",
                 "EASY advantage"});
 
   double first_gap = 0.0, last_gap = 0.0;
   bool easy_always_ahead = true;
-  for (const double load : {0.70, 0.78, 0.84, 0.88, 0.92, 0.96}) {
-    bench::BenchOptions cell = options;
-    cell.load = load;
-    const double cons = exp::mean_of(
-        bench::run_cell(cell, exp::TraceKind::Ctc,
-                        SchedulerKind::Conservative, PriorityPolicy::Fcfs),
-        exp::overall_slowdown);
-    const double easy = exp::mean_of(
-        bench::run_cell(cell, exp::TraceKind::Ctc, SchedulerKind::Easy,
-                        PriorityPolicy::Sjf),
+  for (const double load : kLoads) {
+    const double cons =
+        grid.mean(declare(grid, SchedulerKind::Conservative,
+                          PriorityPolicy::Fcfs, load),
+                  exp::overall_slowdown);
+    const double easy = grid.mean(
+        declare(grid, SchedulerKind::Easy, PriorityPolicy::Sjf, load),
         exp::overall_slowdown);
     const double gap = cons - easy;
     t.add_row({util::format_fixed(load), util::format_fixed(cons),

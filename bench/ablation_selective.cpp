@@ -14,6 +14,30 @@ using namespace bfsim;
 using core::PriorityPolicy;
 using core::SchedulerKind;
 
+namespace {
+
+const exp::EstimateSpec kActual{exp::EstimateRegime::Actual, 1.0};
+
+std::vector<std::pair<std::string, core::SchedulerExtras>>
+selective_variants() {
+  std::vector<std::pair<std::string, core::SchedulerExtras>> variants;
+  for (const double threshold : {1.5, 2.0, 3.0, 5.0, 10.0}) {
+    core::SchedulerExtras extras;
+    extras.xfactor_threshold = threshold;
+    variants.emplace_back(
+        "selective xf>=" + util::format_fixed(threshold, 1), extras);
+  }
+  // Adaptive variant (Srinivasan et al., JSSPP 2002): the promotion bar
+  // tracks the mean bounded slowdown of completed jobs.
+  core::SchedulerExtras adaptive;
+  adaptive.xfactor_threshold = 1.5;  // floor
+  adaptive.selective_adaptive = true;
+  variants.emplace_back("selective adaptive", adaptive);
+  return variants;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   bench::BenchOptions options;
   if (!bench::parse_bench_options(
@@ -22,7 +46,18 @@ int main(int argc, char** argv) {
           options))
     return 0;
 
-  const exp::EstimateSpec actual{exp::EstimateRegime::Actual, 1.0};
+  const auto variants = selective_variants();
+
+  bench::Grid grid{options};
+  (void)grid.add(exp::TraceKind::Ctc, SchedulerKind::Conservative,
+                 PriorityPolicy::Fcfs, kActual);
+  (void)grid.add(exp::TraceKind::Ctc, SchedulerKind::Easy,
+                 PriorityPolicy::Fcfs, kActual);
+  for (const auto& [label, extras] : variants)
+    (void)grid.add(exp::TraceKind::Ctc, SchedulerKind::Selective,
+                   PriorityPolicy::Fcfs, kActual, extras);
+  grid.run();
+
   util::Table t{
       "A1 -- selective backfilling, CTC, FCFS priority, actual estimates"};
   t.set_header({"scheduler", "avg slowdown", "worst turnaround (s)",
@@ -30,52 +65,38 @@ int main(int argc, char** argv) {
 
   const auto add = [&](const std::string& label, SchedulerKind kind,
                        core::SchedulerExtras extras) {
-    const auto reps =
-        bench::run_cell(options, exp::TraceKind::Ctc, kind,
-                        PriorityPolicy::Fcfs, actual, extras);
-    t.add_row({label,
-               util::format_fixed(exp::mean_of(reps, exp::overall_slowdown)),
-               util::format_count(static_cast<std::int64_t>(
-                   exp::max_of(reps, exp::worst_turnaround))),
+    const auto cell = grid.add(exp::TraceKind::Ctc, kind,
+                               PriorityPolicy::Fcfs, kActual, extras);
+    const double slowdown = grid.mean(cell, exp::overall_slowdown);
+    const double worst = grid.max(cell, exp::worst_turnaround);
+    t.add_row({label, util::format_fixed(slowdown),
+               util::format_count(static_cast<std::int64_t>(worst)),
                util::format_duration(static_cast<sim::Time>(
-                   exp::mean_of(reps, exp::overall_turnaround)))});
-    return reps;
+                   grid.mean(cell, exp::overall_turnaround)))});
+    return std::pair{slowdown, worst};
   };
 
-  const auto cons =
+  const auto [cons_slowdown, cons_worst] =
       add("conservative", SchedulerKind::Conservative, {});
-  const auto easy = add("easy", SchedulerKind::Easy, {});
+  const auto [easy_slowdown, easy_worst] =
+      add("easy", SchedulerKind::Easy, {});
+  (void)cons_worst;
+  (void)easy_slowdown;
   t.add_rule();
 
   double best_selective_slowdown = 0.0;
   double best_selective_worst = 0.0;
-  const auto track = [&](const std::vector<metrics::Metrics>& reps) {
-    const double slowdown = exp::mean_of(reps, exp::overall_slowdown);
-    const double worst = exp::max_of(reps, exp::worst_turnaround);
+  for (const auto& [label, extras] : variants) {
+    const auto [slowdown, worst] =
+        add(label, SchedulerKind::Selective, extras);
     if (best_selective_slowdown == 0.0 ||
         slowdown < best_selective_slowdown)
       best_selective_slowdown = slowdown;
     if (best_selective_worst == 0.0 || worst < best_selective_worst)
       best_selective_worst = worst;
-  };
-  for (const double threshold : {1.5, 2.0, 3.0, 5.0, 10.0}) {
-    core::SchedulerExtras extras;
-    extras.xfactor_threshold = threshold;
-    track(add("selective xf>=" + util::format_fixed(threshold, 1),
-              SchedulerKind::Selective, extras));
-  }
-  // Adaptive variant (Srinivasan et al., JSSPP 2002): the promotion bar
-  // tracks the mean bounded slowdown of completed jobs.
-  {
-    core::SchedulerExtras extras;
-    extras.xfactor_threshold = 1.5;  // floor
-    extras.selective_adaptive = true;
-    track(add("selective adaptive", SchedulerKind::Selective, extras));
   }
   std::fputs(t.str().c_str(), stdout);
 
-  const double cons_slowdown = exp::mean_of(cons, exp::overall_slowdown);
-  const double easy_worst = exp::max_of(easy, exp::worst_turnaround);
   bench::report_expectation(
       "some selective threshold beats conservative's mean slowdown",
       best_selective_slowdown < cons_slowdown);

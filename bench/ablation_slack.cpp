@@ -13,6 +13,19 @@ using namespace bfsim;
 using core::PriorityPolicy;
 using core::SchedulerKind;
 
+namespace {
+
+constexpr double kFactors[] = {0.0, 0.5, 1.0, 2.0, 5.0, 20.0};
+const exp::EstimateSpec kActual{exp::EstimateRegime::Actual, 1.0};
+
+core::SchedulerExtras slack_extras(double factor) {
+  core::SchedulerExtras extras;
+  extras.slack_factor = factor;
+  return extras;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   bench::BenchOptions options;
   if (!bench::parse_bench_options(
@@ -20,17 +33,31 @@ int main(int argc, char** argv) {
           "A4: slack-based backfilling factor sweep", options))
     return 0;
 
-  const exp::EstimateSpec actual{exp::EstimateRegime::Actual, 1.0};
+  bench::Grid grid{options};
+  (void)grid.add(exp::TraceKind::Ctc, SchedulerKind::Conservative,
+                 PriorityPolicy::Sjf, kActual);
+  (void)grid.add(exp::TraceKind::Ctc, SchedulerKind::Easy,
+                 PriorityPolicy::Sjf, kActual);
+  for (const double factor : kFactors)
+    (void)grid.add(exp::TraceKind::Ctc, SchedulerKind::Slack,
+                   PriorityPolicy::Sjf, kActual, slack_extras(factor));
+  // Exact-estimate pair for the slack-0 == conservative identity check.
+  (void)grid.add(exp::TraceKind::Ctc, SchedulerKind::Conservative,
+                 PriorityPolicy::Sjf);
+  (void)grid.add(exp::TraceKind::Ctc, SchedulerKind::Slack,
+                 PriorityPolicy::Sjf, {}, slack_extras(0.0));
+  grid.run();
+
   util::Table t{
       "A4 -- slack-based backfilling, CTC, SJF priority, actual estimates"};
   t.set_header({"scheduler", "avg slowdown", "worst turnaround (s)"});
 
   const auto cell = [&](SchedulerKind kind, core::SchedulerExtras extras,
                         const std::string& label) {
-    const auto reps = bench::run_cell(options, exp::TraceKind::Ctc, kind,
-                                      PriorityPolicy::Sjf, actual, extras);
-    const double slowdown = exp::mean_of(reps, exp::overall_slowdown);
-    const double worst = exp::max_of(reps, exp::worst_turnaround);
+    const auto handle = grid.add(exp::TraceKind::Ctc, kind,
+                                 PriorityPolicy::Sjf, kActual, extras);
+    const double slowdown = grid.mean(handle, exp::overall_slowdown);
+    const double worst = grid.max(handle, exp::worst_turnaround);
     t.add_row({label, util::format_fixed(slowdown),
                util::format_count(static_cast<std::int64_t>(worst))});
     return std::pair{slowdown, worst};
@@ -41,10 +68,8 @@ int main(int argc, char** argv) {
   t.add_rule();
 
   std::pair<double, double> slack0{}, slack_big{};
-  for (const double factor : {0.0, 0.5, 1.0, 2.0, 5.0, 20.0}) {
-    core::SchedulerExtras extras;
-    extras.slack_factor = factor;
-    const auto point = cell(SchedulerKind::Slack, extras,
+  for (const double factor : kFactors) {
+    const auto point = cell(SchedulerKind::Slack, slack_extras(factor),
                             "slack x" + util::format_fixed(factor, 1));
     if (factor == 0.0) slack0 = point;
     slack_big = point;
@@ -55,16 +80,14 @@ int main(int argc, char** argv) {
   // schedule-identical to conservative; with actual estimates it may
   // only *re-push* jobs back toward their original arrival guarantee,
   // so it tracks or beats conservative.
-  const double cons_exact = exp::mean_of(
-      bench::run_cell(options, exp::TraceKind::Ctc,
-                      SchedulerKind::Conservative, PriorityPolicy::Sjf),
-      exp::overall_slowdown);
-  core::SchedulerExtras zero;
-  zero.slack_factor = 0.0;
-  const double slack0_exact = exp::mean_of(
-      bench::run_cell(options, exp::TraceKind::Ctc, SchedulerKind::Slack,
-                      PriorityPolicy::Sjf, {}, zero),
-      exp::overall_slowdown);
+  const double cons_exact =
+      grid.mean(grid.add(exp::TraceKind::Ctc, SchedulerKind::Conservative,
+                         PriorityPolicy::Sjf),
+                exp::overall_slowdown);
+  const double slack0_exact =
+      grid.mean(grid.add(exp::TraceKind::Ctc, SchedulerKind::Slack,
+                         PriorityPolicy::Sjf, {}, slack_extras(0.0)),
+                exp::overall_slowdown);
   bench::report_expectation(
       "slack 0 == conservative exactly under exact estimates",
       slack0_exact == cons_exact);

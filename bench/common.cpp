@@ -1,5 +1,7 @@
 #include "common.hpp"
 
+#include <stdexcept>
+
 namespace bfsim::bench {
 
 bool parse_bench_options(int argc, const char* const* argv,
@@ -13,14 +15,24 @@ bool parse_bench_options(int argc, const char* const* argv,
                  std::to_string(options.seeds));
   cli.add_option("load", "offered load (paper high load = 0.88)",
                  util::format_fixed(options.load, 2));
+  cli.add_option("threads",
+                 "sweep worker threads (1 = serial, 0 = hardware); the "
+                 "output is identical for any value",
+                 std::to_string(options.threads));
   cli.add_flag("audit",
                "attach the schedule-invariant auditor to every run "
                "(violations abort with a diagnostic)");
+  cli.add_flag("json",
+               "print the grid's canonical JSON report (per-cell and "
+               "merged metrics) before the tables");
   if (!cli.parse(argc, argv)) return false;
+  options.name = name;
   options.jobs = static_cast<std::size_t>(cli.get_int64("jobs"));
   options.seeds = static_cast<std::size_t>(cli.get_int64("seeds"));
   options.load = cli.get_double("load");
+  options.threads = static_cast<std::size_t>(cli.get_int64("threads"));
   options.audit = cli.get_flag("audit");
+  options.json = cli.get_flag("json");
   return true;
 }
 
@@ -33,23 +45,127 @@ void report_expectation(const std::string& claim, bool holds) {
   std::printf("  [%s] %s\n", holds ? "PASS" : "FAIL", claim.c_str());
 }
 
-std::vector<metrics::Metrics> run_cell(const BenchOptions& options,
-                                       exp::TraceKind trace,
-                                       core::SchedulerKind kind,
-                                       core::PriorityPolicy priority,
-                                       exp::EstimateSpec estimates,
-                                       core::SchedulerExtras extras) {
-  exp::Scenario scenario;
-  scenario.trace = trace;
-  scenario.jobs = options.jobs;
-  scenario.load = options.load;
-  scenario.scheduler = kind;
-  scenario.priority = priority;
-  scenario.estimates = estimates;
-  scenario.extras = extras;
-  scenario.seed = 1;
-  return exp::run_replications(scenario, options.seeds, nullptr,
-                               {.audit = options.audit});
+namespace {
+
+/// Cell-key discriminator for the tuning knobs Scenario::label() omits.
+std::string extras_label(const core::SchedulerExtras& extras) {
+  return "/k=" + std::to_string(extras.reservation_depth) +
+         "/xf=" + util::format_fixed(extras.xfactor_threshold, 2) +
+         (extras.selective_adaptive ? "a" : "") +
+         "/slack=" + util::format_fixed(extras.slack_factor, 2);
+}
+
+}  // namespace
+
+std::size_t Grid::add(exp::TraceKind trace, core::SchedulerKind kind,
+                      core::PriorityPolicy priority,
+                      exp::EstimateSpec estimates,
+                      core::SchedulerExtras extras) {
+  exp::Scenario base;
+  base.trace = trace;
+  base.jobs = options_.jobs;
+  base.load = options_.load;
+  base.scheduler = kind;
+  base.priority = priority;
+  base.estimates = estimates;
+  base.extras = extras;
+  base.seed = 1;
+  return declare(base, base.label() + extras_label(extras), {});
+}
+
+std::size_t Grid::add_scenario(exp::Scenario base, const std::string& tag) {
+  base.seed = 1;
+  return declare(base, tag, {});
+}
+
+std::size_t Grid::add_custom(exp::Scenario base, const std::string& tag,
+                             exp::CellRunner runner) {
+  base.seed = 1;
+  return declare(base, tag, std::move(runner));
+}
+
+std::size_t Grid::declare(exp::Scenario base, const std::string& key,
+                          exp::CellRunner runner) {
+  const auto found = by_key_.find(key);
+  if (found != by_key_.end()) return found->second;
+  if (report_)
+    throw std::logic_error("Grid: new cell '" + key +
+                           "' declared after run()");
+  const std::size_t first = sweep_.size();
+  for (std::size_t i = 0; i < options_.seeds; ++i) {
+    exp::Scenario scenario = base;
+    scenario.seed = base.seed + i;
+    (void)sweep_.add(scenario, key + "/seed=" + std::to_string(scenario.seed),
+                     runner);
+  }
+  cells_.push_back({key, first});
+  const std::size_t handle = cells_.size() - 1;
+  by_key_.emplace(key, handle);
+  return handle;
+}
+
+void Grid::run() {
+  if (report_) throw std::logic_error("Grid: run() called twice");
+  exp::SweepOptions sweep_options;
+  sweep_options.threads = options_.threads;
+  sweep_options.audit = options_.audit;
+  report_ = sweep_.run(sweep_options);
+  reps_cache_.assign(cells_.size(), {});
+
+  if (!options_.json) return;
+  // Canonical JSON report: every scheme cell with its per-seed and
+  // seed-merged metrics, then the whole-grid merge. Byte-identical for
+  // any --threads (see exp::Sweep).
+  std::string out = "{\"bench\":\"" + options_.name +
+                    "\",\"jobs\":" + std::to_string(options_.jobs) +
+                    ",\"seeds\":" + std::to_string(options_.seeds) +
+                    ",\"load\":" + util::format_fixed(options_.load, 4) +
+                    ",\"threads\":" + std::to_string(report_->threads_used) +
+                    ",\"cells\":[";
+  for (std::size_t h = 0; h < cells_.size(); ++h) {
+    if (h > 0) out += ',';
+    out += "{\"key\":\"" + cells_[h].key + "\",\"merged\":" +
+           metrics::metrics_json(metrics::merged_metrics(reps(h))) + "}";
+  }
+  out += "],\"merged\":" + metrics::metrics_json(report_->merged) + "}\n";
+  std::fputs(out.c_str(), stdout);
+}
+
+const std::vector<metrics::Metrics>& Grid::reps(std::size_t handle) const {
+  if (!report_) throw std::logic_error("Grid: reps() before run()");
+  auto& cache = reps_cache_[handle];
+  if (cache.empty() && options_.seeds > 0) {
+    cache.reserve(options_.seeds);
+    for (std::size_t i = 0; i < options_.seeds; ++i)
+      cache.push_back(report_->cells[cells_[handle].first + i].metrics);
+  }
+  return cache;
+}
+
+double Grid::mean(
+    std::size_t handle,
+    const std::function<double(const metrics::Metrics&)>& extract) const {
+  return exp::mean_of(reps(handle), extract);
+}
+
+double Grid::max(
+    std::size_t handle,
+    const std::function<double(const metrics::Metrics&)>& extract) const {
+  return exp::max_of(reps(handle), extract);
+}
+
+double Grid::mean_value(std::size_t handle, std::size_t index) const {
+  if (!report_) throw std::logic_error("Grid: mean_value() before run()");
+  if (options_.seeds == 0) return 0.0;
+  double sum = 0.0;
+  for (std::size_t i = 0; i < options_.seeds; ++i) {
+    const auto& values = report_->cells[cells_[handle].first + i].values;
+    if (index >= values.size())
+      throw std::out_of_range("Grid: cell '" + cells_[handle].key +
+                              "' has no value #" + std::to_string(index));
+    sum += values[index];
+  }
+  return sum / static_cast<double>(options_.seeds);
 }
 
 }  // namespace bfsim::bench

@@ -1,14 +1,26 @@
 // bfsim bench -- shared plumbing for the table/figure regeneration
-// binaries. Every binary accepts --jobs/--seeds/--load so the full-size
-// runs recorded in EXPERIMENTS.md can be reproduced or scaled down.
+// binaries. Every binary accepts --jobs/--seeds/--load/--threads/
+// --audit/--json so the full-size runs recorded in EXPERIMENTS.md can
+// be reproduced, scaled down, or parallelized uniformly.
+//
+// The binaries are two-pass: a declaration pass registers every
+// scenario cell of the table/figure in a Grid, Grid::run() executes the
+// whole grid in one exp::Sweep (sharded over --threads), and a render
+// pass reads the per-cell results back through the same add() calls --
+// Grid::add memoizes on the cell key, so declaring twice yields the
+// same handle.
 #pragma once
 
 #include <cstdio>
+#include <functional>
+#include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "exp/runner.hpp"
 #include "exp/scenario.hpp"
+#include "exp/sweep.hpp"
 #include "metrics/report.hpp"
 #include "util/cli.hpp"
 #include "util/format.hpp"
@@ -17,6 +29,7 @@
 namespace bfsim::bench {
 
 struct BenchOptions {
+  std::string name;  ///< binary name (set by parse_bench_options)
   std::size_t jobs = 10000;
   std::size_t seeds = 5;
   double load = exp::kHighLoad;
@@ -25,6 +38,13 @@ struct BenchOptions {
   /// producing a figure from an infeasible schedule. Costs time; run it
   /// once before trusting any new number.
   bool audit = false;
+  /// Worker threads for the cell sweep: 1 = serial (default),
+  /// 0 = hardware concurrency, n = exactly n. Any value produces
+  /// byte-identical tables (see exp::Sweep's determinism contract).
+  std::size_t threads = 1;
+  /// After the sweep, print the grid's canonical JSON report (per-cell
+  /// and merged metrics, %.17g doubles) before the human tables.
+  bool json = false;
 };
 
 /// Parse the standard bench options; on --help or parse error returns
@@ -41,11 +61,70 @@ struct BenchOptions {
 /// Print a PASS/FAIL line for a shape expectation from the paper.
 void report_expectation(const std::string& claim, bool holds);
 
-/// Mean-of-replications for one scenario cell.
-[[nodiscard]] std::vector<metrics::Metrics> run_cell(
-    const BenchOptions& options, exp::TraceKind trace,
-    core::SchedulerKind kind, core::PriorityPolicy priority,
-    exp::EstimateSpec estimates = {},
-    core::SchedulerExtras extras = {});
+/// One bench binary's whole scenario grid, executed as one exp::Sweep.
+///
+/// Each add() declares a *scheme cell* that the Grid expands into
+/// --seeds replication cells (consecutive seeds from 1); handles are
+/// stable across repeated identical add() calls, before and after
+/// run(). Accessors require run() to have completed.
+class Grid {
+ public:
+  explicit Grid(const BenchOptions& options) : options_(options) {}
+
+  /// Declare a standard scheme cell on the grid's jobs/load.
+  std::size_t add(exp::TraceKind trace, core::SchedulerKind kind,
+                  core::PriorityPolicy priority,
+                  exp::EstimateSpec estimates = {},
+                  core::SchedulerExtras extras = {});
+
+  /// Declare a cell from a full base scenario (seed is overwritten by
+  /// the replication expansion). `tag` is the memoization key.
+  std::size_t add_scenario(exp::Scenario base, const std::string& tag);
+
+  /// Declare a cell computed by a custom runner (paired runs, workload
+  /// statistics, ...). The runner must derive all randomness from the
+  /// scenario seed; see exp::CellRunner.
+  std::size_t add_custom(exp::Scenario base, const std::string& tag,
+                         exp::CellRunner runner);
+
+  /// Run every declared cell over --threads workers; emits the JSON
+  /// report when --json. Must be called exactly once, after all cells
+  /// are declared and before any accessor.
+  void run();
+
+  /// Per-seed metrics of one scheme cell, in seed order.
+  [[nodiscard]] const std::vector<metrics::Metrics>& reps(
+      std::size_t handle) const;
+
+  /// mean_of / max_of over the cell's replications.
+  [[nodiscard]] double mean(
+      std::size_t handle,
+      const std::function<double(const metrics::Metrics&)>& extract) const;
+  [[nodiscard]] double max(
+      std::size_t handle,
+      const std::function<double(const metrics::Metrics&)>& extract) const;
+
+  /// Mean over seeds of a custom runner's auxiliary value #index.
+  [[nodiscard]] double mean_value(std::size_t handle,
+                                  std::size_t index) const;
+
+  [[nodiscard]] const BenchOptions& options() const { return options_; }
+
+ private:
+  [[nodiscard]] std::size_t declare(exp::Scenario base, const std::string& key,
+                                    exp::CellRunner runner);
+
+  struct SchemeCell {
+    std::string key;
+    std::size_t first = 0;  ///< index of the seed-1 cell in the sweep
+  };
+
+  BenchOptions options_;
+  exp::Sweep sweep_;
+  std::map<std::string, std::size_t> by_key_;
+  std::vector<SchemeCell> cells_;
+  std::optional<exp::SweepReport> report_;
+  mutable std::vector<std::vector<metrics::Metrics>> reps_cache_;
+};
 
 }  // namespace bfsim::bench

@@ -21,6 +21,16 @@ int main(int argc, char** argv) {
           options))
     return 0;
 
+  // Declaration pass: the whole grid runs as one sweep; the render pass
+  // re-requests the same cells (Grid::add memoizes).
+  bench::Grid grid{options};
+  for (const auto trace : {exp::TraceKind::Ctc, exp::TraceKind::Sdsc})
+    for (const auto priority : core::kPaperPolicies)
+      for (const auto kind :
+           {SchedulerKind::Conservative, SchedulerKind::Easy})
+        (void)grid.add(trace, kind, priority);
+  grid.run();
+
   for (const auto trace : {exp::TraceKind::Ctc, exp::TraceKind::Sdsc}) {
     util::Table t{"Fig. 2 -- " + to_string(trace) +
                   ": % change in slowdown, EASY vs conservative "
@@ -31,17 +41,14 @@ int main(int argc, char** argv) {
     double sw_fcfs = 0.0, sn_sjf = 0.0, sw_sjf = 0.0;
     int pi = 0;
     for (const auto priority : core::kPaperPolicies) {
-      const auto cons = bench::run_cell(options, trace,
-                                        SchedulerKind::Conservative,
-                                        priority);
-      const auto easy =
-          bench::run_cell(options, trace, SchedulerKind::Easy, priority);
+      const auto cons = grid.add(trace, SchedulerKind::Conservative, priority);
+      const auto easy = grid.add(trace, SchedulerKind::Easy, priority);
       std::vector<std::string> row{to_string(priority)};
       for (const auto cat : workload::kAllCategories) {
-        const double c = exp::mean_of(cons, [cat](const metrics::Metrics& m) {
+        const double c = grid.mean(cons, [cat](const metrics::Metrics& m) {
           return exp::category_slowdown(m, cat);
         });
-        const double e = exp::mean_of(easy, [cat](const metrics::Metrics& m) {
+        const double e = grid.mean(easy, [cat](const metrics::Metrics& m) {
           return exp::category_slowdown(m, cat);
         });
         const double change = metrics::relative_change(c, e);
@@ -56,8 +63,8 @@ int main(int argc, char** argv) {
         }
       }
       row.push_back(util::format_signed_percent(metrics::relative_change(
-          exp::mean_of(cons, exp::overall_slowdown),
-          exp::mean_of(easy, exp::overall_slowdown))));
+          grid.mean(cons, exp::overall_slowdown),
+          grid.mean(easy, exp::overall_slowdown))));
       t.add_row(row);
       ++pi;
     }

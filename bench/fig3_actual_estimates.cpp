@@ -22,6 +22,16 @@ int main(int argc, char** argv) {
     return 0;
 
   const exp::EstimateSpec actual{exp::EstimateRegime::Actual, 1.0};
+
+  bench::Grid grid{options};
+  for (const auto trace : {exp::TraceKind::Ctc, exp::TraceKind::Sdsc})
+    for (const auto kind : {SchedulerKind::Conservative, SchedulerKind::Easy})
+      for (const auto priority : core::kPaperPolicies) {
+        (void)grid.add(trace, kind, priority);
+        (void)grid.add(trace, kind, priority, actual);
+      }
+  grid.run();
+
   for (const auto trace : {exp::TraceKind::Ctc, exp::TraceKind::Sdsc}) {
     util::Table t{"Fig. 3 -- " + to_string(trace) +
                   ": avg slowdown, actual vs exact user estimates"};
@@ -32,12 +42,10 @@ int main(int argc, char** argv) {
     for (const auto kind :
          {SchedulerKind::Conservative, SchedulerKind::Easy}) {
       for (const auto priority : core::kPaperPolicies) {
-        const double exact = exp::mean_of(
-            bench::run_cell(options, trace, kind, priority),
-            exp::overall_slowdown);
-        const double act = exp::mean_of(
-            bench::run_cell(options, trace, kind, priority, actual),
-            exp::overall_slowdown);
+        const double exact = grid.mean(grid.add(trace, kind, priority),
+                                       exp::overall_slowdown);
+        const double act = grid.mean(grid.add(trace, kind, priority, actual),
+                                     exp::overall_slowdown);
         t.add_row({bench::scheme_label(kind, priority),
                    util::format_fixed(exact), util::format_fixed(act),
                    util::format_signed_percent(
@@ -52,13 +60,11 @@ int main(int argc, char** argv) {
     // estimates (SJF and XFactor carry the paper's headline claim).
     for (const auto priority :
          {PriorityPolicy::Sjf, PriorityPolicy::XFactor}) {
-      const double cons = exp::mean_of(
-          bench::run_cell(options, trace, SchedulerKind::Conservative,
-                          priority, actual),
+      const double cons = grid.mean(
+          grid.add(trace, SchedulerKind::Conservative, priority, actual),
           exp::overall_slowdown);
-      const double easy = exp::mean_of(
-          bench::run_cell(options, trace, SchedulerKind::Easy, priority,
-                          actual),
+      const double easy = grid.mean(
+          grid.add(trace, SchedulerKind::Easy, priority, actual),
           exp::overall_slowdown);
       easy_ahead = easy_ahead && easy < cons;
     }

@@ -23,46 +23,58 @@ struct GroupMeans {
   double well_exact = 0, well_actual = 0, poor_exact = 0, poor_actual = 0;
 };
 
-GroupMeans measure(SchedulerKind kind, const bench::BenchOptions& options) {
-  GroupMeans sums;
-  for (std::uint64_t seed = 1; seed <= options.seeds; ++seed) {
-    exp::Scenario actual;
-    actual.trace = exp::TraceKind::Ctc;
-    actual.jobs = options.jobs;
-    actual.load = options.load;
-    actual.seed = seed;
-    actual.estimates.regime = exp::EstimateRegime::Actual;
-    exp::Scenario exact = actual;
-    exact.estimates.regime = exp::EstimateRegime::Exact;
+/// Value slots of the paired-run cell (exp::CellResult::values).
+enum Slot : std::size_t { kWellExact, kWellActual, kPoorExact, kPoorActual };
 
-    // Identical jobs; only the estimates differ. The grouping labels come
-    // from the actual-estimate trace in both runs.
-    const auto actual_trace = exp::build_workload(actual);
-    const auto exact_trace = exp::build_workload(exact);
-    const auto labels = metrics::estimate_labels(actual_trace);
+/// One seed's paired measurement: identical jobs simulated twice (exact
+/// and actual estimates), both aggregated with the estimate-quality
+/// grouping of the *actual* trace. Hermetic: everything derives from
+/// the scenario, so it shards over the sweep like any other cell.
+void paired_estimate_cell(const exp::Scenario& scenario,
+                          const core::SimulationOptions& sim_options,
+                          exp::CellResult& result) {
+  exp::Scenario exact = scenario;
+  exact.estimates.regime = exp::EstimateRegime::Exact;
 
-    const core::SchedulerConfig config{actual.procs(), PriorityPolicy::Fcfs};
-    const auto metric_options =
-        exp::experiment_metrics_options(options.jobs);
-    const auto m_actual = metrics::compute_metrics(
-        core::run_simulation(actual_trace, kind, config), config.procs,
-        metric_options, &labels);
-    const auto m_exact = metrics::compute_metrics(
-        core::run_simulation(exact_trace, kind, config), config.procs,
-        metric_options, &labels);
+  // Identical jobs; only the estimates differ. The grouping labels come
+  // from the actual-estimate trace in both runs.
+  const auto actual_trace = exp::build_workload(scenario);
+  const auto exact_trace = exp::build_workload(exact);
+  const auto labels = metrics::estimate_labels(actual_trace);
 
-    sums.well_actual +=
-        m_actual.estimate_class(EstimateQuality::Well).slowdown.mean();
-    sums.well_exact +=
-        m_exact.estimate_class(EstimateQuality::Well).slowdown.mean();
-    sums.poor_actual +=
-        m_actual.estimate_class(EstimateQuality::Poor).slowdown.mean();
-    sums.poor_exact +=
-        m_exact.estimate_class(EstimateQuality::Poor).slowdown.mean();
-  }
-  const auto n = static_cast<double>(options.seeds);
-  return {sums.well_exact / n, sums.well_actual / n, sums.poor_exact / n,
-          sums.poor_actual / n};
+  const core::SchedulerConfig config{scenario.procs(), scenario.priority};
+  const auto metric_options = exp::experiment_metrics_options(scenario.jobs);
+  const auto m_actual = metrics::compute_metrics(
+      core::run_simulation(actual_trace, scenario.scheduler, config, {},
+                           sim_options),
+      config.procs, metric_options, &labels);
+  const auto m_exact = metrics::compute_metrics(
+      core::run_simulation(exact_trace, scenario.scheduler, config, {},
+                           sim_options),
+      config.procs, metric_options, &labels);
+
+  result.metrics = m_actual;
+  result.values.assign(4, 0.0);
+  result.values[kWellExact] =
+      m_exact.estimate_class(EstimateQuality::Well).slowdown.mean();
+  result.values[kWellActual] =
+      m_actual.estimate_class(EstimateQuality::Well).slowdown.mean();
+  result.values[kPoorExact] =
+      m_exact.estimate_class(EstimateQuality::Poor).slowdown.mean();
+  result.values[kPoorActual] =
+      m_actual.estimate_class(EstimateQuality::Poor).slowdown.mean();
+}
+
+std::size_t declare(bench::Grid& grid, SchedulerKind kind) {
+  exp::Scenario base;
+  base.trace = exp::TraceKind::Ctc;
+  base.jobs = grid.options().jobs;
+  base.load = grid.options().load;
+  base.scheduler = kind;
+  base.priority = PriorityPolicy::Fcfs;
+  base.estimates.regime = exp::EstimateRegime::Actual;
+  return grid.add_custom(base, "fig4/" + core::to_string(kind),
+                         paired_estimate_cell);
 }
 
 }  // namespace
@@ -75,11 +87,20 @@ int main(int argc, char** argv) {
           options))
     return 0;
 
+  bench::Grid grid{options};
+  for (const auto kind : {SchedulerKind::Conservative, SchedulerKind::Easy})
+    (void)declare(grid, kind);
+  grid.run();
+
   GroupMeans by_kind[2];
   int ki = 0;
   for (const auto kind :
        {SchedulerKind::Conservative, SchedulerKind::Easy}) {
-    const GroupMeans g = measure(kind, options);
+    const auto cell = declare(grid, kind);
+    const GroupMeans g{grid.mean_value(cell, kWellExact),
+                       grid.mean_value(cell, kWellActual),
+                       grid.mean_value(cell, kPoorExact),
+                       grid.mean_value(cell, kPoorActual)};
     by_kind[ki++] = g;
 
     util::Table t{"Fig. 4 -- " + to_string(kind) +

@@ -25,12 +25,15 @@
 #include <limits>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/conservative_scheduler.hpp"
 #include "core/profile.hpp"
 #include "core/simulation.hpp"
 #include "exp/scenario.hpp"
+#include "exp/sweep.hpp"
+#include "metrics/report.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/rng.hpp"
 #include "workload/synthetic.hpp"
@@ -291,6 +294,77 @@ BreakpointStats measure_breakpoints(const workload::Trace& trace, int procs) {
   return stats;
 }
 
+struct SweepPoint {
+  std::size_t threads = 0;  ///< requested worker count
+  double seconds = 0.0;
+  double cells_per_sec = 0.0;
+  double speedup = 1.0;  ///< vs the 1-thread run of the same grid
+};
+
+struct SweepStats {
+  std::size_t cells = 0;
+  std::vector<SweepPoint> points;
+  /// Merged metrics JSON byte-identical across every thread count --
+  /// the exp::Sweep determinism contract, re-checked on real hardware.
+  bool deterministic = true;
+};
+
+/// Throughput of the grid-level sweep engine: a bench-shaped grid (all
+/// six schedulers x 4 seeds) timed at 1, N/2 and N worker threads.
+SweepStats measure_sweep(std::size_t jobs) {
+  // Cells sized so the whole grid stays a few seconds of work: the
+  // point is scheduling overhead and scaling, not simulator speed.
+  const std::size_t cell_jobs = std::max<std::size_t>(250, jobs / 8);
+  exp::Sweep sweep;
+  for (const core::SchedulerKind kind :
+       {core::SchedulerKind::Conservative, core::SchedulerKind::Easy,
+        core::SchedulerKind::Fcfs, core::SchedulerKind::KReservation,
+        core::SchedulerKind::Selective, core::SchedulerKind::Slack}) {
+    exp::Scenario base;
+    base.trace = exp::TraceKind::Ctc;
+    base.jobs = cell_jobs;
+    base.load = exp::kHighLoad;
+    base.scheduler = kind;
+    base.priority = core::PriorityPolicy::Fcfs;
+    (void)sweep.add_replications(base, 4, core::to_string(kind));
+  }
+
+  const std::size_t hw = std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::thread::hardware_concurrency()));
+  std::vector<std::size_t> counts{1};
+  if (hw / 2 > 1) counts.push_back(hw / 2);
+  if (hw > counts.back()) counts.push_back(hw);
+
+  SweepStats stats;
+  stats.cells = sweep.size();
+  std::string reference_json;
+  double serial_seconds = 0.0;
+  for (const std::size_t threads : counts) {
+    exp::SweepOptions options;
+    options.threads = threads;
+    double best = std::numeric_limits<double>::infinity();
+    std::string merged_json;
+    for (int rep = 0; rep < 2; ++rep) {
+      const exp::SweepReport report = sweep.run(options);
+      best = std::min(best, report.seconds);
+      merged_json = metrics::metrics_json(report.merged);
+    }
+    if (threads == 1) {
+      reference_json = merged_json;
+      serial_seconds = best;
+    } else if (merged_json != reference_json) {
+      stats.deterministic = false;
+    }
+    SweepPoint point;
+    point.threads = threads;
+    point.seconds = best;
+    point.cells_per_sec = static_cast<double>(sweep.size()) / best;
+    point.speedup = serial_seconds / best;
+    stats.points.push_back(point);
+  }
+  return stats;
+}
+
 struct ReportOptions {
   bool report = false;
   bool smoke = false;
@@ -305,6 +379,7 @@ struct Report {
   double conservative_cost_factor = 0.0;
   AnchorStats anchors;
   BreakpointStats breakpoints;
+  SweepStats sweep;
 };
 
 Report build_report(std::size_t jobs) {
@@ -332,6 +407,7 @@ Report build_report(std::size_t jobs) {
       report.sims[1].events_per_sec / report.sims[0].events_per_sec;
   report.anchors = measure_anchors(trace, procs);
   report.breakpoints = measure_breakpoints(trace, procs);
+  report.sweep = measure_sweep(jobs);
   return report;
 }
 
@@ -372,7 +448,18 @@ void write_json(const Report& report, const std::string& path) {
       << ", \"ns_per_find_and_reserve\": "
       << report.anchors.ns_per_find_and_reserve << "},\n"
       << "  \"profile_breakpoints\": {\"peak\": " << report.breakpoints.peak
-      << ", \"mean\": " << report.breakpoints.mean << "}\n"
+      << ", \"mean\": " << report.breakpoints.mean << "},\n"
+      << "  \"sweep\": {\"cells\": " << report.sweep.cells
+      << ", \"deterministic\": "
+      << (report.sweep.deterministic ? "true" : "false") << ", \"points\": [";
+  for (std::size_t i = 0; i < report.sweep.points.size(); ++i) {
+    const SweepPoint& p = report.sweep.points[i];
+    out << (i ? ", " : "") << "{\"threads\": " << p.threads
+        << ", \"seconds\": " << p.seconds
+        << ", \"cells_per_sec\": " << p.cells_per_sec
+        << ", \"speedup\": " << p.speedup << "}";
+  }
+  out << "]}\n"
       << "}\n";
 }
 
@@ -394,6 +481,13 @@ void print_report(const Report& report) {
               report.anchors.breakpoints);
   std::printf("conservative run breakpoints: peak %zu, mean %.1f\n",
               report.breakpoints.peak, report.breakpoints.mean);
+  for (const SweepPoint& p : report.sweep.points)
+    std::printf("sweep throughput (%zu cells, %zu threads): %6.1f cells/sec "
+                "(%.3fs, %.2fx)\n",
+                report.sweep.cells, p.threads, p.cells_per_sec, p.seconds,
+                p.speedup);
+  std::printf("sweep merge deterministic across thread counts: %s\n",
+              report.sweep.deterministic ? "yes" : "NO");
 }
 
 /// Minimal extraction of a numeric field from a flat JSON file; good
@@ -460,6 +554,14 @@ int run_smoke(const ReportOptions& options) {
     } else {
       std::printf("OK\n");
     }
+  }
+  // A correctness gate, not a throughput gate: parallel efficiency varies
+  // with the CI machine, but the merged metrics must never depend on the
+  // worker count.
+  if (!report.sweep.deterministic) {
+    std::printf("perf smoke: sweep merged metrics differ across thread "
+                "counts -- FAIL\n");
+    ok = false;
   }
   return ok ? 0 : 1;
 }

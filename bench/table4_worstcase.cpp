@@ -19,19 +19,24 @@ int main(int argc, char** argv) {
           options))
     return 0;
 
+  bench::Grid grid{options};
+  for (const auto priority : core::kPaperPolicies)
+    for (const auto kind : {SchedulerKind::Conservative, SchedulerKind::Easy})
+      (void)grid.add(exp::TraceKind::Ctc, kind, priority);
+  grid.run();
+
   util::Table t{
       "Table 4 -- worst-case turnaround time (s), CTC, exact estimates"};
   t.set_header({"priority", "conservative", "EASY"});
 
   bool easy_worse_somewhere = false;
   for (const auto priority : core::kPaperPolicies) {
-    const double cons = exp::max_of(
-        bench::run_cell(options, exp::TraceKind::Ctc,
-                        SchedulerKind::Conservative, priority),
-        exp::worst_turnaround);
-    const double easy = exp::max_of(
-        bench::run_cell(options, exp::TraceKind::Ctc, SchedulerKind::Easy,
-                        priority),
+    const double cons =
+        grid.max(grid.add(exp::TraceKind::Ctc, SchedulerKind::Conservative,
+                          priority),
+                 exp::worst_turnaround);
+    const double easy = grid.max(
+        grid.add(exp::TraceKind::Ctc, SchedulerKind::Easy, priority),
         exp::worst_turnaround);
     t.add_row({to_string(priority),
                util::format_count(static_cast<std::int64_t>(cons)),

@@ -20,19 +20,25 @@ int main(int argc, char** argv) {
     return 0;
 
   const exp::EstimateSpec actual{exp::EstimateRegime::Actual, 1.0};
+
+  bench::Grid grid{options};
+  for (const auto priority : core::kPaperPolicies)
+    for (const auto kind : {SchedulerKind::Conservative, SchedulerKind::Easy})
+      (void)grid.add(exp::TraceKind::Ctc, kind, priority, actual);
+  grid.run();
+
   util::Table t{
       "Table 7 -- worst-case turnaround time (s), CTC, actual estimates"};
   t.set_header({"priority", "conservative", "EASY"});
 
   bool easy_worse_somewhere = false;
   for (const auto priority : core::kPaperPolicies) {
-    const double cons = exp::max_of(
-        bench::run_cell(options, exp::TraceKind::Ctc,
-                        SchedulerKind::Conservative, priority, actual),
-        exp::worst_turnaround);
-    const double easy = exp::max_of(
-        bench::run_cell(options, exp::TraceKind::Ctc, SchedulerKind::Easy,
-                        priority, actual),
+    const double cons =
+        grid.max(grid.add(exp::TraceKind::Ctc, SchedulerKind::Conservative,
+                          priority, actual),
+                 exp::worst_turnaround);
+    const double easy = grid.max(
+        grid.add(exp::TraceKind::Ctc, SchedulerKind::Easy, priority, actual),
         exp::worst_turnaround);
     t.add_row({to_string(priority),
                util::format_count(static_cast<std::int64_t>(cons)),

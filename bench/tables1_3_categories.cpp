@@ -22,28 +22,42 @@ void print_table1() {
   std::fputs("\n", stdout);
 }
 
-void print_distribution(const char* title,
-                        const workload::CategoryMixParams& params,
-                        const bench::BenchOptions& options) {
-  const workload::CategoryMixModel model{params};
-  // Aggregate the mix over all replication seeds.
-  std::array<double, 4> mix{};
-  for (std::size_t rep = 0; rep < options.seeds; ++rep) {
-    sim::Rng rng{(rep + 1) * 0x9e3779b97f4a7c15ULL + 1};
-    const workload::Trace trace = model.generate(options.jobs, rng);
-    const auto one = workload::category_mix(trace, params.thresholds);
-    for (std::size_t c = 0; c < 4; ++c) mix[c] += one[c];
-  }
-  for (double& m : mix) m /= static_cast<double>(options.seeds);
+/// Workload-only cell: generates the trace for its seed and records the
+/// category mix in the auxiliary value slots -- no simulation runs. The
+/// trace RNG derives from the scenario seed, so the measurement matches
+/// the workload every simulating bench sees for that seed.
+void mix_cell(const exp::Scenario& scenario,
+              const core::SimulationOptions& /*sim_options*/,
+              exp::CellResult& result) {
+  const workload::Trace trace = exp::build_workload(scenario);
+  const auto params = scenario.trace == exp::TraceKind::Ctc
+                          ? workload::CategoryMixModel::ctc()
+                          : workload::CategoryMixModel::sdsc();
+  const auto mix = workload::category_mix(trace, params.thresholds);
+  result.values.assign(mix.begin(), mix.end());
+}
 
+std::size_t declare(bench::Grid& grid, exp::TraceKind trace) {
+  exp::Scenario base;
+  base.trace = trace;
+  base.jobs = grid.options().jobs;
+  base.load = grid.options().load;
+  return grid.add_custom(base, "mix/" + exp::to_string(trace), mix_cell);
+}
+
+void print_distribution(bench::Grid& grid, const char* title,
+                        exp::TraceKind trace,
+                        const workload::CategoryMixParams& params) {
+  const auto cell = declare(grid, trace);
   util::Table t{title};
   t.set_header({"category", "generated", "paper target"});
   bool all_close = true;
   for (const auto cat : workload::kAllCategories) {
     const auto i = static_cast<std::size_t>(cat);
-    t.add_row({workload::code(cat), util::format_percent(mix[i]),
+    const double mix = grid.mean_value(cell, i);
+    t.add_row({workload::code(cat), util::format_percent(mix),
                util::format_percent(params.mix[i])});
-    all_close = all_close && std::abs(mix[i] - params.mix[i]) < 0.02;
+    all_close = all_close && std::abs(mix - params.mix[i]) < 0.02;
   }
   std::fputs(t.str().c_str(), stdout);
   bench::report_expectation(
@@ -61,10 +75,16 @@ int main(int argc, char** argv) {
                                   options))
     return 0;
 
+  bench::Grid grid{options};
+  for (const auto trace : {exp::TraceKind::Ctc, exp::TraceKind::Sdsc})
+    (void)declare(grid, trace);
+  grid.run();
+
   print_table1();
-  print_distribution("Table 2 -- CTC trace job distribution (430 procs)",
-                     workload::CategoryMixModel::ctc(), options);
-  print_distribution("Table 3 -- SDSC trace job distribution (128 procs)",
-                     workload::CategoryMixModel::sdsc(), options);
+  print_distribution(grid, "Table 2 -- CTC trace job distribution (430 procs)",
+                     exp::TraceKind::Ctc, workload::CategoryMixModel::ctc());
+  print_distribution(grid,
+                     "Table 3 -- SDSC trace job distribution (128 procs)",
+                     exp::TraceKind::Sdsc, workload::CategoryMixModel::sdsc());
   return 0;
 }

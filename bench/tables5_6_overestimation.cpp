@@ -22,6 +22,16 @@ int main(int argc, char** argv) {
     return 0;
 
   const double factors[] = {1.0, 2.0, 4.0};
+
+  bench::Grid grid{options};
+  for (const auto kind : {SchedulerKind::Conservative, SchedulerKind::Easy})
+    for (const auto priority : core::kPaperPolicies)
+      for (const double factor : factors)
+        (void)grid.add(
+            exp::TraceKind::Ctc, kind, priority,
+            exp::EstimateSpec{exp::EstimateRegime::Systematic, factor});
+  grid.run();
+
   double slowdown[2][3][3];  // [scheme][priority][factor]
 
   int si = 0;
@@ -35,11 +45,10 @@ int main(int argc, char** argv) {
     for (const auto priority : core::kPaperPolicies) {
       std::vector<std::string> row{to_string(priority)};
       for (int fi = 0; fi < 3; ++fi) {
-        const auto reps = bench::run_cell(
-            options, exp::TraceKind::Ctc, kind, priority,
-            exp::EstimateSpec{exp::EstimateRegime::Systematic,
-                              factors[fi]});
-        slowdown[si][pi][fi] = exp::mean_of(reps, exp::overall_slowdown);
+        const auto cell = grid.add(
+            exp::TraceKind::Ctc, kind, priority,
+            exp::EstimateSpec{exp::EstimateRegime::Systematic, factors[fi]});
+        slowdown[si][pi][fi] = grid.mean(cell, exp::overall_slowdown);
         row.push_back(util::format_fixed(slowdown[si][pi][fi]));
       }
       t.add_row(row);

@@ -1,0 +1,86 @@
+#include "exp/sweep.hpp"
+
+#include <chrono>
+#include <exception>
+#include <utility>
+
+#include "exp/runner.hpp"
+#include "exp/thread_pool.hpp"
+
+namespace bfsim::exp {
+
+SweepError::SweepError(std::size_t cell, std::string tag,
+                       const std::string& what)
+    : std::runtime_error("sweep cell #" + std::to_string(cell) + " [" + tag +
+                         "]: " + what),
+      cell_(cell),
+      tag_(std::move(tag)) {}
+
+std::size_t Sweep::add(Scenario scenario, std::string tag) {
+  return add(std::move(scenario), std::move(tag), CellRunner{});
+}
+
+std::size_t Sweep::add(Scenario scenario, std::string tag, CellRunner runner) {
+  if (tag.empty()) tag = scenario.label();
+  cells_.push_back({std::move(scenario), std::move(tag), std::move(runner)});
+  return cells_.size() - 1;
+}
+
+std::size_t Sweep::add_replications(Scenario base, std::size_t seeds,
+                                    const std::string& tag) {
+  const std::size_t first = cells_.size();
+  for (std::size_t i = 0; i < seeds; ++i) {
+    Scenario scenario = base;
+    scenario.seed = base.seed + i;
+    add(scenario, tag.empty() ? std::string{}
+                              : tag + "/seed=" + std::to_string(scenario.seed));
+  }
+  return first;
+}
+
+SweepReport Sweep::run(const SweepOptions& options) const {
+  const auto start = std::chrono::steady_clock::now();
+  SweepReport report;
+  report.cells.resize(cells_.size());
+
+  const core::SimulationOptions sim_options{.validate = options.validate,
+                                            .audit = options.audit};
+  const auto run_one = [&](std::size_t i) {
+    const Cell& cell = cells_[i];
+    CellResult& result = report.cells[i];
+    result.tag = cell.tag;
+    result.label = cell.scenario.label();
+    try {
+      if (cell.runner) {
+        cell.runner(cell.scenario, sim_options, result);
+      } else {
+        result.metrics = run_scenario(cell.scenario, sim_options);
+      }
+    } catch (const std::exception& error) {
+      throw SweepError(i, cell.tag, error.what());
+    }
+  };
+
+  if (options.threads == 1) {
+    // Serial oracle path: same code, no pool, caller's thread.
+    for (std::size_t i = 0; i < cells_.size(); ++i) run_one(i);
+    report.threads_used = 1;
+  } else {
+    ThreadPool pool{options.threads};
+    report.threads_used = pool.size();
+    CancellationToken token;
+    pool.parallel_for_chunked(cells_.size(), options.chunk, run_one, &token);
+  }
+
+  // The merge is the serial tail of the sweep: folding in declaration
+  // order on the caller's thread is what makes the pooled statistics
+  // independent of which worker finished when.
+  for (const CellResult& cell : report.cells)
+    report.merged.merge(cell.metrics);
+  report.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return report;
+}
+
+}  // namespace bfsim::exp

@@ -1,0 +1,119 @@
+// bfsim -- the grid-level parallel experiment engine.
+//
+// run_replications parallelizes the seeds of *one* scenario; a paper
+// table is a grid of scenario cells (trace x estimate regime x
+// scheduler x priority x seed), and the sweep engine shards those cells
+// over the thread pool in chunked batches. Every cell is hermetic: it
+// builds its own workload from its own seeded RNGs and, when auditing
+// is on, its own schedule-invariant auditor -- nothing is shared across
+// cells, so any interleaving computes the same per-cell results.
+//
+// Determinism contract: run() returns cells in declaration order and a
+// merged Metrics folded in declaration order, so the full report --
+// down to the last bit of every double -- is identical for any thread
+// count, chunk size, or completion order. The differential tests assert
+// this via metrics::metrics_json byte equality against the serial run.
+//
+// Error contract: the first failing cell (lowest declaration index
+// among cells that ran) cancels all outstanding cells cooperatively
+// and its error is rethrown as SweepError, annotated with the cell's
+// index and tag. Cells already in flight finish; cells not yet started
+// are skipped.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/simulation.hpp"
+#include "exp/scenario.hpp"
+#include "metrics/aggregate.hpp"
+
+namespace bfsim::exp {
+
+/// Everything one finished cell hands back to the merge step.
+struct CellResult {
+  std::string tag;           ///< caller-chosen key ("" = scenario label)
+  std::string label;         ///< scenario.label() of the cell
+  metrics::Metrics metrics;  ///< aggregates of the cell's run
+  /// Runner-defined auxiliary scalars (category mixes, paired-run
+  /// deltas, ...). Empty for the default runner. Not merged.
+  std::vector<double> values;
+};
+
+/// A custom per-cell computation. The default (when the cell declares
+/// none) builds the scenario's workload, runs the simulation with the
+/// sweep's SimulationOptions (auditor/validator per cell) and fills
+/// result.metrics with experiment-trimmed aggregates. Custom runners
+/// must stay hermetic: derive all randomness from scenario.seed and
+/// touch nothing outside `result`.
+using CellRunner = std::function<void(
+    const Scenario&, const core::SimulationOptions&, CellResult&)>;
+
+/// Thrown by Sweep::run when a cell fails; wraps the cell's own error.
+class SweepError : public std::runtime_error {
+ public:
+  SweepError(std::size_t cell, std::string tag, const std::string& what);
+
+  [[nodiscard]] std::size_t cell() const { return cell_; }
+  [[nodiscard]] const std::string& tag() const { return tag_; }
+
+ private:
+  std::size_t cell_;
+  std::string tag_;
+};
+
+struct SweepOptions {
+  /// Worker threads: 1 = serial in the calling thread (the oracle path,
+  /// no pool built), 0 = hardware concurrency, n = exactly n.
+  std::size_t threads = 1;
+  /// Cells per submitted task; 0 lets the pool pick (~4 chunks/worker).
+  std::size_t chunk = 0;
+  /// Attach a fatal schedule-invariant auditor to every cell.
+  bool audit = false;
+  /// Run the physical-schedule validator on every cell.
+  bool validate = false;
+};
+
+struct SweepReport {
+  std::vector<CellResult> cells;  ///< always in declaration order
+  /// All cells' metrics pooled in declaration order (byte-identical for
+  /// any thread count).
+  metrics::Metrics merged;
+  std::size_t threads_used = 1;
+  double seconds = 0.0;  ///< wall-clock of the run() call
+};
+
+class Sweep {
+ public:
+  /// Declare one cell; returns its index (== report position).
+  std::size_t add(Scenario scenario, std::string tag = "");
+  std::size_t add(Scenario scenario, std::string tag, CellRunner runner);
+
+  /// Declare `seeds` cells for base.seed, base.seed+1, ...; returns the
+  /// index of the first (the rest follow contiguously).
+  std::size_t add_replications(Scenario base, std::size_t seeds,
+                               const std::string& tag = "");
+
+  [[nodiscard]] std::size_t size() const { return cells_.size(); }
+  [[nodiscard]] const Scenario& scenario(std::size_t i) const {
+    return cells_[i].scenario;
+  }
+
+  /// Run every declared cell and merge. Safe to call repeatedly (e.g.
+  /// once per thread count in the differential tests).
+  [[nodiscard]] SweepReport run(const SweepOptions& options = {}) const;
+
+ private:
+  struct Cell {
+    Scenario scenario;
+    std::string tag;
+    CellRunner runner;  ///< empty = default runner
+  };
+
+  std::vector<Cell> cells_;
+};
+
+}  // namespace bfsim::exp

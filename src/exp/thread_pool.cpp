@@ -1,6 +1,7 @@
 #include "exp/thread_pool.hpp"
 
 #include <algorithm>
+#include <exception>
 
 namespace bfsim::exp {
 
@@ -12,13 +13,17 @@ ThreadPool::ThreadPool(std::size_t threads) {
     workers_.emplace_back([this] { worker_loop(); });
 }
 
-ThreadPool::~ThreadPool() {
+ThreadPool::~ThreadPool() { shutdown(); }
+
+void ThreadPool::shutdown() {
   {
     const std::scoped_lock lock(mutex_);
+    if (stopping_ && workers_.empty()) return;  // already shut down
     stopping_ = true;
   }
   cv_.notify_all();
   for (std::thread& worker : workers_) worker.join();
+  workers_.clear();
 }
 
 void ThreadPool::worker_loop() {
@@ -37,11 +42,51 @@ void ThreadPool::worker_loop() {
 
 void ThreadPool::parallel_for(std::size_t count,
                               const std::function<void(std::size_t)>& body) {
+  parallel_for_chunked(count, 1, body, nullptr);
+}
+
+void ThreadPool::parallel_for_chunked(
+    std::size_t count, std::size_t chunk,
+    const std::function<void(std::size_t)>& body, CancellationToken* token) {
+  if (count == 0) return;
+  if (chunk == 0) {
+    // ~4 chunks per worker: enough slack for load balancing across
+    // cells of uneven cost without a queue round-trip per tiny cell.
+    chunk = std::max<std::size_t>(1, count / (4 * std::max<std::size_t>(
+                                                     1, size())));
+  }
+  const std::size_t n_chunks = (count + chunk - 1) / chunk;
   std::vector<std::future<void>> futures;
-  futures.reserve(count);
-  for (std::size_t i = 0; i < count; ++i)
-    futures.push_back(submit([&body, i] { body(i); }));
-  for (auto& future : futures) future.get();
+  futures.reserve(n_chunks);
+  for (std::size_t c = 0; c < n_chunks; ++c) {
+    const std::size_t begin = c * chunk;
+    const std::size_t end = std::min(count, begin + chunk);
+    futures.push_back(submit([&body, token, begin, end] {
+      for (std::size_t i = begin; i < end; ++i) {
+        if (token != nullptr && token->cancelled()) return;
+        try {
+          body(i);
+        } catch (...) {
+          if (token != nullptr) token->cancel();
+          throw;  // lands in this chunk's future
+        }
+      }
+    }));
+  }
+  // Wait for *every* chunk before rethrowing: the tasks capture `body`
+  // by reference, so returning (even via exception) while a chunk still
+  // runs would leave it with a dangling frame. Draining all futures
+  // first also makes the rethrown error deterministic -- the failure of
+  // the lowest-indexed failed chunk, whatever order chunks finished in.
+  std::exception_ptr first_error;
+  for (auto& future : futures) {
+    try {
+      future.get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
 }
 
 }  // namespace bfsim::exp

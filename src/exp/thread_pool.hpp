@@ -1,12 +1,14 @@
 // bfsim -- a fixed-size thread pool for parallel experiment sweeps.
 //
 // Replications and parameter-sweep cells are embarrassingly parallel;
-// the experiment runner fans them out across hardware threads. The pool
-// is deliberately minimal: submit() returning std::future, plus a
-// parallel index loop. Tasks must not submit to the pool they run on
-// and then block on the result (classic self-deadlock).
+// the experiment runner and the sweep engine fan them out across
+// hardware threads. The pool is deliberately minimal: submit() returning
+// std::future, plus index loops (per-index and chunked) with cooperative
+// cancellation. Tasks must not submit to the pool they run on and then
+// block on the result (classic self-deadlock).
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <functional>
@@ -19,6 +21,20 @@
 
 namespace bfsim::exp {
 
+/// Cooperative cancellation shared between a sweep and its workers.
+/// Once cancelled it stays cancelled; loops poll it between cells and
+/// skip remaining work. Safe to signal from any thread.
+class CancellationToken {
+ public:
+  void cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+  [[nodiscard]] bool cancelled() const {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+};
+
 class ThreadPool {
  public:
   /// `threads` == 0 picks std::thread::hardware_concurrency() (min 1).
@@ -30,8 +46,13 @@ class ThreadPool {
 
   [[nodiscard]] std::size_t size() const { return workers_.size(); }
 
+  /// Drain the queue, join every worker, and reject further submits.
+  /// Idempotent; the destructor calls it.
+  void shutdown();
+
   /// Enqueue a callable; returns a future for its result. Exceptions
-  /// thrown by the task propagate through the future.
+  /// thrown by the task propagate through the future. Throws
+  /// std::runtime_error after shutdown().
   template <typename F>
   [[nodiscard]] auto submit(F&& task) -> std::future<std::invoke_result_t<F>> {
     using R = std::invoke_result_t<F>;
@@ -49,9 +70,26 @@ class ThreadPool {
   }
 
   /// Run body(i) for i in [0, count), blocking until all complete.
-  /// The first exception (if any) is rethrown in the caller.
+  /// The first exception (by index order) is rethrown in the caller
+  /// after every task has finished -- never while tasks still run.
   void parallel_for(std::size_t count,
                     const std::function<void(std::size_t)>& body);
+
+  /// Chunked variant: [0, count) is split into contiguous chunks of
+  /// `chunk` indices (0 = pick automatically from the pool size) and one
+  /// task is submitted per chunk -- the batching the sweep engine uses
+  /// so tiny cells don't pay one queue round-trip each.
+  ///
+  /// When `token` is given, every chunk polls it before each index and
+  /// skips the rest of its range once cancelled; a throwing body cancels
+  /// the token, so outstanding chunks stop at their next poll instead of
+  /// running the rest of a doomed sweep. Blocks until every chunk has
+  /// finished or skipped, then rethrows the exception of the
+  /// lowest-indexed failed chunk (deterministic pick regardless of
+  /// completion order).
+  void parallel_for_chunked(std::size_t count, std::size_t chunk,
+                            const std::function<void(std::size_t)>& body,
+                            CancellationToken* token = nullptr);
 
  private:
   std::vector<std::thread> workers_;

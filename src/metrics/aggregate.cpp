@@ -21,6 +21,37 @@ void MetricSet::add(const core::JobOutcome& outcome, sim::Time threshold) {
   wait.add(static_cast<double>(outcome.wait()));
 }
 
+void MetricSet::merge(const MetricSet& other) {
+  slowdown.merge(other.slowdown);
+  turnaround.merge(other.turnaround);
+  wait.merge(other.wait);
+}
+
+void Metrics::merge(const Metrics& other) {
+  // Weighted before the counts change underneath us.
+  const auto w_self = static_cast<double>(overall.count());
+  const auto w_other = static_cast<double>(other.overall.count());
+  if (w_self + w_other > 0.0)
+    utilization = (utilization * w_self + other.utilization * w_other) /
+                  (w_self + w_other);
+  overall.merge(other.overall);
+  for (std::size_t c = 0; c < by_category.size(); ++c)
+    by_category[c].merge(other.by_category[c]);
+  for (std::size_t q = 0; q < by_estimate.size(); ++q)
+    by_estimate[q].merge(other.by_estimate[q]);
+  for (const double v : other.slowdowns.values()) slowdowns.add(v);
+  makespan = std::max(makespan, other.makespan);
+  killed_jobs += other.killed_jobs;
+  cancelled_jobs += other.cancelled_jobs;
+  backfilled_jobs += other.backfilled_jobs;
+}
+
+Metrics merged_metrics(const std::vector<Metrics>& runs) {
+  Metrics merged;
+  for (const Metrics& run : runs) merged.merge(run);
+  return merged;
+}
+
 Metrics compute_metrics(
     const core::SimulationResult& result, int procs,
     const MetricsOptions& options,

@@ -32,6 +32,8 @@ struct MetricSet {
 
   [[nodiscard]] std::size_t count() const { return slowdown.count(); }
   void add(const core::JobOutcome& outcome, sim::Time threshold);
+  /// Pool another population in (parallel-sweep reduction).
+  void merge(const MetricSet& other);
 };
 
 struct MetricsOptions {
@@ -75,7 +77,19 @@ struct Metrics {
       workload::EstimateQuality q) const {
     return by_estimate[static_cast<std::size_t>(q)];
   }
+
+  /// Pool another run's aggregates into this one: statistics merge as if
+  /// both job populations had been accumulated together, utilization
+  /// becomes the job-count-weighted mean, makespan the max, and the
+  /// counters sum. Merging is deterministic but not commutative at the
+  /// bit level (floating-point pooling is order-sensitive), so reducers
+  /// that promise byte-identical output must merge in a fixed order --
+  /// exp::Sweep merges in cell-declaration order.
+  void merge(const Metrics& other);
 };
+
+/// Fold a run sequence left-to-right into one pooled Metrics.
+[[nodiscard]] Metrics merged_metrics(const std::vector<Metrics>& runs);
 
 /// Aggregate a simulation result.
 ///

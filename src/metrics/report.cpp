@@ -1,5 +1,7 @@
 #include "metrics/report.hpp"
 
+#include <cstdio>
+
 #include "util/format.hpp"
 
 namespace bfsim::metrics {
@@ -48,6 +50,69 @@ std::string tail_summary(const Metrics& metrics) {
 double relative_change(double a, double b) {
   if (a == 0.0) return 0.0;
   return (b - a) / a;
+}
+
+namespace {
+
+/// %.17g round-trips every finite double exactly and never consults the
+/// locale, so equal bits produce equal text and vice versa.
+std::string exact(double value) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof buffer, "%.17g", value);
+  return buffer;
+}
+
+void append_stats(std::string& out, const char* name,
+                  const sim::RunningStats& stats) {
+  out += '"';
+  out += name;
+  out += "\":{\"count\":" + std::to_string(stats.count()) +
+         ",\"mean\":" + exact(stats.mean()) +
+         ",\"stddev\":" + exact(stats.stddev()) +
+         ",\"min\":" + exact(stats.min()) + ",\"max\":" + exact(stats.max()) +
+         ",\"sum\":" + exact(stats.sum()) + "}";
+}
+
+void append_set(std::string& out, const std::string& name,
+                const MetricSet& set) {
+  out += '"';
+  out += name;
+  out += "\":{";
+  append_stats(out, "slowdown", set.slowdown);
+  out += ',';
+  append_stats(out, "turnaround", set.turnaround);
+  out += ',';
+  append_stats(out, "wait", set.wait);
+  out += '}';
+}
+
+}  // namespace
+
+std::string metrics_json(const Metrics& metrics) {
+  std::string out = "{";
+  append_set(out, "overall", metrics.overall);
+  for (const auto cat : workload::kAllCategories) {
+    out += ',';
+    append_set(out, workload::code(cat), metrics.category(cat));
+  }
+  out += ',';
+  append_set(out, "well", metrics.estimate_class(workload::EstimateQuality::Well));
+  out += ',';
+  append_set(out, "poor", metrics.estimate_class(workload::EstimateQuality::Poor));
+  out += ",\"slowdown_tail\":{\"count\":" +
+         std::to_string(metrics.slowdowns.count());
+  if (metrics.slowdowns.count() > 0) {
+    out += ",\"p50\":" + exact(metrics.slowdowns.quantile(0.50)) +
+           ",\"p95\":" + exact(metrics.slowdowns.quantile(0.95)) +
+           ",\"p99\":" + exact(metrics.slowdowns.quantile(0.99)) +
+           ",\"max\":" + exact(metrics.slowdowns.max());
+  }
+  out += "},\"utilization\":" + exact(metrics.utilization) +
+         ",\"makespan\":" + std::to_string(metrics.makespan) +
+         ",\"killed\":" + std::to_string(metrics.killed_jobs) +
+         ",\"cancelled\":" + std::to_string(metrics.cancelled_jobs) +
+         ",\"backfilled\":" + std::to_string(metrics.backfilled_jobs) + "}";
+  return out;
 }
 
 }  // namespace bfsim::metrics

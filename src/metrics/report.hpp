@@ -23,4 +23,11 @@ namespace bfsim::metrics {
 /// Relative change of `b` vs. baseline `a` ((b-a)/a); 0 when a == 0.
 [[nodiscard]] double relative_change(double a, double b);
 
+/// Canonical machine-readable serialization of a Metrics value: fixed
+/// key order, no locale dependence, doubles printed with %.17g (exact
+/// round-trip). Two runs aggregate to byte-identical Metrics iff their
+/// metrics_json strings compare equal -- the sweep determinism tests
+/// and the bench --json mode are built on this.
+[[nodiscard]] std::string metrics_json(const Metrics& metrics);
+
 }  // namespace bfsim::metrics

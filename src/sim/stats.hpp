@@ -41,7 +41,10 @@ class RunningStats {
 /// most a few hundred thousand values, so storing them is fine).
 class Sample {
  public:
-  void add(double x) { values_.push_back(x); }
+  void add(double x) {
+    values_.push_back(x);
+    sorted_ = false;  // a value appended after a quantile query
+  }
   void reserve(std::size_t n) { values_.reserve(n); }
 
   [[nodiscard]] std::size_t count() const { return values_.size(); }

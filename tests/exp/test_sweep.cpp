@@ -1,0 +1,262 @@
+// exp::Sweep -- the grid-level parallel experiment engine.
+//
+// The load-bearing property is the determinism contract: a grid run at
+// any thread count / chunk size produces byte-identical merged metrics
+// and identical cell ordering, with the serial (threads == 1) run and
+// run_replications as oracles. Compiled into bfsim_concurrency_tests
+// (label `concurrency`) so the whole file also runs under TSan in CI.
+#include "exp/sweep.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "exp/runner.hpp"
+#include "metrics/report.hpp"
+
+namespace bfsim::exp {
+namespace {
+
+constexpr std::size_t kJobs = 150;  // small but non-trivial grids
+
+Scenario small_scenario(core::SchedulerKind kind, std::uint64_t seed) {
+  Scenario s;
+  s.trace = TraceKind::Sdsc;
+  s.jobs = kJobs;
+  s.load = kHighLoad;
+  s.scheduler = kind;
+  s.priority = core::PriorityPolicy::Fcfs;
+  s.seed = seed;
+  return s;
+}
+
+/// The standard test grid: three schedulers x three seeds, SDSC.
+Sweep small_grid() {
+  Sweep sweep;
+  for (const auto kind :
+       {core::SchedulerKind::Conservative, core::SchedulerKind::Easy,
+        core::SchedulerKind::Fcfs})
+    (void)sweep.add_replications(small_scenario(kind, 1), 3,
+                                 core::to_string(kind));
+  return sweep;
+}
+
+TEST(Sweep, EmptyGridYieldsEmptyReport) {
+  const Sweep sweep;
+  const SweepReport report = sweep.run({});
+  EXPECT_TRUE(report.cells.empty());
+  EXPECT_EQ(report.merged.overall.count(), 0u);
+}
+
+TEST(Sweep, CellsComeBackInDeclarationOrder) {
+  const Sweep sweep = small_grid();
+  SweepOptions options;
+  options.threads = 2;
+  const SweepReport report = sweep.run(options);
+  ASSERT_EQ(report.cells.size(), 9u);
+  for (std::size_t i = 0; i < report.cells.size(); ++i) {
+    EXPECT_EQ(report.cells[i].label, sweep.scenario(i).label());
+    EXPECT_EQ(report.cells[i].tag,
+              core::to_string(sweep.scenario(i).scheduler) +
+                  "/seed=" + std::to_string(sweep.scenario(i).seed));
+  }
+}
+
+TEST(Sweep, SerialRunMatchesRunReplicationsOracle) {
+  // One scheme's slice of the sweep must reproduce run_replications
+  // bit-for-bit: same scenarios, same runner, same aggregation.
+  Sweep sweep;
+  (void)sweep.add_replications(
+      small_scenario(core::SchedulerKind::Conservative, 1), 3);
+  const SweepReport report = sweep.run({});
+
+  const auto oracle = run_replications(
+      small_scenario(core::SchedulerKind::Conservative, 1), 3);
+  ASSERT_EQ(report.cells.size(), oracle.size());
+  for (std::size_t i = 0; i < oracle.size(); ++i)
+    EXPECT_EQ(metrics::metrics_json(report.cells[i].metrics),
+              metrics::metrics_json(oracle[i]))
+        << "seed " << i + 1;
+}
+
+TEST(Sweep, MergedMetricsAreByteIdenticalAtAnyThreadCount) {
+  const Sweep sweep = small_grid();
+  const SweepReport serial = sweep.run({});  // threads = 1: the oracle
+  const std::string golden = metrics::metrics_json(serial.merged);
+  EXPECT_EQ(serial.threads_used, 1u);
+
+  const std::size_t hardware = std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::thread::hardware_concurrency()));
+  for (const std::size_t threads : {std::size_t{2}, hardware}) {
+    SweepOptions options;
+    options.threads = threads;
+    const SweepReport parallel = sweep.run(options);
+    EXPECT_EQ(parallel.threads_used, threads);
+    EXPECT_EQ(metrics::metrics_json(parallel.merged), golden)
+        << "threads=" << threads;
+    ASSERT_EQ(parallel.cells.size(), serial.cells.size());
+    for (std::size_t i = 0; i < parallel.cells.size(); ++i) {
+      EXPECT_EQ(parallel.cells[i].tag, serial.cells[i].tag);
+      EXPECT_EQ(metrics::metrics_json(parallel.cells[i].metrics),
+                metrics::metrics_json(serial.cells[i].metrics))
+          << "threads=" << threads << " cell=" << i;
+    }
+  }
+}
+
+TEST(Sweep, ChunkSizeNeverChangesTheBytes) {
+  const Sweep sweep = small_grid();
+  const std::string golden = metrics::metrics_json(sweep.run({}).merged);
+  for (const std::size_t chunk :
+       {std::size_t{1}, std::size_t{2}, std::size_t{5}, std::size_t{100}}) {
+    SweepOptions options;
+    options.threads = 3;
+    options.chunk = chunk;
+    EXPECT_EQ(metrics::metrics_json(sweep.run(options).merged), golden)
+        << "chunk=" << chunk;
+  }
+}
+
+TEST(Sweep, AuditedGridMatchesUnauditedBytes) {
+  // The per-cell auditor observes; it must never perturb the schedule.
+  const Sweep sweep = small_grid();
+  const std::string golden = metrics::metrics_json(sweep.run({}).merged);
+  SweepOptions options;
+  options.threads = 2;
+  options.audit = true;
+  options.validate = true;
+  EXPECT_EQ(metrics::metrics_json(sweep.run(options).merged), golden);
+}
+
+TEST(Sweep, CustomRunnerValuesSurviveShardingInOrder) {
+  Sweep sweep;
+  for (std::uint64_t seed = 1; seed <= 12; ++seed)
+    (void)sweep.add(small_scenario(core::SchedulerKind::Easy, seed),
+                    std::string{"v"}.append(std::to_string(seed)),
+                    [](const Scenario& scenario,
+                       const core::SimulationOptions&, CellResult& result) {
+                      result.values = {static_cast<double>(scenario.seed),
+                                       static_cast<double>(scenario.seed) * 2};
+                    });
+  SweepOptions options;
+  options.threads = 4;
+  options.chunk = 1;
+  const SweepReport report = sweep.run(options);
+  ASSERT_EQ(report.cells.size(), 12u);
+  for (std::size_t i = 0; i < 12; ++i) {
+    ASSERT_EQ(report.cells[i].values.size(), 2u);
+    EXPECT_EQ(report.cells[i].values[0], static_cast<double>(i + 1));
+    EXPECT_EQ(report.cells[i].values[1], static_cast<double>(i + 1) * 2);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Error contract.
+// ---------------------------------------------------------------------------
+
+CellRunner fail_on_seeds(std::uint64_t a, std::uint64_t b) {
+  return [a, b](const Scenario& scenario, const core::SimulationOptions&,
+                CellResult&) {
+    if (scenario.seed == a || scenario.seed == b)
+      throw std::runtime_error("seed " + std::to_string(scenario.seed) +
+                               " exploded");
+  };
+}
+
+TEST(SweepErrors, SerialRunReportsTheFirstFailingCell) {
+  Sweep sweep;
+  for (std::uint64_t seed = 1; seed <= 10; ++seed)
+    (void)sweep.add(small_scenario(core::SchedulerKind::Easy, seed),
+                    "cell" + std::to_string(seed), fail_on_seeds(6, 3));
+  try {
+    (void)sweep.run({});
+    FAIL() << "expected SweepError";
+  } catch (const SweepError& error) {
+    EXPECT_EQ(error.cell(), 2u);  // seed 3 declared at index 2
+    EXPECT_EQ(error.tag(), "cell3");
+    EXPECT_NE(std::string(error.what()).find("seed 3 exploded"),
+              std::string::npos);
+  }
+}
+
+TEST(SweepErrors, ParallelRunReportsSomeFailingCellAndCancelsTheRest) {
+  // Under concurrency the skipped set is schedule dependent, but the
+  // propagated SweepError always identifies a cell that genuinely
+  // failed, and healthy cells never appear in it.
+  Sweep sweep;
+  std::atomic<int> executed{0};
+  for (std::uint64_t seed = 1; seed <= 40; ++seed)
+    (void)sweep.add(
+        small_scenario(core::SchedulerKind::Easy, seed),
+        "cell" + std::to_string(seed),
+        [&executed](const Scenario& scenario, const core::SimulationOptions&,
+                    CellResult&) {
+          ++executed;
+          if (scenario.seed % 9 == 4)
+            throw std::runtime_error("seed " +
+                                     std::to_string(scenario.seed));
+        });
+  SweepOptions options;
+  options.threads = 4;
+  options.chunk = 1;
+  try {
+    (void)sweep.run(options);
+    FAIL() << "expected SweepError";
+  } catch (const SweepError& error) {
+    EXPECT_EQ((error.cell() + 1) % 9, 4u) << "cell " << error.cell();
+    EXPECT_EQ(error.tag(), "cell" + std::to_string(error.cell() + 1));
+  }
+  // Cancellation actually pruned work: with 40 cells and the first
+  // failure at cell index 3, a full run of all cells would mean the
+  // token never fired. Allow every schedule except "nothing skipped".
+  EXPECT_LT(executed.load(), 40);
+}
+
+TEST(SweepErrors, ParallelErrorPickIsDeterministicWithOneWorkerThread) {
+  Sweep sweep;
+  for (std::uint64_t seed = 1; seed <= 10; ++seed)
+    (void)sweep.add(small_scenario(core::SchedulerKind::Easy, seed),
+                    "cell" + std::to_string(seed), fail_on_seeds(8, 2));
+  SweepOptions options;
+  options.threads = 1;
+  for (int round = 0; round < 3; ++round) {
+    try {
+      (void)sweep.run(options);
+      FAIL() << "expected SweepError";
+    } catch (const SweepError& error) {
+      EXPECT_EQ(error.cell(), 1u);
+      EXPECT_EQ(error.tag(), "cell2");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Cross-grid stress: several sweeps run concurrently from different
+// threads (each builds its own pool); TSan watches the whole dance.
+// ---------------------------------------------------------------------------
+
+TEST(SweepStress, ConcurrentGridsProduceIndependentCorrectResults) {
+  const Sweep sweep = small_grid();
+  const std::string golden = metrics::metrics_json(sweep.run({}).merged);
+
+  constexpr int kGrids = 4;
+  std::vector<std::string> merged(kGrids);
+  std::vector<std::thread> threads;
+  threads.reserve(kGrids);
+  for (int g = 0; g < kGrids; ++g)
+    threads.emplace_back([&sweep, &merged, g] {
+      SweepOptions options;
+      options.threads = 2;
+      options.chunk = g % 2 == 0 ? 1 : 4;
+      merged[static_cast<std::size_t>(g)] =
+          metrics::metrics_json(sweep.run(options).merged);
+    });
+  for (auto& t : threads) t.join();
+  for (const auto& m : merged) EXPECT_EQ(m, golden);
+}
+
+}  // namespace
+}  // namespace bfsim::exp

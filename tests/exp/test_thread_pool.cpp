@@ -1,3 +1,7 @@
+// ThreadPool hardening wall. Compiled into bfsim_concurrency_tests and
+// labeled `concurrency` so CI re-runs it under ThreadSanitizer
+// (-DBFSIM_SANITIZE=thread): every test here doubles as a TSan probe of
+// the pool's locking discipline.
 #include "exp/thread_pool.hpp"
 
 #include <gtest/gtest.h>
@@ -5,6 +9,8 @@
 #include <atomic>
 #include <numeric>
 #include <stdexcept>
+#include <string>
+#include <thread>
 #include <vector>
 
 namespace bfsim::exp {
@@ -72,6 +78,21 @@ TEST(ThreadPool, DestructorDrainsQueuedWork) {
   EXPECT_EQ(counter.load(), 50);
 }
 
+TEST(ThreadPool, DestructorWithQueuedWorkNobodyWaitsOn) {
+  // Futures are dropped on the floor: the destructor must still drain
+  // the queue and join without touching freed task state. The counter
+  // outlives the pool, so every queued increment is observable after.
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool{2};
+    for (int i = 0; i < 200; ++i) {
+      auto f = pool.submit([&counter] { ++counter; });
+      (void)f;  // discarded immediately
+    }
+  }
+  EXPECT_EQ(counter.load(), 200);
+}
+
 TEST(ThreadPool, ResultsComputedConcurrentlyAreCorrect) {
   ThreadPool pool{4};
   std::vector<std::future<long>> futures;
@@ -83,6 +104,187 @@ TEST(ThreadPool, ResultsComputedConcurrentlyAreCorrect) {
     }));
   for (long i = 0; i < 64; ++i)
     EXPECT_EQ(futures[static_cast<std::size_t>(i)].get(), i * (i + 1) / 2);
+}
+
+TEST(ThreadPool, ShutdownDrainsThenRejectsSubmit) {
+  ThreadPool pool{2};
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    auto f = pool.submit([&counter] { ++counter; });
+    (void)f;
+  }
+  pool.shutdown();
+  EXPECT_EQ(counter.load(), 100);
+  EXPECT_EQ(pool.size(), 0u);
+  EXPECT_THROW((void)pool.submit([] { return 1; }), std::runtime_error);
+}
+
+TEST(ThreadPool, ShutdownIsIdempotent) {
+  ThreadPool pool{2};
+  pool.shutdown();
+  EXPECT_NO_THROW(pool.shutdown());
+  EXPECT_NO_THROW(pool.shutdown());
+}  // destructor shuts down a third time
+
+// ---------------------------------------------------------------------------
+// Chunked loops and cooperative cancellation.
+// ---------------------------------------------------------------------------
+
+TEST(ThreadPoolChunked, CoversEveryIndexForAnyChunkSize) {
+  ThreadPool pool{3};
+  for (const std::size_t chunk : {std::size_t{0}, std::size_t{1},
+                                  std::size_t{7}, std::size_t{100},
+                                  std::size_t{1000}}) {
+    std::vector<std::atomic<int>> hits(100);
+    pool.parallel_for_chunked(100, chunk,
+                              [&hits](std::size_t i) { ++hits[i]; });
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1) << "chunk=" << chunk;
+  }
+}
+
+TEST(ThreadPoolChunked, PreCancelledTokenSkipsEverything) {
+  ThreadPool pool{2};
+  CancellationToken token;
+  token.cancel();
+  std::atomic<int> ran{0};
+  pool.parallel_for_chunked(50, 5, [&ran](std::size_t) { ++ran; }, &token);
+  EXPECT_EQ(ran.load(), 0);
+}
+
+TEST(ThreadPoolChunked, ThrowCancelsTheSharedToken) {
+  ThreadPool pool{2};
+  CancellationToken token;
+  EXPECT_THROW(pool.parallel_for_chunked(
+                   20, 1,
+                   [](std::size_t i) {
+                     if (i == 4) throw std::runtime_error("cell 4");
+                   },
+                   &token),
+               std::runtime_error);
+  EXPECT_TRUE(token.cancelled());
+}
+
+TEST(ThreadPoolChunked, SerialPoolReportsLowestFailedChunk) {
+  // With one worker the chunks run in submission order, so the first
+  // throw (index 3) cancels the token and index 11's throw never runs:
+  // the rethrown error must be chunk 3's, deterministically.
+  ThreadPool pool{1};
+  CancellationToken token;
+  std::string message;
+  try {
+    pool.parallel_for_chunked(
+        20, 1,
+        [](std::size_t i) {
+          if (i == 3 || i == 11)
+            throw std::runtime_error("cell " + std::to_string(i));
+        },
+        &token);
+    FAIL() << "expected a throw";
+  } catch (const std::runtime_error& error) {
+    message = error.what();
+  }
+  EXPECT_EQ(message, "cell 3");
+}
+
+TEST(ThreadPoolChunked, ManyWorkersPickLowestAmongFailedChunks) {
+  // Under real concurrency which chunks get skipped is schedule
+  // dependent, but the propagated error is always the lowest-indexed
+  // chunk among those that actually failed -- i.e. one of the throwers,
+  // never a mangled or empty error.
+  ThreadPool pool{4};
+  for (int round = 0; round < 20; ++round) {
+    CancellationToken token;
+    std::string message;
+    try {
+      pool.parallel_for_chunked(
+          64, 1,
+          [](std::size_t i) {
+            if (i % 13 == 5)
+              throw std::runtime_error(std::to_string(i));
+          },
+          &token);
+      FAIL() << "expected a throw";
+    } catch (const std::runtime_error& error) {
+      message = error.what();
+    }
+    const std::size_t cell = std::stoul(message);
+    EXPECT_EQ(cell % 13, 5u);
+    EXPECT_TRUE(token.cancelled());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Cross-grid stress: several "grids" (threads driving chunked loops)
+// hammer one shared pool concurrently. TSan target.
+// ---------------------------------------------------------------------------
+
+TEST(ThreadPoolStress, ConcurrentChunkedLoopsFromManyThreads) {
+  ThreadPool pool{4};
+  constexpr int kGrids = 6;
+  constexpr std::size_t kCells = 200;
+  std::vector<std::vector<std::atomic<int>>> hits(kGrids);
+  for (auto& grid : hits) {
+    std::vector<std::atomic<int>> cells(kCells);
+    grid.swap(cells);
+  }
+
+  std::vector<std::thread> grids;
+  std::atomic<int> failures{0};
+  grids.reserve(kGrids);
+  for (int g = 0; g < kGrids; ++g) {
+    grids.emplace_back([&pool, &hits, &failures, g] {
+      try {
+        pool.parallel_for_chunked(kCells, g % 2 == 0 ? 1 : 16,
+                                  [&hits, g](std::size_t i) { ++hits[g][i]; });
+      } catch (...) {
+        ++failures;
+      }
+    });
+  }
+  for (auto& t : grids) t.join();
+
+  EXPECT_EQ(failures.load(), 0);
+  for (int g = 0; g < kGrids; ++g)
+    for (const auto& h : hits[g]) ASSERT_EQ(h.load(), 1) << "grid " << g;
+}
+
+TEST(ThreadPoolStress, ConcurrentLoopsWithOneFailingGrid) {
+  // One grid throws mid-flight while the others keep going: the failure
+  // must stay confined to its own loop (its own token), and the healthy
+  // grids must still cover every index.
+  ThreadPool pool{4};
+  constexpr std::size_t kCells = 100;
+  std::vector<std::atomic<int>> healthy_a(kCells), healthy_b(kCells);
+  std::atomic<bool> caught{false};
+
+  std::thread failing{[&pool, &caught] {
+    CancellationToken token;
+    try {
+      pool.parallel_for_chunked(
+          kCells, 4,
+          [](std::size_t i) {
+            if (i == 37) throw std::runtime_error("grid failure");
+          },
+          &token);
+    } catch (const std::runtime_error&) {
+      caught = true;
+    }
+  }};
+  std::thread a{[&pool, &healthy_a] {
+    pool.parallel_for_chunked(kCells, 4,
+                              [&healthy_a](std::size_t i) { ++healthy_a[i]; });
+  }};
+  std::thread b{[&pool, &healthy_b] {
+    pool.parallel_for_chunked(kCells, 1,
+                              [&healthy_b](std::size_t i) { ++healthy_b[i]; });
+  }};
+  failing.join();
+  a.join();
+  b.join();
+
+  EXPECT_TRUE(caught.load());
+  for (const auto& h : healthy_a) ASSERT_EQ(h.load(), 1);
+  for (const auto& h : healthy_b) ASSERT_EQ(h.load(), 1);
 }
 
 }  // namespace

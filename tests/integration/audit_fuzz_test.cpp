@@ -14,7 +14,9 @@
 #include "core/audit.hpp"
 #include "core/simulation.hpp"
 #include "exp/scenario.hpp"
+#include "exp/sweep.hpp"
 #include "metrics/aggregate.hpp"
+#include "metrics/report.hpp"
 #include "sim/rng.hpp"
 #include "test_support.hpp"
 #include "workload/transforms.hpp"
@@ -181,6 +183,66 @@ TEST(AuditFuzz, ConservativePriorityEquivalenceUnderExactEstimates) {
     EXPECT_EQ(starts[0], starts[1]) << "fcfs vs sjf diverged";
     EXPECT_EQ(starts[0], starts[2]) << "fcfs vs xfactor diverged";
   }
+}
+
+TEST(AuditFuzz, SweepShardsTheFuzzGridWithPerCellAuditors) {
+  // The same fuzz grid routed through exp::Sweep: every cell carries
+  // its own internal auditor + validator (SweepOptions{.audit,
+  // .validate}), custom runners reproduce the cancellation transform
+  // from the scenario seed, and the sharded run must match the serial
+  // one byte for byte.
+  exp::Sweep sweep;
+  for (const FuzzCell& cell : fuzz_grid()) {
+    exp::Scenario scenario;
+    scenario.trace = cell.trace;
+    scenario.jobs = kJobs;
+    scenario.load = cell.load;
+    scenario.estimates = {.regime = exp::EstimateRegime::Systematic,
+                          .factor = cell.factor};
+    scenario.scheduler = SchedulerKind::Conservative;
+    scenario.priority = PriorityPolicy::Fcfs;
+    scenario.seed = cell.seed;
+    const double cancel = cell.cancel_fraction;
+    (void)sweep.add(
+        scenario, cell.label(),
+        [cancel](const exp::Scenario& s,
+                 const core::SimulationOptions& sim_options,
+                 exp::CellResult& result) {
+          workload::Trace trace = exp::build_workload(s);
+          if (cancel > 0.0) {
+            sim::Rng rng{s.seed * 977 + 13};
+            workload::apply_cancellations(trace, cancel, /*patience=*/2.0,
+                                          rng);
+          }
+          const SchedulerConfig config{s.procs(), s.priority};
+          result.metrics = metrics::compute_metrics(
+              run_simulation(trace, s.scheduler, config, {}, sim_options),
+              config.procs);
+        });
+  }
+
+  exp::SweepOptions serial;
+  serial.audit = true;
+  serial.validate = true;
+  const exp::SweepReport oracle = sweep.run(serial);
+  ASSERT_EQ(oracle.cells.size(), fuzz_grid().size());
+  for (const exp::CellResult& cell : oracle.cells) {
+    SCOPED_TRACE(cell.tag);
+    EXPECT_GE(cell.metrics.overall.slowdown.mean(), 1.0);
+    EXPECT_EQ(cell.metrics.overall.count() + cell.metrics.cancelled_jobs,
+              kJobs);
+  }
+
+  exp::SweepOptions sharded = serial;
+  sharded.threads = 3;
+  sharded.chunk = 1;
+  const exp::SweepReport parallel = sweep.run(sharded);
+  EXPECT_EQ(metrics::metrics_json(parallel.merged),
+            metrics::metrics_json(oracle.merged));
+  for (std::size_t i = 0; i < oracle.cells.size(); ++i)
+    EXPECT_EQ(metrics::metrics_json(parallel.cells[i].metrics),
+              metrics::metrics_json(oracle.cells[i].metrics))
+        << oracle.cells[i].tag;
 }
 
 TEST(AuditFuzz, CollectingAuditorStaysSilentAndBusy) {

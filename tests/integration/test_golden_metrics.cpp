@@ -1,0 +1,106 @@
+// Golden-metrics regression corpus: fixed-seed scenario grids whose
+// merged aggregate metrics are pinned to the byte (tolerance 0). Any
+// change to the workload generators, schedulers, metric aggregation or
+// the sweep merge that shifts a single bit of any double shows up here
+// as a diff of the canonical %.17g JSON.
+//
+// Regenerating after an *intentional* behavior change: run this binary
+// with --gtest_filter='GoldenMetrics.*'; each failure prints the full
+// actual JSON between BEGIN/END markers -- paste it over the stale
+// golden below and explain the shift in the commit message.
+#include <gtest/gtest.h>
+
+#include <iostream>
+#include <string>
+
+#include "exp/scenario.hpp"
+#include "exp/sweep.hpp"
+#include "metrics/report.hpp"
+
+namespace bfsim::exp {
+namespace {
+
+struct GoldenCase {
+  const char* name;
+  TraceKind trace;
+  core::SchedulerKind scheduler;
+  core::PriorityPolicy priority;
+  EstimateSpec estimates;
+  const char* golden;  ///< canonical metrics_json of the merged grid
+};
+
+constexpr std::size_t kJobs = 200;
+constexpr std::size_t kSeeds = 2;
+
+std::string run_grid(const GoldenCase& c) {
+  Scenario base;
+  base.trace = c.trace;
+  base.jobs = kJobs;
+  base.load = kHighLoad;
+  base.estimates = c.estimates;
+  base.scheduler = c.scheduler;
+  base.priority = c.priority;
+  Sweep sweep;
+  (void)sweep.add_replications(base, kSeeds, c.name);
+  SweepOptions options;
+  options.audit = true;
+  options.validate = true;
+  return metrics::metrics_json(sweep.run(options).merged);
+}
+
+void check(const GoldenCase& c) {
+  const std::string actual = run_grid(c);
+  if (actual != c.golden) {
+    ADD_FAILURE() << c.name << ": merged metrics diverged from the golden "
+                  << "corpus.\n--- BEGIN ACTUAL " << c.name << " ---\n"
+                  << actual << "\n--- END ACTUAL " << c.name << " ---";
+  }
+}
+
+// clang-format off
+const GoldenCase kCorpus[] = {
+    {"ctc-conservative-fcfs-exact", TraceKind::Ctc,
+     core::SchedulerKind::Conservative, core::PriorityPolicy::Fcfs,
+     {EstimateRegime::Exact, 1.0},
+     R"GOLD({"overall":{"slowdown":{"count":360,"mean":14.247362260904106,"stddev":84.031248618981536,"min":1,"max":1344.3243243243244,"sum":5129.050413925479},"turnaround":{"count":360,"mean":15049.180555555555,"stddev":20337.592917834281,"min":30,"max":107881,"sum":5417705},"wait":{"count":360,"mean":5648.0055555555573,"stddev":10782.484399067083,"min":0,"max":57146,"sum":2033282}},"SN":{"slowdown":{"count":164,"mean":11.684125109199979,"stddev":54.291985390212041,"min":1,"max":610.18644067796606,"sum":1916.1965179087972},"turnaround":{"count":164,"mean":2879.4634146341468,"stddev":6227.8893207322926,"min":30,"max":36001,"sum":472232},"wait":{"count":164,"mean":2165.7804878048782,"stddev":6097.4386355837123,"min":0,"max":35942,"sum":355188}},"SW":{"slowdown":{"count":49,"mean":60.504332353007158,"stddev":200.26899266430948,"min":1,"max":1344.3243243243244,"sum":2964.7122852973507},"turnaround":{"count":49,"mean":8866.8367346938794,"stddev":13712.262082935931,"min":34,"max":50764,"sum":434475},"wait":{"count":49,"mean":8258.1836734693879,"stddev":13712.614283439701,"min":0,"max":50643,"sum":404651}},"LN":{"slowdown":{"count":88,"mean":1.4874619228500896,"stddev":0.84525288907031582,"min":1,"max":4.7488622258998756,"sum":130.89664921080791},"turnaround":{"count":88,"mean":29691.227272727272,"stddev":20114.196384087492,"min":3750,"max":78831,"sum":2612828},"wait":{"count":88,"mean":6911.9204545454531,"stddev":10820.155436049266,"min":0,"max":43072,"sum":608249}},"LW":{"slowdown":{"count":59,"mean":1.9872027374326073,"stddev":1.7491321894296366,"min":1,"max":10.887156124058174,"sum":117.24496150852383},"turnaround":{"count":59,"mean":32172.372881355936,"stddev":24780.367746497748,"min":3818,"max":107881,"sum":1898170},"wait":{"count":59,"mean":11274.474576271186,"stddev":14465.03823535232,"min":0,"max":57146,"sum":665194}},"well":{"slowdown":{"count":360,"mean":14.247362260904106,"stddev":84.031248618981536,"min":1,"max":1344.3243243243244,"sum":5129.050413925479},"turnaround":{"count":360,"mean":15049.180555555555,"stddev":20337.592917834281,"min":30,"max":107881,"sum":5417705},"wait":{"count":360,"mean":5648.0055555555573,"stddev":10782.484399067083,"min":0,"max":57146,"sum":2033282}},"poor":{"slowdown":{"count":0,"mean":0,"stddev":0,"min":0,"max":0,"sum":0},"turnaround":{"count":0,"mean":0,"stddev":0,"min":0,"max":0,"sum":0},"wait":{"count":0,"mean":0,"stddev":0,"min":0,"max":0,"sum":0}},"slowdown_tail":{"count":360,"p50":1,"p95":65.71681054170098,"p99":212.19094645550601,"max":1344.3243243243244},"utilization":0.61985008417764254,"makespan":270121,"killed":0,"cancelled":0,"backfilled":256})GOLD"},
+    {"ctc-easy-sjf-actual", TraceKind::Ctc, core::SchedulerKind::Easy,
+     core::PriorityPolicy::Sjf, {EstimateRegime::Actual, 1.0},
+     R"GOLD({"overall":{"slowdown":{"count":360,"mean":5.5082652365151503,"stddev":28.660540310012887,"min":1,"max":312.76470588235293,"sum":1982.9754851454547},"turnaround":{"count":360,"mean":11932.547222222222,"stddev":19546.906381707999,"min":30,"max":146451,"sum":4295717},"wait":{"count":360,"mean":2531.3722222222223,"stddev":10224.418566073477,"min":0,"max":95716,"sum":911294}},"SN":{"slowdown":{"count":164,"mean":1.7347247368265646,"stddev":6.4217100666547822,"min":1,"max":66.314285714285717,"sum":284.49485683955646},"turnaround":{"count":164,"mean":784.01219512195132,"stddev":1011.7133253106351,"min":30,"max":6963,"sum":128578},"wait":{"count":164,"mean":70.329268292682912,"stddev":568.70964817153208,"min":0,"max":6858,"sum":11534}},"SW":{"slowdown":{"count":49,"mean":30.62272522991519,"stddev":72.482033936362484,"min":1,"max":312.76470588235293,"sum":1500.5135362658439},"turnaround":{"count":49,"mean":6707.6938775510189,"stddev":15253.899511278094,"min":30,"max":92783,"sum":328677},"wait":{"count":49,"mean":6099.0408163265329,"stddev":15274.62888796209,"min":0,"max":92381,"sum":298853}},"LN":{"slowdown":{"count":88,"mean":1.0098998142458191,"stddev":0.064055628571407369,"min":1,"max":1.5766078372719114,"sum":88.871183653632102},"turnaround":{"count":88,"mean":22949.181818181823,"stddev":16560.617480120844,"min":3750,"max":63839,"sum":2019528},"wait":{"count":88,"mean":169.87500000000003,"stddev":1064.4155572182681,"min":0,"max":9638,"sum":14949}},"LW":{"slowdown":{"count":59,"mean":1.8490831929902138,"stddev":1.7757956182181915,"min":1,"max":9.3101751623696121,"sum":109.09590838642262},"turnaround":{"count":59,"mean":30829.389830508473,"stddev":28917.795813136236,"min":3818,"max":146451,"sum":1818934},"wait":{"count":59,"mean":9931.4915254237294,"stddev":18955.643179741637,"min":0,"max":95716,"sum":585958}},"well":{"slowdown":{"count":237,"mean":4.2040603268758314,"stddev":22.502675574290347,"min":1,"max":258.0625,"sum":996.3622974695719},"turnaround":{"count":237,"mean":14177.367088607596,"stddev":20788.772658542715,"min":30,"max":146451,"sum":3360036},"wait":{"count":237,"mean":2214.8143459915609,"stddev":8600.5583746183038,"min":0,"max":95716,"sum":524911}},"poor":{"slowdown":{"count":123,"mean":8.0212454282592152,"stddev":37.788111133824046,"min":1,"max":312.76470588235293,"sum":986.61318767588341},"turnaround":{"count":123,"mean":7607.162601626017,"stddev":16114.075042692977,"min":30,"max":107713,"sum":935681},"wait":{"count":123,"mean":3141.3252032520327,"stddev":12804.670155650841,"min":0,"max":92381,"sum":386383}},"slowdown_tail":{"count":360,"p50":1,"p95":5.7537779004493608,"p99":147.83033221819554,"max":312.76470588235293},"utilization":0.59819932723207769,"makespan":304048,"killed":0,"cancelled":0,"backfilled":287})GOLD"},
+    {"sdsc-kreservation-xfactor-r2", TraceKind::Sdsc,
+     core::SchedulerKind::KReservation, core::PriorityPolicy::XFactor,
+     {EstimateRegime::Systematic, 2.0},
+     R"GOLD({"overall":{"slowdown":{"count":360,"mean":95.557884252281966,"stddev":317.89504778667879,"min":1,"max":2690.3548387096776,"sum":34400.838330821505},"turnaround":{"count":360,"mean":34850.666666666657,"stddev":53740.994472067548,"min":30,"max":408881,"sum":12546240},"wait":{"count":360,"mean":23649.99722222222,"stddev":38478.361220127626,"min":0,"max":313195,"sum":8513999}},"SN":{"slowdown":{"count":173,"mean":102.31402136107035,"stddev":300.58623870559211,"min":1,"max":1882.25,"sum":17700.325695465173},"turnaround":{"count":173,"mean":12461.849710982664,"stddev":21932.135588347384,"min":30,"max":76800,"sum":2155900},"wait":{"count":173,"mean":11774.13294797687,"stddev":21946.673780126497,"min":0,"max":75878,"sum":2036925}},"SW":{"slowdown":{"count":77,"mean":212.25380510755178,"stddev":496.61707403890864,"min":1,"max":2690.3548387096776,"sum":16343.542993281491},"turnaround":{"count":77,"mean":23911.389610389611,"stddev":28528.752867274026,"min":30,"max":106948,"sum":1841177},"wait":{"count":77,"mean":23094.740259740262,"stddev":28584.845970236984,"min":0,"max":106820,"sum":1778295}},"LN":{"slowdown":{"count":60,"mean":2.8953927986885213,"stddev":3.4488331736855442,"min":1,"max":16.181521028546523,"sum":173.72356792131131},"turnaround":{"count":60,"mean":70371.71666666666,"stddev":61722.97677858617,"min":3787,"max":256647,"sum":4222303},"wait":{"count":60,"mean":36622,"stddev":46668.750238030385,"min":0,"max":189225,"sum":2197320}},"LW":{"slowdown":{"count":50,"mean":3.6649214830706165,"stddev":3.6555720287913664,"min":1,"max":19.714536340852131,"sum":183.24607415353086},"turnaround":{"count":50,"mean":86537.199999999997,"stddev":85981.659950223795,"min":4107,"max":408881,"sum":4326860},"wait":{"count":50,"mean":50029.18,"stddev":62068.584299683665,"min":0,"max":313195,"sum":2501459}},"well":{"slowdown":{"count":360,"mean":95.557884252281966,"stddev":317.89504778667879,"min":1,"max":2690.3548387096776,"sum":34400.838330821505},"turnaround":{"count":360,"mean":34850.666666666657,"stddev":53740.994472067548,"min":30,"max":408881,"sum":12546240},"wait":{"count":360,"mean":23649.99722222222,"stddev":38478.361220127626,"min":0,"max":313195,"sum":8513999}},"poor":{"slowdown":{"count":0,"mean":0,"stddev":0,"min":0,"max":0,"sum":0},"turnaround":{"count":0,"mean":0,"stddev":0,"min":0,"max":0,"sum":0},"wait":{"count":0,"mean":0,"stddev":0,"min":0,"max":0,"sum":0}},"slowdown_tail":{"count":360,"p50":1,"p95":605.43788537549472,"p99":1607.7106294256494,"max":2690.3548387096776},"utilization":0.61916536919248255,"makespan":935222,"killed":0,"cancelled":0,"backfilled":302})GOLD"},
+    {"sdsc-slack-fcfs-exact", TraceKind::Sdsc, core::SchedulerKind::Slack,
+     core::PriorityPolicy::Fcfs, {EstimateRegime::Exact, 1.0},
+     R"GOLD({"overall":{"slowdown":{"count":360,"mean":93.877552777822046,"stddev":335.52504983751317,"min":1,"max":4151.3783783783783,"sum":33795.919000015929},"turnaround":{"count":360,"mean":41076.811111111114,"stddev":63189.528677614289,"min":30,"max":330873,"sum":14787652},"wait":{"count":360,"mean":29876.141666666663,"stddev":51503.690320219226,"min":0,"max":244267,"sum":10755411}},"SN":{"slowdown":{"count":173,"mean":105.81195982446303,"stddev":313.66184107225297,"min":1,"max":1989.2820512820513,"sum":18305.469049632098},"turnaround":{"count":173,"mean":14166.653179190751,"stddev":28978.70706076963,"min":30,"max":152941,"sum":2450831},"wait":{"count":173,"mean":13478.936416184968,"stddev":28951.142533816786,"min":0,"max":151528,"sum":2331856}},"SW":{"slowdown":{"count":77,"mean":194.72759502459704,"stddev":535.5759519018743,"min":1,"max":4151.3783783783783,"sum":14994.024816893972},"turnaround":{"count":77,"mean":40688.454545454544,"stddev":62302.639348616911,"min":30,"max":226190,"sum":3133011},"wait":{"count":77,"mean":39871.80519480518,"stddev":62170.214776395376,"min":0,"max":225857,"sum":3070129}},"LN":{"slowdown":{"count":60,"mean":3.0530847969859822,"stddev":5.3521095325785639,"min":1,"max":33.127369956246959,"sum":183.18508781915889},"turnaround":{"count":60,"mean":68202.483333333352,"stddev":65380.277700695464,"min":3907,"max":265885,"sum":4092149},"wait":{"count":60,"mean":34452.76666666667,"stddev":49940.901404531898,"min":0,"max":219076,"sum":2067166}},"LW":{"slowdown":{"count":50,"mean":6.2648009134138398,"stddev":10.077240895384689,"min":1,"max":49.63558884297521,"sum":313.24004567069198},"turnaround":{"count":50,"mean":102233.22,"stddev":88683.101504288861,"min":4107,"max":330873,"sum":5111661},"wait":{"count":50,"mean":65725.200000000012,"stddev":71071.299059752782,"min":0,"max":244267,"sum":3286260}},"well":{"slowdown":{"count":360,"mean":93.877552777822046,"stddev":335.52504983751317,"min":1,"max":4151.3783783783783,"sum":33795.919000015929},"turnaround":{"count":360,"mean":41076.811111111114,"stddev":63189.528677614289,"min":30,"max":330873,"sum":14787652},"wait":{"count":360,"mean":29876.141666666663,"stddev":51503.690320219226,"min":0,"max":244267,"sum":10755411}},"poor":{"slowdown":{"count":0,"mean":0,"stddev":0,"min":0,"max":0,"sum":0},"turnaround":{"count":0,"mean":0,"stddev":0,"min":0,"max":0,"sum":0},"wait":{"count":0,"mean":0,"stddev":0,"min":0,"max":0,"sum":0}},"slowdown_tail":{"count":360,"p50":1,"p95":692.17008700870099,"p99":1347.7713638843456,"max":4151.3783783783783},"utilization":0.60679128072309818,"makespan":908513,"killed":0,"cancelled":0,"backfilled":284})GOLD"},
+};
+// clang-format on
+
+TEST(GoldenMetrics, CtcConservativeFcfsExact) { check(kCorpus[0]); }
+TEST(GoldenMetrics, CtcEasySjfActual) { check(kCorpus[1]); }
+TEST(GoldenMetrics, SdscKReservationXFactorR2) { check(kCorpus[2]); }
+TEST(GoldenMetrics, SdscSlackFcfsExact) { check(kCorpus[3]); }
+
+TEST(GoldenMetrics, CorpusIsThreadCountInvariant) {
+  // The corpus pins the *serial* merge; this pins the sharded one to the
+  // same bytes, so a golden mismatch is never a concurrency artifact.
+  for (const GoldenCase& c : kCorpus) {
+    Scenario base;
+    base.trace = c.trace;
+    base.jobs = kJobs;
+    base.load = kHighLoad;
+    base.estimates = c.estimates;
+    base.scheduler = c.scheduler;
+    base.priority = c.priority;
+    Sweep sweep;
+    (void)sweep.add_replications(base, kSeeds, c.name);
+    SweepOptions parallel;
+    parallel.threads = 2;
+    EXPECT_EQ(metrics::metrics_json(sweep.run(parallel).merged),
+              metrics::metrics_json(sweep.run({}).merged))
+        << c.name;
+  }
+}
+
+}  // namespace
+}  // namespace bfsim::exp
