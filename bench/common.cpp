@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "util/log.hpp"
+
 namespace bfsim::bench {
 
 bool parse_bench_options(int argc, const char* const* argv,
@@ -25,6 +27,19 @@ bool parse_bench_options(int argc, const char* const* argv,
   cli.add_flag("json",
                "print the grid's canonical JSON report (per-cell and "
                "merged metrics) before the tables");
+  cli.add_option("retries",
+                 "per-cell retry budget before a cell counts as failed",
+                 std::to_string(options.retries));
+  cli.add_option("cell-timeout",
+                 "per-cell watchdog deadline in seconds (0 = no watchdog)",
+                 util::format_fixed(options.cell_timeout, 1));
+  cli.add_option("resume",
+                 "checkpoint journal path: completed cells are journaled "
+                 "as they finish and replayed byte-identically on relaunch",
+                 options.resume);
+  cli.add_flag("partial",
+               "degraded-results mode: report failed cells as structured "
+               "entries instead of aborting the grid");
   if (!cli.parse(argc, argv)) return false;
   options.name = name;
   options.jobs = static_cast<std::size_t>(cli.get_int64("jobs"));
@@ -33,6 +48,10 @@ bool parse_bench_options(int argc, const char* const* argv,
   options.threads = static_cast<std::size_t>(cli.get_int64("threads"));
   options.audit = cli.get_flag("audit");
   options.json = cli.get_flag("json");
+  options.retries = static_cast<std::size_t>(cli.get_int64("retries"));
+  options.cell_timeout = cli.get_double("cell-timeout");
+  options.resume = cli.get("resume");
+  options.partial = cli.get_flag("partial");
   return true;
 }
 
@@ -46,6 +65,27 @@ void report_expectation(const std::string& claim, bool holds) {
 }
 
 namespace {
+
+/// Minimal JSON string escaping for failure tags/messages (quotes,
+/// backslashes, control characters).
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buffer[8];
+      std::snprintf(buffer, sizeof buffer, "\\u%04x",
+                    static_cast<unsigned>(static_cast<unsigned char>(c)));
+      out += buffer;
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
 
 /// Cell-key discriminator for the tuning knobs Scenario::label() omits.
 std::string extras_label(const core::SchedulerExtras& extras) {
@@ -109,8 +149,31 @@ void Grid::run() {
   exp::SweepOptions sweep_options;
   sweep_options.threads = options_.threads;
   sweep_options.audit = options_.audit;
+  sweep_options.policy.retries = static_cast<int>(options_.retries);
+  sweep_options.policy.backoff_base_ms = options_.retries > 0 ? 50 : 0;
+  sweep_options.policy.cell_timeout_ms =
+      static_cast<std::uint64_t>(options_.cell_timeout * 1000.0);
+  sweep_options.policy.partial = options_.partial;
+  sweep_options.journal = options_.resume;
   report_ = sweep_.run(sweep_options);
   reps_cache_.assign(cells_.size(), {});
+
+  // stderr (and Info, i.e. silent by default): the stdout report must
+  // stay byte-identical between a fresh run and a --resume relaunch.
+  if (report_->replayed > 0)
+    util::log_message(util::LogLevel::Info,
+                      options_.name + ": " +
+                          std::to_string(report_->replayed) + "/" +
+                          std::to_string(report_->cells.size()) +
+                          " cells replayed from " + options_.resume);
+  for (const exp::CellFailure& failure : report_->failures)
+    util::log_limited(util::LogLevel::Error, "grid-cell-failure",
+                      options_.name + ": cell #" +
+                          std::to_string(failure.cell) + " [" + failure.tag +
+                          "] failed after " +
+                          std::to_string(failure.attempts) + " attempt(s) (" +
+                          util::to_string(failure.kind) +
+                          "): " + failure.message);
 
   if (!options_.json) return;
   // Canonical JSON report: every scheme cell with its per-seed and
@@ -127,8 +190,23 @@ void Grid::run() {
     out += "{\"key\":\"" + cells_[h].key + "\",\"merged\":" +
            metrics::metrics_json(metrics::merged_metrics(reps(h))) + "}";
   }
+  out += "],\"failures\":[";
+  for (std::size_t f = 0; f < report_->failures.size(); ++f) {
+    const exp::CellFailure& failure = report_->failures[f];
+    if (f > 0) out += ',';
+    out += "{\"cell\":" + std::to_string(failure.cell) + ",\"tag\":\"" +
+           json_escape(failure.tag) + "\",\"kind\":\"" +
+           util::to_string(failure.kind) +
+           "\",\"attempts\":" + std::to_string(failure.attempts) +
+           ",\"message\":\"" + json_escape(failure.message) + "\"}";
+  }
   out += "],\"merged\":" + metrics::metrics_json(report_->merged) + "}\n";
   std::fputs(out.c_str(), stdout);
+}
+
+const std::vector<exp::CellFailure>& Grid::failures() const {
+  if (!report_) throw std::logic_error("Grid: failures() before run()");
+  return report_->failures;
 }
 
 const std::vector<metrics::Metrics>& Grid::reps(std::size_t handle) const {

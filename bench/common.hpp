@@ -45,6 +45,18 @@ struct BenchOptions {
   /// After the sweep, print the grid's canonical JSON report (per-cell
   /// and merged metrics, %.17g doubles) before the human tables.
   bool json = false;
+  /// Per-cell retry budget: a failed cell reruns up to this many extra
+  /// times (deterministic backoff) before counting as failed.
+  std::size_t retries = 0;
+  /// Per-cell watchdog deadline in seconds; 0 disables the watchdog.
+  double cell_timeout = 0.0;
+  /// Checkpoint journal path: completed cells are appended (fsync'd) as
+  /// they finish, and a relaunch with the same path replays them
+  /// byte-identically, running only the cells the crash interrupted.
+  std::string resume;
+  /// Degraded-results mode: cells that fail after their retry budget
+  /// become structured failure entries instead of aborting the grid.
+  bool partial = false;
 };
 
 /// Parse the standard bench options; on --help or parse error returns
@@ -95,6 +107,10 @@ class Grid {
   /// Per-seed metrics of one scheme cell, in seed order.
   [[nodiscard]] const std::vector<metrics::Metrics>& reps(
       std::size_t handle) const;
+
+  /// Permanently failed cells of the sweep (--partial mode only; empty
+  /// otherwise, since without --partial a failure aborts the binary).
+  [[nodiscard]] const std::vector<exp::CellFailure>& failures() const;
 
   /// mean_of / max_of over the cell's replications.
   [[nodiscard]] double mean(

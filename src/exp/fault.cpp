@@ -1,0 +1,42 @@
+#include "exp/fault.hpp"
+
+#include <chrono>
+#include <new>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+namespace bfsim::exp {
+
+void FaultPlan::add(std::string tag, FaultSpec spec) {
+  specs_.insert_or_assign(std::move(tag), spec);
+}
+
+void FaultPlan::on_attempt(const std::string& tag, int attempt) const {
+  const auto found = specs_.find(tag);
+  if (found == specs_.end()) return;
+  const FaultSpec& spec = found->second;
+  if (attempt > spec.fail_attempts) return;  // faulty attempts spent
+  if (spec.stall_ms > 0)
+    std::this_thread::sleep_for(std::chrono::milliseconds(spec.stall_ms));
+  switch (spec.kind) {
+    case util::FailureKind::Timeout:
+      // The stall *is* the fault; the sweep watchdog converts it into a
+      // Timeout failure. Throwing here would bypass the watchdog path.
+      return;
+    case util::FailureKind::ResourceExhausted:
+      throw std::bad_alloc{};
+    case util::FailureKind::ParseError:
+      throw util::ParseError("injected parse fault in cell '" + tag + "'");
+    case util::FailureKind::AuditViolation:
+      // Mirrors the auditor's real diagnostic shape so classification
+      // exercises the same message path as a genuine violation.
+      throw std::logic_error("schedule audit (injected): cell '" + tag +
+                             "' attempt " + std::to_string(attempt));
+    case util::FailureKind::Internal:
+      throw std::runtime_error("injected internal fault in cell '" + tag +
+                               "' attempt " + std::to_string(attempt));
+  }
+}
+
+}  // namespace bfsim::exp

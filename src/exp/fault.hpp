@@ -1,0 +1,63 @@
+// bfsim -- deterministic fault injection for the sweep runtime.
+//
+// The fault-tolerant sweep path (retry, watchdog, degraded results,
+// journal resume) is only trustworthy if it can be *proven* to preserve
+// the byte-identical-merge contract under failure. A FaultPlan makes
+// failures first-class test inputs: chosen cells (addressed by their
+// sweep tag) throw a chosen exception kind on their first N attempts,
+// stall to trip the watchdog, or simulate allocation failure -- all
+// derived from the plan's declarations, never from wall-clock or
+// global randomness, so every run of a faulty grid replays the exact
+// same fault sequence.
+//
+// The plan itself is stateless and const during a sweep: the sweep
+// tracks per-cell attempt numbers and passes them in, which keeps the
+// plan shareable across concurrent sweeps without synchronization.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "util/error.hpp"
+
+namespace bfsim::exp {
+
+/// One cell's injected misbehavior.
+struct FaultSpec {
+  /// Throw on attempts 1..fail_attempts; attempt fail_attempts+1 runs
+  /// clean. A value >= the sweep's attempt budget makes the fault
+  /// permanent; a smaller value makes it transient (recoverable).
+  int fail_attempts = 1;
+  /// What the faulty attempts throw. ResourceExhausted throws a real
+  /// std::bad_alloc; ParseError/AuditViolation/Internal throw typed or
+  /// marker-prefixed exceptions matching util::classify_failure; a
+  /// Timeout fault never throws -- it only stalls (below) and relies on
+  /// the sweep watchdog to kill the attempt.
+  util::FailureKind kind = util::FailureKind::Internal;
+  /// Milliseconds each faulty attempt sleeps before (possibly)
+  /// throwing. Used to trip the per-cell watchdog deterministically.
+  std::uint64_t stall_ms = 0;
+};
+
+/// A set of cell tag -> FaultSpec injections. Declared once, then read
+/// concurrently by sweep workers.
+class FaultPlan {
+ public:
+  /// Inject `spec` into the cell with exactly this sweep tag.
+  void add(std::string tag, FaultSpec spec);
+
+  [[nodiscard]] bool empty() const { return specs_.empty(); }
+  [[nodiscard]] std::size_t size() const { return specs_.size(); }
+
+  /// Called by the sweep at the start of attempt `attempt` (1-based) of
+  /// the cell tagged `tag`: stalls and/or throws per the matching spec,
+  /// no-op when the cell has none or its faulty attempts are spent.
+  void on_attempt(const std::string& tag, int attempt) const;
+
+ private:
+  std::map<std::string, FaultSpec> specs_;
+};
+
+}  // namespace bfsim::exp

@@ -1,0 +1,218 @@
+#include "exp/journal.hpp"
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <mutex>
+#include <sstream>
+#include <vector>
+
+#include "metrics/serialize.hpp"
+#include "util/error.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#define BFSIM_HAVE_FSYNC 1
+#endif
+
+namespace bfsim::exp {
+
+namespace {
+
+constexpr const char* kHeader = "bfsim-journal v1";
+
+/// FNV-1a 64-bit over the record body; cheap, dependency-free, and
+/// plenty to reject a torn tail (this is corruption *detection* after
+/// a crash, not an adversarial integrity check).
+std::uint64_t fnv1a(const std::string& text) {
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  for (const char c : text) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+std::string hash_hex(std::uint64_t hash) {
+  char buffer[17];
+  std::snprintf(buffer, sizeof buffer, "%016llx",
+                static_cast<unsigned long long>(hash));
+  return buffer;
+}
+
+/// %-escape the characters that would break the line/field framing.
+std::string escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '%': out += "%25"; break;
+      case '\t': out += "%09"; break;
+      case '\n': out += "%0a"; break;
+      case '\r': out += "%0d"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string unescape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    if (text[i] == '%' && i + 2 < text.size()) {
+      const std::string hex = text.substr(i + 1, 2);
+      char* end = nullptr;
+      const long value = std::strtol(hex.c_str(), &end, 16);
+      if (end == hex.c_str() + 2) {
+        out += static_cast<char>(value);
+        i += 2;
+        continue;
+      }
+    }
+    out += text[i];
+  }
+  return out;
+}
+
+std::vector<std::string> split_fields(const std::string& line) {
+  std::vector<std::string> fields;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= line.size(); ++i) {
+    if (i == line.size() || line[i] == '\t') {
+      fields.push_back(line.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return fields;
+}
+
+std::string encode_values(const std::vector<double>& values) {
+  std::string out;
+  char buffer[40];
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) out += ' ';
+    std::snprintf(buffer, sizeof buffer, "%a", values[i]);
+    out += buffer;
+  }
+  return out;
+}
+
+std::vector<double> decode_values(const std::string& text) {
+  std::vector<double> values;
+  std::istringstream in{text};
+  std::string token;
+  while (in >> token) {
+    char* end = nullptr;
+    const double value = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size())
+      throw util::ParseError("journal: bad value token '" + token + "'");
+    values.push_back(value);
+  }
+  return values;
+}
+
+/// Body of a record line (everything before the trailing hash field).
+std::string record_body(std::size_t index, const CellResult& result) {
+  return "C\t" + std::to_string(index) + '\t' + escape(result.tag) + '\t' +
+         escape(result.label) + '\t' + metrics::encode_metrics(result.metrics) +
+         '\t' + encode_values(result.values);
+}
+
+}  // namespace
+
+JournalContents read_journal(const std::string& path) {
+  JournalContents contents;
+  std::ifstream in{path};
+  if (!in) return contents;  // no journal yet: fresh run
+  std::string line;
+  if (!std::getline(in, line)) return contents;  // empty file: fresh run
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+  if (line != kHeader)
+    throw util::ParseError("journal: '" + path +
+                           "' is not a bfsim checkpoint journal");
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    // Everything after the first corrupt record is untrusted: the file
+    // is append-only, so a bad line means the tail (or the file) is
+    // damaged and the affected cells simply rerun.
+    const std::size_t hash_sep = line.rfind('\t');
+    if (hash_sep == std::string::npos) {
+      contents.truncated = true;
+      break;
+    }
+    const std::string body = line.substr(0, hash_sep);
+    if (hash_hex(fnv1a(body)) != line.substr(hash_sep + 1)) {
+      contents.truncated = true;
+      break;
+    }
+    const std::vector<std::string> fields = split_fields(body);
+    if (fields.size() != 6 || fields[0] != "C") {
+      contents.truncated = true;
+      break;
+    }
+    char* end = nullptr;
+    const unsigned long long index = std::strtoull(fields[1].c_str(), &end, 10);
+    if (end != fields[1].c_str() + fields[1].size()) {
+      contents.truncated = true;
+      break;
+    }
+    CellResult result;
+    result.tag = unescape(fields[2]);
+    result.label = unescape(fields[3]);
+    result.metrics = metrics::decode_metrics(fields[4]);
+    result.values = decode_values(fields[5]);
+    result.ok = true;
+    contents.cells.insert_or_assign(static_cast<std::size_t>(index),
+                                    std::move(result));
+  }
+  return contents;
+}
+
+struct JournalWriter::Impl {
+  std::mutex mutex;
+  std::FILE* file = nullptr;
+  std::string path;
+};
+
+JournalWriter::JournalWriter(const std::string& path) : impl_(new Impl) {
+  impl_->path = path;
+  impl_->file = std::fopen(path.c_str(), "ab");
+  if (impl_->file == nullptr) {
+    delete impl_;
+    throw std::runtime_error("journal: cannot open '" + path +
+                             "' for append");
+  }
+  // "ab" positions at end-of-file; offset 0 means new or empty file.
+  if (std::ftell(impl_->file) == 0) {
+    std::fputs(kHeader, impl_->file);
+    std::fputc('\n', impl_->file);
+    std::fflush(impl_->file);
+#ifdef BFSIM_HAVE_FSYNC
+    fsync(fileno(impl_->file));
+#endif
+  }
+}
+
+JournalWriter::~JournalWriter() {
+  if (impl_->file != nullptr) std::fclose(impl_->file);
+  delete impl_;
+}
+
+void JournalWriter::record(std::size_t index, const CellResult& result) {
+  const std::string body = record_body(index, result);
+  const std::string line = body + '\t' + hash_hex(fnv1a(body)) + '\n';
+  const std::scoped_lock lock(impl_->mutex);
+  if (std::fwrite(line.data(), 1, line.size(), impl_->file) != line.size())
+    throw std::runtime_error("journal: short write to '" + impl_->path + "'");
+  if (std::fflush(impl_->file) != 0)
+    throw std::runtime_error("journal: flush failed for '" + impl_->path +
+                             "'");
+#ifdef BFSIM_HAVE_FSYNC
+  fsync(fileno(impl_->file));
+#endif
+}
+
+}  // namespace bfsim::exp

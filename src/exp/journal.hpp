@@ -1,0 +1,71 @@
+// bfsim -- the crash-safe sweep checkpoint journal.
+//
+// A production grid over many traces and seeds can run for hours; a
+// kill -9, an OOM or a power cut must not discard every completed
+// cell. The journal is an append-only text file with one checksummed
+// record per *completed* cell, fsync'd as written, keyed by the cell's
+// declaration index and tag:
+//
+//   bfsim-journal v1
+//   C<TAB>index<TAB>tag<TAB>label<TAB>metrics-blob<TAB>values<TAB>fnv64
+//
+// tag/label are %-escaped (%, TAB, CR, LF), the metrics blob is
+// metrics::encode_metrics (exact hex-float accumulator state), values
+// are space-separated hex floats, and the trailing field is the FNV-1a
+// 64 hash of everything before it. A record is only trusted if its
+// hash verifies; a torn tail (the one partial line a crash mid-write
+// can leave) therefore reads as "not yet completed" and the cell
+// simply reruns. Failed cells are deliberately *not* journaled: a
+// relaunch retries them -- transient infrastructure faults heal across
+// runs, and deterministic faults fail identically, so either way the
+// resumed report matches a fresh one.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+
+#include "exp/sweep.hpp"
+
+namespace bfsim::exp {
+
+/// Everything read back from a journal file.
+struct JournalContents {
+  /// Completed cells by declaration index (later duplicates win).
+  std::map<std::size_t, CellResult> cells;
+  /// True when a corrupt/torn line stopped the read early.
+  bool truncated = false;
+};
+
+/// Parse a journal; a missing file yields empty contents (a fresh run
+/// with checkpointing enabled starts with a nonexistent journal).
+/// Throws util::ParseError when the file exists but its header is not
+/// a bfsim journal -- that is a wrong-path mistake, not a crash relic.
+[[nodiscard]] JournalContents read_journal(const std::string& path);
+
+/// Append-only, fsync'd journal writer; thread-safe (sweep workers
+/// record cells as they finish, in completion order -- order does not
+/// matter because records are keyed by declaration index).
+class JournalWriter {
+ public:
+  /// Opens `path` for append, writing the header line first when the
+  /// file is new or empty. Throws std::runtime_error when the file
+  /// cannot be opened.
+  explicit JournalWriter(const std::string& path);
+  ~JournalWriter();
+
+  JournalWriter(const JournalWriter&) = delete;
+  JournalWriter& operator=(const JournalWriter&) = delete;
+
+  /// Durably append one completed cell: the record line is written,
+  /// flushed and fsync'd before returning, so a crash immediately
+  /// after a cell completes can lose at most that one in-flight line
+  /// (which the checksum then rejects on resume).
+  void record(std::size_t index, const CellResult& result);
+
+ private:
+  struct Impl;
+  Impl* impl_;
+};
+
+}  // namespace bfsim::exp

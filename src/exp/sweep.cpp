@@ -1,11 +1,21 @@
 #include "exp/sweep.hpp"
 
+#include <algorithm>
+#include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <exception>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
 #include <utility>
 
+#include "exp/fault.hpp"
+#include "exp/journal.hpp"
 #include "exp/runner.hpp"
 #include "exp/thread_pool.hpp"
+#include "util/log.hpp"
 
 namespace bfsim::exp {
 
@@ -38,27 +48,200 @@ std::size_t Sweep::add_replications(Scenario base, std::size_t seeds,
   return first;
 }
 
+namespace {
+
+/// One attempt's complete, self-contained input. Copied (not
+/// referenced) so a watchdog-abandoned attempt can keep running on its
+/// detached thread after the sweep has moved on -- it must never touch
+/// sweep-owned memory whose lifetime it cannot see.
+struct AttemptWork {
+  Scenario scenario;
+  std::string tag;
+  CellRunner runner;
+  core::SimulationOptions sim_options;
+  std::optional<FaultPlan> faults;  ///< copy of the plan, when any
+  int attempt = 1;
+
+  void run(CellResult& result) const {
+    if (faults) faults->on_attempt(tag, attempt);
+    if (runner) {
+      runner(scenario, sim_options, result);
+    } else {
+      result.metrics = run_scenario(scenario, sim_options);
+    }
+  }
+};
+
+/// Run the attempt inline (no watchdog).
+void run_attempt(const AttemptWork& work, CellResult& result) {
+  work.run(result);
+}
+
+/// Run the attempt under a watchdog deadline. The attempt executes on
+/// its own thread; on timeout the attempt is *abandoned* -- the thread
+/// keeps running to completion but its result is discarded under the
+/// slot mutex -- and util::TimeoutError is thrown here so the pool
+/// worker is free immediately instead of hanging on a runaway cell.
+void run_attempt_timed(AttemptWork work, std::uint64_t timeout_ms,
+                       CellResult& result) {
+  struct Slot {
+    std::mutex mutex;
+    std::condition_variable cv;
+    bool done = false;
+    bool abandoned = false;
+    std::exception_ptr error;
+    CellResult result;
+  };
+  auto slot = std::make_shared<Slot>();
+  // Seed the attempt's result from the caller's (tag/label are set
+  // before the attempt runs, matching the inline path).
+  std::thread([slot, work = std::move(work), seed = result] {
+    CellResult local = seed;
+    std::exception_ptr error;
+    try {
+      work.run(local);
+    } catch (...) {
+      error = std::current_exception();
+    }
+    const std::scoped_lock lock(slot->mutex);
+    if (!slot->abandoned) {
+      slot->result = std::move(local);
+      slot->error = error;
+      slot->done = true;
+    }
+    slot->cv.notify_all();
+  }).detach();
+
+  std::unique_lock lock(slot->mutex);
+  if (!slot->cv.wait_for(lock, std::chrono::milliseconds(timeout_ms),
+                         [&] { return slot->done; })) {
+    slot->abandoned = true;
+    throw util::TimeoutError("attempt exceeded the " +
+                             std::to_string(timeout_ms) + " ms watchdog");
+  }
+  if (slot->error) std::rethrow_exception(slot->error);
+  result = std::move(slot->result);
+}
+
+/// Deterministic backoff for a retry: exponential in the attempt
+/// number, capped, with jitter hashed from (seed, tag, attempt) --
+/// identical across reruns, no wall-clock randomness anywhere.
+std::uint64_t backoff_ms(const SweepPolicy& policy, const std::string& tag,
+                         int failed_attempt) {
+  if (policy.backoff_base_ms == 0) return 0;
+  const int doublings = std::min(failed_attempt - 1, 20);
+  const std::uint64_t base = std::min(
+      policy.backoff_max_ms, policy.backoff_base_ms << doublings);
+  std::uint64_t hash = policy.backoff_seed;
+  for (const char c : tag) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 0x100000001b3ULL;
+  }
+  hash ^= static_cast<std::uint64_t>(failed_attempt);
+  hash *= 0x100000001b3ULL;
+  return base + hash % (base / 2 + 1);
+}
+
+}  // namespace
+
 SweepReport Sweep::run(const SweepOptions& options) const {
   const auto start = std::chrono::steady_clock::now();
   SweepReport report;
   report.cells.resize(cells_.size());
 
+  // Checkpoint plumbing: completed cells from a previous run replay
+  // from the journal; everything completed in this run is appended.
+  JournalContents resumed;
+  std::unique_ptr<JournalWriter> journal;
+  if (!options.journal.empty()) {
+    resumed = read_journal(options.journal);
+    for (const auto& [index, cached] : resumed.cells) {
+      if (index >= cells_.size())
+        throw std::invalid_argument(
+            "sweep resume: journal record #" + std::to_string(index) +
+            " is beyond this grid (" + std::to_string(cells_.size()) +
+            " cells) -- wrong journal for this sweep?");
+      if (cached.tag != cells_[index].tag)
+        throw std::invalid_argument(
+            "sweep resume: journal record #" + std::to_string(index) +
+            " is tagged '" + cached.tag + "' but the grid declares '" +
+            cells_[index].tag + "' -- wrong journal for this sweep?");
+    }
+    journal = std::make_unique<JournalWriter>(options.journal);
+  }
+
   const core::SimulationOptions sim_options{.validate = options.validate,
                                             .audit = options.audit};
+  const SweepPolicy& policy = options.policy;
+  const int attempts = std::max(policy.retries, 0) + 1;
+
+  std::atomic<std::size_t> replayed{0};
+  std::atomic<std::size_t> retried{0};
+  std::mutex failures_mutex;
+
   const auto run_one = [&](std::size_t i) {
     const Cell& cell = cells_[i];
-    CellResult& result = report.cells[i];
-    result.tag = cell.tag;
-    result.label = cell.scenario.label();
-    try {
-      if (cell.runner) {
-        cell.runner(cell.scenario, sim_options, result);
-      } else {
-        result.metrics = run_scenario(cell.scenario, sim_options);
-      }
-    } catch (const std::exception& error) {
-      throw SweepError(i, cell.tag, error.what());
+    if (const auto cached = resumed.cells.find(i);
+        cached != resumed.cells.end()) {
+      report.cells[i] = cached->second;
+      replayed.fetch_add(1, std::memory_order_relaxed);
+      return;
     }
+    std::string last_error;
+    util::FailureKind last_kind = util::FailureKind::Internal;
+    for (int attempt = 1; attempt <= attempts; ++attempt) {
+      // Each attempt accumulates into a fresh local result so a failed
+      // attempt can never leak partial state into the report.
+      CellResult local;
+      local.tag = cell.tag;
+      local.label = cell.scenario.label();
+      try {
+        AttemptWork work{cell.scenario,
+                         cell.tag,
+                         cell.runner,
+                         sim_options,
+                         options.faults != nullptr
+                             ? std::optional<FaultPlan>{*options.faults}
+                             : std::nullopt,
+                         attempt};
+        if (policy.cell_timeout_ms > 0) {
+          run_attempt_timed(std::move(work), policy.cell_timeout_ms, local);
+        } else {
+          run_attempt(work, local);
+        }
+        report.cells[i] = std::move(local);
+        if (journal) journal->record(i, report.cells[i]);
+        return;
+      } catch (const std::exception& error) {
+        last_error = error.what();
+        last_kind = util::classify_failure(error);
+      } catch (...) {
+        last_error = "non-standard exception";
+        last_kind = util::FailureKind::Internal;
+      }
+      if (attempt < attempts) {
+        retried.fetch_add(1, std::memory_order_relaxed);
+        util::log_limited(util::LogLevel::Warn, "sweep-retry",
+                          "sweep cell #" + std::to_string(i) + " [" +
+                              cell.tag + "] attempt " +
+                              std::to_string(attempt) + " failed (" +
+                              util::to_string(last_kind) + "): " + last_error);
+        const std::uint64_t delay = backoff_ms(policy, cell.tag, attempt);
+        if (delay > 0)
+          std::this_thread::sleep_for(std::chrono::milliseconds(delay));
+      }
+    }
+    if (!policy.partial)
+      throw SweepError(i, cell.tag, last_error);
+    // Degraded-results mode: structured failure entry, empty metrics.
+    CellResult failed;
+    failed.tag = cell.tag;
+    failed.label = cell.scenario.label();
+    failed.ok = false;
+    report.cells[i] = std::move(failed);
+    const std::scoped_lock lock(failures_mutex);
+    report.failures.push_back(
+        {i, cell.tag, last_kind, last_error, attempts});
   };
 
   if (options.threads == 1) {
@@ -72,9 +255,19 @@ SweepReport Sweep::run(const SweepOptions& options) const {
     pool.parallel_for_chunked(cells_.size(), options.chunk, run_one, &token);
   }
 
+  // Failures are pushed in completion order; declaration order is the
+  // deterministic report order.
+  std::sort(report.failures.begin(), report.failures.end(),
+            [](const CellFailure& a, const CellFailure& b) {
+              return a.cell < b.cell;
+            });
+  report.replayed = replayed.load();
+  report.retried = retried.load();
+
   // The merge is the serial tail of the sweep: folding in declaration
   // order on the caller's thread is what makes the pooled statistics
-  // independent of which worker finished when.
+  // independent of which worker finished when. Failed cells hold
+  // default-constructed (empty) metrics, so merging them is a no-op.
   for (const CellResult& cell : report.cells)
     report.merged.merge(cell.metrics);
   report.seconds =

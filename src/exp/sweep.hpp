@@ -13,15 +13,24 @@
 // down to the last bit of every double -- is identical for any thread
 // count, chunk size, or completion order. The differential tests assert
 // this via metrics::metrics_json byte equality against the serial run.
+// The fault-tolerance layer preserves the contract: a retried cell's
+// successful attempt is the same hermetic computation, a cell replayed
+// from the checkpoint journal restores the exact accumulator bits, and
+// backoff sleeps only spend wall-clock time -- no result ever depends
+// on timing or retry history.
 //
-// Error contract: the first failing cell (lowest declaration index
-// among cells that ran) cancels all outstanding cells cooperatively
-// and its error is rethrown as SweepError, annotated with the cell's
-// index and tag. Cells already in flight finish; cells not yet started
-// are skipped.
+// Error contract: by default (policy.partial == false) the first
+// failing cell (lowest declaration index among cells that ran, after
+// its retry budget is spent) cancels all outstanding cells
+// cooperatively and its error is rethrown as SweepError, annotated
+// with the cell's index and tag. In degraded-results mode
+// (policy.partial == true) failed-after-retries cells are recorded as
+// structured CellFailure entries instead and the rest of the grid
+// completes; failed cells contribute empty metrics to the merge.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <stdexcept>
 #include <string>
@@ -30,8 +39,11 @@
 #include "core/simulation.hpp"
 #include "exp/scenario.hpp"
 #include "metrics/aggregate.hpp"
+#include "util/error.hpp"
 
 namespace bfsim::exp {
+
+class FaultPlan;
 
 /// Everything one finished cell hands back to the merge step.
 struct CellResult {
@@ -41,6 +53,20 @@ struct CellResult {
   /// Runner-defined auxiliary scalars (category mixes, paired-run
   /// deltas, ...). Empty for the default runner. Not merged.
   std::vector<double> values;
+  /// False when the cell failed after its retry budget (partial mode
+  /// only); metrics/values are then default-constructed and the
+  /// matching CellFailure entry carries the diagnosis.
+  bool ok = true;
+};
+
+/// One permanently failed cell of a degraded-results run, classified
+/// per the util::FailureKind taxonomy.
+struct CellFailure {
+  std::size_t cell = 0;  ///< declaration index
+  std::string tag;
+  util::FailureKind kind = util::FailureKind::Internal;
+  std::string message;  ///< what() of the last failed attempt
+  int attempts = 1;     ///< attempts consumed (1 + retries performed)
 };
 
 /// A custom per-cell computation. The default (when the cell declares
@@ -65,6 +91,31 @@ class SweepError : public std::runtime_error {
   std::string tag_;
 };
 
+/// Per-cell fault-tolerance policy. Everything here is deterministic:
+/// backoff delays are derived from (backoff_seed, cell tag, attempt)
+/// and only ever cost wall-clock time, never perturb results.
+struct SweepPolicy {
+  /// Extra attempts after the first; 0 = fail on first error (seed
+  /// behavior). A cell therefore runs at most retries + 1 times.
+  int retries = 0;
+  /// First-retry delay; doubles per subsequent retry, capped by
+  /// backoff_max_ms, plus a deterministic seeded jitter of up to half
+  /// the delay. 0 disables sleeping entirely (tests, tiny cells).
+  std::uint64_t backoff_base_ms = 0;
+  std::uint64_t backoff_max_ms = 2000;
+  /// Seed of the jitter hash; fixed default so reruns sleep the same.
+  std::uint64_t backoff_seed = 0x9e3779b97f4a7c15ULL;
+  /// Watchdog deadline per attempt in milliseconds; 0 = no watchdog.
+  /// A timed-out attempt counts as a failed attempt (kind Timeout) and
+  /// is retried like any other failure. The runaway attempt itself is
+  /// abandoned: it finishes on a detached thread whose result is
+  /// discarded, so the pool worker moves on instead of hanging.
+  std::uint64_t cell_timeout_ms = 0;
+  /// Degraded-results mode: record failed-after-retries cells as
+  /// CellFailure entries instead of aborting the grid.
+  bool partial = false;
+};
+
 struct SweepOptions {
   /// Worker threads: 1 = serial in the calling thread (the oracle path,
   /// no pool built), 0 = hardware concurrency, n = exactly n.
@@ -75,15 +126,29 @@ struct SweepOptions {
   bool audit = false;
   /// Run the physical-schedule validator on every cell.
   bool validate = false;
+  /// Retry / watchdog / degraded-results policy.
+  SweepPolicy policy{};
+  /// Deterministic fault injection (tests); nullptr = no faults.
+  const FaultPlan* faults = nullptr;
+  /// Crash-safe checkpoint journal path; "" disables checkpointing.
+  /// Completed cells are appended (fsync'd) as they finish; on a later
+  /// run over the same grid with the same path, journaled cells replay
+  /// from disk byte-identically and only pending cells run live.
+  std::string journal;
 };
 
 struct SweepReport {
   std::vector<CellResult> cells;  ///< always in declaration order
   /// All cells' metrics pooled in declaration order (byte-identical for
-  /// any thread count).
+  /// any thread count). Failed cells contribute their empty metrics,
+  /// i.e. nothing.
   metrics::Metrics merged;
+  /// Permanently failed cells (partial mode), in declaration order.
+  std::vector<CellFailure> failures;
   std::size_t threads_used = 1;
-  double seconds = 0.0;  ///< wall-clock of the run() call
+  std::size_t replayed = 0;  ///< cells restored from the journal
+  std::size_t retried = 0;   ///< failed attempts that were retried
+  double seconds = 0.0;      ///< wall-clock of the run() call
 };
 
 class Sweep {

@@ -1,0 +1,156 @@
+#include "metrics/serialize.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "util/error.hpp"
+
+namespace bfsim::metrics {
+
+namespace {
+
+/// "%a" prints the exact binary value of a double (hex mantissa +
+/// binary exponent); strtod parses it back to identical bits. Infinity
+/// and NaN render as "inf"/"nan", which strtod also accepts.
+void append_double(std::string& out, double value) {
+  char buffer[40];
+  std::snprintf(buffer, sizeof buffer, "%a", value);
+  out += buffer;
+  out += ' ';
+}
+
+void append_size(std::string& out, std::size_t value) {
+  out += std::to_string(value);
+  out += ' ';
+}
+
+void append_stats(std::string& out, const sim::RunningStats& stats) {
+  const sim::RunningStats::State s = stats.state();
+  append_size(out, s.count);
+  append_double(out, s.mean);
+  append_double(out, s.m2);
+  append_double(out, s.sum);
+  append_double(out, s.min);
+  append_double(out, s.max);
+}
+
+void append_set(std::string& out, const MetricSet& set) {
+  append_stats(out, set.slowdown);
+  append_stats(out, set.turnaround);
+  append_stats(out, set.wait);
+}
+
+/// Token cursor over the encoded text; every take_* throws ParseError
+/// with a positional diagnostic on malformed input.
+class Cursor {
+ public:
+  explicit Cursor(std::string_view text) : text_(text) {}
+
+  std::string_view next_token() {
+    while (pos_ < text_.size() && text_[pos_] == ' ') ++pos_;
+    if (pos_ >= text_.size())
+      throw util::ParseError("metrics decode: unexpected end of input");
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() && text_[pos_] != ' ') ++pos_;
+    return text_.substr(start, pos_ - start);
+  }
+
+  std::size_t take_size() {
+    const std::string token{next_token()};
+    char* end = nullptr;
+    const unsigned long long value = std::strtoull(token.c_str(), &end, 10);
+    if (end != token.c_str() + token.size())
+      throw util::ParseError("metrics decode: bad count '" + token + "'");
+    return static_cast<std::size_t>(value);
+  }
+
+  double take_double() {
+    const std::string token{next_token()};
+    char* end = nullptr;
+    const double value = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size())
+      throw util::ParseError("metrics decode: bad number '" + token + "'");
+    return value;
+  }
+
+  void expect_end() {
+    while (pos_ < text_.size() && text_[pos_] == ' ') ++pos_;
+    if (pos_ != text_.size())
+      throw util::ParseError("metrics decode: trailing garbage");
+  }
+
+ private:
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+sim::RunningStats take_stats(Cursor& cursor) {
+  sim::RunningStats::State s;
+  s.count = cursor.take_size();
+  s.mean = cursor.take_double();
+  s.m2 = cursor.take_double();
+  s.sum = cursor.take_double();
+  s.min = cursor.take_double();
+  s.max = cursor.take_double();
+  return sim::RunningStats::from_state(s);
+}
+
+MetricSet take_set(Cursor& cursor) {
+  MetricSet set;
+  set.slowdown = take_stats(cursor);
+  set.turnaround = take_stats(cursor);
+  set.wait = take_stats(cursor);
+  return set;
+}
+
+}  // namespace
+
+std::string encode_metrics(const Metrics& metrics) {
+  std::string out;
+  out.reserve(512 + 24 * metrics.slowdowns.count());
+  append_set(out, metrics.overall);
+  for (const MetricSet& set : metrics.by_category) append_set(out, set);
+  for (const MetricSet& set : metrics.by_estimate) append_set(out, set);
+  append_double(out, metrics.utilization);
+  out += std::to_string(metrics.makespan);
+  out += ' ';
+  append_size(out, metrics.killed_jobs);
+  append_size(out, metrics.cancelled_jobs);
+  append_size(out, metrics.backfilled_jobs);
+  // The slowdown sample is persisted in insertion order so replayed
+  // metrics are indistinguishable from live ones even to code that
+  // inspects values() directly.
+  append_size(out, metrics.slowdowns.count());
+  for (const double v : metrics.slowdowns.values()) append_double(out, v);
+  if (!out.empty() && out.back() == ' ') out.pop_back();
+  return out;
+}
+
+Metrics decode_metrics(std::string_view text) {
+  Cursor cursor{text};
+  Metrics metrics;
+  metrics.overall = take_set(cursor);
+  for (MetricSet& set : metrics.by_category) set = take_set(cursor);
+  for (MetricSet& set : metrics.by_estimate) set = take_set(cursor);
+  metrics.utilization = cursor.take_double();
+  {
+    const std::string token{cursor.next_token()};
+    char* end = nullptr;
+    const long long value = std::strtoll(token.c_str(), &end, 10);
+    if (end != token.c_str() + token.size())
+      throw util::ParseError("metrics decode: bad makespan '" + token + "'");
+    metrics.makespan = static_cast<sim::Time>(value);
+  }
+  metrics.killed_jobs = cursor.take_size();
+  metrics.cancelled_jobs = cursor.take_size();
+  metrics.backfilled_jobs = cursor.take_size();
+  const std::size_t samples = cursor.take_size();
+  metrics.slowdowns.reserve(samples);
+  for (std::size_t i = 0; i < samples; ++i)
+    metrics.slowdowns.add(cursor.take_double());
+  cursor.expect_end();
+  return metrics;
+}
+
+}  // namespace bfsim::metrics

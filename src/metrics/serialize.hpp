@@ -1,0 +1,30 @@
+// bfsim -- exact (bit-for-bit) Metrics serialization for the sweep
+// checkpoint journal.
+//
+// metrics_json (report.hpp) is the canonical *output* format; it prints
+// derived statistics (stddev, quantiles) and cannot be parsed back into
+// the accumulator state. The journal needs the inverse property: a cell
+// replayed from disk must merge into the grid report byte-identically
+// to the original run, down to the last bit of every pooled double. So
+// this module persists the raw accumulator state (Welford count/mean/
+// m2/sum/min/max, the full slowdown sample, the counters) with C99 hex
+// floats ("%a"), which round-trip every finite double exactly and parse
+// locale-independently with strtod.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "metrics/aggregate.hpp"
+
+namespace bfsim::metrics {
+
+/// One line of space-separated tokens, no newline. Stable across
+/// platforms with IEEE-754 doubles.
+[[nodiscard]] std::string encode_metrics(const Metrics& metrics);
+
+/// Inverse of encode_metrics. Throws util::ParseError on malformed
+/// input (wrong token count, unparseable number, trailing garbage).
+[[nodiscard]] Metrics decode_metrics(std::string_view text);
+
+}  // namespace bfsim::metrics

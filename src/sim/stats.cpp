@@ -38,6 +38,25 @@ void RunningStats::merge(const RunningStats& other) {
   max_ = std::max(max_, other.max_);
 }
 
+RunningStats::State RunningStats::state() const {
+  return {count_, mean_, m2_, sum_, min_, max_};
+}
+
+RunningStats RunningStats::from_state(const State& state) {
+  RunningStats stats;
+  stats.count_ = state.count;
+  stats.mean_ = state.mean;
+  stats.m2_ = state.m2;
+  stats.sum_ = state.sum;
+  // An empty accumulator keeps its +/-infinity sentinels so later add()
+  // calls behave identically to a fresh instance.
+  if (state.count > 0) {
+    stats.min_ = state.min;
+    stats.max_ = state.max;
+  }
+  return stats;
+}
+
 double RunningStats::variance() const {
   if (count_ < 2) return 0.0;
   return m2_ / static_cast<double>(count_ - 1);

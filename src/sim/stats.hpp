@@ -12,10 +12,26 @@ namespace bfsim::sim {
 /// Numerically stable running mean/variance/min/max (Welford's algorithm).
 class RunningStats {
  public:
+  /// The raw accumulator state, exposed for exact (bit-for-bit)
+  /// serialization: the sweep checkpoint journal must replay a cell's
+  /// statistics byte-identically, so it persists this state verbatim
+  /// rather than re-deriving it from rounded outputs.
+  struct State {
+    std::size_t count = 0;
+    double mean = 0.0;
+    double m2 = 0.0;
+    double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+  };
+
   void add(double x);
 
   /// Merge another accumulator (parallel reduction; Chan et al. update).
   void merge(const RunningStats& other);
+
+  [[nodiscard]] State state() const;
+  [[nodiscard]] static RunningStats from_state(const State& state);
 
   [[nodiscard]] std::size_t count() const { return count_; }
   [[nodiscard]] double mean() const { return count_ ? mean_ : 0.0; }

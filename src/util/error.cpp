@@ -1,0 +1,64 @@
+#include "util/error.hpp"
+
+#include <new>
+
+namespace bfsim::util {
+
+std::string to_string(FailureKind kind) {
+  switch (kind) {
+    case FailureKind::ParseError: return "parse-error";
+    case FailureKind::AuditViolation: return "audit-violation";
+    case FailureKind::Timeout: return "timeout";
+    case FailureKind::ResourceExhausted: return "resource-exhausted";
+    case FailureKind::Internal: return "internal";
+  }
+  return "internal";
+}
+
+FailureKind failure_kind_from_string(const std::string& name) {
+  if (name == "parse-error") return FailureKind::ParseError;
+  if (name == "audit-violation") return FailureKind::AuditViolation;
+  if (name == "timeout") return FailureKind::Timeout;
+  if (name == "resource-exhausted") return FailureKind::ResourceExhausted;
+  if (name == "internal") return FailureKind::Internal;
+  throw std::invalid_argument("failure_kind_from_string: unknown kind '" +
+                              name + "'");
+}
+
+namespace {
+
+bool starts_with(const std::string& text, const char* prefix) {
+  return text.rfind(prefix, 0) == 0;
+}
+
+}  // namespace
+
+FailureKind classify_failure(const std::exception& error) {
+  if (dynamic_cast<const TimeoutError*>(&error) != nullptr)
+    return FailureKind::Timeout;
+  if (dynamic_cast<const ParseError*>(&error) != nullptr)
+    return FailureKind::ParseError;
+  if (dynamic_cast<const std::bad_alloc*>(&error) != nullptr)
+    return FailureKind::ResourceExhausted;
+  // The auditor and the physical validator throw std::logic_error with
+  // stable message markers (core/audit.cpp, core/simulation.cpp); the
+  // swf reader prefixes every diagnostic with "swf:".
+  const std::string what = error.what();
+  if (what.find("schedule audit") != std::string::npos ||
+      what.find("invalid schedule") != std::string::npos)
+    return FailureKind::AuditViolation;
+  if (starts_with(what, "swf:")) return FailureKind::ParseError;
+  return FailureKind::Internal;
+}
+
+FailureKind classify_current_exception() {
+  try {
+    throw;
+  } catch (const std::exception& error) {
+    return classify_failure(error);
+  } catch (...) {
+    return FailureKind::Internal;
+  }
+}
+
+}  // namespace bfsim::util

@@ -1,0 +1,63 @@
+// bfsim -- the failure taxonomy of the fault-tolerant experiment layer.
+//
+// Every failure a sweep cell (or a workload ingestion step) can suffer
+// is classified into one of five kinds so that degraded-results reports,
+// retry policies and operators all speak the same vocabulary:
+//
+//   ParseError         malformed input data (SWF lines, config values)
+//   AuditViolation     the schedule-invariant auditor or the physical
+//                      validator rejected the run -- never retried away:
+//                      a deterministic cell that violates an invariant
+//                      once violates it every time
+//   Timeout            the cell's watchdog deadline expired
+//   ResourceExhausted  allocation failure (std::bad_alloc) or similar
+//   Internal           everything else (the "unknown unknown" bucket)
+//
+// classify_failure maps an in-flight exception onto the taxonomy; the
+// typed exceptions below exist so throw sites can pick their kind
+// explicitly instead of relying on message sniffing.
+#pragma once
+
+#include <exception>
+#include <stdexcept>
+#include <string>
+
+namespace bfsim::util {
+
+enum class FailureKind : int {
+  ParseError = 0,
+  AuditViolation = 1,
+  Timeout = 2,
+  ResourceExhausted = 3,
+  Internal = 4,
+};
+
+[[nodiscard]] std::string to_string(FailureKind kind);
+/// Inverse of to_string; throws std::invalid_argument on unknown names.
+[[nodiscard]] FailureKind failure_kind_from_string(const std::string& name);
+
+/// Malformed input data. Derives from std::runtime_error so existing
+/// catch sites (and tests) that expect runtime_error keep working.
+class ParseError : public std::runtime_error {
+ public:
+  explicit ParseError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A watchdog deadline expired. Thrown by the sweep's timed attempt
+/// path; classify_failure maps it to FailureKind::Timeout.
+class TimeoutError : public std::runtime_error {
+ public:
+  explicit TimeoutError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Classify a caught exception. Typed exceptions map directly; for
+/// untyped ones the message is sniffed for the auditor/validator
+/// prefixes ("schedule audit", "validator") and the swf parser prefix
+/// ("swf:"); anything unrecognized is Internal.
+[[nodiscard]] FailureKind classify_failure(const std::exception& error);
+
+/// Classify the in-flight exception of a catch(...) block; non-standard
+/// exceptions classify as Internal.
+[[nodiscard]] FailureKind classify_current_exception();
+
+}  // namespace bfsim::util

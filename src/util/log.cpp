@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <cstdio>
+#include <map>
 #include <mutex>
 
 namespace bfsim::util {
@@ -9,6 +10,13 @@ namespace bfsim::util {
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::Warn};
 std::mutex g_mutex;
+
+struct LimitState {
+  std::size_t emitted = 0;
+  std::size_t suppressed = 0;
+};
+std::mutex g_limits_mutex;
+std::map<std::string, LimitState> g_limits;
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -30,6 +38,42 @@ void log_message(LogLevel level, const std::string& message) {
   if (static_cast<int>(level) < static_cast<int>(g_level.load())) return;
   const std::scoped_lock lock(g_mutex);
   std::fprintf(stderr, "[%s] %s\n", level_name(level), message.c_str());
+}
+
+bool log_limited(LogLevel level, const std::string& key,
+                 const std::string& message, std::size_t limit) {
+  bool emit = false;
+  bool announce = false;
+  {
+    const std::scoped_lock lock(g_limits_mutex);
+    LimitState& state = g_limits[key];
+    if (state.emitted < limit) {
+      ++state.emitted;
+      emit = true;
+      announce = state.emitted == limit;
+    } else {
+      ++state.suppressed;
+    }
+  }
+  // Emission happens outside the limiter lock (log_message takes its
+  // own) so a slow stderr never serializes unrelated keys.
+  if (emit) log_message(level, message);
+  if (announce)
+    log_message(level,
+                "[" + key + "] limit of " + std::to_string(limit) +
+                    " messages reached; further messages suppressed");
+  return emit;
+}
+
+std::size_t log_suppressed(const std::string& key) {
+  const std::scoped_lock lock(g_limits_mutex);
+  const auto found = g_limits.find(key);
+  return found == g_limits.end() ? 0 : found->second.suppressed;
+}
+
+void reset_log_limits() {
+  const std::scoped_lock lock(g_limits_mutex);
+  g_limits.clear();
 }
 
 }  // namespace bfsim::util

@@ -18,6 +18,23 @@ void set_log_level(LogLevel level);
 /// Emit one line to stderr as "[level] message" when enabled.
 void log_message(LogLevel level, const std::string& message);
 
+/// Rate-limited emission for messages that can repeat thousands of
+/// times (quarantined SWF records, sweep cell retries): the first
+/// `limit` messages sharing `key` are emitted normally, the moment the
+/// limit is reached a single "[key] further messages suppressed" notice
+/// follows, and everything after that is counted silently. Count-based
+/// (not wall-clock) so tests and reruns see identical output. Returns
+/// whether the message itself was emitted.
+bool log_limited(LogLevel level, const std::string& key,
+                 const std::string& message, std::size_t limit = 10);
+
+/// How many messages for `key` were suppressed so far.
+[[nodiscard]] std::size_t log_suppressed(const std::string& key);
+
+/// Drop all rate-limiter state (per-key counts). Tests and long-lived
+/// drivers call this between phases so limits apply per phase.
+void reset_log_limits();
+
 namespace detail {
 /// Stream-style one-shot logger: builds the message, emits on destruction.
 class LogLine {

@@ -7,9 +7,25 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "util/error.hpp"
+#include "util/log.hpp"
+
 namespace bfsim::workload {
 
 namespace {
+
+/// Internal parse failure carrying its quarantine-reason key, so the
+/// lenient path can count per reason while the strict path rethrows.
+class LineParseError : public util::ParseError {
+ public:
+  LineParseError(std::string reason, const std::string& what)
+      : util::ParseError(what), reason_(std::move(reason)) {}
+
+  [[nodiscard]] const std::string& reason() const { return reason_; }
+
+ private:
+  std::string reason_;
+};
 
 /// Split a line into whitespace-separated tokens.
 std::vector<std::string_view> tokenize(std::string_view line) {
@@ -34,7 +50,8 @@ std::int64_t parse_int(std::string_view token, std::size_t line_no) {
   try {
     return static_cast<std::int64_t>(std::stod(std::string(token)));
   } catch (const std::exception&) {
-    throw std::runtime_error("swf: line " + std::to_string(line_no) +
+    throw LineParseError("bad-integer-field",
+                         "swf: line " + std::to_string(line_no) +
                              ": bad integer field '" + std::string(token) +
                              "'");
   }
@@ -44,7 +61,8 @@ double parse_double(std::string_view token, std::size_t line_no) {
   try {
     return std::stod(std::string(token));
   } catch (const std::exception&) {
-    throw std::runtime_error("swf: line " + std::to_string(line_no) +
+    throw LineParseError("bad-numeric-field",
+                         "swf: line " + std::to_string(line_no) +
                              ": bad numeric field '" + std::string(token) +
                              "'");
   }
@@ -79,10 +97,64 @@ void absorb_header_line(SwfHeader& header, const std::string& line) {
   else if (key == "MaxRuntime") header.max_runtime = to_int();
 }
 
+/// Parse one 18-field data line; throws LineParseError on malformed or
+/// sentinel-valued content (the caller decides strict/lenient policy).
+SwfRecord parse_record(const std::string& line, std::size_t line_no) {
+  const auto tokens = tokenize(line);
+  if (tokens.size() != 18)
+    throw LineParseError("bad-field-count",
+                         "swf: line " + std::to_string(line_no) +
+                             ": expected 18 fields, got " +
+                             std::to_string(tokens.size()));
+  SwfRecord r;
+  r.job_number = parse_int(tokens[0], line_no);
+  r.submit_time = parse_int(tokens[1], line_no);
+  r.wait_time = parse_int(tokens[2], line_no);
+  r.run_time = parse_int(tokens[3], line_no);
+  r.used_procs = parse_int(tokens[4], line_no);
+  r.avg_cpu_time = parse_double(tokens[5], line_no);
+  r.used_memory = parse_double(tokens[6], line_no);
+  r.requested_procs = parse_int(tokens[7], line_no);
+  r.requested_time = parse_int(tokens[8], line_no);
+  r.requested_memory = parse_double(tokens[9], line_no);
+  r.status = parse_int(tokens[10], line_no);
+  r.user_id = parse_int(tokens[11], line_no);
+  r.group_id = parse_int(tokens[12], line_no);
+  r.app_id = parse_int(tokens[13], line_no);
+  r.queue_id = parse_int(tokens[14], line_no);
+  r.partition_id = parse_int(tokens[15], line_no);
+  r.preceding_job = parse_int(tokens[16], line_no);
+  r.think_time = parse_int(tokens[17], line_no);
+  return r;
+}
+
+/// Sentinel screens applied only in lenient mode: records a simulation
+/// could never use, which the strict pipeline silently drops much later
+/// (or not at all). Valid cancelled-before-start records (run_time -1,
+/// status 5) pass -- they are real SWF and swf_to_jobs handles them.
+const char* sentinel_reason(const SwfRecord& r) {
+  if (r.requested_procs <= 0 && r.used_procs <= 0) return "no-processors";
+  if (r.submit_time < 0) return "negative-submit";
+  return nullptr;
+}
+
 }  // namespace
 
-SwfFile read_swf(std::istream& in) {
+SwfFile read_swf(std::istream& in) { return read_swf(in, {}, nullptr); }
+
+SwfFile read_swf(std::istream& in, const SwfParseOptions& options,
+                 SwfParseReport* report) {
   SwfFile file;
+  SwfParseReport local;
+  SwfParseReport& out = report != nullptr ? *report : local;
+  out = {};
+  const auto quarantine = [&](const std::string& reason,
+                              const std::string& what) {
+    ++out.quarantined;
+    ++out.reasons[reason];
+    util::log_limited(util::LogLevel::Warn, "swf-quarantine",
+                      what + " (quarantined: " + reason + ")");
+  };
   std::string line;
   std::size_t line_no = 0;
   while (std::getline(in, line)) {
@@ -93,39 +165,36 @@ SwfFile read_swf(std::istream& in) {
       absorb_header_line(file.header, line);
       continue;
     }
-    const auto tokens = tokenize(line);
-    if (tokens.size() != 18)
-      throw std::runtime_error("swf: line " + std::to_string(line_no) +
-                               ": expected 18 fields, got " +
-                               std::to_string(tokens.size()));
     SwfRecord r;
-    r.job_number = parse_int(tokens[0], line_no);
-    r.submit_time = parse_int(tokens[1], line_no);
-    r.wait_time = parse_int(tokens[2], line_no);
-    r.run_time = parse_int(tokens[3], line_no);
-    r.used_procs = parse_int(tokens[4], line_no);
-    r.avg_cpu_time = parse_double(tokens[5], line_no);
-    r.used_memory = parse_double(tokens[6], line_no);
-    r.requested_procs = parse_int(tokens[7], line_no);
-    r.requested_time = parse_int(tokens[8], line_no);
-    r.requested_memory = parse_double(tokens[9], line_no);
-    r.status = parse_int(tokens[10], line_no);
-    r.user_id = parse_int(tokens[11], line_no);
-    r.group_id = parse_int(tokens[12], line_no);
-    r.app_id = parse_int(tokens[13], line_no);
-    r.queue_id = parse_int(tokens[14], line_no);
-    r.partition_id = parse_int(tokens[15], line_no);
-    r.preceding_job = parse_int(tokens[16], line_no);
-    r.think_time = parse_int(tokens[17], line_no);
+    try {
+      r = parse_record(line, line_no);
+    } catch (const LineParseError& error) {
+      if (!options.lenient) throw;
+      quarantine(error.reason(), error.what());
+      continue;
+    }
+    if (options.lenient) {
+      if (const char* reason = sentinel_reason(r); reason != nullptr) {
+        quarantine(reason, "swf: line " + std::to_string(line_no) +
+                               ": sentinel-valued record");
+        continue;
+      }
+    }
+    ++out.parsed;
     file.records.push_back(r);
   }
   return file;
 }
 
 SwfFile read_swf_file(const std::string& path) {
+  return read_swf_file(path, {}, nullptr);
+}
+
+SwfFile read_swf_file(const std::string& path, const SwfParseOptions& options,
+                      SwfParseReport* report) {
   std::ifstream in(path);
   if (!in) throw std::runtime_error("swf: cannot open '" + path + "'");
-  return read_swf(in);
+  return read_swf(in, options, report);
 }
 
 void write_swf(std::ostream& out, const SwfFile& file) {

@@ -14,6 +14,7 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -62,13 +63,51 @@ struct SwfFile {
   std::vector<SwfRecord> records;
 };
 
-/// Parse SWF from a stream. Throws std::runtime_error on malformed data
-/// lines (wrong field count, non-numeric fields).
+/// How the reader treats malformed input. Archive files in the wild
+/// carry truncated lines, stray text and sentinel-riddled records; a
+/// production ingest must survive them, while the test/repro pipeline
+/// wants to fail loudly on the first oddity.
+struct SwfParseOptions {
+  /// Strict (default): the first malformed data line throws
+  /// util::ParseError (a std::runtime_error). Lenient: malformed and
+  /// sentinel-valued records are quarantined -- dropped, counted per
+  /// reason in the SwfParseReport, and warned about through the
+  /// rate-limited logger -- and parsing continues.
+  bool lenient = false;
+};
+
+/// What lenient ingestion did: per-reason quarantine counts. Reasons:
+///   "bad-field-count"    line did not have exactly 18 fields
+///   "bad-integer-field"  an integer column failed to parse
+///   "bad-numeric-field"  a floating-point column failed to parse
+///   "no-processors"      neither requested nor used processors > 0
+///   "negative-submit"    submit time below zero (sentinel -1)
+struct SwfParseReport {
+  std::size_t parsed = 0;       ///< records accepted
+  std::size_t quarantined = 0;  ///< records dropped (sum of reasons)
+  std::map<std::string, std::size_t> reasons;
+
+  [[nodiscard]] bool clean() const { return quarantined == 0; }
+};
+
+/// Parse SWF from a stream. Strict mode throws util::ParseError (a
+/// std::runtime_error) on malformed data lines (wrong field count,
+/// non-numeric fields).
 [[nodiscard]] SwfFile read_swf(std::istream& in);
+
+/// Parse with explicit strict/lenient policy; `report`, when given,
+/// receives the quarantine accounting (lenient mode fills it, strict
+/// mode reports parsed counts only).
+[[nodiscard]] SwfFile read_swf(std::istream& in,
+                               const SwfParseOptions& options,
+                               SwfParseReport* report = nullptr);
 
 /// Parse SWF from a file path. Throws std::runtime_error when the file
 /// cannot be opened or parsed.
 [[nodiscard]] SwfFile read_swf_file(const std::string& path);
+[[nodiscard]] SwfFile read_swf_file(const std::string& path,
+                                    const SwfParseOptions& options,
+                                    SwfParseReport* report = nullptr);
 
 /// Serialize records (with minimal header) back to SWF.
 void write_swf(std::ostream& out, const SwfFile& file);

@@ -1,0 +1,280 @@
+// The fault-tolerant sweep runtime under deterministic fault injection
+// (exp::FaultPlan): retries must heal transient faults byte-identically,
+// the watchdog must kill stalled cells without hanging the pool, and
+// degraded-results mode must classify permanent failures per the
+// util::FailureKind taxonomy. Lives in bfsim_fault_tests (labels
+// `concurrency`) so the whole file also runs under TSan in CI.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "exp/fault.hpp"
+#include "exp/runner.hpp"
+#include "exp/sweep.hpp"
+#include "metrics/report.hpp"
+#include "util/log.hpp"
+
+namespace bfsim::exp {
+namespace {
+
+constexpr std::size_t kJobs = 120;
+
+Scenario small_scenario(core::SchedulerKind kind, std::uint64_t seed) {
+  Scenario s;
+  s.trace = TraceKind::Sdsc;
+  s.jobs = kJobs;
+  s.load = kHighLoad;
+  s.scheduler = kind;
+  s.priority = core::PriorityPolicy::Fcfs;
+  s.seed = seed;
+  return s;
+}
+
+/// Three schedulers x two seeds; tags "<kind>/seed=<n>".
+Sweep small_grid() {
+  Sweep sweep;
+  for (const auto kind :
+       {core::SchedulerKind::Conservative, core::SchedulerKind::Easy,
+        core::SchedulerKind::Fcfs})
+    (void)sweep.add_replications(small_scenario(kind, 1), 2,
+                                 core::to_string(kind));
+  return sweep;
+}
+
+std::string report_bytes(const SweepReport& report) {
+  std::string bytes = metrics::metrics_json(report.merged);
+  for (const CellResult& cell : report.cells)
+    bytes += "\n" + cell.tag + " " + metrics::metrics_json(cell.metrics);
+  return bytes;
+}
+
+class QuietLogs : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    saved_ = util::log_level();
+    util::set_log_level(util::LogLevel::Off);
+    util::reset_log_limits();
+  }
+  void TearDown() override {
+    util::set_log_level(saved_);
+    util::reset_log_limits();
+  }
+
+ private:
+  util::LogLevel saved_ = util::LogLevel::Warn;
+};
+
+using SweepFaults = QuietLogs;
+
+TEST_F(SweepFaults, TransientFaultsHealByteIdenticallyAtAnyThreadCount) {
+  const Sweep sweep = small_grid();
+  const std::string golden = report_bytes(sweep.run({}));
+
+  FaultPlan faults;
+  faults.add("conservative/seed=1", {.fail_attempts = 2});
+  faults.add("nobackfill/seed=2",
+             {.fail_attempts = 1, .kind = util::FailureKind::ParseError});
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{3}}) {
+    SweepOptions options;
+    options.threads = threads;
+    options.chunk = 1;
+    options.policy.retries = 2;
+    options.faults = &faults;
+    const SweepReport report = sweep.run(options);
+    EXPECT_EQ(report_bytes(report), golden) << "threads=" << threads;
+    EXPECT_TRUE(report.failures.empty());
+    // 2 + 1 faulty attempts were retried away.
+    EXPECT_EQ(report.retried, 3u) << "threads=" << threads;
+    for (const CellResult& cell : report.cells) EXPECT_TRUE(cell.ok);
+  }
+}
+
+TEST_F(SweepFaults, RetryBudgetZeroPreservesSeedFailFastBehavior) {
+  const Sweep sweep = small_grid();
+  FaultPlan faults;
+  faults.add("easy/seed=1", {.fail_attempts = 1});
+  SweepOptions options;
+  options.faults = &faults;
+  try {
+    (void)sweep.run(options);
+    FAIL() << "expected SweepError";
+  } catch (const SweepError& error) {
+    EXPECT_EQ(error.cell(), 2u);  // easy/seed=1 declared at index 2
+    EXPECT_EQ(error.tag(), "easy/seed=1");
+  }
+}
+
+TEST_F(SweepFaults, PermanentFaultExhaustsRetriesAndThrowsWithoutPartial) {
+  const Sweep sweep = small_grid();
+  FaultPlan faults;
+  faults.add("easy/seed=2", {.fail_attempts = 100});
+  SweepOptions options;
+  options.policy.retries = 2;
+  options.faults = &faults;
+  try {
+    (void)sweep.run(options);
+    FAIL() << "expected SweepError";
+  } catch (const SweepError& error) {
+    EXPECT_EQ(error.tag(), "easy/seed=2");
+    EXPECT_NE(std::string(error.what()).find("injected"), std::string::npos);
+  }
+}
+
+TEST_F(SweepFaults, PartialModeRecordsStructuredFailuresAndFinishesTheGrid) {
+  const Sweep sweep = small_grid();
+  const SweepReport oracle = sweep.run({});
+
+  FaultPlan faults;
+  faults.add("easy/seed=1", {.fail_attempts = 100});
+  SweepOptions options;
+  options.threads = 3;
+  options.chunk = 1;
+  options.policy.retries = 1;
+  options.policy.partial = true;
+  options.faults = &faults;
+  const SweepReport report = sweep.run(options);
+
+  ASSERT_EQ(report.failures.size(), 1u);
+  const CellFailure& failure = report.failures[0];
+  EXPECT_EQ(failure.cell, 2u);
+  EXPECT_EQ(failure.tag, "easy/seed=1");
+  EXPECT_EQ(failure.kind, util::FailureKind::Internal);
+  EXPECT_EQ(failure.attempts, 2);  // 1 + 1 retry
+  EXPECT_NE(failure.message.find("injected"), std::string::npos);
+
+  // The failed cell is present, marked, and empty; every healthy cell
+  // still matches the fault-free run bit for bit.
+  ASSERT_EQ(report.cells.size(), oracle.cells.size());
+  for (std::size_t i = 0; i < report.cells.size(); ++i) {
+    if (i == failure.cell) {
+      EXPECT_FALSE(report.cells[i].ok);
+      EXPECT_EQ(report.cells[i].metrics.overall.count(), 0u);
+    } else {
+      EXPECT_TRUE(report.cells[i].ok);
+      EXPECT_EQ(metrics::metrics_json(report.cells[i].metrics),
+                metrics::metrics_json(oracle.cells[i].metrics));
+    }
+  }
+  // The merge skips exactly the failed cell's jobs.
+  EXPECT_EQ(report.merged.overall.count() +
+                oracle.cells[failure.cell].metrics.overall.count(),
+            oracle.merged.overall.count());
+}
+
+TEST_F(SweepFaults, InjectedKindsClassifyAcrossTheTaxonomy) {
+  const Sweep sweep = small_grid();
+  FaultPlan faults;
+  faults.add("conservative/seed=1",
+             {.fail_attempts = 100, .kind = util::FailureKind::ParseError});
+  faults.add("conservative/seed=2",
+             {.fail_attempts = 100,
+              .kind = util::FailureKind::AuditViolation});
+  faults.add("easy/seed=1",
+             {.fail_attempts = 100,
+              .kind = util::FailureKind::ResourceExhausted});
+  SweepOptions options;
+  options.policy.partial = true;
+  options.faults = &faults;
+  const SweepReport report = sweep.run(options);
+  ASSERT_EQ(report.failures.size(), 3u);
+  EXPECT_EQ(report.failures[0].kind, util::FailureKind::ParseError);
+  EXPECT_EQ(report.failures[1].kind, util::FailureKind::AuditViolation);
+  EXPECT_EQ(report.failures[2].kind, util::FailureKind::ResourceExhausted);
+  // Failures come back sorted by declaration index.
+  EXPECT_EQ(report.failures[0].cell, 0u);
+  EXPECT_EQ(report.failures[1].cell, 1u);
+  EXPECT_EQ(report.failures[2].cell, 2u);
+}
+
+TEST_F(SweepFaults, WatchdogKillsStalledAttemptAndTheRetryHeals) {
+  const Sweep sweep = small_grid();
+  const std::string golden = report_bytes(sweep.run({}));
+
+  FaultPlan faults;
+  // Attempt 1 stalls well past the watchdog and never throws on its
+  // own; the watchdog must classify it as Timeout. Attempt 2 is clean.
+  faults.add("nobackfill/seed=1",
+             {.fail_attempts = 1,
+              .kind = util::FailureKind::Timeout,
+              .stall_ms = 2000});
+  SweepOptions options;
+  options.threads = 2;
+  options.chunk = 1;
+  options.policy.retries = 1;
+  options.policy.cell_timeout_ms = 100;
+  options.faults = &faults;
+  const SweepReport report = sweep.run(options);
+  EXPECT_EQ(report_bytes(report), golden);
+  EXPECT_EQ(report.retried, 1u);
+  EXPECT_TRUE(report.failures.empty());
+}
+
+TEST_F(SweepFaults, PermanentStallBecomesATimeoutFailureInPartialMode) {
+  const Sweep sweep = small_grid();
+  FaultPlan faults;
+  faults.add("nobackfill/seed=2",
+             {.fail_attempts = 100,
+              .kind = util::FailureKind::Timeout,
+              .stall_ms = 2000});
+  SweepOptions options;
+  options.policy.partial = true;
+  options.policy.cell_timeout_ms = 100;
+  options.faults = &faults;
+  const SweepReport report = sweep.run(options);
+  ASSERT_EQ(report.failures.size(), 1u);
+  EXPECT_EQ(report.failures[0].tag, "nobackfill/seed=2");
+  EXPECT_EQ(report.failures[0].kind, util::FailureKind::Timeout);
+  EXPECT_NE(report.failures[0].message.find("watchdog"), std::string::npos);
+}
+
+TEST_F(SweepFaults, WatchdogLeavesHealthyCellsByteIdentical) {
+  // A generous watchdog over a fault-free grid must be invisible: the
+  // timed path (detached attempt thread per cell) returns the same
+  // bytes as the inline path.
+  const Sweep sweep = small_grid();
+  const std::string golden = report_bytes(sweep.run({}));
+  SweepOptions options;
+  options.threads = 2;
+  options.policy.cell_timeout_ms = 60000;
+  EXPECT_EQ(report_bytes(sweep.run(options)), golden);
+}
+
+TEST_F(SweepFaults, FaultyRunsAreDeterministicAcrossRepeats) {
+  const Sweep sweep = small_grid();
+  FaultPlan faults;
+  faults.add("conservative/seed=2", {.fail_attempts = 100});
+  faults.add("easy/seed=1", {.fail_attempts = 1});
+  SweepOptions options;
+  options.threads = 3;
+  options.chunk = 1;
+  options.policy.retries = 1;
+  options.policy.partial = true;
+  options.faults = &faults;
+  const SweepReport first = sweep.run(options);
+  const SweepReport second = sweep.run(options);
+  EXPECT_EQ(report_bytes(second), report_bytes(first));
+  ASSERT_EQ(second.failures.size(), first.failures.size());
+  for (std::size_t i = 0; i < first.failures.size(); ++i) {
+    EXPECT_EQ(second.failures[i].cell, first.failures[i].cell);
+    EXPECT_EQ(second.failures[i].kind, first.failures[i].kind);
+    EXPECT_EQ(second.failures[i].message, first.failures[i].message);
+  }
+}
+
+TEST_F(SweepFaults, FaultPlanIsInertOnTagsItDoesNotName) {
+  FaultPlan faults;
+  faults.add("some-other-cell", {.fail_attempts = 100});
+  EXPECT_NO_THROW(faults.on_attempt("unrelated", 1));
+  EXPECT_EQ(faults.size(), 1u);
+  EXPECT_FALSE(faults.empty());
+  // Spent faults are no-ops too.
+  FaultPlan transient;
+  transient.add("cell", {.fail_attempts = 2});
+  EXPECT_THROW(transient.on_attempt("cell", 1), std::exception);
+  EXPECT_THROW(transient.on_attempt("cell", 2), std::exception);
+  EXPECT_NO_THROW(transient.on_attempt("cell", 3));
+}
+
+}  // namespace
+}  // namespace bfsim::exp

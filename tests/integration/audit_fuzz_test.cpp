@@ -13,8 +13,10 @@
 
 #include "core/audit.hpp"
 #include "core/simulation.hpp"
+#include "exp/fault.hpp"
 #include "exp/scenario.hpp"
 #include "exp/sweep.hpp"
+#include "util/log.hpp"
 #include "metrics/aggregate.hpp"
 #include "metrics/report.hpp"
 #include "sim/rng.hpp"
@@ -243,6 +245,78 @@ TEST(AuditFuzz, SweepShardsTheFuzzGridWithPerCellAuditors) {
     EXPECT_EQ(metrics::metrics_json(parallel.cells[i].metrics),
               metrics::metrics_json(oracle.cells[i].metrics))
         << oracle.cells[i].tag;
+}
+
+TEST(AuditFuzz, FaultTolerantSweepReproducesTheAuditedGridUnderInjection) {
+  // The fault-injected retry path must be invisible to the audited fuzz
+  // grid: transient faults on several cells, healed by retries, with
+  // the per-cell auditor + validator still attached, produce the exact
+  // bytes of the fault-free serial oracle.
+  const util::LogLevel saved = util::log_level();
+  util::set_log_level(util::LogLevel::Off);
+  util::reset_log_limits();
+  exp::Sweep sweep;
+  std::vector<std::string> tags;
+  for (const FuzzCell& cell : fuzz_grid()) {
+    exp::Scenario scenario;
+    scenario.trace = cell.trace;
+    scenario.jobs = kJobs;
+    scenario.load = cell.load;
+    scenario.estimates = {.regime = exp::EstimateRegime::Systematic,
+                          .factor = cell.factor};
+    scenario.scheduler = SchedulerKind::Conservative;
+    scenario.priority = PriorityPolicy::Fcfs;
+    scenario.seed = cell.seed;
+    const double cancel = cell.cancel_fraction;
+    tags.push_back(cell.label());
+    (void)sweep.add(
+        scenario, cell.label(),
+        [cancel](const exp::Scenario& s,
+                 const core::SimulationOptions& sim_options,
+                 exp::CellResult& result) {
+          workload::Trace trace = exp::build_workload(s);
+          if (cancel > 0.0) {
+            sim::Rng rng{s.seed * 977 + 13};
+            workload::apply_cancellations(trace, cancel, /*patience=*/2.0,
+                                          rng);
+          }
+          const SchedulerConfig config{s.procs(), s.priority};
+          result.metrics = metrics::compute_metrics(
+              run_simulation(trace, s.scheduler, config, {}, sim_options),
+              config.procs);
+        });
+  }
+
+  exp::SweepOptions serial;
+  serial.audit = true;
+  serial.validate = true;
+  const exp::SweepReport oracle = sweep.run(serial);
+
+  exp::FaultPlan faults;
+  faults.add(tags[0], {.fail_attempts = 2});
+  faults.add(tags[tags.size() / 2],
+             {.fail_attempts = 1, .kind = util::FailureKind::ParseError});
+  faults.add(tags.back(),
+             {.fail_attempts = 1,
+              .kind = util::FailureKind::ResourceExhausted});
+  exp::SweepOptions faulty = serial;
+  faulty.threads = 3;
+  faulty.chunk = 1;
+  faulty.policy.retries = 2;
+  faulty.faults = &faults;
+  const exp::SweepReport report = sweep.run(faulty);
+
+  EXPECT_EQ(report.retried, 4u);
+  EXPECT_TRUE(report.failures.empty());
+  EXPECT_EQ(metrics::metrics_json(report.merged),
+            metrics::metrics_json(oracle.merged));
+  ASSERT_EQ(report.cells.size(), oracle.cells.size());
+  for (std::size_t i = 0; i < oracle.cells.size(); ++i)
+    EXPECT_EQ(metrics::metrics_json(report.cells[i].metrics),
+              metrics::metrics_json(oracle.cells[i].metrics))
+        << oracle.cells[i].tag;
+  util::reset_log_limits();
+  util::set_log_level(saved);
 }
 
 TEST(AuditFuzz, CollectingAuditorStaysSilentAndBusy) {

@@ -1,0 +1,71 @@
+#include "util/error.hpp"
+
+#include <gtest/gtest.h>
+
+#include <new>
+#include <stdexcept>
+
+namespace bfsim::util {
+namespace {
+
+TEST(FailureKind, ToStringFromStringRoundTrip) {
+  for (const FailureKind kind :
+       {FailureKind::ParseError, FailureKind::AuditViolation,
+        FailureKind::Timeout, FailureKind::ResourceExhausted,
+        FailureKind::Internal})
+    EXPECT_EQ(failure_kind_from_string(to_string(kind)), kind);
+}
+
+TEST(FailureKind, FromStringRejectsUnknownNames) {
+  EXPECT_THROW((void)failure_kind_from_string("flaky"), std::invalid_argument);
+  EXPECT_THROW((void)failure_kind_from_string(""), std::invalid_argument);
+}
+
+TEST(ClassifyFailure, TypedExceptionsMapDirectly) {
+  EXPECT_EQ(classify_failure(TimeoutError{"deadline"}), FailureKind::Timeout);
+  EXPECT_EQ(classify_failure(ParseError{"bad token"}),
+            FailureKind::ParseError);
+  EXPECT_EQ(classify_failure(std::bad_alloc{}),
+            FailureKind::ResourceExhausted);
+}
+
+TEST(ClassifyFailure, AuditorAndValidatorMessagesAreAuditViolations) {
+  EXPECT_EQ(classify_failure(
+                std::logic_error{"schedule audit: capacity exceeded"}),
+            FailureKind::AuditViolation);
+  EXPECT_EQ(classify_failure(std::runtime_error{
+                "run_simulation: invalid schedule: jobs overlap"}),
+            FailureKind::AuditViolation);
+}
+
+TEST(ClassifyFailure, SwfPrefixIsAParseError) {
+  EXPECT_EQ(classify_failure(
+                std::runtime_error{"swf: line 7: expected 18 fields"}),
+            FailureKind::ParseError);
+  // The prefix must lead the message, not merely appear in it.
+  EXPECT_EQ(classify_failure(std::runtime_error{"while reading swf: boom"}),
+            FailureKind::Internal);
+}
+
+TEST(ClassifyFailure, EverythingElseIsInternal) {
+  EXPECT_EQ(classify_failure(std::runtime_error{"disk on fire"}),
+            FailureKind::Internal);
+  EXPECT_EQ(classify_failure(std::logic_error{"off by one"}),
+            FailureKind::Internal);
+}
+
+TEST(ClassifyFailure, CurrentExceptionClassifiesInsideCatchAll) {
+  try {
+    throw TimeoutError{"late"};
+  } catch (...) {
+    EXPECT_EQ(classify_current_exception(), FailureKind::Timeout);
+  }
+  try {
+    throw 42;  // non-standard exception
+  } catch (...) {
+    EXPECT_EQ(classify_current_exception(), FailureKind::Internal);
+  }
+}
+
+}  // namespace
+}  // namespace bfsim::util

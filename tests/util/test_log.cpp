@@ -57,5 +57,61 @@ TEST(Log, ThresholdFiltersLowerLevels) {
   EXPECT_NE(err.find("loud"), std::string::npos);
 }
 
+class LogLimitGuard {
+ public:
+  LogLimitGuard() { reset_log_limits(); }
+  ~LogLimitGuard() { reset_log_limits(); }
+};
+
+TEST(LogLimited, EmitsUpToLimitThenSuppresses) {
+  const LogLevelGuard guard;
+  const LogLimitGuard limits;
+  set_log_level(LogLevel::Warn);
+  testing::internal::CaptureStderr();
+  for (int i = 0; i < 5; ++i)
+    (void)log_limited(LogLevel::Warn, "k", "msg " + std::to_string(i), 3);
+  const std::string err = testing::internal::GetCapturedStderr();
+  EXPECT_NE(err.find("msg 0"), std::string::npos);
+  EXPECT_NE(err.find("msg 2"), std::string::npos);
+  EXPECT_EQ(err.find("msg 3"), std::string::npos);
+  EXPECT_EQ(err.find("msg 4"), std::string::npos);
+  // The one-shot suppression notice names the key and the limit.
+  EXPECT_NE(err.find("[k]"), std::string::npos);
+  EXPECT_NE(err.find("suppressed"), std::string::npos);
+  EXPECT_EQ(log_suppressed("k"), 2u);
+}
+
+TEST(LogLimited, ReturnsWhetherEmitted) {
+  const LogLevelGuard guard;
+  const LogLimitGuard limits;
+  set_log_level(LogLevel::Off);  // threshold does not affect counting
+  EXPECT_TRUE(log_limited(LogLevel::Warn, "r", "a", 2));
+  EXPECT_TRUE(log_limited(LogLevel::Warn, "r", "b", 2));
+  EXPECT_FALSE(log_limited(LogLevel::Warn, "r", "c", 2));
+  EXPECT_EQ(log_suppressed("r"), 1u);
+}
+
+TEST(LogLimited, KeysAreIndependent) {
+  const LogLevelGuard guard;
+  const LogLimitGuard limits;
+  set_log_level(LogLevel::Off);
+  for (int i = 0; i < 4; ++i) (void)log_limited(LogLevel::Warn, "a", "x", 1);
+  EXPECT_EQ(log_suppressed("a"), 3u);
+  EXPECT_EQ(log_suppressed("b"), 0u);
+  EXPECT_TRUE(log_limited(LogLevel::Warn, "b", "x", 1));
+}
+
+TEST(LogLimited, ResetRestoresFreshCounters) {
+  const LogLevelGuard guard;
+  const LogLimitGuard limits;
+  set_log_level(LogLevel::Off);
+  (void)log_limited(LogLevel::Warn, "z", "x", 1);
+  (void)log_limited(LogLevel::Warn, "z", "x", 1);
+  EXPECT_EQ(log_suppressed("z"), 1u);
+  reset_log_limits();
+  EXPECT_EQ(log_suppressed("z"), 0u);
+  EXPECT_TRUE(log_limited(LogLevel::Warn, "z", "x", 1));
+}
+
 }  // namespace
 }  // namespace bfsim::util

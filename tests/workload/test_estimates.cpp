@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <stdexcept>
 
 #include "test_support.hpp"
 #include "workload/categories.hpp"
@@ -129,6 +130,14 @@ TEST(Estimates, ActualRoundsToMinutesExceptExact) {
   }
 }
 
+// GCC 12 falsely flags the initializer_list backing array of the
+// ActualEstimateParams::limits default member initializer as dangling
+// when several default-constructed instances share one TestBody.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdangling-pointer"
+#endif
+
 TEST(Estimates, ActualValidatesParameters) {
   ActualEstimateParams bad;
   bad.exact_fraction = 0.8;
@@ -154,6 +163,34 @@ TEST(Estimates, ApplyIsDeterministicGivenRngState) {
   apply_estimates(b, ActualEstimateModel{}, rng2);
   EXPECT_EQ(a, b);
 }
+
+TEST(Estimates, SystematicRejectsZeroAndNegativeFactors) {
+  EXPECT_THROW(SystematicOverestimate{0.0}, std::invalid_argument);
+  EXPECT_THROW(SystematicOverestimate{-2.0}, std::invalid_argument);
+  EXPECT_NO_THROW(SystematicOverestimate{1.0});  // R = 1 is exact, legal
+}
+
+TEST(Estimates, ActualValidatesRemainingEdgeCases) {
+  ActualEstimateParams negative_exact;
+  negative_exact.exact_fraction = -0.1;
+  EXPECT_THROW(ActualEstimateModel{negative_exact}, std::invalid_argument);
+  ActualEstimateParams negative_mild;
+  negative_mild.mild_fraction = -0.1;
+  EXPECT_THROW(ActualEstimateModel{negative_mild}, std::invalid_argument);
+  ActualEstimateParams nonpositive_limit;
+  nonpositive_limit.limits = {0, 100};
+  EXPECT_THROW(ActualEstimateModel{nonpositive_limit}, std::invalid_argument);
+  ActualEstimateParams descending_limits;
+  descending_limits.limits = {200, 100};
+  EXPECT_THROW(ActualEstimateModel{descending_limits}, std::invalid_argument);
+  ActualEstimateParams negative_round;
+  negative_round.round_to = -60;
+  EXPECT_THROW(ActualEstimateModel{negative_round}, std::invalid_argument);
+}
+
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
 
 }  // namespace
 }  // namespace bfsim::workload

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
 #include "test_support.hpp"
 
 namespace bfsim::workload {
@@ -104,6 +106,17 @@ TEST(Filters, DropMalformedRenumbers) {
   EXPECT_EQ(trace[0].id, 0u);
   EXPECT_EQ(trace[1].id, 1u);
   EXPECT_EQ(trace[1].submit, 2);
+}
+
+TEST(Filters, ClampWidthsRejectsNegativeMax) {
+  Trace trace = test::make_trace({{.submit = 0, .runtime = 10, .procs = 4}});
+  EXPECT_THROW(clamp_widths(trace, -8), std::invalid_argument);
+}
+
+TEST(Filters, CapEstimatesRejectsNonPositiveCap) {
+  Trace trace = test::make_trace({{.submit = 0, .runtime = 10, .procs = 1}});
+  EXPECT_THROW(cap_estimates(trace, 0), std::invalid_argument);
+  EXPECT_THROW(cap_estimates(trace, -100), std::invalid_argument);
 }
 
 }  // namespace

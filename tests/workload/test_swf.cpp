@@ -4,6 +4,9 @@
 
 #include <sstream>
 
+#include "util/error.hpp"
+#include "util/log.hpp"
+
 namespace bfsim::workload {
 namespace {
 
@@ -211,6 +214,76 @@ TEST(Swf, JobsToSwfInverse) {
 TEST(Swf, ReadMissingFileThrows) {
   EXPECT_THROW((void)read_swf_file("/nonexistent/path.swf"),
                std::runtime_error);
+}
+
+// A corrupted archive slice: valid records interleaved with a truncated
+// line, stray text, a non-numeric field, and sentinel-riddled records.
+constexpr const char* kCorrupted =
+    "; Computer: flaky-archive\n"
+    "1 0 10 100 4 -1 -1 4 200 -1 1 12 3 -1 1 -1 -1 -1\n"
+    "2 50 0 3600 16 -1\n"                                   // truncated
+    "this line is not SWF at all\n"                         // stray text
+    "3 60 5 abc 8 -1 -1 8 600 -1 1 14 3 -1 1 -1 -1 -1\n"    // bad integer
+    "4 70 5 100 -1 -1 -1 -1 600 -1 1 14 3 -1 1 -1 -1 -1\n"  // no processors
+    "5 -1 5 100 4 -1 -1 4 600 -1 1 14 3 -1 1 -1 -1 -1\n"    // negative submit
+    "6 90 5 100 4 -1 -1 4 600 -1 1 14 3 -1 1 -1 -1 -1\n";
+
+TEST(Swf, StrictModeThrowsOnCorruptedFixture) {
+  std::istringstream in{kCorrupted};
+  EXPECT_THROW((void)read_swf(in), util::ParseError);
+}
+
+TEST(Swf, LenientModeQuarantinesAndCountsPerReason) {
+  util::reset_log_limits();
+  std::istringstream in{kCorrupted};
+  SwfParseReport report;
+  const SwfFile file = read_swf(in, {.lenient = true}, &report);
+  // Records 1 and 6 survive; the other five lines are quarantined.
+  ASSERT_EQ(file.records.size(), 2u);
+  EXPECT_EQ(file.records[0].job_number, 1);
+  EXPECT_EQ(file.records[1].job_number, 6);
+  EXPECT_EQ(report.parsed, 2u);
+  EXPECT_EQ(report.quarantined, 5u);
+  EXPECT_FALSE(report.clean());
+  EXPECT_EQ(report.reasons.at("bad-field-count"), 2u);
+  EXPECT_EQ(report.reasons.at("bad-integer-field"), 1u);
+  EXPECT_EQ(report.reasons.at("no-processors"), 1u);
+  EXPECT_EQ(report.reasons.at("negative-submit"), 1u);
+  util::reset_log_limits();
+}
+
+TEST(Swf, LenientModeAgreesWithStrictOnCleanInput) {
+  std::istringstream strict_in{kSample};
+  std::istringstream lenient_in{kSample};
+  const SwfFile strict = read_swf(strict_in);
+  SwfParseReport report;
+  const SwfFile lenient = read_swf(lenient_in, {.lenient = true}, &report);
+  ASSERT_EQ(lenient.records.size(), strict.records.size());
+  for (std::size_t i = 0; i < strict.records.size(); ++i)
+    EXPECT_EQ(lenient.records[i], strict.records[i]) << "record " << i;
+  EXPECT_TRUE(report.clean());
+  EXPECT_EQ(report.parsed, 3u);
+}
+
+TEST(Swf, LenientQuarantineWarningsAreRateLimited) {
+  util::reset_log_limits();
+  std::string input;
+  for (int i = 0; i < 40; ++i) input += "truncated line\n";
+  std::istringstream in{input};
+  SwfParseReport report;
+  (void)read_swf(in, {.lenient = true}, &report);
+  EXPECT_EQ(report.quarantined, 40u);
+  // The limiter emitted the first few and silently counted the rest.
+  EXPECT_GT(util::log_suppressed("swf-quarantine"), 0u);
+  util::reset_log_limits();
+}
+
+TEST(Swf, StrictReportStillCountsParsed) {
+  std::istringstream in{kSample};
+  SwfParseReport report;
+  (void)read_swf(in, {.lenient = false}, &report);
+  EXPECT_EQ(report.parsed, 3u);
+  EXPECT_TRUE(report.clean());
 }
 
 }  // namespace

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
 #include "test_support.hpp"
 #include "workload/synthetic.hpp"
 
@@ -150,6 +152,25 @@ TEST(Transforms, ComputeStatsEmptyTrace) {
   const TraceStats stats = compute_stats(empty, 8);
   EXPECT_EQ(stats.jobs, 0u);
   EXPECT_DOUBLE_EQ(stats.mean_runtime, 0.0);
+}
+
+TEST(Transforms, SetOfferedLoadRejectsNonPositiveRho) {
+  Trace trace = test::make_trace({{.submit = 0, .runtime = 10, .procs = 1}});
+  EXPECT_THROW(set_offered_load(trace, 128, 0.0), std::invalid_argument);
+  EXPECT_THROW(set_offered_load(trace, 128, -0.5), std::invalid_argument);
+}
+
+TEST(Transforms, ApplyCancellationsRejectsBadParameters) {
+  Trace trace = test::make_trace({{.submit = 0, .runtime = 10, .procs = 1}});
+  sim::Rng rng{7};
+  EXPECT_THROW(apply_cancellations(trace, -0.1, 100.0, rng),
+               std::invalid_argument);
+  EXPECT_THROW(apply_cancellations(trace, 1.1, 100.0, rng),
+               std::invalid_argument);
+  EXPECT_THROW(apply_cancellations(trace, 0.5, 0.0, rng),
+               std::invalid_argument);
+  EXPECT_THROW(apply_cancellations(trace, 0.5, -10.0, rng),
+               std::invalid_argument);
 }
 
 }  // namespace
