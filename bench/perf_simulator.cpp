@@ -180,7 +180,10 @@ struct SimPoint {
   double events_per_sec = 0.0;
 };
 
-/// Best-of-three timed simulation runs (first run doubles as warm-up).
+/// Best-of-five timed simulation runs (first run doubles as warm-up).
+/// Minimum, not mean: on shared hardware the distribution is the true
+/// cost plus one-sided interference noise, so the fastest rep is the
+/// least-contaminated estimate.
 SimPoint measure_sim(const workload::Trace& trace, core::SchedulerKind kind,
                      core::PriorityPolicy priority, int procs) {
   const core::SchedulerConfig config{procs, priority};
@@ -188,7 +191,7 @@ SimPoint measure_sim(const workload::Trace& trace, core::SchedulerKind kind,
   point.scheme =
       core::to_string(kind) + "-" + core::to_string(priority);
   point.seconds = std::numeric_limits<double>::infinity();
-  for (int rep = 0; rep < 3; ++rep) {
+  for (int rep = 0; rep < 5; ++rep) {
     const auto start = Clock::now();
     auto result = core::run_simulation(trace, kind, config);
     const double elapsed = seconds_since(start);
@@ -277,7 +280,7 @@ BreakpointStats measure_breakpoints(const workload::Trace& trace, int procs) {
     const sim::Time now = events.top().time;
     while (!events.empty() && events.top().time == now) {
       const auto event = events.pop();
-      if (event.priority_class == 0) {
+      if (event.priority_class() == 0) {
         scheduler.job_finished(event.payload, now);
       } else {
         scheduler.job_submitted(trace[event.payload], now);
@@ -436,11 +439,14 @@ void write_json(const Report& report, const std::string& path) {
         << (i + 1 < report.sims.size() ? "," : "") << "\n";
   }
   out << "  ],\n";
-  // Flat per-scheduler cost keys so the smoke guard can read them with
-  // the same single-number extractor as conservative_cost_factor.
+  // Flat per-scheduler cost and events/s keys so the smoke guard can
+  // read them with the same single-number extractor as
+  // conservative_cost_factor.
   for (const SimPoint& p : report.sims)
     out << "  \"cost_" << p.scheme << "\": " << cost_factor(report, p)
         << ",\n";
+  for (const SimPoint& p : report.sims)
+    out << "  \"eps_" << p.scheme << "\": " << p.events_per_sec << ",\n";
   out << "  \"conservative_cost_factor\": " << report.conservative_cost_factor
       << ",\n"
       << "  \"anchor\": {\"breakpoints\": " << report.anchors.breakpoints
@@ -549,6 +555,30 @@ int run_smoke(const ReportOptions& options) {
     std::printf("perf smoke: cost_%s %.3f, baseline %.3f, limit %.3f -- ",
                 p.scheme.c_str(), cost, base_cost, 2.0 * base_cost);
     if (cost > 2.0 * base_cost) {
+      std::printf("FAIL\n");
+      ok = false;
+    } else {
+      std::printf("OK\n");
+    }
+  }
+  // Absolute events/s against the recorded baseline, when it carries
+  // the eps_* keys. The cost factors above are the sharp guard (they
+  // normalize hardware out); this band exists to catch catastrophic
+  // absolute regressions that scale every scheduler equally -- a slow
+  // engine loop, a debug build sneaking into CI. The tolerance is wide
+  // on purpose: the baseline is recorded on one machine and checked on
+  // another, and shared runners add one-sided noise well past 2x.
+  constexpr double kEpsTolerance = 0.35;  ///< fail below 35% of baseline
+  for (const SimPoint& p : report.sims) {
+    double base_eps = 0.0;
+    if (!read_json_number(options.baseline, "eps_" + p.scheme, base_eps) ||
+        base_eps <= 0.0)
+      continue;
+    const double floor = kEpsTolerance * base_eps;
+    std::printf(
+        "perf smoke: eps_%s %.0f events/s, baseline %.0f, floor %.0f -- ",
+        p.scheme.c_str(), p.events_per_sec, base_eps, floor);
+    if (p.events_per_sec < floor) {
       std::printf("FAIL\n");
       ok = false;
     } else {

@@ -254,15 +254,19 @@ void ScheduleAuditor::check_profile(Time now) {
   // job occupies [now, start + estimate) and every reported reservation
   // occupies [start, start + estimate). Past times are irrelevant (the
   // scheduler may keep stale history there); equality is required for
-  // all t >= now.
+  // all t >= now. The end sums saturate exactly like the schedulers'
+  // own (commit_start, profile windows): a reservation anchored behind
+  // a near-kTimeMax estimate would otherwise wrap negative here and
+  // silently vanish from the expected occupancy.
   Profile expected{total_procs_};
   try {
-    for (const auto& [id, rec] : jobs_)
-      if (rec.running && rec.start + rec.estimate > now)
-        expected.reserve(now, rec.start + rec.estimate, rec.procs);
+    for (const auto& [id, rec] : jobs_) {
+      const Time end = sim::saturating_add(rec.start, rec.estimate);
+      if (rec.running && end > now) expected.reserve(now, end, rec.procs);
+    }
     for (const AuditReservation& res : scheduler_->audit_reservations()) {
       const Time begin = std::max(res.start, now);
-      const Time end = res.start + res.estimate;
+      const Time end = sim::saturating_add(res.start, res.estimate);
       if (end > begin) expected.reserve(begin, end, res.procs);
     }
   } catch (const std::logic_error& error) {

@@ -14,14 +14,32 @@ ConservativeScheduler::ConservativeScheduler(SchedulerConfig config)
 // == now" -- every hook keeps the due-heap current and answers from it.
 
 bool ConservativeScheduler::job_submitted(const Job& job, Time now) {
-  const Time anchor = profile_.find_and_reserve(job.procs, job.estimate, now);
-  reservations_.emplace(job.id, anchor);
+  Time anchor;
+  if (queue_.empty() && job.procs <= free_) {
+    // O(1) fast path for the idle/low-load regime. With nothing queued
+    // the profile holds only running-job rectangles, all of which begin
+    // at-or-before `now`: free(t) is non-decreasing for t >= now, so
+    // fitting into the free processors now means the whole window
+    // [now, now + estimate) fits and the earliest anchor is `now`
+    // itself -- no search needed, byte-identical to the slow path.
+    anchor = now;
+    profile_.reserve(now, sim::saturating_add(now, job.estimate), job.procs);
+  } else {
+    anchor = profile_.find_and_reserve(job.procs, job.estimate, now);
+  }
+  reservations_.set(job.id, anchor);
   due_.push(anchor, job.id);
   insert_queued(job, now);
   return anchor == now;
 }
 
 bool ConservativeScheduler::job_finished(JobId id, Time now) {
+  // The clock moved past everything before `now`; drop the consumed
+  // history so profile scans stay proportional to the live schedule
+  // (queue + running), not to the whole replay so far. Every later
+  // profile operation anchors at-or-after `now`, and the auditor only
+  // checks the profile from `now` on.
+  profile_.discard_before(now);
   const RunningJob rj = commit_finish(id);
   // Return the unused tail of the job's estimated rectangle. On-time
   // completions (now == est_end) free nothing; compression keeps every
@@ -39,7 +57,7 @@ bool ConservativeScheduler::job_finished(JobId id, Time now) {
 bool ConservativeScheduler::job_cancelled(JobId id, Time now) {
   const Job job = take_queued(id);
   const Time start = reservations_.at(id);
-  profile_.release(start, start + job.estimate, job.procs);
+  profile_.release(start, sim::saturating_add(start, job.estimate), job.procs);
   reservations_.erase(id);
   // The vacated rectangle is a fresh hole: compress around it. Capacity
   // only appeared from `start` onwards, so reservations before it are
@@ -79,7 +97,8 @@ void ConservativeScheduler::compress(Time now, Time hole_begin) {
     for (const Job& job : queue_) {
       const Time old_start = reservations_.at(job.id);
       if (old_start <= hole_begin) continue;  // cannot move earlier
-      profile_.release(old_start, old_start + job.estimate, job.procs);
+      profile_.release(old_start, sim::saturating_add(old_start, job.estimate),
+                       job.procs);
       const Time anchor =
           profile_.find_and_reserve(job.procs, job.estimate, now);
       if (anchor > old_start)
@@ -87,7 +106,7 @@ void ConservativeScheduler::compress(Time now, Time hole_begin) {
             "ConservativeScheduler: compression delayed a guarantee (job " +
             std::to_string(job.id) + ")");
       if (anchor < old_start) {
-        reservations_.at(job.id) = anchor;
+        reservations_.set(job.id, anchor);
         due_.push(anchor, job.id);
         // The vacated slot adds capacity at-or-after old_start: only
         // jobs reserved beyond it can cascade in the next pass.
@@ -101,34 +120,32 @@ void ConservativeScheduler::compress(Time now, Time hole_begin) {
   }
 }
 
-std::vector<Job> ConservativeScheduler::select_starts(Time now) {
+void ConservativeScheduler::select_starts(Time now, std::vector<Job>& out) {
   const Time earliest = due_.earliest(reservations_);
   if (earliest != sim::kNoTime && earliest < now)
     throw std::logic_error(
         "ConservativeScheduler: reservation in the past at t=" +
         std::to_string(now));
-  std::vector<Job> started;
-  if (earliest != now) return started;
-  std::vector<JobId> due = due_.take_due(now, reservations_);
-  if (due.size() > 1) {
+  if (earliest != now) return;
+  due_scratch_.clear();
+  due_.take_due(now, reservations_, due_scratch_);
+  if (due_scratch_.size() > 1) {
     // Simultaneous starts commit in priority order: their relative
     // order fixes the order of the finish events they generate.
     ensure_sorted(now);
-    std::vector<JobId> ordered;
-    ordered.reserve(due.size());
+    order_scratch_.clear();
     for (const Job& job : queue_)
-      if (std::find(due.begin(), due.end(), job.id) != due.end())
-        ordered.push_back(job.id);
-    due = std::move(ordered);
+      if (std::find(due_scratch_.begin(), due_scratch_.end(), job.id) !=
+          due_scratch_.end())
+        order_scratch_.push_back(job.id);
+    due_scratch_.swap(order_scratch_);
   }
-  started.reserve(due.size());
-  for (JobId id : due) {
+  for (JobId id : due_scratch_) {
     reservations_.erase(id);
     // The job's rectangle stays reserved in the profile; it is now backed
     // by the running job until job_finished releases the unused tail.
-    started.push_back(commit_start(id, now));
+    out.push_back(commit_start(id, now));
   }
-  return started;
 }
 
 std::vector<AuditReservation> ConservativeScheduler::audit_reservations()

@@ -15,8 +15,7 @@
 // new holes ever appear and compression is a no-op.
 #pragma once
 
-#include <unordered_map>
-
+#include "core/job_table.hpp"
 #include "core/profile.hpp"
 #include "core/reservation_heap.hpp"
 #include "core/scheduler.hpp"
@@ -31,7 +30,8 @@ class ConservativeScheduler final : public SchedulerBase {
   bool job_finished(JobId id, Time now) override;
   bool job_cancelled(JobId id, Time now) override;
   [[nodiscard]] Time next_wakeup() override;
-  [[nodiscard]] std::vector<Job> select_starts(Time now) override;
+  using Scheduler::select_starts;
+  void select_starts(Time now, std::vector<Job>& out) override;
   [[nodiscard]] std::string name() const override;
 
   /// Guaranteed start time of a queued job (for tests / reporting).
@@ -58,7 +58,11 @@ class ConservativeScheduler final : public SchedulerBase {
 
  private:
   Profile profile_;
-  std::unordered_map<JobId, Time> reservations_;  ///< queued job -> start
+  TimeByJob reservations_;  ///< queued job -> guaranteed start
+  /// Pass-time working buffers, reused so select_starts never allocates
+  /// in steady state.
+  std::vector<JobId> due_scratch_;
+  std::vector<JobId> order_scratch_;
   /// Earliest guaranteed start, maintained alongside reservations_ so
   /// neither the due check nor next_wakeup() scans the queue.
   ReservationHeap due_;

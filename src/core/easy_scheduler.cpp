@@ -51,8 +51,11 @@ bool EasyScheduler::job_cancelled(JobId id, Time) {
 }
 
 Job EasyScheduler::start_job(JobId id, Time now) {
+  // commit_start saturates est_end the same way, so the by-end order
+  // and the running map always agree on clamped far-future completions.
   const Job job = commit_start(id, now);
-  const RunningByEnd entry{now + job.estimate, id, job.procs};
+  const RunningByEnd entry{sim::saturating_add(now, job.estimate), id,
+                           job.procs};
   running_by_end_.insert(
       std::upper_bound(running_by_end_.begin(), running_by_end_.end(), entry,
                        [](const RunningByEnd& a, const RunningByEnd& b) {
@@ -86,15 +89,14 @@ EasyScheduler::Shadow EasyScheduler::compute_shadow(const Job& head,
   throw std::logic_error("EasyScheduler: shadow walk failed (accounting bug)");
 }
 
-std::vector<Job> EasyScheduler::select_starts(Time now) {
-  std::vector<Job> started;
+void EasyScheduler::select_starts(Time now, std::vector<Job>& out) {
   last_shadow_ = sim::kNoTime;
   ensure_sorted(now);
   for (;;) {
-    if (queue_.empty()) return started;
+    if (queue_.empty()) return;
     // Start the head (and re-enter: the next head may now fit too).
     if (queue_.front().procs <= free_) {
-      started.push_back(start_job(queue_.front().id, now));
+      out.push_back(start_job(queue_.front().id, now));
       continue;
     }
     // Head blocked: pin its reservation, then run one backfill pass.
@@ -107,17 +109,18 @@ std::vector<Job> EasyScheduler::select_starts(Time now) {
     while (i < queue_.size()) {
       const Job& job = queue_[i];
       if (job.procs <= free_) {
-        const bool ends_by_shadow = now + job.estimate <= shadow.time;
+        const bool ends_by_shadow =
+            sim::saturating_add(now, job.estimate) <= shadow.time;
         const bool within_extra = job.procs <= extra;
         if (ends_by_shadow || within_extra) {
           if (!ends_by_shadow) extra -= job.procs;
-          started.push_back(start_job(job.id, now));
+          out.push_back(start_job(job.id, now));
           continue;  // queue_[i] now refers to the next job
         }
       }
       ++i;
     }
-    return started;
+    return;
   }
 }
 

@@ -24,7 +24,8 @@ class EasyScheduler final : public SchedulerBase {
   bool job_submitted(const Job& job, Time now) override;
   bool job_finished(JobId id, Time now) override;
   bool job_cancelled(JobId id, Time now) override;
-  [[nodiscard]] std::vector<Job> select_starts(Time now) override;
+  using Scheduler::select_starts;
+  void select_starts(Time now, std::vector<Job>& out) override;
   [[nodiscard]] std::string name() const override;
 
   /// The head job's computed reservation during the last pass (for tests;

@@ -31,13 +31,11 @@ bool FcfsScheduler::job_cancelled(JobId id, Time) {
   return was_front && queue_.front().procs <= free_;
 }
 
-std::vector<Job> FcfsScheduler::select_starts(Time now) {
+void FcfsScheduler::select_starts(Time now, std::vector<Job>& out) {
   ensure_sorted(now);
-  std::vector<Job> started;
   // Strict queue order: stop at the first job that does not fit.
   while (!queue_.empty() && queue_.front().procs <= free_)
-    started.push_back(commit_start(queue_.front().id, now));
-  return started;
+    out.push_back(commit_start(queue_.front().id, now));
 }
 
 std::string FcfsScheduler::name() const {

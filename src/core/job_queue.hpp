@@ -1,0 +1,89 @@
+// bfsim -- the wait-queue container for the scheduler hot path.
+//
+// Every scheduler keeps its waiting jobs in priority order and starts
+// them overwhelmingly from the front, so a plain std::vector pays a
+// whole-queue memmove per start (the single hottest operation in a
+// scheduling pass). JobQueue is a vector with a movable front gap:
+// erasing or inserting near the front shifts the short front side into
+// the gap instead of sliding the whole tail, which makes the common
+// "start the head job" case O(1) while keeping contiguous storage --
+// iteration, binary search, and stable_sort all work on plain Job*
+// ranges. The gap is compacted away once it outgrows the live queue, so
+// memory stays proportional to the high-water queue depth.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace bfsim::core {
+
+class JobQueue {
+ public:
+  using iterator = Job*;
+  using const_iterator = const Job*;
+
+  [[nodiscard]] std::size_t size() const { return buf_.size() - head_; }
+  [[nodiscard]] bool empty() const { return head_ == buf_.size(); }
+
+  [[nodiscard]] iterator begin() { return buf_.data() + head_; }
+  [[nodiscard]] iterator end() { return buf_.data() + buf_.size(); }
+  [[nodiscard]] const_iterator begin() const { return buf_.data() + head_; }
+  [[nodiscard]] const_iterator end() const { return buf_.data() + buf_.size(); }
+
+  [[nodiscard]] Job& front() { return *begin(); }
+  [[nodiscard]] const Job& front() const { return *begin(); }
+  [[nodiscard]] Job& operator[](std::size_t i) { return begin()[i]; }
+  [[nodiscard]] const Job& operator[](std::size_t i) const {
+    return begin()[i];
+  }
+
+  void push_back(const Job& job) { buf_.push_back(job); }
+
+  /// Insert `job` before `pos`, shifting whichever side of the queue is
+  /// shorter. Invalidates iterators.
+  void insert(const_iterator pos, const Job& job) {
+    const std::size_t idx = static_cast<std::size_t>(pos - begin());
+    if (head_ > 0 && idx <= size() - idx) {
+      // Slide the front segment one slot into the gap.
+      Job* b = begin();
+      std::move(b, b + idx, b - 1);
+      --head_;
+      begin()[idx] = job;
+    } else {
+      // Slide the tail right (push_back may reallocate; idx survives).
+      buf_.push_back(job);
+      Job* b = begin();
+      std::rotate(b + idx, end() - 1, end());
+    }
+  }
+
+  /// Remove the element at `pos`, shifting whichever side is shorter;
+  /// erasing the front is O(1). Invalidates iterators.
+  void erase(const_iterator pos) {
+    const std::size_t idx = static_cast<std::size_t>(pos - begin());
+    if (idx < size() - idx - 1) {
+      Job* b = begin();
+      std::move_backward(b, b + idx, b + idx + 1);
+      ++head_;
+      // Amortized O(1): the gap only reaches the live size after at
+      // least that many front-side erases.
+      if (head_ > buf_.size() - head_) {
+        buf_.erase(buf_.begin(),
+                   buf_.begin() + static_cast<std::ptrdiff_t>(head_));
+        head_ = 0;
+      }
+    } else {
+      std::move(begin() + idx + 1, end(), begin() + idx);
+      buf_.pop_back();
+    }
+  }
+
+ private:
+  std::vector<Job> buf_;
+  std::size_t head_ = 0;  ///< index of the queue front within buf_
+};
+
+}  // namespace bfsim::core

@@ -32,17 +32,16 @@ bool KReservationScheduler::job_finished(JobId id, Time) {
   return !queue_.empty();
 }
 
-std::vector<Job> KReservationScheduler::select_starts(Time now) {
+void KReservationScheduler::select_starts(Time now, std::vector<Job>& out) {
   ensure_sorted(now);
   Profile profile = profile_from_running(config_.procs, now, running_);
-  std::vector<Job> started;
   // One pass in priority order. A job starts when it fits *now* without
   // disturbing the reservations placed so far; otherwise the first
   // `depth_` blocked jobs are granted reservations that later jobs must
   // respect, and the rest are skipped.
   int reserved = 0;
-  std::vector<JobId> to_start;
-  to_start.reserve(queue_.size());
+  std::vector<JobId>& to_start = start_scratch_;
+  to_start.clear();
   for (const Job& job : queue_) {
     if (reserved < depth_) {
       // Starter or guarantee holder either way: fuse the anchor search
@@ -54,16 +53,15 @@ std::vector<Job> KReservationScheduler::select_starts(Time now) {
       } else {
         ++reserved;
       }
-    } else if (profile.fits(job.procs, now, now + job.estimate)) {
+    } else if (const Time end = sim::saturating_add(now, job.estimate);
+               profile.fits(job.procs, now, end)) {
       // Reservation depth exhausted: the job only matters if it can
       // start immediately (anchor == now <=> the window fits now).
-      profile.reserve(now, now + job.estimate, job.procs);
+      profile.reserve(now, end, job.procs);
       to_start.push_back(job.id);
     }
   }
-  started.reserve(to_start.size());
-  for (JobId id : to_start) started.push_back(commit_start(id, now));
-  return started;
+  for (JobId id : to_start) out.push_back(commit_start(id, now));
 }
 
 std::string KReservationScheduler::name() const {

@@ -23,13 +23,17 @@ class KReservationScheduler final : public SchedulerBase {
 
   bool job_submitted(const Job& job, Time now) override;
   bool job_finished(JobId id, Time now) override;
-  [[nodiscard]] std::vector<Job> select_starts(Time now) override;
+  using Scheduler::select_starts;
+  void select_starts(Time now, std::vector<Job>& out) override;
   [[nodiscard]] std::string name() const override;
 
   [[nodiscard]] int depth() const { return depth_; }
 
  private:
   int depth_;
+  /// Pass-time working buffer, reused so select_starts does not
+  /// allocate it per pass.
+  std::vector<JobId> start_scratch_;
 };
 
 }  // namespace bfsim::core

@@ -68,4 +68,8 @@ void sort_by_priority(std::vector<Job>& queue, PriorityPolicy policy,
   std::stable_sort(queue.begin(), queue.end(), PriorityOrder{policy, now});
 }
 
+void sort_by_priority(Job* first, Job* last, PriorityPolicy policy, Time now) {
+  std::stable_sort(first, last, PriorityOrder{policy, now});
+}
+
 }  // namespace bfsim::core

@@ -56,4 +56,7 @@ class PriorityOrder {
 void sort_by_priority(std::vector<Job>& queue, PriorityPolicy policy,
                       Time now);
 
+/// Range form for containers exposing contiguous Job storage.
+void sort_by_priority(Job* first, Job* last, PriorityPolicy policy, Time now);
+
 }  // namespace bfsim::core

@@ -1,15 +1,25 @@
 #include "core/profile.hpp"
 
 #include <algorithm>
-#include <limits>
+#include <bit>
 #include <stdexcept>
 #include <string>
 
 namespace bfsim::core {
 
 namespace {
-constexpr sim::Time kFar = std::numeric_limits<sim::Time>::max();
+// The far future. Equal to sim::kTimeMax: saturating window arithmetic
+// clamps here, and the fully-free tail segment conceptually extends to
+// it, so a saturated window end compares correctly against seg_end.
+constexpr sim::Time kFar = sim::kTimeMax;
+
+/// Smallest power-of-two bucket index whose width covers `procs`
+/// (procs >= 1): 1->0, 2->1, 3..4->2, 5..8->3, ...
+std::size_t hint_bucket(int procs) {
+  return static_cast<std::size_t>(
+      std::bit_width(static_cast<unsigned>(procs) - 1u));
 }
+}  // namespace
 
 Profile::Profile(int total_procs) : total_(total_procs) {
   if (total_procs < 1)
@@ -41,14 +51,61 @@ bool Profile::fits(int procs, sim::Time begin, sim::Time end) const {
   return true;
 }
 
+sim::Time Profile::hinted_start(int procs, sim::Time not_before) const {
+  // A bucket of width w <= procs certifies free < w <= procs over
+  // [h.not_before, h.bound); when its interval starts at or before the
+  // query it rules out every anchor below h.bound. Take the best.
+  sim::Time start = not_before;
+  const std::size_t usable =
+      std::min<std::size_t>(kHintBuckets,
+                            std::bit_width(static_cast<unsigned>(procs)));
+  for (std::size_t k = 0; k < usable; ++k) {
+    const AnchorHint& h = hints_[k];
+    if (h.not_before <= not_before && h.bound > start) start = h.bound;
+  }
+  return start;
+}
+
+void Profile::record_hint(int procs, sim::Time not_before,
+                          sim::Time bound) const {
+  if (bound <= not_before) return;
+  const std::size_t k = hint_bucket(procs);
+  if (k >= kHintBuckets) return;
+  // "No free >= procs" implies "no free >= bucket width" (width >=
+  // procs), so widening to the bucket is sound.
+  AnchorHint& h = hints_[k];
+  if (h.not_before <= not_before && not_before <= h.bound) {
+    // Overlapping or adjacent with the stored certificate: merge into
+    // one longer interval (the common case while `now` advances).
+    if (bound > h.bound) h.bound = bound;
+  } else if (bound > h.bound) {
+    h = AnchorHint{not_before, bound};
+  }
+}
+
+void Profile::clamp_hints(sim::Time b) {
+  // Capacity increased somewhere in [b, ...): certificates stay valid
+  // only strictly below b.
+  for (AnchorHint& h : hints_)
+    if (h.bound > b) h.bound = b;
+}
+
 std::pair<sim::Time, std::size_t> Profile::anchor_from(
     int procs, sim::Time duration, sim::Time not_before) const {
-  std::size_t i = segment_index(not_before);
-  sim::Time candidate = not_before;
+  // Resume from the certified prefix, then advance to the first instant
+  // with capacity; everything skipped extends this width's certificate.
+  const sim::Time start = hinted_start(procs, not_before);
+  std::size_t i = segment_index(start);
+  while (points_[i].free < procs) ++i;
+  sim::Time candidate = std::max(start, points_[i].begin);
+  record_hint(procs, not_before, candidate);
   for (;;) {
     // points_[i] is the segment containing `candidate`. Scan forward
-    // checking that every segment overlapping [candidate, candidate +
-    // duration) has enough free processors.
+    // checking that every segment overlapping the window [candidate,
+    // candidate + duration) has enough free processors. The window end
+    // saturates at kFar, which only the tail segment (or a breakpoint
+    // at kFar itself) can cover -- "forever" semantics, not overflow.
+    const sim::Time window_end = sim::saturating_add(candidate, duration);
     std::size_t scan = i;
     bool ok = true;
     while (true) {
@@ -58,7 +115,7 @@ std::pair<sim::Time, std::size_t> Profile::anchor_from(
       }
       const sim::Time seg_end =
           scan + 1 == points_.size() ? kFar : points_[scan + 1].begin;
-      if (seg_end >= candidate + duration) break;  // window fully covered
+      if (seg_end >= window_end) break;  // window fully covered
       ++scan;
     }
     if (ok) return {candidate, i};
@@ -96,13 +153,20 @@ sim::Time Profile::find_and_reserve(int procs, sim::Time duration,
   if (not_before < 0) not_before = 0;
   const auto [anchor, index] = anchor_from(procs, duration, not_before);
   // The search proved free >= procs throughout the window, so the
-  // reservation needs no capacity re-check and no second search.
-  apply_at(index, anchor, anchor + duration, -procs);
+  // reservation needs no capacity re-check and no second search. A
+  // reserve only removes capacity, so every anchor-hint certificate
+  // survives it unchanged.
+  apply_at(index, anchor, sim::saturating_add(anchor, duration), -procs);
   return anchor;
 }
 
 void Profile::apply_at(std::size_t first, sim::Time begin, sim::Time end,
                        int delta) {
+  // One operation inserts at most two breakpoints; grow geometrically
+  // up front so neither insert can reallocate (and move the whole
+  // timeline) mid-operation.
+  if (points_.capacity() < points_.size() + 2)
+    points_.reserve(points_.size() + std::max<std::size_t>(points_.size(), 16));
   // Split the segment containing `begin` so a breakpoint sits exactly
   // at the window start.
   std::size_t i = first;
@@ -147,6 +211,9 @@ void Profile::apply(sim::Time begin, sim::Time end, int delta) {
           "Profile: double release at t=" +
           std::to_string(std::max(begin, points_[i].begin)));
   }
+  // A release adds capacity from `begin` on, which can create anchors
+  // inside previously certified no-capacity intervals: truncate them.
+  if (delta > 0) clamp_hints(begin);
   apply_at(first, begin, end, delta);
 }
 
@@ -158,6 +225,20 @@ void Profile::reserve(sim::Time begin, sim::Time end, int procs) {
 void Profile::release(sim::Time begin, sim::Time end, int procs) {
   if (procs < 0) throw std::invalid_argument("Profile::release: procs < 0");
   apply(begin, end, procs);
+}
+
+void Profile::discard_before(sim::Time t) {
+  if (t <= 0) return;
+  const std::size_t keep = segment_index(t);
+  if (keep == 0) return;  // t is inside the first segment: nothing to drop
+  points_.erase(points_.begin(),
+                points_.begin() + static_cast<std::ptrdiff_t>(keep));
+  // The surviving segment's value now also covers the discarded past.
+  points_.front().begin = 0;
+  // That raises free_at over the discarded region, so certificates that
+  // started there are only trustworthy from t on.
+  for (AnchorHint& h : hints_)
+    if (h.not_before < t) h.not_before = t;
 }
 
 std::vector<Profile::Segment> Profile::segments() const {
@@ -181,6 +262,23 @@ void Profile::check_invariants() const {
   }
   if (points_.back().free != total_)
     throw std::logic_error("Profile: tail segment is not fully free");
+  // Every live anchor-hint certificate must be literally true of the
+  // current timeline: no segment inside it may reach the bucket width.
+  for (std::size_t k = 0; k < kHintBuckets; ++k) {
+    const AnchorHint& h = hints_[k];
+    if (h.bound <= h.not_before) continue;
+    if (h.not_before < 0)
+      throw std::logic_error("Profile: anchor hint before the origin");
+    const int width = 1 << k;
+    for (std::size_t i = segment_index(h.not_before);
+         i < points_.size() && points_[i].begin < h.bound; ++i)
+      if (points_[i].free >= width)
+        throw std::logic_error(
+            "Profile: stale anchor hint claims no " + std::to_string(width) +
+            " procs before t=" + std::to_string(h.bound) + " but t=" +
+            std::to_string(std::max(h.not_before, points_[i].begin)) +
+            " has " + std::to_string(points_[i].free));
+  }
 }
 
 }  // namespace bfsim::core

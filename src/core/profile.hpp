@@ -18,8 +18,19 @@
 // exactly those scans. The vector is kept fully coalesced (adjacent
 // breakpoints always differ in value), so breakpoints() is also the
 // number of maximal constant segments.
+//
+// Anchor searches additionally consult a small per-width hint cache (see
+// anchor_hint below): each successful search certifies "no segment with
+// >= w free processors exists in [nb, t)", and later searches for widths
+// >= w resume from t instead of re-walking the certified prefix. The
+// cache is a pure accelerator -- it never changes any result (the
+// profile differential and hint property suites prove it) -- and it is
+// maintained in O(1) per mutation: reserves only remove capacity, so
+// every certificate survives them verbatim; a release over [b, e) adds
+// capacity from b on, so certificates are truncated at b.
 #pragma once
 
+#include <array>
 #include <cstddef>
 #include <utility>
 #include <vector>
@@ -53,6 +64,8 @@ class Profile {
   /// Earliest time s >= not_before such that free(u) >= procs for all
   /// u in [s, s + duration). Requires 1 <= procs <= total() and
   /// duration >= 1. Always exists (the far future is fully free).
+  /// Window ends saturate at sim::kTimeMax, which the fully-free tail
+  /// segment covers -- a duration near INT64_MAX is "forever", not UB.
   [[nodiscard]] sim::Time earliest_anchor(int procs, sim::Time duration,
                                           sim::Time not_before) const;
 
@@ -81,6 +94,17 @@ class Profile {
   /// unchanged when it throws.
   void release(sim::Time begin, sim::Time end, int procs);
 
+  /// Forget all breakpoints strictly before `t`: the timeline keeps its
+  /// exact shape on [t, +inf) while [0, t) collapses into the segment
+  /// containing t (free_at of a discarded instant returns that value).
+  /// Schedulers whose clock has passed `t` call this to garbage-collect
+  /// consumed history -- on-time completions never release their
+  /// rectangle, so without pruning a long replay accumulates thousands
+  /// of dead breakpoints that every binary search and memmove then pays
+  /// for. Anchor searches with not_before >= t are byte-identical before
+  /// and after (the hint property suite proves it).
+  void discard_before(sim::Time t);
+
   /// The full piecewise timeline, coalesced, for inspection and tests.
   [[nodiscard]] std::vector<Segment> segments() const;
 
@@ -96,6 +120,29 @@ class Profile {
   /// Sorted by begin; points_[0].begin == 0 always, adjacent values
   /// differ (coalesced), and the last value is total_ by construction.
   std::vector<Segment> points_;
+
+  /// One certificate of absent capacity: no time u in [not_before,
+  /// bound) has free(u) >= the bucket's width. bound <= not_before means
+  /// "no information". Certificates are recorded per power-of-two width
+  /// bucket: a search for `procs` stores under the smallest bucket width
+  /// >= procs (weakening is sound: free >= bucket implies free >= procs)
+  /// and consults every bucket width <= procs (strengthening is sound:
+  /// free >= procs implies free >= bucket).
+  struct AnchorHint {
+    sim::Time not_before = 0;
+    sim::Time bound = 0;
+  };
+  static constexpr std::size_t kHintBuckets = 16;
+  /// Pure cache (mutable: recorded from const searches too). Never
+  /// affects results, only where scans start.
+  mutable std::array<AnchorHint, kHintBuckets> hints_{};
+
+  /// Largest certified scan start for a (procs, not_before) query.
+  [[nodiscard]] sim::Time hinted_start(int procs, sim::Time not_before) const;
+  /// Record "no free >= procs in [not_before, bound)".
+  void record_hint(int procs, sim::Time not_before, sim::Time bound) const;
+  /// Truncate every certificate at a capacity increase starting at `b`.
+  void clamp_hints(sim::Time b);
 
   /// Index of the segment containing t (t >= 0).
   [[nodiscard]] std::size_t segment_index(sim::Time t) const;

@@ -11,9 +11,9 @@
 
 #include <algorithm>
 #include <queue>
-#include <unordered_map>
 #include <vector>
 
+#include "core/job_table.hpp"
 #include "core/types.hpp"
 
 namespace bfsim::core {
@@ -26,40 +26,36 @@ class ReservationHeap {
 
   void clear() { heap_ = {}; }
 
-  /// Re-seed from a full id -> start map (slack displacement reassigns
-  /// every reservation wholesale).
-  void rebuild(const std::unordered_map<JobId, Time>& reservations) {
+  /// Re-seed from a full id -> start table (slack displacement
+  /// reassigns every reservation wholesale).
+  void rebuild(const TimeByJob& reservations) {
     clear();
-    for (const auto& [id, start] : reservations) heap_.push({start, id});
+    reservations.for_each([this](JobId id, Time start) { push(start, id); });
   }
 
   /// Earliest start held by any job still present in `reservations`
   /// with a matching time, or sim::kNoTime when none. Prunes stale
   /// entries from the top as a side effect.
-  [[nodiscard]] Time earliest(
-      const std::unordered_map<JobId, Time>& reservations) {
+  [[nodiscard]] Time earliest(const TimeByJob& reservations) {
     while (!heap_.empty()) {
       const Entry& top = heap_.top();
-      const auto it = reservations.find(top.id);
-      if (it != reservations.end() && it->second == top.start)
-        return top.start;
+      if (reservations.get(top.id) == top.start) return top.start;
       heap_.pop();
     }
     return sim::kNoTime;
   }
 
-  /// Pop every valid entry with start == `now`; the ids come back in
-  /// unspecified order (the caller re-imposes priority order).
-  [[nodiscard]] std::vector<JobId> take_due(
-      Time now, const std::unordered_map<JobId, Time>& reservations) {
-    std::vector<JobId> due;
+  /// Pop every valid entry with start == `now`, appending the ids to
+  /// `due` in unspecified order (the caller re-imposes priority order).
+  /// Appends so callers can reuse one scratch buffer across passes.
+  void take_due(Time now, const TimeByJob& reservations,
+                std::vector<JobId>& due) {
     while (earliest(reservations) == now) {
       const JobId id = heap_.top().id;
       heap_.pop();
       if (std::find(due.begin(), due.end(), id) == due.end())
         due.push_back(id);
     }
-    return due;
   }
 
  private:

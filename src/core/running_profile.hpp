@@ -1,20 +1,20 @@
 // bfsim -- helper shared by the rebuild-style schedulers.
 #pragma once
 
-#include <unordered_map>
-
+#include "core/job_table.hpp"
 #include "core/profile.hpp"
 #include "core/types.hpp"
 
 namespace bfsim::core {
 
 /// Build an availability profile at time `now` containing only the
-/// currently running jobs, each occupying [now, est_end).
-[[nodiscard]] inline Profile profile_from_running(
-    int total_procs, Time now,
-    const std::unordered_map<JobId, RunningJob>& running) {
+/// currently running jobs, each occupying [now, est_end). The table's
+/// iteration order is unspecified, which is fine: the profile is a sum
+/// of per-job rectangles, and sums commute.
+[[nodiscard]] inline Profile profile_from_running(int total_procs, Time now,
+                                                  const RunningTable& running) {
   Profile profile{total_procs};
-  for (const auto& [id, rj] : running)
+  for (const RunningJob& rj : running.jobs())
     if (rj.est_end > now) profile.reserve(now, rj.est_end, rj.job.procs);
   return profile;
 }

@@ -39,16 +39,18 @@ Job SchedulerBase::commit_start(JobId id, Time now) {
     throw std::logic_error("Scheduler: start exceeds free processors");
   queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(idx));
   free_ -= job.procs;
-  running_.emplace(id, RunningJob{job, now, now + job.estimate});
+  // A hostile estimate near kTimeMax must clamp to "runs forever", not
+  // wrap est_end into the past (which would corrupt every profile and
+  // shadow computation built from the running set).
+  running_.insert(id,
+                  RunningJob{job, now, sim::saturating_add(now, job.estimate)});
   return job;
 }
 
 RunningJob SchedulerBase::commit_finish(JobId id) {
-  const auto it = running_.find(id);
-  if (it == running_.end())
+  if (!running_.contains(id))
     throw std::logic_error("Scheduler: finish for a job that is not running");
-  RunningJob rj = it->second;
-  running_.erase(it);
+  RunningJob rj = running_.take(id);
   free_ += rj.job.procs;
   return rj;
 }
@@ -65,20 +67,52 @@ Job SchedulerBase::take_queued(JobId id) {
 void SchedulerBase::insert_queued(const Job& job, Time now) {
   if (time_varying_priority()) {
     queue_.push_back(job);
+    id_sorted_ = false;  // re-sorted per pass; position tells us nothing
     return;
   }
   // The priority order is total (ties broken by submit, id), so the
   // in-place position reproduces exactly what a stable sort would give.
   const PriorityOrder order{config_.priority, now};
-  queue_.insert(std::upper_bound(queue_.begin(), queue_.end(), job, order),
-                job);
+  // Arrivals overwhelmingly sort last (FCFS order IS arrival order, and
+  // the tie-breaks favor earlier submits): test the back slot before
+  // paying for a binary search.
+  std::size_t idx;
+  if (queue_.empty() || !order(job, *(queue_.end() - 1))) {
+    idx = queue_.size();
+    queue_.push_back(job);
+  } else {
+    const Job* pos =
+        std::upper_bound(queue_.begin(), queue_.end(), job, order);
+    idx = static_cast<std::size_t>(pos - queue_.begin());
+    queue_.insert(pos, job);
+  }
+  // Track whether the queue remains sorted by id (true under FCFS with
+  // driver-fed traces, where id order IS submit order): only the new
+  // job's two neighbors can break it. queue_index binary-searches while
+  // this holds.
+  if (id_sorted_ &&
+      ((idx > 0 && queue_[idx - 1].id > job.id) ||
+       (idx + 1 < queue_.size() && queue_[idx + 1].id < job.id)))
+    id_sorted_ = false;
 }
 
 void SchedulerBase::ensure_sorted(Time now) {
-  if (time_varying_priority()) sort_by_priority(queue_, config_.priority, now);
+  if (time_varying_priority())
+    sort_by_priority(queue_.begin(), queue_.end(), config_.priority, now);
 }
 
 std::size_t SchedulerBase::queue_index(JobId id) const {
+  // Starts overwhelmingly take the queue head (always, for the
+  // non-backfilling policies): answer without a search.
+  if (!queue_.empty() && queue_.front().id == id) return 0;
+  if (id_sorted_) {
+    const Job* it =
+        std::lower_bound(queue_.begin(), queue_.end(), id,
+                         [](const Job& j, JobId v) { return j.id < v; });
+    return it != queue_.end() && it->id == id
+               ? static_cast<std::size_t>(it - queue_.begin())
+               : queue_.size();
+  }
   for (std::size_t i = 0; i < queue_.size(); ++i)
     if (queue_[i].id == id) return i;
   return queue_.size();

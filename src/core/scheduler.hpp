@@ -12,6 +12,8 @@
 #include <vector>
 
 #include "core/priority.hpp"
+#include "core/job_queue.hpp"
+#include "core/job_table.hpp"
 #include "core/types.hpp"
 
 namespace bfsim::core {
@@ -94,8 +96,21 @@ class Scheduler {
   /// to events.
   [[nodiscard]] virtual Time next_wakeup() { return sim::kNoTime; }
 
-  /// Decide and commit the set of jobs that begin execution at `now`.
-  [[nodiscard]] virtual std::vector<Job> select_starts(Time now) = 0;
+  /// Decide and commit the set of jobs that begin execution at `now`,
+  /// appending them to `out`. `out` is not cleared: the driver owns one
+  /// buffer and reuses it across passes, so steady-state scheduling
+  /// never allocates. Implementations needing per-pass working storage
+  /// should likewise keep reusable member scratch.
+  virtual void select_starts(Time now, std::vector<Job>& out) = 0;
+
+  /// Allocating convenience wrapper over the two-argument overload, for
+  /// tests and replay tools. Concrete schedulers re-export it with
+  /// `using Scheduler::select_starts;`.
+  [[nodiscard]] std::vector<Job> select_starts(Time now) {
+    std::vector<Job> out;
+    select_starts(now, out);
+    return out;
+  }
 
   [[nodiscard]] virtual std::string name() const = 0;
 
@@ -142,12 +157,16 @@ class SchedulerBase : public Scheduler {
  protected:
   SchedulerConfig config_;
   /// Waiting jobs. Invariant: under every static priority policy the
-  /// vector is permanently in priority order (insert_queued places new
+  /// queue is permanently in priority order (insert_queued places new
   /// arrivals in-place); only the time-varying XFactor order appends and
   /// defers to ensure_sorted at pass time.
-  std::vector<Job> queue_;
-  std::unordered_map<JobId, RunningJob> running_; ///< started jobs
+  JobQueue queue_;
+  RunningTable running_;                          ///< started jobs
   int free_ = 0;                                  ///< processors free now
+  /// Sticky: queue_ has been sorted by id at every instant so far (holds
+  /// under FCFS with ids assigned in submit order -- the common case --
+  /// and lets queue_index binary-search instead of scanning).
+  bool id_sorted_ = true;
 
   /// True when the configured priority order can change with the clock
   /// (XFactor), so the queue cannot be kept sorted incrementally.

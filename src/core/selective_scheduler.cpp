@@ -82,7 +82,7 @@ double SelectiveScheduler::effective_threshold() const {
                                   static_cast<double>(completed_jobs_));
 }
 
-std::vector<Job> SelectiveScheduler::select_starts(Time now) {
+void SelectiveScheduler::select_starts(Time now, std::vector<Job>& out) {
   // Promotion is sticky: once a job's expected slowdown crosses the
   // threshold it keeps its guarantee until it starts. The event hooks
   // already promote at every event time; repeating here keeps direct
@@ -91,8 +91,8 @@ std::vector<Job> SelectiveScheduler::select_starts(Time now) {
 
   ensure_sorted(now);
   Profile profile = profile_from_running(config_.procs, now, running_);
-  std::vector<JobId> to_start;
-  to_start.reserve(queue_.size());
+  std::vector<JobId>& to_start = start_scratch_;
+  to_start.clear();
   // Pass 1 -- reserved jobs, in priority order: they either start now or
   // anchor their guarantee ahead of everybody else.
   for (const Job& job : queue_) {
@@ -107,18 +107,16 @@ std::vector<Job> SelectiveScheduler::select_starts(Time now) {
   // full anchor search.
   for (const Job& job : queue_) {
     if (promoted_.contains(job.id)) continue;
-    if (profile.fits(job.procs, now, now + job.estimate)) {
-      profile.reserve(now, now + job.estimate, job.procs);
+    const Time end = sim::saturating_add(now, job.estimate);
+    if (profile.fits(job.procs, now, end)) {
+      profile.reserve(now, end, job.procs);
       to_start.push_back(job.id);
     }
   }
-  std::vector<Job> started;
-  started.reserve(to_start.size());
   for (JobId id : to_start) {
     promoted_.erase(id);
-    started.push_back(commit_start(id, now));
+    out.push_back(commit_start(id, now));
   }
-  return started;
 }
 
 std::string SelectiveScheduler::name() const {

@@ -45,7 +45,8 @@ class SelectiveScheduler final : public SchedulerBase {
   bool job_submitted(const Job& job, Time now) override;
   bool job_finished(JobId id, Time now) override;
   bool job_cancelled(JobId id, Time now) override;
-  [[nodiscard]] std::vector<Job> select_starts(Time now) override;
+  using Scheduler::select_starts;
+  void select_starts(Time now, std::vector<Job>& out) override;
   [[nodiscard]] std::string name() const override;
 
   [[nodiscard]] double threshold() const { return threshold_; }
@@ -71,6 +72,9 @@ class SelectiveScheduler final : public SchedulerBase {
   // Adaptive mode: running mean of completed jobs' bounded slowdown.
   double completed_slowdown_sum_ = 0.0;
   std::size_t completed_jobs_ = 0;
+  /// Pass-time working buffer, reused so select_starts does not
+  /// allocate it per pass.
+  std::vector<JobId> start_scratch_;
 };
 
 }  // namespace bfsim::core

@@ -30,12 +30,20 @@ class Driver {
     result_.outcomes.resize(trace_.size());
     for (std::size_t i = 0; i < trace_.size(); ++i)
       result_.outcomes[i].job = trace_[i];
-    // Submits and cancels are scheduled lazily -- see on_submit. Only
-    // the first arrival is seeded here; each arrival then schedules its
-    // own cancellation and its successor. The heap stays small (running
-    // jobs plus one arrival) instead of holding the whole trace.
-    if (!trace_.empty())
-      engine_.schedule_at(trace_[0].submit, [this] { on_submit(0); }, kSubmit);
+    // Arrivals ride the engine's stream channel: the trace is already
+    // sorted by submit time, so each arrival fires straight from the
+    // armed head -- no heap push/pop per submit -- and re-arms its
+    // successor (see on_submit). Cancels still go through the heap. The
+    // heap stays small (running jobs only) instead of holding the trace.
+    if (!trace_.empty()) {
+      engine_.set_stream(kSubmit, [this] { on_submit(next_arrival_++); });
+      engine_.arm_stream(trace_[0].submit);
+    }
+    // The engine drains every same-time event, then closes the batch
+    // here -- one scheduler pass (at most) per burst of simultaneous
+    // finishes/arrivals, and the per-event handlers stay free of
+    // batch-boundary bookkeeping.
+    engine_.set_batch_end([this] { end_batch(engine_.now()); });
   }
 
   SimulationResult run() {
@@ -47,22 +55,19 @@ class Driver {
   void on_submit(JobId id) {
     const Time now = engine_.now();
     ++result_.events;
+    ++queued_;
     if (auditor_) auditor_->on_submitted(trace_[id], now);
     pass_needed_ |= scheduler_.job_submitted(trace_[id], now);
-    // Chain-schedule before the batch-end check so a same-instant
-    // cancel or successor arrival keeps this batch open. Delivery
-    // order is unchanged from scheduling everything up-front: with one
-    // arrival outstanding at a time, submits fire in id order, and
+    // Re-arm before the batch-end check so a same-instant cancel or
+    // successor arrival keeps this batch open. Delivery order is
+    // unchanged from pushing every submit through the heap: the stream
+    // holds one arrival at a time, so submits fire in id order, and
     // cancels enqueue in submit (= id) order, which is how same-time
     // cancels tie-break anyway.
     if (trace_[id].cancel_at != sim::kNoTime)
       engine_.schedule_at(
           trace_[id].cancel_at, [this, id] { on_cancel(id); }, kCancel);
-    if (id + 1 < trace_.size())
-      engine_.schedule_at(
-          trace_[id + 1].submit, [this, next = id + 1] { on_submit(next); },
-          kSubmit);
-    maybe_end_batch(now);
+    if (id + 1 < trace_.size()) engine_.arm_stream(trace_[id + 1].submit);
   }
 
   void on_finish(JobId id) {
@@ -70,7 +75,6 @@ class Driver {
     ++result_.events;
     if (auditor_) auditor_->on_finished(id, now);
     pass_needed_ |= scheduler_.job_finished(id, now);
-    maybe_end_batch(now);
   }
 
   void on_cancel(JobId id) {
@@ -78,6 +82,7 @@ class Driver {
     ++result_.events;
     JobOutcome& outcome = result_.outcomes[id];
     if (outcome.start == sim::kNoTime) {  // still queued: withdraw
+      --queued_;
       if (auditor_) auditor_->on_cancelled(id, now);
       pass_needed_ |= scheduler_.job_cancelled(id, now);
       outcome.cancelled = true;
@@ -89,25 +94,24 @@ class Driver {
       // vouch that a pass is unnecessary. Run one.
       pass_needed_ = true;
     }
-    maybe_end_batch(now);
   }
 
   void on_wake() {
-    // The timer carries no payload; end_batch asks the scheduler
-    // whether its earliest reservation is in fact due now (it may have
-    // moved since this timer was armed -- a stale wake is a no-op).
+    // The timer carries no payload; the batch-end hook asks the
+    // scheduler whether its earliest reservation is in fact due now (it
+    // may have moved since this timer was armed -- a stale wake is a
+    // no-op).
     ++result_.wakeups;
-    maybe_end_batch(engine_.now());
-  }
-
-  void maybe_end_batch(Time now) {
-    if (engine_.pending() && engine_.next_time() == now) return;
-    end_batch(now);
   }
 
   void end_batch(Time now) {
-    Time wake = scheduler_.next_wakeup();
-    if (pass_needed_ || wake == now) {
+    Time wake;
+    if (pass_needed_) {
+      // A hook already vouched for the pass; only the post-pass wake-up
+      // matters (asking before would waste a query on a stale answer).
+      run_pass(now);
+      wake = scheduler_.next_wakeup();
+    } else if ((wake = scheduler_.next_wakeup()) == now) {
       run_pass(now);
       wake = scheduler_.next_wakeup();
     } else {
@@ -115,7 +119,10 @@ class Driver {
     }
     pass_needed_ = false;
     if (auditor_) auditor_->on_cycle_end(now);
-    result_.max_queue = std::max(result_.max_queue, scheduler_.queued_count());
+    // Tracked locally (submits minus starts minus cancels -- the exact
+    // quantity queued_count() reports) to keep a virtual call off the
+    // per-batch path.
+    result_.max_queue = std::max(result_.max_queue, queued_);
     if (wake != sim::kNoTime) {
       if (wake <= now)
         throw std::logic_error(
@@ -132,7 +139,10 @@ class Driver {
 
   void run_pass(Time now) {
     ++result_.passes;
-    for (const Job& started : scheduler_.select_starts(now)) {
+    starts_.clear();
+    scheduler_.select_starts(now, starts_);
+    queued_ -= starts_.size();
+    for (const Job& started : starts_) {
       if (auditor_) auditor_->on_started(started, now);
       JobOutcome& outcome = result_.outcomes[started.id];
       if (outcome.start != sim::kNoTime)
@@ -140,7 +150,7 @@ class Driver {
                                std::to_string(started.id) + " started twice");
       const Time effective = std::min(started.runtime, started.estimate);
       outcome.start = now;
-      outcome.end = now + effective;
+      outcome.end = sim::saturating_add(now, effective);
       outcome.killed = started.runtime > started.estimate;
       result_.makespan = std::max(result_.makespan, outcome.end);
       engine_.schedule_at(
@@ -153,6 +163,9 @@ class Driver {
   ScheduleAuditor* auditor_;
   sim::Engine engine_;
   SimulationResult result_;
+  std::vector<Job> starts_;  ///< run_pass scratch, reused across passes
+  std::size_t queued_ = 0;   ///< live wait-queue depth (mirrors scheduler)
+  JobId next_arrival_ = 0;   ///< stream cursor into trace_
   bool pass_needed_ = false;
 };
 

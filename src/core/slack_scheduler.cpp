@@ -25,17 +25,24 @@ SlackScheduler::SlackScheduler(SchedulerConfig config, double slack_factor)
 
 bool SlackScheduler::job_submitted(const Job& job, Time now) {
   // The conservative guarantee anchors the deadline; the slack budget is
-  // proportional to the job's own estimated length.
-  const Time anchor = profile_.earliest_anchor(job.procs, job.estimate, now);
+  // proportional to the job's own estimated length. With nothing queued
+  // the profile holds only running rectangles (free non-decreasing past
+  // `now`), so a job that fits the free processors anchors at `now`
+  // without a search -- same O(1) fast path as conservative.
+  const Time anchor =
+      queue_.empty() && job.procs <= free_
+          ? now
+          : profile_.earliest_anchor(job.procs, job.estimate, now);
   const auto slack = static_cast<Time>(
       std::llround(slack_factor_ * static_cast<double>(job.estimate)));
-  deadlines_.emplace(job.id, anchor + slack);
+  deadlines_.set(job.id, sim::saturating_add(anchor, slack));
 
   if (anchor > now && try_displace(job, now))
     return due_.earliest(reservations_) == now;
 
-  profile_.reserve(anchor, anchor + job.estimate, job.procs);
-  reservations_.emplace(job.id, anchor);
+  profile_.reserve(anchor, sim::saturating_add(anchor, job.estimate),
+                   job.procs);
+  reservations_.set(job.id, anchor);
   due_.push(anchor, job.id);
   insert_queued(job, now);
   return anchor == now;
@@ -47,8 +54,9 @@ bool SlackScheduler::try_displace(const Job& job, Time now) {
   // the tightest guarantees first, which maximizes the chance that all
   // of them survive.
   Profile trial = profile_from_running(config_.procs, now, running_);
-  if (!trial.fits(job.procs, now, now + job.estimate)) return false;
-  trial.reserve(now, now + job.estimate, job.procs);
+  const Time newcomer_end = sim::saturating_add(now, job.estimate);
+  if (!trial.fits(job.procs, now, newcomer_end)) return false;
+  trial.reserve(now, newcomer_end, job.procs);
 
   std::vector<const Job*> order;
   order.reserve(queue_.size());
@@ -60,21 +68,20 @@ bool SlackScheduler::try_displace(const Job& job, Time now) {
     return a->id < b->id;
   });
 
-  std::unordered_map<JobId, Time> new_starts;
-  new_starts.reserve(order.size());
+  TimeByJob new_starts;
   for (const Job* queued : order) {
     // Fused search + reserve; the trial is discarded wholesale on
     // failure, so reserving before the deadline check is harmless.
     const Time anchor =
         trial.find_and_reserve(queued->procs, queued->estimate, now);
     if (anchor > deadlines_.at(queued->id)) return false;  // slack exhausted
-    new_starts[queued->id] = anchor;
+    new_starts.set(queued->id, anchor);
   }
 
   // Feasible: commit the trial plan.
   profile_ = std::move(trial);
   reservations_ = std::move(new_starts);
-  reservations_.emplace(job.id, now);
+  reservations_.set(job.id, now);
   due_.rebuild(reservations_);
   insert_queued(job, now);
   ++displacements_;
@@ -82,6 +89,8 @@ bool SlackScheduler::try_displace(const Job& job, Time now) {
 }
 
 bool SlackScheduler::job_finished(JobId id, Time now) {
+  // Consumed history: see ConservativeScheduler::job_finished.
+  profile_.discard_before(now);
   const RunningJob rj = commit_finish(id);
   // On-time completions free nothing; compression would be a no-op. A
   // reservation anchored exactly at this job's est_end can still be due.
@@ -95,7 +104,7 @@ bool SlackScheduler::job_finished(JobId id, Time now) {
 bool SlackScheduler::job_cancelled(JobId id, Time now) {
   const Job job = take_queued(id);
   const Time start = reservations_.at(id);
-  profile_.release(start, start + job.estimate, job.procs);
+  profile_.release(start, sim::saturating_add(start, job.estimate), job.procs);
   reservations_.erase(id);
   deadlines_.erase(id);
   compress(now, start);
@@ -118,7 +127,8 @@ void SlackScheduler::compress(Time now, Time hole_begin) {
     for (const Job& job : queue_) {
       const Time old_start = reservations_.at(job.id);
       if (old_start <= hole_begin) continue;
-      profile_.release(old_start, old_start + job.estimate, job.procs);
+      profile_.release(old_start, sim::saturating_add(old_start, job.estimate),
+                       job.procs);
       const Time anchor =
           profile_.find_and_reserve(job.procs, job.estimate, now);
       if (anchor > old_start)
@@ -126,7 +136,7 @@ void SlackScheduler::compress(Time now, Time hole_begin) {
             "SlackScheduler: compression delayed a reservation (job " +
             std::to_string(job.id) + ")");
       if (anchor < old_start) {
-        reservations_.at(job.id) = anchor;
+        reservations_.set(job.id, anchor);
         due_.push(anchor, job.id);
         next_hole = next_hole == sim::kNoTime
                         ? old_start
@@ -138,30 +148,28 @@ void SlackScheduler::compress(Time now, Time hole_begin) {
   }
 }
 
-std::vector<Job> SlackScheduler::select_starts(Time now) {
+void SlackScheduler::select_starts(Time now, std::vector<Job>& out) {
   const Time earliest = due_.earliest(reservations_);
   if (earliest != sim::kNoTime && earliest < now)
     throw std::logic_error("SlackScheduler: reservation in the past");
-  std::vector<Job> started;
-  if (earliest != now) return started;
-  std::vector<JobId> due = due_.take_due(now, reservations_);
-  if (due.size() > 1) {
+  if (earliest != now) return;
+  due_scratch_.clear();
+  due_.take_due(now, reservations_, due_scratch_);
+  if (due_scratch_.size() > 1) {
     // Simultaneous starts commit in priority order (see conservative).
     ensure_sorted(now);
-    std::vector<JobId> ordered;
-    ordered.reserve(due.size());
+    order_scratch_.clear();
     for (const Job& job : queue_)
-      if (std::find(due.begin(), due.end(), job.id) != due.end())
-        ordered.push_back(job.id);
-    due = std::move(ordered);
+      if (std::find(due_scratch_.begin(), due_scratch_.end(), job.id) !=
+          due_scratch_.end())
+        order_scratch_.push_back(job.id);
+    due_scratch_.swap(order_scratch_);
   }
-  started.reserve(due.size());
-  for (JobId id : due) {
+  for (JobId id : due_scratch_) {
     reservations_.erase(id);
     deadlines_.erase(id);
-    started.push_back(commit_start(id, now));
+    out.push_back(commit_start(id, now));
   }
-  return started;
 }
 
 std::vector<AuditReservation> SlackScheduler::audit_reservations() const {

@@ -21,8 +21,6 @@
 //    reservations earlier. Hence no job ever starts after its deadline.
 #pragma once
 
-#include <unordered_map>
-
 #include "core/profile.hpp"
 #include "core/reservation_heap.hpp"
 #include "core/scheduler.hpp"
@@ -39,7 +37,8 @@ class SlackScheduler final : public SchedulerBase {
   bool job_finished(JobId id, Time now) override;
   bool job_cancelled(JobId id, Time now) override;
   [[nodiscard]] Time next_wakeup() override;
-  [[nodiscard]] std::vector<Job> select_starts(Time now) override;
+  using Scheduler::select_starts;
+  void select_starts(Time now, std::vector<Job>& out) override;
   [[nodiscard]] std::string name() const override;
 
   [[nodiscard]] double slack_factor() const { return slack_factor_; }
@@ -73,8 +72,12 @@ class SlackScheduler final : public SchedulerBase {
  private:
   double slack_factor_;
   Profile profile_;
-  std::unordered_map<JobId, Time> reservations_;
-  std::unordered_map<JobId, Time> deadlines_;
+  TimeByJob reservations_;
+  TimeByJob deadlines_;
+  /// Pass-time working buffers, reused so select_starts never allocates
+  /// in steady state.
+  std::vector<JobId> due_scratch_;
+  std::vector<JobId> order_scratch_;
   /// Earliest guaranteed start (lazy-deletion; rebuilt wholesale when a
   /// displacement reassigns every reservation).
   ReservationHeap due_;

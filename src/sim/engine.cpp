@@ -15,19 +15,61 @@ void Engine::schedule_at(Time when, Action action, int priority_class) {
 void Engine::schedule_in(Time delay, Action action, int priority_class) {
   if (delay < 0)
     throw std::invalid_argument("Engine::schedule_in: negative delay");
-  queue_.push(now_ + delay, priority_class, std::move(action));
+  // Saturate: a far-future delay parks the event at kTimeMax instead of
+  // wrapping negative and firing in the past (or throwing from a clock
+  // that has advanced). run() still drains it; run_until() never will.
+  queue_.push(saturating_add(now_, delay), priority_class, std::move(action));
+}
+
+void Engine::arm_stream(Time when) {
+  if (!stream_action_)
+    throw std::logic_error("Engine::arm_stream: no stream installed");
+  if (stream_time_ != kNoTime)
+    throw std::logic_error("Engine::arm_stream: stream already armed");
+  if (when < now_)
+    throw std::invalid_argument("Engine::arm_stream: time is in the past");
+  stream_time_ = when;
 }
 
 Time Engine::run() { return run_until(std::numeric_limits<Time>::max()); }
 
 Time Engine::run_until(Time horizon) {
   stop_requested_ = false;
-  while (!queue_.empty() && !stop_requested_) {
-    if (queue_.top().time > horizon) break;
-    auto event = queue_.pop();
-    now_ = event.time;
-    ++processed_;
-    event.payload();
+  while (!stop_requested_) {
+    // Pick the earlier of the heap top and the stream head under the
+    // (time, priority class) order; the heap wins exact ties, so stream
+    // events behave as if pushed after every already-queued event of
+    // their class. Firing the stream skips the heap entirely -- for an
+    // arrival-dominated simulation that halves the heap traffic.
+    bool take_stream;
+    if (queue_.empty()) {
+      if (stream_time_ == kNoTime) break;
+      take_stream = true;
+    } else if (stream_time_ == kNoTime) {
+      take_stream = false;
+    } else {
+      const auto& top = queue_.top();
+      take_stream = stream_time_ < top.time ||
+                    (stream_time_ == top.time &&
+                     stream_class_ < top.priority_class());
+    }
+    if (take_stream) {
+      if (stream_time_ > horizon) break;
+      now_ = stream_time_;
+      stream_time_ = kNoTime;
+      ++processed_;
+      stream_action_();
+    } else {
+      if (queue_.top().time > horizon) break;
+      auto event = queue_.pop();
+      now_ = event.time;
+      ++processed_;
+      event.payload();
+    }
+    // Batch boundary: the clock is about to move (or everything
+    // drained). Handlers may have pushed or armed same-time events;
+    // those extend the batch.
+    if (batch_end_ && (!pending() || next_time() != now_)) batch_end_();
   }
   return now_;
 }

@@ -31,14 +31,54 @@ class Engine {
   /// Schedule `action` `delay` seconds from now (delay >= 0).
   void schedule_in(Time delay, Action action, int priority_class = 0);
 
+  /// Install the engine's *stream*: a side-channel for one externally
+  /// ordered, monotone sequence of events (canonically: trace arrivals,
+  /// which the caller already holds sorted by time). Stream events merge
+  /// with heap events by (time, priority class) -- heap events win exact
+  /// ties -- but never touch the heap: firing the head of the stream is
+  /// a comparison and a call, not a push, sift, and pop. The caller arms
+  /// one element at a time with arm_stream(); when the head comes due
+  /// the engine disarms it and invokes `action`, which re-arms for the
+  /// successor (or leaves the stream exhausted). Pass a
+  /// default-constructed Action to remove the stream.
+  void set_stream(int priority_class, Action action) {
+    stream_class_ = priority_class;
+    stream_action_ = std::move(action);
+    if (!stream_action_) stream_time_ = kNoTime;
+  }
+
+  /// Set the stream head to absolute time `when` (>= now). Requires a
+  /// stream (set_stream) and an unarmed head -- the stream holds at most
+  /// one pending element by construction.
+  void arm_stream(Time when);
+
+  [[nodiscard]] bool stream_armed() const { return stream_time_ != kNoTime; }
+
   [[nodiscard]] Time now() const { return now_; }
   [[nodiscard]] std::uint64_t events_processed() const { return processed_; }
-  [[nodiscard]] bool pending() const { return !queue_.empty(); }
+  [[nodiscard]] bool pending() const {
+    return !queue_.empty() || stream_time_ != kNoTime;
+  }
 
-  /// Time of the next pending event. Callable only while pending():
-  /// drivers use it inside an event callback to detect the end of a
-  /// batch of same-time events.
-  [[nodiscard]] Time next_time() const { return queue_.top().time; }
+  /// Time of the next pending event (heap or stream head). Callable only
+  /// while pending(): drivers use it inside an event callback to detect
+  /// the end of a batch of same-time events.
+  [[nodiscard]] Time next_time() const {
+    if (stream_time_ == kNoTime) return queue_.top().time;
+    if (queue_.empty()) return stream_time_;
+    const Time top = queue_.top().time;
+    return stream_time_ < top ? stream_time_ : top;
+  }
+
+  /// Install a hook that runs once after each *batch* -- a maximal run
+  /// of events sharing one timestamp -- instead of after every event.
+  /// The engine drains all same-time events (including ones the
+  /// handlers themselves add at the current instant) and only then
+  /// invokes the hook, so a finish burst of N completions costs one
+  /// hook call, not N. If the hook schedules more events at the current
+  /// time, they form a fresh batch and the hook fires again after it.
+  /// Pass a default-constructed Action to clear.
+  void set_batch_end(Action hook) { batch_end_ = std::move(hook); }
 
   /// Run until the queue is empty. Returns the final clock value.
   Time run();
@@ -52,7 +92,11 @@ class Engine {
 
  private:
   EventQueue<Action> queue_;
+  Action batch_end_;
+  Action stream_action_;
   Time now_ = 0;
+  Time stream_time_ = kNoTime;  ///< armed stream head, kNoTime = none
+  int stream_class_ = 0;
   std::uint64_t processed_ = 0;
   bool stop_requested_ = false;
 };

@@ -35,7 +35,9 @@ class SmallFn {
     static_assert(sizeof(Fn) <= kStorage,
                   "SmallFn callables are limited to 16 bytes of captures; "
                   "box larger state behind a pointer");
-    static_assert(alignof(Fn) <= alignof(std::max_align_t));
+    static_assert(alignof(Fn) <= alignof(void*),
+                  "SmallFn storage is pointer-aligned; callables with "
+                  "extended alignment need their own home");
     ::new (static_cast<void*>(storage_)) Fn(std::forward<F>(f));
     invoke_ = [](void* storage) {
       (*std::launder(reinterpret_cast<Fn*>(storage)))();
@@ -49,8 +51,11 @@ class SmallFn {
  private:
   static constexpr std::size_t kStorage = 16;
 
+  // Pointer alignment (not max_align_t) keeps SmallFn at 24 bytes, and
+  // the engine's heap Event within half a cache line; event captures are
+  // pointers and small ints.
   void (*invoke_)(void*) = nullptr;
-  alignas(std::max_align_t) unsigned char storage_[kStorage];
+  alignas(void*) unsigned char storage_[kStorage];
 };
 
 static_assert(std::is_trivially_copyable_v<SmallFn>,

@@ -1,7 +1,19 @@
 // bfsim -- simulation time base.
+//
+// Overflow contract: simulation timestamps are non-negative and bounded
+// by kTimeMax; durations (runtimes, estimates, delays) are non-negative.
+// Any sum of a timestamp and a duration on a hot path must go through
+// saturating_add: the result clamps at kTimeMax instead of wrapping,
+// so a hostile input (e.g. an SWF record carrying a runtime near
+// INT64_MAX) degrades to "the far future" rather than signed-overflow
+// UB. kTimeMax itself acts as +infinity -- the availability profile's
+// final segment extends to it, so a saturated window end means "covered
+// by the fully-free tail", which is exactly the semantics an unbounded
+// window should have.
 #pragma once
 
 #include <cstdint>
+#include <limits>
 
 namespace bfsim::sim {
 
@@ -11,10 +23,24 @@ using Time = std::int64_t;
 
 inline constexpr Time kNoTime = -1;
 
+/// The far future; the saturation point of saturating_add.
+inline constexpr Time kTimeMax = std::numeric_limits<Time>::max();
+
 inline constexpr Time kSecond = 1;
 inline constexpr Time kMinute = 60;
 inline constexpr Time kHour = 3600;
 inline constexpr Time kDay = 86400;
 inline constexpr Time kWeek = 7 * kDay;
+
+/// a + b clamped into [numeric_limits<Time>::min(), kTimeMax] instead of
+/// wrapping. Compiles to an add plus a conditional move on overflow, so
+/// it is free to use on hot paths (Profile::anchor_from, the engine's
+/// timer arithmetic) where either operand may be attacker-sized.
+[[nodiscard]] constexpr Time saturating_add(Time a, Time b) {
+  Time out = 0;
+  if (__builtin_add_overflow(a, b, &out))
+    return b > 0 ? kTimeMax : std::numeric_limits<Time>::min();
+  return out;
+}
 
 }  // namespace bfsim::sim

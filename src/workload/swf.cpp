@@ -173,6 +173,21 @@ SwfFile read_swf(std::istream& in, const SwfParseOptions& options,
       quarantine(error.reason(), error.what());
       continue;
     }
+    // The time bound is checked in BOTH modes (unlike the sentinel
+    // screens below): an absurd runtime/estimate is corruption that
+    // strict-mode reproduction pipelines must refuse, not a sentinel
+    // that downstream conversion knows how to interpret.
+    if (options.max_time > 0 &&
+        (r.run_time > options.max_time ||
+         r.requested_time > options.max_time)) {
+      const std::string what =
+          "swf: line " + std::to_string(line_no) +
+          ": run/requested time exceeds max_time bound of " +
+          std::to_string(options.max_time) + "s";
+      if (!options.lenient) throw util::ParseError(what);
+      quarantine("excessive-time", what);
+      continue;
+    }
     if (options.lenient) {
       if (const char* reason = sentinel_reason(r); reason != nullptr) {
         quarantine(reason, "swf: line " + std::to_string(line_no) +

@@ -67,6 +67,11 @@ struct SwfFile {
 /// carry truncated lines, stray text and sentinel-riddled records; a
 /// production ingest must survive them, while the test/repro pipeline
 /// wants to fail loudly on the first oddity.
+/// Default SwfParseOptions::max_time: ten years in seconds, comfortably
+/// above every real archive trace (the longest logged runtimes are
+/// weeks) and comfortably below where estimates stop meaning anything.
+inline constexpr std::int64_t kDefaultMaxSwfTime = 315'360'000;
+
 struct SwfParseOptions {
   /// Strict (default): the first malformed data line throws
   /// util::ParseError (a std::runtime_error). Lenient: malformed and
@@ -74,6 +79,15 @@ struct SwfParseOptions {
   /// reason in the SwfParseReport, and warned about through the
   /// rate-limited logger -- and parsing continues.
   bool lenient = false;
+  /// Upper bound (seconds) on run_time and requested_time. Archive logs
+  /// top out at days to weeks; anything beyond this bound is a corrupt
+  /// or hostile record whose estimate would park a reservation in the
+  /// absurd far future (sim::Time arithmetic saturates instead of
+  /// overflowing -- see sim/time.hpp -- but a "runs for 30,000 years"
+  /// rectangle still poisons every profile window it touches). Strict
+  /// mode throws on such records; lenient mode quarantines them under
+  /// "excessive-time". Set <= 0 to disable the bound.
+  std::int64_t max_time = kDefaultMaxSwfTime;
 };
 
 /// What lenient ingestion did: per-reason quarantine counts. Reasons:
@@ -82,6 +96,7 @@ struct SwfParseOptions {
 ///   "bad-numeric-field"  a floating-point column failed to parse
 ///   "no-processors"      neither requested nor used processors > 0
 ///   "negative-submit"    submit time below zero (sentinel -1)
+///   "excessive-time"     run/requested time above SwfParseOptions::max_time
 struct SwfParseReport {
   std::size_t parsed = 0;       ///< records accepted
   std::size_t quarantined = 0;  ///< records dropped (sum of reasons)

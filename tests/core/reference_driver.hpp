@@ -48,9 +48,9 @@ namespace bfsim::test {
     while (!events.empty() && events.top().time == now) {
       const auto event = events.pop();
       ++result.events;
-      if (event.priority_class == kFinish) {
+      if (event.priority_class() == kFinish) {
         (void)scheduler.job_finished(event.payload, now);
-      } else if (event.priority_class == kSubmit) {
+      } else if (event.priority_class() == kSubmit) {
         (void)scheduler.job_submitted(trace[event.payload], now);
       } else {
         JobOutcome& outcome = result.outcomes[event.payload];

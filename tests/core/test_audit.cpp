@@ -76,10 +76,9 @@ class ShimScheduler : public Scheduler {
 class CapacityOverflowScheduler final : public ShimScheduler {
  public:
   using ShimScheduler::ShimScheduler;
-  [[nodiscard]] std::vector<Job> select_starts(Time) override {
-    std::vector<Job> started;
-    while (!queue_.empty()) started.push_back(start_at(0));
-    return started;
+  using Scheduler::select_starts;
+  void select_starts(Time, std::vector<Job>& out) override {
+    while (!queue_.empty()) out.push_back(start_at(0));
   }
 };
 
@@ -90,12 +89,11 @@ class CapacityOverflowScheduler final : public ShimScheduler {
 class DelayedReservationScheduler final : public ShimScheduler {
  public:
   using ShimScheduler::ShimScheduler;
-  [[nodiscard]] std::vector<Job> select_starts(Time) override {
-    std::vector<Job> started;
+  using Scheduler::select_starts;
+  void select_starts(Time, std::vector<Job>& out) override {
     while (!queue_.empty() &&
            queue_.front().procs <= config_.procs - used())
-      started.push_back(start_at(0));
-    return started;
+      out.push_back(start_at(0));
   }
   [[nodiscard]] AuditHooks audit_hooks() const override {
     return {.reservations = true, .monotone_reservations = true};
@@ -127,12 +125,11 @@ class StaleProfileScheduler final : public ShimScheduler {
     // Bug under test: the tail [now, start + estimate) stays reserved.
     return ShimScheduler::job_finished(id, now);
   }
-  [[nodiscard]] std::vector<Job> select_starts(Time) override {
-    std::vector<Job> started;
+  using Scheduler::select_starts;
+  void select_starts(Time, std::vector<Job>& out) override {
     while (!queue_.empty() &&
            queue_.front().procs <= config_.procs - used())
-      started.push_back(start_at(0));
-    return started;
+      out.push_back(start_at(0));
   }
   [[nodiscard]] AuditHooks audit_hooks() const override {
     return {.profile = true};

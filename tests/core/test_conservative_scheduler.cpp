@@ -127,7 +127,7 @@ TEST(ConservativeScheduler, GuaranteeNeverWorsensAcrossEvents) {
     const sim::Time now = events.top().time;
     while (!events.empty() && events.top().time == now) {
       const auto event = events.pop();
-      if (event.priority_class == 0) {
+      if (event.priority_class() == 0) {
         scheduler.job_finished(event.payload, now);
       } else {
         scheduler.job_submitted(trace[event.payload], now);

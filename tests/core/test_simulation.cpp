@@ -163,6 +163,36 @@ TEST(Simulation, DeterministicAcrossRuns) {
     EXPECT_EQ(a.outcomes[i].start, b.outcomes[i].start);
 }
 
+TEST(Simulation, HostileEstimatesNearTimeMaxStaySane) {
+  // Overflow regression: an estimate near kTimeMax flows into every
+  // time sum on the hot path -- profile window ends, kill deadlines,
+  // reservation ends -- all of which must saturate at kTimeMax instead
+  // of wrapping (this test runs under UBSan in CI, where a raw `+`
+  // here is a hard failure, not just a wrong schedule). The schedule
+  // itself must stay exact: the monster job still finishes at its real
+  // runtime and the waiter starts right behind it.
+  const Trace trace =
+      make_trace({{.submit = 0, .runtime = 1000, .procs = 4,
+                   .estimate = sim::kTimeMax - 5},
+                  {.submit = 10, .runtime = 50, .procs = 4, .estimate = 100}});
+  for (const auto kind :
+       {SchedulerKind::Fcfs, SchedulerKind::Easy, SchedulerKind::Conservative,
+        SchedulerKind::KReservation, SchedulerKind::Selective,
+        SchedulerKind::Slack}) {
+    SCOPED_TRACE(to_string(kind));
+    const auto result =
+        run_simulation(trace, kind, SchedulerConfig{4, PriorityPolicy::Fcfs},
+                       {}, {.validate = true, .audit = true});
+    ASSERT_EQ(result.outcomes.size(), 2u);
+    EXPECT_EQ(result.outcomes[0].start, 0);
+    EXPECT_EQ(result.outcomes[0].end, 1000);
+    EXPECT_FALSE(result.outcomes[0].killed);
+    EXPECT_EQ(result.outcomes[1].start, 1000);
+    EXPECT_EQ(result.outcomes[1].end, 1050);
+    EXPECT_EQ(result.makespan, 1050);
+  }
+}
+
 TEST(Simulation, SchedulerKindNamesRoundTrip) {
   for (const auto kind :
        {SchedulerKind::Fcfs, SchedulerKind::Easy, SchedulerKind::Conservative,

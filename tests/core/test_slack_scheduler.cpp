@@ -122,7 +122,7 @@ TEST(SlackScheduler, DeadlinesAreNeverViolated) {
         const sim::Time now = events.top().time;
         while (!events.empty() && events.top().time == now) {
           const auto event = events.pop();
-          if (event.priority_class == 0) {
+          if (event.priority_class() == 0) {
             scheduler.job_finished(event.payload, now);
           } else {
             scheduler.job_submitted(trace[event.payload], now);

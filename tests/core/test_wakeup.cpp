@@ -40,16 +40,15 @@ class TimerScheduler : public Scheduler {
   [[nodiscard]] Time next_wakeup() override {
     return next_ < releases_.size() ? releases_[next_] : sim::kNoTime;
   }
-  [[nodiscard]] std::vector<Job> select_starts(Time now) override {
-    std::vector<Job> started;
-    if (next_ >= releases_.size() || now < releases_[next_]) return started;
+  using Scheduler::select_starts;
+  void select_starts(Time now, std::vector<Job>& out) override {
+    if (next_ >= releases_.size() || now < releases_[next_]) return;
     ++next_;
     if (!queue_.empty()) {
-      started.push_back(queue_.front());
+      out.push_back(queue_.front());
       queue_.erase(queue_.begin());
       running_ += 1;
     }
-    return started;
   }
   [[nodiscard]] std::string name() const override { return "timer"; }
   [[nodiscard]] const SchedulerConfig& config() const override {

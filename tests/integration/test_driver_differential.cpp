@@ -26,11 +26,13 @@ constexpr std::size_t kJobs = 200;
 struct DiffCell {
   double factor = 1.0;           ///< estimate = R x runtime
   double cancel_fraction = 0.0;  ///< jobs withdrawn while queued
+  double load = exp::kHighLoad;  ///< offered load (arrival density)
   std::uint64_t seed = 1;
 
   [[nodiscard]] std::string label() const {
     return "R=" + std::to_string(factor) +
            " cancel=" + std::to_string(cancel_fraction) +
+           " load=" + std::to_string(load) +
            " seed=" + std::to_string(seed);
   }
 };
@@ -39,7 +41,7 @@ workload::Trace build_trace(const DiffCell& cell) {
   exp::Scenario scenario;
   scenario.trace = exp::TraceKind::Sdsc;
   scenario.jobs = kJobs;
-  scenario.load = exp::kHighLoad;
+  scenario.load = cell.load;
   scenario.estimates = {.regime = exp::EstimateRegime::Systematic,
                         .factor = cell.factor};
   scenario.seed = cell.seed;
@@ -93,6 +95,34 @@ TEST(DriverDifferential, MatchesReferenceDriverAcrossTheGrid) {
               test::reference_run(trace, *reference_scheduler);
           expect_identical(engine, reference);
         }
+      }
+    }
+  }
+}
+
+TEST(DriverDifferential, IdleHeavyLowLoadExercisesTheFastStartPath) {
+  // At a quarter of the saturating load, most submits arrive to an
+  // empty queue with capacity free: exactly the O(1) "empty and fits"
+  // start path plus the empty-queue skip hooks. The fast path must be
+  // invisible -- byte-identical to the reference driver, which has no
+  // such path -- across every scheduler, both priority policies, and
+  // estimate regimes tight and loose.
+  for (const double factor : {1.0, 4.0}) {
+    for (const PriorityPolicy priority : kPaperPolicies) {
+      const DiffCell cell{.factor = factor, .load = 0.25, .seed = 5};
+      SCOPED_TRACE(cell.label() + " " + to_string(priority));
+      const workload::Trace trace = build_trace(cell);
+      const int procs = exp::machine_procs(exp::TraceKind::Sdsc);
+      for (const SchedulerKind kind : kAllKinds) {
+        SCOPED_TRACE(to_string(kind));
+        const SchedulerConfig config{procs, priority};
+        const auto engine_scheduler = make_scheduler(kind, config);
+        const SimulationResult engine = run_simulation(
+            trace, *engine_scheduler, {.validate = true, .audit = true});
+        const auto reference_scheduler = make_scheduler(kind, config);
+        const SimulationResult reference =
+            test::reference_run(trace, *reference_scheduler);
+        expect_identical(engine, reference);
       }
     }
   }

@@ -132,5 +132,116 @@ TEST(Engine, ManyEventsProcessAll) {
   EXPECT_EQ(engine.events_processed(), 10000u);
 }
 
+TEST(Engine, ScheduleInSaturatesInsteadOfWrapping) {
+  // Regression: `now_ + delay` used to be an unchecked add, so a
+  // far-future delay wrapped negative and either threw from schedule_at
+  // or fired in the past. It must park at kTimeMax instead.
+  Engine engine;
+  Time fired_at = kNoTime;
+  engine.schedule_at(100, [&] {
+    engine.schedule_in(kTimeMax, [&] { fired_at = engine.now(); });
+  });
+  engine.run_until(1000);
+  EXPECT_EQ(fired_at, kNoTime);  // parked in the far future, not the past
+  EXPECT_TRUE(engine.pending());
+  EXPECT_EQ(engine.next_time(), kTimeMax);
+}
+
+// ---------------------------------------------------------------------------
+// The stream channel: externally ordered events merged with the heap.
+// ---------------------------------------------------------------------------
+
+TEST(EngineStream, FiresInTimeOrderAgainstHeapEvents) {
+  Engine engine;
+  std::vector<int> order;
+  engine.set_stream(/*priority_class=*/1, [&] { order.push_back(100); });
+  engine.arm_stream(15);
+  engine.schedule_at(10, [&] { order.push_back(1); });
+  engine.schedule_at(20, [&] { order.push_back(2); });
+  engine.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 100, 2}));
+  EXPECT_EQ(engine.events_processed(), 3u);
+}
+
+TEST(EngineStream, ReArmsFromInsideItsOwnAction) {
+  // The production driver's shape: each arrival re-arms its successor.
+  Engine engine;
+  std::vector<Time> fired;
+  engine.set_stream(1, [&] {
+    fired.push_back(engine.now());
+    if (fired.size() < 3) engine.arm_stream(engine.now() + 10);
+  });
+  engine.arm_stream(5);
+  engine.run();
+  EXPECT_EQ(fired, (std::vector<Time>{5, 15, 25}));
+}
+
+TEST(EngineStream, ClassOrderDecidesSameTimeTies) {
+  // Stream class 1 vs heap classes 0 and 2 at one instant: the stream
+  // slots strictly between them, exactly as a heap-pushed event of the
+  // same class would.
+  Engine engine;
+  std::vector<int> order;
+  engine.set_stream(1, [&] { order.push_back(100); });
+  engine.arm_stream(10);
+  engine.schedule_at(10, [&] { order.push_back(2); }, /*priority_class=*/2);
+  engine.schedule_at(10, [&] { order.push_back(0); }, /*priority_class=*/0);
+  engine.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 100, 2}));
+}
+
+TEST(EngineStream, ExtendsTheBatchAndThePendingHorizon) {
+  // pending()/next_time() must see the armed head, or batch-end hooks
+  // would fire mid-batch and wake-up arming would double-schedule.
+  Engine engine;
+  std::vector<Time> batches;
+  engine.set_batch_end([&] { batches.push_back(engine.now()); });
+  engine.set_stream(1, [&] {});
+  engine.arm_stream(10);
+  engine.schedule_at(10, [&] {});  // same instant: one batch, not two
+  engine.schedule_at(30, [&] {});
+  engine.run();
+  EXPECT_EQ(batches, (std::vector<Time>{10, 30}));
+}
+
+TEST(EngineStream, ArmValidation) {
+  Engine engine;
+  EXPECT_THROW(engine.arm_stream(5), std::logic_error);  // no stream set
+  engine.set_stream(1, [] {});
+  engine.arm_stream(5);
+  EXPECT_TRUE(engine.stream_armed());
+  EXPECT_THROW(engine.arm_stream(7), std::logic_error);  // already armed
+  engine.schedule_at(10, [] {});
+  engine.run();
+  EXPECT_FALSE(engine.stream_armed());
+  EXPECT_THROW(engine.arm_stream(engine.now() - 1),
+               std::invalid_argument);  // in the past
+}
+
+TEST(EngineStream, DrainsWhenHeapIsEmpty) {
+  Engine engine;
+  int fired = 0;
+  engine.set_stream(0, [&] { ++fired; });
+  engine.arm_stream(40);
+  EXPECT_TRUE(engine.pending());
+  EXPECT_EQ(engine.next_time(), 40);
+  const Time end = engine.run();
+  EXPECT_EQ(end, 40);
+  EXPECT_EQ(fired, 1);
+  EXPECT_FALSE(engine.pending());
+}
+
+TEST(EngineStream, RunUntilLeavesArmedHeadQueued) {
+  Engine engine;
+  int fired = 0;
+  engine.set_stream(0, [&] { ++fired; });
+  engine.arm_stream(50);
+  engine.run_until(40);
+  EXPECT_EQ(fired, 0);
+  EXPECT_TRUE(engine.stream_armed());
+  engine.run_until(60);
+  EXPECT_EQ(fired, 1);
+}
+
 }  // namespace
 }  // namespace bfsim::sim

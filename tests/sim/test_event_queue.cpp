@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <random>
 #include <string>
 #include <vector>
 
@@ -75,6 +76,59 @@ TEST(EventQueue, MovesPayloads) {
   auto event = q.pop();
   ASSERT_TRUE(event.payload);
   EXPECT_EQ(*event.payload, 9);
+}
+
+TEST(EventQueue, RandomizedPopsMatchTheTotalOrderExactly) {
+  // The heap layout (4-ary, hole-descent pop, packed tie-break key) is
+  // an implementation detail; the observable contract is the total
+  // order (time, priority class, insertion sequence). Mixed pushes and
+  // pops against a stable-sorted model must agree element for element
+  // -- this is what makes the heap swappable without changing any
+  // simulation byte.
+  std::mt19937_64 rng{12345};
+  EventQueue<int> q;
+  struct Expected {
+    Time time;
+    int cls;
+    int tag;
+  };
+  std::vector<Expected> pending;
+  int next_tag = 0;
+  for (int round = 0; round < 2000; ++round) {
+    const bool push = pending.empty() || (rng() % 3 != 0);
+    if (push) {
+      const Time t = static_cast<Time>(rng() % 50);
+      const int cls = static_cast<int>(rng() % 4);
+      q.push(t, cls, next_tag);
+      pending.push_back({t, cls, next_tag});
+      ++next_tag;
+    } else {
+      // The model: earliest (time, class), FIFO within ties -- i.e. the
+      // first pending element under a stable min selection.
+      std::size_t best = 0;
+      for (std::size_t i = 1; i < pending.size(); ++i)
+        if (pending[i].time < pending[best].time ||
+            (pending[i].time == pending[best].time &&
+             pending[i].cls < pending[best].cls))
+          best = i;
+      const auto event = q.pop();
+      EXPECT_EQ(event.time, pending[best].time);
+      EXPECT_EQ(event.priority_class(), pending[best].cls);
+      EXPECT_EQ(event.payload, pending[best].tag);
+      pending.erase(pending.begin() + static_cast<std::ptrdiff_t>(best));
+    }
+  }
+  while (!pending.empty()) {
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < pending.size(); ++i)
+      if (pending[i].time < pending[best].time ||
+          (pending[i].time == pending[best].time &&
+           pending[i].cls < pending[best].cls))
+        best = i;
+    EXPECT_EQ(q.pop().payload, pending[best].tag);
+    pending.erase(pending.begin() + static_cast<std::ptrdiff_t>(best));
+  }
+  EXPECT_TRUE(q.empty());
 }
 
 }  // namespace

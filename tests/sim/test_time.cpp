@@ -1,0 +1,46 @@
+// Overflow-contract tests for sim::Time (sim/time.hpp): every timestamp
+// + duration sum on a hot path goes through saturating_add, which must
+// clamp instead of wrapping. These run under UBSan in CI, so a
+// regression to plain `+` on attacker-sized operands fails twice: once
+// here on the clamped values, and once as a signed-overflow report.
+#include "sim/time.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bfsim::sim {
+namespace {
+
+TEST(SaturatingAdd, PlainSumsAreExact) {
+  EXPECT_EQ(saturating_add(0, 0), 0);
+  EXPECT_EQ(saturating_add(100, 23), 123);
+  EXPECT_EQ(saturating_add(kDay, kWeek), kDay + kWeek);
+  EXPECT_EQ(saturating_add(-50, 20), -30);
+}
+
+TEST(SaturatingAdd, ClampsAtTheFarFuture) {
+  EXPECT_EQ(saturating_add(kTimeMax, 1), kTimeMax);
+  EXPECT_EQ(saturating_add(kTimeMax, kTimeMax), kTimeMax);
+  EXPECT_EQ(saturating_add(1, kTimeMax), kTimeMax);
+  EXPECT_EQ(saturating_add(kTimeMax - 10, 10), kTimeMax);
+  EXPECT_EQ(saturating_add(kTimeMax - 10, 11), kTimeMax);
+}
+
+TEST(SaturatingAdd, ClampsBelowAsWell) {
+  constexpr Time kMin = std::numeric_limits<Time>::min();
+  EXPECT_EQ(saturating_add(kMin, -1), kMin);
+  EXPECT_EQ(saturating_add(kMin, kMin), kMin);
+  EXPECT_EQ(saturating_add(kMin + 5, -6), kMin);
+}
+
+TEST(SaturatingAdd, SaturatedValueActsAsInfinity) {
+  // The contract the profile relies on: once clamped, adding more time
+  // stays at kTimeMax, and kTimeMax compares at-or-after every
+  // representable instant.
+  const Time far = saturating_add(kTimeMax - 3, kWeek);
+  EXPECT_EQ(far, kTimeMax);
+  EXPECT_EQ(saturating_add(far, kDay), kTimeMax);
+  EXPECT_GE(far, kTimeMax - 1);
+}
+
+}  // namespace
+}  // namespace bfsim::sim

@@ -278,6 +278,53 @@ TEST(Swf, LenientQuarantineWarningsAreRateLimited) {
   util::reset_log_limits();
 }
 
+// Time-bound quarantine: records whose run or requested time exceeds
+// SwfParseOptions::max_time. Such values (archive typos, 32-bit
+// sentinels leaking through conversion) otherwise flow into profile
+// arithmetic as ~kTimeMax-scale durations.
+constexpr const char* kExcessive =
+    "1 0 10 100 4 -1 -1 4 200 -1 1 12 3 -1 1 -1 -1 -1\n"
+    "2 50 0 999999999999 4 -1 -1 4 200 -1 1 12 3 -1 1 -1 -1 -1\n"  // run
+    "3 60 5 100 4 -1 -1 4 999999999999 -1 1 12 3 -1 1 -1 -1 -1\n"  // req
+    "4 70 5 100 4 -1 -1 4 200 -1 1 12 3 -1 1 -1 -1 -1\n";
+
+TEST(Swf, StrictModeThrowsOnExcessiveTime) {
+  std::istringstream in{kExcessive};
+  EXPECT_THROW((void)read_swf(in), util::ParseError);
+}
+
+TEST(Swf, LenientModeQuarantinesExcessiveTime) {
+  util::reset_log_limits();
+  std::istringstream in{kExcessive};
+  SwfParseReport report;
+  const SwfFile file = read_swf(in, {.lenient = true}, &report);
+  ASSERT_EQ(file.records.size(), 2u);
+  EXPECT_EQ(file.records[0].job_number, 1);
+  EXPECT_EQ(file.records[1].job_number, 4);
+  EXPECT_EQ(report.quarantined, 2u);
+  EXPECT_EQ(report.reasons.at("excessive-time"), 2u);
+  util::reset_log_limits();
+}
+
+TEST(Swf, MaxTimeBoundIsConfigurable) {
+  util::reset_log_limits();
+  // With a 150s ceiling, every kSample record's requested time (200,
+  // 7200, 600) trips the bound even where the run time itself is fine.
+  std::istringstream in{kSample};
+  SwfParseReport report;
+  const SwfFile file =
+      read_swf(in, {.lenient = true, .max_time = 150}, &report);
+  EXPECT_TRUE(file.records.empty());
+  EXPECT_EQ(report.reasons.at("excessive-time"), report.quarantined);
+  util::reset_log_limits();
+}
+
+TEST(Swf, NonPositiveMaxTimeDisablesTheBound) {
+  std::istringstream in{kExcessive};
+  const SwfFile file = read_swf(in, {.max_time = 0});  // strict, no bound
+  EXPECT_EQ(file.records.size(), 4u);
+}
+
 TEST(Swf, StrictReportStillCountsParsed) {
   std::istringstream in{kSample};
   SwfParseReport report;
