@@ -53,7 +53,7 @@ void BM_ProfileReserveRelease(benchmark::State& state) {
   std::int64_t t = 0;
   for (auto _ : state) {
     const sim::Time begin = t % 100000;
-    const sim::Time end = begin + 1 + t % 500;
+    const sim::Time end = sim::checked::add(begin, 1, t % 500);
     profile.reserve(begin, end, 16);
     profile.release(begin, end, 16);
     ++t;
@@ -68,7 +68,8 @@ void BM_ProfileEarliestAnchor(benchmark::State& state) {
   sim::Rng rng{2};
   for (int i = 0; i < 64; ++i) {
     const sim::Time begin = rng.uniform_int(0, 50000);
-    profile.reserve(begin, begin + rng.uniform_int(100, 5000),
+    profile.reserve(begin,
+                    sim::saturating_add(begin, rng.uniform_int(100, 5000)),
                     static_cast<int>(rng.uniform_int(1, 32)));
   }
   for (auto _ : state) {
@@ -87,7 +88,8 @@ void BM_ProfileFindAndReserve(benchmark::State& state) {
   sim::Rng rng{2};
   for (int i = 0; i < 64; ++i) {
     const sim::Time begin = rng.uniform_int(0, 50000);
-    profile.reserve(begin, begin + rng.uniform_int(100, 5000),
+    profile.reserve(begin,
+                    sim::saturating_add(begin, rng.uniform_int(100, 5000)),
                     static_cast<int>(rng.uniform_int(1, 32)));
   }
   for (auto _ : state) {
@@ -96,7 +98,7 @@ void BM_ProfileFindAndReserve(benchmark::State& state) {
     const sim::Time anchor =
         profile.find_and_reserve(procs, dur, rng.uniform_int(0, 40000));
     benchmark::DoNotOptimize(anchor);
-    profile.release(anchor, anchor + dur, procs);
+    profile.release(anchor, sim::saturating_add(anchor, dur), procs);
   }
   state.SetItemsProcessed(state.iterations());
 }
@@ -221,10 +223,11 @@ AnchorStats measure_anchors(const workload::Trace& trace, int procs) {
   sim::Time clock = 0;
   for (std::size_t i = 0; i < trace.size() && i < 400; ++i) {
     const workload::Job& job = trace[i];
-    clock += rng.uniform_int(0, 2000);
+    clock = sim::saturating_add(clock, rng.uniform_int(0, 2000));
     const sim::Time begin =
         profile.earliest_anchor(job.procs, job.estimate, clock);
-    profile.reserve(begin, begin + job.estimate, job.procs);
+    profile.reserve(begin, sim::saturating_add(begin, job.estimate),
+                    job.procs);
   }
   AnchorStats stats;
   stats.breakpoints = profile.segments().size();
@@ -250,7 +253,7 @@ AnchorStats measure_anchors(const workload::Trace& trace, int procs) {
   for (const Query& q : queries) {
     const sim::Time anchor = profile.find_and_reserve(q.procs, q.dur, q.from);
     benchmark::DoNotOptimize(anchor);
-    profile.release(anchor, anchor + q.dur, q.procs);
+    profile.release(anchor, sim::saturating_add(anchor, q.dur), q.procs);
   }
   stats.ns_per_find_and_reserve = seconds_since(start) * 1e9 / kQueries;
   return stats;
@@ -287,7 +290,8 @@ BreakpointStats measure_breakpoints(const workload::Trace& trace, int procs) {
       }
     }
     for (const core::Job& job : scheduler.select_starts(now))
-      events.push(now + std::min(job.runtime, job.estimate), 0, job.id);
+      events.push(sim::saturating_add(now, std::min(job.runtime, job.estimate)),
+                  0, job.id);
     const std::size_t size = scheduler.profile().segments().size();
     stats.peak = std::max(stats.peak, size);
     sum += static_cast<double>(size);

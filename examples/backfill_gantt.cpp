@@ -27,7 +27,7 @@ workload::Trace demo_trace(int procs, std::size_t jobs, std::uint64_t seed) {
   sim::Time t = 0;
   for (std::size_t i = 0; i < jobs; ++i) {
     workload::Job job;
-    t += rng.uniform_int(0, 40);
+    t = sim::saturating_add(t, rng.uniform_int(0, 40));
     job.submit = t;
     const bool wide = rng.bernoulli(0.3);
     job.procs = static_cast<int>(

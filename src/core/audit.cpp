@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 #include <utility>
+#include <vector>
 
 namespace bfsim::core {
 
@@ -150,15 +151,15 @@ void ScheduleAuditor::on_finished(JobId id, Time now) {
     record({.invariant = "finish-before-start",
             .when = now,
             .job = id,
-            .expected = rec.start + 1,
+            .expected = sim::saturating_add(rec.start, 1),
             .actual = now,
             .detail = "job finished at-or-before its start"});
   ++checks_;
-  if (now > rec.start + rec.estimate)
+  if (now > sim::saturating_add(rec.start, rec.estimate))
     record({.invariant = "finish-past-limit",
             .when = now,
             .job = id,
-            .expected = rec.start + rec.estimate,
+            .expected = sim::saturating_add(rec.start, rec.estimate),
             .actual = now,
             .detail = "job ran past its wall-clock limit (estimate not "
                       "enforced)"});
@@ -259,10 +260,21 @@ void ScheduleAuditor::check_profile(Time now) {
   // a near-kTimeMax estimate would otherwise wrap negative here and
   // silently vanish from the expected occupancy.
   Profile expected{total_procs_};
+  // Occupancy is a commutative sum, but the overflow diagnostic below
+  // reports whichever reserve() trips first -- iterate the hash map in
+  // job-id order so that report (and the audit transcript) is identical
+  // across runs.
+  std::vector<JobId> running_ids;
+  // bfsim-lint: nondeterminism -- key collection for an id-sorted view
+  for (const auto& [id, rec] : jobs_) {
+    if (rec.running) running_ids.push_back(id);
+  }
+  std::sort(running_ids.begin(), running_ids.end());
   try {
-    for (const auto& [id, rec] : jobs_) {
+    for (const JobId id : running_ids) {
+      const JobRecord& rec = jobs_.at(id);
       const Time end = sim::saturating_add(rec.start, rec.estimate);
-      if (rec.running && end > now) expected.reserve(now, end, rec.procs);
+      if (end > now) expected.reserve(now, end, rec.procs);
     }
     for (const AuditReservation& res : scheduler_->audit_reservations()) {
       const Time begin = std::max(res.start, now);

@@ -29,7 +29,8 @@ PriorityPolicy priority_from_string(const std::string& name) {
 
 double xfactor(const Job& job, Time now) {
   const auto est = static_cast<double>(std::max<Time>(job.estimate, 1));
-  const auto wait = static_cast<double>(now - job.submit);
+  const auto wait =
+      static_cast<double>(sim::checked::elapsed(now, job.submit));
   return (wait + est) / est;
 }
 

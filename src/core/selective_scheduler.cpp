@@ -54,9 +54,10 @@ bool SelectiveScheduler::job_finished(JobId id, Time now) {
   const RunningJob rj = commit_finish(id);
   // Track the realized bounded slowdown of completed jobs: the adaptive
   // promotion bar follows the service level actually delivered.
-  const auto bound =
-      static_cast<double>(std::max<Time>(now - rj.start, kSlowdownBound));
-  const auto wait = static_cast<double>(rj.start - rj.job.submit);
+  const auto bound = static_cast<double>(
+      std::max<Time>(sim::checked::elapsed(now, rj.start), kSlowdownBound));
+  const auto wait =
+      static_cast<double>(sim::checked::elapsed(rj.start, rj.job.submit));
   completed_slowdown_sum_ += (wait + bound) / bound;
   ++completed_jobs_;
   (void)promote_due(now);

@@ -42,18 +42,18 @@ struct JobOutcome {
   [[nodiscard]] Time wait() const {
     assert(start != sim::kNoTime &&
            "JobOutcome::wait() on a job that never started");
-    return start - job.submit;
+    return sim::saturating_sub(start, job.submit);
   }
   [[nodiscard]] Time turnaround() const {
     assert(end != sim::kNoTime &&
            "JobOutcome::turnaround() on a job that never finished");
-    return end - job.submit;
+    return sim::saturating_sub(end, job.submit);
   }
   /// Runtime the job actually got (= min(runtime, estimate)).
   [[nodiscard]] Time effective_runtime() const {
     assert(start != sim::kNoTime && end != sim::kNoTime &&
            "JobOutcome::effective_runtime() on a job that never ran");
-    return end - start;
+    return sim::saturating_sub(end, start);
   }
 };
 

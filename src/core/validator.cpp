@@ -60,8 +60,9 @@ ValidationReport validate_schedule(const Trace& trace,
     if (job.procs > procs)
       fail(job_tag(job.id) + ": wider than the machine");
     const Time expected = std::min(job.runtime, job.estimate);
-    if (o.end - o.start != expected)
-      fail(job_tag(job.id) + ": ran " + std::to_string(o.end - o.start) +
+    const Time ran = sim::saturating_sub(o.end, o.start);
+    if (ran != expected)
+      fail(job_tag(job.id) + ": ran " + std::to_string(ran) +
            "s, expected " + std::to_string(expected) + "s");
     if (o.killed != (job.runtime > job.estimate))
       fail(job_tag(job.id) + ": kill flag inconsistent with estimate");
@@ -95,7 +96,8 @@ double utilization(const std::vector<JobOutcome>& outcomes, int procs) {
   Time makespan = 0;
   for (const JobOutcome& o : outcomes) {
     if (o.start == sim::kNoTime) continue;
-    busy += static_cast<double>(o.end - o.start) * o.job.procs;
+    busy += static_cast<double>(sim::saturating_sub(o.end, o.start)) *
+            o.job.procs;
     makespan = std::max(makespan, o.end);
   }
   if (makespan <= 0) return 0.0;

@@ -260,7 +260,8 @@ Trace swf_to_jobs(const SwfFile& file, const SwfToJobsOptions& options) {
   std::stable_sort(jobs.begin(), jobs.end(),
                    [](const Job& a, const Job& b) { return a.submit < b.submit; });
   for (std::size_t i = 0; i < jobs.size(); ++i) {
-    if (options.rebase_time && !jobs.empty()) jobs[i].submit -= first_submit;
+    if (options.rebase_time && !jobs.empty())
+      jobs[i].submit = sim::saturating_sub(jobs[i].submit, first_submit);
     jobs[i].id = static_cast<JobId>(i);
   }
   return jobs;

@@ -100,7 +100,8 @@ sim::Time CategoryMixModel::sample_runtime(Category cat,
   const bool is_long =
       cat == Category::LongNarrow || cat == Category::LongWide;
   const auto lo = static_cast<double>(
-      is_long ? params_.thresholds.long_runtime + 1 : params_.min_runtime);
+      is_long ? sim::saturating_add(params_.thresholds.long_runtime, 1)
+              : params_.min_runtime);
   const auto hi = static_cast<double>(
       is_long ? params_.max_runtime : params_.thresholds.long_runtime);
   const double r = rng.log_uniform(lo, hi);
@@ -133,7 +134,7 @@ CategoryMixParams CategoryMixModel::ctc() {
   p.name = "CTC";
   p.machine_procs = 430;
   p.mix = {0.4506, 0.1184, 0.3026, 0.1284};  // Table 2
-  p.max_runtime = 18 * 3600;                 // CTC queue limit
+  p.max_runtime = 18 * sim::kHour;                 // CTC queue limit
   p.max_width = 336;                         // largest CTC batch request
   return p;
 }
@@ -143,7 +144,7 @@ CategoryMixParams CategoryMixModel::sdsc() {
   p.name = "SDSC";
   p.machine_procs = 128;
   p.mix = {0.4724, 0.2144, 0.2094, 0.1038};  // Table 3
-  p.max_runtime = 36 * 3600;
+  p.max_runtime = 36 * sim::kHour;
   p.max_width = 128;
   return p;
 }

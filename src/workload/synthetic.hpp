@@ -31,7 +31,7 @@ struct CategoryMixParams {
 
   CategoryThresholds thresholds{};     ///< short/long + narrow/wide splits
   sim::Time min_runtime = 30;          ///< shortest short job
-  sim::Time max_runtime = 18 * 3600;   ///< queue limit (18 h on the CTC SP2)
+  sim::Time max_runtime = 18 * sim::kHour;   ///< queue limit (18 h on the CTC SP2)
   double pow2_fraction = 0.75;         ///< widths snapped to powers of two
   int max_width = 0;                   ///< 0 => machine_procs
 
@@ -88,7 +88,7 @@ struct LublinStyleParams {
   double hg_p = 0.65;
   double hg_shape1 = 2.0, hg_scale1 = 500.0;    ///< short component
   double hg_shape2 = 8.0, hg_scale2 = 4000.0;   ///< long component
-  sim::Time max_runtime = 36 * 3600;
+  sim::Time max_runtime = 36 * sim::kHour;
   double mean_interarrival = 600.0;
 };
 

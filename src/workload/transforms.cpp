@@ -18,7 +18,7 @@ void rebase(Trace& trace) {
   if (trace.empty()) return;
   sim::Time first = trace.front().submit;
   for (const Job& job : trace) first = std::min(first, job.submit);
-  for (Job& job : trace) job.submit -= first;
+  for (Job& job : trace) job.submit = sim::saturating_sub(job.submit, first);
 }
 
 void scale_interarrival(Trace& trace, double factor) {
@@ -30,7 +30,8 @@ void scale_interarrival(Trace& trace, double factor) {
   double carried = static_cast<double>(base);
   sim::Time prev_original = base;
   for (Job& job : trace) {
-    const auto gap = static_cast<double>(job.submit - prev_original);
+    const auto gap =
+        static_cast<double>(sim::saturating_sub(job.submit, prev_original));
     prev_original = job.submit;
     carried += gap * factor;
     job.submit = static_cast<sim::Time>(std::llround(carried));
@@ -48,7 +49,7 @@ double offered_load(const Trace& trace, int procs) {
     last = std::max(last, job.submit);
     work += static_cast<double>(job.work());
   }
-  const auto span = static_cast<double>(last - first);
+  const auto span = static_cast<double>(sim::saturating_sub(last, first));
   if (span <= 0.0) return 0.0;
   return work / (static_cast<double>(procs) * span);
 }
@@ -78,7 +79,8 @@ void apply_cancellations(Trace& trace, double fraction, double patience,
     if (!rng.bernoulli(fraction)) continue;
     const auto wait_budget = static_cast<sim::Time>(
         std::llround(patience * static_cast<double>(job.estimate)));
-    job.cancel_at = job.submit + std::max<sim::Time>(wait_budget, 1);
+    job.cancel_at =
+        sim::saturating_add(job.submit, std::max<sim::Time>(wait_budget, 1));
   }
 }
 
@@ -99,7 +101,7 @@ TraceStats compute_stats(const Trace& trace, int procs,
                 static_cast<double>(std::max<sim::Time>(job.runtime, 1));
   }
   const auto n = static_cast<double>(trace.size());
-  s.span = last - first;
+  s.span = sim::saturating_sub(last, first);
   s.mean_runtime = runtime_sum / n;
   s.mean_procs = procs_sum / n;
   s.mean_interarrival =

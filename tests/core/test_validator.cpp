@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+
 #include "core/simulation.hpp"
 #include "test_support.hpp"
 
@@ -111,6 +114,40 @@ TEST(Validator, UtilizationComputation) {
   const Trace trace = make_trace({{.submit = 0, .runtime = 10, .procs = 4}});
   EXPECT_DOUBLE_EQ(utilization(outcomes_for(trace), 8), 0.5);
   EXPECT_DOUBLE_EQ(utilization({}, 8), 0.0);
+}
+
+TEST(Validator, SurvivesHostileOutcomeTimes) {
+  // Regression for the raw `o.end - o.start` the overflow sweep removed:
+  // an outcome whose end saturated at kTimeMax while start is deeply
+  // negative used to wrap (signed-overflow UB under UBSan). The
+  // validator must instead report the duration mismatch and keep going.
+  const Trace trace = make_trace({{.submit = 0, .runtime = 10, .procs = 1}});
+  auto outcomes = outcomes_for(trace);
+  outcomes[0].start = std::numeric_limits<sim::Time>::min() + 1;
+  outcomes[0].end = sim::kTimeMax;
+  const auto report = validate_schedule(trace, outcomes, 4);
+  ASSERT_FALSE(report.ok());
+  bool found = false;
+  for (const std::string& v : report.violations)
+    found = found || v.find("ran") != std::string::npos ||
+            v.find("before submission") != std::string::npos;
+  EXPECT_TRUE(found);
+  // utilization() walks the same difference; it must stay finite.
+  const double u = utilization(outcomes, 4);
+  EXPECT_TRUE(std::isfinite(u));
+}
+
+TEST(Validator, JobOutcomeAccessorsClampInsteadOfWrapping) {
+  // JobOutcome::wait/turnaround/effective_runtime are the first
+  // arithmetic an SWF record reaches after simulation; with a submit of
+  // kTimeMax (hostile trace) and a clamped start they must saturate.
+  JobOutcome o;
+  o.job.submit = -1;
+  o.start = sim::kTimeMax;
+  o.end = sim::kTimeMax;
+  EXPECT_EQ(o.wait(), sim::kTimeMax);        // would wrap negative raw
+  EXPECT_EQ(o.turnaround(), sim::kTimeMax);  // likewise
+  EXPECT_EQ(o.effective_runtime(), 0);
 }
 
 TEST(Validator, SimulatedSchedulesValidateForAllSchedulers) {

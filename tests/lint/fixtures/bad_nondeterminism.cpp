@@ -1,0 +1,46 @@
+// bfsim_lint fixture: nondeterminism sources the checker must flag --
+// libc entropy, wall clocks, and hash-order iteration.
+
+#include <chrono>
+#include <cstdlib>
+#include <random>
+#include <unordered_map>
+
+std::unordered_map<int, int> jobs_;
+
+int draw() {
+  return rand();  // line 12: flagged (libc global state)
+}
+
+void seed_it() {
+  srand(42);  // line 16: flagged
+}
+
+unsigned entropy() {
+  std::random_device device;  // line 20: flagged
+  return device();
+}
+
+long long stamp() {
+  return time(nullptr);  // line 25: flagged (wall clock)
+}
+
+long long wall() {
+  return std::chrono::system_clock::now().time_since_epoch().count();  // 29
+}
+
+int sum_jobs() {
+  int total = 0;
+  for (const auto& [id, value] : jobs_)  // line 34: flagged (hash order)
+    total += value;
+  return total;
+}
+
+bool has_job(int id) {
+  const auto it = jobs_.find(id);
+  return it != jobs_.end();  // NOT flagged: lookup, not iteration
+}
+
+int first_value() {
+  return jobs_.begin()->second;  // line 45: flagged (explicit begin)
+}

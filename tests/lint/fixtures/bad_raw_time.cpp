@@ -1,0 +1,31 @@
+// bfsim_lint fixture: raw Time arithmetic the checker must flag.
+//
+// The JobRecord block replicates the auditor occupancy-rebuild bug the
+// overflow sweep fixed (a raw `start + estimate` on hostile operands):
+// if a future refactor reverts that site to `+`, this fixture is the
+// proof the linter would have caught it.
+
+using Time = long long;
+
+struct JobRecord {
+  Time start = 0;
+  Time estimate = 0;
+  bool running = false;
+  int procs = 1;
+};
+
+Time saturating_add(Time lhs, Time rhs);
+
+Time occupancy_end(const JobRecord& rec) {
+  return rec.start + rec.estimate;  // line 20: flagged
+}
+
+Time deadline(Time now, Time delay) {
+  Time due = now;
+  due += delay;  // line 25: flagged (compound)
+  return due;
+}
+
+Time wait(Time start, Time submit) {
+  return start - submit;  // line 30: flagged (difference)
+}

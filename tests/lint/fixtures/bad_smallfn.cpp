@@ -1,0 +1,23 @@
+// bfsim_lint fixture: SmallFn capture-hygiene violations. The engine
+// stores these callbacks past the enclosing frame's lifetime, so
+// by-reference and whole-object captures are dangling bugs in waiting.
+
+template <typename Sig>
+class SmallFn {};
+
+void schedule_wakeup(long long when, SmallFn<void(long long)> callback);
+
+struct Scheduler {
+  int pending = 0;
+
+  void arm(long long when) {
+    schedule_wakeup(when, [&](long long) { ++pending; });  // 14: flagged [&]
+    schedule_wakeup(when, [=](long long) {});              // 15: flagged [=]
+    int budget = 3;
+    schedule_wakeup(when,
+                    [&budget](long long) { --budget; });  // 18: flagged &name
+    schedule_wakeup(when, [*this](long long) {});         // 19: flagged *this
+    schedule_wakeup(when, [this](long long) { ++pending; });  // NOT flagged
+    schedule_wakeup(when, [budget](long long) {});            // NOT flagged
+  }
+};

@@ -1,0 +1,40 @@
+// bfsim_lint fixture: contract-conforming code the checker must pass
+// with zero findings -- saturating arithmetic, seeded randomness,
+// ordered iteration, and value captures.
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+using Time = long long;
+
+Time saturating_add(Time lhs, Time rhs);
+Time saturating_sub(Time lhs, Time rhs);
+
+struct JobRecord {
+  Time start = 0;
+  Time estimate = 0;
+};
+
+std::unordered_map<int, JobRecord> jobs_;
+
+Time occupancy_end(const JobRecord& rec) {
+  return saturating_add(rec.start, rec.estimate);
+}
+
+Time wait(Time start, Time submit) { return saturating_sub(start, submit); }
+
+// A sorted view over the hash map: key collection is order-erased.
+std::vector<int> sorted_ids() {
+  std::vector<int> ids;
+  // bfsim-lint: nondeterminism -- key collection for a sorted view
+  for (const auto& [id, rec] : jobs_) ids.push_back(id);
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+bool has_job(int id) { return jobs_.find(id) != jobs_.end(); }
+
+// Non-Time arithmetic stays untouched: string building, doubles, ints.
+int plain_math(int a, int b) { return a + b - 2; }

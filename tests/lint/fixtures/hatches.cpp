@@ -1,0 +1,19 @@
+// bfsim_lint fixture: escape-hatch grammar. A justified hatch
+// suppresses; an unjustified one is itself a finding; a typoed tag is
+// a finding even with a justification.
+
+using Time = long long;
+
+Time justified(Time start, Time len) {
+  // bfsim-lint: unchecked-time -- fixture: operands proven small above
+  return start + len;  // suppressed
+}
+
+Time unjustified(Time start, Time len) {
+  return start + len;  // bfsim-lint: unchecked-time
+}
+
+Time typoed(Time start, Time len) {
+  // bfsim-lint: unchekced-time -- justification cannot save a bad tag
+  return start + len;
+}

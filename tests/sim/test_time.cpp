@@ -1,8 +1,10 @@
 // Overflow-contract tests for sim::Time (sim/time.hpp): every timestamp
-// + duration sum on a hot path goes through saturating_add, which must
-// clamp instead of wrapping. These run under UBSan in CI, so a
-// regression to plain `+` on attacker-sized operands fails twice: once
-// here on the clamped values, and once as a signed-overflow report.
+// + duration sum on a hot path goes through saturating_add /
+// saturating_sub, which must clamp instead of wrapping. These run under
+// UBSan in CI, so a regression to plain `+`/`-` on attacker-sized
+// operands fails twice: once here on the clamped values, and once as a
+// signed-overflow report. (tools/bfsim_lint catches it a third time,
+// statically.)
 #include "sim/time.hpp"
 
 #include <gtest/gtest.h>
@@ -40,6 +42,103 @@ TEST(SaturatingAdd, SaturatedValueActsAsInfinity) {
   EXPECT_EQ(far, kTimeMax);
   EXPECT_EQ(saturating_add(far, kDay), kTimeMax);
   EXPECT_GE(far, kTimeMax - 1);
+}
+
+TEST(SaturatingAdd, NeverDecreasesForNonNegativeAddend) {
+  // Property: saturating_add(a, b) >= a whenever b >= 0 -- the shape of
+  // every deadline computation (start + estimate, now + delay). A plain
+  // `+` violates this exactly when it wraps.
+  constexpr Time kMin = std::numeric_limits<Time>::min();
+  const Time as[] = {kMin, kMin + 1, -kWeek, -1, 0,
+                     1,    kDay,     kWeek,  kTimeMax - 1, kTimeMax};
+  const Time bs[] = {0, 1, kSecond, kHour, kDay, kTimeMax - 1, kTimeMax};
+  for (const Time a : as)
+    for (const Time b : bs)
+      EXPECT_GE(saturating_add(a, b), a) << "a=" << a << " b=" << b;
+}
+
+TEST(SaturatingSub, PlainDifferencesAreExact) {
+  EXPECT_EQ(saturating_sub(0, 0), 0);
+  EXPECT_EQ(saturating_sub(123, 23), 100);
+  EXPECT_EQ(saturating_sub(kWeek, kDay), kWeek - kDay);
+  EXPECT_EQ(saturating_sub(20, 50), -30);
+  EXPECT_EQ(saturating_sub(-50, -20), -30);
+}
+
+TEST(SaturatingSub, ClampsBelow) {
+  constexpr Time kMin = std::numeric_limits<Time>::min();
+  EXPECT_EQ(saturating_sub(kMin, 1), kMin);
+  EXPECT_EQ(saturating_sub(kMin, kTimeMax), kMin);
+  EXPECT_EQ(saturating_sub(kMin + 5, 6), kMin);
+  EXPECT_EQ(saturating_sub(-2, kTimeMax), kMin);
+}
+
+TEST(SaturatingSub, ClampsAtTheFarFutureForNegativeSubtrahend) {
+  // Subtracting a negative duration is addition; near the top it must
+  // pin at kTimeMax, not wrap to the distant past.
+  constexpr Time kMin = std::numeric_limits<Time>::min();
+  EXPECT_EQ(saturating_sub(kTimeMax, -1), kTimeMax);
+  EXPECT_EQ(saturating_sub(kTimeMax - 10, -11), kTimeMax);
+  EXPECT_EQ(saturating_sub(1, kMin), kTimeMax);
+  EXPECT_EQ(saturating_sub(0, kMin), kTimeMax);
+}
+
+TEST(SaturatingSub, NeverIncreasesForNonNegativeSubtrahend) {
+  // Mirror property: saturating_sub(a, b) <= a whenever b >= 0 -- the
+  // shape of every wait-time computation (start - submit).
+  constexpr Time kMin = std::numeric_limits<Time>::min();
+  const Time as[] = {kMin, kMin + 1, -kWeek, -1, 0,
+                     1,    kDay,     kWeek,  kTimeMax - 1, kTimeMax};
+  const Time bs[] = {0, 1, kSecond, kHour, kDay, kTimeMax - 1, kTimeMax};
+  for (const Time a : as)
+    for (const Time b : bs)
+      EXPECT_LE(saturating_sub(a, b), a) << "a=" << a << " b=" << b;
+}
+
+TEST(SaturatingSub, RoundTripsWithAddAwayFromTheRails) {
+  // In the unsaturated interior, sub undoes add exactly.
+  EXPECT_EQ(saturating_sub(saturating_add(kDay, kHour), kHour), kDay);
+  EXPECT_EQ(saturating_add(saturating_sub(kWeek, kMinute), kMinute), kWeek);
+}
+
+TEST(CheckedSum, AccumulatesAndClamps) {
+  checked::Sum acc{100};
+  acc += 23;
+  EXPECT_EQ(acc.value(), 123);
+  acc -= 23;
+  EXPECT_EQ(acc.value(), 100);
+  acc += kTimeMax;
+  EXPECT_EQ(acc.value(), kTimeMax);
+  acc += kDay;  // pinned, not re-entering the representable range
+  EXPECT_EQ(acc.value(), kTimeMax);
+  acc -= 1;
+  EXPECT_EQ(acc.value(), kTimeMax - 1);
+}
+
+TEST(CheckedAdd, FoldsLeftToRightWithSaturation) {
+  EXPECT_EQ(checked::add(1, 2), 3);
+  EXPECT_EQ(checked::add(1, 2, 3), 6);
+  EXPECT_EQ(checked::add(1, 2, 3, 4), 10);
+  // A chain that saturates stays pinned at kTimeMax even if later terms
+  // are zero or the fold continues.
+  EXPECT_EQ(checked::add(kTimeMax - 1, 5, 0), kTimeMax);
+  EXPECT_EQ(checked::add(kTimeMax, kTimeMax, kTimeMax), kTimeMax);
+}
+
+TEST(CheckedSub, MatchesSaturatingSub) {
+  EXPECT_EQ(checked::sub(50, 20), 30);
+  EXPECT_EQ(checked::sub(std::numeric_limits<Time>::min(), 1),
+            std::numeric_limits<Time>::min());
+}
+
+TEST(CheckedElapsed, FloorsAtZero) {
+  EXPECT_EQ(checked::elapsed(100, 40), 60);
+  EXPECT_EQ(checked::elapsed(40, 100), 0);  // clock inversion: no time
+  EXPECT_EQ(checked::elapsed(0, kTimeMax), 0);
+  EXPECT_EQ(checked::elapsed(kTimeMax, 0), kTimeMax);
+  // kNoTime sentinels subtracted from real stamps must not produce a
+  // bogus huge wait.
+  EXPECT_EQ(checked::elapsed(kNoTime, 50), 0);
 }
 
 }  // namespace

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <stdexcept>
 
 #include "test_support.hpp"
@@ -171,6 +172,51 @@ TEST(Transforms, ApplyCancellationsRejectsBadParameters) {
                std::invalid_argument);
   EXPECT_THROW(apply_cancellations(trace, 0.5, -10.0, rng),
                std::invalid_argument);
+}
+
+TEST(Transforms, RebaseSurvivesHostileSubmitRange) {
+  // Regression for the raw `job.submit -= first` the overflow sweep
+  // removed: an SWF carrying one pre-epoch (negative) submit next to a
+  // near-kTimeMax submit used to wrap on rebase. It must clamp at
+  // kTimeMax instead.
+  Trace trace;
+  Job early;
+  early.submit = -5;
+  early.runtime = early.estimate = 1;
+  Job late;
+  late.submit = sim::kTimeMax - 2;
+  late.runtime = late.estimate = 1;
+  trace = {early, late};
+  rebase(trace);
+  EXPECT_EQ(trace[0].submit, 0);
+  EXPECT_EQ(trace[1].submit, sim::kTimeMax);  // saturated, not wrapped
+}
+
+TEST(Transforms, ComputeStatsSpanSaturatesOnHostileSubmits) {
+  Trace trace;
+  Job a;
+  a.submit = std::numeric_limits<sim::Time>::min() + 1;
+  a.runtime = a.estimate = 1;
+  Job b;
+  b.submit = sim::kTimeMax;
+  b.runtime = b.estimate = 1;
+  trace = {a, b};
+  const TraceStats stats = compute_stats(trace, 8);
+  EXPECT_EQ(stats.span, sim::kTimeMax);  // clamped difference
+}
+
+TEST(Transforms, ApplyCancellationsClampsDeadlineNearTheFarFuture) {
+  Trace trace;
+  Job job;
+  job.submit = sim::kTimeMax - 1;
+  job.runtime = 100;
+  job.estimate = 100;
+  trace = {job};
+  sim::Rng rng{7};
+  apply_cancellations(trace, 1.0, 10.0, rng);
+  // submit + wait_budget would wrap; the deadline must pin at kTimeMax.
+  ASSERT_NE(trace[0].cancel_at, sim::kNoTime);
+  EXPECT_EQ(trace[0].cancel_at, sim::kTimeMax);
 }
 
 }  // namespace

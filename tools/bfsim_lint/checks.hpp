@@ -1,0 +1,69 @@
+// bfsim-lint -- the project-contract checks.
+//
+// Three contracts, one finding stream:
+//
+//   raw-time-arithmetic   every `+` `-` `+=` `-=` with a sim::Time
+//                         operand outside src/sim/time.hpp must go
+//                         through saturating_add / saturating_sub /
+//                         sim::checked. Hatch: `unchecked-time`.
+//   nondeterminism        no rand()/srand(), std::random_device,
+//                         wall-clock (system_clock, time(), ...), or
+//                         range-for over unordered_{map,set} inside
+//                         src/core, src/sim, src/exp -- the
+//                         byte-identical sweep merge depends on it.
+//                         Hatch: `nondeterminism`.
+//   smallfn-capture       lambdas handed to SmallFn-taking callbacks
+//                         must use explicit by-value captures: no
+//                         `[&]`, no `[=]`, no `&name` -- the engine
+//                         invokes them after the enclosing frame is
+//                         gone. Hatch: `smallfn-capture`.
+//
+// Escape hatches are comments of the form
+//   // bfsim-lint: <tag> -- <justification>
+// on the flagged line or the line above. A hatch without a
+// justification is itself a finding: the annotation IS the audit
+// record.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "bfsim_lint/lexer.hpp"
+#include "bfsim_lint/symbols.hpp"
+
+namespace bfsim::lint {
+
+enum class Check {
+  kRawTimeArithmetic,
+  kNondeterminism,
+  kSmallFnCapture,
+};
+
+[[nodiscard]] const char* check_name(Check check);
+[[nodiscard]] const char* check_hatch_tag(Check check);
+
+struct Finding {
+  Check check;
+  std::string file;
+  int line = 0;
+  int col = 0;
+  std::string message;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+struct CheckConfig {
+  bool raw_time = true;
+  bool nondeterminism = true;
+  bool smallfn = true;
+};
+
+/// Run the enabled checks over one lexed file. `scope` must already be
+/// the merged symbol table for the file (its own declarations plus its
+/// transitively included project headers').
+[[nodiscard]] std::vector<Finding> run_checks(const std::string& path,
+                                              const LexedFile& file,
+                                              const SymbolTable& scope,
+                                              const CheckConfig& config);
+
+}  // namespace bfsim::lint

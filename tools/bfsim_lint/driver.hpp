@@ -1,0 +1,72 @@
+// bfsim-lint -- orchestration: file discovery, per-file symbol scopes,
+// and check dispatch.
+//
+// Translation units come from compile_commands.json (the same database
+// clang-tidy consumes; CMake exports it unconditionally). Headers are
+// not TUs, so the driver additionally walks src/, bench/ and examples/
+// for .hpp files -- the Time contract lives in headers as much as in
+// sources. Each file is checked against a symbol scope built from its
+// own declarations plus those of every project header it transitively
+// includes, mirroring what the compiler itself would see.
+#pragma once
+
+#include <filesystem>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "bfsim_lint/checks.hpp"
+
+namespace bfsim::lint {
+
+enum class ScopePolicy {
+  kAuto,  ///< derive enabled checks from the path (production layout)
+  kAll,   ///< run every enabled check regardless of path (fixtures)
+};
+
+struct DriverOptions {
+  std::filesystem::path root;     ///< project root
+  std::filesystem::path compdb;   ///< compile_commands.json (optional)
+  std::vector<std::string> files; ///< explicit files (fixture mode)
+  CheckConfig checks;             ///< globally enabled checks
+  ScopePolicy scope = ScopePolicy::kAuto;
+};
+
+class Driver {
+ public:
+  explicit Driver(DriverOptions options);
+
+  /// Lint everything in scope; returns all findings sorted by
+  /// file/line/col. Throws std::runtime_error on I/O or compdb errors.
+  [[nodiscard]] std::vector<Finding> run();
+
+  /// Number of files actually checked by the last run().
+  [[nodiscard]] std::size_t files_checked() const { return files_checked_; }
+
+ private:
+  struct FileEntry {
+    LexedFile lexed;
+    SymbolTable own;
+  };
+
+  const FileEntry& load(const std::filesystem::path& path);
+  SymbolTable scope_for(const std::filesystem::path& path);
+  void closure(const std::filesystem::path& path, SymbolTable& into,
+               std::vector<std::string>& visiting);
+  [[nodiscard]] std::filesystem::path resolve_include(
+      const std::filesystem::path& includer, const std::string& target) const;
+  [[nodiscard]] CheckConfig config_for(
+      const std::filesystem::path& path) const;
+  [[nodiscard]] std::vector<std::filesystem::path> discover() const;
+
+  DriverOptions options_;
+  std::unordered_map<std::string, FileEntry> cache_;
+  std::size_t files_checked_ = 0;
+};
+
+/// Extract the "file" entries from a compile_commands.json. Tolerant,
+/// single-purpose scan: the database is machine-written by CMake.
+[[nodiscard]] std::vector<std::string> compdb_files(
+    const std::string& json_text);
+
+}  // namespace bfsim::lint

@@ -1,0 +1,371 @@
+#include "bfsim_lint/lexer.hpp"
+
+#include <array>
+#include <cctype>
+#include <unordered_set>
+
+namespace bfsim::lint {
+
+namespace {
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool digit(char c) { return std::isdigit(static_cast<unsigned char>(c)) != 0; }
+
+/// Multi-character punctuators, longest first within each head char.
+constexpr std::array<const char*, 21> kPuncts = {
+    "<<=", ">>=", "<=>", "->*", "...", "::", "->", "++", "--", "+=", "-=",
+    "*=",  "/=",  "%=",  "&=",  "|=",  "^=", "==", "!=", "<=", ">=",
+    // NOTE: "&&"/"||"/"<<"/">>" are appended in match_punct below so the
+    // array stays sorted longest-first per head character.
+};
+
+const std::array<const char*, 4> kPuncts2 = {"&&", "||", "<<", ">>"};
+
+}  // namespace
+
+bool is_keyword(const std::string& word) {
+  static const std::unordered_set<std::string> kKeywords = {
+      "alignas",   "alignof",  "asm",       "auto",       "bool",
+      "break",     "case",     "catch",     "char",       "class",
+      "co_await",  "co_return", "co_yield", "const",      "consteval",
+      "constexpr", "constinit", "const_cast", "continue", "decltype",
+      "default",   "delete",   "do",        "double",     "else",
+      "enum",      "explicit", "export",    "extern",     "false",
+      "float",     "for",      "friend",    "goto",       "if",
+      "inline",    "int",      "long",      "mutable",    "namespace",
+      "new",       "noexcept", "nullptr",   "operator",   "private",
+      "protected", "public",   "register",  "requires",   "return",
+      "short",     "signed",   "sizeof",    "static",     "struct",
+      "switch",    "template", "this",      "throw",      "true",
+      "try",       "typedef",  "typeid",    "typename",   "union",
+      "unsigned",  "using",    "virtual",   "void",       "volatile",
+      "while"};
+  return kKeywords.contains(word);
+}
+
+bool ends_value(const Token& token) {
+  switch (token.kind) {
+    case TokenKind::kNumber:
+    case TokenKind::kString:
+    case TokenKind::kCharacter:
+      return true;
+    case TokenKind::kIdentifier:
+      // `return x - y` / `case kFoo - 1:` -- the keyword cannot be the
+      // left operand, so the following sign is unary-ish for our
+      // purposes. `this` and literal keywords DO end a value.
+      return token.text == "this" || token.text == "true" ||
+             token.text == "false" || token.text == "nullptr" ||
+             !is_keyword(token.text);
+    case TokenKind::kPunct:
+      return token.text == ")" || token.text == "]" || token.text == "++" ||
+             token.text == "--";
+  }
+  return false;
+}
+
+namespace {
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& text) : text_(text) {}
+
+  LexedFile run() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '\n') {
+        advance();
+        at_line_start_ = true;
+        continue;
+      }
+      if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+        advance();
+        continue;
+      }
+      if (c == '/' && peek(1) == '/') {
+        line_comment();
+        continue;
+      }
+      if (c == '/' && peek(1) == '*') {
+        block_comment();
+        continue;
+      }
+      if (c == '#' && at_line_start_) {
+        directive();
+        continue;
+      }
+      at_line_start_ = false;
+      if (ident_start(c)) {
+        identifier_or_literal_prefix();
+        continue;
+      }
+      if (digit(c) || (c == '.' && digit(peek(1)))) {
+        number();
+        continue;
+      }
+      if (c == '"') {
+        string_literal();
+        continue;
+      }
+      if (c == '\'') {
+        char_literal();
+        continue;
+      }
+      punct();
+    }
+    return std::move(out_);
+  }
+
+ private:
+  char peek(std::size_t ahead = 0) const {
+    return pos_ + ahead < text_.size() ? text_[pos_ + ahead] : '\0';
+  }
+
+  void advance() {
+    if (text_[pos_] == '\n') {
+      ++line_;
+      col_ = 1;
+    } else {
+      ++col_;
+    }
+    ++pos_;
+  }
+
+  void add_comment_line(int line, const std::string& body) {
+    std::string& slot = out_.comments[line];
+    if (!slot.empty()) slot += ' ';
+    slot += body;
+  }
+
+  void line_comment() {
+    const int start_line = line_;
+    std::string body;
+    while (pos_ < text_.size() && text_[pos_] != '\n') {
+      body += text_[pos_];
+      advance();
+    }
+    add_comment_line(start_line, body);
+  }
+
+  void block_comment() {
+    int current_line = line_;
+    std::string body;
+    advance();  // '/'
+    advance();  // '*'
+    while (pos_ < text_.size()) {
+      if (text_[pos_] == '*' && peek(1) == '/') {
+        advance();
+        advance();
+        break;
+      }
+      if (text_[pos_] == '\n') {
+        add_comment_line(current_line, body);
+        body.clear();
+        advance();
+        current_line = line_;
+        continue;
+      }
+      body += text_[pos_];
+      advance();
+    }
+    add_comment_line(current_line, body);
+  }
+
+  /// Preprocessor directive: record includes, honor continuations, keep
+  /// any trailing comment (escape hatches may sit on macro lines too).
+  void directive() {
+    std::string text;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '\n') {
+        if (!text.empty() && text.back() == '\\') {
+          text.pop_back();
+          advance();
+          continue;
+        }
+        break;
+      }
+      if (c == '/' && peek(1) == '/') {
+        line_comment();
+        break;
+      }
+      if (c == '/' && peek(1) == '*') {
+        block_comment();
+        continue;
+      }
+      text += c;
+      advance();
+    }
+    at_line_start_ = true;
+    // "# include <x>" / "#include \"x\""
+    std::size_t i = 1;  // past '#'
+    while (i < text.size() && std::isspace(static_cast<unsigned char>(text[i])))
+      ++i;
+    if (text.compare(i, 7, "include") != 0) return;
+    i += 7;
+    while (i < text.size() && std::isspace(static_cast<unsigned char>(text[i])))
+      ++i;
+    if (i >= text.size()) return;
+    const char open = text[i];
+    const char close = open == '<' ? '>' : (open == '"' ? '"' : '\0');
+    if (close == '\0') return;
+    const std::size_t end = text.find(close, i + 1);
+    if (end == std::string::npos) return;
+    out_.includes.push_back(text.substr(i + 1, end - i - 1));
+  }
+
+  void identifier_or_literal_prefix() {
+    const int tline = line_;
+    const int tcol = col_;
+    std::string word;
+    while (pos_ < text_.size() && ident_char(text_[pos_])) {
+      word += text_[pos_];
+      advance();
+    }
+    // String/char literal prefixes: R"...", u8"...", L'x', ...
+    if (pos_ < text_.size() && (text_[pos_] == '"' || text_[pos_] == '\'')) {
+      const bool raw = !word.empty() && word.back() == 'R';
+      const bool prefix = word == "R" || word == "L" || word == "u" ||
+                          word == "U" || word == "u8" || word == "LR" ||
+                          word == "uR" || word == "UR" || word == "u8R";
+      if (prefix) {
+        if (text_[pos_] == '"') {
+          if (raw)
+            raw_string(tline, tcol);
+          else
+            string_literal();
+        } else {
+          char_literal();
+        }
+        return;
+      }
+    }
+    out_.tokens.push_back({TokenKind::kIdentifier, std::move(word), tline,
+                           tcol});
+  }
+
+  void number() {
+    const int tline = line_;
+    const int tcol = col_;
+    std::string word;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (ident_char(c) || c == '.' || c == '\'') {
+        word += c;
+        advance();
+        // exponent signs belong to the pp-number
+        if ((c == 'e' || c == 'E' || c == 'p' || c == 'P') &&
+            (peek() == '+' || peek() == '-')) {
+          word += text_[pos_];
+          advance();
+        }
+        continue;
+      }
+      break;
+    }
+    out_.tokens.push_back({TokenKind::kNumber, std::move(word), tline, tcol});
+  }
+
+  void string_literal() {
+    const int tline = line_;
+    const int tcol = col_;
+    std::string body;
+    advance();  // opening quote
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      if (text_[pos_] == '\\' && pos_ + 1 < text_.size()) {
+        body += text_[pos_];
+        advance();
+      }
+      if (pos_ < text_.size()) {
+        body += text_[pos_];
+        advance();
+      }
+    }
+    if (pos_ < text_.size()) advance();  // closing quote
+    out_.tokens.push_back({TokenKind::kString, std::move(body), tline, tcol});
+  }
+
+  void raw_string(int tline, int tcol) {
+    advance();  // opening quote
+    std::string delim;
+    while (pos_ < text_.size() && text_[pos_] != '(') {
+      delim += text_[pos_];
+      advance();
+    }
+    const std::string closer = ")" + delim + "\"";
+    std::string body;
+    if (pos_ < text_.size()) advance();  // '('
+    while (pos_ < text_.size()) {
+      if (text_.compare(pos_, closer.size(), closer) == 0) {
+        for (std::size_t i = 0; i < closer.size(); ++i) advance();
+        break;
+      }
+      body += text_[pos_];
+      advance();
+    }
+    out_.tokens.push_back({TokenKind::kString, std::move(body), tline, tcol});
+  }
+
+  void char_literal() {
+    const int tline = line_;
+    const int tcol = col_;
+    std::string body;
+    advance();  // opening quote
+    while (pos_ < text_.size() && text_[pos_] != '\'') {
+      if (text_[pos_] == '\\' && pos_ + 1 < text_.size()) {
+        body += text_[pos_];
+        advance();
+      }
+      if (pos_ < text_.size()) {
+        body += text_[pos_];
+        advance();
+      }
+    }
+    if (pos_ < text_.size()) advance();
+    out_.tokens.push_back({TokenKind::kCharacter, std::move(body), tline,
+                           tcol});
+  }
+
+  void punct() {
+    const int tline = line_;
+    const int tcol = col_;
+    for (const char* p : kPuncts) {
+      const std::size_t n = std::string::traits_type::length(p);
+      if (text_.compare(pos_, n, p) == 0) {
+        for (std::size_t i = 0; i < n; ++i) advance();
+        out_.tokens.push_back({TokenKind::kPunct, p, tline, tcol});
+        return;
+      }
+    }
+    for (const char* p : kPuncts2) {
+      if (text_.compare(pos_, 2, p) == 0) {
+        advance();
+        advance();
+        out_.tokens.push_back({TokenKind::kPunct, p, tline, tcol});
+        return;
+      }
+    }
+    std::string single(1, text_[pos_]);
+    advance();
+    out_.tokens.push_back({TokenKind::kPunct, std::move(single), tline, tcol});
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+  int col_ = 1;
+  bool at_line_start_ = true;
+  LexedFile out_;
+};
+
+}  // namespace
+
+LexedFile lex(const std::string& text) { return Lexer{text}.run(); }
+
+}  // namespace bfsim::lint

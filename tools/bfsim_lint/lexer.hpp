@@ -1,0 +1,65 @@
+// bfsim-lint -- a C++ token stream for project-contract checking.
+//
+// The linter does not need a full C++ parser: the contracts it enforces
+// (saturating Time arithmetic, deterministic containers and clocks,
+// SmallFn capture hygiene) are all expressible over the token stream
+// plus a declaration-derived symbol table. The lexer therefore handles
+// exactly the lexical layer a real front end would -- comments, string
+// and character literals, raw strings, pp-numbers, multi-character
+// punctuators, preprocessor lines with continuations -- and leaves the
+// grammar to the checks. Comment text is retained per line because the
+// `// bfsim-lint: <tag> -- <why>` escape hatch lives in comments, and
+// `#include` targets are retained so a file's symbol scope can be the
+// union of the project headers it actually includes.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace bfsim::lint {
+
+enum class TokenKind {
+  kIdentifier,  ///< identifiers and keywords alike
+  kNumber,      ///< pp-number: integers, floats, digit separators
+  kString,      ///< string literal (incl. raw strings), prefix dropped
+  kCharacter,   ///< character literal
+  kPunct,       ///< operator / punctuator, longest-match
+};
+
+struct Token {
+  TokenKind kind;
+  std::string text;
+  int line = 0;  ///< 1-based
+  int col = 0;   ///< 1-based
+};
+
+/// One lexed translation-unit-shaped file.
+struct LexedFile {
+  std::vector<Token> tokens;
+  /// Comment text by 1-based line. A comment is recorded on every line
+  /// it covers, so an escape hatch inside a multi-line block comment
+  /// still attaches to the code line it precedes.
+  std::unordered_map<int, std::string> comments;
+  /// Include targets as written (`core/audit.hpp`, `vector`, ...), in
+  /// order of appearance. Quoted and angle forms are not distinguished:
+  /// project headers are resolved against the repo root either way.
+  std::vector<std::string> includes;
+};
+
+/// Lex `text`. Never throws on malformed input: an unterminated literal
+/// or comment simply ends at EOF -- the real compiler is the authority
+/// on well-formedness, the linter only needs to stay in sync on valid
+/// code.
+[[nodiscard]] LexedFile lex(const std::string& text);
+
+/// True for tokens that terminate a value expression on their left
+/// (identifier, literal, `)`, `]`) -- used to classify `+`/`-` as
+/// binary vs unary.
+[[nodiscard]] bool ends_value(const Token& token);
+
+/// C++ keywords that look like identifiers but can never be a value
+/// operand (`return`, `case`, `throw`, ...).
+[[nodiscard]] bool is_keyword(const std::string& word);
+
+}  // namespace bfsim::lint

@@ -1,0 +1,135 @@
+// bfsim_lint -- project-specific static analysis for bfsim.
+//
+// Usage:
+//   bfsim_lint --compdb build/compile_commands.json --root .
+//   bfsim_lint --root . --assume-scope all tests/lint/fixtures/foo.cpp
+//
+// Exit codes: 0 clean, 1 findings, 2 usage or I/O error. Every finding
+// is an error -- the lint CI job treats a non-zero exit as a failure,
+// the same -Werror discipline the compiler warnings get.
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "bfsim_lint/driver.hpp"
+
+namespace {
+
+constexpr const char* kUsage = R"(bfsim_lint: machine-check bfsim's time-overflow and determinism contracts
+
+usage: bfsim_lint [options] [file...]
+
+options:
+  --compdb <path>        compile_commands.json listing the translation units
+                         (headers under src/, bench/, examples/ are added
+                         automatically; without --compdb those directories
+                         are walked for sources too)
+  --root <path>          project root (default: current directory)
+  --check <name>         run only the named check; repeatable
+                         (raw-time-arithmetic, nondeterminism, smallfn-capture)
+  --assume-scope <mode>  auto: derive checks from each file's path (default)
+                         all:  run every selected check on every file
+                         (fixture self-tests use `all`)
+  --list-checks          print the available checks and exit
+  --quiet                print findings only, no summary
+  -h, --help             this text
+
+escape hatch: an audited site is suppressed with a justified annotation on
+the flagged line or the line above, e.g.
+  // bfsim-lint: unchecked-time -- proc-count delta, not a timestamp
+)";
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using bfsim::lint::Check;
+  bfsim::lint::DriverOptions options;
+  bool quiet = false;
+  bool any_check_selected = false;
+  bfsim::lint::CheckConfig selected{false, false, false};
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::cerr << "bfsim_lint: " << arg << " needs a value\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "-h" || arg == "--help") {
+      std::cout << kUsage;
+      return 0;
+    }
+    if (arg == "--list-checks") {
+      for (Check check : {Check::kRawTimeArithmetic, Check::kNondeterminism,
+                          Check::kSmallFnCapture})
+        std::cout << bfsim::lint::check_name(check) << " (hatch: bfsim-lint: "
+                  << bfsim::lint::check_hatch_tag(check) << ")\n";
+      return 0;
+    }
+    if (arg == "--compdb") {
+      options.compdb = next();
+      continue;
+    }
+    if (arg == "--root") {
+      options.root = next();
+      continue;
+    }
+    if (arg == "--check") {
+      const std::string name = next();
+      any_check_selected = true;
+      if (name == "raw-time-arithmetic")
+        selected.raw_time = true;
+      else if (name == "nondeterminism")
+        selected.nondeterminism = true;
+      else if (name == "smallfn-capture")
+        selected.smallfn = true;
+      else {
+        std::cerr << "bfsim_lint: unknown check '" << name
+                  << "' (see --list-checks)\n";
+        return 2;
+      }
+      continue;
+    }
+    if (arg == "--assume-scope") {
+      const std::string mode = next();
+      if (mode == "auto")
+        options.scope = bfsim::lint::ScopePolicy::kAuto;
+      else if (mode == "all")
+        options.scope = bfsim::lint::ScopePolicy::kAll;
+      else {
+        std::cerr << "bfsim_lint: unknown scope mode '" << mode << "'\n";
+        return 2;
+      }
+      continue;
+    }
+    if (arg == "--quiet") {
+      quiet = true;
+      continue;
+    }
+    if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "bfsim_lint: unknown option '" << arg << "'\n"
+                << kUsage;
+      return 2;
+    }
+    options.files.push_back(arg);
+  }
+  if (any_check_selected) options.checks = selected;
+
+  try {
+    bfsim::lint::Driver driver{options};
+    const std::vector<bfsim::lint::Finding> findings = driver.run();
+    for (const bfsim::lint::Finding& finding : findings)
+      std::cout << finding.to_string() << "\n";
+    if (!quiet) {
+      std::cerr << "bfsim_lint: " << driver.files_checked()
+                << " files checked, " << findings.size() << " finding"
+                << (findings.size() == 1 ? "" : "s") << "\n";
+    }
+    return findings.empty() ? 0 : 1;
+  } catch (const std::exception& error) {
+    std::cerr << error.what() << "\n";
+    return 2;
+  }
+}
