@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "core/conservative_scheduler.hpp"
+#include "core/decision_core.hpp"
 #include "core/profile.hpp"
 #include "core/simulation.hpp"
 #include "exp/scenario.hpp"
@@ -301,6 +302,125 @@ BreakpointStats measure_breakpoints(const workload::Trace& trace, int procs) {
   return stats;
 }
 
+struct DecisionLatencyStats {
+  double submit_p50_ns = 0.0;  ///< one on_submit through the seam
+  double submit_p99_ns = 0.0;
+  double finish_p50_ns = 0.0;  ///< one on_finish through the seam
+  double finish_p99_ns = 0.0;
+  double seam_seconds = 0.0;    ///< full replay through DecisionCore
+  double direct_seconds = 0.0;  ///< same events via raw scheduler hooks
+  /// Seam cost relative to bare hooks (1.0 = free). The seam's skip
+  /// accounting can push this *below* 1: the direct path runs a pass
+  /// per batch, the seam proves most of them no-ops.
+  double seam_overhead = 1.0;
+};
+
+double percentile(std::vector<double>& sorted_into, double p) {
+  if (sorted_into.empty()) return 0.0;
+  std::sort(sorted_into.begin(), sorted_into.end());
+  const auto index = static_cast<std::size_t>(
+      p * static_cast<double>(sorted_into.size() - 1) + 0.5);
+  return sorted_into[std::min(index, sorted_into.size() - 1)];
+}
+
+/// Latency of the decision-core seam itself: the same event sequence
+/// replayed (a) through DecisionCore -- lifecycle table, stats, skip
+/// accounting -- and (b) through bare Scheduler hooks with a pass per
+/// batch, the pre-seam driver's discipline. (a) additionally samples
+/// per-call latency of every on_submit/on_finish for p50/p99.
+DecisionLatencyStats measure_decision_latency(const workload::Trace& trace,
+                                              int procs) {
+  const core::SchedulerConfig config{procs, core::PriorityPolicy::Fcfs};
+  // Event classes mirror the replay front: finish=0, submit=1, wake=2.
+  const auto run_seam = [&](std::vector<double>* submit_ns,
+                            std::vector<double>* finish_ns) {
+    const auto scheduler =
+        core::make_scheduler(core::SchedulerKind::Easy, config);
+    core::DecisionCore core{*scheduler};
+    core.reserve_jobs(trace.size());
+    sim::EventQueue<std::size_t> events;
+    for (std::size_t i = 0; i < trace.size(); ++i)
+      events.push(trace[i].submit, 1, i);
+    while (!events.empty()) {
+      const sim::Time now = events.top().time;
+      while (!events.empty() && events.top().time == now) {
+        const auto event = events.pop();
+        if (event.priority_class() == 0) {
+          const auto start = Clock::now();
+          core.on_finish(static_cast<workload::JobId>(event.payload), now);
+          if (finish_ns != nullptr)
+            finish_ns->push_back(seconds_since(start) * 1e9);
+        } else if (event.priority_class() == 1) {
+          const auto start = Clock::now();
+          core.on_submit(trace[event.payload], now);
+          if (submit_ns != nullptr)
+            submit_ns->push_back(seconds_since(start) * 1e9);
+        } else {
+          core.on_wake(now);
+        }
+      }
+      const core::CycleDecision decision = core.end_cycle(now);
+      for (const workload::JobId id : decision.starts) {
+        const workload::Job& job = trace[id];
+        events.push(
+            sim::saturating_add(now, std::min(job.runtime, job.estimate)), 0,
+            id);
+      }
+      if (decision.next_wakeup != sim::kNoTime &&
+          (events.empty() || events.top().time > decision.next_wakeup))
+        events.push(decision.next_wakeup, 2, 0);
+    }
+  };
+  const auto run_direct = [&] {
+    const auto scheduler =
+        core::make_scheduler(core::SchedulerKind::Easy, config);
+    sim::EventQueue<std::size_t> events;
+    for (std::size_t i = 0; i < trace.size(); ++i)
+      events.push(trace[i].submit, 1, i);
+    std::vector<core::Job> starts;
+    while (!events.empty()) {
+      const sim::Time now = events.top().time;
+      while (!events.empty() && events.top().time == now) {
+        const auto event = events.pop();
+        if (event.priority_class() == 0)
+          scheduler->job_finished(event.payload, now);
+        else
+          scheduler->job_submitted(trace[event.payload], now);
+      }
+      starts.clear();
+      scheduler->select_starts(now, starts);
+      for (const core::Job& job : starts)
+        events.push(
+            sim::saturating_add(now, std::min(job.runtime, job.estimate)), 0,
+            job.id);
+    }
+  };
+
+  DecisionLatencyStats stats;
+  stats.seam_seconds = std::numeric_limits<double>::infinity();
+  stats.direct_seconds = std::numeric_limits<double>::infinity();
+  for (int rep = 0; rep < 5; ++rep) {
+    auto start = Clock::now();
+    run_seam(nullptr, nullptr);
+    stats.seam_seconds = std::min(stats.seam_seconds, seconds_since(start));
+    start = Clock::now();
+    run_direct();
+    stats.direct_seconds =
+        std::min(stats.direct_seconds, seconds_since(start));
+  }
+  stats.seam_overhead = stats.seam_seconds / stats.direct_seconds;
+  // One instrumented replay for the per-hook percentiles (the per-call
+  // clock reads would distort the timed reps above).
+  std::vector<double> submit_ns;
+  std::vector<double> finish_ns;
+  run_seam(&submit_ns, &finish_ns);
+  stats.submit_p50_ns = percentile(submit_ns, 0.50);
+  stats.submit_p99_ns = percentile(submit_ns, 0.99);
+  stats.finish_p50_ns = percentile(finish_ns, 0.50);
+  stats.finish_p99_ns = percentile(finish_ns, 0.99);
+  return stats;
+}
+
 struct SweepPoint {
   std::size_t threads = 0;  ///< requested worker count
   double seconds = 0.0;
@@ -386,6 +506,7 @@ struct Report {
   double conservative_cost_factor = 0.0;
   AnchorStats anchors;
   BreakpointStats breakpoints;
+  DecisionLatencyStats decision;
   SweepStats sweep;
 };
 
@@ -414,6 +535,7 @@ Report build_report(std::size_t jobs) {
       report.sims[1].events_per_sec / report.sims[0].events_per_sec;
   report.anchors = measure_anchors(trace, procs);
   report.breakpoints = measure_breakpoints(trace, procs);
+  report.decision = measure_decision_latency(trace, procs);
   report.sweep = measure_sweep(jobs);
   return report;
 }
@@ -459,6 +581,18 @@ void write_json(const Report& report, const std::string& path) {
       << report.anchors.ns_per_find_and_reserve << "},\n"
       << "  \"profile_breakpoints\": {\"peak\": " << report.breakpoints.peak
       << ", \"mean\": " << report.breakpoints.mean << "},\n"
+      // Flat keys so the smoke guard's single-number extractor reads
+      // them like the cost_* band.
+      << "  \"decision_submit_p50_ns\": " << report.decision.submit_p50_ns
+      << ",\n"
+      << "  \"decision_submit_p99_ns\": " << report.decision.submit_p99_ns
+      << ",\n"
+      << "  \"decision_finish_p50_ns\": " << report.decision.finish_p50_ns
+      << ",\n"
+      << "  \"decision_finish_p99_ns\": " << report.decision.finish_p99_ns
+      << ",\n"
+      << "  \"decision_seam_overhead\": " << report.decision.seam_overhead
+      << ",\n"
       << "  \"sweep\": {\"cells\": " << report.sweep.cells
       << ", \"deterministic\": "
       << (report.sweep.deterministic ? "true" : "false") << ", \"points\": [";
@@ -491,6 +625,11 @@ void print_report(const Report& report) {
               report.anchors.breakpoints);
   std::printf("conservative run breakpoints: peak %zu, mean %.1f\n",
               report.breakpoints.peak, report.breakpoints.mean);
+  std::printf("decision seam: on_submit p50 %.0f ns p99 %.0f ns, on_finish "
+              "p50 %.0f ns p99 %.0f ns, overhead %.2fx bare hooks\n",
+              report.decision.submit_p50_ns, report.decision.submit_p99_ns,
+              report.decision.finish_p50_ns, report.decision.finish_p99_ns,
+              report.decision.seam_overhead);
   for (const SweepPoint& p : report.sweep.points)
     std::printf("sweep throughput (%zu cells, %zu threads): %6.1f cells/sec "
                 "(%.3fs, %.2fx)\n",
@@ -583,6 +722,27 @@ int run_smoke(const ReportOptions& options) {
         "perf smoke: eps_%s %.0f events/s, baseline %.0f, floor %.0f -- ",
         p.scheme.c_str(), p.events_per_sec, base_eps, floor);
     if (p.events_per_sec < floor) {
+      std::printf("FAIL\n");
+      ok = false;
+    } else {
+      std::printf("OK\n");
+    }
+  }
+  // The seam's own band: the decision-core bookkeeping (lifecycle
+  // table, stats, skip proofs) must stay within 2x of its recorded
+  // relative cost over bare scheduler hooks -- same contract as the
+  // per-scheduler cost factors, and like them it normalizes hardware
+  // speed out by being a same-machine ratio.
+  double base_overhead = 0.0;
+  if (read_json_number(options.baseline, "decision_seam_overhead",
+                       base_overhead) &&
+      base_overhead > 0.0) {
+    const double seam_limit = 2.0 * base_overhead;
+    std::printf(
+        "perf smoke: decision_seam_overhead %.3f, baseline %.3f, "
+        "limit %.3f -- ",
+        report.decision.seam_overhead, base_overhead, seam_limit);
+    if (report.decision.seam_overhead > seam_limit) {
       std::printf("FAIL\n");
       ok = false;
     } else {

@@ -1,0 +1,159 @@
+#include "core/decision_core.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "core/audit.hpp"
+
+namespace bfsim::core {
+
+namespace {
+
+std::string id_str(JobId id) { return std::to_string(id); }
+
+}  // namespace
+
+DecisionCore::DecisionCore(Scheduler& scheduler, ScheduleAuditor* auditor)
+    : scheduler_(&scheduler), auditor_(auditor) {}
+
+void DecisionCore::reserve_jobs(std::size_t count) {
+  phases_.reserve(std::min<std::size_t>(count, kMaxTrackedJobs));
+}
+
+void DecisionCore::check_time(Time now, const char* hook) {
+  if (now < last_time_)
+    throw DecisionError(std::string("DecisionCore::") + hook +
+                        ": time ran backwards (" + std::to_string(now) +
+                        " after " + std::to_string(last_time_) + ")");
+  last_time_ = now;
+}
+
+JobPhase DecisionCore::phase_or_grow(JobId id) {
+  if (id >= kMaxTrackedJobs)
+    throw DecisionError("DecisionCore: job id " + id_str(id) +
+                        " out of range");
+  if (id >= phases_.size()) phases_.resize(id + 1, JobPhase::kUnseen);
+  return phases_[id];
+}
+
+void DecisionCore::on_submit(const Job& job, Time now) {
+  check_time(now, "on_submit");
+  if (job.id == workload::kInvalidJob)
+    throw DecisionError("DecisionCore::on_submit: invalid job id");
+  if (phase_or_grow(job.id) != JobPhase::kUnseen)
+    throw DecisionError("DecisionCore::on_submit: job " + id_str(job.id) +
+                        " submitted twice");
+  if (job.estimate < 1 || job.procs < 1)
+    throw DecisionError("DecisionCore::on_submit: malformed job " +
+                        id_str(job.id));
+  if (job.procs > machine_procs())
+    throw DecisionError("DecisionCore::on_submit: job " + id_str(job.id) +
+                        " wider than the machine");
+  if (job.submit != now)
+    throw DecisionError("DecisionCore::on_submit: job " + id_str(job.id) +
+                        " submitted at t=" + std::to_string(now) +
+                        " but carries submit=" + std::to_string(job.submit));
+  phases_[job.id] = JobPhase::kQueued;
+  ++stats_.events;
+  ++queued_;
+  if (auditor_ != nullptr) auditor_->on_submitted(job, now);
+  pass_needed_ |= scheduler_->job_submitted(job, now);
+}
+
+void DecisionCore::on_finish(JobId id, Time now) {
+  check_time(now, "on_finish");
+  if (phase_or_grow(id) != JobPhase::kRunning)
+    throw DecisionError("DecisionCore::on_finish: job " + id_str(id) +
+                        " is not running");
+  phases_[id] = JobPhase::kFinished;
+  ++stats_.events;
+  --running_;
+  if (auditor_ != nullptr) auditor_->on_finished(id, now);
+  pass_needed_ |= scheduler_->job_finished(id, now);
+}
+
+void DecisionCore::on_cancel(JobId id, Time now) {
+  check_time(now, "on_cancel");
+  const JobPhase phase = phase_or_grow(id);
+  if (phase == JobPhase::kUnseen)
+    throw DecisionError("DecisionCore::on_cancel: job " + id_str(id) +
+                        " was never submitted");
+  if (phase == JobPhase::kCancelled)
+    throw DecisionError("DecisionCore::on_cancel: job " + id_str(id) +
+                        " cancelled twice");
+  ++stats_.events;
+  if (phase == JobPhase::kQueued) {  // still waiting: withdraw for good
+    phases_[id] = JobPhase::kCancelled;
+    --queued_;
+    if (auditor_ != nullptr) auditor_->on_cancelled(id, now);
+    pass_needed_ |= scheduler_->job_cancelled(id, now);
+  } else {
+    // Cancelling a job that already started is a no-op for the
+    // scheduler -- no hook runs. But the batch still advances the
+    // clock, and clock-driven policies (XFactor ordering, selective
+    // promotion) can surface a start from time alone, with no hook to
+    // vouch that a pass is unnecessary. Run one.
+    pass_needed_ = true;
+  }
+}
+
+void DecisionCore::on_wake(Time now) {
+  check_time(now, "on_wake");
+  // The timer carries no payload; end_cycle asks the scheduler whether
+  // its earliest reservation is in fact due now (it may have moved
+  // since the timer was armed -- a stale wake is a no-op).
+  ++stats_.wakeups;
+}
+
+CycleDecision DecisionCore::end_cycle(Time now) {
+  check_time(now, "end_cycle");
+  start_ids_.clear();
+  Time wake = sim::kNoTime;
+  bool ran = false;
+  const auto run_pass = [&] {
+    ++stats_.passes;
+    ran = true;
+    starts_.clear();
+    scheduler_->select_starts(now, starts_);
+    queued_ -= starts_.size();
+    running_ += starts_.size();
+    for (const Job& started : starts_) {
+      if (auditor_ != nullptr) auditor_->on_started(started, now);
+      // Scheduler-side invariant, not an input error: a committed start
+      // of a job that is not queued means the policy itself broke, so
+      // this is fatal (plain logic_error), unlike the pre-mutation
+      // DecisionError contract checks.
+      if (started.id >= phases_.size() ||
+          phases_[started.id] != JobPhase::kQueued)
+        throw std::logic_error("DecisionCore: job " + id_str(started.id) +
+                               " started twice");
+      phases_[started.id] = JobPhase::kRunning;
+      start_ids_.push_back(started.id);
+    }
+  };
+  if (pass_needed_) {
+    // A hook already vouched for the pass; only the post-pass wake-up
+    // matters (asking before would waste a query on a stale answer).
+    run_pass();
+    wake = scheduler_->next_wakeup();
+  } else if ((wake = scheduler_->next_wakeup()) == now) {
+    run_pass();
+    wake = scheduler_->next_wakeup();
+  } else {
+    ++stats_.passes_skipped;
+  }
+  pass_needed_ = false;
+  if (auditor_ != nullptr) auditor_->on_cycle_end(now);
+  stats_.max_queue = std::max(stats_.max_queue, queued_);
+  if (wake != sim::kNoTime && wake <= now)
+    throw std::logic_error(
+        "DecisionCore: scheduler reported an overdue wake-up at t=" +
+        std::to_string(now));
+  return CycleDecision{
+      .starts = std::span<const JobId>(start_ids_),
+      .next_wakeup = wake,
+      .pass_ran = ran,
+  };
+}
+
+}  // namespace bfsim::core

@@ -1,0 +1,150 @@
+// bfsim -- the trace-replay front over the decision-core seam.
+//
+// EngineReplay is the event loop that used to live inside
+// run_simulation, extracted and templated over the decision backend:
+// it owns the discrete-event engine, the trace, and the true runtimes
+// (which the decision side never sees), feeds arrivals/completions/
+// cancellations into any object implementing the DecisionCore API, and
+// turns the returned CycleDecisions into outcome records and future
+// finish events. Instantiations:
+//
+//   * EngineReplay<DecisionCore>            -- the in-process simulator
+//     (core/simulation.cpp);
+//   * EngineReplay<svc::RemoteDecisionCore> -- the replay client that
+//     drives a bfsim_served daemon over the wire (src/svc/client.hpp).
+//
+// Because both fronts share this exact loop, "the daemon schedules
+// like the simulator" reduces to "the remote core returns the same
+// CycleDecisions" -- which the served differential suite then checks
+// byte-for-byte.
+#pragma once
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+#include "core/decision_core.hpp"
+#include "core/simulation.hpp"
+#include "core/types.hpp"
+#include "sim/engine.hpp"
+
+namespace bfsim::core {
+
+/// Event-class ordering within one instant: completions sort before
+/// arrivals at the same time, so a job arriving exactly when processors
+/// free up sees them available; cancellations apply last (a job
+/// submitted and withdrawn at the same instant is seen, then removed);
+/// wake-up timers close the batch.
+enum ReplayEventClass : int {
+  kReplayFinish = 0,
+  kReplaySubmit = 1,
+  kReplayCancel = 2,
+  kReplayWake = 3,
+};
+
+/// One replay of `trace` through a decision backend. `Core` must model
+/// the DecisionCore API: on_submit/on_finish/on_cancel/on_wake,
+/// end_cycle(now) -> CycleDecision, stats() -> DecisionStats, name().
+template <typename Core>
+class EngineReplay {
+ public:
+  EngineReplay(const Trace& trace, Core& core) : trace_(trace), core_(core) {
+    result_.outcomes.resize(trace_.size());
+    for (std::size_t i = 0; i < trace_.size(); ++i)
+      result_.outcomes[i].job = trace_[i];
+    // Arrivals ride the engine's stream channel: the trace is already
+    // sorted by submit time, so each arrival fires straight from the
+    // armed head -- no heap push/pop per submit -- and re-arms its
+    // successor (see on_submit). Cancels still go through the heap. The
+    // heap stays small (running jobs only) instead of holding the trace.
+    if (!trace_.empty()) {
+      engine_.set_stream(kReplaySubmit, [this] { on_submit(next_arrival_++); });
+      engine_.arm_stream(trace_[0].submit);
+    }
+    // The engine drains every same-time event, then closes the batch
+    // here -- one decision cycle (at most one scheduler pass) per burst
+    // of simultaneous finishes/arrivals.
+    engine_.set_batch_end([this] { end_batch(engine_.now()); });
+  }
+
+  SimulationResult run() {
+    engine_.run();
+    const DecisionStats& stats = core_.stats();
+    result_.scheduler_name = core_.name();
+    result_.events = stats.events;
+    result_.passes = stats.passes;
+    result_.passes_skipped = stats.passes_skipped;
+    result_.wakeups = stats.wakeups;
+    result_.max_queue = stats.max_queue;
+    return std::move(result_);
+  }
+
+ private:
+  void on_submit(workload::JobId id) {
+    const Time now = engine_.now();
+    core_.on_submit(trace_[id], now);
+    // Re-arm before the batch-end check so a same-instant cancel or
+    // successor arrival keeps this batch open. Delivery order is
+    // unchanged from pushing every submit through the heap: the stream
+    // holds one arrival at a time, so submits fire in id order, and
+    // cancels enqueue in submit (= id) order, which is how same-time
+    // cancels tie-break anyway.
+    if (trace_[id].cancel_at != sim::kNoTime)
+      engine_.schedule_at(
+          trace_[id].cancel_at, [this, id] { on_cancel(id); }, kReplayCancel);
+    if (id + 1 < trace_.size()) engine_.arm_stream(trace_[id + 1].submit);
+  }
+
+  void on_cancel(workload::JobId id) {
+    // The replay front owns the outcome table, so it -- not the
+    // decision side -- records the withdrawal; the core runs the
+    // matching scheduler hook (or forces a pass for already-started
+    // jobs) from its own lifecycle table, which agrees by construction.
+    if (result_.outcomes[id].start == sim::kNoTime)
+      result_.outcomes[id].cancelled = true;
+    core_.on_cancel(id, engine_.now());
+  }
+
+  void end_batch(Time now) {
+    const CycleDecision decision = core_.end_cycle(now);
+    for (const workload::JobId id : decision.starts) {
+      const Job& started = trace_[id];
+      JobOutcome& outcome = result_.outcomes[id];
+      if (outcome.start != sim::kNoTime)
+        throw std::logic_error("run_simulation: job " + std::to_string(id) +
+                               " started twice");
+      const Time effective = std::min(started.runtime, started.estimate);
+      outcome.start = now;
+      outcome.end = sim::saturating_add(now, effective);
+      outcome.killed = started.runtime > started.estimate;
+      result_.makespan = std::max(result_.makespan, outcome.end);
+      engine_.schedule_at(
+          outcome.end, [this, id] { core_.on_finish(id, engine_.now()); },
+          kReplayFinish);
+    }
+    if (decision.next_wakeup != sim::kNoTime) {
+      // Arm a timer only when no already-scheduled event lands at or
+      // before the wake-up; otherwise that event's batch re-evaluates
+      // (reservations can move until then, so arming now would mostly
+      // produce stale timers).
+      if (!engine_.pending() || engine_.next_time() > decision.next_wakeup)
+        engine_.schedule_at(
+            decision.next_wakeup, [this] { core_.on_wake(engine_.now()); },
+            kReplayWake);
+    }
+  }
+
+  const Trace& trace_;
+  Core& core_;
+  sim::Engine engine_;
+  SimulationResult result_;
+  workload::JobId next_arrival_ = 0;  ///< stream cursor into trace_
+};
+
+/// Validate that `trace` satisfies the replay front's preconditions
+/// (dense ids, sane fields, jobs narrower than `machine_procs`, sorted
+/// by submit time). Shared by run_simulation and the served replay
+/// client; throws std::invalid_argument.
+void validate_replay_trace(const Trace& trace, int machine_procs);
+
+}  // namespace bfsim::core

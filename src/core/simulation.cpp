@@ -1,179 +1,17 @@
 #include "core/simulation.hpp"
 
-#include <algorithm>
 #include <optional>
 #include <stdexcept>
 #include <string>
 
 #include "core/audit.hpp"
+#include "core/decision_core.hpp"
+#include "core/replay.hpp"
 #include "core/validator.hpp"
-#include "sim/engine.hpp"
 
 namespace bfsim::core {
 
-namespace {
-
-/// Completions sort before arrivals at the same instant, so a job
-/// arriving exactly when processors free up sees them available;
-/// cancellations apply last (a job submitted and withdrawn at the same
-/// instant is seen, then removed); wake-up timers close the batch.
-enum EventClass : int { kFinish = 0, kSubmit = 1, kCancel = 2, kWake = 3 };
-
-/// One run_simulation call: the engine, the per-job outcomes, and the
-/// batch bookkeeping (a "batch" is every event at one timestamp; the
-/// scheduler decides starts at most once per batch).
-class Driver {
- public:
-  Driver(const Trace& trace, Scheduler& scheduler, ScheduleAuditor* auditor)
-      : trace_(trace), scheduler_(scheduler), auditor_(auditor) {
-    result_.scheduler_name = scheduler_.name();
-    result_.outcomes.resize(trace_.size());
-    for (std::size_t i = 0; i < trace_.size(); ++i)
-      result_.outcomes[i].job = trace_[i];
-    // Arrivals ride the engine's stream channel: the trace is already
-    // sorted by submit time, so each arrival fires straight from the
-    // armed head -- no heap push/pop per submit -- and re-arms its
-    // successor (see on_submit). Cancels still go through the heap. The
-    // heap stays small (running jobs only) instead of holding the trace.
-    if (!trace_.empty()) {
-      engine_.set_stream(kSubmit, [this] { on_submit(next_arrival_++); });
-      engine_.arm_stream(trace_[0].submit);
-    }
-    // The engine drains every same-time event, then closes the batch
-    // here -- one scheduler pass (at most) per burst of simultaneous
-    // finishes/arrivals, and the per-event handlers stay free of
-    // batch-boundary bookkeeping.
-    engine_.set_batch_end([this] { end_batch(engine_.now()); });
-  }
-
-  SimulationResult run() {
-    engine_.run();
-    return std::move(result_);
-  }
-
- private:
-  void on_submit(JobId id) {
-    const Time now = engine_.now();
-    ++result_.events;
-    ++queued_;
-    if (auditor_) auditor_->on_submitted(trace_[id], now);
-    pass_needed_ |= scheduler_.job_submitted(trace_[id], now);
-    // Re-arm before the batch-end check so a same-instant cancel or
-    // successor arrival keeps this batch open. Delivery order is
-    // unchanged from pushing every submit through the heap: the stream
-    // holds one arrival at a time, so submits fire in id order, and
-    // cancels enqueue in submit (= id) order, which is how same-time
-    // cancels tie-break anyway.
-    if (trace_[id].cancel_at != sim::kNoTime)
-      engine_.schedule_at(
-          trace_[id].cancel_at, [this, id] { on_cancel(id); }, kCancel);
-    if (id + 1 < trace_.size()) engine_.arm_stream(trace_[id + 1].submit);
-  }
-
-  void on_finish(JobId id) {
-    const Time now = engine_.now();
-    ++result_.events;
-    if (auditor_) auditor_->on_finished(id, now);
-    pass_needed_ |= scheduler_.job_finished(id, now);
-  }
-
-  void on_cancel(JobId id) {
-    const Time now = engine_.now();
-    ++result_.events;
-    JobOutcome& outcome = result_.outcomes[id];
-    if (outcome.start == sim::kNoTime) {  // still queued: withdraw
-      --queued_;
-      if (auditor_) auditor_->on_cancelled(id, now);
-      pass_needed_ |= scheduler_.job_cancelled(id, now);
-      outcome.cancelled = true;
-    } else {
-      // Cancelling a job that already started is a no-op for the
-      // scheduler -- no hook runs. But the batch still advances the
-      // clock, and clock-driven policies (XFactor ordering, selective
-      // promotion) can surface a start from time alone, with no hook to
-      // vouch that a pass is unnecessary. Run one.
-      pass_needed_ = true;
-    }
-  }
-
-  void on_wake() {
-    // The timer carries no payload; the batch-end hook asks the
-    // scheduler whether its earliest reservation is in fact due now (it
-    // may have moved since this timer was armed -- a stale wake is a
-    // no-op).
-    ++result_.wakeups;
-  }
-
-  void end_batch(Time now) {
-    Time wake;
-    if (pass_needed_) {
-      // A hook already vouched for the pass; only the post-pass wake-up
-      // matters (asking before would waste a query on a stale answer).
-      run_pass(now);
-      wake = scheduler_.next_wakeup();
-    } else if ((wake = scheduler_.next_wakeup()) == now) {
-      run_pass(now);
-      wake = scheduler_.next_wakeup();
-    } else {
-      ++result_.passes_skipped;
-    }
-    pass_needed_ = false;
-    if (auditor_) auditor_->on_cycle_end(now);
-    // Tracked locally (submits minus starts minus cancels -- the exact
-    // quantity queued_count() reports) to keep a virtual call off the
-    // per-batch path.
-    result_.max_queue = std::max(result_.max_queue, queued_);
-    if (wake != sim::kNoTime) {
-      if (wake <= now)
-        throw std::logic_error(
-            "run_simulation: scheduler reported an overdue wake-up at t=" +
-            std::to_string(now));
-      // Arm a timer only when no already-scheduled event lands at or
-      // before the wake-up; otherwise that event's batch re-evaluates
-      // (reservations can move until then, so arming now would mostly
-      // produce stale timers).
-      if (!engine_.pending() || engine_.next_time() > wake)
-        engine_.schedule_at(wake, [this] { on_wake(); }, kWake);
-    }
-  }
-
-  void run_pass(Time now) {
-    ++result_.passes;
-    starts_.clear();
-    scheduler_.select_starts(now, starts_);
-    queued_ -= starts_.size();
-    for (const Job& started : starts_) {
-      if (auditor_) auditor_->on_started(started, now);
-      JobOutcome& outcome = result_.outcomes[started.id];
-      if (outcome.start != sim::kNoTime)
-        throw std::logic_error("run_simulation: job " +
-                               std::to_string(started.id) + " started twice");
-      const Time effective = std::min(started.runtime, started.estimate);
-      outcome.start = now;
-      outcome.end = sim::saturating_add(now, effective);
-      outcome.killed = started.runtime > started.estimate;
-      result_.makespan = std::max(result_.makespan, outcome.end);
-      engine_.schedule_at(
-          outcome.end, [this, id = started.id] { on_finish(id); }, kFinish);
-    }
-  }
-
-  const Trace& trace_;
-  Scheduler& scheduler_;
-  ScheduleAuditor* auditor_;
-  sim::Engine engine_;
-  SimulationResult result_;
-  std::vector<Job> starts_;  ///< run_pass scratch, reused across passes
-  std::size_t queued_ = 0;   ///< live wait-queue depth (mirrors scheduler)
-  JobId next_arrival_ = 0;   ///< stream cursor into trace_
-  bool pass_needed_ = false;
-};
-
-}  // namespace
-
-SimulationResult run_simulation(const Trace& trace, Scheduler& scheduler,
-                                const SimulationOptions& options) {
-  const int machine_procs = scheduler.config().procs;
+void validate_replay_trace(const Trace& trace, int machine_procs) {
   for (std::size_t i = 0; i < trace.size(); ++i) {
     if (trace[i].id != i)
       throw std::invalid_argument(
@@ -194,6 +32,12 @@ SimulationResult run_simulation(const Trace& trace, Scheduler& scheduler,
       throw std::invalid_argument(
           "run_simulation: trace not sorted by submit time");
   }
+}
+
+SimulationResult run_simulation(const Trace& trace, Scheduler& scheduler,
+                                const SimulationOptions& options) {
+  const int machine_procs = scheduler.config().procs;
+  validate_replay_trace(trace, machine_procs);
 
   // The auditor sees every event the scheduler sees, before the
   // scheduler does, so a violation is reported at the exact event that
@@ -204,8 +48,13 @@ SimulationResult run_simulation(const Trace& trace, Scheduler& scheduler,
   if (auditor == nullptr && options.audit)
     auditor = &owned_auditor.emplace(scheduler);
 
-  Driver driver(trace, scheduler, auditor);
-  SimulationResult result = driver.run();
+  // The whole simulator is now two reusable halves glued together: the
+  // decision core (the seam the scheduling service also serves) and the
+  // trace-replay event loop (core/replay.hpp).
+  DecisionCore core{scheduler, auditor};
+  core.reserve_jobs(trace.size());
+  EngineReplay<DecisionCore> replay{trace, core};
+  SimulationResult result = replay.run();
 
   for (const JobOutcome& outcome : result.outcomes)
     if (outcome.start == sim::kNoTime && !outcome.cancelled)

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "metrics/serialize.hpp"
+#include "util/framing.hpp"
 #include "util/error.hpp"
 
 #if defined(__unix__) || defined(__APPLE__)
@@ -21,72 +22,6 @@ namespace bfsim::exp {
 namespace {
 
 constexpr const char* kHeader = "bfsim-journal v1";
-
-/// FNV-1a 64-bit over the record body; cheap, dependency-free, and
-/// plenty to reject a torn tail (this is corruption *detection* after
-/// a crash, not an adversarial integrity check).
-std::uint64_t fnv1a(const std::string& text) {
-  std::uint64_t hash = 0xcbf29ce484222325ULL;
-  for (const char c : text) {
-    hash ^= static_cast<unsigned char>(c);
-    hash *= 0x100000001b3ULL;
-  }
-  return hash;
-}
-
-std::string hash_hex(std::uint64_t hash) {
-  char buffer[17];
-  std::snprintf(buffer, sizeof buffer, "%016llx",
-                static_cast<unsigned long long>(hash));
-  return buffer;
-}
-
-/// %-escape the characters that would break the line/field framing.
-std::string escape(const std::string& text) {
-  std::string out;
-  out.reserve(text.size());
-  for (const char c : text) {
-    switch (c) {
-      case '%': out += "%25"; break;
-      case '\t': out += "%09"; break;
-      case '\n': out += "%0a"; break;
-      case '\r': out += "%0d"; break;
-      default: out += c;
-    }
-  }
-  return out;
-}
-
-std::string unescape(const std::string& text) {
-  std::string out;
-  out.reserve(text.size());
-  for (std::size_t i = 0; i < text.size(); ++i) {
-    if (text[i] == '%' && i + 2 < text.size()) {
-      const std::string hex = text.substr(i + 1, 2);
-      char* end = nullptr;
-      const long value = std::strtol(hex.c_str(), &end, 16);
-      if (end == hex.c_str() + 2) {
-        out += static_cast<char>(value);
-        i += 2;
-        continue;
-      }
-    }
-    out += text[i];
-  }
-  return out;
-}
-
-std::vector<std::string> split_fields(const std::string& line) {
-  std::vector<std::string> fields;
-  std::size_t start = 0;
-  for (std::size_t i = 0; i <= line.size(); ++i) {
-    if (i == line.size() || line[i] == '\t') {
-      fields.push_back(line.substr(start, i - start));
-      start = i + 1;
-    }
-  }
-  return fields;
-}
 
 std::string encode_values(const std::vector<double>& values) {
   std::string out;
@@ -115,8 +50,8 @@ std::vector<double> decode_values(const std::string& text) {
 
 /// Body of a record line (everything before the trailing hash field).
 std::string record_body(std::size_t index, const CellResult& result) {
-  return "C\t" + std::to_string(index) + '\t' + escape(result.tag) + '\t' +
-         escape(result.label) + '\t' + metrics::encode_metrics(result.metrics) +
+  return "C\t" + std::to_string(index) + '\t' + util::escape_field(result.tag) + '\t' +
+         util::escape_field(result.label) + '\t' + metrics::encode_metrics(result.metrics) +
          '\t' + encode_values(result.values);
 }
 
@@ -138,17 +73,12 @@ JournalContents read_journal(const std::string& path) {
     // Everything after the first corrupt record is untrusted: the file
     // is append-only, so a bad line means the tail (or the file) is
     // damaged and the affected cells simply rerun.
-    const std::size_t hash_sep = line.rfind('\t');
-    if (hash_sep == std::string::npos) {
+    std::string body;
+    if (!util::verify_frame(line, &body)) {
       contents.truncated = true;
       break;
     }
-    const std::string body = line.substr(0, hash_sep);
-    if (hash_hex(fnv1a(body)) != line.substr(hash_sep + 1)) {
-      contents.truncated = true;
-      break;
-    }
-    const std::vector<std::string> fields = split_fields(body);
+    const std::vector<std::string> fields = util::split_fields(body);
     if (fields.size() != 6 || fields[0] != "C") {
       contents.truncated = true;
       break;
@@ -160,8 +90,8 @@ JournalContents read_journal(const std::string& path) {
       break;
     }
     CellResult result;
-    result.tag = unescape(fields[2]);
-    result.label = unescape(fields[3]);
+    result.tag = util::unescape_field(fields[2]);
+    result.label = util::unescape_field(fields[3]);
     result.metrics = metrics::decode_metrics(fields[4]);
     result.values = decode_values(fields[5]);
     result.ok = true;
@@ -202,8 +132,7 @@ JournalWriter::~JournalWriter() {
 }
 
 void JournalWriter::record(std::size_t index, const CellResult& result) {
-  const std::string body = record_body(index, result);
-  const std::string line = body + '\t' + hash_hex(fnv1a(body)) + '\n';
+  const std::string line = util::seal_frame(record_body(index, result)) + '\n';
   const std::scoped_lock lock(impl_->mutex);
   if (std::fwrite(line.data(), 1, line.size(), impl_->file) != line.size())
     throw std::runtime_error("journal: short write to '" + impl_->path + "'");

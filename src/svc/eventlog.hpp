@@ -1,0 +1,75 @@
+// bfsim -- the scheduling service's crash-safe event log.
+//
+// A daemon that dies must come back with the same future schedule, so
+// the session's state is persisted as the *inputs* that produced it:
+// an append-only file holding the accepted hello frame and every
+// accepted `events` frame, one checksummed record per line, fsync'd
+// before the reply leaves the process. On restart the daemon replays
+// the logged frames through a fresh DecisionCore -- the core is
+// deterministic, so event sourcing reconstructs the exact scheduler
+// state -- and greets the client with `resumed_seq`, the last frame it
+// holds; the client re-sends anything newer. The file format follows
+// the sweep checkpoint journal (exp/journal.hpp) and shares its
+// framing primitives (util/framing.hpp):
+//
+//   bfsim-eventlog v1
+//   H<TAB>hello-frame<TAB>fnv64
+//   E<TAB>seq<TAB>events-frame<TAB>fnv64
+//
+// Frames are stored %-escaped verbatim as received; a torn tail (one
+// partial line after a crash mid-write) fails its checksum and reads
+// as "never accepted", which is exactly the contract: the reply for
+// that frame never left either.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace bfsim::svc {
+
+/// Everything read back from an event log file.
+struct EventLogContents {
+  /// The accepted hello frame, verbatim; empty when the log holds no
+  /// session yet (header only, or missing file).
+  std::string hello;
+  /// Accepted event batches in append order: (seq, frame line).
+  std::vector<std::pair<std::uint64_t, std::string>> frames;
+  /// True when a corrupt/torn line stopped the read early.
+  bool truncated = false;
+};
+
+/// Parse an event log; a missing file yields empty contents. Throws
+/// util::ParseError when the file exists but is not a bfsim event log
+/// (a wrong-path mistake, not a crash relic).
+[[nodiscard]] EventLogContents read_event_log(const std::string& path);
+
+/// Append-only, fsync'd event-log writer (same durability discipline
+/// as exp::JournalWriter: a record is on disk before the caller's
+/// reply is sent).
+class EventLogWriter {
+ public:
+  /// Opens `path` for append, writing the header line first when the
+  /// file is new or empty. Throws std::runtime_error on open failure.
+  explicit EventLogWriter(const std::string& path);
+  ~EventLogWriter();
+
+  EventLogWriter(const EventLogWriter&) = delete;
+  EventLogWriter& operator=(const EventLogWriter&) = delete;
+
+  /// Durably record the accepted hello frame (once per session).
+  void record_hello(const std::string& frame);
+
+  /// Durably record one accepted `events` frame.
+  void record_batch(std::uint64_t seq, const std::string& frame);
+
+ private:
+  void append_line(const std::string& body);
+
+  std::FILE* file_ = nullptr;
+  std::string path_;
+};
+
+}  // namespace bfsim::svc

@@ -1,0 +1,425 @@
+#include "svc/json.hpp"
+
+#include <cctype>
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace bfsim::svc {
+
+Json Json::boolean(bool value) {
+  Json j;
+  j.kind_ = Kind::kBool;
+  j.bool_ = value;
+  return j;
+}
+
+Json Json::integer(std::int64_t value) {
+  Json j;
+  j.kind_ = Kind::kInt;
+  j.int_ = value;
+  return j;
+}
+
+Json Json::number(double value) {
+  Json j;
+  j.kind_ = Kind::kDouble;
+  j.double_ = value;
+  return j;
+}
+
+Json Json::string(std::string value) {
+  Json j;
+  j.kind_ = Kind::kString;
+  j.string_ = std::move(value);
+  return j;
+}
+
+Json Json::array() {
+  Json j;
+  j.kind_ = Kind::kArray;
+  return j;
+}
+
+Json Json::object() {
+  Json j;
+  j.kind_ = Kind::kObject;
+  return j;
+}
+
+const Json* Json::find(std::string_view key) const {
+  if (kind_ != Kind::kObject) return nullptr;
+  for (const auto& [name, value] : object_)
+    if (name == key) return &value;
+  return nullptr;
+}
+
+void Json::push_back(Json value) { array_.push_back(std::move(value)); }
+
+void Json::set(std::string key, Json value) {
+  object_.emplace_back(std::move(key), std::move(value));
+}
+
+bool operator==(const Json& a, const Json& b) {
+  if (a.kind_ != b.kind_) return false;
+  switch (a.kind_) {
+    case Json::Kind::kNull: return true;
+    case Json::Kind::kBool: return a.bool_ == b.bool_;
+    case Json::Kind::kInt: return a.int_ == b.int_;
+    case Json::Kind::kDouble: return a.double_ == b.double_;
+    case Json::Kind::kString: return a.string_ == b.string_;
+    case Json::Kind::kArray: return a.array_ == b.array_;
+    case Json::Kind::kObject: return a.object_ == b.object_;
+  }
+  return false;
+}
+
+namespace {
+
+void dump_string(const std::string& text, std::string& out) {
+  out += '"';
+  for (const char c : text) {
+    const auto byte = static_cast<unsigned char>(c);
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (byte < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof buffer, "\\u%04x", byte);
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void dump_value(const Json& value, std::string& out) {
+  switch (value.kind()) {
+    case Json::Kind::kNull: out += "null"; break;
+    case Json::Kind::kBool: out += value.as_bool() ? "true" : "false"; break;
+    case Json::Kind::kInt: out += std::to_string(value.as_int()); break;
+    case Json::Kind::kDouble: {
+      char buffer[32];
+      std::snprintf(buffer, sizeof buffer, "%.17g", value.as_double());
+      out += buffer;
+      break;
+    }
+    case Json::Kind::kString: dump_string(value.as_string(), out); break;
+    case Json::Kind::kArray: {
+      out += '[';
+      const Json::Array& items = value.as_array();
+      for (std::size_t i = 0; i < items.size(); ++i) {
+        if (i > 0) out += ',';
+        dump_value(items[i], out);
+      }
+      out += ']';
+      break;
+    }
+    case Json::Kind::kObject: {
+      out += '{';
+      const Json::Object& members = value.as_object();
+      for (std::size_t i = 0; i < members.size(); ++i) {
+        if (i > 0) out += ',';
+        dump_string(members[i].first, out);
+        out += ':';
+        dump_value(members[i].second, out);
+      }
+      out += '}';
+      break;
+    }
+  }
+}
+
+/// Recursive-descent parser. Recursion depth is bounded by
+/// JsonLimits::max_depth, so hostile deeply-nested input cannot blow
+/// the stack; every other resource is bounded by max_members and the
+/// input length itself (the service already caps frame bytes).
+class Parser {
+ public:
+  Parser(std::string_view text, const JsonLimits& limits)
+      : text_(text), limits_(limits) {}
+
+  Json parse() {
+    Json value = parse_value(0);
+    skip_space();
+    if (pos_ != text_.size())
+      throw JsonError("trailing bytes after JSON document", pos_);
+    return value;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw JsonError(what, pos_);
+  }
+
+  void skip_space() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (pos_ >= text_.size() || text_[pos_] != c)
+      fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume_literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) return false;
+    pos_ += word.size();
+    return true;
+  }
+
+  void count_member() {
+    if (++members_ > limits_.max_members)
+      fail("document exceeds member limit");
+  }
+
+  Json parse_value(std::size_t depth) {
+    if (depth > limits_.max_depth) fail("nesting exceeds depth limit");
+    skip_space();
+    count_member();
+    const char c = peek();
+    switch (c) {
+      case '{': return parse_object(depth);
+      case '[': return parse_array(depth);
+      case '"': return Json::string(parse_string());
+      case 't':
+        if (consume_literal("true")) return Json::boolean(true);
+        fail("invalid literal");
+      case 'f':
+        if (consume_literal("false")) return Json::boolean(false);
+        fail("invalid literal");
+      case 'n':
+        if (consume_literal("null")) return Json::null();
+        fail("invalid literal");
+      default: return parse_number();
+    }
+  }
+
+  Json parse_object(std::size_t depth) {
+    expect('{');
+    Json object = Json::object();
+    skip_space();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      return object;
+    }
+    while (true) {
+      skip_space();
+      if (peek() != '"') fail("expected object key string");
+      std::string key = parse_string();
+      skip_space();
+      expect(':');
+      object.set(std::move(key), parse_value(depth + 1));
+      skip_space();
+      const char next = peek();
+      if (next == ',') {
+        ++pos_;
+        continue;
+      }
+      if (next == '}') {
+        ++pos_;
+        return object;
+      }
+      fail("expected ',' or '}' in object");
+    }
+  }
+
+  Json parse_array(std::size_t depth) {
+    expect('[');
+    Json array = Json::array();
+    skip_space();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      return array;
+    }
+    while (true) {
+      array.push_back(parse_value(depth + 1));
+      skip_space();
+      const char next = peek();
+      if (next == ',') {
+        ++pos_;
+        continue;
+      }
+      if (next == ']') {
+        ++pos_;
+        return array;
+      }
+      fail("expected ',' or ']' in array");
+    }
+  }
+
+  unsigned parse_hex4() {
+    if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+    unsigned value = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_ + static_cast<std::size_t>(i)];
+      value <<= 4;
+      if (c >= '0' && c <= '9') value |= static_cast<unsigned>(c - '0');
+      else if (c >= 'a' && c <= 'f') value |= static_cast<unsigned>(c - 'a' + 10);
+      else if (c >= 'A' && c <= 'F') value |= static_cast<unsigned>(c - 'A' + 10);
+      else fail("bad hex digit in \\u escape");
+    }
+    pos_ += 4;
+    return value;
+  }
+
+  void append_utf8(unsigned long code, std::string& out) {
+    if (code < 0x80) {
+      out += static_cast<char>(code);
+    } else if (code < 0x800) {
+      out += static_cast<char>(0xC0 | (code >> 6));
+      out += static_cast<char>(0x80 | (code & 0x3F));
+    } else if (code < 0x10000) {
+      out += static_cast<char>(0xE0 | (code >> 12));
+      out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (code & 0x3F));
+    } else {
+      out += static_cast<char>(0xF0 | (code >> 18));
+      out += static_cast<char>(0x80 | ((code >> 12) & 0x3F));
+      out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (code & 0x3F));
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return out;
+      }
+      if (static_cast<unsigned char>(c) < 0x20)
+        fail("unescaped control character in string");
+      if (c != '\\') {
+        out += c;
+        ++pos_;
+        continue;
+      }
+      ++pos_;
+      if (pos_ >= text_.size()) fail("truncated escape");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          const unsigned hi = parse_hex4();
+          if (hi >= 0xD800 && hi <= 0xDBFF) {  // high surrogate: need pair
+            if (pos_ + 1 < text_.size() && text_[pos_] == '\\' &&
+                text_[pos_ + 1] == 'u') {
+              pos_ += 2;
+              const unsigned lo = parse_hex4();
+              if (lo < 0xDC00 || lo > 0xDFFF)
+                fail("invalid low surrogate in \\u pair");
+              const unsigned long code =
+                  0x10000UL + ((static_cast<unsigned long>(hi) - 0xD800UL)
+                               << 10) + (lo - 0xDC00UL);
+              append_utf8(code, out);
+            } else {
+              fail("lone high surrogate in string");
+            }
+          } else if (hi >= 0xDC00 && hi <= 0xDFFF) {
+            fail("lone low surrogate in string");
+          } else {
+            append_utf8(hi, out);
+          }
+          break;
+        }
+        default: fail("unknown escape character");
+      }
+    }
+  }
+
+  Json parse_number() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_])))
+      ++pos_;
+    if (pos_ == start || (text_[start] == '-' && pos_ == start + 1))
+      fail("invalid number");
+    bool integral = true;
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      integral = false;
+      ++pos_;
+      const std::size_t frac = pos_;
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_])))
+        ++pos_;
+      if (pos_ == frac) fail("invalid number: empty fraction");
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      integral = false;
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-'))
+        ++pos_;
+      const std::size_t exp = pos_;
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_])))
+        ++pos_;
+      if (pos_ == exp) fail("invalid number: empty exponent");
+    }
+    const std::string token{text_.substr(start, pos_ - start)};
+    if (integral) {
+      errno = 0;
+      char* end = nullptr;
+      const long long value = std::strtoll(token.c_str(), &end, 10);
+      if (errno != ERANGE && end == token.c_str() + token.size())
+        return Json::integer(value);
+      // Magnitude beyond int64: fall through to double semantics.
+    }
+    errno = 0;
+    char* end = nullptr;
+    const double value = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) fail("invalid number");
+    if (!std::isfinite(value)) fail("number is not finite");
+    return Json::number(value);
+  }
+
+  std::string_view text_;
+  JsonLimits limits_;
+  std::size_t pos_ = 0;
+  std::size_t members_ = 0;
+};
+
+}  // namespace
+
+std::string Json::dump() const {
+  std::string out;
+  dump_value(*this, out);
+  return out;
+}
+
+Json parse_json(std::string_view text, const JsonLimits& limits) {
+  Parser parser{text, limits};
+  return parser.parse();
+}
+
+}  // namespace bfsim::svc

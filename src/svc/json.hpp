@@ -1,0 +1,113 @@
+// bfsim -- minimal JSON for the scheduling-service wire protocol.
+//
+// The service speaks line-delimited JSON to arbitrary clients, so this
+// parser is written for hostile input first: hard limits on nesting
+// depth and token sizes, no recursion past the depth cap, every
+// malformed byte sequence a structured JsonError (never UB or a
+// crash), and non-finite numbers rejected. Objects preserve insertion
+// order (a vector of pairs, not a hash map) so every serialization is
+// deterministic -- the same determinism contract the rest of the tree
+// is linted for. No external dependency: the container bakes in
+// nothing JSON-shaped, and the protocol needs only this subset.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace bfsim::svc {
+
+/// Malformed JSON (or a resource limit exceeded). Carries the byte
+/// offset of the offending input so protocol errors can point at it.
+class JsonError : public std::runtime_error {
+ public:
+  JsonError(const std::string& what, std::size_t offset)
+      : std::runtime_error(what + " (at byte " + std::to_string(offset) + ")"),
+        offset_(offset) {}
+
+  [[nodiscard]] std::size_t offset() const { return offset_; }
+
+ private:
+  std::size_t offset_;
+};
+
+struct JsonLimits {
+  std::size_t max_depth = 32;        ///< nesting cap (parser is iterative-ish)
+  std::size_t max_members = 65536;   ///< total values across the document
+};
+
+/// One JSON value. Int64 and Double are distinct: protocol fields are
+/// integers (times, ids, seqs) and must round-trip exactly.
+class Json {
+ public:
+  enum class Kind : std::uint8_t {
+    kNull, kBool, kInt, kDouble, kString, kArray, kObject,
+  };
+
+  using Array = std::vector<Json>;
+  /// Insertion-ordered members; lookups are linear (objects are tiny).
+  using Object = std::vector<std::pair<std::string, Json>>;
+
+  Json() = default;
+  static Json null() { return Json{}; }
+  static Json boolean(bool value);
+  static Json integer(std::int64_t value);
+  static Json number(double value);
+  static Json string(std::string value);
+  static Json array();
+  static Json object();
+
+  [[nodiscard]] Kind kind() const { return kind_; }
+  [[nodiscard]] bool is_null() const { return kind_ == Kind::kNull; }
+  [[nodiscard]] bool is_bool() const { return kind_ == Kind::kBool; }
+  [[nodiscard]] bool is_int() const { return kind_ == Kind::kInt; }
+  [[nodiscard]] bool is_number() const {
+    return kind_ == Kind::kInt || kind_ == Kind::kDouble;
+  }
+  [[nodiscard]] bool is_string() const { return kind_ == Kind::kString; }
+  [[nodiscard]] bool is_array() const { return kind_ == Kind::kArray; }
+  [[nodiscard]] bool is_object() const { return kind_ == Kind::kObject; }
+
+  [[nodiscard]] bool as_bool() const { return bool_; }
+  [[nodiscard]] std::int64_t as_int() const { return int_; }
+  [[nodiscard]] double as_double() const {
+    return kind_ == Kind::kInt ? static_cast<double>(int_) : double_;
+  }
+  [[nodiscard]] const std::string& as_string() const { return string_; }
+  [[nodiscard]] const Array& as_array() const { return array_; }
+  [[nodiscard]] const Object& as_object() const { return object_; }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  [[nodiscard]] const Json* find(std::string_view key) const;
+
+  /// Append/insert for building replies.
+  void push_back(Json value);                      ///< array
+  void set(std::string key, Json value);           ///< object (appends)
+
+  /// Canonical compact serialization (no whitespace, members in
+  /// insertion order, integers as integers, doubles via %.17g).
+  [[nodiscard]] std::string dump() const;
+
+  friend bool operator==(const Json&, const Json&);
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  std::int64_t int_ = 0;
+  double double_ = 0.0;
+  std::string string_;
+  Array array_;
+  Object object_;
+};
+
+/// Parse one complete JSON document from `text`; trailing non-space
+/// bytes are an error. Throws JsonError on malformed input or any
+/// exceeded limit.
+[[nodiscard]] Json parse_json(std::string_view text,
+                              const JsonLimits& limits = {});
+
+}  // namespace bfsim::svc

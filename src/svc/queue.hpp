@@ -1,0 +1,77 @@
+// bfsim -- a bounded blocking queue: the service's backpressure seam.
+//
+// The socket reader and the scheduling worker are decoupled by one of
+// these. The bound is the whole point: when the worker falls behind, a
+// full queue blocks the reader, the kernel socket buffer fills, and
+// the client's writes stall -- backpressure propagates to the event
+// source instead of the daemon buffering unboundedly and dying of a
+// hostile (or merely fast) client.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace bfsim::svc {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(std::size_t capacity) : capacity_(capacity) {}
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  /// Block until there is room (backpressure), then enqueue. Returns
+  /// false when the queue was closed instead.
+  bool push(T value) {
+    std::unique_lock lock{mutex_};
+    not_full_.wait(lock,
+                   [this] { return closed_ || items_.size() < capacity_; });
+    if (closed_) return false;
+    items_.push_back(std::move(value));
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Block until an item arrives; nullopt once the queue is closed
+  /// *and* drained (close is a graceful end-of-stream, not an abort).
+  std::optional<T> pop() {
+    std::unique_lock lock{mutex_};
+    not_empty_.wait(lock, [this] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;
+    T value = std::move(items_.front());
+    items_.pop_front();
+    not_full_.notify_one();
+    return value;
+  }
+
+  /// End the stream: blocked pushers return false, poppers drain the
+  /// backlog and then see end-of-stream.
+  void close() {
+    const std::scoped_lock lock{mutex_};
+    closed_ = true;
+    not_full_.notify_all();
+    not_empty_.notify_all();
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    const std::scoped_lock lock{mutex_};
+    return items_.size();
+  }
+
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<T> items_;
+  std::size_t capacity_;
+  bool closed_ = false;
+};
+
+}  // namespace bfsim::svc

@@ -1,0 +1,102 @@
+#include "svc/server.hpp"
+
+#include <cerrno>
+#include <thread>
+
+#include "svc/protocol.hpp"
+#include "svc/queue.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/socket.h>
+#include <unistd.h>
+#endif
+
+namespace bfsim::svc {
+
+namespace {
+
+/// Write all of `text`, riding out partial writes and EINTR. Returns
+/// false when the peer is gone.
+bool write_all(int fd, const std::string& text) {
+  std::size_t done = 0;
+  while (done < text.size()) {
+    const ssize_t wrote =
+        ::write(fd, text.data() + done, text.size() - done);
+    if (wrote < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    done += static_cast<std::size_t>(wrote);
+  }
+  return true;
+}
+
+/// The reader half: split the byte stream into lines and enqueue them.
+/// A line longer than kMaxFrameBytes is kept only up to the limit plus
+/// one byte -- enough for the session to classify it as oversized --
+/// and the rest of it is discarded as it streams in.
+void read_lines(int fd, BoundedQueue<std::string>& queue) {
+  std::string partial;
+  bool discarding = false;
+  char buffer[4096];
+  while (true) {
+    const ssize_t got = ::read(fd, buffer, sizeof buffer);
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (got == 0) break;  // EOF
+    std::size_t start = 0;
+    for (std::size_t i = 0; i < static_cast<std::size_t>(got); ++i) {
+      if (buffer[i] != '\n') continue;
+      if (!discarding) partial.append(buffer + start, i - start);
+      start = i + 1;
+      discarding = false;
+      if (!partial.empty() && partial.back() == '\r') partial.pop_back();
+      if (!partial.empty() && !queue.push(std::move(partial))) return;
+      partial.clear();
+    }
+    if (!discarding) {
+      partial.append(buffer + start, static_cast<std::size_t>(got) - start);
+      if (partial.size() > kMaxFrameBytes + 1) {
+        partial.resize(kMaxFrameBytes + 1);
+        discarding = true;  // swallow the tail until the next newline
+      }
+    }
+  }
+  // A last unterminated line still counts: EOF ends the frame.
+  if (!partial.empty()) queue.push(std::move(partial));
+  queue.close();
+}
+
+}  // namespace
+
+ServeResult serve_connection(int in_fd, int out_fd, Session& session,
+                             const ServeOptions& options) {
+  ServeResult result;
+  BoundedQueue<std::string> queue{options.queue_capacity};
+  std::thread reader{[in_fd, &queue] { read_lines(in_fd, queue); }};
+  while (true) {
+    std::optional<std::string> line = queue.pop();
+    if (!line) break;  // EOF reached and backlog drained
+    ++result.lines;
+    const std::string reply = session.handle_line(*line);
+    if (!write_all(out_fd, reply + '\n')) break;
+    if (session.closed()) {
+      result.clean_bye = true;
+      break;
+    }
+  }
+#if defined(__unix__) || defined(__APPLE__)
+  // Kick a reader still blocked in read(2) (sockets only; on a pipe
+  // this fails harmlessly and the client's close delivers the EOF).
+  ::shutdown(in_fd, SHUT_RD);
+#endif
+  queue.close();
+  // Drain pushers: the reader may be blocked in push(); close() above
+  // unblocks it and it exits on its own.
+  reader.join();
+  return result;
+}
+
+}  // namespace bfsim::svc

@@ -1,0 +1,38 @@
+// bfsim -- the line-oriented connection server.
+//
+// serve_connection() pumps one established byte stream (a socket or a
+// pipe pair) through one Session: a reader thread splits the stream
+// into frame lines and pushes them onto a BoundedQueue (blocking when
+// full -- see queue.hpp for why that bound IS the backpressure
+// mechanism), while the calling thread pops lines, runs the protocol
+// state machine, and writes each reply. Frames longer than
+// kMaxFrameBytes are cut off at the wire: the reader discards the
+// oversized tail and enqueues a poison marker the worker answers with
+// a structured error, so a client streaming gigabytes of garbage
+// costs one buffer, not the heap.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "svc/session.hpp"
+
+namespace bfsim::svc {
+
+struct ServeOptions {
+  /// Inbound frame-queue bound (frames, not bytes).
+  std::size_t queue_capacity = 64;
+};
+
+struct ServeResult {
+  std::uint64_t lines = 0;    ///< frames handled (including rejected)
+  bool clean_bye = false;     ///< the client said goodbye before EOF
+};
+
+/// Serve one connection until `bye` or EOF. `in_fd`/`out_fd` may be
+/// the same descriptor (a socket) or a pipe pair. Returns after the
+/// reader thread is joined; the descriptors are not closed.
+ServeResult serve_connection(int in_fd, int out_fd, Session& session,
+                             const ServeOptions& options = {});
+
+}  // namespace bfsim::svc

@@ -1,0 +1,231 @@
+#include "svc/session.hpp"
+
+#include <map>
+#include <utility>
+
+#include "core/scheduler.hpp"
+
+namespace bfsim::svc {
+
+namespace {
+
+/// Two hellos describe the same session iff every scheduler-visible
+/// knob matches (exact compare: both sides parsed from JSON the same
+/// way, so equal configs are bit-equal).
+bool same_session(const HelloRequest& a, const HelloRequest& b) {
+  return a.version == b.version && a.kind == b.kind &&
+         a.config.procs == b.config.procs &&
+         a.config.priority == b.config.priority &&
+         a.extras.reservation_depth == b.extras.reservation_depth &&
+         a.extras.xfactor_threshold == b.extras.xfactor_threshold &&
+         a.extras.selective_adaptive == b.extras.selective_adaptive &&
+         a.extras.slack_factor == b.extras.slack_factor &&
+         a.audit == b.audit;
+}
+
+}  // namespace
+
+Session::Session(SessionOptions options) : options_(std::move(options)) {
+  if (!options_.state_path.empty())
+    recovered_ = read_event_log(options_.state_path);
+}
+
+std::string Session::handle_line(std::string_view line) {
+  ++report_.frames;
+  try {
+    return handle_request(parse_request(line), line);
+  } catch (const ProtocolError& error) {
+    report_.count_rejected(error.reason());
+    return error_reply(error.reason(), error.what());
+  }
+}
+
+std::string Session::handle_request(const Request& request,
+                                    std::string_view line) {
+  switch (request.type) {
+    case Request::Type::kHello:
+      if (core_) {
+        // A reconnecting client re-handshakes into the live session
+        // (the transport died, the session did not). Idempotent when
+        // the configuration matches; a different config is a new
+        // session this daemon cannot host.
+        if (!same_session(hello_, request.hello))
+          throw ProtocolError("hello-mismatch",
+                              "session already established with a different "
+                              "scheduler configuration");
+        closed_ = false;
+        return welcome_reply(core_->name(), last_seq_);
+      }
+      return open_session(request.hello, line);
+    case Request::Type::kEvents:
+      if (!core_)
+        throw ProtocolError("no-hello", "send a 'hello' frame first");
+      if (closed_)
+        throw ProtocolError("closed", "session already said goodbye");
+      if (poisoned_)
+        throw ProtocolError(
+            "poisoned",
+            "a validated frame failed mid-apply; restart the daemon");
+      return apply_batch(request.batch, line, /*replaying=*/false);
+    case Request::Type::kStats:
+      if (!core_)
+        throw ProtocolError("no-hello", "send a 'hello' frame first");
+      return stats_reply(core_->stats(), core_->queued(), core_->running());
+    case Request::Type::kReport:
+      return report_reply(report_);
+    case Request::Type::kBye:
+      closed_ = true;
+      return bye_reply();
+  }
+  throw ProtocolError("unknown-type", "unhandled request type");
+}
+
+std::string Session::open_session(const HelloRequest& hello,
+                                  std::string_view line) {
+  if (!recovered_.hello.empty()) {
+    // The log holds a session: this client must be its continuation.
+    // (The logged hello was accepted once, so it parses; a log edited
+    // into unparseability is a wrong-file mistake worth dying over.)
+    const Request logged = parse_request(recovered_.hello);
+    if (!same_session(logged.hello, hello))
+      throw ProtocolError("hello-mismatch",
+                          "the state file belongs to a session with a "
+                          "different scheduler configuration");
+  }
+  hello_ = hello;
+  scheduler_ = core::make_scheduler(hello.kind, hello.config, hello.extras);
+  if (hello.audit) auditor_.emplace(*scheduler_);
+  core_.emplace(*scheduler_, hello.audit ? &*auditor_ : nullptr);
+  // Event-sourced restore: replay the logged frames through the fresh
+  // core in order. The core is deterministic, so this reconstructs the
+  // exact pre-crash scheduler state. A frame that no longer replays
+  // cleanly marks the trustworthy prefix's end -- state past it is
+  // dropped, and `resumed_seq` tells the client where to pick up.
+  for (const auto& [seq, frame] : recovered_.frames) {
+    try {
+      const Request request = parse_request(frame);
+      if (request.type != Request::Type::kEvents ||
+          request.batch.seq != last_seq_ + 1)
+        break;
+      apply_batch(request.batch, frame, /*replaying=*/true);
+    } catch (const ProtocolError&) {
+      break;
+    }
+  }
+  const bool fresh = recovered_.hello.empty();
+  recovered_ = {};
+  if (!options_.state_path.empty()) {
+    log_ = std::make_unique<EventLogWriter>(options_.state_path);
+    if (fresh) log_->record_hello(std::string(line));
+  }
+  return welcome_reply(core_->name(), last_seq_);
+}
+
+std::string Session::apply_batch(const EventBatch& batch,
+                                 std::string_view line, bool replaying) {
+  // A retransmit of the newest accepted frame gets its cached reply --
+  // the client resends after a lost reply, and the frame must not be
+  // applied twice.
+  if (batch.seq == last_seq_ && !last_reply_.empty()) return last_reply_;
+  if (batch.seq != last_seq_ + 1)
+    throw ProtocolError("bad-seq",
+                        "frame seq " + std::to_string(batch.seq) +
+                            ", expected " + std::to_string(last_seq_ + 1));
+  validate_batch(batch);
+  core::CycleDecision decision;
+  try {
+    for (const Event& event : batch.events) {
+      switch (event.kind) {
+        case EventKind::kFinish: core_->on_finish(event.id, batch.now); break;
+        case EventKind::kSubmit: core_->on_submit(event.job, batch.now); break;
+        case EventKind::kCancel: core_->on_cancel(event.id, batch.now); break;
+        case EventKind::kWake: core_->on_wake(batch.now); break;
+      }
+    }
+    decision = core_->end_cycle(batch.now);
+  } catch (const core::DecisionError& error) {
+    // validate_batch() mirrors every core contract check, so this
+    // branch means the mirror has a gap: some events of the batch are
+    // applied, the rest are not, and the core no longer matches the
+    // log. Refuse further events instead of serving wrong schedules.
+    poisoned_ = true;
+    throw ProtocolError("internal-desync", error.what());
+  }
+  last_seq_ = batch.seq;
+  last_now_ = batch.now;
+  // Durability order: apply, log, reply. A crash after apply but
+  // before the log write loses a frame the client never got a reply
+  // for -- it retransmits after resume and the replayed core accepts
+  // it again. The reverse order could log a frame the core rejected.
+  if (!replaying && log_) log_->record_batch(batch.seq, std::string(line));
+  last_reply_ = decision_reply(batch.seq, batch.now, decision);
+  return last_reply_;
+}
+
+void Session::validate_batch(const EventBatch& batch) const {
+  if (last_now_ != sim::kNoTime && batch.now < last_now_)
+    throw ProtocolError("time-regression",
+                        "batch at t=" + std::to_string(batch.now) +
+                            " after t=" + std::to_string(last_now_));
+  // Lifecycle overlay: the phase each job will hold once the batch's
+  // earlier events apply, so intra-batch sequences (finish then cancel
+  // of the same job) validate exactly as the core would apply them.
+  std::map<workload::JobId, core::JobPhase> overlay;
+  const auto phase_of = [&](workload::JobId id) {
+    const auto it = overlay.find(id);
+    return it != overlay.end() ? it->second : core_->phase(id);
+  };
+  int last_kind = -1;
+  for (const Event& event : batch.events) {
+    if (static_cast<int>(event.kind) < last_kind)
+      throw ProtocolError("out-of-order",
+                          "events within a batch must be ordered "
+                          "finish < submit < cancel < wake");
+    last_kind = static_cast<int>(event.kind);
+    switch (event.kind) {
+      case EventKind::kSubmit: {
+        const core::Job& job = event.job;
+        if (job.id >= core::kMaxTrackedJobs)
+          throw ProtocolError("bad-event", "job id " +
+                                               std::to_string(job.id) +
+                                               " out of range");
+        if (phase_of(job.id) != core::JobPhase::kUnseen)
+          throw ProtocolError("bad-event", "job " + std::to_string(job.id) +
+                                               " submitted twice");
+        if (job.estimate < 1)
+          throw ProtocolError("bad-event", "job " + std::to_string(job.id) +
+                                               " has estimate < 1");
+        if (job.procs > core_->machine_procs())
+          throw ProtocolError("bad-event", "job " + std::to_string(job.id) +
+                                               " is wider than the machine");
+        if (job.submit != batch.now)
+          throw ProtocolError("bad-event",
+                              "job " + std::to_string(job.id) +
+                                  " carries submit != the batch instant");
+        overlay[job.id] = core::JobPhase::kQueued;
+        break;
+      }
+      case EventKind::kFinish:
+        if (phase_of(event.id) != core::JobPhase::kRunning)
+          throw ProtocolError("bad-event", "job " + std::to_string(event.id) +
+                                               " is not running");
+        overlay[event.id] = core::JobPhase::kFinished;
+        break;
+      case EventKind::kCancel: {
+        const core::JobPhase phase = phase_of(event.id);
+        if (phase == core::JobPhase::kUnseen)
+          throw ProtocolError("bad-event", "job " + std::to_string(event.id) +
+                                               " was never submitted");
+        if (phase == core::JobPhase::kCancelled)
+          throw ProtocolError("bad-event", "job " + std::to_string(event.id) +
+                                               " cancelled twice");
+        if (phase == core::JobPhase::kQueued)
+          overlay[event.id] = core::JobPhase::kCancelled;
+        break;
+      }
+      case EventKind::kWake: break;
+    }
+  }
+}
+
+}  // namespace bfsim::svc

@@ -1,0 +1,96 @@
+// bfsim -- one scheduling-service session: the protocol state machine.
+//
+// A Session is a pure request/reply object: feed it one frame line,
+// get one reply line back, no I/O of its own -- the socket server, the
+// stdio pipe and the in-memory differential tests all drive the same
+// machine. It owns the scheduler + DecisionCore once the `hello`
+// lands, enforces the frame discipline (hello first, sequence numbers
+// contiguous, time monotonic, events in batch order), quarantines
+// every hostile frame behind a structured `error` reply with a
+// per-reason counter (ProtocolReport), and -- when given a state path
+// -- journals every accepted frame to the crash-safe event log before
+// the reply exists, so a killed daemon resumes by replaying its log
+// into an identical core.
+//
+// Atomicity: an `events` frame is applied all-or-nothing. The whole
+// batch is validated against the core's lifecycle table (plus an
+// overlay for intra-batch transitions) *before* the first event
+// touches the scheduler; a frame that fails validation is rejected
+// without advancing the sequence number, the clock, or any scheduler
+// state -- the client can repair and resend under the same seq.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "core/audit.hpp"
+#include "core/decision_core.hpp"
+#include "svc/eventlog.hpp"
+#include "svc/protocol.hpp"
+
+namespace bfsim::svc {
+
+struct SessionOptions {
+  /// Event-log path for crash-safe resume; empty = keep no state.
+  std::string state_path;
+};
+
+class Session {
+ public:
+  explicit Session(SessionOptions options = {});
+
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  /// Handle one request line (no trailing newline) and return the one
+  /// reply line. Never throws for hostile input -- malformed frames
+  /// come back as `error` replies and are counted in report().
+  [[nodiscard]] std::string handle_line(std::string_view line);
+
+  /// True once a `bye` frame was answered (the server should close).
+  [[nodiscard]] bool closed() const { return closed_; }
+
+  /// Quarantine counters for everything this session has seen.
+  [[nodiscard]] const ProtocolReport& report() const { return report_; }
+
+  /// The live decision core, or nullptr before a successful hello.
+  [[nodiscard]] const core::DecisionCore* decision_core() const {
+    return core_ ? &*core_ : nullptr;
+  }
+
+  /// Highest accepted `events` sequence number (0 = none yet).
+  [[nodiscard]] std::uint64_t last_seq() const { return last_seq_; }
+
+ private:
+  std::string handle_request(const Request& request, std::string_view line);
+  std::string apply_hello(const HelloRequest& hello, std::string_view line);
+  std::string apply_batch(const EventBatch& batch, std::string_view line,
+                          bool replaying);
+  /// Throws ProtocolError; touches nothing.
+  void validate_batch(const EventBatch& batch) const;
+  /// Build the core for `hello` and replay any logged frames into it.
+  std::string open_session(const HelloRequest& hello, std::string_view line);
+
+  SessionOptions options_;
+  ProtocolReport report_;
+  HelloRequest hello_;  ///< the accepted handshake (valid once core_ is)
+  std::unique_ptr<core::Scheduler> scheduler_;
+  std::optional<core::ScheduleAuditor> auditor_;
+  std::optional<core::DecisionCore> core_;
+  std::unique_ptr<EventLogWriter> log_;
+  /// Recovered-but-not-yet-replayed state from an existing event log.
+  EventLogContents recovered_;
+  std::uint64_t last_seq_ = 0;
+  std::string last_reply_;        ///< cached decisions reply (retransmit)
+  core::Time last_now_ = sim::kNoTime;  ///< latest accepted batch instant
+  bool closed_ = false;
+  /// A validated frame failed mid-apply (a validator gap): scheduler
+  /// state may be inconsistent with the log, so the session stops
+  /// accepting events rather than serving wrong schedules.
+  bool poisoned_ = false;
+};
+
+}  // namespace bfsim::svc

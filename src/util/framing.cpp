@@ -1,0 +1,83 @@
+#include "util/framing.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace bfsim::util {
+
+std::uint64_t fnv1a64(std::string_view text) {
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  for (const char c : text) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+std::string hash_hex(std::uint64_t hash) {
+  char buffer[17];
+  std::snprintf(buffer, sizeof buffer, "%016llx",
+                static_cast<unsigned long long>(hash));
+  return buffer;
+}
+
+std::string escape_field(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '%': out += "%25"; break;
+      case '\t': out += "%09"; break;
+      case '\n': out += "%0a"; break;
+      case '\r': out += "%0d"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string unescape_field(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    if (text[i] == '%' && i + 2 < text.size()) {
+      const std::string hex{text.substr(i + 1, 2)};
+      char* end = nullptr;
+      const long value = std::strtol(hex.c_str(), &end, 16);
+      if (end == hex.c_str() + 2) {
+        out += static_cast<char>(value);
+        i += 2;
+        continue;
+      }
+    }
+    out += text[i];
+  }
+  return out;
+}
+
+std::vector<std::string> split_fields(const std::string& line) {
+  std::vector<std::string> fields;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= line.size(); ++i) {
+    if (i == line.size() || line[i] == '\t') {
+      fields.push_back(line.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return fields;
+}
+
+bool verify_frame(const std::string& line, std::string* body) {
+  const std::size_t hash_sep = line.rfind('\t');
+  if (hash_sep == std::string::npos) return false;
+  std::string head = line.substr(0, hash_sep);
+  if (hash_hex(fnv1a64(head)) != line.substr(hash_sep + 1)) return false;
+  if (body != nullptr) *body = std::move(head);
+  return true;
+}
+
+std::string seal_frame(const std::string& body) {
+  return body + '\t' + hash_hex(fnv1a64(body));
+}
+
+}  // namespace bfsim::util

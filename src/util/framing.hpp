@@ -1,0 +1,46 @@
+// bfsim -- shared line/field framing for the crash-safe append logs.
+//
+// Two subsystems persist state as append-only text files with one
+// checksummed record per line: the sweep checkpoint journal
+// (exp/journal.hpp) and the scheduling service's event log
+// (svc/eventlog.hpp). Both need the same primitives -- a cheap
+// corruption-detecting hash so a torn tail reads as "not yet written",
+// and %-escaping of the characters that would break the TAB/newline
+// framing -- so they live here once instead of drifting apart.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace bfsim::util {
+
+/// FNV-1a 64-bit over the record body; cheap, dependency-free, and
+/// plenty to reject a torn tail (this is corruption *detection* after
+/// a crash, not an adversarial integrity check).
+[[nodiscard]] std::uint64_t fnv1a64(std::string_view text);
+
+/// Fixed-width lowercase hex of a 64-bit hash (16 characters).
+[[nodiscard]] std::string hash_hex(std::uint64_t hash);
+
+/// %-escape the characters that would break the line/field framing
+/// ('%', TAB, CR, LF).
+[[nodiscard]] std::string escape_field(std::string_view text);
+
+/// Inverse of escape_field; malformed escapes pass through verbatim
+/// (the checksum, not the unescaper, is the corruption gate).
+[[nodiscard]] std::string unescape_field(std::string_view text);
+
+/// Split a record line on TABs; always returns at least one field.
+[[nodiscard]] std::vector<std::string> split_fields(const std::string& line);
+
+/// True when `line` ends with a TAB plus the hex FNV-1a of everything
+/// before it -- the shared record-integrity convention. On success,
+/// `body` (when non-null) receives the pre-hash portion.
+[[nodiscard]] bool verify_frame(const std::string& line, std::string* body);
+
+/// `body` + TAB + hex hash: the line to append for one record.
+[[nodiscard]] std::string seal_frame(const std::string& body);
+
+}  // namespace bfsim::util

@@ -1,0 +1,28 @@
+// bfsim_lint fixture: violations seeded in *service* code. The scoped
+// layout policy must treat src/svc/ as deterministic-zone -- a daemon
+// that consults wall clocks or iterates hash order cannot replay its
+// event log into bit-identical state -- and the raw-time check applies
+// as everywhere. If the zone list ever regresses, this file's findings
+// vanish and the test below fails.
+
+#include <chrono>
+#include <unordered_map>
+
+using Time = long long;
+
+std::unordered_map<unsigned, int> sessions_;
+
+long long frame_timestamp() {
+  return std::chrono::system_clock::now().time_since_epoch().count();  // 16
+}
+
+int drain_sessions() {
+  int total = 0;
+  for (const auto& [id, refs] : sessions_)  // line 21: flagged (hash order)
+    total += refs;
+  return total;
+}
+
+Time reply_deadline(Time now, Time patience) {
+  return now + patience;  // line 27: flagged (raw Time arithmetic)
+}

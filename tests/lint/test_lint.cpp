@@ -119,5 +119,24 @@ TEST(BfsimLint, ScopePolicyDisablesNondeterminismOutsideCore) {
   EXPECT_TRUE(findings.empty()) << dump(findings);
 }
 
+TEST(BfsimLint, ScopePolicyCoversTheServiceZone) {
+  // src/svc/ is deterministic-zone: a daemon that reads wall clocks or
+  // iterates hash order cannot replay its event log into bit-identical
+  // state. The same fixture outside src/ proved the check off above;
+  // here the src/svc/ path turns it on, plus raw-time as everywhere.
+  DriverOptions options;
+  options.root = BFSIM_LINT_FIXTURE_DIR;
+  options.files = {std::string{BFSIM_LINT_FIXTURE_DIR} +
+                   "/src/svc/bad_service.cpp"};
+  options.scope = ScopePolicy::kAuto;
+  Driver driver{std::move(options)};
+  const auto findings = driver.run();
+  EXPECT_TRUE(has(findings, Check::kNondeterminism, 16)) << dump(findings);
+  EXPECT_TRUE(has(findings, Check::kNondeterminism, 21)) << dump(findings);
+  EXPECT_TRUE(has(findings, Check::kRawTimeArithmetic, 27))
+      << dump(findings);
+  EXPECT_EQ(findings.size(), 3u) << dump(findings);
+}
+
 }  // namespace
 }  // namespace bfsim::lint

@@ -1,0 +1,132 @@
+// The service JSON layer: exact integer round-trips, deterministic
+// dumps, and -- above all -- hostile-input behavior: every malformed
+// byte sequence must be a JsonError with an offset, never UB, and the
+// depth/member limits must hold against nesting and flooding attacks.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "svc/json.hpp"
+
+namespace bfsim::svc {
+namespace {
+
+TEST(Json, ParsesScalars) {
+  EXPECT_TRUE(parse_json("null").is_null());
+  EXPECT_TRUE(parse_json("true").as_bool());
+  EXPECT_FALSE(parse_json("false").as_bool());
+  EXPECT_EQ(parse_json("42").as_int(), 42);
+  EXPECT_EQ(parse_json("-7").as_int(), -7);
+  EXPECT_DOUBLE_EQ(parse_json("2.5").as_double(), 2.5);
+  EXPECT_DOUBLE_EQ(parse_json("1e3").as_double(), 1000.0);
+  EXPECT_EQ(parse_json("\"hi\"").as_string(), "hi");
+}
+
+TEST(Json, IntegersStayExactThroughRoundTrip) {
+  // Times and ids must round-trip exactly; doubles would corrupt
+  // int64 values past 2^53.
+  const std::int64_t big = 9007199254740993;  // 2^53 + 1
+  const Json parsed = parse_json(std::to_string(big));
+  ASSERT_TRUE(parsed.is_int());
+  EXPECT_EQ(parsed.as_int(), big);
+  EXPECT_EQ(parsed.dump(), std::to_string(big));
+}
+
+TEST(Json, IntegerOverflowFallsBackToDouble) {
+  const Json parsed = parse_json("99999999999999999999999999");
+  EXPECT_FALSE(parsed.is_int());
+  EXPECT_TRUE(parsed.is_number());
+}
+
+TEST(Json, ObjectsPreserveInsertionOrder) {
+  const Json parsed = parse_json(R"({"z":1,"a":2,"m":3})");
+  EXPECT_EQ(parsed.dump(), R"({"z":1,"a":2,"m":3})");
+  ASSERT_NE(parsed.find("a"), nullptr);
+  EXPECT_EQ(parsed.find("a")->as_int(), 2);
+  EXPECT_EQ(parsed.find("missing"), nullptr);
+}
+
+TEST(Json, DumpIsDeterministicAndReparsable) {
+  const std::string text =
+      R"({"s":"a\"b\\c\nd","arr":[1,2.5,null,true],"nested":{"k":[{}]}})";
+  const Json once = parse_json(text);
+  const Json twice = parse_json(once.dump());
+  EXPECT_EQ(once, twice);
+  EXPECT_EQ(once.dump(), twice.dump());
+}
+
+TEST(Json, StringEscapes) {
+  EXPECT_EQ(parse_json(R"("a\tb\r\n\f\b\/")").as_string(), "a\tb\r\n\f\b/");
+  EXPECT_EQ(parse_json(R"("\u0041")").as_string(), "A");
+  EXPECT_EQ(parse_json(R"("\u00e9")").as_string(), "\xc3\xa9");      // e-acute
+  EXPECT_EQ(parse_json(R"("\u20ac")").as_string(), "\xe2\x82\xac");  // euro
+  // Surrogate pair: U+1F600.
+  EXPECT_EQ(parse_json(R"("\ud83d\ude00")").as_string(),
+            "\xf0\x9f\x98\x80");
+  // Control characters dump back as \u escapes.
+  EXPECT_EQ(Json::string(std::string("\x01", 1)).dump(), R"("\u0001")");
+}
+
+TEST(Json, RejectsMalformedInput) {
+  const char* cases[] = {
+      "",           "{",         "[1,",         "tru",
+      "\"unterminated", "{\"a\":}",  "{\"a\" 1}",   "[1 2]",
+      "01x",        "-",         "1.",          "1e",
+      "\"\\q\"",    "\"\\u12\"", "\"\\ud800\"", "\"\\ud800\\u0041\"",
+      "\"\\udc00\"", "nan",      "1 2",         "{\"a\":1,}",
+      "\"raw\ncontrol\"",
+  };
+  for (const char* text : cases) {
+    SCOPED_TRACE(text);
+    EXPECT_THROW((void)parse_json(text), JsonError);
+  }
+}
+
+TEST(Json, ErrorsCarryByteOffsets) {
+  try {
+    (void)parse_json("[1, 2, x]");
+    FAIL() << "expected JsonError";
+  } catch (const JsonError& error) {
+    EXPECT_EQ(error.offset(), 7u);
+  }
+}
+
+TEST(Json, DepthLimitStopsNestingBombs) {
+  std::string deep;
+  for (int i = 0; i < 2000; ++i) deep += '[';
+  EXPECT_THROW((void)parse_json(deep), JsonError);
+  // A document at the cap parses fine.
+  std::string ok;
+  for (int i = 0; i < 8; ++i) ok += '[';
+  ok += '1';
+  for (int i = 0; i < 8; ++i) ok += ']';
+  EXPECT_NO_THROW((void)parse_json(ok));
+}
+
+TEST(Json, MemberLimitStopsFloodingBombs) {
+  std::string flood = "[0";
+  for (int i = 0; i < 200000; ++i) flood += ",0";
+  flood += ']';
+  EXPECT_THROW((void)parse_json(flood), JsonError);
+  JsonLimits tight;
+  tight.max_members = 4;
+  EXPECT_THROW((void)parse_json("[1,2,3,4,5]", tight), JsonError);
+  EXPECT_NO_THROW((void)parse_json("[1,2,3]", tight));
+}
+
+TEST(Json, RejectsNonFiniteNumbers) {
+  EXPECT_THROW((void)parse_json("1e999"), JsonError);
+}
+
+TEST(Json, BuildersProduceCompactOutput) {
+  Json object = Json::object();
+  object.set("a", Json::integer(1));
+  Json inner = Json::array();
+  inner.push_back(Json::boolean(true));
+  inner.push_back(Json::null());
+  object.set("b", std::move(inner));
+  EXPECT_EQ(object.dump(), R"({"a":1,"b":[true,null]})");
+}
+
+}  // namespace
+}  // namespace bfsim::svc

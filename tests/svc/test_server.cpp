@@ -1,0 +1,264 @@
+// The threaded transport: BoundedQueue backpressure semantics and
+// serve_connection's reader/worker pair over real descriptors. Lives
+// in the svc concurrency binary so CI reruns it under TSan.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "svc/json.hpp"
+#include "svc/protocol.hpp"
+#include "svc/queue.hpp"
+#include "svc/server.hpp"
+#include "svc/session.hpp"
+
+#include <unistd.h>
+
+namespace bfsim::svc {
+namespace {
+
+TEST(BoundedQueue, FifoOrder) {
+  BoundedQueue<int> queue{4};
+  EXPECT_TRUE(queue.push(1));
+  EXPECT_TRUE(queue.push(2));
+  EXPECT_TRUE(queue.push(3));
+  EXPECT_EQ(queue.pop(), 1);
+  EXPECT_EQ(queue.pop(), 2);
+  EXPECT_EQ(queue.pop(), 3);
+}
+
+TEST(BoundedQueue, FullQueueBlocksThePusherUntilAPop) {
+  BoundedQueue<int> queue{1};
+  ASSERT_TRUE(queue.push(0));
+  std::atomic<bool> pushed{false};
+  std::thread producer{[&] {
+    EXPECT_TRUE(queue.push(1));  // blocks: capacity 1, queue full
+    pushed = true;
+  }};
+  // The producer cannot complete until the consumer makes room.
+  EXPECT_EQ(queue.pop(), 0);
+  EXPECT_EQ(queue.pop(), 1);  // waits for the producer's push
+  producer.join();
+  EXPECT_TRUE(pushed);
+}
+
+TEST(BoundedQueue, CloseUnblocksBothSides) {
+  BoundedQueue<int> queue{1};
+  ASSERT_TRUE(queue.push(7));
+  std::thread blocked_pusher{[&] {
+    EXPECT_FALSE(queue.push(8));  // blocked full, then closed
+  }};
+  std::thread closer{[&] { queue.close(); }};
+  closer.join();
+  blocked_pusher.join();
+  // close() is end-of-stream, not abort: the backlog still drains.
+  EXPECT_EQ(queue.pop(), 7);
+  EXPECT_EQ(queue.pop(), std::nullopt);
+  EXPECT_FALSE(queue.push(9));
+}
+
+TEST(BoundedQueue, ManyProducersOneConsumer) {
+  constexpr int kProducers = 4;
+  constexpr int kEach = 500;
+  BoundedQueue<int> queue{8};  // far smaller than the item count
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p)
+    producers.emplace_back([&queue, p] {
+      for (int i = 0; i < kEach; ++i)
+        ASSERT_TRUE(queue.push(p * kEach + i));
+    });
+  std::vector<int> seen(kProducers * kEach, 0);
+  for (int i = 0; i < kProducers * kEach; ++i) {
+    const std::optional<int> value = queue.pop();
+    ASSERT_TRUE(value.has_value());
+    ++seen[static_cast<std::size_t>(*value)];
+  }
+  for (std::thread& producer : producers) producer.join();
+  for (const int count : seen) EXPECT_EQ(count, 1);
+}
+
+/// A serve_connection harness over two pipes: writes frames in, reads
+/// reply lines out, with the server on its own thread.
+class PipeServer {
+ public:
+  explicit PipeServer(Session& session, std::size_t queue_capacity = 4) {
+    EXPECT_EQ(::pipe(to_server_), 0);
+    EXPECT_EQ(::pipe(to_client_), 0);
+    server_ = std::thread{[this, &session, queue_capacity] {
+      ServeOptions options;
+      options.queue_capacity = queue_capacity;
+      result_ = serve_connection(to_server_[0], to_client_[1], session,
+                                 options);
+      // Close the reply pipe so a reader waiting for more lines sees
+      // EOF instead of hanging.
+      ::close(to_client_[1]);
+    }};
+  }
+
+  ~PipeServer() {
+    finish();
+    ::close(to_server_[0]);
+    ::close(to_client_[0]);
+  }
+
+  void send(const std::string& line) {
+    const std::string framed = line + '\n';
+    ASSERT_EQ(::write(to_server_[1], framed.data(), framed.size()),
+              static_cast<ssize_t>(framed.size()));
+  }
+
+  void send_raw(const std::string& bytes) {
+    std::size_t done = 0;
+    while (done < bytes.size()) {
+      const ssize_t wrote =
+          ::write(to_server_[1], bytes.data() + done, bytes.size() - done);
+      ASSERT_GT(wrote, 0);
+      done += static_cast<std::size_t>(wrote);
+    }
+  }
+
+  std::string read_reply() {
+    while (true) {
+      const std::size_t newline = buffer_.find('\n');
+      if (newline != std::string::npos) {
+        std::string line = buffer_.substr(0, newline);
+        buffer_.erase(0, newline + 1);
+        return line;
+      }
+      char chunk[4096];
+      const ssize_t got = ::read(to_client_[0], chunk, sizeof chunk);
+      if (got <= 0) return {};
+      buffer_.append(chunk, static_cast<std::size_t>(got));
+    }
+  }
+
+  /// Close the client's write end and join the server thread.
+  ServeResult finish() {
+    if (to_server_[1] >= 0) {
+      ::close(to_server_[1]);
+      to_server_[1] = -1;
+    }
+    if (server_.joinable()) server_.join();
+    return result_;
+  }
+
+ private:
+  int to_server_[2] = {-1, -1};
+  int to_client_[2] = {-1, -1};
+  std::thread server_;
+  ServeResult result_;
+  std::string buffer_;
+};
+
+std::string type_of(const std::string& reply) {
+  const Json parsed = parse_json(reply);
+  const Json* type = parsed.find("type");
+  return type != nullptr && type->is_string() ? type->as_string() : "";
+}
+
+TEST(ServeConnection, FullConversationOverPipes) {
+  Session session;
+  PipeServer server{session};
+  server.send(R"({"type":"hello","v":1,"scheduler":"easy","procs":8})");
+  EXPECT_EQ(type_of(server.read_reply()), "welcome");
+  server.send(
+      R"({"type":"events","seq":1,"now":0,"events":[)"
+      R"({"kind":"submit","id":0,"submit":0,"estimate":50,"procs":2}]})");
+  const std::string decisions = server.read_reply();
+  EXPECT_EQ(type_of(decisions), "decisions");
+  EXPECT_NE(decisions.find("\"starts\":[0]"), std::string::npos);
+  server.send(R"({"type":"bye"})");
+  EXPECT_EQ(type_of(server.read_reply()), "bye");
+  const ServeResult result = server.finish();
+  EXPECT_TRUE(result.clean_bye);
+  EXPECT_EQ(result.lines, 3u);
+}
+
+TEST(ServeConnection, DroppedConnectionKeepsTheSession) {
+  Session session;
+  {
+    PipeServer server{session};
+    server.send(R"({"type":"hello","v":1,"scheduler":"easy","procs":8})");
+    EXPECT_EQ(type_of(server.read_reply()), "welcome");
+    server.send(
+        R"({"type":"events","seq":1,"now":0,"events":[)"
+        R"({"kind":"submit","id":0,"submit":0,"estimate":50,"procs":2}]})");
+    EXPECT_EQ(type_of(server.read_reply()), "decisions");
+    const ServeResult result = server.finish();  // EOF without bye
+    EXPECT_FALSE(result.clean_bye);
+  }
+  EXPECT_FALSE(session.closed());
+  // A second connection resumes the same live session.
+  PipeServer server{session};
+  server.send(R"({"type":"hello","v":1,"scheduler":"easy","procs":8})");
+  const std::string welcome = server.read_reply();
+  EXPECT_EQ(type_of(welcome), "welcome");
+  EXPECT_NE(welcome.find("\"resumed_seq\":1"), std::string::npos);
+  server.send(R"({"type":"bye"})");
+  EXPECT_EQ(type_of(server.read_reply()), "bye");
+  EXPECT_TRUE(server.finish().clean_bye);
+}
+
+TEST(ServeConnection, OversizedLineIsQuarantinedNotFatal) {
+  Session session;
+  PipeServer server{session};
+  server.send(R"({"type":"hello","v":1,"scheduler":"easy","procs":8})");
+  EXPECT_EQ(type_of(server.read_reply()), "welcome");
+  // A frame far over the cap streams in; the reader keeps only enough
+  // to classify it and discards the rest, so memory stays bounded.
+  std::string huge = R"({"type":"events","pad":")";
+  huge.resize(kMaxFrameBytes + 4096, 'x');
+  huge += "\n";
+  server.send_raw(huge);
+  const std::string reply = server.read_reply();
+  EXPECT_EQ(type_of(reply), "error");
+  EXPECT_NE(reply.find("oversized-frame"), std::string::npos);
+  // The session is unharmed.
+  server.send(
+      R"({"type":"events","seq":1,"now":0,"events":[)"
+      R"({"kind":"submit","id":0,"submit":0,"estimate":50,"procs":2}]})");
+  EXPECT_EQ(type_of(server.read_reply()), "decisions");
+  server.send(R"({"type":"bye"})");
+  EXPECT_EQ(type_of(server.read_reply()), "bye");
+  EXPECT_TRUE(server.finish().clean_bye);
+}
+
+TEST(ServeConnection, BlankAndCarriageReturnLinesAreIgnored) {
+  Session session;
+  PipeServer server{session};
+  server.send_raw("\n\r\n");
+  server.send_raw(
+      "{\"type\":\"hello\",\"v\":1,\"scheduler\":\"easy\",\"procs\":8}\r\n");
+  EXPECT_EQ(type_of(server.read_reply()), "welcome");
+  server.send(R"({"type":"bye"})");
+  EXPECT_EQ(type_of(server.read_reply()), "bye");
+  const ServeResult result = server.finish();
+  EXPECT_TRUE(result.clean_bye);
+  EXPECT_EQ(result.lines, 2u);  // blank lines never reach the session
+}
+
+TEST(ServeConnection, BackpressureBoundsTheInboundQueue) {
+  // A tiny queue and a storm of frames written before any reply is
+  // consumed: the reader must stall rather than buffer unboundedly,
+  // and every frame must still be answered in order.
+  Session session;
+  PipeServer server{session, /*queue_capacity=*/2};
+  server.send(R"({"type":"hello","v":1,"scheduler":"easy","procs":8})");
+  constexpr int kFrames = 200;
+  std::thread writer{[&] {
+    for (int i = 0; i < kFrames; ++i)
+      server.send(R"({"type":"report"})");
+  }};
+  EXPECT_EQ(type_of(server.read_reply()), "welcome");
+  for (int i = 0; i < kFrames; ++i)
+    EXPECT_EQ(type_of(server.read_reply()), "report");
+  writer.join();
+  server.send(R"({"type":"bye"})");
+  EXPECT_EQ(type_of(server.read_reply()), "bye");
+  EXPECT_TRUE(server.finish().clean_bye);
+}
+
+}  // namespace
+}  // namespace bfsim::svc

@@ -128,11 +128,15 @@ CheckConfig Driver::config_for(const fs::path& path) const {
   // The contract's own implementation is the one place raw Time
   // arithmetic is legal.
   if (rel == "src/sim/time.hpp") config.raw_time = false;
-  // The determinism contract covers the simulation core and the sweep
-  // merge; util/metrics/workload produce no merge-ordered output.
+  // The determinism contract covers the simulation core, the sweep
+  // merge, and the scheduling service (a resumed daemon must replay
+  // its event log into bit-identical state, so service code may not
+  // consult wall clocks or unseeded randomness); util/metrics/workload
+  // produce no merge-ordered output.
   const bool deterministic_zone = starts_with(rel, "src/core/") ||
                                   starts_with(rel, "src/sim/") ||
-                                  starts_with(rel, "src/exp/");
+                                  starts_with(rel, "src/exp/") ||
+                                  starts_with(rel, "src/svc/");
   if (!deterministic_zone) config.nondeterminism = false;
   return config;
 }

@@ -1,0 +1,255 @@
+// bfsim_replay -- replay client for the scheduling daemon.
+//
+// Drives a bfsim_served daemon from a job trace: arrivals, completions
+// and cancellations become protocol frames, the daemon's decisions
+// become starts, and the result is the same SimulationResult the
+// in-process simulator produces. The trace comes from an SWF file
+// (--swf, lenient ingest) or from the paper's synthetic generators
+// (--trace ctc|sdsc|lublin with --jobs/--load/--seed/...).
+//
+//   bfsim_replay --connect /tmp/bfsim.sock --trace sdsc --jobs 2000
+//       --scheduler easy --verify --json
+//
+// --verify additionally runs the identical trace through the
+// in-process engine and demands a byte-identical schedule -- the
+// command-line face of the served differential test wall.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "core/simulation.hpp"
+#include "exp/scenario.hpp"
+#include "metrics/aggregate.hpp"
+#include "metrics/report.hpp"
+#include "sim/rng.hpp"
+#include "svc/client.hpp"
+#include "workload/swf.hpp"
+#include "workload/transforms.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+#endif
+
+namespace {
+
+void usage() {
+  std::fprintf(
+      stderr,
+      "usage: bfsim_replay --connect SOCKET [trace options] [run options]\n"
+      "trace options:\n"
+      "  --swf FILE            replay an SWF trace (lenient ingest)\n"
+      "  --trace KIND          synthetic generator: ctc, sdsc, lublin\n"
+      "  --jobs N              synthetic job count (default 2000)\n"
+      "  --load RHO            offered load (<= 0 keeps generator arrivals)\n"
+      "  --seed S              generator seed (default 1)\n"
+      "  --estimate-factor R   systematic overestimate factor (default 1)\n"
+      "  --cancel FRAC         cancel FRAC of queued jobs (default 0)\n"
+      "run options:\n"
+      "  --scheduler NAME      fcfs, easy, conservative, kres, selective, "
+      "slack\n"
+      "  --priority NAME       fcfs, sjf, xfactor\n"
+      "  --procs N             machine size override\n"
+      "  --audit               daemon-side schedule auditor\n"
+      "  --verify              diff against the in-process engine\n"
+      "  --json                print the run's metrics as JSON\n");
+}
+
+struct Args {
+  std::string connect;
+  std::string swf;
+  bfsim::exp::Scenario scenario;
+  double cancel_fraction = 0.0;
+  int procs_override = 0;
+  bool audit = false;
+  bool verify = false;
+  bool json = false;
+};
+
+bool parse_args(int argc, char** argv, Args& args) {
+  args.scenario.trace = bfsim::exp::TraceKind::Sdsc;
+  args.scenario.jobs = 2000;
+  args.scenario.load = 0.0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> std::string {
+      if (i + 1 >= argc) throw std::invalid_argument(arg + " needs a value");
+      return argv[++i];
+    };
+    if (arg == "--connect") args.connect = value();
+    else if (arg == "--swf") args.swf = value();
+    else if (arg == "--trace")
+      args.scenario.trace = bfsim::exp::trace_kind_from_string(value());
+    else if (arg == "--jobs")
+      args.scenario.jobs = std::strtoull(value().c_str(), nullptr, 10);
+    else if (arg == "--load")
+      args.scenario.load = std::strtod(value().c_str(), nullptr);
+    else if (arg == "--seed")
+      args.scenario.seed = std::strtoull(value().c_str(), nullptr, 10);
+    else if (arg == "--estimate-factor") {
+      args.scenario.estimates.factor = std::strtod(value().c_str(), nullptr);
+      args.scenario.estimates.regime =
+          bfsim::exp::EstimateRegime::Systematic;
+    } else if (arg == "--cancel")
+      args.cancel_fraction = std::strtod(value().c_str(), nullptr);
+    else if (arg == "--scheduler")
+      args.scenario.scheduler = bfsim::core::scheduler_kind_from_string(value());
+    else if (arg == "--priority")
+      args.scenario.priority = bfsim::core::priority_from_string(value());
+    else if (arg == "--procs")
+      args.procs_override = static_cast<int>(std::strtol(value().c_str(),
+                                                         nullptr, 10));
+    else if (arg == "--audit") args.audit = true;
+    else if (arg == "--verify") args.verify = true;
+    else if (arg == "--json") args.json = true;
+    else throw std::invalid_argument("unknown option " + arg);
+  }
+  return !args.connect.empty();
+}
+
+bfsim::workload::Trace build_trace(const Args& args, int& procs) {
+  if (!args.swf.empty()) {
+    bfsim::workload::SwfParseOptions options;
+    options.lenient = true;
+    bfsim::workload::SwfParseReport report;
+    const bfsim::workload::SwfFile file =
+        bfsim::workload::read_swf_file(args.swf, options, &report);
+    if (report.quarantined > 0)
+      std::fprintf(stderr, "bfsim_replay: quarantined %zu SWF records\n",
+                   report.quarantined);
+    bfsim::workload::Trace trace = bfsim::workload::swf_to_jobs(file);
+    procs = args.procs_override > 0
+                ? args.procs_override
+                : (file.header.max_procs > 0
+                       ? static_cast<int>(file.header.max_procs)
+                       : 128);
+    return trace;
+  }
+  procs = args.procs_override > 0 ? args.procs_override
+                                  : args.scenario.procs();
+  bfsim::workload::Trace trace = bfsim::exp::build_workload(args.scenario);
+  if (args.cancel_fraction > 0.0) {
+    // Seed offset keeps cancellation draws independent of the
+    // generator's stream (same convention as the experiment runner).
+    bfsim::sim::Rng rng{args.scenario.seed + 0x9e3779b9ULL};
+    bfsim::workload::apply_cancellations(trace, args.cancel_fraction, 2.0,
+                                         rng);
+  }
+  return trace;
+}
+
+int connect_socket(const std::string& path) {
+#if defined(__unix__) || defined(__APPLE__)
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_un address{};
+  address.sun_family = AF_UNIX;
+  if (path.size() >= sizeof address.sun_path) {
+    ::close(fd);
+    return -1;
+  }
+  std::memcpy(address.sun_path, path.c_str(), path.size() + 1);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&address),
+                sizeof address) < 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+#else
+  (void)path;
+  return -1;
+#endif
+}
+
+/// Byte-level schedule equality: every outcome field of every job.
+bool identical(const bfsim::core::SimulationResult& a,
+               const bfsim::core::SimulationResult& b) {
+  if (a.outcomes.size() != b.outcomes.size() || a.makespan != b.makespan ||
+      a.events != b.events || a.passes != b.passes ||
+      a.passes_skipped != b.passes_skipped || a.wakeups != b.wakeups ||
+      a.max_queue != b.max_queue || a.scheduler_name != b.scheduler_name)
+    return false;
+  for (std::size_t i = 0; i < a.outcomes.size(); ++i) {
+    const bfsim::core::JobOutcome& x = a.outcomes[i];
+    const bfsim::core::JobOutcome& y = b.outcomes[i];
+    if (x.start != y.start || x.end != y.end || x.killed != y.killed ||
+        x.cancelled != y.cancelled)
+      return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  try {
+    if (!parse_args(argc, argv, args)) {
+      usage();
+      return 2;
+    }
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "bfsim_replay: %s\n", error.what());
+    usage();
+    return 2;
+  }
+
+  try {
+    int procs = 0;
+    const bfsim::workload::Trace trace = build_trace(args, procs);
+
+    bfsim::svc::HelloRequest hello;
+    hello.kind = args.scenario.scheduler;
+    hello.config.procs = procs;
+    hello.config.priority = args.scenario.priority;
+    hello.extras = args.scenario.extras;
+    hello.audit = args.audit;
+
+    const int fd = connect_socket(args.connect);
+    if (fd < 0) {
+      std::fprintf(stderr, "bfsim_replay: cannot connect to '%s'\n",
+                   args.connect.c_str());
+      return 1;
+    }
+    bfsim::svc::FdChannel channel{fd, fd};
+    const bfsim::core::SimulationResult served =
+        bfsim::svc::served_run(trace, channel, hello);
+#if defined(__unix__) || defined(__APPLE__)
+    ::close(fd);
+#endif
+
+    if (args.verify) {
+      const bfsim::core::SimulationResult local = bfsim::core::run_simulation(
+          trace, args.scenario.scheduler, hello.config, hello.extras);
+      if (!identical(served, local)) {
+        std::fprintf(stderr,
+                     "bfsim_replay: VERIFY FAILED -- served schedule "
+                     "diverges from the in-process engine\n");
+        return 1;
+      }
+      std::fprintf(stderr,
+                   "bfsim_replay: verified byte-identical with the "
+                   "in-process engine (%zu jobs)\n",
+                   served.outcomes.size());
+    }
+
+    std::fprintf(stderr,
+                 "bfsim_replay: %s scheduled %zu jobs, makespan %lld, "
+                 "%llu events, %llu passes\n",
+                 served.scheduler_name.c_str(), served.outcomes.size(),
+                 static_cast<long long>(served.makespan),
+                 static_cast<unsigned long long>(served.events),
+                 static_cast<unsigned long long>(served.passes));
+    if (args.json) {
+      const bfsim::metrics::Metrics metrics =
+          bfsim::metrics::compute_metrics(served, procs);
+      std::printf("%s\n", bfsim::metrics::metrics_json(metrics).c_str());
+    }
+    return 0;
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "bfsim_replay: %s\n", error.what());
+    return 1;
+  }
+}
