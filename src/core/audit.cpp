@@ -20,7 +20,8 @@ ScheduleAuditor::ScheduleAuditor(const Scheduler& scheduler,
     : scheduler_(&scheduler),
       options_(options),
       hooks_(scheduler.audit_hooks()),
-      total_procs_(scheduler.config().procs) {
+      total_procs_(scheduler.config().procs),
+      total_bb_(scheduler.config().burst_buffer) {
   if (options_.profile_check_stride < 1)
     throw std::invalid_argument(
         "ScheduleAuditor: profile_check_stride must be >= 1");
@@ -39,6 +40,7 @@ void ScheduleAuditor::on_submitted(const Job& job, Time now) {
   rec.submit = now;
   rec.estimate = job.estimate;
   rec.procs = job.procs;
+  rec.bb = job.bb;
   jobs_.insert_or_assign(job.id, rec);
 }
 
@@ -105,6 +107,17 @@ void ScheduleAuditor::on_started(const Job& job, Time now) {
             .detail = "machine oversubscribed: " + std::to_string(busy_) +
                       " busy + " + std::to_string(rec.procs) + " started > " +
                       std::to_string(total_procs_) + " processors"});
+  ++checks_;
+  if (busy_bb_ + rec.bb > total_bb_)
+    record({.invariant = "capacity-bb",
+            .when = now,
+            .job = job.id,
+            .expected = total_bb_,
+            .actual = busy_bb_ + rec.bb,
+            .detail = "burst buffer oversubscribed: " +
+                      std::to_string(busy_bb_) + " busy + " +
+                      std::to_string(rec.bb) + " started > " +
+                      std::to_string(total_bb_) + " GB"});
   if (hooks_.monotone_reservations &&
       rec.first_reservation != sim::kNoTime) {
     ++checks_;
@@ -133,6 +146,7 @@ void ScheduleAuditor::on_started(const Job& job, Time now) {
   rec.start = now;
   rec.running = true;
   busy_ += rec.procs;
+  busy_bb_ += rec.bb;
 }
 
 void ScheduleAuditor::on_finished(JobId id, Time now) {
@@ -166,6 +180,7 @@ void ScheduleAuditor::on_finished(JobId id, Time now) {
   rec.running = false;
   rec.finished = true;
   busy_ -= rec.procs;
+  busy_bb_ -= rec.bb;
 }
 
 void ScheduleAuditor::check_reservations(Time now) {
@@ -239,16 +254,26 @@ void ScheduleAuditor::check_reservations(Time now) {
 }
 
 void ScheduleAuditor::check_profile(Time now) {
-  const Profile* actual = scheduler_->audit_profile();
+  const MultiProfile* actual = scheduler_->audit_profile();
   if (actual == nullptr) return;
   ++checks_;
-  if (actual->total() != total_procs_) {
+  if (actual->total_procs() != total_procs_) {
     record({.invariant = "profile-divergence",
             .when = now,
             .expected = total_procs_,
-            .actual = actual->total(),
+            .actual = actual->total_procs(),
             .detail = "profile machine size differs from the scheduler "
                       "configuration"});
+    return;
+  }
+  ++checks_;
+  if (actual->total_bb() != total_bb_) {
+    record({.invariant = "profile-divergence",
+            .when = now,
+            .expected = total_bb_,
+            .actual = actual->total_bb(),
+            .detail = "profile burst-buffer capacity differs from the "
+                      "scheduler configuration"});
     return;
   }
   // Rebuild the expected timeline from first principles: every running
@@ -259,7 +284,7 @@ void ScheduleAuditor::check_profile(Time now) {
   // own (commit_start, profile windows): a reservation anchored behind
   // a near-kTimeMax estimate would otherwise wrap negative here and
   // silently vanish from the expected occupancy.
-  Profile expected{total_procs_};
+  MultiProfile expected{total_procs_, total_bb_};
   // Occupancy is a commutative sum, but the overflow diagnostic below
   // reports whichever reserve() trips first -- iterate the hash map in
   // job-id order so that report (and the audit transcript) is identical
@@ -274,12 +299,12 @@ void ScheduleAuditor::check_profile(Time now) {
     for (const JobId id : running_ids) {
       const JobRecord& rec = jobs_.at(id);
       const Time end = sim::saturating_add(rec.start, rec.estimate);
-      if (end > now) expected.reserve(now, end, rec.procs);
+      if (end > now) expected.reserve(now, end, rec.procs, rec.bb);
     }
     for (const AuditReservation& res : scheduler_->audit_reservations()) {
       const Time begin = std::max(res.start, now);
       const Time end = sim::saturating_add(res.start, res.estimate);
-      if (end > begin) expected.reserve(begin, end, res.procs);
+      if (end > begin) expected.reserve(begin, end, res.procs, res.bb);
     }
   } catch (const std::logic_error& error) {
     // The implied occupancy itself overflows the machine: the running +
@@ -295,22 +320,38 @@ void ScheduleAuditor::check_profile(Time now) {
   // agree at `now` and at every breakpoint >= now of either.
   auto diverges_at = [&](Time t) {
     ++checks_;
-    const int want = expected.free_at(t);
-    const int got = actual->free_at(t);
-    if (want == got) return false;
-    record({.invariant = "profile-divergence",
-            .when = now,
-            .expected = want,
-            .actual = got,
-            .detail = "availability profile free(" + std::to_string(t) +
-                      ") disagrees with occupancy implied by running + "
-                      "reserved jobs (stale breakpoint)"});
-    return true;
+    const int want = expected.procs_free_at(t);
+    const int got = actual->procs_free_at(t);
+    if (want != got) {
+      record({.invariant = "profile-divergence",
+              .when = now,
+              .expected = want,
+              .actual = got,
+              .detail = "availability profile free(" + std::to_string(t) +
+                        ") disagrees with occupancy implied by running + "
+                        "reserved jobs (stale breakpoint)"});
+      return true;
+    }
+    ++checks_;
+    const int want_bb = expected.bb_free_at(t);
+    const int got_bb = actual->bb_free_at(t);
+    if (want_bb != got_bb) {
+      record({.invariant = "profile-divergence",
+              .when = now,
+              .expected = want_bb,
+              .actual = got_bb,
+              .detail = "availability profile burst-buffer free(" +
+                        std::to_string(t) + ") disagrees with occupancy "
+                        "implied by running + reserved jobs (stale "
+                        "breakpoint)"});
+      return true;
+    }
+    return false;
   };
   if (diverges_at(now)) return;
-  for (const Profile::Segment& seg : expected.segments())
+  for (const MultiProfile::Segment& seg : expected.segments())
     if (seg.begin >= now && diverges_at(seg.begin)) return;
-  for (const Profile::Segment& seg : actual->segments())
+  for (const MultiProfile::Segment& seg : actual->segments())
     if (seg.begin >= now && diverges_at(seg.begin)) return;
 }
 

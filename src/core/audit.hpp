@@ -7,7 +7,8 @@
 // stream -- independently of the scheduler's own bookkeeping -- and
 // checks, at every event:
 //
-//   * capacity      -- running jobs never exceed the machine;
+//   * capacity      -- running jobs never exceed the machine, on any
+//                      resource axis (processors and burst buffer);
 //   * causality     -- no job starts before its submission, starts
 //                      twice, finishes while not running, or runs past
 //                      its wall-clock limit;
@@ -17,7 +18,8 @@
 //                      delayed by a backfill while it stays at the head;
 //   * profile       -- the scheduler's availability profile exactly
 //                      equals the occupancy implied by running jobs plus
-//                      reported reservations (catching staleness at the
+//                      reported reservations, checked independently on
+//                      every resource axis (catching staleness at the
 //                      moment of divergence, not at the final metrics).
 //
 // Which policy-specific checks apply is declared by the scheduler via
@@ -31,7 +33,7 @@
 #include <unordered_map>
 #include <vector>
 
-#include "core/profile.hpp"
+#include "core/multi_profile.hpp"
 #include "core/scheduler.hpp"
 #include "core/types.hpp"
 
@@ -40,7 +42,8 @@ namespace bfsim::core {
 /// One detected invariant violation, with enough structure for tests to
 /// assert on the exact failure (not just a message).
 struct AuditViolation {
-  /// Stable machine-readable tag: "capacity", "start-before-submit",
+  /// Stable machine-readable tag: "capacity", "capacity-bb",
+  /// "start-before-submit",
   /// "start-after-cancel", "double-start", "start-unknown-job",
   /// "finish-not-running", "finish-before-start", "finish-past-limit",
   /// "cancel-not-queued", "reservation-unknown-job",
@@ -95,6 +98,7 @@ class ScheduleAuditor {
     Time submit = sim::kNoTime;
     Time estimate = 0;
     int procs = 0;
+    int bb = 0;
     Time start = sim::kNoTime;       ///< kNoTime while queued
     Time first_reservation = sim::kNoTime;
     Time last_reservation = sim::kNoTime;
@@ -111,7 +115,9 @@ class ScheduleAuditor {
   AuditOptions options_;
   AuditHooks hooks_;
   int total_procs_;
+  int total_bb_;
   int busy_ = 0;  ///< processors held by running jobs (auditor's count)
+  int busy_bb_ = 0;  ///< burst-buffer GB held by running jobs
   std::unordered_map<JobId, JobRecord> jobs_;
   /// EASY: the head job currently holding the single pinned reservation.
   JobId pinned_head_ = workload::kInvalidJob;

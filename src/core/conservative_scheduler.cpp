@@ -7,7 +7,7 @@
 namespace bfsim::core {
 
 ConservativeScheduler::ConservativeScheduler(SchedulerConfig config)
-    : SchedulerBase(config), profile_(config.procs) {}
+    : SchedulerBase(config), profile_(config.procs, config.burst_buffer) {}
 
 // Conservative starts jobs only when their reservation comes due, so
 // "does a pass matter at `now`" is exactly "is the earliest guarantee
@@ -15,17 +15,19 @@ ConservativeScheduler::ConservativeScheduler(SchedulerConfig config)
 
 bool ConservativeScheduler::job_submitted(const Job& job, Time now) {
   Time anchor;
-  if (queue_.empty() && job.procs <= free_) {
+  if (queue_.empty() && fits_now(job)) {
     // O(1) fast path for the idle/low-load regime. With nothing queued
     // the profile holds only running-job rectangles, all of which begin
-    // at-or-before `now`: free(t) is non-decreasing for t >= now, so
-    // fitting into the free processors now means the whole window
-    // [now, now + estimate) fits and the earliest anchor is `now`
-    // itself -- no search needed, byte-identical to the slow path.
+    // at-or-before `now`: free capacity is non-decreasing on every axis
+    // for t >= now, so fitting into the free processors and buffer now
+    // means the whole window [now, now + estimate) fits and the
+    // earliest anchor is `now` itself -- no search needed,
+    // byte-identical to the slow path.
     anchor = now;
-    profile_.reserve(now, sim::saturating_add(now, job.estimate), job.procs);
+    profile_.reserve(now, sim::saturating_add(now, job.estimate), job.procs,
+                     job.bb);
   } else {
-    anchor = profile_.find_and_reserve(job.procs, job.estimate, now);
+    anchor = profile_.find_and_reserve(job.procs, job.bb, job.estimate, now);
   }
   reservations_.set(job.id, anchor);
   due_.push(anchor, job.id);
@@ -48,7 +50,7 @@ bool ConservativeScheduler::job_finished(JobId id, Time now) {
   // instead of re-anchoring the whole queue for nothing. A reservation
   // anchored exactly at this job's est_end can still be due now.
   if (now < rj.est_end) {
-    profile_.release(now, rj.est_end, rj.job.procs);
+    profile_.release(now, rj.est_end, rj.job.procs, rj.job.bb);
     compress(now, now);
   }
   return due_.earliest(reservations_) == now;
@@ -57,7 +59,8 @@ bool ConservativeScheduler::job_finished(JobId id, Time now) {
 bool ConservativeScheduler::job_cancelled(JobId id, Time now) {
   const Job job = take_queued(id);
   const Time start = reservations_.at(id);
-  profile_.release(start, sim::saturating_add(start, job.estimate), job.procs);
+  profile_.release(start, sim::saturating_add(start, job.estimate), job.procs,
+                   job.bb);
   reservations_.erase(id);
   // The vacated rectangle is a fresh hole: compress around it. Capacity
   // only appeared from `start` onwards, so reservations before it are
@@ -98,9 +101,9 @@ void ConservativeScheduler::compress(Time now, Time hole_begin) {
       const Time old_start = reservations_.at(job.id);
       if (old_start <= hole_begin) continue;  // cannot move earlier
       profile_.release(old_start, sim::saturating_add(old_start, job.estimate),
-                       job.procs);
+                       job.procs, job.bb);
       const Time anchor =
-          profile_.find_and_reserve(job.procs, job.estimate, now);
+          profile_.find_and_reserve(job.procs, job.bb, job.estimate, now);
       if (anchor > old_start)
         throw std::logic_error(
             "ConservativeScheduler: compression delayed a guarantee (job " +
@@ -153,7 +156,8 @@ std::vector<AuditReservation> ConservativeScheduler::audit_reservations()
   std::vector<AuditReservation> out;
   out.reserve(queue_.size());
   for (const Job& job : queue_)
-    out.push_back({job.id, reservations_.at(job.id), job.estimate, job.procs});
+    out.push_back({job.id, reservations_.at(job.id), job.estimate, job.procs,
+                   job.bb});
   return out;
 }
 

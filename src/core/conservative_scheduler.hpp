@@ -16,7 +16,7 @@
 #pragma once
 
 #include "core/job_table.hpp"
-#include "core/profile.hpp"
+#include "core/multi_profile.hpp"
 #include "core/reservation_heap.hpp"
 #include "core/scheduler.hpp"
 
@@ -41,7 +41,7 @@ class ConservativeScheduler final : public SchedulerBase {
   }
 
   /// The availability profile (running jobs + all reservations).
-  [[nodiscard]] const Profile& profile() const { return profile_; }
+  [[nodiscard]] const MultiProfile& profile() const { return profile_; }
 
   // Auditor introspection: conservative holds a guarantee for every
   // queued job, never delays one, and keeps a persistent profile.
@@ -50,14 +50,14 @@ class ConservativeScheduler final : public SchedulerBase {
             .reservations = true,
             .monotone_reservations = true};
   }
-  [[nodiscard]] const Profile* audit_profile() const override {
+  [[nodiscard]] const MultiProfile* audit_profile() const override {
     return &profile_;
   }
   [[nodiscard]] std::vector<AuditReservation> audit_reservations()
       const override;
 
  private:
-  Profile profile_;
+  MultiProfile profile_;
   TimeByJob reservations_;  ///< queued job -> guaranteed start
   /// Pass-time working buffers, reused so select_starts never allocates
   /// in steady state.

@@ -156,6 +156,12 @@ class DecisionCore {
     return scheduler_->config().procs;
   }
 
+  /// The shared burst-buffer capacity (GB) the wrapped scheduler was
+  /// configured with; 0 = the axis is absent.
+  [[nodiscard]] int machine_burst_buffer() const {
+    return scheduler_->config().burst_buffer;
+  }
+
  private:
   /// Monotonic-time guard shared by every hook.
   void check_time(Time now, const char* hook);

@@ -21,14 +21,14 @@ EasyScheduler::EasyScheduler(SchedulerConfig config) : SchedulerBase(config) {}
 bool EasyScheduler::job_submitted(const Job& job, Time now) {
   insert_queued(job, now);
   if (time_varying_priority()) return true;
-  return job.procs <= free_ || queue_.front().id == job.id;
+  return fits_now(job) || queue_.front().id == job.id;
 }
 
 bool EasyScheduler::job_finished(JobId id, Time) {
   const RunningJob rj = commit_finish(id);
   const auto it = std::lower_bound(
       running_by_end_.begin(), running_by_end_.end(),
-      RunningByEnd{rj.est_end, id, 0},
+      RunningByEnd{rj.est_end, id, 0, 0},
       [](const RunningByEnd& a, const RunningByEnd& b) {
         if (a.est_end != b.est_end) return a.est_end < b.est_end;
         return a.id < b.id;
@@ -55,7 +55,7 @@ Job EasyScheduler::start_job(JobId id, Time now) {
   // and the running map always agree on clamped far-future completions.
   const Job job = commit_start(id, now);
   const RunningByEnd entry{sim::saturating_add(now, job.estimate), id,
-                           job.procs};
+                           job.procs, job.bb};
   running_by_end_.insert(
       std::upper_bound(running_by_end_.begin(), running_by_end_.end(), entry,
                        [](const RunningByEnd& a, const RunningByEnd& b) {
@@ -69,22 +69,29 @@ Job EasyScheduler::start_job(JobId id, Time now) {
 
 EasyScheduler::Shadow EasyScheduler::compute_shadow(const Job& head,
                                                     Time now) const {
-  // Walk running jobs by estimated completion, accumulating processors
-  // until the head fits. free_ + sum(running procs) == machine size >=
-  // head.procs, so the walk always succeeds.
+  // Walk running jobs by estimated completion, accumulating freed
+  // capacity until the head fits on *both* axes. free_ + sum(running
+  // procs) == machine size >= head.procs (and likewise for the burst
+  // buffer, which trace validation bounds by the machine), so the walk
+  // always succeeds.
   int available = free_;
+  int available_bb = free_bb_;
   for (std::size_t i = 0; i < running_by_end_.size(); ++i) {
     available += running_by_end_[i].procs;
-    if (available < head.procs) continue;
+    available_bb += running_by_end_[i].bb;
+    if (available < head.procs || available_bb < head.bb) continue;
     const Time shadow = running_by_end_[i].est_end;
     // Include every other job ending at the same instant: they all free
-    // their processors at the shadow time, so they all count toward the
-    // extra processors available to backfilled jobs.
+    // their capacity at the shadow time, so they all count toward the
+    // extra capacity available to backfilled jobs.
     for (std::size_t j = i + 1;
          j < running_by_end_.size() && running_by_end_[j].est_end == shadow;
-         ++j)
+         ++j) {
       available += running_by_end_[j].procs;
-    return Shadow{std::max(shadow, now), available - head.procs};
+      available_bb += running_by_end_[j].bb;
+    }
+    return Shadow{std::max(shadow, now), available - head.procs,
+                  available_bb - head.bb};
   }
   throw std::logic_error("EasyScheduler: shadow walk failed (accounting bug)");
 }
@@ -95,25 +102,32 @@ void EasyScheduler::select_starts(Time now, std::vector<Job>& out) {
   for (;;) {
     if (queue_.empty()) return;
     // Start the head (and re-enter: the next head may now fit too).
-    if (queue_.front().procs <= free_) {
+    if (fits_now(queue_.front())) {
       out.push_back(start_job(queue_.front().id, now));
       continue;
     }
-    // Head blocked: pin its reservation, then run one backfill pass.
+    // Head blocked: pin its reservation, then run one backfill pass. A
+    // backfill must not delay the head on either axis: it either ends
+    // by the shadow time or fits into the capacity left over (on both
+    // axes) once the head starts there.
     const Job head = queue_.front();
     const Shadow shadow = compute_shadow(head, now);
     last_shadow_ = shadow.time;
     last_head_ = head;
-    int extra = shadow.extra;
+    int extra = shadow.extra_procs;
+    int extra_bb = shadow.extra_bb;
     std::size_t i = 1;
     while (i < queue_.size()) {
       const Job& job = queue_[i];
-      if (job.procs <= free_) {
+      if (fits_now(job)) {
         const bool ends_by_shadow =
             sim::saturating_add(now, job.estimate) <= shadow.time;
-        const bool within_extra = job.procs <= extra;
+        const bool within_extra = job.procs <= extra && job.bb <= extra_bb;
         if (ends_by_shadow || within_extra) {
-          if (!ends_by_shadow) extra -= job.procs;
+          if (!ends_by_shadow) {
+            extra -= job.procs;
+            extra_bb -= job.bb;
+          }
           out.push_back(start_job(job.id, now));
           continue;  // queue_[i] now refers to the next job
         }
@@ -127,7 +141,7 @@ void EasyScheduler::select_starts(Time now, std::vector<Job>& out) {
 std::vector<AuditReservation> EasyScheduler::audit_reservations() const {
   if (last_shadow_ == sim::kNoTime) return {};
   return {{last_head_.id, last_shadow_, last_head_.estimate,
-           last_head_.procs}};
+           last_head_.procs, last_head_.bb}};
 }
 
 std::string EasyScheduler::name() const {

@@ -56,16 +56,21 @@ class EasyScheduler final : public SchedulerBase {
     Time est_end;
     JobId id;
     int procs;
+    int bb;
   };
   std::vector<RunningByEnd> running_by_end_;
 
   /// commit_start + insertion into running_by_end_.
   Job start_job(JobId id, Time now);
 
-  /// Shadow time + extra processors for the current head job.
+  /// Shadow time + extra capacity (per axis) for the current head job:
+  /// the earliest instant both the head's processors and its
+  /// burst-buffer demand are simultaneously available, and what is left
+  /// over on each axis once the head starts there.
   struct Shadow {
     Time time;
-    int extra;
+    int extra_procs;
+    int extra_bb;
   };
   [[nodiscard]] Shadow compute_shadow(const Job& head, Time now) const;
 };

@@ -15,7 +15,7 @@ FcfsScheduler::FcfsScheduler(SchedulerConfig config)
 bool FcfsScheduler::job_submitted(const Job& job, Time now) {
   insert_queued(job, now);
   if (time_varying_priority()) return true;
-  return queue_.front().id == job.id && job.procs <= free_;
+  return queue_.front().id == job.id && fits_now(job);
 }
 
 bool FcfsScheduler::job_finished(JobId id, Time) {
@@ -28,13 +28,14 @@ bool FcfsScheduler::job_cancelled(JobId id, Time) {
   (void)take_queued(id);
   if (queue_.empty()) return false;
   if (time_varying_priority()) return true;
-  return was_front && queue_.front().procs <= free_;
+  return was_front && fits_now(queue_.front());
 }
 
 void FcfsScheduler::select_starts(Time now, std::vector<Job>& out) {
   ensure_sorted(now);
-  // Strict queue order: stop at the first job that does not fit.
-  while (!queue_.empty() && queue_.front().procs <= free_)
+  // Strict queue order: stop at the first job that does not fit on
+  // every resource axis.
+  while (!queue_.empty() && fits_now(queue_.front()))
     out.push_back(commit_start(queue_.front().id, now));
 }
 

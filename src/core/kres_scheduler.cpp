@@ -24,7 +24,7 @@ bool KReservationScheduler::job_submitted(const Job& job, Time now) {
   // newcomer can displace a guarantee holder, and the freed constraint
   // can unblock a backfill further down.
   if (config_.priority != PriorityPolicy::Fcfs) return true;
-  return job.procs <= free_;
+  return fits_now(job);
 }
 
 bool KReservationScheduler::job_finished(JobId id, Time) {
@@ -34,7 +34,9 @@ bool KReservationScheduler::job_finished(JobId id, Time) {
 
 void KReservationScheduler::select_starts(Time now, std::vector<Job>& out) {
   ensure_sorted(now);
-  Profile profile = profile_from_running(config_.procs, now, running_);
+  MultiProfile profile = profile_from_running(config_.procs,
+                                              config_.burst_buffer, now,
+                                              running_);
   // One pass in priority order. A job starts when it fits *now* without
   // disturbing the reservations placed so far; otherwise the first
   // `depth_` blocked jobs are granted reservations that later jobs must
@@ -47,17 +49,17 @@ void KReservationScheduler::select_starts(Time now, std::vector<Job>& out) {
       // Starter or guarantee holder either way: fuse the anchor search
       // with the reservation.
       const Time anchor =
-          profile.find_and_reserve(job.procs, job.estimate, now);
+          profile.find_and_reserve(job.procs, job.bb, job.estimate, now);
       if (anchor == now) {
         to_start.push_back(job.id);
       } else {
         ++reserved;
       }
     } else if (const Time end = sim::saturating_add(now, job.estimate);
-               profile.fits(job.procs, now, end)) {
+               profile.fits(job.procs, job.bb, now, end)) {
       // Reservation depth exhausted: the job only matters if it can
       // start immediately (anchor == now <=> the window fits now).
-      profile.reserve(now, end, job.procs);
+      profile.reserve(now, end, job.procs, job.bb);
       to_start.push_back(job.id);
     }
   }

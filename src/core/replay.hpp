@@ -142,9 +142,12 @@ class EngineReplay {
 };
 
 /// Validate that `trace` satisfies the replay front's preconditions
-/// (dense ids, sane fields, jobs narrower than `machine_procs`, sorted
-/// by submit time). Shared by run_simulation and the served replay
-/// client; throws std::invalid_argument.
-void validate_replay_trace(const Trace& trace, int machine_procs);
+/// (dense ids, sane fields, jobs narrower than `machine_procs` with
+/// burst-buffer demands within `machine_bb`, sorted by submit time).
+/// Shared by run_simulation and the served replay client; throws
+/// std::invalid_argument. The default machine_bb = 0 keeps procs-only
+/// callers exact: any nonzero demand is then rejected.
+void validate_replay_trace(const Trace& trace, int machine_procs,
+                           int machine_bb = 0);
 
 }  // namespace bfsim::core

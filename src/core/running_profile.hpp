@@ -2,20 +2,21 @@
 #pragma once
 
 #include "core/job_table.hpp"
-#include "core/profile.hpp"
+#include "core/multi_profile.hpp"
 #include "core/types.hpp"
 
 namespace bfsim::core {
 
 /// Build an availability profile at time `now` containing only the
-/// currently running jobs, each occupying [now, est_end). The table's
-/// iteration order is unspecified, which is fine: the profile is a sum
-/// of per-job rectangles, and sums commute.
-[[nodiscard]] inline Profile profile_from_running(int total_procs, Time now,
-                                                  const RunningTable& running) {
-  Profile profile{total_procs};
+/// currently running jobs, each occupying [now, est_end) on both
+/// resource axes. The table's iteration order is unspecified, which is
+/// fine: the profile is a sum of per-job rectangles, and sums commute.
+[[nodiscard]] inline MultiProfile profile_from_running(
+    int total_procs, int total_bb, Time now, const RunningTable& running) {
+  MultiProfile profile{total_procs, total_bb};
   for (const RunningJob& rj : running.jobs())
-    if (rj.est_end > now) profile.reserve(now, rj.est_end, rj.job.procs);
+    if (rj.est_end > now)
+      profile.reserve(now, rj.est_end, rj.job.procs, rj.job.bb);
   return profile;
 }
 

@@ -7,15 +7,18 @@
 #include "core/easy_scheduler.hpp"
 #include "core/fcfs_scheduler.hpp"
 #include "core/kres_scheduler.hpp"
+#include "core/plan_scheduler.hpp"
 #include "core/selective_scheduler.hpp"
 #include "core/slack_scheduler.hpp"
 
 namespace bfsim::core {
 
 SchedulerBase::SchedulerBase(SchedulerConfig config)
-    : config_(config), free_(config.procs) {
+    : config_(config), free_(config.procs), free_bb_(config.burst_buffer) {
   if (config_.procs < 1)
     throw std::invalid_argument("Scheduler: machine must have >= 1 proc");
+  if (config_.burst_buffer < 0)
+    throw std::invalid_argument("Scheduler: burst-buffer capacity < 0");
 }
 
 bool Scheduler::job_cancelled(JobId, Time) {
@@ -37,8 +40,11 @@ Job SchedulerBase::commit_start(JobId id, Time now) {
   const Job job = queue_[idx];
   if (job.procs > free_)
     throw std::logic_error("Scheduler: start exceeds free processors");
+  if (job.bb > free_bb_)
+    throw std::logic_error("Scheduler: start exceeds free burst buffer");
   queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(idx));
   free_ -= job.procs;
+  free_bb_ -= job.bb;
   // A hostile estimate near kTimeMax must clamp to "runs forever", not
   // wrap est_end into the past (which would corrupt every profile and
   // shadow computation built from the running set).
@@ -52,6 +58,7 @@ RunningJob SchedulerBase::commit_finish(JobId id) {
     throw std::logic_error("Scheduler: finish for a job that is not running");
   RunningJob rj = running_.take(id);
   free_ += rj.job.procs;
+  free_bb_ += rj.job.bb;
   return rj;
 }
 
@@ -126,6 +133,7 @@ std::string to_string(SchedulerKind kind) {
     case SchedulerKind::KReservation: return "kreservation";
     case SchedulerKind::Selective: return "selective";
     case SchedulerKind::Slack: return "slack";
+    case SchedulerKind::Plan: return "plan";
   }
   return "?";
 }
@@ -139,6 +147,7 @@ SchedulerKind scheduler_kind_from_string(const std::string& name) {
     return SchedulerKind::KReservation;
   if (name == "selective") return SchedulerKind::Selective;
   if (name == "slack") return SchedulerKind::Slack;
+  if (name == "plan") return SchedulerKind::Plan;
   throw std::invalid_argument("unknown scheduler kind '" + name + "'");
 }
 
@@ -163,6 +172,8 @@ std::unique_ptr<Scheduler> make_scheduler(SchedulerKind kind,
               : SelectiveScheduler::Mode::FixedThreshold);
     case SchedulerKind::Slack:
       return std::make_unique<SlackScheduler>(config, extras.slack_factor);
+    case SchedulerKind::Plan:
+      return std::make_unique<PlanScheduler>(config);
   }
   throw std::invalid_argument("make_scheduler: bad kind");
 }

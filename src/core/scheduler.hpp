@@ -18,12 +18,15 @@
 
 namespace bfsim::core {
 
-class Profile;
+class MultiProfile;
 
 /// Configuration shared by all schedulers.
 struct SchedulerConfig {
   int procs = 128;                                ///< machine size
   PriorityPolicy priority = PriorityPolicy::Fcfs; ///< queue order
+  /// Shared burst-buffer capacity in GB; 0 = the axis is absent and
+  /// every job's bb demand must be 0 (the procs-only paper model).
+  int burst_buffer = 0;
 };
 
 /// What a scheduler exposes to the ScheduleAuditor (core/audit.hpp).
@@ -54,6 +57,7 @@ struct AuditReservation {
   Time start = sim::kNoTime;
   Time estimate = 0;
   int procs = 0;
+  int bb = 0;
 };
 
 /// Online scheduling algorithm interface.
@@ -124,7 +128,7 @@ class Scheduler {
   // persistent guarantees override these so the auditor can hold them to
   // their own invariants; the defaults opt out.
   [[nodiscard]] virtual AuditHooks audit_hooks() const { return {}; }
-  [[nodiscard]] virtual const Profile* audit_profile() const {
+  [[nodiscard]] virtual const MultiProfile* audit_profile() const {
     return nullptr;
   }
   [[nodiscard]] virtual std::vector<AuditReservation> audit_reservations()
@@ -163,6 +167,7 @@ class SchedulerBase : public Scheduler {
   JobQueue queue_;
   RunningTable running_;                          ///< started jobs
   int free_ = 0;                                  ///< processors free now
+  int free_bb_ = 0;                               ///< burst-buffer GB free now
   /// Sticky: queue_ has been sorted by id at every instant so far (holds
   /// under FCFS with ids assigned in submit order -- the common case --
   /// and lets queue_index binary-search instead of scanning).
@@ -184,8 +189,15 @@ class SchedulerBase : public Scheduler {
   /// XFactor. Call before walking queue_ in priority order.
   void ensure_sorted(Time now);
 
+  /// True when `job` fits into the momentarily free capacity on every
+  /// axis (processors and burst buffer).
+  [[nodiscard]] bool fits_now(const Job& job) const {
+    return job.procs <= free_ && job.bb <= free_bb_;
+  }
+
   /// Move `job` (which must be in queue_) to running_ at `now`; updates
-  /// free_ and returns the job. Throws std::logic_error on under-capacity.
+  /// free_/free_bb_ and returns the job. Throws std::logic_error on
+  /// under-capacity on either axis.
   Job commit_start(JobId id, Time now);
 
   /// Remove a finished job from running_ and return processors. Throws
@@ -209,6 +221,7 @@ enum class SchedulerKind : int {
   KReservation = 3,  ///< Maui-style reservation depth K     [extension]
   Selective = 4,     ///< reservation once slowdown > threshold (paper §6)
   Slack = 5,         ///< slack-bounded displacement (Talby-Feitelson) [ext]
+  Plan = 6,          ///< plan-based: full replan per event (Kopanski-Rzadca)
 };
 
 [[nodiscard]] std::string to_string(SchedulerKind kind);

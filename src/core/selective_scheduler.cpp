@@ -31,7 +31,7 @@ bool SelectiveScheduler::promote_due(Time now) {
     // A fresh guarantee only *blocks* others; it matters immediately
     // only if its holder might start, for which fitting into the free
     // processors is necessary.
-    start_possible |= job.procs <= free_;
+    start_possible |= fits_now(job);
   }
   return start_possible;
 }
@@ -47,7 +47,7 @@ bool SelectiveScheduler::job_submitted(const Job& job, Time now) {
   // must trigger a pass while jobs wait.
   const bool promoted_start = promote_due(now);
   if (time_varying_priority()) return true;
-  return promoted_start || job.procs <= free_;
+  return promoted_start || fits_now(job);
 }
 
 bool SelectiveScheduler::job_finished(JobId id, Time now) {
@@ -91,7 +91,9 @@ void SelectiveScheduler::select_starts(Time now, std::vector<Job>& out) {
   (void)promote_due(now);
 
   ensure_sorted(now);
-  Profile profile = profile_from_running(config_.procs, now, running_);
+  MultiProfile profile = profile_from_running(config_.procs,
+                                              config_.burst_buffer, now,
+                                              running_);
   std::vector<JobId>& to_start = start_scratch_;
   to_start.clear();
   // Pass 1 -- reserved jobs, in priority order: they either start now or
@@ -99,7 +101,7 @@ void SelectiveScheduler::select_starts(Time now, std::vector<Job>& out) {
   for (const Job& job : queue_) {
     if (!promoted_.contains(job.id)) continue;
     const Time anchor =
-        profile.find_and_reserve(job.procs, job.estimate, now);
+        profile.find_and_reserve(job.procs, job.bb, job.estimate, now);
     if (anchor == now) to_start.push_back(job.id);
   }
   // Pass 2 -- unprotected jobs backfill greedily around the guarantees.
@@ -109,8 +111,8 @@ void SelectiveScheduler::select_starts(Time now, std::vector<Job>& out) {
   for (const Job& job : queue_) {
     if (promoted_.contains(job.id)) continue;
     const Time end = sim::saturating_add(now, job.estimate);
-    if (profile.fits(job.procs, now, end)) {
-      profile.reserve(now, end, job.procs);
+    if (profile.fits(job.procs, job.bb, now, end)) {
+      profile.reserve(now, end, job.procs, job.bb);
       to_start.push_back(job.id);
     }
   }

@@ -11,7 +11,8 @@
 
 namespace bfsim::core {
 
-void validate_replay_trace(const Trace& trace, int machine_procs) {
+void validate_replay_trace(const Trace& trace, int machine_procs,
+                           int machine_bb) {
   for (std::size_t i = 0; i < trace.size(); ++i) {
     if (trace[i].id != i)
       throw std::invalid_argument(
@@ -23,6 +24,13 @@ void validate_replay_trace(const Trace& trace, int machine_procs) {
     if (trace[i].procs > machine_procs)
       throw std::invalid_argument("run_simulation: job " + std::to_string(i) +
                                   " wider than the machine");
+    if (trace[i].bb < 0)
+      throw std::invalid_argument("run_simulation: job " + std::to_string(i) +
+                                  " has a negative burst-buffer demand");
+    if (trace[i].bb > machine_bb)
+      throw std::invalid_argument("run_simulation: job " + std::to_string(i) +
+                                  " demands more burst buffer than the "
+                                  "machine has");
     if (trace[i].cancel_at != sim::kNoTime &&
         trace[i].cancel_at < trace[i].submit)
       throw std::invalid_argument(
@@ -36,8 +44,8 @@ void validate_replay_trace(const Trace& trace, int machine_procs) {
 
 SimulationResult run_simulation(const Trace& trace, Scheduler& scheduler,
                                 const SimulationOptions& options) {
-  const int machine_procs = scheduler.config().procs;
-  validate_replay_trace(trace, machine_procs);
+  validate_replay_trace(trace, scheduler.config().procs,
+                        scheduler.config().burst_buffer);
 
   // The auditor sees every event the scheduler sees, before the
   // scheduler does, so a violation is reported at the exact event that
@@ -63,7 +71,7 @@ SimulationResult run_simulation(const Trace& trace, Scheduler& scheduler,
 
   if (options.validate) {
     const ValidationReport report =
-        validate_schedule(trace, result.outcomes, machine_procs);
+        validate_schedule(trace, result.outcomes, scheduler.config().procs);
     if (!report.ok())
       throw std::logic_error("run_simulation: invalid schedule: " +
                              report.violations.front());

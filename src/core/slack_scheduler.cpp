@@ -13,7 +13,7 @@ namespace bfsim::core {
 SlackScheduler::SlackScheduler(SchedulerConfig config, double slack_factor)
     : SchedulerBase(config),
       slack_factor_(slack_factor),
-      profile_(config.procs) {
+      profile_(config.procs, config.burst_buffer) {
   if (!(slack_factor >= 0.0))
     throw std::invalid_argument("SlackScheduler: slack_factor must be >= 0");
 }
@@ -30,9 +30,9 @@ bool SlackScheduler::job_submitted(const Job& job, Time now) {
   // `now`), so a job that fits the free processors anchors at `now`
   // without a search -- same O(1) fast path as conservative.
   const Time anchor =
-      queue_.empty() && job.procs <= free_
+      queue_.empty() && fits_now(job)
           ? now
-          : profile_.earliest_anchor(job.procs, job.estimate, now);
+          : profile_.earliest_anchor(job.procs, job.bb, job.estimate, now);
   const auto slack = static_cast<Time>(
       std::llround(slack_factor_ * static_cast<double>(job.estimate)));
   deadlines_.set(job.id, sim::saturating_add(anchor, slack));
@@ -41,7 +41,7 @@ bool SlackScheduler::job_submitted(const Job& job, Time now) {
     return due_.earliest(reservations_) == now;
 
   profile_.reserve(anchor, sim::saturating_add(anchor, job.estimate),
-                   job.procs);
+                   job.procs, job.bb);
   reservations_.set(job.id, anchor);
   due_.push(anchor, job.id);
   insert_queued(job, now);
@@ -53,10 +53,12 @@ bool SlackScheduler::try_displace(const Job& job, Time now) {
   // re-anchors around it in earliest-deadline-first order. EDF places
   // the tightest guarantees first, which maximizes the chance that all
   // of them survive.
-  Profile trial = profile_from_running(config_.procs, now, running_);
+  MultiProfile trial = profile_from_running(config_.procs,
+                                            config_.burst_buffer, now,
+                                            running_);
   const Time newcomer_end = sim::saturating_add(now, job.estimate);
-  if (!trial.fits(job.procs, now, newcomer_end)) return false;
-  trial.reserve(now, newcomer_end, job.procs);
+  if (!trial.fits(job.procs, job.bb, now, newcomer_end)) return false;
+  trial.reserve(now, newcomer_end, job.procs, job.bb);
 
   std::vector<const Job*> order;
   order.reserve(queue_.size());
@@ -73,7 +75,8 @@ bool SlackScheduler::try_displace(const Job& job, Time now) {
     // Fused search + reserve; the trial is discarded wholesale on
     // failure, so reserving before the deadline check is harmless.
     const Time anchor =
-        trial.find_and_reserve(queued->procs, queued->estimate, now);
+        trial.find_and_reserve(queued->procs, queued->bb, queued->estimate,
+                               now);
     if (anchor > deadlines_.at(queued->id)) return false;  // slack exhausted
     new_starts.set(queued->id, anchor);
   }
@@ -95,7 +98,7 @@ bool SlackScheduler::job_finished(JobId id, Time now) {
   // On-time completions free nothing; compression would be a no-op. A
   // reservation anchored exactly at this job's est_end can still be due.
   if (now < rj.est_end) {
-    profile_.release(now, rj.est_end, rj.job.procs);
+    profile_.release(now, rj.est_end, rj.job.procs, rj.job.bb);
     compress(now, now);
   }
   return due_.earliest(reservations_) == now;
@@ -104,7 +107,8 @@ bool SlackScheduler::job_finished(JobId id, Time now) {
 bool SlackScheduler::job_cancelled(JobId id, Time now) {
   const Job job = take_queued(id);
   const Time start = reservations_.at(id);
-  profile_.release(start, sim::saturating_add(start, job.estimate), job.procs);
+  profile_.release(start, sim::saturating_add(start, job.estimate), job.procs,
+                   job.bb);
   reservations_.erase(id);
   deadlines_.erase(id);
   compress(now, start);
@@ -128,9 +132,9 @@ void SlackScheduler::compress(Time now, Time hole_begin) {
       const Time old_start = reservations_.at(job.id);
       if (old_start <= hole_begin) continue;
       profile_.release(old_start, sim::saturating_add(old_start, job.estimate),
-                       job.procs);
+                       job.procs, job.bb);
       const Time anchor =
-          profile_.find_and_reserve(job.procs, job.estimate, now);
+          profile_.find_and_reserve(job.procs, job.bb, job.estimate, now);
       if (anchor > old_start)
         throw std::logic_error(
             "SlackScheduler: compression delayed a reservation (job " +
@@ -176,7 +180,8 @@ std::vector<AuditReservation> SlackScheduler::audit_reservations() const {
   std::vector<AuditReservation> out;
   out.reserve(queue_.size());
   for (const Job& job : queue_)
-    out.push_back({job.id, reservations_.at(job.id), job.estimate, job.procs});
+    out.push_back({job.id, reservations_.at(job.id), job.estimate, job.procs,
+                   job.bb});
   return out;
 }
 

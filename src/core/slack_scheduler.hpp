@@ -21,7 +21,7 @@
 //    reservations earlier. Hence no job ever starts after its deadline.
 #pragma once
 
-#include "core/profile.hpp"
+#include "core/multi_profile.hpp"
 #include "core/reservation_heap.hpp"
 #include "core/scheduler.hpp"
 
@@ -63,7 +63,7 @@ class SlackScheduler final : public SchedulerBase {
   [[nodiscard]] AuditHooks audit_hooks() const override {
     return {.profile = true, .reservations = true};
   }
-  [[nodiscard]] const Profile* audit_profile() const override {
+  [[nodiscard]] const MultiProfile* audit_profile() const override {
     return &profile_;
   }
   [[nodiscard]] std::vector<AuditReservation> audit_reservations()
@@ -71,7 +71,7 @@ class SlackScheduler final : public SchedulerBase {
 
  private:
   double slack_factor_;
-  Profile profile_;
+  MultiProfile profile_;
   TimeByJob reservations_;
   TimeByJob deadlines_;
   /// Pass-time working buffers, reused so select_starts never allocates

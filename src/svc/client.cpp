@@ -22,6 +22,7 @@ std::string hello_frame(const HelloRequest& hello) {
   frame.set("v", Json::integer(hello.version));
   frame.set("scheduler", Json::string(core::to_string(hello.kind)));
   frame.set("procs", Json::integer(hello.config.procs));
+  frame.set("burst_buffer", Json::integer(hello.config.burst_buffer));
   frame.set("priority", Json::string(core::to_string(hello.config.priority)));
   frame.set("audit", Json::boolean(hello.audit));
   frame.set("reservation_depth",
@@ -156,6 +157,7 @@ void RemoteDecisionCore::on_submit(const core::Job& job, core::Time now) {
   event.set("submit", Json::integer(job.submit));
   event.set("estimate", Json::integer(job.estimate));
   event.set("procs", Json::integer(job.procs));
+  event.set("bb", Json::integer(job.bb));
   events_.push_back(std::move(event));
 }
 
@@ -228,7 +230,8 @@ const core::DecisionStats& RemoteDecisionCore::stats() {
 core::SimulationResult served_run(const core::Trace& trace,
                                   LineChannel& channel,
                                   const HelloRequest& hello) {
-  core::validate_replay_trace(trace, hello.config.procs);
+  core::validate_replay_trace(trace, hello.config.procs,
+                              hello.config.burst_buffer);
   RemoteDecisionCore core{channel, hello};
   core::EngineReplay<RemoteDecisionCore> replay{trace, core};
   core::SimulationResult result = replay.run();

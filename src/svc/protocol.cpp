@@ -98,6 +98,10 @@ HelloRequest parse_hello(const Json& frame) {
   if (procs < 1 || procs > std::numeric_limits<int>::max())
     reject("bad-value", "'procs' must be a positive machine size");
   hello.config.procs = static_cast<int>(procs);
+  const std::int64_t bb = optional_int(frame, "burst_buffer", 0);
+  if (bb < 0 || bb > std::numeric_limits<int>::max())
+    reject("bad-value", "'burst_buffer' must be a non-negative capacity");
+  hello.config.burst_buffer = static_cast<int>(bb);
   if (const Json* priority = frame.find("priority")) {
     if (!priority->is_string())
       reject("bad-type", "field 'priority' must be a string");
@@ -144,6 +148,10 @@ Event parse_event(const Json& entry) {
     if (procs < 1 || procs > std::numeric_limits<int>::max())
       reject("bad-value", "'procs' must be positive");
     event.job.procs = static_cast<int>(procs);
+    const std::int64_t bb = optional_int(entry, "bb", 0);
+    if (bb < 0 || bb > std::numeric_limits<int>::max())
+      reject("bad-value", "'bb' must be a non-negative burst-buffer demand");
+    event.job.bb = static_cast<int>(bb);
   } else if (kind == "cancel") {
     event.kind = EventKind::kCancel;
     event.id = need_job_id(entry, "id");

@@ -1,4 +1,4 @@
-// bfsim -- the scheduling-service wire protocol (version 1).
+// bfsim -- the scheduling-service wire protocol (version 2).
 //
 // Line-delimited JSON, one frame per line, one reply per frame. The
 // client opens with a `hello` naming the protocol version and the
@@ -32,8 +32,11 @@
 namespace bfsim::svc {
 
 /// Protocol version spoken by this build; `hello` frames naming any
-/// other version are rejected with reason "bad-version".
-inline constexpr std::int64_t kProtocolVersion = 1;
+/// other version are rejected with reason "bad-version". Version 2
+/// added the burst-buffer axis: `hello` gained the optional
+/// "burst_buffer" machine capacity and submit events the optional "bb"
+/// per-job demand (both >= 0, both defaulting to 0 = axis absent).
+inline constexpr std::int64_t kProtocolVersion = 2;
 
 /// Upper bound on one frame line, before parsing. A line longer than
 /// this is quarantined as "oversized-frame" without being parsed --

@@ -15,6 +15,7 @@ namespace {
 bool same_session(const HelloRequest& a, const HelloRequest& b) {
   return a.version == b.version && a.kind == b.kind &&
          a.config.procs == b.config.procs &&
+         a.config.burst_buffer == b.config.burst_buffer &&
          a.config.priority == b.config.priority &&
          a.extras.reservation_depth == b.extras.reservation_depth &&
          a.extras.xfactor_threshold == b.extras.xfactor_threshold &&
@@ -198,6 +199,11 @@ void Session::validate_batch(const EventBatch& batch) const {
         if (job.procs > core_->machine_procs())
           throw ProtocolError("bad-event", "job " + std::to_string(job.id) +
                                                " is wider than the machine");
+        if (job.bb > core_->machine_burst_buffer())
+          throw ProtocolError("bad-event",
+                              "job " + std::to_string(job.id) +
+                                  " demands more burst buffer than the "
+                                  "machine has");
         if (job.submit != batch.now)
           throw ProtocolError("bad-event",
                               "job " + std::to_string(job.id) +

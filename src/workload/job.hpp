@@ -25,6 +25,10 @@ struct Job {
   sim::Time runtime = 1;   ///< actual runtime; the scheduler never sees this
   sim::Time estimate = 1;  ///< user-estimated runtime (wall-clock limit)
   int procs = 1;           ///< processors requested (held exclusively)
+  /// Burst-buffer demand in GB, held exclusively for the job's whole
+  /// residence like processors (Kopanski-Rzadca model). 0 = the job does
+  /// not touch the buffer; procs-only traces leave this at 0 everywhere.
+  int bb = 0;
   /// If set (>= 0), the user withdraws the job at this time unless it
   /// has already started -- queued-job cancellation, a routine event in
   /// the archive traces. kNoTime = never cancelled.

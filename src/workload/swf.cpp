@@ -97,14 +97,15 @@ void absorb_header_line(SwfHeader& header, const std::string& line) {
   else if (key == "MaxRuntime") header.max_runtime = to_int();
 }
 
-/// Parse one 18-field data line; throws LineParseError on malformed or
-/// sentinel-valued content (the caller decides strict/lenient policy).
+/// Parse one data line -- 18 classic fields, optionally followed by the
+/// burst-buffer extension column -- throwing LineParseError on malformed
+/// or sentinel-valued content (the caller decides strict/lenient policy).
 SwfRecord parse_record(const std::string& line, std::size_t line_no) {
   const auto tokens = tokenize(line);
-  if (tokens.size() != 18)
+  if (tokens.size() != 18 && tokens.size() != 19)
     throw LineParseError("bad-field-count",
                          "swf: line " + std::to_string(line_no) +
-                             ": expected 18 fields, got " +
+                             ": expected 18 or 19 fields, got " +
                              std::to_string(tokens.size()));
   SwfRecord r;
   r.job_number = parse_int(tokens[0], line_no);
@@ -125,6 +126,16 @@ SwfRecord parse_record(const std::string& line, std::size_t line_no) {
   r.partition_id = parse_int(tokens[15], line_no);
   r.preceding_job = parse_int(tokens[16], line_no);
   r.think_time = parse_int(tokens[17], line_no);
+  if (tokens.size() == 19) {
+    r.burst_buffer = parse_int(tokens[18], line_no);
+    // -1 is the spec-wide "unknown" sentinel; anything below it is not a
+    // sentinel but garbage (e.g. a sign-flipped demand).
+    if (r.burst_buffer < -1)
+      throw LineParseError("negative-burst-buffer",
+                           "swf: line " + std::to_string(line_no) +
+                               ": negative burst-buffer demand " +
+                               std::to_string(r.burst_buffer));
+  }
   return r;
 }
 
@@ -188,6 +199,19 @@ SwfFile read_swf(std::istream& in, const SwfParseOptions& options,
       quarantine("excessive-time", what);
       continue;
     }
+    // Same corruption argument as the time bound, on the second axis:
+    // an absurd buffer demand would pin every profile window, so it is
+    // refused in both modes rather than screened as a sentinel.
+    if (options.max_burst_buffer > 0 &&
+        r.burst_buffer > options.max_burst_buffer) {
+      const std::string what =
+          "swf: line " + std::to_string(line_no) +
+          ": burst-buffer demand exceeds max_burst_buffer bound of " +
+          std::to_string(options.max_burst_buffer) + " GB";
+      if (!options.lenient) throw util::ParseError(what);
+      quarantine("excessive-burst-buffer", what);
+      continue;
+    }
     if (options.lenient) {
       if (const char* reason = sentinel_reason(r); reason != nullptr) {
         quarantine(reason, "swf: line " + std::to_string(line_no) +
@@ -230,7 +254,11 @@ void write_swf(std::ostream& out, const SwfFile& file) {
         << r.requested_time << ' ' << r.requested_memory << ' ' << r.status
         << ' ' << r.user_id << ' ' << r.group_id << ' ' << r.app_id << ' '
         << r.queue_id << ' ' << r.partition_id << ' ' << r.preceding_job
-        << ' ' << r.think_time << '\n';
+        << ' ' << r.think_time;
+    // The extension column appears only when set, so classic 18-column
+    // files round-trip byte-exactly.
+    if (r.burst_buffer >= 0) out << ' ' << r.burst_buffer;
+    out << '\n';
   }
 }
 
@@ -251,6 +279,8 @@ Trace swf_to_jobs(const SwfFile& file, const SwfToJobsOptions& options) {
     if (r.requested_time > 0) job.estimate = r.requested_time;
     else if (options.estimate_fallback_to_runtime) job.estimate = job.runtime;
     else continue;
+    // Extension column 19: the -1 "unknown" sentinel means no demand.
+    if (r.burst_buffer > 0) job.bb = static_cast<int>(r.burst_buffer);
     // Schedulers kill jobs at their wall-clock limit; an archive runtime
     // above the request reflects logging slop, so align the two.
     job.estimate = std::max(job.estimate, job.runtime);
@@ -283,6 +313,7 @@ SwfFile jobs_to_swf(const Trace& jobs, int machine_procs,
     r.requested_procs = job.procs;
     r.requested_time = job.estimate;
     r.status = 1;
+    if (job.bb > 0) r.burst_buffer = job.bb;
     file.records.push_back(r);
   }
   return file;

@@ -24,6 +24,9 @@
 namespace bfsim::workload {
 
 /// One full 18-field SWF record. Missing/unknown values are -1 per spec.
+/// An optional 19th extension column carries the job's burst-buffer
+/// demand (GB) for multi-resource experiments; plain 18-column archive
+/// files leave it at the -1 sentinel.
 struct SwfRecord {
   std::int64_t job_number = -1;        // 1
   std::int64_t submit_time = -1;       // 2  (s since log start)
@@ -43,6 +46,7 @@ struct SwfRecord {
   std::int64_t partition_id = -1;      // 16
   std::int64_t preceding_job = -1;     // 17
   std::int64_t think_time = -1;        // 18 (s)
+  std::int64_t burst_buffer = -1;      // 19 (GB; extension, absent = -1)
 
   friend bool operator==(const SwfRecord&, const SwfRecord&) = default;
 };
@@ -88,15 +92,23 @@ struct SwfParseOptions {
   /// mode throws on such records; lenient mode quarantines them under
   /// "excessive-time". Set <= 0 to disable the bound.
   std::int64_t max_time = kDefaultMaxSwfTime;
+  /// Upper bound (GB) on the burst-buffer extension column. The same
+  /// corruption argument as max_time applies on the second resource
+  /// axis: a "wants 10^15 GB of buffer" record would pin every profile
+  /// window forever. Strict mode throws; lenient mode quarantines under
+  /// "excessive-burst-buffer". Set <= 0 to disable the bound.
+  std::int64_t max_burst_buffer = 1'000'000;
 };
 
 /// What lenient ingestion did: per-reason quarantine counts. Reasons:
-///   "bad-field-count"    line did not have exactly 18 fields
+///   "bad-field-count"    line did not have exactly 18 or 19 fields
 ///   "bad-integer-field"  an integer column failed to parse
 ///   "bad-numeric-field"  a floating-point column failed to parse
 ///   "no-processors"      neither requested nor used processors > 0
 ///   "negative-submit"    submit time below zero (sentinel -1)
 ///   "excessive-time"     run/requested time above SwfParseOptions::max_time
+///   "negative-burst-buffer"   extension column 19 below the -1 sentinel
+///   "excessive-burst-buffer"  column 19 above SwfParseOptions::max_burst_buffer
 struct SwfParseReport {
   std::size_t parsed = 0;       ///< records accepted
   std::size_t quarantined = 0;  ///< records dropped (sum of reasons)
@@ -143,12 +155,16 @@ struct SwfToJobsOptions {
 /// without a positive width are dropped. Estimates are raised to at least
 /// the runtime: the archive logs the *actual* runtime even when it
 /// exceeded the request, while our simulator models the scheduler-enforced
-/// kill at the estimate.
+/// kill at the estimate. The burst-buffer extension column maps to
+/// Job::bb (the -1 sentinel becomes 0: no demand).
 [[nodiscard]] Trace swf_to_jobs(const SwfFile& file,
                                 const SwfToJobsOptions& options = {});
 
 /// Build an SWF file (records + header) from simulator jobs; inverse of
-/// swf_to_jobs for the fields the simulator knows about.
+/// swf_to_jobs for the fields the simulator knows about. Jobs with a
+/// positive burst-buffer demand set the extension column (write_swf then
+/// emits 19-column lines); procs-only traces round-trip byte-exactly
+/// through the classic 18-column format.
 [[nodiscard]] SwfFile jobs_to_swf(const Trace& jobs, int machine_procs,
                                   const std::string& computer = "bfsim");
 

@@ -116,8 +116,8 @@ class StaleProfileScheduler final : public ShimScheduler {
       : ShimScheduler(config), profile_(config.procs) {}
   bool job_submitted(const Job& job, Time now) override {
     const Time anchor =
-        profile_.earliest_anchor(job.procs, job.estimate, now);
-    profile_.reserve(anchor, anchor + job.estimate, job.procs);
+        profile_.earliest_anchor(job.procs, job.bb, job.estimate, now);
+    profile_.reserve(anchor, anchor + job.estimate, job.procs, job.bb);
     queue_.push_back(job);
     return true;
   }
@@ -134,12 +134,55 @@ class StaleProfileScheduler final : public ShimScheduler {
   [[nodiscard]] AuditHooks audit_hooks() const override {
     return {.profile = true};
   }
-  [[nodiscard]] const Profile* audit_profile() const override {
+  [[nodiscard]] const MultiProfile* audit_profile() const override {
     return &profile_;
   }
 
  private:
-  Profile profile_;
+  MultiProfile profile_;
+};
+
+/// Mutation 4 -- burst-buffer staleness: tracks both axes correctly on
+/// submit, but an early finish releases only the *processor* tail of
+/// the estimated rectangle; the buffer gigabytes stay pinned. Only the
+/// second axis diverges, so this mutant proves the profile cross-check
+/// compares the axes independently.
+class StaleBufferProfileScheduler final : public ShimScheduler {
+ public:
+  explicit StaleBufferProfileScheduler(SchedulerConfig config)
+      : ShimScheduler(config), profile_(config.procs, config.burst_buffer) {}
+  bool job_submitted(const Job& job, Time now) override {
+    const Time anchor =
+        profile_.earliest_anchor(job.procs, job.bb, job.estimate, now);
+    profile_.reserve(anchor, anchor + job.estimate, job.procs, job.bb);
+    queue_.push_back(job);
+    return true;
+  }
+  bool job_finished(JobId id, Time now) override {
+    for (const Job& job : running_)
+      if (job.id == id) {
+        // Bug under test: the tail release forgets the buffer axis.
+        const Time end = job.submit + job.estimate;
+        if (now < end) profile_.release(now, end, job.procs, 0);
+        break;
+      }
+    return ShimScheduler::job_finished(id, now);
+  }
+  using Scheduler::select_starts;
+  void select_starts(Time, std::vector<Job>& out) override {
+    while (!queue_.empty() &&
+           queue_.front().procs <= config_.procs - used())
+      out.push_back(start_at(0));
+  }
+  [[nodiscard]] AuditHooks audit_hooks() const override {
+    return {.profile = true};
+  }
+  [[nodiscard]] const MultiProfile* audit_profile() const override {
+    return &profile_;
+  }
+
+ private:
+  MultiProfile profile_;
 };
 
 /// Run `scheduler` over `trace` under a collecting (non-fatal) auditor
@@ -200,6 +243,44 @@ TEST(AuditMutation, DetectsStaleProfileBreakpoint) {
   EXPECT_EQ(v.expected, 4);  // all processors should be free...
   EXPECT_EQ(v.actual, 0);    // ...but the stale rectangle holds them
   EXPECT_NE(v.detail.find("stale"), std::string::npos);
+}
+
+TEST(AuditMutation, DetectsBufferCapacityOverflow) {
+  // Both jobs fit on the processor axis (1 + 1 of 4); the machine's 10
+  // buffer GB do not cover 8 + 8. Only "capacity-bb" may fire.
+  const Trace trace =
+      make_trace({{.submit = 0, .runtime = 10, .procs = 1, .bb = 8},
+                  {.submit = 0, .runtime = 10, .procs = 1, .bb = 8}});
+  CapacityOverflowScheduler scheduler{
+      SchedulerConfig{4, PriorityPolicy::Fcfs, /*burst_buffer=*/10}};
+  const auto violations = audit_run(trace, scheduler);
+  ASSERT_FALSE(violations.empty());
+  const AuditViolation& v = violations.front();
+  EXPECT_EQ(v.invariant, "capacity-bb");
+  EXPECT_EQ(v.when, 0);
+  EXPECT_EQ(v.job, 1u);
+  EXPECT_EQ(v.expected, 10);  // buffer capacity
+  EXPECT_EQ(v.actual, 16);    // 8 held + 8 started
+  for (const AuditViolation& each : violations)
+    EXPECT_NE(each.invariant, "capacity") << "processor axis is not over";
+}
+
+TEST(AuditMutation, DetectsStaleBufferBreakpoint) {
+  // Early completion at t=5 of a job estimated to 10: the shim releases
+  // the processor tail but pins the buffer tail. Exactly the buffer
+  // axis diverges, at the moment of staleness.
+  const Trace trace = make_trace(
+      {{.submit = 0, .runtime = 5, .procs = 4, .estimate = 10, .bb = 8}});
+  StaleBufferProfileScheduler scheduler{
+      SchedulerConfig{4, PriorityPolicy::Fcfs, /*burst_buffer=*/8}};
+  const auto violations = audit_run(trace, scheduler);
+  ASSERT_FALSE(violations.empty());
+  const AuditViolation& v = violations.front();
+  EXPECT_EQ(v.invariant, "profile-divergence");
+  EXPECT_EQ(v.when, 5);
+  EXPECT_EQ(v.expected, 8);  // all buffer GB should be free...
+  EXPECT_EQ(v.actual, 0);    // ...but the stale rectangle holds them
+  EXPECT_NE(v.detail.find("burst-buffer"), std::string::npos);
 }
 
 TEST(AuditMutation, FatalModeThrowsAtTheViolatingEvent) {

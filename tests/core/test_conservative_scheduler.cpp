@@ -151,8 +151,8 @@ TEST(ConservativeScheduler, ProfileTailReturnsToFullyFree) {
   (void)scheduler.select_starts(0);
   scheduler.job_submitted(make_job(1, 1, 100, 4), 1);
   EXPECT_NO_THROW(scheduler.profile().check_invariants());
-  EXPECT_EQ(scheduler.profile().free_at(100), 4);
-  EXPECT_EQ(scheduler.profile().free_at(200), 8);
+  EXPECT_EQ(scheduler.profile().procs_free_at(100), 4);
+  EXPECT_EQ(scheduler.profile().procs_free_at(200), 8);
 }
 
 TEST(ConservativeScheduler, RejectsJobWiderThanMachine) {

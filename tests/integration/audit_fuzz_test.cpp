@@ -114,6 +114,8 @@ TEST(AuditFuzz, EverySchedulerSurvivesTheAuditedGrid) {
         {SchedulerKind::KReservation, PriorityPolicy::Fcfs},
         {SchedulerKind::Selective, PriorityPolicy::Fcfs},
         {SchedulerKind::Slack, PriorityPolicy::Fcfs},
+        {SchedulerKind::Plan, PriorityPolicy::Fcfs},
+        {SchedulerKind::Plan, PriorityPolicy::Sjf},
     };
     for (const auto& scheme : schemes) {
       SCOPED_TRACE(to_string(scheme.kind) + "-" +
@@ -129,6 +131,70 @@ TEST(AuditFuzz, EverySchedulerSurvivesTheAuditedGrid) {
       EXPECT_EQ(m.overall.count() + m.cancelled_jobs, kJobs);
     }
   }
+}
+
+TEST(AuditFuzz, MultiResourceGridSurvivesThePerAxisAuditor) {
+  // The same audited-grid discipline on two axes: every profile-bearing
+  // scheduler runs the fuzz workloads with deterministic burst-buffer
+  // demands against a shared buffer, and the auditor's per-axis
+  // capacity and profile cross-checks are fatal throughout.
+  constexpr int kBufferGb = 512;
+  for (const std::uint64_t seed : {1ULL, 2ULL, 3ULL}) {
+    const FuzzCell cell{.trace = exp::TraceKind::Sdsc,
+                        .load = exp::kHighLoad,
+                        .factor = 2.0,
+                        .cancel_fraction = seed == 2 ? 0.15 : 0.0,
+                        .seed = seed};
+    SCOPED_TRACE(cell.label());
+    workload::Trace trace = build_fuzz_trace(cell);
+    test::assign_random_bb(trace, kBufferGb, seed * 131 + 7);
+    const int procs = exp::machine_procs(cell.trace);
+    for (const SchedulerKind kind :
+         {SchedulerKind::Easy, SchedulerKind::Conservative,
+          SchedulerKind::KReservation, SchedulerKind::Selective,
+          SchedulerKind::Slack, SchedulerKind::Plan}) {
+      SCOPED_TRACE(to_string(kind));
+      const SimulationResult result = run_simulation(
+          trace, kind,
+          SchedulerConfig{procs, PriorityPolicy::Fcfs, kBufferGb}, {},
+          {.validate = true, .audit = true});
+      for (const JobOutcome& outcome : result.outcomes)
+        EXPECT_TRUE(outcome.start != sim::kNoTime || outcome.cancelled);
+    }
+  }
+}
+
+TEST(AuditFuzz, SeededBufferOversubscriptionIsCaughtOnTheSecondAxis) {
+  // Mutation check for the new axis: shrink the capacity the *auditor*
+  // believes in below what the scheduler packs against, and every
+  // resulting overflow must surface as "capacity-bb" -- proof the
+  // second-axis invariant actually bites on realistic workloads.
+  const FuzzCell cell{.trace = exp::TraceKind::Sdsc,
+                      .load = exp::kHighLoad,
+                      .factor = 1.0,
+                      .cancel_fraction = 0.0,
+                      .seed = 6};
+  workload::Trace trace = build_fuzz_trace(cell);
+  const int procs = exp::machine_procs(cell.trace);
+  constexpr int kRealBuffer = 256;
+  test::assign_random_bb(trace, kRealBuffer, 99);
+  // The scheduler packs against the real capacity...
+  const SchedulerConfig real{procs, PriorityPolicy::Fcfs, kRealBuffer};
+  const auto scheduler = make_scheduler(SchedulerKind::Easy, real);
+  // ...while the auditor is built for a machine with half the buffer
+  // (a distinct scheduler object: only its config seeds the auditor).
+  const SchedulerConfig halved{procs, PriorityPolicy::Fcfs, kRealBuffer / 2};
+  const auto believed = make_scheduler(SchedulerKind::Fcfs, halved);
+  ScheduleAuditor auditor{*believed, {.fatal = false}};
+  (void)run_simulation(trace, *scheduler, {.auditor = &auditor});
+  ASSERT_FALSE(auditor.ok());
+  bool saw_capacity_bb = false;
+  for (const AuditViolation& violation : auditor.violations()) {
+    // Only the buffer axis was shrunk, so only it may fire.
+    EXPECT_EQ(violation.invariant, "capacity-bb") << violation.to_string();
+    saw_capacity_bb |= violation.invariant == "capacity-bb";
+  }
+  EXPECT_TRUE(saw_capacity_bb);
 }
 
 TEST(AuditFuzz, BackfillingDominatesTheFcfsBaseline) {

@@ -121,7 +121,7 @@ TEST(Cancellation, ConservativeProfileStaysConsistent) {
   scheduler.job_submitted(b, 1);
   scheduler.job_cancelled(1, 10);
   EXPECT_NO_THROW(scheduler.profile().check_invariants());
-  EXPECT_EQ(scheduler.profile().free_at(150), 4);  // reservation gone
+  EXPECT_EQ(scheduler.profile().procs_free_at(150), 4);  // reservation gone
   EXPECT_EQ(scheduler.queued_count(), 0u);
   // Cancelling twice (or a never-queued id) is a caller bug.
   EXPECT_THROW(scheduler.job_cancelled(1, 11), std::logic_error);

@@ -73,6 +73,9 @@ const GoldenCase kCorpus[] = {
     {"sdsc-slack-fcfs-exact", TraceKind::Sdsc, core::SchedulerKind::Slack,
      core::PriorityPolicy::Fcfs, {EstimateRegime::Exact, 1.0},
      R"GOLD({"overall":{"slowdown":{"count":360,"mean":93.877552777822046,"stddev":335.52504983751317,"min":1,"max":4151.3783783783783,"sum":33795.919000015929},"turnaround":{"count":360,"mean":41076.811111111114,"stddev":63189.528677614289,"min":30,"max":330873,"sum":14787652},"wait":{"count":360,"mean":29876.141666666663,"stddev":51503.690320219226,"min":0,"max":244267,"sum":10755411}},"SN":{"slowdown":{"count":173,"mean":105.81195982446303,"stddev":313.66184107225297,"min":1,"max":1989.2820512820513,"sum":18305.469049632098},"turnaround":{"count":173,"mean":14166.653179190751,"stddev":28978.70706076963,"min":30,"max":152941,"sum":2450831},"wait":{"count":173,"mean":13478.936416184968,"stddev":28951.142533816786,"min":0,"max":151528,"sum":2331856}},"SW":{"slowdown":{"count":77,"mean":194.72759502459704,"stddev":535.5759519018743,"min":1,"max":4151.3783783783783,"sum":14994.024816893972},"turnaround":{"count":77,"mean":40688.454545454544,"stddev":62302.639348616911,"min":30,"max":226190,"sum":3133011},"wait":{"count":77,"mean":39871.80519480518,"stddev":62170.214776395376,"min":0,"max":225857,"sum":3070129}},"LN":{"slowdown":{"count":60,"mean":3.0530847969859822,"stddev":5.3521095325785639,"min":1,"max":33.127369956246959,"sum":183.18508781915889},"turnaround":{"count":60,"mean":68202.483333333352,"stddev":65380.277700695464,"min":3907,"max":265885,"sum":4092149},"wait":{"count":60,"mean":34452.76666666667,"stddev":49940.901404531898,"min":0,"max":219076,"sum":2067166}},"LW":{"slowdown":{"count":50,"mean":6.2648009134138398,"stddev":10.077240895384689,"min":1,"max":49.63558884297521,"sum":313.24004567069198},"turnaround":{"count":50,"mean":102233.22,"stddev":88683.101504288861,"min":4107,"max":330873,"sum":5111661},"wait":{"count":50,"mean":65725.200000000012,"stddev":71071.299059752782,"min":0,"max":244267,"sum":3286260}},"well":{"slowdown":{"count":360,"mean":93.877552777822046,"stddev":335.52504983751317,"min":1,"max":4151.3783783783783,"sum":33795.919000015929},"turnaround":{"count":360,"mean":41076.811111111114,"stddev":63189.528677614289,"min":30,"max":330873,"sum":14787652},"wait":{"count":360,"mean":29876.141666666663,"stddev":51503.690320219226,"min":0,"max":244267,"sum":10755411}},"poor":{"slowdown":{"count":0,"mean":0,"stddev":0,"min":0,"max":0,"sum":0},"turnaround":{"count":0,"mean":0,"stddev":0,"min":0,"max":0,"sum":0},"wait":{"count":0,"mean":0,"stddev":0,"min":0,"max":0,"sum":0}},"slowdown_tail":{"count":360,"p50":1,"p95":692.17008700870099,"p99":1347.7713638843456,"max":4151.3783783783783},"utilization":0.60679128072309818,"makespan":908513,"killed":0,"cancelled":0,"backfilled":284})GOLD"},
+    {"ctc-plan-fcfs-r2", TraceKind::Ctc, core::SchedulerKind::Plan,
+     core::PriorityPolicy::Fcfs, {EstimateRegime::Systematic, 2.0},
+     R"GOLD({"overall":{"slowdown":{"count":360,"mean":11.84672457341512,"stddev":86.265875229398176,"min":1,"max":1530.1621621621621,"sum":4264.8208464294421},"turnaround":{"count":360,"mean":14358.76944444445,"stddev":20501.87166344469,"min":30,"max":107897,"sum":5169157},"wait":{"count":360,"mean":4957.5944444444458,"stddev":10342.465046812453,"min":0,"max":57162,"sum":1784734}},"SN":{"slowdown":{"count":164,"mean":5.6778963781131617,"stddev":23.312064187503964,"min":1,"max":233.82051282051282,"sum":931.17500601055849},"turnaround":{"count":164,"mean":2113.0060975609754,"stddev":5466.1035364442414,"min":30,"max":31656,"sum":346533},"wait":{"count":164,"mean":1399.323170731707,"stddev":5343.2311505351126,"min":0,"max":31345,"sum":229489}},"SW":{"slowdown":{"count":49,"mean":63.361618614657765,"stddev":225.04700913671491,"min":1,"max":1530.1621621621621,"sum":3104.7193121182308},"turnaround":{"count":49,"mean":8887.3673469387759,"stddev":14301.982325732968,"min":41,"max":56616,"sum":435481},"wait":{"count":49,"mean":8278.7142857142862,"stddev":14363.2845492132,"min":0,"max":56579,"sum":405657}},"LN":{"slowdown":{"count":88,"mean":1.3390371492324258,"stddev":0.67423199633480857,"min":1,"max":4.667123663284892,"sum":117.83526913245348},"turnaround":{"count":88,"mean":28291.159090909085,"stddev":20215.00045964864,"min":3750,"max":83593,"sum":2489622},"wait":{"count":88,"mean":5511.852272727273,"stddev":9180.4532086306517,"min":0,"max":37283,"sum":485043}},"LW":{"slowdown":{"count":59,"mean":1.8829026977660956,"stddev":1.4317799939222988,"min":1,"max":6.9990159417437514,"sum":111.09125916819963},"turnaround":{"count":59,"mean":32161.372881355936,"stddev":25869.609965268399,"min":3818,"max":107897,"sum":1897521},"wait":{"count":59,"mean":11263.474576271186,"stddev":14094.68631637828,"min":0,"max":57162,"sum":664545}},"well":{"slowdown":{"count":360,"mean":11.84672457341512,"stddev":86.265875229398176,"min":1,"max":1530.1621621621621,"sum":4264.8208464294421},"turnaround":{"count":360,"mean":14358.76944444445,"stddev":20501.87166344469,"min":30,"max":107897,"sum":5169157},"wait":{"count":360,"mean":4957.5944444444458,"stddev":10342.465046812453,"min":0,"max":57162,"sum":1784734}},"poor":{"slowdown":{"count":0,"mean":0,"stddev":0,"min":0,"max":0,"sum":0},"turnaround":{"count":0,"mean":0,"stddev":0,"min":0,"max":0,"sum":0},"wait":{"count":0,"mean":0,"stddev":0,"min":0,"max":0,"sum":0}},"slowdown_tail":{"count":360,"p50":1,"p95":39.498542919628228,"p99":166.80082829888772,"max":1530.1621621621621},"utilization":0.6027007775354144,"makespan":275578,"killed":0,"cancelled":0,"backfilled":273})GOLD"},
 };
 // clang-format on
 
@@ -80,6 +83,7 @@ TEST(GoldenMetrics, CtcConservativeFcfsExact) { check(kCorpus[0]); }
 TEST(GoldenMetrics, CtcEasySjfActual) { check(kCorpus[1]); }
 TEST(GoldenMetrics, SdscKReservationXFactorR2) { check(kCorpus[2]); }
 TEST(GoldenMetrics, SdscSlackFcfsExact) { check(kCorpus[3]); }
+TEST(GoldenMetrics, CtcPlanFcfsR2) { check(kCorpus[4]); }
 
 TEST(GoldenMetrics, CorpusIsThreadCountInvariant) {
   // The corpus pins the *serial* merge; this pins the sharded one to the

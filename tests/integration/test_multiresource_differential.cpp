@@ -1,0 +1,128 @@
+// The multi-resource differential wall: turning the burst-buffer axis
+// ON while every job demands zero buffer must be byte-invisible. For
+// every scheduler kind, the same trace run with burst_buffer=0 and with
+// burst_buffer=N (all demands 0) must produce identical outcomes,
+// identical scheduler counters, and identical canonical metrics JSON --
+// the contract that lets procs-only studies upgrade to MultiProfile
+// without re-validating a single golden.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/simulation.hpp"
+#include "metrics/aggregate.hpp"
+#include "metrics/report.hpp"
+#include "sim/rng.hpp"
+#include "test_support.hpp"
+#include "workload/transforms.hpp"
+
+namespace bfsim::core {
+namespace {
+
+using test::assign_random_bb;
+using test::random_trace;
+
+constexpr int kProcs = 16;
+
+const SchedulerKind kAllKinds[] = {
+    SchedulerKind::Fcfs,         SchedulerKind::Easy,
+    SchedulerKind::Conservative, SchedulerKind::KReservation,
+    SchedulerKind::Selective,    SchedulerKind::Slack,
+    SchedulerKind::Plan,
+};
+
+void expect_identical(const SimulationResult& with_axis,
+                      const SimulationResult& without) {
+  ASSERT_EQ(with_axis.outcomes.size(), without.outcomes.size());
+  for (std::size_t i = 0; i < with_axis.outcomes.size(); ++i) {
+    SCOPED_TRACE("job " + std::to_string(i));
+    EXPECT_EQ(with_axis.outcomes[i].start, without.outcomes[i].start);
+    EXPECT_EQ(with_axis.outcomes[i].end, without.outcomes[i].end);
+    EXPECT_EQ(with_axis.outcomes[i].killed, without.outcomes[i].killed);
+    EXPECT_EQ(with_axis.outcomes[i].cancelled, without.outcomes[i].cancelled);
+  }
+  EXPECT_EQ(with_axis.makespan, without.makespan);
+  EXPECT_EQ(with_axis.events, without.events);
+  EXPECT_EQ(with_axis.passes, without.passes);
+  EXPECT_EQ(with_axis.passes_skipped, without.passes_skipped);
+  EXPECT_EQ(with_axis.wakeups, without.wakeups);
+  EXPECT_EQ(with_axis.max_queue, without.max_queue);
+  EXPECT_EQ(metrics::metrics_json(metrics::compute_metrics(with_axis, kProcs)),
+            metrics::metrics_json(metrics::compute_metrics(without, kProcs)));
+}
+
+TEST(MultiResourceDifferential, ZeroDemandsMakeTheBufferAxisInvisible) {
+  for (const std::uint64_t seed : {51u, 52u}) {
+    const Trace trace = random_trace(150, kProcs, seed, /*overestimate=*/true);
+    for (const SchedulerKind kind : kAllKinds) {
+      SCOPED_TRACE(to_string(kind) + " seed " + std::to_string(seed));
+      const SimulationResult without = run_simulation(
+          trace, kind, SchedulerConfig{kProcs, PriorityPolicy::Fcfs}, {},
+          {.validate = true, .audit = true});
+      const SimulationResult with_axis = run_simulation(
+          trace, kind,
+          SchedulerConfig{kProcs, PriorityPolicy::Fcfs,
+                          /*burst_buffer=*/4096},
+          {}, {.validate = true, .audit = true});
+      expect_identical(with_axis, without);
+    }
+  }
+}
+
+TEST(MultiResourceDifferential, CancellationsStayInvisibleToo) {
+  // The cancel path exercises reservation removal and profile release;
+  // the axis-0 identity must survive it in every scheduler.
+  Trace trace = random_trace(150, kProcs, 53, /*overestimate=*/true);
+  sim::Rng rng{53 * 977 + 13};
+  workload::apply_cancellations(trace, 0.15, /*patience=*/2.0, rng);
+  for (const SchedulerKind kind : kAllKinds) {
+    SCOPED_TRACE(to_string(kind));
+    const SimulationResult without = run_simulation(
+        trace, kind, SchedulerConfig{kProcs, PriorityPolicy::Sjf}, {},
+        {.validate = true, .audit = true});
+    const SimulationResult with_axis = run_simulation(
+        trace, kind,
+        SchedulerConfig{kProcs, PriorityPolicy::Sjf, /*burst_buffer=*/1024},
+        {}, {.validate = true, .audit = true});
+    expect_identical(with_axis, without);
+  }
+}
+
+TEST(MultiResourceDifferential, AmpleBufferNeverChangesTheSchedule) {
+  // Non-zero demands that can never contend (every job fits the buffer
+  // alongside all others) must also be invisible: the second axis only
+  // matters when it binds.
+  for (const SchedulerKind kind : kAllKinds) {
+    SCOPED_TRACE(to_string(kind));
+    Trace trace = random_trace(120, kProcs, 54, /*overestimate=*/true);
+    const SimulationResult without = run_simulation(
+        trace, kind, SchedulerConfig{kProcs, PriorityPolicy::Fcfs}, {},
+        {.validate = true, .audit = true});
+    // Demands <= 4 GB with capacity procs*4: even all-jobs-running
+    // cannot exceed the buffer, so no anchor ever moves.
+    assign_random_bb(trace, 4, 0xbeef);
+    const SimulationResult with_axis = run_simulation(
+        trace, kind,
+        SchedulerConfig{kProcs, PriorityPolicy::Fcfs,
+                        /*burst_buffer=*/kProcs * 4},
+        {}, {.validate = true, .audit = true});
+    expect_identical(with_axis, without);
+  }
+}
+
+TEST(MultiResourceDifferential, ContendedBufferRunsCleanEverywhere) {
+  // When the buffer *does* bind, every scheduler must still produce a
+  // valid, audit-clean schedule (per-axis capacity checks fatal).
+  for (const SchedulerKind kind : kAllKinds) {
+    SCOPED_TRACE(to_string(kind));
+    Trace trace = random_trace(150, kProcs, 55, /*overestimate=*/true);
+    assign_random_bb(trace, 96, 0xfeed);
+    (void)run_simulation(
+        trace, kind,
+        SchedulerConfig{kProcs, PriorityPolicy::Fcfs, /*burst_buffer=*/128},
+        {}, {.validate = true, .audit = true});
+  }
+}
+
+}  // namespace
+}  // namespace bfsim::core

@@ -22,7 +22,7 @@ std::string reason_of(const std::string& line) {
 
 TEST(Protocol, ParsesHelloWithDefaults) {
   const Request request = parse_request(
-      R"({"type":"hello","v":1,"scheduler":"easy","procs":128})");
+      R"({"type":"hello","v":2,"scheduler":"easy","procs":128})");
   ASSERT_EQ(request.type, Request::Type::kHello);
   EXPECT_EQ(request.hello.kind, core::SchedulerKind::Easy);
   EXPECT_EQ(request.hello.config.procs, 128);
@@ -33,7 +33,7 @@ TEST(Protocol, ParsesHelloWithDefaults) {
 
 TEST(Protocol, ParsesHelloWithEveryKnob) {
   const Request request = parse_request(
-      R"({"type":"hello","v":1,"scheduler":"kres","procs":430,)"
+      R"({"type":"hello","v":2,"scheduler":"kres","procs":430,)"
       R"("priority":"xfactor","audit":true,"reservation_depth":8,)"
       R"("xfactor_threshold":3.5,"selective_adaptive":true,)"
       R"("slack_factor":1.5})");
@@ -79,12 +79,12 @@ TEST(Protocol, RejectionSlugs) {
   EXPECT_EQ(reason_of(R"({"no":"type"})"), "missing-field");
   EXPECT_EQ(reason_of(R"({"type":"teapot"})"), "unknown-type");
   EXPECT_EQ(reason_of(R"({"type":42})"), "bad-type");
-  EXPECT_EQ(reason_of(R"({"type":"hello","v":2,"scheduler":"easy","procs":4})"),
+  EXPECT_EQ(reason_of(R"({"type":"hello","v":1,"scheduler":"easy","procs":4})"),
             "bad-version");
   EXPECT_EQ(
-      reason_of(R"({"type":"hello","v":1,"scheduler":"magic","procs":4})"),
+      reason_of(R"({"type":"hello","v":2,"scheduler":"magic","procs":4})"),
       "bad-value");
-  EXPECT_EQ(reason_of(R"({"type":"hello","v":1,"scheduler":"easy","procs":0})"),
+  EXPECT_EQ(reason_of(R"({"type":"hello","v":2,"scheduler":"easy","procs":0})"),
             "bad-value");
   EXPECT_EQ(reason_of(R"({"type":"events","seq":0,"now":1,"events":[]})"),
             "bad-value");
@@ -114,9 +114,55 @@ TEST(Protocol, TimesBeyondTheHostilityBoundAreRejected) {
       "bad-value");
 }
 
+TEST(Protocol, ParsesBurstBufferFields) {
+  // v2 extension: hello carries the machine's buffer capacity, submit
+  // events carry the per-job demand. Both default to zero when absent.
+  const Request hello = parse_request(
+      R"({"type":"hello","v":2,"scheduler":"plan","procs":128,)"
+      R"("burst_buffer":1024})");
+  EXPECT_EQ(hello.hello.kind, core::SchedulerKind::Plan);
+  EXPECT_EQ(hello.hello.config.burst_buffer, 1024);
+  const Request events = parse_request(
+      R"({"type":"events","seq":1,"now":0,"events":[)"
+      R"({"kind":"submit","id":0,"submit":0,"estimate":10,"procs":2,)"
+      R"("bb":64}]})");
+  ASSERT_EQ(events.batch.events.size(), 1u);
+  EXPECT_EQ(events.batch.events[0].job.bb, 64);
+}
+
+TEST(Protocol, BurstBufferDefaultsToZeroWhenAbsent) {
+  const Request hello = parse_request(
+      R"({"type":"hello","v":2,"scheduler":"easy","procs":128})");
+  EXPECT_EQ(hello.hello.config.burst_buffer, 0);
+  const Request events = parse_request(
+      R"({"type":"events","seq":1,"now":0,"events":[)"
+      R"({"kind":"submit","id":0,"submit":0,"estimate":10,"procs":2}]})");
+  EXPECT_EQ(events.batch.events[0].job.bb, 0);
+}
+
+TEST(Protocol, HostileBurstBufferFieldsAreRejected) {
+  EXPECT_EQ(reason_of(R"({"type":"hello","v":2,"scheduler":"easy",)"
+                      R"("procs":4,"burst_buffer":-1})"),
+            "bad-value");
+  EXPECT_EQ(reason_of(R"({"type":"hello","v":2,"scheduler":"easy",)"
+                      R"("procs":4,"burst_buffer":4294967296})"),
+            "bad-value");  // > INT_MAX: would truncate
+  EXPECT_EQ(reason_of(R"({"type":"hello","v":2,"scheduler":"easy",)"
+                      R"("procs":4,"burst_buffer":"lots"})"),
+            "bad-type");
+  EXPECT_EQ(reason_of(R"({"type":"events","seq":1,"now":0,"events":[)"
+                      R"({"kind":"submit","id":0,"submit":0,"estimate":1,)"
+                      R"("procs":1,"bb":-64}]})"),
+            "bad-value");
+  EXPECT_EQ(reason_of(R"({"type":"events","seq":1,"now":0,"events":[)"
+                      R"({"kind":"submit","id":0,"submit":0,"estimate":1,)"
+                      R"("procs":1,"bb":1.5}]})"),
+            "bad-type");
+}
+
 TEST(Protocol, ReplyBuildersAreByteStable) {
   EXPECT_EQ(welcome_reply("easy-fcfs", 7),
-            R"({"type":"welcome","v":1,"scheduler":"easy-fcfs",)"
+            R"({"type":"welcome","v":2,"scheduler":"easy-fcfs",)"
             R"("resumed_seq":7})");
   core::CycleDecision decision;
   std::vector<workload::JobId> ids{4, 9};

@@ -28,6 +28,7 @@ const SchedulerKind kAllKinds[] = {
     SchedulerKind::Fcfs,         SchedulerKind::Easy,
     SchedulerKind::Conservative, SchedulerKind::KReservation,
     SchedulerKind::Selective,    SchedulerKind::Slack,
+    SchedulerKind::Plan,
 };
 
 workload::Trace build_trace(double factor, double cancel_fraction,
@@ -136,6 +137,30 @@ TEST(ServedDifferential, LowLoadFastPathsSurviveTheWire) {
     const SimulationResult served = run_served(trace, hello);
     const SimulationResult local = core::run_simulation(
         trace, kind, hello.config, hello.extras, {.validate = true});
+    expect_identical(served, local);
+  }
+}
+
+TEST(ServedDifferential, BurstBufferDemandsCrossTheWire) {
+  // v2 fields: the machine's capacity rides the hello frame, each
+  // job's demand rides its submit event. The audited daemon must match
+  // the in-process engine byte for byte with the second axis binding.
+  const int procs = exp::machine_procs(exp::TraceKind::Sdsc);
+  workload::Trace trace = build_trace(2.0, 0.1, exp::kHighLoad, 9);
+  sim::Rng rng{9 * 1031 + 7};
+  for (workload::Job& job : trace)
+    job.bb = static_cast<int>(rng.uniform_int(0, 512));
+  for (const SchedulerKind kind : kAllKinds) {
+    SCOPED_TRACE(to_string(kind));
+    HelloRequest hello;
+    hello.kind = kind;
+    hello.config = core::SchedulerConfig{procs, PriorityPolicy::Fcfs,
+                                         /*burst_buffer=*/512};
+    hello.audit = true;
+    const SimulationResult served = run_served(trace, hello);
+    const SimulationResult local = core::run_simulation(
+        trace, kind, hello.config, hello.extras,
+        {.validate = true, .audit = true});
     expect_identical(served, local);
   }
 }

@@ -44,7 +44,7 @@ class HostileChannel final : public LineChannel {
 
  private:
   void attack(const std::string& line) {
-    switch (rng_.uniform_int(0, 5)) {
+    switch (rng_.uniform_int(0, 6)) {
       case 0: {  // truncation: a prefix of a JSON object never parses
         const auto cut = static_cast<std::size_t>(
             rng_.uniform_int(0, static_cast<std::int64_t>(line.size()) - 1));
@@ -83,6 +83,19 @@ class HostileChannel final : public LineChannel {
         expect_rejected(
             R"({"type":"events","seq":999999,"now":0,)"
             R"("events":[{"kind":"finish","id":12345}]})");
+        break;
+      case 6:  // v2 burst-buffer hostility: negative and over-capacity
+        if (rng_.uniform_int(0, 1) == 0) {
+          expect_rejected(
+              R"({"type":"events","seq":999998,"now":0,)"
+              R"("events":[{"kind":"submit","id":54321,"submit":0,)"
+              R"("estimate":1,"procs":1,"bb":-5}]})");
+        } else {
+          expect_rejected(
+              R"({"type":"events","seq":999998,"now":0,)"
+              R"("events":[{"kind":"submit","id":54321,"submit":0,)"
+              R"("estimate":1,"procs":1,"bb":2000000000}]})");
+        }
         break;
     }
   }
@@ -168,7 +181,7 @@ TEST(SessionFuzz, PureGarbageStormNeverCrashes) {
   }
   EXPECT_EQ(session.report().rejected, 5000u);
   const std::string welcome = session.handle_line(
-      R"({"type":"hello","v":1,"scheduler":"easy","procs":8})");
+      R"({"type":"hello","v":2,"scheduler":"easy","procs":8})");
   EXPECT_NE(welcome.find("\"type\":\"welcome\""), std::string::npos);
 }
 

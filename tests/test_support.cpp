@@ -15,6 +15,7 @@ workload::Trace make_trace(const std::vector<JobSpec>& specs) {
     job.runtime = spec.runtime;
     job.procs = spec.procs;
     job.estimate = spec.estimate == 0 ? spec.runtime : spec.estimate;
+    job.bb = spec.bb;
     trace.push_back(job);
   }
   workload::finalize(trace);
@@ -43,6 +44,13 @@ workload::Trace random_trace(std::size_t count, int procs,
   }
   workload::finalize(trace);
   return trace;
+}
+
+void assign_random_bb(workload::Trace& trace, int max_bb,
+                      std::uint64_t seed) {
+  sim::Rng rng{seed};
+  for (workload::Job& job : trace)
+    job.bb = static_cast<int>(rng.uniform_int(0, max_bb));
 }
 
 std::vector<sim::Time> start_times(const core::SimulationResult& result) {

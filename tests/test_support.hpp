@@ -16,6 +16,7 @@ struct JobSpec {
   sim::Time runtime = 1;
   int procs = 1;
   sim::Time estimate = 0;  ///< 0 => equals runtime
+  int bb = 0;              ///< burst-buffer demand (GB)
 };
 
 /// Assemble a simulator-ready trace (sorted, ids = indices).
@@ -28,6 +29,10 @@ struct JobSpec {
 [[nodiscard]] workload::Trace random_trace(std::size_t count, int procs,
                                            std::uint64_t seed,
                                            bool overestimate);
+
+/// Assign deterministic random burst-buffer demands in [0, max_bb] to
+/// every job of `trace` (for multi-resource tests; procs untouched).
+void assign_random_bb(workload::Trace& trace, int max_bb, std::uint64_t seed);
 
 /// Start times of every job, indexed by id.
 [[nodiscard]] std::vector<sim::Time> start_times(

@@ -325,6 +325,126 @@ TEST(Swf, NonPositiveMaxTimeDisablesTheBound) {
   EXPECT_EQ(file.records.size(), 4u);
 }
 
+// The 19th (extension) column: burst-buffer demand in GB. Standard
+// 18-field archives parse with the sentinel -1; 19-field lines carry
+// the demand; both shapes may interleave in one file.
+constexpr const char* kBufferSample =
+    "1 0 10 100 4 -1 -1 4 200 -1 1 12 3 -1 1 -1 -1 -1 64\n"
+    "2 50 0 3600 16 -1 -1 16 7200 -1 1 13 3 -1 1 -1 -1 -1\n"
+    "3 60 5 100 8 -1 -1 8 600 -1 1 14 3 -1 1 -1 -1 -1 0\n";
+
+TEST(Swf, Parses19ColumnBurstBuffer) {
+  std::istringstream in{kBufferSample};
+  const SwfFile file = read_swf(in);
+  ASSERT_EQ(file.records.size(), 3u);
+  EXPECT_EQ(file.records[0].burst_buffer, 64);
+  EXPECT_EQ(file.records[1].burst_buffer, -1);  // absent column: sentinel
+  EXPECT_EQ(file.records[2].burst_buffer, 0);   // explicit zero is kept
+}
+
+TEST(Swf, ToJobsMapsBurstBuffer) {
+  std::istringstream in{kBufferSample};
+  const Trace jobs = swf_to_jobs(read_swf(in));
+  ASSERT_EQ(jobs.size(), 3u);
+  EXPECT_EQ(jobs[0].bb, 64);
+  EXPECT_EQ(jobs[1].bb, 0);  // sentinel converts to no demand
+  EXPECT_EQ(jobs[2].bb, 0);
+}
+
+TEST(Swf, WriteSwfKeeps18ColumnLinesByteExact) {
+  // A file with no extension column must write back with no extension
+  // column -- procs-only archives round-trip to the same bytes.
+  std::istringstream in{kSample};
+  const SwfFile file = read_swf(in);
+  std::ostringstream out;
+  write_swf(out, file);
+  std::istringstream lines{out.str()};
+  std::string one;
+  while (std::getline(lines, one)) {
+    if (one.empty() || one[0] == ';') continue;
+    std::istringstream fields{one};
+    std::string tok;
+    int count = 0;
+    while (fields >> tok) ++count;
+    EXPECT_EQ(count, 18) << one;
+  }
+}
+
+TEST(Swf, BurstBufferRoundTripsThroughWriteAndJobs) {
+  std::istringstream in{kBufferSample};
+  const SwfFile original = read_swf(in);
+  std::ostringstream out;
+  write_swf(out, original);
+  std::istringstream in2{out.str()};
+  const SwfFile reparsed = read_swf(in2);
+  ASSERT_EQ(reparsed.records.size(), 3u);
+  EXPECT_EQ(reparsed.records[0].burst_buffer, 64);
+  EXPECT_EQ(reparsed.records[1].burst_buffer, -1);
+  EXPECT_EQ(reparsed.records[2].burst_buffer, 0);
+  Trace jobs;
+  Job j;
+  j.id = 0;
+  j.submit = 10;
+  j.runtime = 100;
+  j.estimate = 300;
+  j.procs = 8;
+  j.bb = 32;
+  jobs.push_back(j);
+  const SwfFile file = jobs_to_swf(jobs, 128, "test-machine");
+  ASSERT_EQ(file.records.size(), 1u);
+  EXPECT_EQ(file.records[0].burst_buffer, 32);
+  const Trace back = swf_to_jobs(file, {.rebase_time = false});
+  ASSERT_EQ(back.size(), 1u);
+  EXPECT_EQ(back[0].bb, 32);
+}
+
+// Hostile extension columns: sub-sentinel negatives and demands far
+// beyond any machine. Both must die in strict mode and quarantine with
+// their own reason slug in lenient mode.
+constexpr const char* kBufferCorrupted =
+    "1 0 10 100 4 -1 -1 4 200 -1 1 12 3 -1 1 -1 -1 -1 64\n"
+    "2 50 0 3600 4 -1 -1 4 7200 -1 1 13 3 -1 1 -1 -1 -1 -7\n"
+    "3 60 5 100 4 -1 -1 4 600 -1 1 14 3 -1 1 -1 -1 -1 999999999999\n"
+    "4 70 5 100 4 -1 -1 4 600 -1 1 14 3 -1 1 -1 -1 -1\n";
+
+TEST(Swf, StrictModeThrowsOnNegativeBurstBuffer) {
+  std::istringstream in{
+      "1 0 10 100 4 -1 -1 4 200 -1 1 12 3 -1 1 -1 -1 -1 -7\n"};
+  EXPECT_THROW((void)read_swf(in), util::ParseError);
+}
+
+TEST(Swf, StrictModeThrowsOnExcessiveBurstBuffer) {
+  std::istringstream in{
+      "1 0 10 100 4 -1 -1 4 200 -1 1 12 3 -1 1 -1 -1 -1 999999999999\n"};
+  EXPECT_THROW((void)read_swf(in), util::ParseError);
+}
+
+TEST(Swf, LenientModeQuarantinesHostileBurstBuffers) {
+  util::reset_log_limits();
+  std::istringstream in{kBufferCorrupted};
+  SwfParseReport report;
+  const SwfFile file = read_swf(in, {.lenient = true}, &report);
+  ASSERT_EQ(file.records.size(), 2u);
+  EXPECT_EQ(file.records[0].job_number, 1);
+  EXPECT_EQ(file.records[1].job_number, 4);
+  EXPECT_EQ(report.quarantined, 2u);
+  EXPECT_EQ(report.reasons.at("negative-burst-buffer"), 1u);
+  EXPECT_EQ(report.reasons.at("excessive-burst-buffer"), 1u);
+  util::reset_log_limits();
+}
+
+TEST(Swf, MaxBurstBufferBoundIsConfigurable) {
+  util::reset_log_limits();
+  std::istringstream in{kBufferSample};
+  SwfParseReport report;
+  const SwfFile file =
+      read_swf(in, {.lenient = true, .max_burst_buffer = 32}, &report);
+  // Only record 1 (bb=64) trips the tightened bound.
+  ASSERT_EQ(file.records.size(), 2u);
+  EXPECT_EQ(report.reasons.at("excessive-burst-buffer"), 1u);
+  util::reset_log_limits();
+}
+
 TEST(Swf, StrictReportStillCountsParsed) {
   std::istringstream in{kSample};
   SwfParseReport report;

@@ -49,9 +49,11 @@ void usage() {
       "  --cancel FRAC         cancel FRAC of queued jobs (default 0)\n"
       "run options:\n"
       "  --scheduler NAME      fcfs, easy, conservative, kres, selective, "
-      "slack\n"
+      "slack, plan\n"
       "  --priority NAME       fcfs, sjf, xfactor\n"
       "  --procs N             machine size override\n"
+      "  --burst-buffer N      machine burst-buffer capacity in GB "
+      "(default 0)\n"
       "  --audit               daemon-side schedule auditor\n"
       "  --verify              diff against the in-process engine\n"
       "  --json                print the run's metrics as JSON\n");
@@ -63,6 +65,7 @@ struct Args {
   bfsim::exp::Scenario scenario;
   double cancel_fraction = 0.0;
   int procs_override = 0;
+  int burst_buffer = 0;
   bool audit = false;
   bool verify = false;
   bool json = false;
@@ -101,6 +104,9 @@ bool parse_args(int argc, char** argv, Args& args) {
     else if (arg == "--procs")
       args.procs_override = static_cast<int>(std::strtol(value().c_str(),
                                                          nullptr, 10));
+    else if (arg == "--burst-buffer")
+      args.burst_buffer = static_cast<int>(std::strtol(value().c_str(),
+                                                       nullptr, 10));
     else if (arg == "--audit") args.audit = true;
     else if (arg == "--verify") args.verify = true;
     else if (arg == "--json") args.json = true;
@@ -204,6 +210,7 @@ int main(int argc, char** argv) {
     hello.kind = args.scenario.scheduler;
     hello.config.procs = procs;
     hello.config.priority = args.scenario.priority;
+    hello.config.burst_buffer = args.burst_buffer;
     hello.extras = args.scenario.extras;
     hello.audit = args.audit;
 
