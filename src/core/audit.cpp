@@ -98,26 +98,30 @@ void ScheduleAuditor::on_started(const Job& job, Time now) {
             .actual = now,
             .detail = "job started before its submission time"});
   ++checks_;
-  if (busy_ + rec.procs > total_procs_)
+  if (busy_ + rec.procs > total_procs_ - down_)
     record({.invariant = "capacity",
             .when = now,
             .job = job.id,
-            .expected = total_procs_,
+            .expected = total_procs_ - down_,
             .actual = busy_ + rec.procs,
             .detail = "machine oversubscribed: " + std::to_string(busy_) +
                       " busy + " + std::to_string(rec.procs) + " started > " +
-                      std::to_string(total_procs_) + " processors"});
+                      std::to_string(total_procs_ - down_) +
+                      " available processors (" + std::to_string(down_) +
+                      " down)"});
   ++checks_;
-  if (busy_bb_ + rec.bb > total_bb_)
+  if (busy_bb_ + rec.bb > total_bb_ - down_bb_)
     record({.invariant = "capacity-bb",
             .when = now,
             .job = job.id,
-            .expected = total_bb_,
+            .expected = total_bb_ - down_bb_,
             .actual = busy_bb_ + rec.bb,
             .detail = "burst buffer oversubscribed: " +
                       std::to_string(busy_bb_) + " busy + " +
                       std::to_string(rec.bb) + " started > " +
-                      std::to_string(total_bb_) + " GB"});
+                      std::to_string(total_bb_ - down_bb_) +
+                      " available GB (" + std::to_string(down_bb_) +
+                      " down)"});
   if (hooks_.monotone_reservations &&
       rec.first_reservation != sim::kNoTime) {
     ++checks_;
@@ -181,6 +185,97 @@ void ScheduleAuditor::on_finished(JobId id, Time now) {
   rec.finished = true;
   busy_ -= rec.procs;
   busy_bb_ -= rec.bb;
+}
+
+void ScheduleAuditor::on_killed(JobId id, Time now) {
+  const auto it = jobs_.find(id);
+  ++checks_;
+  if (it == jobs_.end() || !it->second.running) {
+    record({.invariant = "kill-not-running",
+            .when = now,
+            .job = id,
+            .detail = "kill delivered for a job that is not running"});
+    return;
+  }
+  // No wall-clock-limit check: an outage may void a run at any instant
+  // from its start onward. The voided run stops counting as a start, so
+  // the job may start again after its requeue.
+  JobRecord& rec = it->second;
+  rec.running = false;
+  rec.start = sim::kNoTime;
+  rec.first_reservation = sim::kNoTime;
+  rec.last_reservation = sim::kNoTime;
+  busy_ -= rec.procs;
+  busy_bb_ -= rec.bb;
+}
+
+void ScheduleAuditor::on_requeued(const Job& job, Time now) {
+  const auto it = jobs_.find(job.id);
+  ++checks_;
+  if (it == jobs_.end() || it->second.running ||
+      it->second.start != sim::kNoTime || it->second.finished ||
+      it->second.cancelled) {
+    record({.invariant = "requeue-not-killed",
+            .when = now,
+            .job = job.id,
+            .detail = "requeue delivered for a job that was not killed"});
+    return;
+  }
+  // The estimate may shrink under the resubmit-remaining policy; submit
+  // stays the original arrival (start-before-submit keeps holding).
+  JobRecord& rec = it->second;
+  rec.estimate = job.estimate;
+  rec.procs = job.procs;
+  rec.bb = job.bb;
+}
+
+void ScheduleAuditor::on_node_down(const sim::Outage& outage, Time now) {
+  // The decision core kills victims first, so by the time the downtime
+  // registers its demand must already be free on both axes.
+  ++checks_;
+  if (busy_ + down_ + outage.procs > total_procs_ ||
+      busy_bb_ + down_bb_ + outage.bb > total_bb_)
+    record({.invariant = "outage-capacity",
+            .when = now,
+            .expected = total_procs_ - down_ - outage.procs,
+            .actual = busy_,
+            .detail = "outage " + std::to_string(outage.id) +
+                      " registered while its capacity is still held by "
+                      "running jobs (insufficient kills)"});
+  down_ += outage.procs;
+  down_bb_ += outage.bb;
+  active_outages_.push_back(outage);
+  // Force majeure: the degraded machine may make every pre-outage
+  // guarantee physically impossible, so the monotone baselines restart
+  // from the post-outage reservations (DESIGN.md section 15).
+  // bfsim-lint: nondeterminism -- order-insensitive per-record reset
+  for (auto& [id, rec] : jobs_) {
+    rec.first_reservation = sim::kNoTime;
+    rec.last_reservation = sim::kNoTime;
+  }
+  pinned_head_ = workload::kInvalidJob;
+  pinned_start_ = sim::kNoTime;
+}
+
+void ScheduleAuditor::on_node_up(const sim::Outage& outage, Time now) {
+  const auto it = std::find_if(
+      active_outages_.begin(), active_outages_.end(),
+      [&outage](const sim::Outage& o) { return o.id == outage.id; });
+  ++checks_;
+  if (it == active_outages_.end() || it->repair_at != now) {
+    record({.invariant = "repair-unknown-outage",
+            .when = now,
+            .expected = it == active_outages_.end() ? sim::kNoTime
+                                                    : it->repair_at,
+            .actual = now,
+            .detail = "repair delivered for outage " +
+                      std::to_string(outage.id) +
+                      " which is not active at this instant"});
+    return;
+  }
+  down_ -= it->procs;
+  down_bb_ -= it->bb;
+  active_outages_.erase(it);
 }
 
 void ScheduleAuditor::check_reservations(Time now) {
@@ -306,6 +401,12 @@ void ScheduleAuditor::check_profile(Time now) {
       const Time end = sim::saturating_add(res.start, res.estimate);
       if (end > begin) expected.reserve(begin, end, res.procs, res.bb);
     }
+    // Downtime occupies capacity exactly like a running job: every
+    // profile-keeping scheduler reserves [down_at, repair_at) for each
+    // outage, so the independent rebuild must too.
+    for (const sim::Outage& outage : active_outages_)
+      if (outage.repair_at > now)
+        expected.reserve(now, outage.repair_at, outage.procs, outage.bb);
   } catch (const std::logic_error& error) {
     // The implied occupancy itself overflows the machine: the running +
     // reserved rectangles cannot coexist, which is its own violation.

@@ -48,7 +48,8 @@ struct AuditViolation {
   /// "finish-not-running", "finish-before-start", "finish-past-limit",
   /// "cancel-not-queued", "reservation-unknown-job",
   /// "reservation-in-past", "guarantee-delayed",
-  /// "head-guarantee-delayed", "profile-divergence".
+  /// "head-guarantee-delayed", "profile-divergence", "kill-not-running",
+  /// "requeue-not-killed", "outage-capacity", "repair-unknown-outage".
   std::string invariant;
   Time when = 0;                      ///< event time of the violation
   JobId job = workload::kInvalidJob;  ///< offending job, if any
@@ -84,6 +85,23 @@ class ScheduleAuditor {
   void on_started(const Job& job, Time now);
   void on_cycle_end(Time now);
 
+  // Availability events (core/decision_core.hpp's outage discipline:
+  // every victim's on_killed precedes the on_node_down that caused it,
+  // and each victim's on_requeued follows it).
+  /// A running job's current run is voided by an outage. The job may
+  /// legally start again later (after on_requeued).
+  void on_killed(JobId id, Time now);
+  /// A killed job re-enters the queue, possibly with a policy-adjusted
+  /// estimate; its original submit time rides along in `job`.
+  void on_requeued(const Job& job, Time now);
+  /// Capacity leaves service until the matching on_node_up. Verifies the
+  /// kills already freed the outage's demand, then audits all later
+  /// capacity against the degraded machine. Also resets every monotone
+  /// guarantee baseline: an outage legally delays guarantees (force
+  /// majeure), so pre-outage reservations stop binding.
+  void on_node_down(const sim::Outage& outage, Time now);
+  void on_node_up(const sim::Outage& outage, Time now);
+
   [[nodiscard]] bool ok() const { return violations_.empty(); }
   [[nodiscard]] const std::vector<AuditViolation>& violations() const {
     return violations_;
@@ -118,6 +136,9 @@ class ScheduleAuditor {
   int total_bb_;
   int busy_ = 0;  ///< processors held by running jobs (auditor's count)
   int busy_bb_ = 0;  ///< burst-buffer GB held by running jobs
+  int down_ = 0;  ///< processors lost to active outages (auditor's count)
+  int down_bb_ = 0;  ///< burst-buffer GB lost to active outages
+  std::vector<sim::Outage> active_outages_;  ///< few at a time; linear scan
   std::unordered_map<JobId, JobRecord> jobs_;
   /// EASY: the head job currently holding the single pinned reservation.
   JobId pinned_head_ = workload::kInvalidJob;

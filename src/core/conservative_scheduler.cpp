@@ -69,6 +69,56 @@ bool ConservativeScheduler::job_cancelled(JobId id, Time now) {
   return due_.earliest(reservations_) == now;
 }
 
+bool ConservativeScheduler::job_killed(JobId id, Time now) {
+  // Like an early completion, but without compression: job_killed is
+  // only ever followed by the outage's node_down, which rebuilds every
+  // guarantee from scratch anyway -- compressing around the victim's
+  // tail here would be wasted work on a packing about to be discarded.
+  profile_.discard_before(now);
+  const RunningJob rj = commit_finish(id);
+  if (now < rj.est_end)
+    profile_.release(now, rj.est_end, rj.job.procs, rj.job.bb);
+  return false;  // node_down decides whether a pass is needed
+}
+
+bool ConservativeScheduler::node_down(const sim::Outage& outage, Time now) {
+  profile_.discard_before(now);
+  // The outage invalidates the whole packing: release every queued
+  // reservation, fold the downtime in as a system rectangle, and
+  // re-anchor the queue in priority order. Guarantees may legally move
+  // *later* here -- the auditor resets its monotone baselines on
+  // node_down for exactly this reason.
+  for (const Job& job : queue_) {
+    const Time start = reservations_.at(job.id);
+    profile_.release(start, sim::saturating_add(start, job.estimate),
+                     job.procs, job.bb);
+  }
+  SchedulerBase::node_down(outage, now);
+  // Succeeds by construction: only running rectangles and previous
+  // outage rectangles remain, and the decision core killed victims
+  // until the outage's demand was free on both axes.
+  profile_.reserve(now, outage.repair_at, outage.procs, outage.bb);
+  ensure_sorted(now);
+  for (const Job& job : queue_) {
+    const Time anchor =
+        profile_.find_and_reserve(job.procs, job.bb, job.estimate, now);
+    reservations_.set(job.id, anchor);
+    due_.push(anchor, job.id);
+  }
+  // Repacking in priority order can legally pull a late job up to `now`
+  // (its old anchor was constrained by reservations that just moved).
+  return due_.earliest(reservations_) == now;
+}
+
+bool ConservativeScheduler::node_up(const sim::Outage& outage, Time now) {
+  // The outage's rectangle ends at repair_at == now, so the profile
+  // needs no repair; every reservation was anchored with the repair
+  // time already known. A guarantee anchored exactly at the repair
+  // instant is due now.
+  SchedulerBase::node_up(outage, now);
+  return due_.earliest(reservations_) == now;
+}
+
 Time ConservativeScheduler::next_wakeup() {
   return due_.earliest(reservations_);
 }

@@ -4,6 +4,7 @@
 #include <string>
 
 #include "core/audit.hpp"
+#include "core/priority.hpp"
 
 namespace bfsim::core {
 
@@ -13,8 +14,9 @@ std::string id_str(JobId id) { return std::to_string(id); }
 
 }  // namespace
 
-DecisionCore::DecisionCore(Scheduler& scheduler, ScheduleAuditor* auditor)
-    : scheduler_(&scheduler), auditor_(auditor) {}
+DecisionCore::DecisionCore(Scheduler& scheduler, ScheduleAuditor* auditor,
+                           sim::RequeuePolicy requeue)
+    : scheduler_(&scheduler), auditor_(auditor), requeue_(requeue) {}
 
 void DecisionCore::reserve_jobs(std::size_t count) {
   phases_.reserve(std::min<std::size_t>(count, kMaxTrackedJobs));
@@ -68,6 +70,7 @@ void DecisionCore::on_finish(JobId id, Time now) {
   phases_[id] = JobPhase::kFinished;
   ++stats_.events;
   --running_;
+  (void)running_jobs_.take(id);
   if (auditor_ != nullptr) auditor_->on_finished(id, now);
   pass_needed_ |= scheduler_->job_finished(id, now);
 }
@@ -105,8 +108,155 @@ void DecisionCore::on_wake(Time now) {
   ++stats_.wakeups;
 }
 
+Time DecisionCore::outage_repair_at(sim::OutageId id) const {
+  const sim::Outage* outage = active_outage(id);
+  return outage != nullptr ? outage->repair_at : sim::kNoTime;
+}
+
+const sim::Outage* DecisionCore::active_outage(sim::OutageId id) const {
+  for (const sim::Outage& outage : active_outages_)
+    if (outage.id == id) return &outage;
+  return nullptr;
+}
+
+void DecisionCore::on_node_down(const sim::Outage& outage, Time now) {
+  check_time(now, "on_node_down");
+  // Pre-mutation validation: every check runs before the first kill so
+  // a rejected outage leaves the whole core untouched and serviceable.
+  const std::string tag = std::to_string(outage.id);
+  if (outage.id >= kMaxTrackedOutages)
+    throw DecisionError("DecisionCore::on_node_down: outage id " + tag +
+                        " out of range");
+  if (outage_known(outage.id))
+    throw DecisionError("DecisionCore::on_node_down: outage " + tag +
+                        " delivered twice");
+  if (outage.down_at != now)
+    throw DecisionError("DecisionCore::on_node_down: outage " + tag +
+                        " delivered at t=" + std::to_string(now) +
+                        " but carries down_at=" +
+                        std::to_string(outage.down_at));
+  if (outage.repair_at <= now)
+    throw DecisionError("DecisionCore::on_node_down: outage " + tag +
+                        " repairs at-or-before its down instant");
+  if (outage.procs < 0 || outage.bb < 0 || outage.procs + outage.bb < 1)
+    throw DecisionError("DecisionCore::on_node_down: outage " + tag +
+                        " has malformed losses");
+  if (outage.procs > machine_procs() - down_procs_)
+    throw DecisionError("DecisionCore::on_node_down: outage " + tag +
+                        " takes more processors than the still-up machine");
+  if (outage.bb > machine_burst_buffer() - down_bb_)
+    throw DecisionError("DecisionCore::on_node_down: outage " + tag +
+                        " takes more burst buffer than the still-up machine");
+
+  if (killed_consumed_) {
+    killed_ids_.clear();
+    killed_consumed_ = false;
+  }
+
+  // Victim selection: the outage's demand must be free on both axes
+  // before the scheduler learns of it. Deterministic order -- latest
+  // start first (the least sunk work), larger id first on ties --
+  // skipping jobs that contribute to no remaining deficit, so a
+  // bb-only outage never kills a no-bb job.
+  int busy_procs = 0;
+  int busy_bb = 0;
+  for (const RunningJob& rj : running_jobs_.jobs()) {
+    busy_procs += rj.job.procs;
+    busy_bb += rj.job.bb;
+  }
+  int need_procs = outage.procs - (machine_procs() - down_procs_ - busy_procs);
+  int need_bb =
+      outage.bb - (machine_burst_buffer() - down_bb_ - busy_bb);
+  victim_scratch_.clear();
+  if (need_procs > 0 || need_bb > 0) {
+    victim_scratch_ = running_jobs_.jobs();
+    std::sort(victim_scratch_.begin(), victim_scratch_.end(),
+              [](const RunningJob& a, const RunningJob& b) {
+                if (a.start != b.start) return a.start > b.start;
+                return a.job.id > b.job.id;
+              });
+  }
+  requeue_scratch_.clear();
+  for (const RunningJob& victim : victim_scratch_) {
+    if (need_procs <= 0 && need_bb <= 0) break;
+    const bool helps = (need_procs > 0 && victim.job.procs > 0) ||
+                       (need_bb > 0 && victim.job.bb > 0);
+    if (!helps) continue;
+    need_procs -= victim.job.procs;
+    need_bb -= victim.job.bb;
+    const JobId id = victim.job.id;
+    if (auditor_ != nullptr) auditor_->on_killed(id, now);
+    pass_needed_ |= scheduler_->job_killed(id, now);
+    const RunningJob taken = running_jobs_.take(id);
+    --running_;
+    killed_ids_.push_back(id);
+    ++stats_.kills;
+    // The resubmitted job keeps its ORIGINAL submit time -- priority
+    // ties replay exactly as before the outage -- while the estimate
+    // follows the session's requeue policy.
+    Job requeued = taken.job;
+    if (requeue_ == sim::RequeuePolicy::kResubmitRemaining) {
+      const Time elapsed = sim::saturating_sub(now, taken.start);
+      requeued.estimate =
+          std::max<Time>(1, sim::saturating_sub(requeued.estimate, elapsed));
+    }
+    requeue_scratch_.push_back(requeued);
+  }
+  // `need` always clears: the validated losses fit the still-up machine,
+  // so killing every running job frees at least the demand on each axis.
+
+  if (outage.id >= outage_phases_.size())
+    outage_phases_.resize(outage.id + 1, 0);
+  outage_phases_[outage.id] = 1;
+  active_outages_.push_back(outage);
+  down_procs_ += outage.procs;
+  down_bb_ += outage.bb;
+  ++stats_.outages;
+  if (auditor_ != nullptr) auditor_->on_node_down(outage, now);
+  pass_needed_ |= scheduler_->node_down(outage, now);
+
+  // Re-enter the queue in current priority order so clock-dependent
+  // policies (xfactor) see the victims in the same relative order a
+  // fresh sort at `now` would produce.
+  sort_by_priority(requeue_scratch_, scheduler_->config().priority, now);
+  for (const Job& requeued : requeue_scratch_) {
+    phases_[requeued.id] = JobPhase::kQueued;
+    ++queued_;
+    if (auditor_ != nullptr) auditor_->on_requeued(requeued, now);
+    pass_needed_ |= scheduler_->job_submitted(requeued, now);
+  }
+}
+
+void DecisionCore::on_node_up(sim::OutageId id, Time now) {
+  check_time(now, "on_node_up");
+  auto it = std::find_if(active_outages_.begin(), active_outages_.end(),
+                         [id](const sim::Outage& o) { return o.id == id; });
+  if (it == active_outages_.end())
+    throw DecisionError("DecisionCore::on_node_up: outage " +
+                        std::to_string(id) + " is not active");
+  if (it->repair_at != now)
+    throw DecisionError("DecisionCore::on_node_up: outage " +
+                        std::to_string(id) + " repairs at t=" +
+                        std::to_string(it->repair_at) + ", not t=" +
+                        std::to_string(now));
+  const sim::Outage outage = *it;
+  active_outages_.erase(it);
+  outage_phases_[id] = 2;
+  down_procs_ -= outage.procs;
+  down_bb_ -= outage.bb;
+  ++stats_.repairs;
+  if (auditor_ != nullptr) auditor_->on_node_up(outage, now);
+  pass_needed_ |= scheduler_->node_up(outage, now);
+}
+
 CycleDecision DecisionCore::end_cycle(Time now) {
   check_time(now, "end_cycle");
+  if (killed_consumed_) {
+    // The previous cycle's killed span was handed out and this batch
+    // produced no fresh kills (on_node_down would have dropped it).
+    killed_ids_.clear();
+    killed_consumed_ = false;
+  }
   start_ids_.clear();
   Time wake = sim::kNoTime;
   bool ran = false;
@@ -128,6 +278,9 @@ CycleDecision DecisionCore::end_cycle(Time now) {
         throw std::logic_error("DecisionCore: job " + id_str(started.id) +
                                " started twice");
       phases_[started.id] = JobPhase::kRunning;
+      running_jobs_.insert(
+          started.id,
+          RunningJob{started, now, sim::saturating_add(now, started.estimate)});
       start_ids_.push_back(started.id);
     }
   };
@@ -149,8 +302,10 @@ CycleDecision DecisionCore::end_cycle(Time now) {
     throw std::logic_error(
         "DecisionCore: scheduler reported an overdue wake-up at t=" +
         std::to_string(now));
+  killed_consumed_ = true;
   return CycleDecision{
       .starts = std::span<const JobId>(start_ids_),
+      .killed = std::span<const JobId>(killed_ids_),
       .next_wakeup = wake,
       .pass_ran = ran,
   };

@@ -27,8 +27,10 @@
 #include <string>
 #include <vector>
 
+#include "core/job_table.hpp"
 #include "core/scheduler.hpp"
 #include "core/types.hpp"
+#include "sim/failure.hpp"
 
 namespace bfsim::core {
 
@@ -52,6 +54,12 @@ class DecisionError : public std::logic_error {
 /// mirror the check before any event is applied.
 inline constexpr workload::JobId kMaxTrackedJobs = workload::JobId{1} << 26;
 
+/// Hard ceiling on tracked outage ids, for the same hostile-input
+/// reason as kMaxTrackedJobs: failure-trace records carry dense ids,
+/// and a service client naming outage 4e9 must not grow the phase
+/// table unboundedly.
+inline constexpr sim::OutageId kMaxTrackedOutages = sim::OutageId{1} << 20;
+
 /// Lifecycle of one job as the decision core has observed it.
 enum class JobPhase : std::uint8_t {
   kUnseen = 0,    ///< no event mentioned this id yet
@@ -69,6 +77,9 @@ struct DecisionStats {
   std::uint64_t passes_skipped = 0; ///< batches proven no-op and skipped
   std::uint64_t wakeups = 0;        ///< wake (timer) events delivered
   std::size_t max_queue = 0;        ///< peak wait-queue depth observed
+  std::uint64_t outages = 0;        ///< node-down events delivered
+  std::uint64_t repairs = 0;        ///< node-up events delivered
+  std::uint64_t kills = 0;          ///< running jobs preempted by outages
 };
 
 /// The explicit decision closing one same-time batch of events.
@@ -77,6 +88,13 @@ struct CycleDecision {
   /// scratch inside the DecisionCore and is valid until the next
   /// end_cycle() call.
   std::span<const JobId> starts;
+  /// Jobs whose current run was voided by an outage in this batch, in
+  /// kill order. Each has already been requeued inside the core (with
+  /// its original submit time and a policy-adjusted estimate); the
+  /// caller's job is to neutralize the completion it had scheduled for
+  /// the voided run. Aliases core scratch like `starts`; empty in every
+  /// outage-free batch, so zero-outage decision streams are unchanged.
+  std::span<const JobId> killed;
   /// Earliest future instant at which a pass must run even if no event
   /// lands there (a reservation coming due), or sim::kNoTime.
   Time next_wakeup = sim::kNoTime;
@@ -104,8 +122,11 @@ class DecisionCore {
  public:
   /// `auditor`, when given, observes every event before the scheduler
   /// sees it (the discipline core/audit.hpp documents). Not owned.
-  explicit DecisionCore(Scheduler& scheduler,
-                        ScheduleAuditor* auditor = nullptr);
+  /// `requeue` fixes what happens to outage-killed jobs for the whole
+  /// session (both fronts carry it in their handshake / options).
+  explicit DecisionCore(
+      Scheduler& scheduler, ScheduleAuditor* auditor = nullptr,
+      sim::RequeuePolicy requeue = sim::RequeuePolicy::kResubmitFull);
 
   DecisionCore(const DecisionCore&) = delete;
   DecisionCore& operator=(const DecisionCore&) = delete;
@@ -133,6 +154,23 @@ class DecisionCore {
   /// whether its earliest reservation is in fact due -- a stale wake is
   /// a counted no-op).
   void on_wake(Time now);
+
+  /// `outage` takes effect now (outage.down_at must equal `now`). The
+  /// core selects the victims deterministically -- running jobs,
+  /// latest start first (larger id first on ties), until the outage's
+  /// demand is free on both axes -- kills them through the scheduler's
+  /// job_killed hook, registers the downtime, and requeues every victim
+  /// in current priority order with its original submit time (estimate
+  /// adjusted per the requeue policy). The voided runs are reported in
+  /// CycleDecision::killed at the end of the batch. Malformed outages
+  /// (duplicate id, wrong instant, losses exceeding the still-up
+  /// machine, ...) throw DecisionError before any mutation.
+  void on_node_down(const sim::Outage& outage, Time now);
+
+  /// The active outage `id` repairs now (its stored repair_at must
+  /// equal `now`); the lost capacity returns to service. Unknown or
+  /// already-repaired ids throw DecisionError.
+  void on_node_up(sim::OutageId id, Time now);
 
   /// Close the batch at `now`: run a scheduling pass if any event hook
   /// vouched for one (or a reservation is due), commit the starts, and
@@ -162,6 +200,26 @@ class DecisionCore {
     return scheduler_->config().burst_buffer;
   }
 
+  [[nodiscard]] sim::RequeuePolicy requeue_policy() const {
+    return requeue_;
+  }
+
+  // Outage introspection, public so the service front can mirror the
+  // hostile-input checks during batch pre-validation (the same pattern
+  // as kMaxTrackedJobs / phase()).
+  /// True once any node-down event carried this id (active or repaired).
+  [[nodiscard]] bool outage_known(sim::OutageId id) const {
+    return id < outage_phases_.size() && outage_phases_[id] != 0;
+  }
+  /// Repair time of a currently-active outage, sim::kNoTime otherwise.
+  [[nodiscard]] Time outage_repair_at(sim::OutageId id) const;
+  /// The full record of a currently-active outage, nullptr otherwise
+  /// (invalidated by the next on_node_down/on_node_up).
+  [[nodiscard]] const sim::Outage* active_outage(sim::OutageId id) const;
+  /// Capacity currently lost to active outages, per axis.
+  [[nodiscard]] int down_procs() const { return down_procs_; }
+  [[nodiscard]] int down_bb() const { return down_bb_; }
+
  private:
   /// Monotonic-time guard shared by every hook.
   void check_time(Time now, const char* hook);
@@ -169,6 +227,7 @@ class DecisionCore {
 
   Scheduler* scheduler_;
   ScheduleAuditor* auditor_;
+  sim::RequeuePolicy requeue_;
   std::vector<JobPhase> phases_;   ///< lifecycle per job id
   std::vector<Job> starts_;        ///< select_starts scratch
   std::vector<JobId> start_ids_;   ///< CycleDecision backing store
@@ -177,6 +236,23 @@ class DecisionCore {
   std::size_t running_ = 0;        ///< live running-set size
   Time last_time_ = 0;             ///< latest event instant seen
   bool pass_needed_ = false;       ///< some hook vouched for a pass
+  /// Running jobs with their start instants: the victim-selection
+  /// ledger (what can be killed, in what deterministic order, and how
+  /// much of each estimate is already spent). Maintained on every
+  /// start/finish; cheap slot-map operations, so the outage-free hot
+  /// path keeps its cost profile.
+  RunningTable running_jobs_;
+  /// Outage lifecycle per id: 0 unseen, 1 active, 2 repaired.
+  std::vector<std::uint8_t> outage_phases_;
+  std::vector<sim::Outage> active_outages_;  ///< few at a time; linear scan
+  int down_procs_ = 0;             ///< capacity lost to active outages
+  int down_bb_ = 0;
+  std::vector<JobId> killed_ids_;  ///< CycleDecision::killed backing store
+  /// killed_ids_ was handed out by an end_cycle and must be dropped
+  /// when the next batch produces kills (or the next cycle closes).
+  bool killed_consumed_ = false;
+  std::vector<RunningJob> victim_scratch_;
+  std::vector<Job> requeue_scratch_;
 };
 
 }  // namespace bfsim::core

@@ -69,29 +69,38 @@ Job EasyScheduler::start_job(JobId id, Time now) {
 
 EasyScheduler::Shadow EasyScheduler::compute_shadow(const Job& head,
                                                     Time now) const {
-  // Walk running jobs by estimated completion, accumulating freed
-  // capacity until the head fits on *both* axes. free_ + sum(running
-  // procs) == machine size >= head.procs (and likewise for the burst
-  // buffer, which trace validation bounds by the machine), so the walk
-  // always succeeds.
+  // Walk capacity releases in time order -- running jobs free their
+  // processors at their estimated completions, active outages return
+  // theirs at repair time -- accumulating until the head fits on *both*
+  // axes. free_ + sum(running procs) + sum(down procs) == machine size
+  // >= head.procs (and likewise for the burst buffer, which trace
+  // validation bounds by the machine), so the walk always succeeds.
+  // Releases at one instant are folded as a group: they all free their
+  // capacity at the shadow time, so they all count toward the extra
+  // capacity available to backfilled jobs.
   int available = free_;
   int available_bb = free_bb_;
-  for (std::size_t i = 0; i < running_by_end_.size(); ++i) {
-    available += running_by_end_[i].procs;
-    available_bb += running_by_end_[i].bb;
-    if (available < head.procs || available_bb < head.bb) continue;
-    const Time shadow = running_by_end_[i].est_end;
-    // Include every other job ending at the same instant: they all free
-    // their capacity at the shadow time, so they all count toward the
-    // extra capacity available to backfilled jobs.
-    for (std::size_t j = i + 1;
-         j < running_by_end_.size() && running_by_end_[j].est_end == shadow;
-         ++j) {
-      available += running_by_end_[j].procs;
-      available_bb += running_by_end_[j].bb;
+  std::size_t i = 0;  // running_by_end_ cursor (sorted by est_end)
+  std::size_t k = 0;  // outages_ cursor (sorted by repair_at)
+  while (i < running_by_end_.size() || k < outages_.size()) {
+    Time release = sim::kTimeMax;
+    if (i < running_by_end_.size()) release = running_by_end_[i].est_end;
+    if (k < outages_.size())
+      release = std::min(release, outages_[k].repair_at);
+    while (i < running_by_end_.size() &&
+           running_by_end_[i].est_end == release) {
+      available += running_by_end_[i].procs;
+      available_bb += running_by_end_[i].bb;
+      ++i;
     }
-    return Shadow{std::max(shadow, now), available - head.procs,
-                  available_bb - head.bb};
+    while (k < outages_.size() && outages_[k].repair_at == release) {
+      available += outages_[k].procs;
+      available_bb += outages_[k].bb;
+      ++k;
+    }
+    if (available >= head.procs && available_bb >= head.bb)
+      return Shadow{std::max(release, now), available - head.procs,
+                    available_bb - head.bb};
   }
   throw std::logic_error("EasyScheduler: shadow walk failed (accounting bug)");
 }

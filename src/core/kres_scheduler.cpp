@@ -34,9 +34,7 @@ bool KReservationScheduler::job_finished(JobId id, Time) {
 
 void KReservationScheduler::select_starts(Time now, std::vector<Job>& out) {
   ensure_sorted(now);
-  MultiProfile profile = profile_from_running(config_.procs,
-                                              config_.burst_buffer, now,
-                                              running_);
+  MultiProfile profile = profile_from_running_and_outages(now);
   // One pass in priority order. A job starts when it fits *now* without
   // disturbing the reservations placed so far; otherwise the first
   // `depth_` blocked jobs are granted reservations that later jobs must

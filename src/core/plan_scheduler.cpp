@@ -17,8 +17,7 @@ PlanScheduler::PlanScheduler(SchedulerConfig config)
 // queue-empty fast paths) and answers from the due-heap.
 
 void PlanScheduler::replan(Time now) {
-  profile_ = profile_from_running(config_.procs, config_.burst_buffer, now,
-                                  running_);
+  profile_ = profile_from_running_and_outages(now);
   if (queue_.empty()) {
     due_.clear();  // reservations_ is already empty alongside the queue
     return;
@@ -77,6 +76,31 @@ bool PlanScheduler::job_cancelled(JobId id, Time now) {
     return false;
   }
   replan(now);
+  return due_.earliest(reservations_) == now;
+}
+
+bool PlanScheduler::job_killed(JobId id, Time now) {
+  // Just the running-set bookkeeping: the outage's node_down (which
+  // always follows the kills) replans wholesale, so patching the
+  // about-to-be-discarded profile here would be wasted work.
+  (void)commit_finish(id);
+  (void)now;
+  return false;  // node_down decides whether a pass is needed
+}
+
+bool PlanScheduler::node_down(const sim::Outage& outage, Time now) {
+  SchedulerBase::node_down(outage, now);
+  // The replan's rebuilt profile folds the new outage rectangle in via
+  // profile_from_running_and_outages.
+  replan(now);
+  return due_.earliest(reservations_) == now;
+}
+
+bool PlanScheduler::node_up(const sim::Outage& outage, Time now) {
+  // The outage rectangle expires at repair_at == now by itself; every
+  // planned start was anchored with the repair time already known, so a
+  // start planned exactly at the repair instant is due now.
+  SchedulerBase::node_up(outage, now);
   return due_.earliest(reservations_) == now;
 }
 

@@ -32,6 +32,9 @@ class PlanScheduler final : public SchedulerBase {
   bool job_submitted(const Job& job, Time now) override;
   bool job_finished(JobId id, Time now) override;
   bool job_cancelled(JobId id, Time now) override;
+  bool job_killed(JobId id, Time now) override;
+  bool node_down(const sim::Outage& outage, Time now) override;
+  bool node_up(const sim::Outage& outage, Time now) override;
   [[nodiscard]] Time next_wakeup() override;
   using Scheduler::select_starts;
   void select_starts(Time now, std::vector<Job>& out) override;

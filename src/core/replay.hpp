@@ -20,38 +20,77 @@
 #pragma once
 
 #include <algorithm>
+#include <cstdint>
 #include <stdexcept>
 #include <string>
+#include <vector>
 
 #include "core/decision_core.hpp"
 #include "core/simulation.hpp"
 #include "core/types.hpp"
 #include "sim/engine.hpp"
+#include "sim/failure.hpp"
 
 namespace bfsim::core {
 
 /// Event-class ordering within one instant: completions sort before
 /// arrivals at the same time, so a job arriving exactly when processors
-/// free up sees them available; cancellations apply last (a job
-/// submitted and withdrawn at the same instant is seen, then removed);
-/// wake-up timers close the batch.
+/// free up sees them available; repairs next (capacity returns before
+/// anyone asks for it), then downs (a job finishing exactly at the
+/// outage instant is never a kill victim, and a node repairing as
+/// another fails nets out before victims are chosen); cancellations
+/// apply last (a job submitted and withdrawn at the same instant is
+/// seen, then removed); wake-up timers close the batch. The relative
+/// order of the original four classes is unchanged, which is what keeps
+/// zero-outage replays byte-identical.
 enum ReplayEventClass : int {
   kReplayFinish = 0,
-  kReplaySubmit = 1,
-  kReplayCancel = 2,
-  kReplayWake = 3,
+  kReplayRepair = 1,
+  kReplayDown = 2,
+  kReplaySubmit = 3,
+  kReplayCancel = 4,
+  kReplayWake = 5,
 };
 
 /// One replay of `trace` through a decision backend. `Core` must model
 /// the DecisionCore API: on_submit/on_finish/on_cancel/on_wake,
-/// end_cycle(now) -> CycleDecision, stats() -> DecisionStats, name().
+/// on_node_down/on_node_up, end_cycle(now) -> CycleDecision, stats() ->
+/// DecisionStats, requeue_policy(), name().
+///
+/// `failures`, when given, injects the trace's outages as down/repair
+/// events. The replay front owns what the decision side must not know:
+/// how much true work a killed run had completed (done_), which feeds
+/// the next run's length under the resubmit-remaining policy exactly
+/// like true runtimes feed completions.
 template <typename Core>
 class EngineReplay {
  public:
-  EngineReplay(const Trace& trace, Core& core) : trace_(trace), core_(core) {
+  EngineReplay(const Trace& trace, Core& core,
+               const sim::FailureTrace* failures = nullptr)
+      : trace_(trace), core_(core), failures_(failures) {
     result_.outcomes.resize(trace_.size());
     for (std::size_t i = 0; i < trace_.size(); ++i)
       result_.outcomes[i].job = trace_[i];
+    if (failures_ != nullptr && !failures_->empty()) {
+      incarnation_.resize(trace_.size(), 0);
+      done_.resize(trace_.size(), 0);
+      killed_at_.resize(trace_.size(), sim::kNoTime);
+      for (std::uint32_t i = 0; i < failures_->outages.size(); ++i) {
+        const sim::Outage& outage = failures_->outages[i];
+        engine_.schedule_at(
+            outage.down_at,
+            [this, i] {
+              core_.on_node_down(failures_->outages[i], engine_.now());
+            },
+            kReplayDown);
+        engine_.schedule_at(
+            outage.repair_at,
+            [this, i] {
+              core_.on_node_up(failures_->outages[i].id, engine_.now());
+            },
+            kReplayRepair);
+      }
+    }
     // Arrivals ride the engine's stream channel: the trace is already
     // sorted by submit time, so each arrival fires straight from the
     // armed head -- no heap push/pop per submit -- and re-arms its
@@ -76,6 +115,9 @@ class EngineReplay {
     result_.passes_skipped = stats.passes_skipped;
     result_.wakeups = stats.wakeups;
     result_.max_queue = stats.max_queue;
+    result_.outages = stats.outages;
+    result_.repairs = stats.repairs;
+    result_.kills = stats.kills;
     return std::move(result_);
   }
 
@@ -107,20 +149,67 @@ class EngineReplay {
 
   void end_batch(Time now) {
     const CycleDecision decision = core_.end_cycle(now);
+    // Kills first: a victim may legally restart in this very batch (the
+    // outage freed one axis; the other still fits it), so its outcome
+    // must be voided before the starts loop re-fills it.
+    if (!decision.killed.empty() && incarnation_.empty())
+      throw std::logic_error(
+          "run_simulation: decision reported kills without a failure trace");
+    for (const workload::JobId id : decision.killed) {
+      JobOutcome& outcome = result_.outcomes[id];
+      if (outcome.start == sim::kNoTime)
+        throw std::logic_error("run_simulation: job " + std::to_string(id) +
+                               " killed while not running");
+      // The voided run's finish event is already in the heap; bumping
+      // the incarnation makes it a deterministic no-op when it fires.
+      ++incarnation_[id];
+      done_[id] =
+          sim::saturating_add(done_[id], sim::saturating_sub(now, outcome.start));
+      killed_at_[id] = now;
+      ++outcome.requeues;
+      outcome.start = sim::kNoTime;
+      outcome.end = sim::kNoTime;
+    }
     for (const workload::JobId id : decision.starts) {
       const Job& started = trace_[id];
       JobOutcome& outcome = result_.outcomes[id];
       if (outcome.start != sim::kNoTime)
         throw std::logic_error("run_simulation: job " + std::to_string(id) +
                                " started twice");
-      const Time effective = std::min(started.runtime, started.estimate);
+      Time effective = std::min(started.runtime, started.estimate);
+      if (!done_.empty() && done_[id] > 0 &&
+          core_.requeue_policy() == sim::RequeuePolicy::kResubmitRemaining)
+        // The work a killed run completed is preserved: this run only
+        // re-runs the remainder (strictly positive -- a completion at
+        // the outage instant sorts before the down event, so elapsed <
+        // estimate; max() is belt for hostile wire input).
+        effective = std::max<Time>(1, sim::saturating_sub(effective, done_[id]));
       outcome.start = now;
       outcome.end = sim::saturating_add(now, effective);
       outcome.killed = started.runtime > started.estimate;
+      if (outcome.first_start == sim::kNoTime) outcome.first_start = now;
+      if (!killed_at_.empty() && killed_at_[id] != sim::kNoTime) {
+        outcome.requeue_wait = sim::saturating_add(
+            outcome.requeue_wait, sim::saturating_sub(now, killed_at_[id]));
+        killed_at_[id] = sim::kNoTime;
+      }
       result_.makespan = std::max(result_.makespan, outcome.end);
-      engine_.schedule_at(
-          outcome.end, [this, id] { core_.on_finish(id, engine_.now()); },
-          kReplayFinish);
+      if (incarnation_.empty()) {
+        engine_.schedule_at(
+            outcome.end, [this, id] { core_.on_finish(id, engine_.now()); },
+            kReplayFinish);
+      } else {
+        const std::uint32_t inc = incarnation_[id];
+        engine_.schedule_at(
+            outcome.end,
+            [this, id, inc] {
+              // Stale completion of a killed run: skip the core, but the
+              // batch this event opened still closes through end_batch
+              // (a deterministic empty cycle on both fronts).
+              if (incarnation_[id] == inc) core_.on_finish(id, engine_.now());
+            },
+            kReplayFinish);
+      }
     }
     if (decision.next_wakeup != sim::kNoTime) {
       // Arm a timer only when no already-scheduled event lands at or
@@ -136,9 +225,15 @@ class EngineReplay {
 
   const Trace& trace_;
   Core& core_;
+  const sim::FailureTrace* failures_;
   sim::Engine engine_;
   SimulationResult result_;
   workload::JobId next_arrival_ = 0;  ///< stream cursor into trace_
+  // Failure-mode state, sized only when a non-empty failure trace is
+  // injected (all three stay empty on the zero-outage fast path).
+  std::vector<std::uint32_t> incarnation_;  ///< run generation per job
+  std::vector<Time> done_;       ///< true work completed by voided runs
+  std::vector<Time> killed_at_;  ///< pending requeue-wait anchor per job
 };
 
 /// Validate that `trace` satisfies the replay front's preconditions

@@ -8,6 +8,7 @@
 #include "core/fcfs_scheduler.hpp"
 #include "core/kres_scheduler.hpp"
 #include "core/plan_scheduler.hpp"
+#include "core/running_profile.hpp"
 #include "core/selective_scheduler.hpp"
 #include "core/slack_scheduler.hpp"
 
@@ -24,6 +25,59 @@ SchedulerBase::SchedulerBase(SchedulerConfig config)
 bool Scheduler::job_cancelled(JobId, Time) {
   throw std::logic_error(
       "Scheduler: cancellation not supported by this implementation");
+}
+
+bool Scheduler::node_down(const sim::Outage&, Time) {
+  throw std::logic_error(
+      "Scheduler: node outages not supported by this implementation");
+}
+
+bool Scheduler::node_up(const sim::Outage&, Time) {
+  throw std::logic_error(
+      "Scheduler: node repairs not supported by this implementation");
+}
+
+bool SchedulerBase::node_down(const sim::Outage& outage, Time now) {
+  // The decision core killed victims first, so the lost capacity is
+  // free on both axes; going negative here means the kill set was
+  // wrong, which is a driver bug, not hostile input.
+  if (outage.procs > free_ || outage.bb > free_bb_)
+    throw std::logic_error("Scheduler: outage exceeds free capacity");
+  free_ -= outage.procs;
+  free_bb_ -= outage.bb;
+  const auto pos = std::upper_bound(
+      outages_.begin(), outages_.end(), outage,
+      [](const sim::Outage& a, const sim::Outage& b) {
+        if (a.repair_at != b.repair_at) return a.repair_at < b.repair_at;
+        return a.id < b.id;
+      });
+  outages_.insert(pos, outage);
+  (void)now;
+  // Losing capacity cannot enable a start, but requeued victims arrive
+  // right after this hook; let the queue state vouch for the pass.
+  return !queue_.empty();
+}
+
+bool SchedulerBase::node_up(const sim::Outage& outage, Time now) {
+  const auto it = std::find_if(
+      outages_.begin(), outages_.end(),
+      [&outage](const sim::Outage& o) { return o.id == outage.id; });
+  if (it == outages_.end())
+    throw std::logic_error("Scheduler: repair for an unknown outage");
+  free_ += outage.procs;
+  free_bb_ += outage.bb;
+  outages_.erase(it);
+  (void)now;
+  return !queue_.empty();
+}
+
+MultiProfile SchedulerBase::profile_from_running_and_outages(Time now) const {
+  MultiProfile profile = profile_from_running(
+      config_.procs, config_.burst_buffer, now, running_);
+  for (const sim::Outage& outage : outages_)
+    if (outage.repair_at > now)
+      profile.reserve(now, outage.repair_at, outage.procs, outage.bb);
+  return profile;
 }
 
 bool SchedulerBase::job_cancelled(JobId id, Time) {

@@ -15,6 +15,7 @@
 #include "core/job_queue.hpp"
 #include "core/job_table.hpp"
 #include "core/types.hpp"
+#include "sim/failure.hpp"
 
 namespace bfsim::core {
 
@@ -92,6 +93,28 @@ class Scheduler {
   /// other jobs move up).
   virtual bool job_cancelled(JobId id, Time now);
 
+  /// An outage preempted this *running* job (the decision core has
+  /// already chosen the victims). The job leaves the running set like a
+  /// completion -- it will be resubmitted via job_submitted once the
+  /// outage is registered -- but schedulers keeping completion
+  /// statistics (selective's mean slowdown) must not count it as one.
+  /// Called only between a kill decision and the matching node_down.
+  virtual bool job_killed(JobId id, Time now) {
+    return job_finished(id, now);
+  }
+
+  /// `outage.procs` / `outage.bb` leave service for
+  /// [now, outage.repair_at). Delivered after every victim of the
+  /// outage has been killed, so the capacity being taken is genuinely
+  /// free on both axes. Schedulers that plan ahead fold the interval
+  /// into their availability profile so guarantees anchored across the
+  /// outage stay correct. The base implementations throw: a scheduler
+  /// must opt into availability semantics explicitly.
+  virtual bool node_down(const sim::Outage& outage, Time now);
+
+  /// The outage's capacity returns to service (now == outage.repair_at).
+  virtual bool node_up(const sim::Outage& outage, Time now);
+
   /// Earliest future instant at which a pass must run even if no
   /// submit/finish/cancel event lands there (a reservation coming due at
   /// an otherwise eventless time), or sim::kNoTime. The driver arms a
@@ -148,6 +171,14 @@ class SchedulerBase : public Scheduler {
   /// remain queued -- subclasses override with sharper skip rules.
   bool job_cancelled(JobId id, Time now) override;
 
+  /// Generic availability bookkeeping: free capacity shrinks / grows by
+  /// the outage's losses and the active-outage list (kept sorted by
+  /// (repair_at, id) for the profile rebuilds) is maintained.
+  /// Reservation-holding subclasses extend these to repair their
+  /// guarantee structures.
+  bool node_down(const sim::Outage& outage, Time now) override;
+  bool node_up(const sim::Outage& outage, Time now) override;
+
   [[nodiscard]] const SchedulerConfig& config() const override {
     return config_;
   }
@@ -172,6 +203,10 @@ class SchedulerBase : public Scheduler {
   /// under FCFS with ids assigned in submit order -- the common case --
   /// and lets queue_index binary-search instead of scanning).
   bool id_sorted_ = true;
+  /// Outages currently holding capacity (node_down seen, node_up not
+  /// yet), sorted by (repair_at, id). Small: bounded by the number of
+  /// concurrently-down outages, not the trace length.
+  std::vector<sim::Outage> outages_;
 
   /// True when the configured priority order can change with the clock
   /// (XFactor), so the queue cannot be kept sorted incrementally.
@@ -211,6 +246,13 @@ class SchedulerBase : public Scheduler {
 
   /// Index of `id` within queue_, or queue_.size() if absent.
   [[nodiscard]] std::size_t queue_index(JobId id) const;
+
+  /// profile_from_running plus one reserved rectangle
+  /// [now, repair_at) x (procs, bb) per active outage: the availability
+  /// timeline of the *healthy* part of the machine. Rebuild-per-pass
+  /// schedulers (kres, selective, plan) call this instead of
+  /// profile_from_running so their guarantees respect downtime.
+  [[nodiscard]] MultiProfile profile_from_running_and_outages(Time now) const;
 };
 
 /// The scheduling strategies available from the factory.

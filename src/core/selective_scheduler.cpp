@@ -64,6 +64,15 @@ bool SelectiveScheduler::job_finished(JobId id, Time now) {
   return !queue_.empty();
 }
 
+bool SelectiveScheduler::job_killed(JobId id, Time now) {
+  // An outage preemption is not a completion: the realized slowdown of
+  // the truncated run must not feed the adaptive promotion bar (the job
+  // will come back and finish later, contributing exactly once).
+  (void)commit_finish(id);
+  (void)promote_due(now);
+  return !queue_.empty();
+}
+
 bool SelectiveScheduler::job_cancelled(JobId id, Time now) {
   (void)take_queued(id);
   // Rebuild-style: no persistent profile to patch. Withdrawing a
@@ -91,9 +100,7 @@ void SelectiveScheduler::select_starts(Time now, std::vector<Job>& out) {
   (void)promote_due(now);
 
   ensure_sorted(now);
-  MultiProfile profile = profile_from_running(config_.procs,
-                                              config_.burst_buffer, now,
-                                              running_);
+  MultiProfile profile = profile_from_running_and_outages(now);
   std::vector<JobId>& to_start = start_scratch_;
   to_start.clear();
   // Pass 1 -- reserved jobs, in priority order: they either start now or

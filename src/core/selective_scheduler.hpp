@@ -45,6 +45,7 @@ class SelectiveScheduler final : public SchedulerBase {
   bool job_submitted(const Job& job, Time now) override;
   bool job_finished(JobId id, Time now) override;
   bool job_cancelled(JobId id, Time now) override;
+  bool job_killed(JobId id, Time now) override;
   using Scheduler::select_starts;
   void select_starts(Time now, std::vector<Job>& out) override;
   [[nodiscard]] std::string name() const override;

@@ -46,6 +46,9 @@ SimulationResult run_simulation(const Trace& trace, Scheduler& scheduler,
                                 const SimulationOptions& options) {
   validate_replay_trace(trace, scheduler.config().procs,
                         scheduler.config().burst_buffer);
+  if (options.failures != nullptr)
+    sim::validate_failure_trace(*options.failures, scheduler.config().procs,
+                                scheduler.config().burst_buffer);
 
   // The auditor sees every event the scheduler sees, before the
   // scheduler does, so a violation is reported at the exact event that
@@ -59,9 +62,9 @@ SimulationResult run_simulation(const Trace& trace, Scheduler& scheduler,
   // The whole simulator is now two reusable halves glued together: the
   // decision core (the seam the scheduling service also serves) and the
   // trace-replay event loop (core/replay.hpp).
-  DecisionCore core{scheduler, auditor};
+  DecisionCore core{scheduler, auditor, options.requeue};
   core.reserve_jobs(trace.size());
-  EngineReplay<DecisionCore> replay{trace, core};
+  EngineReplay<DecisionCore> replay{trace, core, options.failures};
   SimulationResult result = replay.run();
 
   for (const JobOutcome& outcome : result.outcomes)
@@ -71,7 +74,8 @@ SimulationResult run_simulation(const Trace& trace, Scheduler& scheduler,
 
   if (options.validate) {
     const ValidationReport report =
-        validate_schedule(trace, result.outcomes, scheduler.config().procs);
+        validate_schedule(trace, result.outcomes, scheduler.config().procs,
+                          options.requeue);
     if (!report.ok())
       throw std::logic_error("run_simulation: invalid schedule: " +
                              report.violations.front());

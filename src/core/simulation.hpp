@@ -18,6 +18,7 @@
 
 #include "core/scheduler.hpp"
 #include "core/types.hpp"
+#include "sim/failure.hpp"
 
 namespace bfsim::core {
 
@@ -38,6 +39,12 @@ struct SimulationOptions {
   /// afterwards). Implies `audit`; the auditor must have been built for
   /// the same scheduler this run drives.
   ScheduleAuditor* auditor = nullptr;
+  /// Inject this failure trace (sim/failure.hpp) as node-down/repair
+  /// events. Not owned; must outlive the run. nullptr or an empty trace
+  /// leaves the replay byte-identical to a failure-free run.
+  const sim::FailureTrace* failures = nullptr;
+  /// What happens to outage-killed jobs (ignored without `failures`).
+  sim::RequeuePolicy requeue = sim::RequeuePolicy::kResubmitFull;
 };
 
 struct SimulationResult {
@@ -49,6 +56,9 @@ struct SimulationResult {
   std::uint64_t passes_skipped = 0; ///< event batches needing no pass
   std::uint64_t wakeups = 0;        ///< scheduler timer events fired
   std::size_t max_queue = 0;     ///< peak queue depth observed
+  std::uint64_t outages = 0;     ///< node-down events injected
+  std::uint64_t repairs = 0;     ///< node-repair events injected
+  std::uint64_t kills = 0;       ///< runs voided by outages (requeues)
   std::string scheduler_name;
 };
 

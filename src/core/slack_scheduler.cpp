@@ -53,9 +53,7 @@ bool SlackScheduler::try_displace(const Job& job, Time now) {
   // re-anchors around it in earliest-deadline-first order. EDF places
   // the tightest guarantees first, which maximizes the chance that all
   // of them survive.
-  MultiProfile trial = profile_from_running(config_.procs,
-                                            config_.burst_buffer, now,
-                                            running_);
+  MultiProfile trial = profile_from_running_and_outages(now);
   const Time newcomer_end = sim::saturating_add(now, job.estimate);
   if (!trial.fits(job.procs, job.bb, now, newcomer_end)) return false;
   trial.reserve(now, newcomer_end, job.procs, job.bb);
@@ -112,6 +110,50 @@ bool SlackScheduler::job_cancelled(JobId id, Time now) {
   reservations_.erase(id);
   deadlines_.erase(id);
   compress(now, start);
+  return due_.earliest(reservations_) == now;
+}
+
+bool SlackScheduler::job_killed(JobId id, Time now) {
+  // Early-completion bookkeeping without compression: the imminent
+  // node_down rebuilds the whole packing (see conservative).
+  profile_.discard_before(now);
+  const RunningJob rj = commit_finish(id);
+  if (now < rj.est_end)
+    profile_.release(now, rj.est_end, rj.job.procs, rj.job.bb);
+  return false;  // node_down decides whether a pass is needed
+}
+
+bool SlackScheduler::node_down(const sim::Outage& outage, Time now) {
+  profile_.discard_before(now);
+  for (const Job& job : queue_) {
+    const Time start = reservations_.at(job.id);
+    profile_.release(start, sim::saturating_add(start, job.estimate),
+                     job.procs, job.bb);
+  }
+  SchedulerBase::node_down(outage, now);
+  profile_.reserve(now, outage.repair_at, outage.procs, outage.bb);
+  ensure_sorted(now);
+  for (const Job& job : queue_) {
+    const Time anchor =
+        profile_.find_and_reserve(job.procs, job.bb, job.estimate, now);
+    reservations_.set(job.id, anchor);
+    due_.push(anchor, job.id);
+    // Re-base the deadline from the post-outage anchor: the pre-outage
+    // promise may be physically impossible on the degraded machine, so
+    // the outage resets each job's slack budget (force majeure -- the
+    // contract DESIGN.md section 15 documents). anchor <= deadline
+    // still holds by construction.
+    const auto slack = static_cast<Time>(
+        std::llround(slack_factor_ * static_cast<double>(job.estimate)));
+    deadlines_.set(job.id, sim::saturating_add(anchor, slack));
+  }
+  return due_.earliest(reservations_) == now;
+}
+
+bool SlackScheduler::node_up(const sim::Outage& outage, Time now) {
+  // The outage rectangle expires at repair_at == now on its own; a
+  // reservation anchored exactly at the repair instant is due now.
+  SchedulerBase::node_up(outage, now);
   return due_.earliest(reservations_) == now;
 }
 

@@ -33,6 +33,15 @@ struct JobOutcome {
   /// True when the job was withdrawn from the queue before it started
   /// (start/end stay kNoTime).
   bool cancelled = false;
+  /// Times an outage voided a run of this job (0 on failure-free runs;
+  /// start/end then describe the final, completed run).
+  int requeues = 0;
+  /// Start of the job's *first* run, == start when requeues == 0.
+  Time first_start = sim::kNoTime;
+  /// Total time spent waiting in the queue after kills (wait() keeps
+  /// measuring submit -> the start of the run that completed; use
+  /// first_start - submit for time-to-first-service).
+  Time requeue_wait = 0;
 
   // The accessors below are meaningless for jobs that never ran: with
   // start/end == kNoTime they would silently return kNoTime - submit

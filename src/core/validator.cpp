@@ -25,7 +25,7 @@ std::map<Time, int> usage_deltas(const std::vector<JobOutcome>& outcomes) {
 
 ValidationReport validate_schedule(const Trace& trace,
                                    const std::vector<JobOutcome>& outcomes,
-                                   int procs) {
+                                   int procs, sim::RequeuePolicy requeue) {
   ValidationReport report;
   auto fail = [&report](const std::string& message) {
     report.violations.push_back(message);
@@ -61,9 +61,16 @@ ValidationReport validate_schedule(const Trace& trace,
       fail(job_tag(job.id) + ": wider than the machine");
     const Time expected = std::min(job.runtime, job.estimate);
     const Time ran = sim::saturating_sub(o.end, o.start);
-    if (ran != expected)
+    if (o.requeues > 0 && requeue == sim::RequeuePolicy::kResubmitRemaining) {
+      // The completing run of a checkpoint-resumed job covers only the
+      // work its killed incarnations left behind.
+      if (ran < 1 || ran > expected)
+        fail(job_tag(job.id) + ": resumed run lasted " + std::to_string(ran) +
+             "s, outside [1, " + std::to_string(expected) + "]");
+    } else if (ran != expected) {
       fail(job_tag(job.id) + ": ran " + std::to_string(ran) +
            "s, expected " + std::to_string(expected) + "s");
+    }
     if (o.killed != (job.runtime > job.estimate))
       fail(job_tag(job.id) + ": kill flag inconsistent with estimate");
   }

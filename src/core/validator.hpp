@@ -6,12 +6,19 @@
 // min(runtime, estimate), and the machine is never oversubscribed.
 // Policy-specific guarantees (e.g. conservative never delaying a
 // reservation) are asserted inside the schedulers and in the test suite.
+//
+// Availability runs (sim/failure.hpp): a job requeued by an outage
+// reports the start/end of its *completing* run. Under the full-restart
+// policy that run still lasts exactly min(runtime, estimate); under
+// checkpointed resume it lasts whatever work remained, so the duration
+// check relaxes to [1, min(runtime, estimate)] for requeued jobs only.
 #pragma once
 
 #include <string>
 #include <vector>
 
 #include "core/types.hpp"
+#include "sim/failure.hpp"
 
 namespace bfsim::core {
 
@@ -22,9 +29,11 @@ struct ValidationReport {
 };
 
 /// Check `outcomes` (one per trace job, same order) against `trace` on a
-/// `procs`-processor machine. Collects every violation found.
+/// `procs`-processor machine. Collects every violation found. `requeue`
+/// only matters for outcomes with requeues > 0 (see the header note).
 [[nodiscard]] ValidationReport validate_schedule(
-    const Trace& trace, const std::vector<JobOutcome>& outcomes, int procs);
+    const Trace& trace, const std::vector<JobOutcome>& outcomes, int procs,
+    sim::RequeuePolicy requeue = sim::RequeuePolicy::kResubmitFull);
 
 /// Peak number of processors simultaneously busy in the schedule.
 [[nodiscard]] int peak_usage(const std::vector<JobOutcome>& outcomes);

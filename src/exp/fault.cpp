@@ -33,6 +33,11 @@ void FaultPlan::on_attempt(const std::string& tag, int attempt) const {
       // exercises the same message path as a genuine violation.
       throw std::logic_error("schedule audit (injected): cell '" + tag +
                              "' attempt " + std::to_string(attempt));
+    case util::FailureKind::OutageViolation:
+      // Mirrors the decision core's outage-contract marker, same idea.
+      throw std::logic_error(
+          "DecisionCore::on_node_down (injected): cell '" + tag +
+          "' attempt " + std::to_string(attempt));
     case util::FailureKind::Internal:
       throw std::runtime_error("injected internal fault in cell '" + tag +
                                "' attempt " + std::to_string(attempt));

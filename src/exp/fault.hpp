@@ -31,8 +31,9 @@ struct FaultSpec {
   /// permanent; a smaller value makes it transient (recoverable).
   int fail_attempts = 1;
   /// What the faulty attempts throw. ResourceExhausted throws a real
-  /// std::bad_alloc; ParseError/AuditViolation/Internal throw typed or
-  /// marker-prefixed exceptions matching util::classify_failure; a
+  /// std::bad_alloc; ParseError/AuditViolation/OutageViolation/Internal
+  /// throw typed or marker-prefixed exceptions matching
+  /// util::classify_failure; a
   /// Timeout fault never throws -- it only stalls (below) and relies on
   /// the sweep watchdog to kill the attempt.
   util::FailureKind kind = util::FailureKind::Internal;

@@ -1,0 +1,230 @@
+#include "sim/failure.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <limits>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "sim/rng.hpp"
+#include "util/error.hpp"
+
+namespace bfsim::sim {
+
+namespace {
+
+[[noreturn]] void trace_fail(std::size_t index, const std::string& what) {
+  throw std::invalid_argument("failure-trace: outage " +
+                              std::to_string(index) + ": " + what);
+}
+
+}  // namespace
+
+void validate_failure_trace(const FailureTrace& trace, int machine_procs,
+                            int machine_bb) {
+  if (machine_procs < 1)
+    throw std::invalid_argument("failure-trace: machine_procs must be >= 1");
+  if (machine_bb < 0)
+    throw std::invalid_argument("failure-trace: machine_bb must be >= 0");
+  for (std::size_t i = 0; i < trace.outages.size(); ++i) {
+    const Outage& o = trace.outages[i];
+    if (o.id != static_cast<OutageId>(i))
+      trace_fail(i, "id " + std::to_string(o.id) + " is not dense");
+    if (o.down_at < 0) trace_fail(i, "down_at is negative");
+    if (o.repair_at <= o.down_at) trace_fail(i, "repair_at <= down_at");
+    if (o.procs < 0) trace_fail(i, "procs is negative");
+    if (o.bb < 0) trace_fail(i, "bb is negative");
+    if (o.procs == 0 && o.bb == 0) trace_fail(i, "loses no capacity");
+    if (o.procs > machine_procs)
+      trace_fail(i, "procs exceed the machine");
+    if (o.bb > machine_bb) trace_fail(i, "bb exceeds the machine");
+    if (i > 0 && o.down_at < trace.outages[i - 1].down_at)
+      trace_fail(i, "not sorted by down_at");
+  }
+  // Sweep line over the concurrent losses: at every instant the summed
+  // down capacity must fit the machine on both axes. Repairs at t sort
+  // before downs at t -- the engine delivers repair events first.
+  struct Edge {
+    Time at;
+    bool down;  // false == repair (frees capacity)
+    int procs;
+    int bb;
+  };
+  std::vector<Edge> edges;
+  edges.reserve(trace.outages.size() * 2);
+  for (const Outage& o : trace.outages) {
+    edges.push_back({o.down_at, true, o.procs, o.bb});
+    edges.push_back({o.repair_at, false, o.procs, o.bb});
+  }
+  std::stable_sort(edges.begin(), edges.end(),
+                   [](const Edge& a, const Edge& b) {
+                     if (a.at != b.at) return a.at < b.at;
+                     return !a.down && b.down;
+                   });
+  int down_procs = 0;
+  int down_bb = 0;
+  for (const Edge& e : edges) {
+    if (e.down) {
+      down_procs += e.procs;
+      down_bb += e.bb;
+      if (down_procs > machine_procs || down_bb > machine_bb)
+        throw std::invalid_argument(
+            "failure-trace: concurrent losses at t=" + std::to_string(e.at) +
+            " exceed the machine");
+    } else {
+      down_procs -= e.procs;
+      down_bb -= e.bb;
+    }
+  }
+}
+
+std::string to_string(RequeuePolicy policy) {
+  switch (policy) {
+    case RequeuePolicy::kResubmitFull: return "full";
+    case RequeuePolicy::kResubmitRemaining: return "remaining";
+  }
+  return "full";
+}
+
+RequeuePolicy requeue_policy_from_string(const std::string& name) {
+  if (name == "full") return RequeuePolicy::kResubmitFull;
+  if (name == "remaining") return RequeuePolicy::kResubmitRemaining;
+  throw std::invalid_argument("requeue_policy_from_string: unknown policy '" +
+                              name + "'");
+}
+
+FailureTrace generate_failures(const FailureModel& model, int machine_procs,
+                               int machine_bb, std::uint64_t seed) {
+  if (machine_procs < 1)
+    throw std::invalid_argument("generate_failures: machine_procs must be >= 1");
+  if (machine_bb < 0)
+    throw std::invalid_argument("generate_failures: machine_bb must be >= 0");
+  if (!(model.mean_uptime > 0.0) || !(model.mean_repair > 0.0))
+    throw std::invalid_argument(
+        "generate_failures: means must be positive");
+  if (model.horizon < 1)
+    throw std::invalid_argument("generate_failures: horizon must be >= 1");
+  if (model.max_procs_lost < 0 || model.max_bb_lost < 0)
+    throw std::invalid_argument("generate_failures: losses must be >= 0");
+  if (model.max_procs_lost == 0 && model.max_bb_lost == 0)
+    throw std::invalid_argument("generate_failures: nothing to lose");
+
+  Rng rng(seed);
+  FailureTrace trace;
+  Time clock = 0;
+  while (true) {
+    Time gap = static_cast<Time>(std::llround(rng.exponential(model.mean_uptime)));
+    if (gap < 1) gap = 1;
+    clock = saturating_add(clock, gap);
+    if (clock >= model.horizon) break;
+    Time duration =
+        static_cast<Time>(std::llround(rng.exponential(model.mean_repair)));
+    if (duration < 1) duration = 1;
+    int procs = model.max_procs_lost > 0
+                    ? static_cast<int>(rng.uniform_int(1, model.max_procs_lost))
+                    : 0;
+    int bb = 0;
+    if (model.max_bb_lost > 0)
+      bb = static_cast<int>(
+          rng.uniform_int(procs > 0 ? 0 : 1, model.max_bb_lost));
+    procs = std::min(procs, machine_procs);
+    bb = std::min(bb, machine_bb);
+    Outage outage;
+    outage.id = static_cast<OutageId>(trace.outages.size());
+    outage.down_at = clock;
+    outage.repair_at = saturating_add(clock, duration);
+    outage.procs = procs;
+    outage.bb = bb;
+    trace.outages.push_back(outage);
+    // Sequential model: the machine heals before it fails again, so
+    // concurrent losses never stack beyond one outage.
+    clock = outage.repair_at;
+    if (clock >= model.horizon) break;
+  }
+  return trace;
+}
+
+namespace {
+
+[[noreturn]] void parse_fail(std::size_t line, const std::string& what) {
+  throw util::ParseError("failure-trace: line " + std::to_string(line) + ": " +
+                         what);
+}
+
+std::int64_t parse_field(const std::string& token, std::size_t line,
+                         const char* name) {
+  try {
+    std::size_t used = 0;
+    const long long value = std::stoll(token, &used);
+    if (used != token.size()) parse_fail(line, std::string(name) + " is not an integer");
+    return value;
+  } catch (const util::ParseError&) {
+    throw;
+  } catch (const std::exception&) {
+    parse_fail(line, std::string(name) + " is not an integer");
+  }
+}
+
+}  // namespace
+
+FailureTrace parse_failure_trace(std::istream& in) {
+  FailureTrace trace;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::istringstream fields(line);
+    std::vector<std::string> tokens;
+    std::string token;
+    while (fields >> token) {
+      if (token.front() == '#' || token.front() == ';') break;
+      tokens.push_back(token);
+    }
+    if (tokens.empty()) continue;
+    if (tokens.size() < 3 || tokens.size() > 4)
+      parse_fail(line_no, "expected 3 or 4 fields, got " +
+                              std::to_string(tokens.size()));
+    Outage outage;
+    outage.id = static_cast<OutageId>(trace.outages.size());
+    outage.down_at = parse_field(tokens[0], line_no, "down_at");
+    outage.repair_at = parse_field(tokens[1], line_no, "repair_at");
+    const std::int64_t procs = parse_field(tokens[2], line_no, "procs");
+    if (procs < 0 || procs > std::numeric_limits<int>::max())
+      parse_fail(line_no, "procs out of range");
+    outage.procs = static_cast<int>(procs);
+    if (tokens.size() == 4) {
+      const std::int64_t bb = parse_field(tokens[3], line_no, "bb");
+      if (bb < 0 || bb > std::numeric_limits<int>::max())
+        parse_fail(line_no, "bb out of range");
+      outage.bb = static_cast<int>(bb);
+    }
+    if (outage.down_at < 0) parse_fail(line_no, "down_at is negative");
+    if (outage.repair_at <= outage.down_at)
+      parse_fail(line_no, "repair_at <= down_at");
+    if (outage.procs == 0 && outage.bb == 0)
+      parse_fail(line_no, "loses no capacity");
+    trace.outages.push_back(outage);
+  }
+  return trace;
+}
+
+FailureTrace read_failure_trace_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in)
+    throw util::ParseError("failure-trace: cannot open '" + path + "'");
+  return parse_failure_trace(in);
+}
+
+void write_failure_trace(std::ostream& out, const FailureTrace& trace) {
+  out << "# bfsim failure trace: down_at repair_at procs [bb]\n";
+  for (const Outage& o : trace.outages) {
+    out << o.down_at << ' ' << o.repair_at << ' ' << o.procs;
+    if (o.bb > 0) out << ' ' << o.bb;
+    out << '\n';
+  }
+}
+
+}  // namespace bfsim::sim

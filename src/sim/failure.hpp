@@ -1,0 +1,127 @@
+// bfsim -- deterministic node failure / repair model.
+//
+// An Outage is a contiguous loss of machine capacity: `procs` processors
+// (and optionally `bb` burst-buffer GB) leave service at `down_at` and
+// return at `repair_at`. A FailureTrace is the full availability
+// scenario for one run -- explicit records, sorted by down time, with
+// dense ids so both the replay front (index lookup) and the wire
+// protocol (id-keyed validation) can address them cheaply.
+//
+// Determinism contract: the trace is data, never sampled during the
+// run. The seeded generator below produces sequential (non-overlapping)
+// outages from a sim::Rng stream, so the same (model, seed) pair yields
+// the same trace on every platform; hand-written traces may overlap as
+// long as the concurrent loss never exceeds the machine on either axis
+// (validate_failure_trace enforces this with a sweep line).
+//
+// Within one simulation instant the event order is
+//   finish < repair < down < submit < cancel < wake
+// so a job finishing exactly at down_at completes normally, a repair
+// restores capacity before a same-instant failure takes more, and
+// arrivals always observe the post-outage machine.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace bfsim::sim {
+
+/// Identifies one outage within a trace / session. Dense: trace record
+/// i has id i, and the wire protocol validates ids against the same
+/// bound the decision core tracks.
+using OutageId = std::uint32_t;
+
+/// One capacity-loss interval [down_at, repair_at).
+struct Outage {
+  OutageId id = 0;
+  Time down_at = 0;
+  Time repair_at = 0;
+  int procs = 0;  ///< processors lost for the interval
+  int bb = 0;     ///< burst-buffer GB lost for the interval
+
+  friend bool operator==(const Outage&, const Outage&) = default;
+};
+
+/// The availability scenario of one run. Empty trace == the always-
+/// healthy machine every pre-availability differential was built on.
+struct FailureTrace {
+  std::vector<Outage> outages;
+
+  [[nodiscard]] bool empty() const { return outages.empty(); }
+  [[nodiscard]] std::size_t size() const { return outages.size(); }
+
+  friend bool operator==(const FailureTrace&, const FailureTrace&) = default;
+};
+
+/// Reject malformed traces before simulation: ids must be dense
+/// (record i has id i), down_at >= 0, repair_at > down_at, per-axis
+/// losses in [0, machine] with procs + bb >= 1, records sorted by
+/// (down_at, id), and at no instant may the concurrently-down capacity
+/// exceed the machine on either axis (a repair at t frees capacity
+/// before a down at t takes it, matching the engine's event order).
+/// Throws std::invalid_argument with a "failure-trace:" prefix.
+void validate_failure_trace(const FailureTrace& trace, int machine_procs,
+                            int machine_bb = 0);
+
+/// What happens to a job killed by an outage when it re-enters the
+/// queue (always with its original submit time, so priority ties are
+/// preserved):
+///   kResubmitFull      restart from scratch -- full runtime and the
+///                      original user estimate
+///   kResubmitRemaining checkpointed resume -- completed work is kept;
+///                      runtime and estimate both shrink by the time
+///                      already executed
+enum class RequeuePolicy : int {
+  kResubmitFull = 0,
+  kResubmitRemaining = 1,
+};
+
+[[nodiscard]] std::string to_string(RequeuePolicy policy);
+
+/// Parse "full" / "remaining" (case-sensitive). Throws
+/// std::invalid_argument on unknown names.
+[[nodiscard]] RequeuePolicy requeue_policy_from_string(
+    const std::string& name);
+
+/// Parameters of the seeded generator. Uptime gaps and repair
+/// durations are exponential (rounded to whole seconds, floored at 1);
+/// per-outage losses are uniform on [1, max]. Outages are sequential:
+/// the next failure arrives after the previous repair, so any machine
+/// with machine_procs >= max_procs_lost accepts the result.
+struct FailureModel {
+  double mean_uptime = 4.0 * static_cast<double>(kDay);
+  double mean_repair = 2.0 * static_cast<double>(kHour);
+  int max_procs_lost = 1;
+  int max_bb_lost = 0;
+  Time horizon = 30 * kDay;  ///< no outage begins at or after this
+};
+
+/// Deterministically sample a FailureTrace from `model` with its own
+/// Rng stream; per-outage losses clamp to the machine. The result
+/// always passes validate_failure_trace for this machine. Throws
+/// std::invalid_argument on nonsensical models (non-positive means or
+/// horizon, no axis to lose).
+[[nodiscard]] FailureTrace generate_failures(const FailureModel& model,
+                                             int machine_procs,
+                                             int machine_bb,
+                                             std::uint64_t seed);
+
+/// Text form, one outage per line: "<down_at> <repair_at> <procs>[ <bb>]",
+/// '#' and ';' comment lines and blank lines ignored. Ids are assigned
+/// densely in file order. Throws util::ParseError with a
+/// "failure-trace:" prefix on malformed input.
+[[nodiscard]] FailureTrace parse_failure_trace(std::istream& in);
+
+/// Read and parse a failure-trace file; util::ParseError when the file
+/// cannot be opened or parsed.
+[[nodiscard]] FailureTrace read_failure_trace_file(const std::string& path);
+
+/// Inverse of parse_failure_trace (bb column written only when > 0).
+void write_failure_trace(std::ostream& out, const FailureTrace& trace);
+
+}  // namespace bfsim::sim

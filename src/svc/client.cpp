@@ -31,6 +31,7 @@ std::string hello_frame(const HelloRequest& hello) {
   frame.set("selective_adaptive",
             Json::boolean(hello.extras.selective_adaptive));
   frame.set("slack_factor", Json::number(hello.extras.slack_factor));
+  frame.set("requeue", Json::string(std::string(sim::to_string(hello.requeue))));
   return frame.dump();
 }
 
@@ -144,7 +145,8 @@ void RemoteDecisionCore::reconnect(LineChannel& channel) {
   // Retransmit the unacknowledged frame: the daemon either applies it
   // (it died before logging) or answers from its reply cache.
   const std::string reply = channel_->roundtrip(inflight_);
-  (void)parse_decision_reply(reply, acked_seq_ + 1, start_storage_);
+  (void)parse_decision_reply(reply, acked_seq_ + 1, start_storage_,
+                             kill_storage_);
   ++acked_seq_;
   inflight_.clear();
 }
@@ -184,6 +186,26 @@ void RemoteDecisionCore::on_wake(core::Time now) {
   events_.push_back(std::move(event));
 }
 
+void RemoteDecisionCore::on_node_down(const sim::Outage& outage,
+                                      core::Time now) {
+  (void)now;  // down_at is implied by the batch instant
+  Json event = Json::object();
+  event.set("kind", Json::string("down"));
+  event.set("outage", Json::integer(static_cast<std::int64_t>(outage.id)));
+  event.set("repair", Json::integer(outage.repair_at));
+  event.set("procs", Json::integer(outage.procs));
+  event.set("bb", Json::integer(outage.bb));
+  events_.push_back(std::move(event));
+}
+
+void RemoteDecisionCore::on_node_up(sim::OutageId id, core::Time now) {
+  (void)now;
+  Json event = Json::object();
+  event.set("kind", Json::string("up"));
+  event.set("outage", Json::integer(static_cast<std::int64_t>(id)));
+  events_.push_back(std::move(event));
+}
+
 core::CycleDecision RemoteDecisionCore::end_cycle(core::Time now) {
   const std::uint64_t seq = acked_seq_ + 1;
   Json frame = Json::object();
@@ -205,7 +227,7 @@ core::CycleDecision RemoteDecisionCore::end_cycle(core::Time now) {
     reply = channel_->roundtrip(inflight_);
   }
   const core::CycleDecision decision =
-      parse_decision_reply(reply, seq, start_storage_);
+      parse_decision_reply(reply, seq, start_storage_, kill_storage_);
   acked_seq_ = seq;
   inflight_.clear();
   return decision;
@@ -222,6 +244,9 @@ const core::DecisionStats& RemoteDecisionCore::stats() {
     stats_.passes_skipped = reply_uint(reply, "passes_skipped");
     stats_.wakeups = reply_uint(reply, "wakeups");
     stats_.max_queue = static_cast<std::size_t>(reply_uint(reply, "max_queue"));
+    stats_.outages = reply_uint(reply, "outages");
+    stats_.repairs = reply_uint(reply, "repairs");
+    stats_.kills = reply_uint(reply, "kills");
     stats_fetched_ = true;
   }
   return stats_;
@@ -229,11 +254,15 @@ const core::DecisionStats& RemoteDecisionCore::stats() {
 
 core::SimulationResult served_run(const core::Trace& trace,
                                   LineChannel& channel,
-                                  const HelloRequest& hello) {
+                                  const HelloRequest& hello,
+                                  const sim::FailureTrace* failures) {
   core::validate_replay_trace(trace, hello.config.procs,
                               hello.config.burst_buffer);
+  if (failures != nullptr)
+    sim::validate_failure_trace(*failures, hello.config.procs,
+                                hello.config.burst_buffer);
   RemoteDecisionCore core{channel, hello};
-  core::EngineReplay<RemoteDecisionCore> replay{trace, core};
+  core::EngineReplay<RemoteDecisionCore> replay{trace, core, failures};
   core::SimulationResult result = replay.run();
   Json bye = Json::object();
   bye.set("type", Json::string("bye"));

@@ -90,6 +90,11 @@ class RemoteDecisionCore {
   void on_finish(workload::JobId id, core::Time now);
   void on_cancel(workload::JobId id, core::Time now);
   void on_wake(core::Time now);
+  void on_node_down(const sim::Outage& outage, core::Time now);
+  void on_node_up(sim::OutageId id, core::Time now);
+  [[nodiscard]] sim::RequeuePolicy requeue_policy() const {
+    return hello_.requeue;
+  }
   [[nodiscard]] core::CycleDecision end_cycle(core::Time now);
   /// Fetched from the daemon on first use after the run (one `stats`
   /// roundtrip), so both fronts report the daemon's own counters.
@@ -115,16 +120,19 @@ class RemoteDecisionCore {
   std::uint64_t acked_seq_ = 0;   ///< frames with a received reply
   std::string inflight_;          ///< sent frame awaiting its reply
   std::vector<workload::JobId> start_storage_;
+  std::vector<workload::JobId> kill_storage_;
   core::DecisionStats stats_;
   bool stats_fetched_ = false;
 };
 
 /// Replay `trace` against a daemon reachable through `channel` and
 /// return the schedule, byte-comparable with run_simulation's result
-/// for the same trace and scheduler configuration. Sends `bye` when
+/// for the same trace, scheduler configuration, and failure trace
+/// (`failures` may be nullptr; the client injects the outages as
+/// down/up events and the daemon picks the victims). Sends `bye` when
 /// the replay completes.
-[[nodiscard]] core::SimulationResult served_run(const core::Trace& trace,
-                                                LineChannel& channel,
-                                                const HelloRequest& hello);
+[[nodiscard]] core::SimulationResult served_run(
+    const core::Trace& trace, LineChannel& channel,
+    const HelloRequest& hello, const sim::FailureTrace* failures = nullptr);
 
 }  // namespace bfsim::svc

@@ -125,7 +125,25 @@ HelloRequest parse_hello(const Json& frame) {
       optional_number(frame, "slack_factor", hello.extras.slack_factor);
   if (hello.extras.xfactor_threshold < 0 || hello.extras.slack_factor < 0)
     reject("bad-value", "policy thresholds must be non-negative");
+  if (const Json* requeue = frame.find("requeue")) {
+    if (!requeue->is_string())
+      reject("bad-type", "field 'requeue' must be a string");
+    try {
+      hello.requeue = sim::requeue_policy_from_string(requeue->as_string());
+    } catch (const std::invalid_argument& error) {
+      reject("bad-value", error.what());
+    }
+  }
   return hello;
+}
+
+sim::OutageId need_outage_id(const Json& object, std::string_view key) {
+  const std::int64_t raw = need_int(object, key);
+  if (raw < 0 ||
+      raw >= static_cast<std::int64_t>(core::kMaxTrackedOutages))
+    reject("bad-value",
+           "field '" + std::string(key) + "' is not an outage id");
+  return static_cast<sim::OutageId>(raw);
 }
 
 Event parse_event(const Json& entry) {
@@ -157,6 +175,25 @@ Event parse_event(const Json& entry) {
     event.id = need_job_id(entry, "id");
   } else if (kind == "wake") {
     event.kind = EventKind::kWake;
+  } else if (kind == "down") {
+    event.kind = EventKind::kDown;
+    event.outage.id = need_outage_id(entry, "outage");
+    // down_at never crosses the wire: the outage takes effect at the
+    // batch instant, which the session stamps before applying.
+    event.outage.repair_at = need_time(entry, "repair");
+    const std::int64_t procs = need_int(entry, "procs");
+    if (procs < 0 || procs > std::numeric_limits<int>::max())
+      reject("bad-value", "'procs' must be a non-negative loss");
+    event.outage.procs = static_cast<int>(procs);
+    const std::int64_t bb = optional_int(entry, "bb", 0);
+    if (bb < 0 || bb > std::numeric_limits<int>::max())
+      reject("bad-value", "'bb' must be a non-negative burst-buffer loss");
+    event.outage.bb = static_cast<int>(bb);
+    if (event.outage.procs + event.outage.bb < 1)
+      reject("bad-value", "a down event must lose some capacity");
+  } else if (kind == "up") {
+    event.kind = EventKind::kRepair;
+    event.outage.id = need_outage_id(entry, "outage");
   } else {
     reject("bad-value", "unknown event kind '" + kind + "'");
   }
@@ -187,6 +224,8 @@ EventBatch parse_events(const Json& frame) {
 std::string_view to_string(EventKind kind) {
   switch (kind) {
     case EventKind::kFinish: return "finish";
+    case EventKind::kRepair: return "up";
+    case EventKind::kDown: return "down";
     case EventKind::kSubmit: return "submit";
     case EventKind::kCancel: return "cancel";
     case EventKind::kWake: return "wake";
@@ -247,6 +286,14 @@ std::string decision_reply(std::uint64_t seq, core::Time now,
   for (const workload::JobId id : decision.starts)
     starts.push_back(Json::integer(static_cast<std::int64_t>(id)));
   reply.set("starts", std::move(starts));
+  // Emitted only when an outage voided runs, so outage-free replies are
+  // byte-identical to protocol v2's.
+  if (!decision.killed.empty()) {
+    Json killed = Json::array();
+    for (const workload::JobId id : decision.killed)
+      killed.push_back(Json::integer(static_cast<std::int64_t>(id)));
+    reply.set("killed", std::move(killed));
+  }
   reply.set("next_wakeup", decision.next_wakeup == sim::kNoTime
                                ? Json::null()
                                : Json::integer(decision.next_wakeup));
@@ -264,6 +311,11 @@ std::string stats_reply(const core::DecisionStats& stats, std::size_t queued,
   reply.set("wakeups", Json::integer(static_cast<std::int64_t>(stats.wakeups)));
   reply.set("max_queue",
             Json::integer(static_cast<std::int64_t>(stats.max_queue)));
+  reply.set("outages",
+            Json::integer(static_cast<std::int64_t>(stats.outages)));
+  reply.set("repairs",
+            Json::integer(static_cast<std::int64_t>(stats.repairs)));
+  reply.set("kills", Json::integer(static_cast<std::int64_t>(stats.kills)));
   reply.set("queued", Json::integer(static_cast<std::int64_t>(queued)));
   reply.set("running", Json::integer(static_cast<std::int64_t>(running)));
   return reply.dump();
@@ -298,7 +350,8 @@ std::string bye_reply() {
 
 core::CycleDecision parse_decision_reply(
     std::string_view line, std::uint64_t expect_seq,
-    std::vector<workload::JobId>& start_storage) {
+    std::vector<workload::JobId>& start_storage,
+    std::vector<workload::JobId>& kill_storage) {
   Json frame;
   try {
     frame = parse_json(line);
@@ -333,6 +386,18 @@ core::CycleDecision parse_decision_reply(
     start_storage.push_back(static_cast<workload::JobId>(id));
   }
   decision.starts = start_storage;
+  kill_storage.clear();
+  if (const Json* killed = frame.find("killed")) {
+    if (!killed->is_array()) reject("bad-type", "'killed' must be an array");
+    for (const Json& entry : killed->as_array()) {
+      if (!entry.is_int()) reject("bad-type", "killed ids must be integers");
+      const std::int64_t id = entry.as_int();
+      if (id < 0 || id >= static_cast<std::int64_t>(workload::kInvalidJob))
+        reject("bad-value", "killed id out of range");
+      kill_storage.push_back(static_cast<workload::JobId>(id));
+    }
+  }
+  decision.killed = kill_storage;
   const Json& wake = need(frame, "next_wakeup");
   if (wake.is_null()) {
     decision.next_wakeup = sim::kNoTime;

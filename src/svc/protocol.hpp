@@ -1,14 +1,15 @@
-// bfsim -- the scheduling-service wire protocol (version 2).
+// bfsim -- the scheduling-service wire protocol (version 3).
 //
 // Line-delimited JSON, one frame per line, one reply per frame. The
 // client opens with a `hello` naming the protocol version and the
 // scheduler configuration; after the `welcome`, each `events` frame
 // carries one same-time batch (a sequence number, the batch instant,
-// and the events in decision-core order: finishes, submits, cancels,
-// wakes) and is answered by a `decisions` frame -- the jobs that start
-// now and the next wake-up instant. True runtimes never cross the
-// wire: completions are events the client reports, exactly as a
-// production resource manager would.
+// and the events in decision-core order: finishes, repairs, downs,
+// submits, cancels, wakes) and is answered by a `decisions` frame --
+// the jobs that start now, the runs an outage voided, and the next
+// wake-up instant. True runtimes never cross the wire: completions are
+// events the client reports, exactly as a production resource manager
+// would.
 //
 // Parsing is strict and hostile-input-first, in the spirit of the SWF
 // reader's quarantine (workload/swf.hpp): every malformed frame maps
@@ -36,7 +37,12 @@ namespace bfsim::svc {
 /// added the burst-buffer axis: `hello` gained the optional
 /// "burst_buffer" machine capacity and submit events the optional "bb"
 /// per-job demand (both >= 0, both defaulting to 0 = axis absent).
-inline constexpr std::int64_t kProtocolVersion = 2;
+/// Version 3 added availability: `hello` gained the optional "requeue"
+/// policy ("full" | "remaining"), batches the "down"/"up" outage
+/// events, and `decisions` replies the "killed" array (present only
+/// when an outage voided runs, so outage-free replies are byte-
+/// identical to version 2's).
+inline constexpr std::int64_t kProtocolVersion = 3;
 
 /// Upper bound on one frame line, before parsing. A line longer than
 /// this is quarantined as "oversized-frame" without being parsed --
@@ -83,15 +89,20 @@ struct HelloRequest {
   core::SchedulerConfig config;
   core::SchedulerExtras extras;
   bool audit = false;  ///< attach a ScheduleAuditor for the session
+  /// What happens to outage-killed jobs, fixed for the whole session.
+  sim::RequeuePolicy requeue = sim::RequeuePolicy::kResubmitFull;
 };
 
 /// Event kinds, in their mandatory within-batch order (the same
-/// within-instant order the replay engine enforces structurally).
+/// within-instant order the replay engine enforces structurally:
+/// finish < repair < down < submit < cancel < wake).
 enum class EventKind : std::uint8_t {
   kFinish = 0,
-  kSubmit = 1,
-  kCancel = 2,
-  kWake = 3,
+  kRepair = 1,
+  kDown = 2,
+  kSubmit = 3,
+  kCancel = 4,
+  kWake = 5,
 };
 
 [[nodiscard]] std::string_view to_string(EventKind kind);
@@ -99,11 +110,14 @@ enum class EventKind : std::uint8_t {
 /// One event inside an `events` frame. For submits, `job` carries the
 /// scheduler-visible fields only (estimate, procs; runtime is set equal
 /// to the estimate and cancel_at stays kNoTime -- neither exists on the
-/// wire). For finish/cancel, only `id` is meaningful.
+/// wire). For finish/cancel, only `id` is meaningful. For down events,
+/// `outage` carries id/repair_at/procs/bb (down_at is the batch
+/// instant and never crosses the wire); for up events, only outage.id.
 struct Event {
   EventKind kind = EventKind::kWake;
   workload::JobId id = workload::kInvalidJob;
   core::Job job;
+  sim::Outage outage;
 };
 
 /// One `events` frame: a same-time batch closed by one decision cycle.
@@ -139,12 +153,13 @@ struct Request {
 [[nodiscard]] std::string bye_reply();
 
 /// Parse a `decisions` reply back into a CycleDecision whose starts
-/// live in `start_storage` (the remote client's side of the wire).
-/// Throws ProtocolError on anything that is not a well-formed
-/// decisions frame; an `error` reply surfaces as reason
-/// "server-error" with the server's reason in the detail.
+/// and killed ids live in `start_storage` / `kill_storage` (the remote
+/// client's side of the wire). Throws ProtocolError on anything that
+/// is not a well-formed decisions frame; an `error` reply surfaces as
+/// reason "server-error" with the server's reason in the detail.
 [[nodiscard]] core::CycleDecision parse_decision_reply(
     std::string_view line, std::uint64_t expect_seq,
-    std::vector<workload::JobId>& start_storage);
+    std::vector<workload::JobId>& start_storage,
+    std::vector<workload::JobId>& kill_storage);
 
 }  // namespace bfsim::svc

@@ -21,7 +21,7 @@ bool same_session(const HelloRequest& a, const HelloRequest& b) {
          a.extras.xfactor_threshold == b.extras.xfactor_threshold &&
          a.extras.selective_adaptive == b.extras.selective_adaptive &&
          a.extras.slack_factor == b.extras.slack_factor &&
-         a.audit == b.audit;
+         a.audit == b.audit && a.requeue == b.requeue;
 }
 
 }  // namespace
@@ -96,7 +96,8 @@ std::string Session::open_session(const HelloRequest& hello,
   hello_ = hello;
   scheduler_ = core::make_scheduler(hello.kind, hello.config, hello.extras);
   if (hello.audit) auditor_.emplace(*scheduler_);
-  core_.emplace(*scheduler_, hello.audit ? &*auditor_ : nullptr);
+  core_.emplace(*scheduler_, hello.audit ? &*auditor_ : nullptr,
+                hello.requeue);
   // Event-sourced restore: replay the logged frames through the fresh
   // core in order. The core is deterministic, so this reconstructs the
   // exact pre-crash scheduler state. A frame that no longer replays
@@ -138,6 +139,15 @@ std::string Session::apply_batch(const EventBatch& batch,
     for (const Event& event : batch.events) {
       switch (event.kind) {
         case EventKind::kFinish: core_->on_finish(event.id, batch.now); break;
+        case EventKind::kRepair:
+          core_->on_node_up(event.outage.id, batch.now);
+          break;
+        case EventKind::kDown: {
+          sim::Outage outage = event.outage;
+          outage.down_at = batch.now;  // implied by the batch instant
+          core_->on_node_down(outage, batch.now);
+          break;
+        }
         case EventKind::kSubmit: core_->on_submit(event.job, batch.now); break;
         case EventKind::kCancel: core_->on_cancel(event.id, batch.now); break;
         case EventKind::kWake: core_->on_wake(batch.now); break;
@@ -176,12 +186,21 @@ void Session::validate_batch(const EventBatch& batch) const {
     const auto it = overlay.find(id);
     return it != overlay.end() ? it->second : core_->phase(id);
   };
+  // Outage overlay: repairs sort before downs, so one running tally of
+  // lost capacity (seeded from the core, repairs subtracting before
+  // downs add) validates exactly what the core will apply. Intra-batch
+  // down-then-up of one outage is impossible by construction
+  // (repair_at > the batch instant), so a set of this batch's new
+  // downs plus a set of its repairs is a complete lifecycle overlay.
+  int down_procs = core_->down_procs();
+  int down_bb = core_->down_bb();
+  std::map<sim::OutageId, bool> outage_overlay;  // true = downed here
   int last_kind = -1;
   for (const Event& event : batch.events) {
     if (static_cast<int>(event.kind) < last_kind)
       throw ProtocolError("out-of-order",
                           "events within a batch must be ordered "
-                          "finish < submit < cancel < wake");
+                          "finish < repair < down < submit < cancel < wake");
     last_kind = static_cast<int>(event.kind);
     switch (event.kind) {
       case EventKind::kSubmit: {
@@ -217,6 +236,58 @@ void Session::validate_batch(const EventBatch& batch) const {
                                                " is not running");
         overlay[event.id] = core::JobPhase::kFinished;
         break;
+      case EventKind::kRepair: {
+        const auto it = outage_overlay.find(event.outage.id);
+        if (it != outage_overlay.end())
+          throw ProtocolError("bad-event",
+                              "outage " + std::to_string(event.outage.id) +
+                                  " repaired twice in one batch");
+        const sim::Outage* active = core_->active_outage(event.outage.id);
+        if (active == nullptr)
+          throw ProtocolError("bad-event",
+                              "outage " + std::to_string(event.outage.id) +
+                                  " is not active");
+        if (active->repair_at != batch.now)
+          throw ProtocolError("bad-event",
+                              "outage " + std::to_string(event.outage.id) +
+                                  " repairs at t=" +
+                                  std::to_string(active->repair_at) +
+                                  ", not at this batch instant");
+        down_procs -= active->procs;
+        down_bb -= active->bb;
+        outage_overlay[event.outage.id] = false;
+        break;
+      }
+      case EventKind::kDown: {
+        const sim::Outage& outage = event.outage;
+        if (outage.id >= core::kMaxTrackedOutages)
+          throw ProtocolError("bad-event",
+                              "outage id " + std::to_string(outage.id) +
+                                  " out of range");
+        if (core_->outage_known(outage.id) ||
+            outage_overlay.find(outage.id) != outage_overlay.end())
+          throw ProtocolError("bad-event",
+                              "outage " + std::to_string(outage.id) +
+                                  " delivered twice");
+        if (outage.repair_at <= batch.now)
+          throw ProtocolError("bad-event",
+                              "outage " + std::to_string(outage.id) +
+                                  " repairs at-or-before its down instant");
+        if (outage.procs > core_->machine_procs() - down_procs)
+          throw ProtocolError("bad-event",
+                              "outage " + std::to_string(outage.id) +
+                                  " takes more processors than the still-up "
+                                  "machine");
+        if (outage.bb > core_->machine_burst_buffer() - down_bb)
+          throw ProtocolError("bad-event",
+                              "outage " + std::to_string(outage.id) +
+                                  " takes more burst buffer than the "
+                                  "still-up machine");
+        down_procs += outage.procs;
+        down_bb += outage.bb;
+        outage_overlay[outage.id] = true;
+        break;
+      }
       case EventKind::kCancel: {
         const core::JobPhase phase = phase_of(event.id);
         if (phase == core::JobPhase::kUnseen)

@@ -11,6 +11,7 @@ std::string to_string(FailureKind kind) {
     case FailureKind::Timeout: return "timeout";
     case FailureKind::ResourceExhausted: return "resource-exhausted";
     case FailureKind::Internal: return "internal";
+    case FailureKind::OutageViolation: return "outage-violation";
   }
   return "internal";
 }
@@ -21,6 +22,7 @@ FailureKind failure_kind_from_string(const std::string& name) {
   if (name == "timeout") return FailureKind::Timeout;
   if (name == "resource-exhausted") return FailureKind::ResourceExhausted;
   if (name == "internal") return FailureKind::Internal;
+  if (name == "outage-violation") return FailureKind::OutageViolation;
   throw std::invalid_argument("failure_kind_from_string: unknown kind '" +
                               name + "'");
 }
@@ -44,10 +46,18 @@ FailureKind classify_failure(const std::exception& error) {
   // stable message markers (core/audit.cpp, core/simulation.cpp); the
   // swf reader prefixes every diagnostic with "swf:".
   const std::string what = error.what();
+  // Outage-contract rejections outrank the generic audit sniff: the
+  // decision core's node-down kill path can mention auditor vocabulary
+  // in its detail, but the failing layer is the injected availability
+  // input, not the schedule.
+  if (starts_with(what, "DecisionCore::on_node_down") ||
+      starts_with(what, "DecisionCore::on_node_up"))
+    return FailureKind::OutageViolation;
   if (what.find("schedule audit") != std::string::npos ||
       what.find("invalid schedule") != std::string::npos)
     return FailureKind::AuditViolation;
   if (starts_with(what, "swf:")) return FailureKind::ParseError;
+  if (starts_with(what, "failure-trace:")) return FailureKind::ParseError;
   return FailureKind::Internal;
 }
 

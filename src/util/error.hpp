@@ -1,14 +1,22 @@
 // bfsim -- the failure taxonomy of the fault-tolerant experiment layer.
 //
 // Every failure a sweep cell (or a workload ingestion step) can suffer
-// is classified into one of five kinds so that degraded-results reports,
+// is classified into one of six kinds so that degraded-results reports,
 // retry policies and operators all speak the same vocabulary:
 //
-//   ParseError         malformed input data (SWF lines, config values)
+//   ParseError         malformed input data (SWF lines, config values,
+//                      failure-trace files)
 //   AuditViolation     the schedule-invariant auditor or the physical
 //                      validator rejected the run -- never retried away:
 //                      a deterministic cell that violates an invariant
 //                      once violates it every time
+//   OutageViolation    the decision core rejected a node-down/node-up
+//                      event (sim/failure.hpp availability layer): the
+//                      injected failure trace contradicts the machine
+//                      state. Deterministic like AuditViolation, but
+//                      the fix is the experiment's failure trace, not
+//                      the scheduler -- lumping the two (or either into
+//                      Internal) sends an operator to the wrong layer
 //   Timeout            the cell's watchdog deadline expired
 //   ResourceExhausted  allocation failure (std::bad_alloc) or similar
 //   Internal           everything else (the "unknown unknown" bucket)
@@ -30,6 +38,7 @@ enum class FailureKind : int {
   Timeout = 2,
   ResourceExhausted = 3,
   Internal = 4,
+  OutageViolation = 5,
 };
 
 [[nodiscard]] std::string to_string(FailureKind kind);
@@ -52,8 +61,11 @@ class TimeoutError : public std::runtime_error {
 
 /// Classify a caught exception. Typed exceptions map directly; for
 /// untyped ones the message is sniffed for the auditor/validator
-/// prefixes ("schedule audit", "validator") and the swf parser prefix
-/// ("swf:"); anything unrecognized is Internal.
+/// prefixes ("schedule audit", "validator"), the decision core's
+/// node-down/node-up contract markers ("DecisionCore::on_node_down",
+/// "DecisionCore::on_node_up" -> OutageViolation), and the parser
+/// prefixes ("swf:", "failure-trace:"); anything unrecognized is
+/// Internal.
 [[nodiscard]] FailureKind classify_failure(const std::exception& error);
 
 /// Classify the in-flight exception of a catch(...) block; non-standard

@@ -219,6 +219,22 @@ SwfFile read_swf(std::istream& in, const SwfParseOptions& options,
         continue;
       }
     }
+    // Status accounting happens in every mode: the tallies measure the
+    // trace's organic failure/cancellation rate even when the policy
+    // keeps the records.
+    if (r.status == 1) ++out.status_completed;
+    else if (r.status == 0) ++out.status_failed;
+    else if (r.status == 5) ++out.status_cancelled;
+    if (options.status == SwfStatusMode::kQuarantine &&
+        (r.status == 0 || r.status == 5)) {
+      // Policy filtering, not corruption: quarantine in strict mode too
+      // rather than throwing.
+      quarantine(r.status == 0 ? "status-failed" : "status-cancelled",
+                 "swf: line " + std::to_string(line_no) +
+                     (r.status == 0 ? ": failed-status record"
+                                    : ": cancelled-status record"));
+      continue;
+    }
     ++out.parsed;
     file.records.push_back(r);
   }

@@ -76,6 +76,23 @@ struct SwfFile {
 /// weeks) and comfortably below where estimates stop meaning anything.
 inline constexpr std::int64_t kDefaultMaxSwfTime = 315'360'000;
 
+/// How ingestion treats the SWF status column (11): 1 completed, 0
+/// failed, 5 cancelled, -1 unknown. The archive logs a failed job's
+/// *actual* (truncated) runtime, so failed/cancelled records are valid
+/// simulator input -- but an availability study that injects its own
+/// failures (sim/failure.hpp) usually wants the trace scrubbed of the
+/// archive's organic ones, and a workload model wants them counted.
+enum class SwfStatusMode {
+  /// Status never affects acceptance (the historic behavior). The
+  /// report still tallies failed/cancelled records seen.
+  kIgnore,
+  /// Failed (0) and cancelled (5) records are quarantined under
+  /// "status-failed" / "status-cancelled" -- in BOTH strict and
+  /// lenient mode, since a non-1 status is well-formed data being
+  /// filtered by policy, not corruption worth throwing over.
+  kQuarantine,
+};
+
 struct SwfParseOptions {
   /// Strict (default): the first malformed data line throws
   /// util::ParseError (a std::runtime_error). Lenient: malformed and
@@ -98,6 +115,8 @@ struct SwfParseOptions {
   /// window forever. Strict mode throws; lenient mode quarantines under
   /// "excessive-burst-buffer". Set <= 0 to disable the bound.
   std::int64_t max_burst_buffer = 1'000'000;
+  /// Status-column policy; see SwfStatusMode.
+  SwfStatusMode status = SwfStatusMode::kIgnore;
 };
 
 /// What lenient ingestion did: per-reason quarantine counts. Reasons:
@@ -109,10 +128,19 @@ struct SwfParseOptions {
 ///   "excessive-time"     run/requested time above SwfParseOptions::max_time
 ///   "negative-burst-buffer"   extension column 19 below the -1 sentinel
 ///   "excessive-burst-buffer"  column 19 above SwfParseOptions::max_burst_buffer
+///   "status-failed"      status column 0 under SwfStatusMode::kQuarantine
+///   "status-cancelled"   status column 5 under SwfStatusMode::kQuarantine
 struct SwfParseReport {
   std::size_t parsed = 0;       ///< records accepted
   std::size_t quarantined = 0;  ///< records dropped (sum of reasons)
   std::map<std::string, std::size_t> reasons;
+  // Status-column accounting, filled in EVERY mode (kIgnore included):
+  // how many well-formed records carried each terminal status, whether
+  // or not the policy then dropped them. The counts let an ingest
+  // measure a trace's organic failure rate before deciding to scrub it.
+  std::size_t status_completed = 0;  ///< column 11 == 1
+  std::size_t status_failed = 0;     ///< column 11 == 0
+  std::size_t status_cancelled = 0;  ///< column 11 == 5
 
   [[nodiscard]] bool clean() const { return quarantined == 0; }
 };

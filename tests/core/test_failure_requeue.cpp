@@ -1,0 +1,295 @@
+// Kill-requeue semantics end to end: hand-built scenarios through
+// run_simulation pin the victim-selection order, both requeue policies'
+// arithmetic, same-batch restarts after a kill, and the availability
+// counters; direct DecisionCore tests pin the node-down/node-up
+// contract (every DecisionError fires before any mutation, so a
+// hostile front cannot corrupt the core).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/decision_core.hpp"
+#include "core/scheduler.hpp"
+#include "core/simulation.hpp"
+#include "sim/failure.hpp"
+
+namespace bfsim::core {
+namespace {
+
+Job make_job(JobId id, Time submit, Time runtime, Time estimate, int procs,
+             int bb = 0) {
+  Job job;
+  job.id = id;
+  job.submit = submit;
+  job.runtime = runtime;
+  job.estimate = estimate;
+  job.procs = procs;
+  job.bb = bb;
+  return job;
+}
+
+sim::Outage make_outage(sim::OutageId id, Time down_at, Time repair_at,
+                        int procs, int bb = 0) {
+  sim::Outage outage;
+  outage.id = id;
+  outage.down_at = down_at;
+  outage.repair_at = repair_at;
+  outage.procs = procs;
+  outage.bb = bb;
+  return outage;
+}
+
+SimulationResult run_with_failures(const Trace& trace, int procs,
+                                   const sim::FailureTrace& failures,
+                                   sim::RequeuePolicy requeue,
+                                   SchedulerKind kind = SchedulerKind::Fcfs) {
+  SimulationOptions options;
+  options.validate = true;
+  options.audit = true;
+  options.failures = &failures;
+  options.requeue = requeue;
+  return run_simulation(trace, kind, SchedulerConfig{procs, PriorityPolicy::Fcfs},
+                        {}, options);
+}
+
+TEST(FailureRequeue, FullRestartRerunsTheWholeJob) {
+  // One 4-wide job on a 4-proc machine; a 2-proc outage at t=50 must
+  // kill it (nothing narrower frees enough), and the restart cannot fit
+  // until the repair at t=150 restores the full machine.
+  Trace trace{make_job(0, 0, 100, 100, 4)};
+  sim::FailureTrace failures;
+  failures.outages.push_back(make_outage(0, 50, 150, 2));
+  const SimulationResult result = run_with_failures(
+      trace, 4, failures, sim::RequeuePolicy::kResubmitFull);
+  EXPECT_EQ(result.outages, 1u);
+  EXPECT_EQ(result.repairs, 1u);
+  EXPECT_EQ(result.kills, 1u);
+  const JobOutcome& outcome = result.outcomes[0];
+  EXPECT_EQ(outcome.first_start, 0);
+  EXPECT_EQ(outcome.start, 150);
+  EXPECT_EQ(outcome.end, 250);  // the full 100s again
+  EXPECT_EQ(outcome.requeues, 1);
+  EXPECT_EQ(outcome.requeue_wait, 100);
+  EXPECT_FALSE(outcome.killed);
+  EXPECT_EQ(result.makespan, 250);
+}
+
+TEST(FailureRequeue, RemainingResumesFromTheCheckpoint) {
+  // Same scenario under checkpointed resume: 50s were completed before
+  // the kill, so the restart runs only the remaining 50s.
+  Trace trace{make_job(0, 0, 100, 100, 4)};
+  sim::FailureTrace failures;
+  failures.outages.push_back(make_outage(0, 50, 150, 2));
+  const SimulationResult result = run_with_failures(
+      trace, 4, failures, sim::RequeuePolicy::kResubmitRemaining);
+  const JobOutcome& outcome = result.outcomes[0];
+  EXPECT_EQ(outcome.start, 150);
+  EXPECT_EQ(outcome.end, 200);
+  EXPECT_EQ(outcome.requeues, 1);
+  EXPECT_EQ(result.kills, 1u);
+}
+
+TEST(FailureRequeue, OutageWithinFreeCapacityKillsNobody) {
+  Trace trace{make_job(0, 0, 100, 100, 2)};
+  sim::FailureTrace failures;
+  failures.outages.push_back(make_outage(0, 50, 150, 2));
+  const SimulationResult result = run_with_failures(
+      trace, 4, failures, sim::RequeuePolicy::kResubmitFull);
+  EXPECT_EQ(result.kills, 0u);
+  EXPECT_EQ(result.outages, 1u);
+  const JobOutcome& outcome = result.outcomes[0];
+  EXPECT_EQ(outcome.start, 0);
+  EXPECT_EQ(outcome.end, 100);
+  EXPECT_EQ(outcome.requeues, 0);
+}
+
+TEST(FailureRequeue, VictimsAreKilledLatestStartFirst) {
+  // Two 2-wide jobs fill the machine; a 2-proc outage needs exactly one
+  // victim, and it must be the one that started later.
+  Trace trace{make_job(0, 0, 200, 200, 2), make_job(1, 10, 200, 200, 2)};
+  sim::FailureTrace failures;
+  failures.outages.push_back(make_outage(0, 50, 100, 2));
+  const SimulationResult result = run_with_failures(
+      trace, 4, failures, sim::RequeuePolicy::kResubmitFull);
+  EXPECT_EQ(result.kills, 1u);
+  // Job 0 (earlier start) rides through the outage untouched.
+  EXPECT_EQ(result.outcomes[0].start, 0);
+  EXPECT_EQ(result.outcomes[0].end, 200);
+  EXPECT_EQ(result.outcomes[0].requeues, 0);
+  // Job 1 restarts once the repair frees its processors.
+  EXPECT_EQ(result.outcomes[1].requeues, 1);
+  EXPECT_EQ(result.outcomes[1].start, 100);
+  EXPECT_EQ(result.outcomes[1].end, 300);
+}
+
+TEST(FailureRequeue, NonHelpingVictimsAreSkipped) {
+  // The outage hits the burst-buffer axis only. The later-started job
+  // holds no buffer, so killing it would free nothing the outage needs:
+  // the kill loop must skip it and take the earlier buffer-holding job.
+  Trace trace{make_job(0, 0, 200, 200, 1, 8), make_job(1, 10, 50, 50, 1, 0)};
+  sim::FailureTrace failures;
+  failures.outages.push_back(make_outage(0, 20, 400, 0, 4));
+  SimulationOptions options;
+  options.validate = true;
+  options.audit = true;
+  options.failures = &failures;
+  options.requeue = sim::RequeuePolicy::kResubmitFull;
+  const SimulationResult result = run_simulation(
+      trace, SchedulerKind::Fcfs,
+      SchedulerConfig{4, PriorityPolicy::Fcfs, /*burst_buffer=*/8}, {},
+      options);
+  EXPECT_EQ(result.kills, 1u);
+  // The bufferless job keeps running.
+  EXPECT_EQ(result.outcomes[1].requeues, 0);
+  EXPECT_EQ(result.outcomes[1].start, 10);
+  // The buffer holder waits out the long repair.
+  EXPECT_EQ(result.outcomes[0].requeues, 1);
+  EXPECT_EQ(result.outcomes[0].start, 400);
+}
+
+TEST(FailureRequeue, KilledVictimMayRestartInTheSameBatch) {
+  // EASY on 4 procs: a 3-wide and a 1-wide job fill the machine, a
+  // 2-proc outage forces both out. The 3-wide head must wait for the
+  // repair, but the 1-wide job fits the surviving 2 processors and ends
+  // before the head's shadow time -- it backfills at the kill instant
+  // itself (killed and restarted in one batch, requeue_wait = 0).
+  Trace trace{make_job(0, 0, 300, 300, 3), make_job(1, 10, 100, 100, 1)};
+  sim::FailureTrace failures;
+  failures.outages.push_back(make_outage(0, 50, 150, 2));
+  const SimulationResult result =
+      run_with_failures(trace, 4, failures, sim::RequeuePolicy::kResubmitFull,
+                        SchedulerKind::Easy);
+  EXPECT_EQ(result.kills, 2u);
+  EXPECT_EQ(result.outcomes[1].requeues, 1);
+  EXPECT_EQ(result.outcomes[1].start, 50);
+  EXPECT_EQ(result.outcomes[1].end, 150);
+  EXPECT_EQ(result.outcomes[1].requeue_wait, 0);
+  EXPECT_EQ(result.outcomes[0].requeues, 1);
+  EXPECT_EQ(result.outcomes[0].start, 150);
+  EXPECT_EQ(result.outcomes[0].end, 450);
+}
+
+TEST(FailureRequeue, EstimateEnforcementSurvivesARestart) {
+  // True runtime exceeds the estimate: the restarted run is still
+  // killed at the (full) estimate, and the outcome keeps the kill flag.
+  Trace trace{make_job(0, 0, 150, 100, 4)};
+  sim::FailureTrace failures;
+  failures.outages.push_back(make_outage(0, 50, 120, 4));
+  const SimulationResult result = run_with_failures(
+      trace, 4, failures, sim::RequeuePolicy::kResubmitFull);
+  const JobOutcome& outcome = result.outcomes[0];
+  EXPECT_EQ(outcome.start, 120);
+  EXPECT_EQ(outcome.end, 220);  // estimate-killed after 100s
+  EXPECT_TRUE(outcome.killed);
+  EXPECT_EQ(outcome.requeues, 1);
+}
+
+TEST(FailureRequeue, OutagesAfterTheLastJobStillCount) {
+  Trace trace{make_job(0, 0, 10, 10, 1)};
+  sim::FailureTrace failures;
+  failures.outages.push_back(make_outage(0, 100, 200, 2));
+  const SimulationResult result = run_with_failures(
+      trace, 4, failures, sim::RequeuePolicy::kResubmitFull);
+  EXPECT_EQ(result.outages, 1u);
+  EXPECT_EQ(result.repairs, 1u);
+  EXPECT_EQ(result.kills, 0u);
+  EXPECT_EQ(result.outcomes[0].end, 10);
+}
+
+// -- the DecisionCore outage contract --------------------------------
+
+class OutageContractTest : public ::testing::Test {
+ protected:
+  OutageContractTest()
+      : scheduler_(make_scheduler(SchedulerKind::Easy,
+                                  SchedulerConfig{8, PriorityPolicy::Fcfs})),
+        core_(*scheduler_, nullptr, sim::RequeuePolicy::kResubmitFull) {}
+
+  std::unique_ptr<Scheduler> scheduler_;
+  DecisionCore core_;
+};
+
+TEST_F(OutageContractTest, AcceptsAndTracksAValidOutageLifecycle) {
+  core_.on_node_down(make_outage(0, 10, 50, 3), 10);
+  EXPECT_TRUE(core_.outage_known(0));
+  EXPECT_EQ(core_.down_procs(), 3);
+  ASSERT_NE(core_.active_outage(0), nullptr);
+  EXPECT_EQ(core_.active_outage(0)->repair_at, 50);
+  (void)core_.end_cycle(10);
+  core_.on_node_up(0, 50);
+  EXPECT_EQ(core_.down_procs(), 0);
+  EXPECT_EQ(core_.active_outage(0), nullptr);
+  EXPECT_TRUE(core_.outage_known(0));  // ids are never reused
+  EXPECT_EQ(core_.stats().outages, 1u);
+  EXPECT_EQ(core_.stats().repairs, 1u);
+}
+
+TEST_F(OutageContractTest, RejectsMalformedDownEvents) {
+  // down_at must equal the event instant.
+  EXPECT_THROW(core_.on_node_down(make_outage(0, 5, 50, 1), 10),
+               DecisionError);
+  // Repair must lie strictly in the future.
+  EXPECT_THROW(core_.on_node_down(make_outage(0, 10, 10, 1), 10),
+               DecisionError);
+  // Some capacity must actually be lost, and never a negative amount.
+  EXPECT_THROW(core_.on_node_down(make_outage(0, 10, 50, 0, 0), 10),
+               DecisionError);
+  EXPECT_THROW(core_.on_node_down(make_outage(0, 10, 50, -1, 2), 10),
+               DecisionError);
+  // Wider than the machine.
+  EXPECT_THROW(core_.on_node_down(make_outage(0, 10, 50, 9), 10),
+               DecisionError);
+  // Hostile id: must not allocate a phase slot per 2^60.
+  EXPECT_THROW(
+      core_.on_node_down(make_outage(kMaxTrackedOutages, 10, 50, 1), 10),
+      DecisionError);
+  // Every rejection fired before mutation: id 0 is still usable.
+  EXPECT_FALSE(core_.outage_known(0));
+  EXPECT_NO_THROW(core_.on_node_down(make_outage(0, 10, 50, 1), 10));
+}
+
+TEST_F(OutageContractTest, RejectsDuplicateAndOverlappingBeyondMachine) {
+  core_.on_node_down(make_outage(0, 10, 50, 6), 10);
+  // Same id twice -- even after repair, ids are spent.
+  EXPECT_THROW(core_.on_node_down(make_outage(0, 10, 60, 1), 10),
+               DecisionError);
+  // A second outage may overlap, but not beyond the still-up machine.
+  EXPECT_THROW(core_.on_node_down(make_outage(1, 10, 60, 3), 10),
+               DecisionError);
+  EXPECT_NO_THROW(core_.on_node_down(make_outage(1, 10, 60, 2), 10));
+  EXPECT_EQ(core_.down_procs(), 8);
+}
+
+TEST_F(OutageContractTest, RejectsBogusRepairs) {
+  // Repair of an outage that was never delivered. A rejected event still
+  // consumes its timestamp (check_time runs first, like every hook), so
+  // the probes below stay monotone.
+  EXPECT_THROW(core_.on_node_up(0, 5), DecisionError);
+  core_.on_node_down(make_outage(0, 10, 50, 2), 10);
+  // Repair at the wrong instant: the trace said t=50.
+  EXPECT_THROW(core_.on_node_up(0, 40), DecisionError);
+  EXPECT_NO_THROW(core_.on_node_up(0, 50));
+  // And never twice.
+  EXPECT_THROW(core_.on_node_up(0, 50), DecisionError);
+}
+
+TEST_F(OutageContractTest, KillReportsVictimsExactlyOnceInTheDecision) {
+  core_.on_submit(make_job(0, 0, 100, 100, 8), 0);
+  (void)core_.end_cycle(0);
+  EXPECT_EQ(core_.running(), 1u);
+  core_.on_node_down(make_outage(0, 10, 500, 4), 10);
+  EXPECT_EQ(core_.running(), 0u);
+  EXPECT_EQ(core_.queued(), 1u);  // requeued, too wide to restart
+  const CycleDecision decision = core_.end_cycle(10);
+  ASSERT_EQ(decision.killed.size(), 1u);
+  EXPECT_EQ(decision.killed[0], 0u);
+  EXPECT_TRUE(decision.starts.empty());
+  EXPECT_EQ(core_.stats().kills, 1u);
+  // The killed span is consumed: the next cycle must not repeat it.
+  core_.on_wake(20);
+  EXPECT_TRUE(core_.end_cycle(20).killed.empty());
+}
+
+}  // namespace
+}  // namespace bfsim::core

@@ -1,0 +1,26 @@
+// bfsim_lint fixture: violations seeded in *failure-model* code. The
+// scoped layout policy must treat src/sim/ as deterministic-zone -- a
+// failure trace is data, never sampled during the run, so the model
+// may not consult entropy sources or wall clocks -- and the raw-time
+// check applies as everywhere (outage arithmetic must saturate). If
+// the zone list ever regresses, this file's findings vanish and the
+// test below fails.
+
+#include <chrono>
+#include <random>
+
+using Time = long long;
+
+unsigned draw_outage_seed() {
+  std::random_device entropy;  // line 15: flagged (entropy source)
+  return entropy();
+}
+
+Time stamp_outage() {
+  const auto now = std::chrono::system_clock::now();  // line 20: flagged
+  return now.time_since_epoch().count();
+}
+
+Time repair_deadline(Time down_at, Time duration) {
+  return down_at + duration;  // line 25: flagged (raw Time arithmetic)
+}

@@ -138,5 +138,26 @@ TEST(BfsimLint, ScopePolicyCoversTheServiceZone) {
   EXPECT_EQ(findings.size(), 3u) << dump(findings);
 }
 
+TEST(BfsimLint, ScopePolicyCoversTheFailureModel) {
+  // src/sim/ is deterministic-zone and the availability layer lives
+  // there (sim/failure.*): a failure trace is data, never sampled
+  // during the run, so the model may not read entropy sources or wall
+  // clocks, and outage arithmetic saturates like all Time math. The
+  // seeded fixture pins the zone: if src/sim/ ever drops off the list,
+  // its nondeterminism findings vanish and this test fails.
+  DriverOptions options;
+  options.root = BFSIM_LINT_FIXTURE_DIR;
+  options.files = {std::string{BFSIM_LINT_FIXTURE_DIR} +
+                   "/src/sim/bad_failure.cpp"};
+  options.scope = ScopePolicy::kAuto;
+  Driver driver{std::move(options)};
+  const auto findings = driver.run();
+  EXPECT_TRUE(has(findings, Check::kNondeterminism, 15)) << dump(findings);
+  EXPECT_TRUE(has(findings, Check::kNondeterminism, 20)) << dump(findings);
+  EXPECT_TRUE(has(findings, Check::kRawTimeArithmetic, 25))
+      << dump(findings);
+  EXPECT_EQ(findings.size(), 3u) << dump(findings);
+}
+
 }  // namespace
 }  // namespace bfsim::lint

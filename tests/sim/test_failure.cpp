@@ -1,0 +1,212 @@
+// The failure-model unit wall: trace validation (every rejection and
+// the sweep-line concurrency bound), requeue-policy naming, the seeded
+// generator's determinism contract, and the text format round trip.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "sim/failure.hpp"
+#include "util/error.hpp"
+
+namespace bfsim::sim {
+namespace {
+
+Outage make_outage(OutageId id, Time down_at, Time repair_at, int procs,
+                   int bb = 0) {
+  Outage outage;
+  outage.id = id;
+  outage.down_at = down_at;
+  outage.repair_at = repair_at;
+  outage.procs = procs;
+  outage.bb = bb;
+  return outage;
+}
+
+std::string validation_error(const FailureTrace& trace, int procs,
+                             int bb = 0) {
+  try {
+    validate_failure_trace(trace, procs, bb);
+    return "";
+  } catch (const std::invalid_argument& error) {
+    return error.what();
+  }
+}
+
+TEST(FailureTrace, EmptyTraceIsValid) {
+  EXPECT_EQ(validation_error({}, 8), "");
+}
+
+TEST(FailureTrace, AcceptsSequentialAndOverlappingWithinMachine) {
+  FailureTrace trace;
+  trace.outages.push_back(make_outage(0, 10, 20, 2));
+  trace.outages.push_back(make_outage(1, 15, 30, 3));  // overlaps 0
+  trace.outages.push_back(make_outage(2, 30, 40, 5));
+  EXPECT_EQ(validation_error(trace, 8), "");
+}
+
+TEST(FailureTrace, RejectsNonDenseIds) {
+  FailureTrace trace;
+  trace.outages.push_back(make_outage(1, 10, 20, 2));
+  const std::string what = validation_error(trace, 8);
+  EXPECT_EQ(what.rfind("failure-trace:", 0), 0u) << what;
+}
+
+TEST(FailureTrace, RejectsRepairAtOrBeforeDown) {
+  FailureTrace trace;
+  trace.outages.push_back(make_outage(0, 10, 10, 2));
+  EXPECT_NE(validation_error(trace, 8), "");
+}
+
+TEST(FailureTrace, RejectsNegativeDownTime) {
+  FailureTrace trace;
+  trace.outages.push_back(make_outage(0, -1, 10, 2));
+  EXPECT_NE(validation_error(trace, 8), "");
+}
+
+TEST(FailureTrace, RejectsZeroLossOnBothAxes) {
+  FailureTrace trace;
+  trace.outages.push_back(make_outage(0, 10, 20, 0, 0));
+  EXPECT_NE(validation_error(trace, 8), "");
+}
+
+TEST(FailureTrace, RejectsLossBeyondTheMachine) {
+  FailureTrace trace;
+  trace.outages.push_back(make_outage(0, 10, 20, 9));
+  EXPECT_NE(validation_error(trace, 8), "");
+  FailureTrace bb_trace;
+  bb_trace.outages.push_back(make_outage(0, 10, 20, 0, 100));
+  EXPECT_NE(validation_error(bb_trace, 8, 64), "");
+}
+
+TEST(FailureTrace, RejectsUnsortedRecords) {
+  FailureTrace trace;
+  trace.outages.push_back(make_outage(0, 20, 30, 1));
+  trace.outages.push_back(make_outage(1, 10, 15, 1));
+  EXPECT_NE(validation_error(trace, 8), "");
+}
+
+TEST(FailureTrace, RejectsConcurrentLossExceedingTheMachine) {
+  // Each outage alone fits; together on [15, 20) they take 9 of 8.
+  FailureTrace trace;
+  trace.outages.push_back(make_outage(0, 10, 20, 5));
+  trace.outages.push_back(make_outage(1, 15, 25, 4));
+  EXPECT_NE(validation_error(trace, 8), "");
+}
+
+TEST(FailureTrace, RepairFreesCapacityBeforeASameInstantDown) {
+  // The second outage begins exactly when the first repairs: the sweep
+  // line must order the repair first, matching the engine's
+  // finish < repair < down event order.
+  FailureTrace trace;
+  trace.outages.push_back(make_outage(0, 10, 20, 6));
+  trace.outages.push_back(make_outage(1, 20, 30, 6));
+  EXPECT_EQ(validation_error(trace, 8), "");
+}
+
+TEST(RequeuePolicy, StringsRoundTrip) {
+  EXPECT_EQ(to_string(RequeuePolicy::kResubmitFull), "full");
+  EXPECT_EQ(to_string(RequeuePolicy::kResubmitRemaining), "remaining");
+  EXPECT_EQ(requeue_policy_from_string("full"), RequeuePolicy::kResubmitFull);
+  EXPECT_EQ(requeue_policy_from_string("remaining"),
+            RequeuePolicy::kResubmitRemaining);
+  EXPECT_THROW((void)requeue_policy_from_string("Full"),
+               std::invalid_argument);
+  EXPECT_THROW((void)requeue_policy_from_string(""), std::invalid_argument);
+}
+
+TEST(GenerateFailures, SameSeedSameTrace) {
+  FailureModel model;
+  model.max_procs_lost = 4;
+  const FailureTrace a = generate_failures(model, 128, 0, 42);
+  const FailureTrace b = generate_failures(model, 128, 0, 42);
+  EXPECT_EQ(a, b);
+  ASSERT_FALSE(a.empty());
+}
+
+TEST(GenerateFailures, DifferentSeedsDiffer) {
+  FailureModel model;
+  model.max_procs_lost = 4;
+  const FailureTrace a = generate_failures(model, 128, 0, 1);
+  const FailureTrace b = generate_failures(model, 128, 0, 2);
+  EXPECT_NE(a, b);
+}
+
+TEST(GenerateFailures, ResultValidatesAndIsSequential) {
+  FailureModel model;
+  model.max_procs_lost = 8;
+  model.max_bb_lost = 16;
+  const FailureTrace trace = generate_failures(model, 64, 256, 7);
+  EXPECT_NO_THROW(validate_failure_trace(trace, 64, 256));
+  for (std::size_t i = 1; i < trace.outages.size(); ++i)
+    EXPECT_GE(trace.outages[i].down_at, trace.outages[i - 1].repair_at);
+  for (const Outage& outage : trace.outages) {
+    EXPECT_LT(outage.down_at, model.horizon);
+    EXPECT_GE(outage.procs + outage.bb, 1);
+  }
+}
+
+TEST(GenerateFailures, RejectsNonsensicalModels) {
+  FailureModel no_axis;
+  no_axis.max_procs_lost = 0;
+  no_axis.max_bb_lost = 0;
+  EXPECT_THROW((void)generate_failures(no_axis, 8, 0, 1),
+               std::invalid_argument);
+  FailureModel bad_mean;
+  bad_mean.mean_uptime = 0.0;
+  EXPECT_THROW((void)generate_failures(bad_mean, 8, 0, 1),
+               std::invalid_argument);
+  FailureModel bad_horizon;
+  bad_horizon.horizon = 0;
+  EXPECT_THROW((void)generate_failures(bad_horizon, 8, 0, 1),
+               std::invalid_argument);
+}
+
+TEST(FailureTraceText, WriteParseRoundTrips) {
+  FailureTrace trace;
+  trace.outages.push_back(make_outage(0, 10, 20, 2));
+  trace.outages.push_back(make_outage(1, 30, 45, 4, 16));
+  std::ostringstream out;
+  write_failure_trace(out, trace);
+  std::istringstream in{out.str()};
+  EXPECT_EQ(parse_failure_trace(in), trace);
+}
+
+TEST(FailureTraceText, CommentsAndBlankLinesAreIgnored) {
+  std::istringstream in{
+      "# maintenance window\n"
+      "\n"
+      "; scheduled\n"
+      "10 20 2\n"
+      "30 45 4 16\n"};
+  const FailureTrace trace = parse_failure_trace(in);
+  ASSERT_EQ(trace.size(), 2u);
+  EXPECT_EQ(trace.outages[0].id, 0u);
+  EXPECT_EQ(trace.outages[0].procs, 2);
+  EXPECT_EQ(trace.outages[1].id, 1u);
+  EXPECT_EQ(trace.outages[1].bb, 16);
+}
+
+TEST(FailureTraceText, MalformedLinesThrowWithThePrefix) {
+  const auto parse_error = [](const char* text) -> std::string {
+    std::istringstream in{text};
+    try {
+      (void)parse_failure_trace(in);
+      return "";
+    } catch (const util::ParseError& error) {
+      return error.what();
+    }
+  };
+  EXPECT_EQ(parse_error("10 20").rfind("failure-trace:", 0), 0u);
+  EXPECT_EQ(parse_error("10 20 2 16 99").rfind("failure-trace:", 0), 0u);
+  EXPECT_EQ(parse_error("ten 20 2").rfind("failure-trace:", 0), 0u);
+}
+
+TEST(FailureTraceText, MissingFileThrows) {
+  EXPECT_THROW((void)read_failure_trace_file("/nonexistent/outages.txt"),
+               util::ParseError);
+}
+
+}  // namespace
+}  // namespace bfsim::sim

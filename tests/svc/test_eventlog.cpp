@@ -37,12 +37,12 @@ TEST(EventLog, RoundTripsHelloAndFrames) {
   const std::string path = temp_path("roundtrip");
   {
     EventLogWriter writer{path};
-    writer.record_hello(R"({"type":"hello","v":2})");
+    writer.record_hello(R"({"type":"hello","v":3})");
     writer.record_batch(1, R"({"type":"events","seq":1})");
     writer.record_batch(2, R"({"type":"events","seq":2})");
   }
   const EventLogContents contents = read_event_log(path);
-  EXPECT_EQ(contents.hello, R"({"type":"hello","v":2})");
+  EXPECT_EQ(contents.hello, R"({"type":"hello","v":3})");
   ASSERT_EQ(contents.frames.size(), 2u);
   EXPECT_EQ(contents.frames[0].first, 1u);
   EXPECT_EQ(contents.frames[0].second, R"({"type":"events","seq":1})");
@@ -94,7 +94,7 @@ TEST(EventLog, RejectsAForeignFile) {
 
 TEST(EventLog, SessionRestoreRebuildsTheScheduler) {
   const std::string path = temp_path("restore");
-  const char* hello = R"({"type":"hello","v":2,"scheduler":"easy","procs":8})";
+  const char* hello = R"({"type":"hello","v":3,"scheduler":"easy","procs":8})";
   std::string reply2;
   {
     Session first{SessionOptions{path}};
@@ -129,7 +129,7 @@ TEST(EventLog, SessionRestoreRebuildsTheScheduler) {
   // And a config mismatch on resume is refused outright.
   Session third{SessionOptions{path}};
   const std::string refused = third.handle_line(
-      R"({"type":"hello","v":2,"scheduler":"fcfs","procs":8})");
+      R"({"type":"hello","v":3,"scheduler":"fcfs","procs":8})");
   EXPECT_EQ(parse_json(refused).find("reason")->as_string(),
             "hello-mismatch");
   std::remove(path.c_str());
@@ -274,7 +274,7 @@ TEST(EventLog, LogIsDurableLineByLine) {
   const std::string path = temp_path("durable");
   Session session{SessionOptions{path}};
   (void)session.handle_line(
-      R"({"type":"hello","v":2,"scheduler":"easy","procs":4})");
+      R"({"type":"hello","v":3,"scheduler":"easy","procs":4})");
   const std::string before = read_file(path);
   EXPECT_NE(before.find("bfsim-eventlog v1"), std::string::npos);
   EXPECT_NE(before.find("H\t"), std::string::npos);

@@ -1,0 +1,375 @@
+// The availability layer over the wire: v3 down/up event parsing and
+// its rejection slugs, the session's outage overlay (every core
+// contract mirrored at validation time so a bad frame is refused whole,
+// never half-applied), the killed/stats reply surfaces, the requeue
+// handshake knob, and the served availability differential -- a replay
+// with outages through the full JSON protocol must be byte-identical to
+// run_simulation with the same failure trace.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/simulation.hpp"
+#include "exp/scenario.hpp"
+#include "sim/failure.hpp"
+#include "sim/rng.hpp"
+#include "svc/client.hpp"
+#include "svc/protocol.hpp"
+#include "svc/session.hpp"
+#include "workload/transforms.hpp"
+
+namespace bfsim::svc {
+namespace {
+
+using core::PriorityPolicy;
+using core::SchedulerKind;
+using core::SimulationResult;
+
+std::string reply_type(const std::string& reply) {
+  const Json parsed = parse_json(reply);
+  const Json* type = parsed.find("type");
+  return type != nullptr && type->is_string() ? type->as_string() : "";
+}
+
+std::string error_reason(const std::string& reply) {
+  const Json parsed = parse_json(reply);
+  if (reply_type(reply) != "error") return "";
+  return parsed.find("reason")->as_string();
+}
+
+std::string parse_reason(const std::string& line) {
+  try {
+    (void)parse_request(line);
+    return "";
+  } catch (const ProtocolError& error) {
+    return error.reason();
+  }
+}
+
+// -- protocol surface ------------------------------------------------
+
+TEST(FailureProtocol, ParsesDownAndUpEvents) {
+  const Request request = parse_request(
+      R"({"type":"events","seq":1,"now":100,"events":[)"
+      R"({"kind":"up","outage":0},)"
+      R"({"kind":"down","outage":1,"repair":500,"procs":4,"bb":16}]})");
+  ASSERT_EQ(request.batch.events.size(), 2u);
+  EXPECT_EQ(request.batch.events[0].kind, EventKind::kRepair);
+  EXPECT_EQ(request.batch.events[0].outage.id, 0u);
+  const Event& down = request.batch.events[1];
+  EXPECT_EQ(down.kind, EventKind::kDown);
+  EXPECT_EQ(down.outage.id, 1u);
+  EXPECT_EQ(down.outage.repair_at, 500);
+  EXPECT_EQ(down.outage.procs, 4);
+  EXPECT_EQ(down.outage.bb, 16);
+}
+
+TEST(FailureProtocol, DownEventBbDefaultsToZero) {
+  const Request request = parse_request(
+      R"({"type":"events","seq":1,"now":0,"events":[)"
+      R"({"kind":"down","outage":0,"repair":50,"procs":2}]})");
+  EXPECT_EQ(request.batch.events[0].outage.bb, 0);
+}
+
+TEST(FailureProtocol, HostileDownAndUpFieldsAreRejected) {
+  // Missing outage id.
+  EXPECT_EQ(parse_reason(R"({"type":"events","seq":1,"now":0,"events":[)"
+                         R"({"kind":"up"}]})"),
+            "missing-field");
+  // Out-of-range outage id (the core's tracking bound).
+  EXPECT_EQ(parse_reason(R"({"type":"events","seq":1,"now":0,"events":[)"
+                         R"({"kind":"up","outage":99999999}]})"),
+            "bad-value");
+  // Missing repair / procs on a down event.
+  EXPECT_EQ(parse_reason(R"({"type":"events","seq":1,"now":0,"events":[)"
+                         R"({"kind":"down","outage":0,"procs":2}]})"),
+            "missing-field");
+  EXPECT_EQ(parse_reason(R"({"type":"events","seq":1,"now":0,"events":[)"
+                         R"({"kind":"down","outage":0,"repair":50}]})"),
+            "missing-field");
+  // Negative losses, and a down that loses nothing.
+  EXPECT_EQ(parse_reason(R"({"type":"events","seq":1,"now":0,"events":[)"
+                         R"({"kind":"down","outage":0,"repair":50,)"
+                         R"("procs":-1}]})"),
+            "bad-value");
+  EXPECT_EQ(parse_reason(R"({"type":"events","seq":1,"now":0,"events":[)"
+                         R"({"kind":"down","outage":0,"repair":50,)"
+                         R"("procs":2,"bb":-1}]})"),
+            "bad-value");
+  EXPECT_EQ(parse_reason(R"({"type":"events","seq":1,"now":0,"events":[)"
+                         R"({"kind":"down","outage":0,"repair":50,)"
+                         R"("procs":0,"bb":0}]})"),
+            "bad-value");
+}
+
+TEST(FailureProtocol, HelloParsesTheRequeueKnob) {
+  const Request full = parse_request(
+      R"({"type":"hello","v":3,"scheduler":"easy","procs":8})");
+  EXPECT_EQ(full.hello.requeue, sim::RequeuePolicy::kResubmitFull);
+  const Request remaining = parse_request(
+      R"({"type":"hello","v":3,"scheduler":"easy","procs":8,)"
+      R"("requeue":"remaining"})");
+  EXPECT_EQ(remaining.hello.requeue, sim::RequeuePolicy::kResubmitRemaining);
+  EXPECT_EQ(parse_reason(R"({"type":"hello","v":3,"scheduler":"easy",)"
+                         R"("procs":8,"requeue":"sometimes"})"),
+            "bad-value");
+  EXPECT_EQ(parse_reason(R"({"type":"hello","v":3,"scheduler":"easy",)"
+                         R"("procs":8,"requeue":7})"),
+            "bad-type");
+}
+
+// -- session state machine -------------------------------------------
+
+constexpr const char* kHello =
+    R"({"type":"hello","v":3,"scheduler":"easy","procs":8})";
+
+std::string batch_frame(std::uint64_t seq, core::Time now,
+                        const std::string& events) {
+  return R"({"type":"events","seq":)" + std::to_string(seq) +
+         R"(,"now":)" + std::to_string(now) + R"(,"events":[)" + events +
+         "]}";
+}
+
+TEST(FailureSession, OutageLifecycleOverTheWire) {
+  Session session;
+  ASSERT_EQ(reply_type(session.handle_line(kHello)), "welcome");
+  // An 8-wide job fills the machine.
+  const std::string started = session.handle_line(batch_frame(
+      1, 0,
+      R"({"kind":"submit","id":0,"submit":0,"estimate":100,"procs":8})"));
+  ASSERT_EQ(reply_type(started), "decisions");
+  // No outage yet: no "killed" key at all (byte-compatible with v2).
+  EXPECT_EQ(started.find("killed"), std::string::npos);
+  // The outage forces the job out; the reply reports the victim.
+  const std::string killed = session.handle_line(batch_frame(
+      2, 10, R"({"kind":"down","outage":0,"repair":50,"procs":4})"));
+  ASSERT_EQ(reply_type(killed), "decisions");
+  const Json parsed = parse_json(killed);
+  const Json* victims = parsed.find("killed");
+  ASSERT_NE(victims, nullptr);
+  ASSERT_EQ(victims->as_array().size(), 1u);
+  EXPECT_EQ(victims->as_array()[0].as_int(), 0);
+  // Repair at the declared instant; the requeued job restarts.
+  const std::string repaired = session.handle_line(
+      batch_frame(3, 50, R"({"kind":"up","outage":0})"));
+  ASSERT_EQ(reply_type(repaired), "decisions");
+  const Json restart = parse_json(repaired);
+  ASSERT_EQ(restart.find("starts")->as_array().size(), 1u);
+  // Stats surface the availability counters.
+  const std::string stats = session.handle_line(R"({"type":"stats"})");
+  const Json stat = parse_json(stats);
+  EXPECT_EQ(stat.find("outages")->as_int(), 1);
+  EXPECT_EQ(stat.find("repairs")->as_int(), 1);
+  EXPECT_EQ(stat.find("kills")->as_int(), 1);
+}
+
+TEST(FailureSession, ValidationRejectsContractBreakingOutageFrames) {
+  Session session;
+  ASSERT_EQ(reply_type(session.handle_line(kHello)), "welcome");
+  // Repair of an outage that does not exist.
+  EXPECT_EQ(error_reason(session.handle_line(
+                batch_frame(1, 0, R"({"kind":"up","outage":0})"))),
+            "bad-event");
+  // A down wider than the machine.
+  EXPECT_EQ(error_reason(session.handle_line(batch_frame(
+                1, 0,
+                R"({"kind":"down","outage":0,"repair":50,"procs":9})"))),
+            "bad-event");
+  // Repair at-or-before the batch instant.
+  EXPECT_EQ(error_reason(session.handle_line(batch_frame(
+                1, 10,
+                R"({"kind":"down","outage":0,"repair":10,"procs":2})"))),
+            "bad-event");
+  // Every rejection left the session clean: seq 1 still opens.
+  const std::string accepted = session.handle_line(batch_frame(
+      1, 10, R"({"kind":"down","outage":0,"repair":50,"procs":2})"));
+  EXPECT_EQ(reply_type(accepted), "decisions");
+  // The same outage id delivered again.
+  EXPECT_EQ(error_reason(session.handle_line(batch_frame(
+                2, 20,
+                R"({"kind":"down","outage":0,"repair":90,"procs":1})"))),
+            "bad-event");
+  // Two downs in one batch exceeding the still-up machine together.
+  EXPECT_EQ(error_reason(session.handle_line(batch_frame(
+                2, 20,
+                R"({"kind":"down","outage":1,"repair":90,"procs":4},)"
+                R"({"kind":"down","outage":2,"repair":90,"procs":3})"))),
+            "bad-event");
+  // Repair at the wrong instant (the trace said t=50).
+  EXPECT_EQ(error_reason(session.handle_line(
+                batch_frame(2, 20, R"({"kind":"up","outage":0})"))),
+            "bad-event");
+  // Events out of order: a down may not follow a submit.
+  EXPECT_EQ(
+      error_reason(session.handle_line(batch_frame(
+          2, 20,
+          R"({"kind":"submit","id":0,"submit":20,"estimate":10,"procs":1},)"
+          R"({"kind":"down","outage":1,"repair":90,"procs":1})"))),
+      "out-of-order");
+  // The session survived it all: a clean repair at t=50 applies.
+  EXPECT_EQ(reply_type(session.handle_line(
+                batch_frame(2, 50, R"({"kind":"up","outage":0})"))),
+            "decisions");
+}
+
+TEST(FailureSession, RequeuePolicyIsPartOfTheSessionIdentity) {
+  Session session;
+  ASSERT_EQ(reply_type(session.handle_line(kHello)), "welcome");
+  // Re-handshake with the same implicit policy: idempotent.
+  EXPECT_EQ(reply_type(session.handle_line(
+                R"({"type":"hello","v":3,"scheduler":"easy","procs":8,)"
+                R"("requeue":"full"})")),
+            "welcome");
+  // A different requeue policy is a different session.
+  EXPECT_EQ(error_reason(session.handle_line(
+                R"({"type":"hello","v":3,"scheduler":"easy","procs":8,)"
+                R"("requeue":"remaining"})")),
+            "hello-mismatch");
+}
+
+// -- served availability differential --------------------------------
+
+constexpr std::size_t kJobs = 200;
+
+const SchedulerKind kAllKinds[] = {
+    SchedulerKind::Fcfs,         SchedulerKind::Easy,
+    SchedulerKind::Conservative, SchedulerKind::KReservation,
+    SchedulerKind::Selective,    SchedulerKind::Slack,
+    SchedulerKind::Plan,
+};
+
+workload::Trace build_trace(double factor, double cancel_fraction,
+                            std::uint64_t seed) {
+  exp::Scenario scenario;
+  scenario.trace = exp::TraceKind::Sdsc;
+  scenario.jobs = kJobs;
+  scenario.load = exp::kHighLoad;
+  scenario.estimates = {.regime = exp::EstimateRegime::Systematic,
+                        .factor = factor};
+  scenario.seed = seed;
+  workload::Trace trace = exp::build_workload(scenario);
+  if (cancel_fraction > 0.0) {
+    sim::Rng rng{seed * 977 + 13};
+    workload::apply_cancellations(trace, cancel_fraction, /*patience=*/2.0,
+                                  rng);
+  }
+  return trace;
+}
+
+sim::FailureTrace build_failures(int procs, std::uint64_t seed) {
+  sim::FailureModel model;
+  model.mean_uptime = 6.0 * static_cast<double>(sim::kHour);
+  model.mean_repair = 1.0 * static_cast<double>(sim::kHour);
+  model.max_procs_lost = procs / 4;
+  return generate_failures(model, procs, 0, seed);
+}
+
+void expect_identical(const SimulationResult& served,
+                      const SimulationResult& local) {
+  ASSERT_EQ(served.outcomes.size(), local.outcomes.size());
+  for (std::size_t i = 0; i < served.outcomes.size(); ++i) {
+    SCOPED_TRACE("job " + std::to_string(i));
+    EXPECT_EQ(served.outcomes[i].start, local.outcomes[i].start);
+    EXPECT_EQ(served.outcomes[i].end, local.outcomes[i].end);
+    EXPECT_EQ(served.outcomes[i].killed, local.outcomes[i].killed);
+    EXPECT_EQ(served.outcomes[i].cancelled, local.outcomes[i].cancelled);
+    EXPECT_EQ(served.outcomes[i].requeues, local.outcomes[i].requeues);
+    EXPECT_EQ(served.outcomes[i].requeue_wait,
+              local.outcomes[i].requeue_wait);
+  }
+  EXPECT_EQ(served.makespan, local.makespan);
+  EXPECT_EQ(served.events, local.events);
+  EXPECT_EQ(served.passes, local.passes);
+  EXPECT_EQ(served.passes_skipped, local.passes_skipped);
+  EXPECT_EQ(served.wakeups, local.wakeups);
+  EXPECT_EQ(served.max_queue, local.max_queue);
+  EXPECT_EQ(served.outages, local.outages);
+  EXPECT_EQ(served.repairs, local.repairs);
+  EXPECT_EQ(served.kills, local.kills);
+}
+
+TEST(ServedFailureDifferential, OutageReplayMatchesTheInProcessEngine) {
+  const int procs = exp::machine_procs(exp::TraceKind::Sdsc);
+  const workload::Trace trace = build_trace(2.0, 0.1, 3);
+  const sim::FailureTrace failures = build_failures(procs, 11);
+  ASSERT_FALSE(failures.empty());
+  std::uint64_t total_kills = 0;
+  for (const SchedulerKind kind : kAllKinds) {
+    for (const sim::RequeuePolicy policy :
+         {sim::RequeuePolicy::kResubmitFull,
+          sim::RequeuePolicy::kResubmitRemaining}) {
+      SCOPED_TRACE(to_string(kind) + " requeue=" + sim::to_string(policy));
+      HelloRequest hello;
+      hello.kind = kind;
+      hello.config = core::SchedulerConfig{procs, PriorityPolicy::Fcfs};
+      hello.requeue = policy;
+      Session session;
+      LocalChannel channel{session};
+      const SimulationResult served =
+          served_run(trace, channel, hello, &failures);
+      EXPECT_EQ(session.report().rejected, 0u);
+      core::SimulationOptions options;
+      options.validate = true;
+      options.failures = &failures;
+      options.requeue = policy;
+      const SimulationResult local = core::run_simulation(
+          trace, kind, hello.config, hello.extras, options);
+      expect_identical(served, local);
+      total_kills += served.kills;
+    }
+  }
+  EXPECT_GT(total_kills, 0u);
+}
+
+TEST(ServedFailureDifferential, EmptyFailureTraceIsByteInvisibleServed) {
+  const int procs = exp::machine_procs(exp::TraceKind::Sdsc);
+  const workload::Trace trace = build_trace(1.0, 0.0, 1);
+  const sim::FailureTrace empty;
+  for (const SchedulerKind kind : kAllKinds) {
+    SCOPED_TRACE(to_string(kind));
+    HelloRequest hello;
+    hello.kind = kind;
+    hello.config = core::SchedulerConfig{procs, PriorityPolicy::Fcfs};
+    Session plain_session;
+    LocalChannel plain_channel{plain_session};
+    const SimulationResult baseline = served_run(trace, plain_channel, hello);
+    Session gated_session;
+    LocalChannel gated_channel{gated_session};
+    const SimulationResult gated =
+        served_run(trace, gated_channel, hello, &empty);
+    expect_identical(gated, baseline);
+  }
+}
+
+TEST(ServedFailureDifferential, AuditedOutageSessionStaysGreen) {
+  // The daemon-side auditor observes kills, requeues and the outage
+  // timeline through the seam; it must stay silent and change nothing.
+  const int procs = exp::machine_procs(exp::TraceKind::Sdsc);
+  const workload::Trace trace = build_trace(2.0, 0.0, 7);
+  const sim::FailureTrace failures = build_failures(procs, 5);
+  for (const SchedulerKind kind : kAllKinds) {
+    SCOPED_TRACE(to_string(kind));
+    HelloRequest hello;
+    hello.kind = kind;
+    hello.config = core::SchedulerConfig{procs, PriorityPolicy::Fcfs};
+    hello.audit = true;
+    hello.requeue = sim::RequeuePolicy::kResubmitRemaining;
+    Session session;
+    LocalChannel channel{session};
+    const SimulationResult served =
+        served_run(trace, channel, hello, &failures);
+    EXPECT_EQ(session.report().rejected, 0u);
+    core::SimulationOptions options;
+    options.validate = true;
+    options.audit = true;
+    options.failures = &failures;
+    options.requeue = hello.requeue;
+    const SimulationResult local = core::run_simulation(
+        trace, kind, hello.config, hello.extras, options);
+    expect_identical(served, local);
+  }
+}
+
+}  // namespace
+}  // namespace bfsim::svc

@@ -22,7 +22,7 @@ std::string reason_of(const std::string& line) {
 
 TEST(Protocol, ParsesHelloWithDefaults) {
   const Request request = parse_request(
-      R"({"type":"hello","v":2,"scheduler":"easy","procs":128})");
+      R"({"type":"hello","v":3,"scheduler":"easy","procs":128})");
   ASSERT_EQ(request.type, Request::Type::kHello);
   EXPECT_EQ(request.hello.kind, core::SchedulerKind::Easy);
   EXPECT_EQ(request.hello.config.procs, 128);
@@ -33,7 +33,7 @@ TEST(Protocol, ParsesHelloWithDefaults) {
 
 TEST(Protocol, ParsesHelloWithEveryKnob) {
   const Request request = parse_request(
-      R"({"type":"hello","v":2,"scheduler":"kres","procs":430,)"
+      R"({"type":"hello","v":3,"scheduler":"kres","procs":430,)"
       R"("priority":"xfactor","audit":true,"reservation_depth":8,)"
       R"("xfactor_threshold":3.5,"selective_adaptive":true,)"
       R"("slack_factor":1.5})");
@@ -82,9 +82,9 @@ TEST(Protocol, RejectionSlugs) {
   EXPECT_EQ(reason_of(R"({"type":"hello","v":1,"scheduler":"easy","procs":4})"),
             "bad-version");
   EXPECT_EQ(
-      reason_of(R"({"type":"hello","v":2,"scheduler":"magic","procs":4})"),
+      reason_of(R"({"type":"hello","v":3,"scheduler":"magic","procs":4})"),
       "bad-value");
-  EXPECT_EQ(reason_of(R"({"type":"hello","v":2,"scheduler":"easy","procs":0})"),
+  EXPECT_EQ(reason_of(R"({"type":"hello","v":3,"scheduler":"easy","procs":0})"),
             "bad-value");
   EXPECT_EQ(reason_of(R"({"type":"events","seq":0,"now":1,"events":[]})"),
             "bad-value");
@@ -118,7 +118,7 @@ TEST(Protocol, ParsesBurstBufferFields) {
   // v2 extension: hello carries the machine's buffer capacity, submit
   // events carry the per-job demand. Both default to zero when absent.
   const Request hello = parse_request(
-      R"({"type":"hello","v":2,"scheduler":"plan","procs":128,)"
+      R"({"type":"hello","v":3,"scheduler":"plan","procs":128,)"
       R"("burst_buffer":1024})");
   EXPECT_EQ(hello.hello.kind, core::SchedulerKind::Plan);
   EXPECT_EQ(hello.hello.config.burst_buffer, 1024);
@@ -132,7 +132,7 @@ TEST(Protocol, ParsesBurstBufferFields) {
 
 TEST(Protocol, BurstBufferDefaultsToZeroWhenAbsent) {
   const Request hello = parse_request(
-      R"({"type":"hello","v":2,"scheduler":"easy","procs":128})");
+      R"({"type":"hello","v":3,"scheduler":"easy","procs":128})");
   EXPECT_EQ(hello.hello.config.burst_buffer, 0);
   const Request events = parse_request(
       R"({"type":"events","seq":1,"now":0,"events":[)"
@@ -141,13 +141,13 @@ TEST(Protocol, BurstBufferDefaultsToZeroWhenAbsent) {
 }
 
 TEST(Protocol, HostileBurstBufferFieldsAreRejected) {
-  EXPECT_EQ(reason_of(R"({"type":"hello","v":2,"scheduler":"easy",)"
+  EXPECT_EQ(reason_of(R"({"type":"hello","v":3,"scheduler":"easy",)"
                       R"("procs":4,"burst_buffer":-1})"),
             "bad-value");
-  EXPECT_EQ(reason_of(R"({"type":"hello","v":2,"scheduler":"easy",)"
+  EXPECT_EQ(reason_of(R"({"type":"hello","v":3,"scheduler":"easy",)"
                       R"("procs":4,"burst_buffer":4294967296})"),
             "bad-value");  // > INT_MAX: would truncate
-  EXPECT_EQ(reason_of(R"({"type":"hello","v":2,"scheduler":"easy",)"
+  EXPECT_EQ(reason_of(R"({"type":"hello","v":3,"scheduler":"easy",)"
                       R"("procs":4,"burst_buffer":"lots"})"),
             "bad-type");
   EXPECT_EQ(reason_of(R"({"type":"events","seq":1,"now":0,"events":[)"
@@ -162,7 +162,7 @@ TEST(Protocol, HostileBurstBufferFieldsAreRejected) {
 
 TEST(Protocol, ReplyBuildersAreByteStable) {
   EXPECT_EQ(welcome_reply("easy-fcfs", 7),
-            R"({"type":"welcome","v":2,"scheduler":"easy-fcfs",)"
+            R"({"type":"welcome","v":3,"scheduler":"easy-fcfs",)"
             R"("resumed_seq":7})");
   core::CycleDecision decision;
   std::vector<workload::JobId> ids{4, 9};
@@ -195,22 +195,30 @@ TEST(Protocol, DecisionReplyRoundTrips) {
   sent.starts = ids;
   sent.next_wakeup = 777;
   sent.pass_ran = true;
+  std::vector<workload::JobId> killed_ids{7};
+  sent.killed = killed_ids;
   std::vector<workload::JobId> storage;
-  const core::CycleDecision got =
-      parse_decision_reply(decision_reply(9, 123, sent), 9, storage);
+  std::vector<workload::JobId> kill_storage;
+  const core::CycleDecision got = parse_decision_reply(
+      decision_reply(9, 123, sent), 9, storage, kill_storage);
   EXPECT_TRUE(got.pass_ran);
   EXPECT_EQ(got.next_wakeup, 777);
   ASSERT_EQ(got.starts.size(), 3u);
   EXPECT_EQ(got.starts[1], 2u);
+  ASSERT_EQ(got.killed.size(), 1u);
+  EXPECT_EQ(got.killed[0], 7u);
 }
 
 TEST(Protocol, DecisionReplyRejectsSeqMismatchAndErrors) {
   std::vector<workload::JobId> storage;
+  std::vector<workload::JobId> kill_storage;
   core::CycleDecision decision;
   const std::string line = decision_reply(4, 10, decision);
-  EXPECT_THROW((void)parse_decision_reply(line, 5, storage), ProtocolError);
+  EXPECT_THROW((void)parse_decision_reply(line, 5, storage, kill_storage),
+               ProtocolError);
   try {
-    (void)parse_decision_reply(error_reply("bad-seq", "boom"), 1, storage);
+    (void)parse_decision_reply(error_reply("bad-seq", "boom"), 1, storage,
+                               kill_storage);
     FAIL() << "expected ProtocolError";
   } catch (const ProtocolError& error) {
     EXPECT_EQ(error.reason(), "server-error");

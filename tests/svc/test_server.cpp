@@ -161,7 +161,7 @@ std::string type_of(const std::string& reply) {
 TEST(ServeConnection, FullConversationOverPipes) {
   Session session;
   PipeServer server{session};
-  server.send(R"({"type":"hello","v":2,"scheduler":"easy","procs":8})");
+  server.send(R"({"type":"hello","v":3,"scheduler":"easy","procs":8})");
   EXPECT_EQ(type_of(server.read_reply()), "welcome");
   server.send(
       R"({"type":"events","seq":1,"now":0,"events":[)"
@@ -180,7 +180,7 @@ TEST(ServeConnection, DroppedConnectionKeepsTheSession) {
   Session session;
   {
     PipeServer server{session};
-    server.send(R"({"type":"hello","v":2,"scheduler":"easy","procs":8})");
+    server.send(R"({"type":"hello","v":3,"scheduler":"easy","procs":8})");
     EXPECT_EQ(type_of(server.read_reply()), "welcome");
     server.send(
         R"({"type":"events","seq":1,"now":0,"events":[)"
@@ -192,7 +192,7 @@ TEST(ServeConnection, DroppedConnectionKeepsTheSession) {
   EXPECT_FALSE(session.closed());
   // A second connection resumes the same live session.
   PipeServer server{session};
-  server.send(R"({"type":"hello","v":2,"scheduler":"easy","procs":8})");
+  server.send(R"({"type":"hello","v":3,"scheduler":"easy","procs":8})");
   const std::string welcome = server.read_reply();
   EXPECT_EQ(type_of(welcome), "welcome");
   EXPECT_NE(welcome.find("\"resumed_seq\":1"), std::string::npos);
@@ -204,7 +204,7 @@ TEST(ServeConnection, DroppedConnectionKeepsTheSession) {
 TEST(ServeConnection, OversizedLineIsQuarantinedNotFatal) {
   Session session;
   PipeServer server{session};
-  server.send(R"({"type":"hello","v":2,"scheduler":"easy","procs":8})");
+  server.send(R"({"type":"hello","v":3,"scheduler":"easy","procs":8})");
   EXPECT_EQ(type_of(server.read_reply()), "welcome");
   // A frame far over the cap streams in; the reader keeps only enough
   // to classify it and discards the rest, so memory stays bounded.
@@ -230,7 +230,7 @@ TEST(ServeConnection, BlankAndCarriageReturnLinesAreIgnored) {
   PipeServer server{session};
   server.send_raw("\n\r\n");
   server.send_raw(
-      "{\"type\":\"hello\",\"v\":2,\"scheduler\":\"easy\",\"procs\":8}\r\n");
+      "{\"type\":\"hello\",\"v\":3,\"scheduler\":\"easy\",\"procs\":8}\r\n");
   EXPECT_EQ(type_of(server.read_reply()), "welcome");
   server.send(R"({"type":"bye"})");
   EXPECT_EQ(type_of(server.read_reply()), "bye");
@@ -245,7 +245,7 @@ TEST(ServeConnection, BackpressureBoundsTheInboundQueue) {
   // and every frame must still be answered in order.
   Session session;
   PipeServer server{session, /*queue_capacity=*/2};
-  server.send(R"({"type":"hello","v":2,"scheduler":"easy","procs":8})");
+  server.send(R"({"type":"hello","v":3,"scheduler":"easy","procs":8})");
   constexpr int kFrames = 200;
   std::thread writer{[&] {
     for (int i = 0; i < kFrames; ++i)

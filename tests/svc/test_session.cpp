@@ -26,7 +26,7 @@ std::string error_reason(const std::string& reply) {
 }
 
 constexpr const char* kHello =
-    R"({"type":"hello","v":2,"scheduler":"easy","procs":8})";
+    R"({"type":"hello","v":3,"scheduler":"easy","procs":8})";
 
 std::string submit_batch(std::uint64_t seq, core::Time now,
                          workload::JobId id, core::Time estimate, int procs) {
@@ -78,7 +78,7 @@ TEST(Session, RepeatedHelloIsIdempotentForTheSameConfig) {
   EXPECT_EQ(parse_json(again).find("resumed_seq")->as_int(), 1);
   // A different config is a different session: refused.
   EXPECT_EQ(error_reason(session.handle_line(
-                R"({"type":"hello","v":2,"scheduler":"fcfs","procs":8})")),
+                R"({"type":"hello","v":3,"scheduler":"fcfs","procs":8})")),
             "hello-mismatch");
 }
 
@@ -87,10 +87,10 @@ TEST(Session, BurstBufferCapacityIsPartOfTheSessionIdentity) {
   // machine: refused, exactly like a procs mismatch.
   Session session;
   (void)session.handle_line(
-      R"({"type":"hello","v":2,"scheduler":"easy","procs":8,)"
+      R"({"type":"hello","v":3,"scheduler":"easy","procs":8,)"
       R"("burst_buffer":100})");
   EXPECT_EQ(error_reason(session.handle_line(
-                R"({"type":"hello","v":2,"scheduler":"easy","procs":8,)"
+                R"({"type":"hello","v":3,"scheduler":"easy","procs":8,)"
                 R"("burst_buffer":200})")),
             "hello-mismatch");
 }
@@ -98,7 +98,7 @@ TEST(Session, BurstBufferCapacityIsPartOfTheSessionIdentity) {
 TEST(Session, OverCapacityBurstBufferDemandsAreBadEvents) {
   Session session;
   (void)session.handle_line(
-      R"({"type":"hello","v":2,"scheduler":"easy","procs":8,)"
+      R"({"type":"hello","v":3,"scheduler":"easy","procs":8,)"
       R"("burst_buffer":100})");
   // Fits both axes: accepted.
   EXPECT_EQ(reply_type(session.handle_line(
@@ -276,7 +276,7 @@ TEST(Session, WakeFramesDriveReservationsAtEventlessInstants) {
   // honouring it with a wake frame at that instant starts the waiter.
   Session session;
   (void)session.handle_line(
-      R"({"type":"hello","v":2,"scheduler":"conservative","procs":4})");
+      R"({"type":"hello","v":3,"scheduler":"conservative","procs":4})");
   (void)session.handle_line(submit_batch(1, 0, 0, 100, 4));  // occupies all
   const std::string blocked = session.handle_line(submit_batch(2, 1, 1, 50, 4));
   const Json decision = parse_json(blocked);

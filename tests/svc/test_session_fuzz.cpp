@@ -181,7 +181,7 @@ TEST(SessionFuzz, PureGarbageStormNeverCrashes) {
   }
   EXPECT_EQ(session.report().rejected, 5000u);
   const std::string welcome = session.handle_line(
-      R"({"type":"hello","v":2,"scheduler":"easy","procs":8})");
+      R"({"type":"hello","v":3,"scheduler":"easy","procs":8})");
   EXPECT_NE(welcome.find("\"type\":\"welcome\""), std::string::npos);
 }
 

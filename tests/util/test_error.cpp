@@ -12,7 +12,7 @@ TEST(FailureKind, ToStringFromStringRoundTrip) {
   for (const FailureKind kind :
        {FailureKind::ParseError, FailureKind::AuditViolation,
         FailureKind::Timeout, FailureKind::ResourceExhausted,
-        FailureKind::Internal})
+        FailureKind::Internal, FailureKind::OutageViolation})
     EXPECT_EQ(failure_kind_from_string(to_string(kind)), kind);
 }
 
@@ -36,6 +36,35 @@ TEST(ClassifyFailure, AuditorAndValidatorMessagesAreAuditViolations) {
   EXPECT_EQ(classify_failure(std::runtime_error{
                 "run_simulation: invalid schedule: jobs overlap"}),
             FailureKind::AuditViolation);
+}
+
+TEST(ClassifyFailure, OutageContractMessagesAreOutageViolations) {
+  // The decision core's node-down/node-up rejections (DecisionError, a
+  // std::logic_error) classify by their stable message markers.
+  EXPECT_EQ(classify_failure(std::logic_error{
+                "DecisionCore::on_node_down: outage 3 takes more "
+                "processors than the still-up machine"}),
+            FailureKind::OutageViolation);
+  EXPECT_EQ(classify_failure(std::logic_error{
+                "DecisionCore::on_node_up: outage 3 is not active"}),
+            FailureKind::OutageViolation);
+  // The marker must lead the message; mid-message mentions stay in the
+  // bucket their own leading marker picks.
+  EXPECT_EQ(classify_failure(std::runtime_error{
+                "sweep cell died inside DecisionCore::on_node_down"}),
+            FailureKind::Internal);
+  // An outage rejection whose detail mentions auditor vocabulary is
+  // still an outage violation, not an audit one.
+  EXPECT_EQ(classify_failure(std::logic_error{
+                "DecisionCore::on_node_down: schedule audit would fail"}),
+            FailureKind::OutageViolation);
+}
+
+TEST(ClassifyFailure, FailureTracePrefixIsAParseError) {
+  EXPECT_EQ(classify_failure(std::runtime_error{
+                "failure-trace: outage 2 repairs at-or-before its down "
+                "instant"}),
+            FailureKind::ParseError);
 }
 
 TEST(ClassifyFailure, SwfPrefixIsAParseError) {

@@ -252,6 +252,63 @@ TEST(Swf, LenientModeQuarantinesAndCountsPerReason) {
   util::reset_log_limits();
 }
 
+// Status-column fixture: one completed (1), one failed (0), one
+// cancelled (5), one unknown (-1) record, all otherwise well-formed.
+constexpr const char* kStatusMix =
+    "1 0 10 100 4 -1 -1 4 200 -1 1 12 3 -1 1 -1 -1 -1\n"
+    "2 10 10 100 4 -1 -1 4 200 -1 0 12 3 -1 1 -1 -1 -1\n"
+    "3 20 10 100 4 -1 -1 4 200 -1 5 12 3 -1 1 -1 -1 -1\n"
+    "4 30 10 100 4 -1 -1 4 200 -1 -1 12 3 -1 1 -1 -1 -1\n";
+
+TEST(Swf, StatusIgnoreModeKeepsEveryRecordButCountsStatuses) {
+  std::istringstream in{kStatusMix};
+  SwfParseReport report;
+  const SwfFile file = read_swf(in, {}, &report);
+  ASSERT_EQ(file.records.size(), 4u);
+  EXPECT_TRUE(report.clean());
+  EXPECT_EQ(report.status_completed, 1u);
+  EXPECT_EQ(report.status_failed, 1u);
+  EXPECT_EQ(report.status_cancelled, 1u);
+}
+
+TEST(Swf, StatusQuarantineModeDropsFailedAndCancelledRecords) {
+  util::reset_log_limits();
+  std::istringstream in{kStatusMix};
+  SwfParseReport report;
+  const SwfFile file =
+      read_swf(in, {.status = SwfStatusMode::kQuarantine}, &report);
+  // Completed and unknown-status records survive; a policy filter must
+  // not drop records whose status the archive simply failed to log.
+  ASSERT_EQ(file.records.size(), 2u);
+  EXPECT_EQ(file.records[0].job_number, 1);
+  EXPECT_EQ(file.records[1].job_number, 4);
+  EXPECT_EQ(report.parsed, 2u);
+  EXPECT_EQ(report.quarantined, 2u);
+  EXPECT_EQ(report.reasons.at("status-failed"), 1u);
+  EXPECT_EQ(report.reasons.at("status-cancelled"), 1u);
+  // The tallies still count what was seen, not what was kept.
+  EXPECT_EQ(report.status_completed, 1u);
+  EXPECT_EQ(report.status_failed, 1u);
+  EXPECT_EQ(report.status_cancelled, 1u);
+  util::reset_log_limits();
+}
+
+TEST(Swf, StatusQuarantineWorksInStrictModeWithoutThrowing) {
+  // A non-1 status is well-formed data: strict mode filters it like
+  // lenient mode does instead of treating it as corruption.
+  util::reset_log_limits();
+  std::istringstream in{kStatusMix};
+  SwfParseReport report;
+  SwfParseOptions options;
+  options.lenient = false;
+  options.status = SwfStatusMode::kQuarantine;
+  EXPECT_NO_THROW({
+    const SwfFile file = read_swf(in, options, &report);
+    EXPECT_EQ(file.records.size(), 2u);
+  });
+  util::reset_log_limits();
+}
+
 TEST(Swf, LenientModeAgreesWithStrictOnCleanInput) {
   std::istringstream strict_in{kSample};
   std::istringstream lenient_in{kSample};

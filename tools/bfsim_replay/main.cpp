@@ -22,6 +22,7 @@
 #include "exp/scenario.hpp"
 #include "metrics/aggregate.hpp"
 #include "metrics/report.hpp"
+#include "sim/failure.hpp"
 #include "sim/rng.hpp"
 #include "svc/client.hpp"
 #include "workload/swf.hpp"
@@ -54,6 +55,10 @@ void usage() {
       "  --procs N             machine size override\n"
       "  --burst-buffer N      machine burst-buffer capacity in GB "
       "(default 0)\n"
+      "  --failure-trace FILE  inject node outages from a failure-trace "
+      "file\n"
+      "  --requeue POLICY      kill-requeue policy: full, remaining "
+      "(default full)\n"
       "  --audit               daemon-side schedule auditor\n"
       "  --verify              diff against the in-process engine\n"
       "  --json                print the run's metrics as JSON\n");
@@ -66,6 +71,8 @@ struct Args {
   double cancel_fraction = 0.0;
   int procs_override = 0;
   int burst_buffer = 0;
+  std::string failure_trace;
+  bfsim::sim::RequeuePolicy requeue = bfsim::sim::RequeuePolicy::kResubmitFull;
   bool audit = false;
   bool verify = false;
   bool json = false;
@@ -107,6 +114,9 @@ bool parse_args(int argc, char** argv, Args& args) {
     else if (arg == "--burst-buffer")
       args.burst_buffer = static_cast<int>(std::strtol(value().c_str(),
                                                        nullptr, 10));
+    else if (arg == "--failure-trace") args.failure_trace = value();
+    else if (arg == "--requeue")
+      args.requeue = bfsim::sim::requeue_policy_from_string(value());
     else if (arg == "--audit") args.audit = true;
     else if (arg == "--verify") args.verify = true;
     else if (arg == "--json") args.json = true;
@@ -181,10 +191,12 @@ bool identical(const bfsim::core::SimulationResult& a,
     const bfsim::core::JobOutcome& x = a.outcomes[i];
     const bfsim::core::JobOutcome& y = b.outcomes[i];
     if (x.start != y.start || x.end != y.end || x.killed != y.killed ||
-        x.cancelled != y.cancelled)
+        x.cancelled != y.cancelled || x.requeues != y.requeues ||
+        x.first_start != y.first_start || x.requeue_wait != y.requeue_wait)
       return false;
   }
-  return true;
+  return a.outages == b.outages && a.repairs == b.repairs &&
+         a.kills == b.kills;
 }
 
 }  // namespace
@@ -205,6 +217,11 @@ int main(int argc, char** argv) {
   try {
     int procs = 0;
     const bfsim::workload::Trace trace = build_trace(args, procs);
+    bfsim::sim::FailureTrace failures;
+    if (!args.failure_trace.empty()) {
+      failures = bfsim::sim::read_failure_trace_file(args.failure_trace);
+      bfsim::sim::validate_failure_trace(failures, procs, args.burst_buffer);
+    }
 
     bfsim::svc::HelloRequest hello;
     hello.kind = args.scenario.scheduler;
@@ -212,6 +229,7 @@ int main(int argc, char** argv) {
     hello.config.priority = args.scenario.priority;
     hello.config.burst_buffer = args.burst_buffer;
     hello.extras = args.scenario.extras;
+    hello.requeue = args.requeue;
     hello.audit = args.audit;
 
     const int fd = connect_socket(args.connect);
@@ -221,15 +239,20 @@ int main(int argc, char** argv) {
       return 1;
     }
     bfsim::svc::FdChannel channel{fd, fd};
-    const bfsim::core::SimulationResult served =
-        bfsim::svc::served_run(trace, channel, hello);
+    const bfsim::core::SimulationResult served = bfsim::svc::served_run(
+        trace, channel, hello,
+        args.failure_trace.empty() ? nullptr : &failures);
 #if defined(__unix__) || defined(__APPLE__)
     ::close(fd);
 #endif
 
     if (args.verify) {
+      bfsim::core::SimulationOptions options;
+      if (!args.failure_trace.empty()) options.failures = &failures;
+      options.requeue = args.requeue;
       const bfsim::core::SimulationResult local = bfsim::core::run_simulation(
-          trace, args.scenario.scheduler, hello.config, hello.extras);
+          trace, args.scenario.scheduler, hello.config, hello.extras,
+          options);
       if (!identical(served, local)) {
         std::fprintf(stderr,
                      "bfsim_replay: VERIFY FAILED -- served schedule "
@@ -244,11 +267,13 @@ int main(int argc, char** argv) {
 
     std::fprintf(stderr,
                  "bfsim_replay: %s scheduled %zu jobs, makespan %lld, "
-                 "%llu events, %llu passes\n",
+                 "%llu events, %llu passes, %llu outages, %llu kills\n",
                  served.scheduler_name.c_str(), served.outcomes.size(),
                  static_cast<long long>(served.makespan),
                  static_cast<unsigned long long>(served.events),
-                 static_cast<unsigned long long>(served.passes));
+                 static_cast<unsigned long long>(served.passes),
+                 static_cast<unsigned long long>(served.outages),
+                 static_cast<unsigned long long>(served.kills));
     if (args.json) {
       const bfsim::metrics::Metrics metrics =
           bfsim::metrics::compute_metrics(served, procs);
